@@ -1,0 +1,80 @@
+//! Microbenchmarks for the synchronization primitives (§3.2): the TTAS spin
+//! lock and the reader-writer spin lock used by the MRSW line protocol,
+//! uncontended and contended — the "simple vs complex locks" overhead axis
+//! of Table 4-8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psm::sync::{RwSpinLock, SpinLock};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks/uncontended");
+    let spin = SpinLock::new(0u64);
+    g.bench_function("spinlock", |b| {
+        b.iter(|| {
+            *spin.lock() += 1;
+        })
+    });
+    let rw = RwSpinLock::new(0u64);
+    g.bench_function("rwspin-write", |b| {
+        b.iter(|| {
+            *rw.write() += 1;
+        })
+    });
+    g.bench_function("rwspin-read", |b| {
+        b.iter(|| {
+            black_box(*rw.read());
+        })
+    });
+    let pl = parking_lot_shim::Mutex::new(0u64);
+    g.bench_function("parking-lot-mutex", |b| {
+        b.iter(|| {
+            *pl.lock() += 1;
+        })
+    });
+    g.finish();
+}
+
+// Tiny shim so the bench compiles without adding parking_lot to the
+// dependency list of this crate: reuse std's Mutex as the comparison
+// baseline (the perf-book's advice: measure before switching).
+mod parking_lot_shim {
+    pub use std::sync::Mutex as StdMutex;
+    pub struct Mutex<T>(StdMutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(StdMutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap()
+        }
+    }
+}
+
+fn contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks/contended-2-threads");
+    g.sample_size(10);
+    g.bench_function("spinlock", |b| {
+        b.iter_custom(|iters| {
+            let lock = Arc::new(SpinLock::new(0u64));
+            let l2 = lock.clone();
+            let handle = std::thread::spawn(move || {
+                for _ in 0..iters {
+                    *l2.lock() += 1;
+                }
+            });
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                *lock.lock() += 1;
+            }
+            let elapsed = start.elapsed();
+            handle.join().unwrap();
+            elapsed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, uncontended, contended);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end matcher benchmarks on synthetic workloads: vs1 vs vs2 vs the
+//! interpreted lisp baseline — the Table 4-1/4-4 axes in microcosm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::{build_engine, synth, MatcherChoice};
+
+fn run(choice: &MatcherChoice, w: &workloads::Workload) {
+    let mut eng = build_engine(w, choice).expect("build");
+    eng.run(w.max_cycles).expect("run");
+}
+
+fn fat_memories(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchers/fat-memories-8x30");
+    g.sample_size(10);
+    for (label, choice) in [
+        ("vs1", MatcherChoice::Vs1),
+        ("vs2", MatcherChoice::Vs2),
+        ("lisp", MatcherChoice::Lisp),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| run(&choice, &synth::fat_memories(8, 30)))
+        });
+    }
+    g.finish();
+}
+
+fn cross_product(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchers/cross-product-8");
+    g.sample_size(10);
+    for (label, choice) in [
+        ("vs1", MatcherChoice::Vs1),
+        ("vs2", MatcherChoice::Vs2),
+        ("lisp", MatcherChoice::Lisp),
+    ] {
+        g.bench_function(label, |b| b.iter(|| run(&choice, &synth::cross_product(8))));
+    }
+    g.finish();
+}
+
+fn chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchers/chain-100");
+    g.sample_size(10);
+    for (label, choice) in [
+        ("vs1", MatcherChoice::Vs1),
+        ("vs2", MatcherChoice::Vs2),
+        ("lisp", MatcherChoice::Lisp),
+    ] {
+        g.bench_function(label, |b| b.iter(|| run(&choice, &synth::long_chain(100))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fat_memories, cross_product, chain);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks for the task-queue scheduler: push/pop cost at 1, 4,
+//! and 8 queues — the per-task scheduling overhead that §3.1 worries about
+//! for 100-700-instruction tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ops5::{Sign, SymbolId, Value, Wme};
+use psm::queue::{ParTask, Scheduler};
+
+fn task() -> ParTask {
+    ParTask::Root {
+        sign: Sign::Plus,
+        wme: Wme::new(SymbolId(1), vec![Value::Int(1)], 1),
+    }
+}
+
+fn push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues/push-pop");
+    for nq in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(nq), &nq, |b, &nq| {
+            let s = Scheduler::new(nq);
+            let mut cursor = 0usize;
+            b.iter(|| {
+                s.push(task(), &mut cursor);
+                let t = s.pop(0).unwrap();
+                s.task_done();
+                t
+            })
+        });
+    }
+    g.finish();
+}
+
+fn burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues/burst-64");
+    g.sample_size(20);
+    for nq in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(nq), &nq, |b, &nq| {
+            let s = Scheduler::new(nq);
+            let mut cursor = 0usize;
+            b.iter(|| {
+                for _ in 0..64 {
+                    s.push(task(), &mut cursor);
+                }
+                for _ in 0..64 {
+                    s.pop(0).unwrap();
+                    s.task_done();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, push_pop, burst);
+criterion_main!(benches);

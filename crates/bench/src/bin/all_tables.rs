@@ -1,0 +1,24 @@
+//! Regenerates every table of the paper's evaluation section in one run
+//! (the source of EXPERIMENTS.md). Each table binary can also be run
+//! individually.
+//!
+//! Run with: `cargo run --release -p bench --bin all_tables`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table_4_1", "table_4_2", "table_4_3", "table_4_4", "table_4_5", "table_4_6",
+        "table_4_7", "table_4_8", "table_4_9", "tourney_fix",
+    ];
+    // When invoked via cargo, sibling binaries sit next to this executable.
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,40 @@
+//! Table 4-1: uniprocessor versions — vs1 (list memories) vs vs2 (hash
+//! memories), plus total WM-changes and node activations, and the §5
+//! average-task-length figure.
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_1`
+
+use bench::{header, programs, secs, timed_run};
+use workloads::MatcherChoice;
+
+fn main() {
+    header("Table 4-1: Uniprocessor versions (paper: Microvax-II seconds; here: host seconds)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>12} {:>13} {:>14}",
+        "PROGRAM", "VS1 (s)", "VS2 (s)", "vs1/vs2", "WM-changes", "activations", "avg-task(op)"
+    );
+    for (name, make) in programs() {
+        let w = make();
+        let (t1, _e1) = timed_run(&w, &MatcherChoice::Vs1).expect("vs1 run");
+        let w = make();
+        let (t2, e2) = timed_run(&w, &MatcherChoice::Vs2).expect("vs2 run");
+        let stats = e2.match_stats();
+        // §5: "average length of the individual tasks ... varies between
+        // 100-700 machine instructions"; we report the cost-model units.
+        let trace = bench::record_trace(&make()).expect("trace");
+        let avg = trace.avg_task_cost(&psm::trace::CostModel::default());
+        println!(
+            "{:<10} {:>10} {:>10} {:>8.2} {:>12} {:>13} {:>14.0}",
+            name,
+            secs(t1),
+            secs(t2),
+            t1.as_secs_f64() / t2.as_secs_f64(),
+            stats.wme_changes,
+            stats.activations,
+            avg,
+        );
+    }
+    println!();
+    println!("(paper: Weaver 101.5/85.8s, Rubik 235.2/96.9s, Tourney 323.7/93.5s;");
+    println!(" expected shape: vs2 <= vs1 everywhere, dramatically for Tourney)");
+}

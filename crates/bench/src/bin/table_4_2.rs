@@ -1,0 +1,38 @@
+//! Table 4-2: number of tokens examined in the opposite memory, linear
+//! (vs1) vs hash (vs2) memories, for left and right activations — computed
+//! over activations whose opposite memory is non-empty, as in the paper.
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_2`
+
+use bench::{header, programs, timed_run};
+use workloads::MatcherChoice;
+
+fn main() {
+    header("Table 4-2: Tokens examined in opposite memory (per non-empty activation)");
+    println!(
+        "{:<10} | {:>9} {:>9} | {:>9} {:>9}",
+        "", "left", "", "right", ""
+    );
+    println!(
+        "{:<10} | {:>9} {:>9} | {:>9} {:>9}",
+        "PROGRAM", "lin mem", "hash mem", "lin mem", "hash mem"
+    );
+    for (name, make) in programs() {
+        let (_t, e1) = timed_run(&make(), &MatcherChoice::Vs1).expect("vs1");
+        let (_t, e2) = timed_run(&make(), &MatcherChoice::Vs2).expect("vs2");
+        let s1 = e1.match_stats();
+        let s2 = e2.match_stats();
+        println!(
+            "{:<10} | {:>9.1} {:>9.1} | {:>9.1} {:>9.1}",
+            name,
+            s1.avg_opp_left(),
+            s2.avg_opp_left(),
+            s1.avg_opp_right(),
+            s2.avg_opp_right(),
+        );
+    }
+    println!();
+    println!("(paper: Weaver 10.1→7.7 / 5.2→1.0, Rubik 31.0→3.8 / 1.6→1.8,");
+    println!("        Tourney 47.6→5.9 / 270.1→23.3;");
+    println!(" expected shape: hash ≤ linear, largest reduction for Tourney)");
+}

@@ -1,0 +1,37 @@
+//! Table 4-3: number of tokens examined in the *same* memory to locate the
+//! target of a delete, linear vs hash memories.
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_3`
+
+use bench::{header, programs, timed_run};
+use workloads::MatcherChoice;
+
+fn main() {
+    header("Table 4-3: Tokens examined in same memory for deletes");
+    println!(
+        "{:<10} | {:>9} {:>9} | {:>9} {:>9}",
+        "", "left", "", "right", ""
+    );
+    println!(
+        "{:<10} | {:>9} {:>9} | {:>9} {:>9}",
+        "PROGRAM", "lin mem", "hash mem", "lin mem", "hash mem"
+    );
+    for (name, make) in programs() {
+        let (_t, e1) = timed_run(&make(), &MatcherChoice::Vs1).expect("vs1");
+        let (_t, e2) = timed_run(&make(), &MatcherChoice::Vs2).expect("vs2");
+        let s1 = e1.match_stats();
+        let s2 = e2.match_stats();
+        println!(
+            "{:<10} | {:>9.1} {:>9.1} | {:>9.1} {:>9.1}",
+            name,
+            s1.avg_same_left(),
+            s2.avg_same_left(),
+            s1.avg_same_right(),
+            s2.avg_same_right(),
+        );
+    }
+    println!();
+    println!("(paper: Weaver 6.2→3.6 / 7.0→5.1, Rubik 23.5→2.6 / 8.1→3.7,");
+    println!("        Tourney 254.4→40.1 / 3.8→2.9;");
+    println!(" expected shape: hash ≤ linear, largest reduction for Tourney left)");
+}

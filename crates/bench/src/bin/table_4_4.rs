@@ -1,0 +1,31 @@
+//! Table 4-4: speed-up of the optimized C-based implementation (vs2) over
+//! the lisp-based implementation (here: the `lispsim` interpretive
+//! baseline).
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_4`
+
+use bench::{header, programs, secs, timed_run};
+use workloads::MatcherChoice;
+
+fn main() {
+    header("Table 4-4: Speed-up of compiled (vs2) over lisp-style interpreted implementation");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10}",
+        "PROGRAM", "VS-lisp (s)", "VS2 (s)", "speed-up"
+    );
+    for (name, make) in programs() {
+        let (tl, _el) = timed_run(&make(), &MatcherChoice::Lisp).expect("lisp run");
+        let (t2, _e2) = timed_run(&make(), &MatcherChoice::Vs2).expect("vs2 run");
+        println!(
+            "{:<10} {:>12} {:>10} {:>10.1}",
+            name,
+            secs(tl),
+            secs(t2),
+            tl.as_secs_f64() / t2.as_secs_f64(),
+        );
+    }
+    println!();
+    println!("(paper: Weaver 1104.0/85.8 = 12.9x, Rubik 1175.0/96.9 = 12.1x,");
+    println!("        Tourney 2302.0/93.5 = 24.6x;");
+    println!(" expected shape: interpreted baseline 10-25x slower than vs2)");
+}

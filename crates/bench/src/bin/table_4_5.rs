@@ -1,0 +1,35 @@
+//! Table 4-5: speed-up with a single task queue and simple hash-table
+//! locks, for 1+{1,3,5,7,11,13} processes, on the simulated Multimax.
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_5`
+
+use bench::{header, programs, record_trace, sim, PROC_COLUMNS};
+use psm::line::LockScheme;
+
+fn main() {
+    header("Table 4-5: Speed-up, single task queue, simple hash-table locks (simulated Multimax)");
+    print!("{:<10} {:>12}", "PROGRAM", "uniproc(Mop)");
+    for p in PROC_COLUMNS {
+        print!(" {:>6}", format!("1+{p}"));
+    }
+    println!();
+    for (name, make) in programs() {
+        let trace = record_trace(&make()).expect("trace");
+        let uni = sim(&trace, 1, 1, LockScheme::Simple);
+        print!(
+            "{:<10} {:>12.2}",
+            name,
+            uni.match_time as f64 / 1.0e6
+        );
+        for p in PROC_COLUMNS {
+            let r = sim(&trace, p, 1, LockScheme::Simple);
+            print!(" {:>6.2}", uni.match_time as f64 / r.match_time as f64);
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: Weaver 1.02/2.55/3.65/3.97/3.91/3.90,");
+    println!("        Rubik  1.00/2.80/4.47/5.48/6.18/6.30,");
+    println!("        Tourney 1.10/1.90/2.70/2.59/2.43/2.41;");
+    println!(" expected shape: single queue saturates by ~1+7; Tourney worst)");
+}

@@ -1,0 +1,32 @@
+//! Table 4-6: speed-up with multiple task queues ({1,2,4,8,8,8} per
+//! process column) and simple hash-table locks.
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_6`
+
+use bench::{header, programs, record_trace, sim, PROC_COLUMNS, QUEUE_COLUMNS};
+use psm::line::LockScheme;
+
+fn main() {
+    header("Table 4-6: Speed-up, multiple task queues, simple hash-table locks (simulated Multimax)");
+    print!("{:<10} {:>12}", "PROGRAM", "uniproc(Mop)");
+    for (p, q) in PROC_COLUMNS.iter().zip(QUEUE_COLUMNS.iter()) {
+        print!(" {:>9}", format!("1+{p}/{q}q"));
+    }
+    println!();
+    for (name, make) in programs() {
+        let trace = record_trace(&make()).expect("trace");
+        let uni = sim(&trace, 1, 1, LockScheme::Simple);
+        print!("{:<10} {:>12.2}", name, uni.match_time as f64 / 1.0e6);
+        for (&p, &q) in PROC_COLUMNS.iter().zip(QUEUE_COLUMNS.iter()) {
+            let r = sim(&trace, p, q, LockScheme::Simple);
+            print!(" {:>9.2}", uni.match_time as f64 / r.match_time as f64);
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: Weaver 1.02/2.88/4.51/5.80/7.56/8.15,");
+    println!("        Rubik  1.07/3.93/6.41/8.49/10.66/11.42,");
+    println!("        Tourney 1.12/2.02/2.17/2.33/2.47/2.30;");
+    println!(" expected shape: multiple queues lift Weaver/Rubik well past Table 4-5;");
+    println!(" Tourney stays flat — its bottleneck is the hash line, not the queue)");
+}

@@ -1,0 +1,39 @@
+//! Table 4-7: contention for the centralized task queue — average number of
+//! times a process spins before acquiring the queue lock, single queue.
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_7`
+
+use bench::{header, programs, record_trace, sim, PROC_COLUMNS};
+use psm::line::LockScheme;
+
+fn main() {
+    header("Table 4-7: Contention for the centralized task queue (avg spins before acquisition)");
+    print!("{:<10}", "PROGRAM");
+    for p in PROC_COLUMNS {
+        print!(" {:>7}", format!("1+{p}"));
+    }
+    println!("   (single queue)");
+    for (name, make) in programs() {
+        let trace = record_trace(&make()).expect("trace");
+        print!("{:<10}", name);
+        for p in PROC_COLUMNS {
+            let r = sim(&trace, p, 1, LockScheme::Simple);
+            print!(" {:>7.2}", r.avg_queue_spins());
+        }
+        println!();
+    }
+    println!();
+    // The drop with 8 queues, quoted in §4.2.
+    println!("With 8 queues at 1+13 (paper: 4.85 / 6.12 / 4.75):");
+    for (name, make) in programs() {
+        let trace = record_trace(&make()).expect("trace");
+        let r = sim(&trace, 13, 8, LockScheme::Simple);
+        println!("  {:<10} {:.2}", name, r.avg_queue_spins());
+    }
+    println!();
+    println!("(paper single queue: Weaver 1.03/2.68/6.31/11.58/20.05/24.62,");
+    println!("        Rubik 1.01/2.63/5.92/10.58/22.66/26.89,");
+    println!("        Tourney 1.00/1.57/2.53/3.94/7.22/8.93;");
+    println!(" expected shape: grows with processes; Tourney least (fewer, longer tasks);");
+    println!(" drops sharply with 8 queues)");
+}

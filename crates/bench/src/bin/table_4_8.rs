@@ -1,0 +1,42 @@
+//! Table 4-8: speed-up with multiple task queues and the complex
+//! multiple-reader-single-writer hash-table line locks.
+//!
+//! The paper's lesson (§5): MRSW locks reduce hash-line contention but the
+//! extra protocol overhead slows the normal case — uniprocessor times here
+//! are *higher* than Table 4-6's.
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_8`
+
+use bench::{header, programs, record_trace, sim, PROC_COLUMNS, QUEUE_COLUMNS};
+use psm::line::LockScheme;
+
+fn main() {
+    header("Table 4-8: Speed-up, multiple task queues, MRSW hash-table locks (simulated Multimax)");
+    print!("{:<10} {:>12} {:>10}", "PROGRAM", "uniproc(Mop)", "vs 4-6 uni");
+    for (p, q) in PROC_COLUMNS.iter().zip(QUEUE_COLUMNS.iter()) {
+        print!(" {:>9}", format!("1+{p}/{q}q"));
+    }
+    println!();
+    for (name, make) in programs() {
+        let trace = record_trace(&make()).expect("trace");
+        let uni_simple = sim(&trace, 1, 1, LockScheme::Simple);
+        let uni = sim(&trace, 1, 1, LockScheme::Mrsw);
+        print!(
+            "{:<10} {:>12.2} {:>9.2}x",
+            name,
+            uni.match_time as f64 / 1.0e6,
+            uni.match_time as f64 / uni_simple.match_time as f64
+        );
+        for (&p, &q) in PROC_COLUMNS.iter().zip(QUEUE_COLUMNS.iter()) {
+            let r = sim(&trace, p, q, LockScheme::Mrsw);
+            print!(" {:>9.2}", uni.match_time as f64 / r.match_time as f64);
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: Weaver uniproc 134.9s vs 118.2s simple — MRSW costs ~14% overhead;");
+    println!("        speed-ups 1.02/3.02/4.63/6.14/8.18/9.02 Weaver,");
+    println!("        1.04/3.98/6.40/9.01/11.33/12.35 Rubik, 1.07/2.06/2.58/2.40/2.57/2.67 Tourney;");
+    println!(" expected shape: uniproc slower than simple locks (ratio > 1.0);");
+    println!(" speed-ups at or slightly above Table 4-6 for Weaver/Rubik; Tourney still poor)");
+}

@@ -1,0 +1,47 @@
+//! Table 4-9: contention for token hash-table line locks — average spins
+//! before acquiring a line, simple vs MRSW locks, 6 and 12 match processes,
+//! attributed to the side (left/right) of the arriving activation.
+//!
+//! Run with: `cargo run --release -p bench --bin table_4_9`
+
+use bench::{header, programs, record_trace, sim};
+use psm::line::LockScheme;
+
+fn main() {
+    header("Table 4-9: Contention for token hash-table locks (avg spins before acquisition)");
+    println!(
+        "{:<10} | {:>24} | {:>24} | {:>9}",
+        "", "simple locks", "mrsw locks", ""
+    );
+    println!(
+        "{:<10} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5} | {:>9}",
+        "PROGRAM", "6L", "6R", "12L", "12R", "6L", "6R", "12L", "12R", "requeues"
+    );
+    for (name, make) in programs() {
+        let trace = record_trace(&make()).expect("trace");
+        let s6 = sim(&trace, 6, 8, LockScheme::Simple);
+        let s12 = sim(&trace, 12, 8, LockScheme::Simple);
+        let m6 = sim(&trace, 6, 8, LockScheme::Mrsw);
+        let m12 = sim(&trace, 12, 8, LockScheme::Mrsw);
+        println!(
+            "{:<10} | {:>5.1} {:>5.1} {:>5.1} {:>5.1} | {:>5.1} {:>5.1} {:>5.1} {:>5.1} | {:>9}",
+            name,
+            s6.avg_hash_left(),
+            s6.avg_hash_right(),
+            s12.avg_hash_left(),
+            s12.avg_hash_right(),
+            m6.avg_hash_left(),
+            m6.avg_hash_right(),
+            m12.avg_hash_left(),
+            m12.avg_hash_right(),
+            m12.requeues,
+        );
+    }
+    println!();
+    println!("(paper, simple: Weaver 20.4/1.0 → 51.2/1.4, Rubik 11.0/1.1 → 23.0/1.5,");
+    println!("               Tourney 137.1/4.9 → 377.7/15.7;");
+    println!(" paper, mrsw:  Weaver 4.7/2.0 → 15.7/2.1, Rubik 3.7/2.0 → 12.9/2.1,");
+    println!("               Tourney 49.9/2.9 → 134.9/33.3;");
+    println!(" expected shape: Tourney's line contention dwarfs the others;");
+    println!(" MRSW reduces contention for all programs)")
+}

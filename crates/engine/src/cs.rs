@@ -1,0 +1,137 @@
+//! The conflict set: satisfied instantiations plus refraction state.
+
+use ops5::{CsChange, Instantiation, ProdId};
+use std::collections::HashMap;
+
+/// Key identifying an instantiation: production + matched timetags.
+type InstKey = (ProdId, Vec<u64>);
+
+struct Entry {
+    inst: Instantiation,
+    fired: bool,
+}
+
+/// The conflict set.
+///
+/// Entries carry a `fired` flag implementing OPS5 refraction: an
+/// instantiation fires at most once while it remains continuously in the
+/// conflict set; if the match phase retracts it and later re-derives it, it
+/// becomes eligible again.
+#[derive(Default)]
+pub struct ConflictSet {
+    entries: HashMap<InstKey, Entry>,
+}
+
+impl ConflictSet {
+    pub fn new() -> Self {
+        ConflictSet { entries: HashMap::new() }
+    }
+
+    /// Applies one match-phase delta.
+    pub fn apply(&mut self, change: CsChange) {
+        match change {
+            CsChange::Insert(inst) => {
+                let key = inst.key();
+                // Re-inserting an identical live instantiation is a matcher
+                // bug in the sequential engines; the parallel matcher never
+                // emits it either (conjugate pairs are annihilated before
+                // the terminal). Last write wins, fired state resets.
+                self.entries.insert(key, Entry { inst, fired: false });
+            }
+            CsChange::Remove(inst) => {
+                self.entries.remove(&inst.key());
+            }
+        }
+    }
+
+    pub fn apply_all(&mut self, changes: impl IntoIterator<Item = CsChange>) {
+        for c in changes {
+            self.apply(c);
+        }
+    }
+
+    /// All unfired instantiations (candidates for conflict resolution).
+    pub fn candidates(&self) -> impl Iterator<Item = &Instantiation> {
+        self.entries.values().filter(|e| !e.fired).map(|e| &e.inst)
+    }
+
+    /// Marks an instantiation fired (refraction).
+    pub fn mark_fired(&mut self, inst: &Instantiation) {
+        if let Some(e) = self.entries.get_mut(&inst.key()) {
+            e.fired = true;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Deterministic dump for differential tests: sorted instantiation keys.
+    pub fn sorted_keys(&self) -> Vec<InstKey> {
+        let mut v: Vec<InstKey> = self.entries.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{SymbolId, Value, Wme};
+
+    fn inst(prod: u32, tags: &[u64]) -> Instantiation {
+        Instantiation {
+            prod: ProdId(prod),
+            wmes: tags
+                .iter()
+                .map(|&t| Wme::new(SymbolId(1), vec![Value::Int(t as i64)], t))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut cs = ConflictSet::new();
+        cs.apply(CsChange::Insert(inst(0, &[1, 2])));
+        assert_eq!(cs.len(), 1);
+        cs.apply(CsChange::Remove(inst(0, &[1, 2])));
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn refraction() {
+        let mut cs = ConflictSet::new();
+        let i = inst(0, &[1]);
+        cs.apply(CsChange::Insert(i.clone()));
+        assert_eq!(cs.candidates().count(), 1);
+        cs.mark_fired(&i);
+        assert_eq!(cs.candidates().count(), 0, "fired instantiation not a candidate");
+        assert_eq!(cs.len(), 1, "but it remains in the set");
+        // Retraction and re-derivation resets refraction.
+        cs.apply(CsChange::Remove(i.clone()));
+        cs.apply(CsChange::Insert(i));
+        assert_eq!(cs.candidates().count(), 1);
+    }
+
+    #[test]
+    fn distinct_productions_same_tags() {
+        let mut cs = ConflictSet::new();
+        cs.apply(CsChange::Insert(inst(0, &[1])));
+        cs.apply(CsChange::Insert(inst(1, &[1])));
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn sorted_keys_deterministic() {
+        let mut cs = ConflictSet::new();
+        cs.apply(CsChange::Insert(inst(1, &[3])));
+        cs.apply(CsChange::Insert(inst(0, &[9])));
+        let keys = cs.sorted_keys();
+        assert_eq!(keys[0].0, ProdId(0));
+        assert_eq!(keys[1].0, ProdId(1));
+    }
+}

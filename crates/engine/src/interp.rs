@@ -1,0 +1,467 @@
+//! The recognize-act interpreter — the paper's control process.
+
+use crate::cr;
+use crate::cs::ConflictSet;
+use crate::rhs::{self, RhsEffect, RhsProgram};
+use crate::wm::WorkingMemory;
+use ops5::{
+    Instantiation, Matcher, Ops5Error, ProdId, Program, Result, Sign, SymbolId, Value, WmeChange,
+    WmeRef,
+};
+use rete::network::Network;
+use std::sync::Arc;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` action executed.
+    Halt,
+    /// No satisfied, unfired production remained.
+    Quiescent,
+    /// The caller's cycle limit was reached.
+    CycleLimit,
+}
+
+/// Summary of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    pub cycles: u64,
+    pub reason: StopReason,
+}
+
+/// The OPS5 interpreter: working memory + conflict set + a match engine.
+pub struct Engine {
+    pub prog: Program,
+    net: Arc<Network>,
+    matcher: Box<dyn Matcher>,
+    wm: WorkingMemory,
+    cs: ConflictSet,
+    rhs: Vec<RhsProgram>,
+    halted: bool,
+    cycles: u64,
+    fired_log: Vec<(ProdId, Vec<u64>)>,
+    output: Vec<String>,
+    line: String,
+    /// Echo `write` output to stdout as it is produced.
+    pub echo_writes: bool,
+    /// Keep the per-cycle fired log (disable for long benchmark runs).
+    pub keep_fired_log: bool,
+}
+
+impl Engine {
+    /// Builds an engine with a custom matcher (parallel matcher, lispsim...).
+    pub fn with_matcher(
+        prog: Program,
+        make_matcher: impl FnOnce(Arc<Network>) -> Box<dyn Matcher>,
+    ) -> Result<Engine> {
+        let net = Arc::new(Network::compile(&prog)?);
+        let classes = prog.classes.clone();
+        let mut rhs = Vec::with_capacity(prog.productions.len());
+        for p in &prog.productions {
+            rhs.push(rhs::compile_rhs(p, &prog.symbols, |c| classes.arity(c))?);
+        }
+        Ok(Engine {
+            matcher: make_matcher(net.clone()),
+            net,
+            prog,
+            wm: WorkingMemory::new(),
+            cs: ConflictSet::new(),
+            rhs,
+            halted: false,
+            cycles: 0,
+            fired_log: Vec::new(),
+            output: Vec::new(),
+            line: String::new(),
+            echo_writes: false,
+            keep_fired_log: true,
+        })
+    }
+
+    /// vs1: sequential matcher with linear-list memories.
+    pub fn vs1(prog: Program) -> Result<Engine> {
+        Self::with_matcher(prog, rete::seq::boxed_vs1)
+    }
+
+    /// vs2: sequential matcher with global hash-table memories.
+    pub fn vs2(prog: Program) -> Result<Engine> {
+        Self::with_matcher(prog, |net| {
+            rete::seq::boxed_vs2(net, rete::HashMemConfig::default())
+        })
+    }
+
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    pub fn matcher(&self) -> &dyn Matcher {
+        self.matcher.as_ref()
+    }
+
+    pub fn match_stats(&self) -> ops5::MatchStats {
+        self.matcher.stats()
+    }
+
+    pub fn reset_match_stats(&mut self) {
+        self.matcher.reset_stats();
+    }
+
+    pub fn wm(&self) -> &WorkingMemory {
+        &self.wm
+    }
+
+    pub fn conflict_set(&self) -> &ConflictSet {
+        &self.cs
+    }
+
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    pub fn fired_log(&self) -> &[(ProdId, Vec<u64>)] {
+        &self.fired_log
+    }
+
+    /// Captured `write` output, one string per line.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Interns a symbol and wraps it as a value.
+    pub fn sym(&mut self, name: &str) -> Value {
+        Value::Sym(self.prog.symbols.intern(name))
+    }
+
+    /// Creates a WME from attribute-value pairs and feeds it to the matcher
+    /// (the OPS5 `make` top-level / startup form).
+    pub fn make_wme(&mut self, class: &str, sets: &[(&str, Value)]) -> Result<WmeRef> {
+        let class_sym = self.prog.symbols.intern(class);
+        let mut resolved = Vec::with_capacity(sets.len());
+        for (attr, v) in sets {
+            let a = self.prog.symbols.intern(attr);
+            let f = self.prog.classes.resolve(class_sym, a)?;
+            resolved.push((f, *v));
+        }
+        let arity = self.prog.classes.arity(class_sym) as usize;
+        let mut fields = vec![Value::NIL; arity];
+        for (f, v) in resolved {
+            let f = f as usize;
+            if f >= fields.len() {
+                fields.resize(f + 1, Value::NIL);
+            }
+            fields[f] = v;
+        }
+        Ok(self.insert(class_sym, fields))
+    }
+
+    /// Loads the program's top-level `(make ...)` startup forms into
+    /// working memory, in source order. Call once before `run`.
+    pub fn load_startup(&mut self) -> Result<()> {
+        let startup = self.prog.startup.clone();
+        for m in &startup {
+            let arity = self.prog.classes.arity(m.class) as usize;
+            let mut fields = vec![Value::NIL; arity];
+            for (f, v) in &m.sets {
+                let f = *f as usize;
+                if f >= fields.len() {
+                    fields.resize(f + 1, Value::NIL);
+                }
+                fields[f] = *v;
+            }
+            self.insert(m.class, fields);
+        }
+        Ok(())
+    }
+
+    /// Creates a WME from pre-resolved field values.
+    pub fn insert(&mut self, class: SymbolId, fields: Vec<Value>) -> WmeRef {
+        let w = self.wm.make(class, fields);
+        self.matcher.submit(WmeChange { sign: Sign::Plus, wme: w.clone() });
+        w
+    }
+
+    /// Removes a live WME.
+    pub fn retract(&mut self, wme: &WmeRef) -> Result<()> {
+        match self.wm.remove(wme.timetag) {
+            Some(w) => {
+                self.matcher.submit(WmeChange { sign: Sign::Minus, wme: w });
+                Ok(())
+            }
+            None => Err(Ops5Error::Runtime(format!(
+                "remove of non-live wme (timetag {})",
+                wme.timetag
+            ))),
+        }
+    }
+
+    /// Match + conflict-resolve + fire one production. Returns the fired
+    /// instantiation, or `None` at quiescence.
+    pub fn step(&mut self) -> Result<Option<Instantiation>> {
+        if self.halted {
+            return Ok(None);
+        }
+        let deltas = self.matcher.quiesce();
+        self.cs.apply_all(deltas);
+        let winner = match cr::select(
+            self.prog.strategy,
+            self.cs.candidates(),
+            &self.prog.productions,
+        ) {
+            Some(w) => w,
+            None => return Ok(None),
+        };
+        self.cs.mark_fired(&winner);
+        self.cycles += 1;
+        if self.keep_fired_log {
+            self.fired_log
+                .push((winner.prod, winner.wmes.iter().map(|w| w.timetag).collect()));
+        }
+        self.fire(&winner)?;
+        Ok(Some(winner))
+    }
+
+    fn fire(&mut self, inst: &Instantiation) -> Result<()> {
+        let code = self.rhs[inst.prod.index()].clone();
+        let wm = &mut self.wm;
+        let matcher = &mut self.matcher;
+        let line = &mut self.line;
+        let output = &mut self.output;
+        let echo = self.echo_writes;
+        let mut err: Option<Ops5Error> = None;
+
+        let halted = rhs::execute(&code, inst, &mut self.prog.symbols, |effect| {
+            if err.is_some() {
+                return;
+            }
+            match effect {
+                RhsEffect::Make { class, fields } => {
+                    let w = wm.make(class, fields);
+                    // Pipelining: the change goes to the matcher the moment
+                    // it is computed (§3.1).
+                    matcher.submit(WmeChange { sign: Sign::Plus, wme: w });
+                }
+                RhsEffect::Remove { wme } => match wm.remove(wme.timetag) {
+                    Some(w) => matcher.submit(WmeChange { sign: Sign::Minus, wme: w }),
+                    None => {
+                        err = Some(Ops5Error::Runtime(format!(
+                            "RHS removed wme {} twice",
+                            wme.timetag
+                        )))
+                    }
+                },
+                RhsEffect::Write(s) => {
+                    if !line.is_empty() {
+                        line.push(' ');
+                    }
+                    line.push_str(&s);
+                }
+                RhsEffect::Crlf => {
+                    if echo {
+                        println!("{line}");
+                    }
+                    output.push(std::mem::take(line));
+                }
+            }
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if halted {
+            self.halted = true;
+        }
+        Ok(())
+    }
+
+    /// Runs until halt, quiescence, or the cycle limit.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunResult> {
+        let start = self.cycles;
+        loop {
+            if self.halted {
+                self.finish_output();
+                return Ok(RunResult { cycles: self.cycles - start, reason: StopReason::Halt });
+            }
+            if self.cycles - start >= max_cycles {
+                self.finish_output();
+                return Ok(RunResult {
+                    cycles: self.cycles - start,
+                    reason: StopReason::CycleLimit,
+                });
+            }
+            if self.step()?.is_none() {
+                self.finish_output();
+                return Ok(RunResult {
+                    cycles: self.cycles - start,
+                    reason: StopReason::Quiescent,
+                });
+            }
+        }
+    }
+
+    fn finish_output(&mut self) {
+        if !self.line.is_empty() {
+            if self.echo_writes {
+                println!("{}", self.line);
+            }
+            self.output.push(std::mem::take(&mut self.line));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::Value;
+
+    fn engines(src: &str) -> Vec<Engine> {
+        vec![
+            Engine::vs1(Program::from_source(src).unwrap()).unwrap(),
+            Engine::vs2(Program::from_source(src).unwrap()).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn figure_2_1_scenario() {
+        // The paper's sample production, end to end.
+        let src = "(p find-colored-block
+                     (goal ^type find-block ^color <c>)
+                     (block ^id <i> ^color <c> ^selected no)
+                     -->
+                     (modify 2 ^selected yes))";
+        for mut e in engines(src) {
+            let red = e.sym("red");
+            let blue = e.sym("blue");
+            let no = e.sym("no");
+            let fb = e.sym("find-block");
+            e.make_wme("goal", &[("type", fb), ("color", red)]).unwrap();
+            e.make_wme("block", &[("id", Value::Int(1)), ("color", blue), ("selected", no)])
+                .unwrap();
+            e.make_wme("block", &[("id", Value::Int(2)), ("color", red), ("selected", no)])
+                .unwrap();
+            let r = e.run(10).unwrap();
+            assert_eq!(r.cycles, 1, "exactly one block matches");
+            assert_eq!(r.reason, StopReason::Quiescent);
+            // Block 2 is now selected=yes.
+            let block = e.prog.symbols.get("block").unwrap();
+            let yes = e.prog.symbols.get("yes").unwrap();
+            let blocks = e.wm().of_class(block);
+            let selected: Vec<_> = blocks
+                .iter()
+                .filter(|w| w.field(2) == Value::Sym(yes))
+                .collect();
+            assert_eq!(selected.len(), 1);
+            assert_eq!(selected[0].field(0), Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn startup_forms_load() {
+        let src = "(literalize c n limit)
+                   (make c ^n 0 ^limit 3)
+                   (p count (c ^n <n> ^limit > <n>) --> (modify 1 ^n (compute <n> + 1)))
+                   (p done (c ^n <n> ^limit <n>) --> (halt))";
+        for mut e in engines(src) {
+            e.load_startup().unwrap();
+            let r = e.run(50).unwrap();
+            assert_eq!(r.reason, StopReason::Halt);
+            assert_eq!(r.cycles, 4);
+        }
+    }
+
+    #[test]
+    fn counter_loop_halts() {
+        let src = "(p count
+                     (counter ^n <n> ^limit <l>)
+                     (counter ^n < <l>)
+                     -->
+                     (modify 1 ^n (compute <n> + 1)))
+                   (p done
+                     (counter ^n <n> ^limit <n>)
+                     -->
+                     (write finished <n> (crlf))
+                     (halt))";
+        for mut e in engines(src) {
+            e.make_wme("counter", &[("n", Value::Int(0)), ("limit", Value::Int(5))])
+                .unwrap();
+            let r = e.run(100).unwrap();
+            assert_eq!(r.reason, StopReason::Halt);
+            assert_eq!(r.cycles, 6, "five increments plus the halt firing");
+            assert_eq!(e.output(), &["finished 5".to_string()]);
+        }
+    }
+
+    #[test]
+    fn refraction_prevents_infinite_refire() {
+        // A production that does not change WM fires once, not forever.
+        let src = "(p noop (a ^x 1) --> (write hi (crlf)))";
+        for mut e in engines(src) {
+            e.make_wme("a", &[("x", Value::Int(1))]).unwrap();
+            let r = e.run(50).unwrap();
+            assert_eq!(r.cycles, 1);
+            assert_eq!(r.reason, StopReason::Quiescent);
+        }
+    }
+
+    #[test]
+    fn recency_orders_firing() {
+        let src = "(p rule (item ^v <v>) --> (write <v>) (remove 1))";
+        for mut e in engines(src) {
+            for i in 0..3 {
+                e.make_wme("item", &[("v", Value::Int(i))]).unwrap();
+            }
+            let r = e.run(10).unwrap();
+            assert_eq!(r.cycles, 3);
+            // LEX recency: most recent first.
+            assert_eq!(e.output(), &["2 1 0".to_string()]);
+        }
+    }
+
+    #[test]
+    fn cycle_limit_respected() {
+        let src = "(p spin (a ^x <v>) --> (modify 1 ^x (compute <v> + 1)))";
+        for mut e in engines(src) {
+            e.make_wme("a", &[("x", Value::Int(0))]).unwrap();
+            let r = e.run(7).unwrap();
+            assert_eq!(r.reason, StopReason::CycleLimit);
+            assert_eq!(r.cycles, 7);
+        }
+    }
+
+    #[test]
+    fn negated_ce_program() {
+        // Fire only while no inhibitor exists; the firing creates the
+        // inhibitor, so it fires exactly once.
+        let src = "(p once (a ^x <v>) - (done ^for <v>) --> (make done ^for <v>))";
+        for mut e in engines(src) {
+            e.make_wme("a", &[("x", Value::Int(1))]).unwrap();
+            e.make_wme("a", &[("x", Value::Int(2))]).unwrap();
+            let r = e.run(10).unwrap();
+            assert_eq!(r.cycles, 2, "once per distinct value");
+        }
+    }
+
+    #[test]
+    fn retract_api() {
+        let src = "(p q (a ^x 1) --> (write fired (crlf)))";
+        for mut e in engines(src) {
+            let w = e.make_wme("a", &[("x", Value::Int(1))]).unwrap();
+            e.retract(&w).unwrap();
+            let r = e.run(10).unwrap();
+            assert_eq!(r.cycles, 0, "retracted before it could fire");
+            assert!(e.retract(&w).is_err(), "double retract errors");
+        }
+    }
+
+    #[test]
+    fn mea_strategy_first_ce_recency() {
+        let src = "(strategy mea)
+                   (p pick (goal ^id <g>) (item ^v <v>) --> (write <g> <v>) (remove 2))";
+        for mut e in engines(src) {
+            e.make_wme("goal", &[("id", Value::Int(1))]).unwrap();
+            e.make_wme("item", &[("v", Value::Int(10))]).unwrap();
+            e.make_wme("goal", &[("id", Value::Int(2))]).unwrap();
+            let r = e.run(10).unwrap();
+            // MEA: goal 2 (more recent first CE) wins both firings.
+            assert_eq!(r.cycles, 1);
+            assert_eq!(e.output()[0], "2 10");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # engine — the OPS5 recognize-act interpreter
+//!
+//! This crate is the paper's *control process* (§3.1): everything except the
+//! match. It owns working memory, performs conflict resolution (OPS5 LEX and
+//! MEA strategies), compiles production right-hand sides to threaded code
+//! (§3.3) and interprets them, and drives a pluggable
+//! [`ops5::Matcher`] through the recognize-act cycle:
+//!
+//! 1. **Match** — delegated to the matcher. WME changes are *pipelined*:
+//!    each change is submitted the moment RHS evaluation computes it, so a
+//!    parallel matcher overlaps match with RHS evaluation exactly as in the
+//!    paper.
+//! 2. **Conflict resolution** — pick the dominant unfired instantiation.
+//! 3. **Act** — interpret the winner's threaded RHS code.
+
+pub mod cr;
+pub mod cs;
+pub mod interp;
+pub mod rhs;
+pub mod wm;
+
+pub use cr::order_dominates;
+pub use cs::ConflictSet;
+pub use interp::{Engine, RunResult, StopReason};
+pub use rhs::{Instr, RhsProgram};
+pub use wm::WorkingMemory;

@@ -1,0 +1,631 @@
+//! The interpreted matcher.
+//!
+//! Topologically this is the same Rete as `rete::seq` — per-production join
+//! chains with alpha memories feeding right inputs — but nothing is
+//! compiled: condition elements stay as interpreted test lists over
+//! attribute *names*, WMEs are association lists, and variable bindings are
+//! association lists extended by re-consing.
+
+use crate::value::{acons, assoc, lisp_equal, LispVal};
+use ops5::ast::{AttrTest, TestAtom};
+use ops5::{
+    CsChange, Instantiation, MatchStats, Matcher, Pred, ProdId, Program, Sign, Value, WmeChange,
+    WmeRef,
+};
+
+/// One interpreted test of a condition element.
+#[derive(Debug, Clone)]
+enum LItem {
+    /// `^attr PRED atom`
+    Test { attr: LispVal, pred: Pred, atom: LAtom },
+    /// `^attr << v1 v2 ... >>`
+    Disj { attr: LispVal, alts: Vec<LispVal> },
+}
+
+#[derive(Debug, Clone)]
+enum LAtom {
+    Const(LispVal),
+    Var(LispVal),
+}
+
+/// An interpreted condition element.
+#[derive(Debug, Clone)]
+struct LCond {
+    class: LispVal,
+    negated: bool,
+    items: Vec<LItem>,
+}
+
+/// A WME boxed into lisp representation (plus the original for the conflict
+/// set).
+#[derive(Clone)]
+struct LWme {
+    orig: WmeRef,
+    /// `((attr . value) ...)` association list.
+    alist: LispVal,
+    class: LispVal,
+}
+
+/// A partial-match token: matched WMEs plus the binding association list.
+#[derive(Clone)]
+struct LToken {
+    wmes: Vec<WmeRef>,
+    bindings: LispVal,
+    neg_count: u32,
+}
+
+impl LToken {
+    fn same_wmes(&self, other_tags: &[u64]) -> bool {
+        self.wmes.len() == other_tags.len()
+            && self.wmes.iter().zip(other_tags).all(|(w, t)| w.timetag == *t)
+    }
+}
+
+/// One production's interpreted match state.
+struct LProd {
+    conds: Vec<LCond>,
+    /// Alpha memory per condition element (unshared).
+    alpha: Vec<Vec<LWme>>,
+    /// Left token memory per *join* (index = CE index, unused for CE 0).
+    left: Vec<Vec<LToken>>,
+}
+
+enum LTask {
+    /// Token arriving at the join of CE `ce` of production `prod`.
+    Left { prod: usize, ce: usize, sign: Sign, token: LToken },
+    /// WME arriving at the right input of the join of CE `ce`.
+    Right { prod: usize, ce: usize, sign: Sign, wme: LWme },
+    Terminal { prod: usize, sign: Sign, token: LToken },
+}
+
+/// The interpretive matcher.
+pub struct LispMatcher {
+    prods: Vec<LProd>,
+    agenda: Vec<LTask>,
+    out: Vec<CsChange>,
+    stats: MatchStats,
+}
+
+fn value_to_lisp(v: Value, prog_syms: &ops5::SymbolTable) -> LispVal {
+    match v {
+        Value::Sym(s) => LispVal::sym(prog_syms.name(s)),
+        Value::Int(i) => LispVal::Int(i),
+        Value::Float(f) => LispVal::Float(f),
+    }
+}
+
+impl LispMatcher {
+    /// Builds the interpreted network from a parsed program. Attribute names
+    /// and symbol names are captured as strings — exactly what the lisp
+    /// implementation worked with.
+    pub fn new(prog: &Program) -> LispMatcher {
+        let mut prods = Vec::with_capacity(prog.productions.len());
+        for p in &prog.productions {
+            let mut conds = Vec::new();
+            for ce in &p.lhs {
+                let info = prog.classes.info(ce.class);
+                let mut items = Vec::new();
+                for (field, test) in &ce.tests {
+                    let attr_name = info
+                        .and_then(|i| i.attrs.get(*field as usize))
+                        .map(|a| prog.symbols.name(*a))
+                        .unwrap_or("?");
+                    let attr = LispVal::sym(attr_name);
+                    match test {
+                        AttrTest::Disj(vs) => items.push(LItem::Disj {
+                            attr,
+                            alts: vs.iter().map(|v| value_to_lisp(*v, &prog.symbols)).collect(),
+                        }),
+                        AttrTest::Conj(ts) => {
+                            for vt in ts {
+                                let atom = match vt.atom {
+                                    TestAtom::Const(v) => {
+                                        LAtom::Const(value_to_lisp(v, &prog.symbols))
+                                    }
+                                    TestAtom::Var(v) => {
+                                        LAtom::Var(LispVal::sym(prog.symbols.name(v)))
+                                    }
+                                };
+                                items.push(LItem::Test { attr: attr.clone(), pred: vt.pred, atom });
+                            }
+                        }
+                    }
+                }
+                conds.push(LCond {
+                    class: LispVal::sym(prog.symbols.name(ce.class)),
+                    negated: ce.negated,
+                    items,
+                });
+            }
+            let n = conds.len();
+            prods.push(LProd {
+                conds,
+                alpha: (0..n).map(|_| Vec::new()).collect(),
+                left: (0..n).map(|_| Vec::new()).collect(),
+            });
+        }
+        LispMatcher { prods, agenda: Vec::new(), out: Vec::new(), stats: MatchStats::default() }
+    }
+
+}
+
+/// Evaluates one interpreted predicate.
+fn pred_eval(pred: Pred, v: &LispVal, r: &LispVal) -> bool {
+    match pred {
+        Pred::Eq => lisp_equal(v, r),
+        Pred::Ne => !lisp_equal(v, r),
+        Pred::Lt | Pred::Le | Pred::Gt | Pred::Ge => match (v.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => match pred {
+                Pred::Lt => a < b,
+                Pred::Le => a <= b,
+                Pred::Gt => a > b,
+                Pred::Ge => a >= b,
+                _ => unreachable!(),
+            },
+            _ => false,
+        },
+        Pred::SameType => v.is_numeric() == r.is_numeric(),
+    }
+}
+
+/// Interpreted condition-element match: walks the test list, `assoc`-ing
+/// every attribute and threading the binding alist. Returns the extended
+/// bindings on success.
+///
+/// `lenient_unbound` is set for the alpha-membership check (empty
+/// bindings): a non-equality predicate against a variable bound in another
+/// condition element cannot be evaluated yet and must pass through to the
+/// join — exactly what the compiled network does by routing it into a
+/// join test.
+fn match_ce(wme: &LWme, cond: &LCond, bindings: &LispVal, lenient_unbound: bool) -> Option<LispVal> {
+    let mut b = bindings.clone();
+    let nil = LispVal::Nil;
+    for item in &cond.items {
+        match item {
+            LItem::Disj { attr, alts } => {
+                let v = assoc(attr, &wme.alist).unwrap_or(&nil);
+                if !alts.iter().any(|a| lisp_equal(v, a)) {
+                    return None;
+                }
+            }
+            LItem::Test { attr, pred, atom } => {
+                let v = assoc(attr, &wme.alist).unwrap_or(&nil).clone();
+                match atom {
+                    LAtom::Const(c) => {
+                        if !pred_eval(*pred, &v, c) {
+                            return None;
+                        }
+                    }
+                    LAtom::Var(name) => {
+                        match assoc(name, &b) {
+                            Some(bound) => {
+                                if !pred_eval(*pred, &v, &bound.clone()) {
+                                    return None;
+                                }
+                            }
+                            None => {
+                                if matches!(pred, Pred::Eq) {
+                                    b = acons(name.clone(), v, b);
+                                } else if !lenient_unbound {
+                                    // Predicate on a variable this element
+                                    // does not bind: at join time the binding
+                                    // must exist (the compiled engine rejects
+                                    // the program otherwise), so fail.
+                                    return None;
+                                }
+                                // Alpha check: defer to the join.
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(b)
+}
+
+impl LispMatcher {
+    fn run_agenda(&mut self) {
+        while let Some(task) = self.agenda.pop() {
+            self.stats.activations += 1;
+            match task {
+                LTask::Left { prod, ce, sign, token } => {
+                    let negated = self.prods[prod].conds[ce].negated;
+                    if !negated {
+                        match sign {
+                            Sign::Plus => self.prods[prod].left[ce].push(token.clone()),
+                            Sign::Minus => {
+                                let tags: Vec<u64> =
+                                    token.wmes.iter().map(|w| w.timetag).collect();
+                                let mem = &mut self.prods[prod].left[ce];
+                                if let Some(i) =
+                                    mem.iter().position(|t| t.same_wmes(&tags))
+                                {
+                                    self.stats.same_tokens_left += (i + 1) as u64;
+                                    self.stats.same_searches_left += 1;
+                                    mem.swap_remove(i);
+                                }
+                            }
+                        }
+                        // Scan the full alpha memory of this CE (linear).
+                        let alpha: Vec<LWme> = self.prods[prod].alpha[ce].clone();
+                        self.stats.opp_tokens_left += alpha.len() as u64;
+                        if !alpha.is_empty() {
+                            self.stats.opp_nonempty_left += 1;
+                        }
+                        let cond = self.prods[prod].conds[ce].clone();
+                        for w in alpha {
+                            if let Some(b2) = match_ce(&w, &cond, &token.bindings, false) {
+                                let mut wmes = token.wmes.clone();
+                                wmes.push(w.orig.clone());
+                                self.emit(prod, ce, sign, LToken { wmes, bindings: b2, neg_count: 0 });
+                            }
+                        }
+                    } else {
+                        match sign {
+                            Sign::Plus => {
+                                let alpha: Vec<LWme> = self.prods[prod].alpha[ce].clone();
+                                self.stats.opp_tokens_left += alpha.len() as u64;
+                                if !alpha.is_empty() {
+                                    self.stats.opp_nonempty_left += 1;
+                                }
+                                let cond = self.prods[prod].conds[ce].clone();
+                                let n = alpha
+                                    .iter()
+                                    .filter(|w| match_ce(w, &cond, &token.bindings, false).is_some())
+                                    .count() as u32;
+                                let mut t = token.clone();
+                                t.neg_count = n;
+                                self.prods[prod].left[ce].push(t);
+                                if n == 0 {
+                                    self.emit(prod, ce, Sign::Plus, token);
+                                }
+                            }
+                            Sign::Minus => {
+                                let tags: Vec<u64> =
+                                    token.wmes.iter().map(|w| w.timetag).collect();
+                                let mem = &mut self.prods[prod].left[ce];
+                                if let Some(i) = mem.iter().position(|t| t.same_wmes(&tags)) {
+                                    self.stats.same_tokens_left += (i + 1) as u64;
+                                    self.stats.same_searches_left += 1;
+                                    let old = mem.swap_remove(i);
+                                    if old.neg_count == 0 {
+                                        self.emit(prod, ce, Sign::Minus, token);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                LTask::Right { prod, ce, sign, wme } => {
+                    let negated = self.prods[prod].conds[ce].negated;
+                    match sign {
+                        Sign::Plus => self.prods[prod].alpha[ce].push(wme.clone()),
+                        Sign::Minus => {
+                            let mem = &mut self.prods[prod].alpha[ce];
+                            if let Some(i) =
+                                mem.iter().position(|w| w.orig.timetag == wme.orig.timetag)
+                            {
+                                self.stats.same_tokens_right += (i + 1) as u64;
+                                self.stats.same_searches_right += 1;
+                                mem.swap_remove(i);
+                            }
+                        }
+                    }
+                    if ce == 0 {
+                        // CE 0's matches become 1-wme tokens for the next
+                        // element (or the terminal).
+                        let cond = self.prods[prod].conds[0].clone();
+                        if let Some(b) = match_ce(&wme, &cond, &LispVal::Nil, false) {
+                            self.emit(
+                                prod,
+                                0,
+                                sign,
+                                LToken { wmes: vec![wme.orig.clone()], bindings: b, neg_count: 0 },
+                            );
+                        }
+                        continue;
+                    }
+                    let cond = self.prods[prod].conds[ce].clone();
+                    let tokens: Vec<LToken> = self.prods[prod].left[ce].clone();
+                    self.stats.opp_tokens_right += tokens.len() as u64;
+                    if !tokens.is_empty() {
+                        self.stats.opp_nonempty_right += 1;
+                    }
+                    if !negated {
+                        for t in tokens {
+                            if let Some(b2) = match_ce(&wme, &cond, &t.bindings, false) {
+                                let mut wmes = t.wmes.clone();
+                                wmes.push(wme.orig.clone());
+                                self.emit(prod, ce, sign, LToken { wmes, bindings: b2, neg_count: 0 });
+                            }
+                        }
+                    } else {
+                        // Adjust stored counters in place.
+                        let mut crossed = Vec::new();
+                        for t in self.prods[prod].left[ce].iter_mut() {
+                            if match_ce(&wme, &cond, &t.bindings, false).is_some() {
+                                match sign {
+                                    Sign::Plus => {
+                                        t.neg_count += 1;
+                                        if t.neg_count == 1 {
+                                            crossed.push((t.clone(), Sign::Minus));
+                                        }
+                                    }
+                                    Sign::Minus => {
+                                        t.neg_count = t.neg_count.saturating_sub(1);
+                                        if t.neg_count == 0 {
+                                            crossed.push((t.clone(), Sign::Plus));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        for (t, s) in crossed {
+                            self.emit(prod, ce, s, t);
+                        }
+                    }
+                }
+                LTask::Terminal { prod, sign, token } => {
+                    self.stats.cs_changes += 1;
+                    let inst =
+                        Instantiation { prod: ProdId(prod as u32), wmes: token.wmes.clone() };
+                    self.out.push(match sign {
+                        Sign::Plus => CsChange::Insert(inst),
+                        Sign::Minus => CsChange::Remove(inst),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sends a token past CE `ce` of `prod`: to the next join or terminal.
+    fn emit(&mut self, prod: usize, ce: usize, sign: Sign, token: LToken) {
+        let next = ce + 1;
+        if next >= self.prods[prod].conds.len() {
+            self.agenda.push(LTask::Terminal { prod, sign, token });
+        } else {
+            self.agenda.push(LTask::Left { prod, ce: next, sign, token });
+        }
+    }
+}
+
+/// Conversion context: per-class attribute name lists, captured at build.
+pub struct LispConverter {
+    /// class symbol id → attr-name lisp strings in field order.
+    names: std::collections::HashMap<u32, Vec<LispVal>>,
+    /// symbol id → name (for values).
+    sym_names: Vec<LispVal>,
+    class_names: std::collections::HashMap<u32, LispVal>,
+}
+
+impl LispConverter {
+    pub fn new(prog: &Program) -> LispConverter {
+        let mut names = std::collections::HashMap::new();
+        let mut class_names = std::collections::HashMap::new();
+        for (class, info) in prog.classes.classes() {
+            names.insert(
+                class.0,
+                info.attrs.iter().map(|a| LispVal::sym(prog.symbols.name(*a))).collect(),
+            );
+            class_names.insert(class.0, LispVal::sym(prog.symbols.name(*class)));
+        }
+        let sym_names = (0..prog.symbols.len() as u32)
+            .map(|i| LispVal::sym(prog.symbols.name(ops5::SymbolId(i))))
+            .collect();
+        LispConverter { names, sym_names, class_names }
+    }
+
+    fn value(&self, v: Value) -> LispVal {
+        match v {
+            Value::Sym(s) => self
+                .sym_names
+                .get(s.index())
+                .cloned()
+                .unwrap_or_else(|| LispVal::sym(&format!("sym{}", s.0))),
+            Value::Int(i) => LispVal::Int(i),
+            Value::Float(f) => LispVal::Float(f),
+        }
+    }
+
+    fn wme(&self, w: &WmeRef) -> LWme {
+        let mut alist = LispVal::Nil;
+        if let Some(attrs) = self.names.get(&w.class.0) {
+            for (i, name) in attrs.iter().enumerate() {
+                let v = w.fields.get(i).map(|v| self.value(*v)).unwrap_or(LispVal::Nil);
+                alist = acons(name.clone(), v, alist);
+            }
+        }
+        let class = self
+            .class_names
+            .get(&w.class.0)
+            .cloned()
+            .unwrap_or(LispVal::Nil);
+        LWme { orig: w.clone(), alist, class }
+    }
+}
+
+/// The complete lisp-style matcher: converter + interpreted network.
+pub struct LispEngineMatcher {
+    conv: LispConverter,
+    inner: LispMatcher,
+}
+
+impl LispEngineMatcher {
+    pub fn new(prog: &Program) -> LispEngineMatcher {
+        LispEngineMatcher { conv: LispConverter::new(prog), inner: LispMatcher::new(prog) }
+    }
+
+    pub fn boxed(prog: &Program) -> Box<dyn Matcher> {
+        Box::new(LispEngineMatcher::new(prog))
+    }
+}
+
+impl Matcher for LispEngineMatcher {
+    fn submit(&mut self, change: WmeChange) {
+        self.inner.stats.wme_changes += 1;
+        self.inner.stats.alpha_activations += 1;
+        let lw = self.conv.wme(&change.wme);
+        // Interpreted "constant-test network": check every CE of every
+        // production by name — class test first, then the full interpreted
+        // element match as a filter for alpha membership.
+        for p in 0..self.inner.prods.len() {
+            for ce in 0..self.inner.prods[p].conds.len() {
+                let cond = &self.inner.prods[p].conds[ce];
+                if !lisp_equal(&cond.class, &lw.class) {
+                    continue;
+                }
+                if match_ce(&lw, cond, &LispVal::Nil, true).is_none() {
+                    continue;
+                }
+                self.inner.agenda.push(LTask::Right {
+                    prod: p,
+                    ce,
+                    sign: change.sign,
+                    wme: lw.clone(),
+                });
+            }
+        }
+        self.inner.run_agenda();
+    }
+
+    fn quiesce(&mut self) -> Vec<CsChange> {
+        std::mem::take(&mut self.inner.out)
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.inner.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.stats = MatchStats::default();
+    }
+
+    fn name(&self) -> &'static str {
+        "lispsim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn changes(
+        prog: &mut Program,
+        specs: &[(&str, Vec<Value>, u64, Sign)],
+    ) -> Vec<WmeChange> {
+        specs
+            .iter()
+            .map(|(class, vals, tag, sign)| {
+                let c = prog.symbols.intern(class);
+                WmeChange { sign: *sign, wme: ops5::Wme::new(c, vals.clone(), *tag) }
+            })
+            .collect()
+    }
+
+    fn final_set(m: &mut dyn Matcher, cs: Vec<WmeChange>) -> Vec<(ProdId, Vec<u64>)> {
+        for c in cs {
+            m.submit(c);
+        }
+        let mut set = std::collections::BTreeSet::new();
+        for c in m.quiesce() {
+            match c {
+                CsChange::Insert(i) => {
+                    set.insert(i.key());
+                }
+                CsChange::Remove(i) => {
+                    set.remove(&i.key());
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn join_fires_like_compiled() {
+        let mut prog =
+            Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
+        let cs = changes(
+            &mut prog,
+            &[
+                ("a", vec![Value::Int(1)], 1, Sign::Plus),
+                ("b", vec![Value::Int(1)], 2, Sign::Plus),
+                ("b", vec![Value::Int(9)], 3, Sign::Plus),
+            ],
+        );
+        let mut m = LispEngineMatcher::new(&prog);
+        let out = final_set(&mut m, cs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, vec![1, 2]);
+    }
+
+    #[test]
+    fn negated_ce() {
+        let mut prog =
+            Program::from_source("(p q (a ^x <v>) - (b ^y <v>) --> (halt))").unwrap();
+        let cs = changes(
+            &mut prog,
+            &[
+                ("a", vec![Value::Int(1)], 1, Sign::Plus),
+                ("a", vec![Value::Int(2)], 2, Sign::Plus),
+                ("b", vec![Value::Int(1)], 3, Sign::Plus),
+            ],
+        );
+        let mut m = LispEngineMatcher::new(&prog);
+        let out = final_set(&mut m, cs);
+        assert_eq!(out.len(), 1, "only the unblocked value fires");
+        assert_eq!(out[0].1, vec![2]);
+    }
+
+    #[test]
+    fn deletes_retract() {
+        let mut prog =
+            Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
+        let cs = changes(
+            &mut prog,
+            &[
+                ("a", vec![Value::Int(1)], 1, Sign::Plus),
+                ("b", vec![Value::Int(1)], 2, Sign::Plus),
+                ("a", vec![Value::Int(1)], 1, Sign::Minus),
+            ],
+        );
+        let mut m = LispEngineMatcher::new(&prog);
+        let out = final_set(&mut m, cs);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn intra_element_variable_consistency() {
+        let mut prog = Program::from_source("(p q (a ^x <v> ^y <v>) --> (halt))").unwrap();
+        let cs = changes(
+            &mut prog,
+            &[
+                ("a", vec![Value::Int(1), Value::Int(1)], 1, Sign::Plus),
+                ("a", vec![Value::Int(1), Value::Int(2)], 2, Sign::Plus),
+            ],
+        );
+        let mut m = LispEngineMatcher::new(&prog);
+        let out = final_set(&mut m, cs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, vec![1]);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut prog =
+            Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
+        let cs = changes(
+            &mut prog,
+            &[
+                ("a", vec![Value::Int(1)], 1, Sign::Plus),
+                ("b", vec![Value::Int(1)], 2, Sign::Plus),
+            ],
+        );
+        let mut m = LispEngineMatcher::new(&prog);
+        final_set(&mut m, cs);
+        let s = m.stats();
+        assert_eq!(s.wme_changes, 2);
+        assert!(s.activations > 0);
+        assert_eq!(s.cs_changes, 1);
+    }
+}

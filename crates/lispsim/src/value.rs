@@ -1,0 +1,122 @@
+//! Boxed lisp values: cons cells, deep equality, association lists.
+
+use std::sync::Arc;
+
+/// A boxed, dynamically-tagged lisp value.
+#[derive(Debug, Clone)]
+pub enum LispVal {
+    Nil,
+    Sym(Arc<str>),
+    Int(i64),
+    Float(f64),
+    Cons(Arc<LispVal>, Arc<LispVal>),
+}
+
+impl LispVal {
+    pub fn sym(s: &str) -> LispVal {
+        LispVal::Sym(Arc::from(s))
+    }
+
+    pub fn cons(car: LispVal, cdr: LispVal) -> LispVal {
+        LispVal::Cons(Arc::new(car), Arc::new(cdr))
+    }
+
+    /// Builds a proper list.
+    pub fn list(items: impl IntoIterator<Item = LispVal>) -> LispVal {
+        let items: Vec<LispVal> = items.into_iter().collect();
+        let mut out = LispVal::Nil;
+        for v in items.into_iter().rev() {
+            out = LispVal::cons(v, out);
+        }
+        out
+    }
+
+    pub fn is_nil(&self) -> bool {
+        matches!(self, LispVal::Nil)
+    }
+
+    /// Numeric view for predicate evaluation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            LispVal::Int(i) => Some(*i as f64),
+            LispVal::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, LispVal::Int(_) | LispVal::Float(_))
+    }
+}
+
+/// Deep `equal`: the tag-dispatched recursive comparison every lisp test
+/// pays for. Symbols compare by name (string walk), numbers by exact
+/// variant, conses recursively.
+pub fn lisp_equal(a: &LispVal, b: &LispVal) -> bool {
+    match (a, b) {
+        (LispVal::Nil, LispVal::Nil) => true,
+        (LispVal::Sym(x), LispVal::Sym(y)) => x.as_ref() == y.as_ref(),
+        (LispVal::Int(x), LispVal::Int(y)) => x == y,
+        (LispVal::Float(x), LispVal::Float(y)) => x.to_bits() == y.to_bits(),
+        (LispVal::Cons(a1, d1), LispVal::Cons(a2, d2)) => {
+            lisp_equal(a1, a2) && lisp_equal(d1, d2)
+        }
+        _ => false,
+    }
+}
+
+/// `assoc`: linear search of an association list `((key . val) ...)`,
+/// comparing keys with deep equality. Returns the value.
+pub fn assoc<'a>(key: &LispVal, mut list: &'a LispVal) -> Option<&'a LispVal> {
+    while let LispVal::Cons(pair, rest) = list {
+        if let LispVal::Cons(k, v) = pair.as_ref() {
+            if lisp_equal(k, key) {
+                return Some(v);
+            }
+        }
+        list = rest;
+    }
+    None
+}
+
+/// Prepends a binding to an association list (re-consing, as the lisp
+/// matcher does on every variable extension).
+pub fn acons(key: LispVal, val: LispVal, list: LispVal) -> LispVal {
+    LispVal::cons(LispVal::cons(key, val), list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_equality() {
+        let a = LispVal::list([LispVal::sym("a"), LispVal::Int(1)]);
+        let b = LispVal::list([LispVal::sym("a"), LispVal::Int(1)]);
+        let c = LispVal::list([LispVal::sym("a"), LispVal::Int(2)]);
+        assert!(lisp_equal(&a, &b));
+        assert!(!lisp_equal(&a, &c));
+        assert!(!lisp_equal(&LispVal::Int(1), &LispVal::Float(1.0)));
+    }
+
+    #[test]
+    fn assoc_finds_and_misses() {
+        let l = acons(
+            LispVal::sym("color"),
+            LispVal::sym("red"),
+            acons(LispVal::sym("size"), LispVal::Int(3), LispVal::Nil),
+        );
+        assert!(lisp_equal(
+            assoc(&LispVal::sym("size"), &l).unwrap(),
+            &LispVal::Int(3)
+        ));
+        assert!(assoc(&LispVal::sym("weight"), &l).is_none());
+    }
+
+    #[test]
+    fn shadowing_prepend_wins() {
+        let l = acons(LispVal::sym("x"), LispVal::Int(1), LispVal::Nil);
+        let l2 = acons(LispVal::sym("x"), LispVal::Int(2), l);
+        assert!(lisp_equal(assoc(&LispVal::sym("x"), &l2).unwrap(), &LispVal::Int(2)));
+    }
+}

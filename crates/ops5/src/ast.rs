@@ -1,0 +1,184 @@
+//! Production AST.
+//!
+//! This is the *semantic* form produced by the parser: attribute names are
+//! already resolved to field indices against the program's class table, so
+//! downstream network compilers never touch strings.
+
+use crate::symbol::SymbolId;
+use crate::value::{ArithOp, Pred, Value};
+
+/// One test atom on an attribute: a constant or a variable reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestAtom {
+    Const(Value),
+    /// Variable by name; binding/occurrence analysis happens at network
+    /// compile time.
+    Var(SymbolId),
+}
+
+/// A single predicate test on an attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueTest {
+    pub pred: Pred,
+    pub atom: TestAtom,
+}
+
+/// Everything tested on one attribute of a condition element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrTest {
+    /// A (possibly singleton) conjunction `{ t1 t2 ... }`.
+    Conj(Vec<ValueTest>),
+    /// Disjunction of constants `<< v1 v2 ... >>`.
+    Disj(Vec<Value>),
+}
+
+/// A condition element: class, negation marker, and per-field tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondElem {
+    pub class: SymbolId,
+    pub negated: bool,
+    /// (field index, test) pairs, in source order.
+    pub tests: Vec<(u16, AttrTest)>,
+}
+
+/// RHS expression tree (`compute` bodies and plain values).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RhsExpr {
+    Const(Value),
+    Var(SymbolId),
+    Arith(ArithOp, Box<RhsExpr>, Box<RhsExpr>),
+}
+
+/// A plain RHS value (no arithmetic); used by `write`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RhsValue {
+    Const(Value),
+    Var(SymbolId),
+}
+
+/// One item of a `write` action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteItem {
+    Value(RhsValue),
+    /// `(crlf)`
+    Crlf,
+}
+
+/// An RHS action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    Make {
+        class: SymbolId,
+        sets: Vec<(u16, RhsExpr)>,
+    },
+    /// `ce` is the 1-based positive-CE index from the source, already
+    /// validated to refer to a non-negated condition element.
+    Modify {
+        ce: u16,
+        sets: Vec<(u16, RhsExpr)>,
+    },
+    Remove {
+        ce: u16,
+    },
+    Write {
+        items: Vec<WriteItem>,
+    },
+    /// `(bind <x> expr)`; with no expr, binds a gensym (OPS5 genatom).
+    Bind {
+        var: SymbolId,
+        expr: Option<RhsExpr>,
+    },
+    Halt,
+}
+
+/// A complete production.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Production {
+    pub name: SymbolId,
+    pub lhs: Vec<CondElem>,
+    pub rhs: Vec<Action>,
+}
+
+impl Production {
+    /// Number of positive (non-negated) condition elements; the length of an
+    /// instantiation token for this production.
+    pub fn positive_ces(&self) -> usize {
+        self.lhs.iter().filter(|ce| !ce.negated).count()
+    }
+
+    /// Maps a 1-based *source CE index* (counting only positive CEs, the way
+    /// `modify 2` counts) to the index within the instantiation's WME list.
+    /// Identity in our representation, but kept as a named helper so call
+    /// sites document intent.
+    pub fn positive_index(&self, source_idx: u16) -> Option<usize> {
+        let idx = source_idx as usize;
+        if idx >= 1 && idx <= self.positive_ces() {
+            Some(idx - 1)
+        } else {
+            None
+        }
+    }
+
+    /// OPS5 specificity: the number of tests in the LHS (used by conflict
+    /// resolution for tie-breaking).
+    pub fn specificity(&self) -> u32 {
+        let mut n = 0u32;
+        for ce in &self.lhs {
+            n += 1; // class test
+            for (_, t) in &ce.tests {
+                n += match t {
+                    AttrTest::Conj(ts) => ts.len() as u32,
+                    AttrTest::Disj(_) => 1,
+                };
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ce(negated: bool) -> CondElem {
+        CondElem { class: SymbolId(1), negated, tests: vec![] }
+    }
+
+    #[test]
+    fn positive_ce_counting() {
+        let p = Production {
+            name: SymbolId(9),
+            lhs: vec![ce(false), ce(true), ce(false)],
+            rhs: vec![],
+        };
+        assert_eq!(p.positive_ces(), 2);
+        assert_eq!(p.positive_index(1), Some(0));
+        assert_eq!(p.positive_index(2), Some(1));
+        assert_eq!(p.positive_index(3), None);
+        assert_eq!(p.positive_index(0), None);
+    }
+
+    #[test]
+    fn specificity_counts_tests() {
+        let p = Production {
+            name: SymbolId(9),
+            lhs: vec![CondElem {
+                class: SymbolId(1),
+                negated: false,
+                tests: vec![
+                    (
+                        0,
+                        AttrTest::Conj(vec![
+                            ValueTest { pred: Pred::Gt, atom: TestAtom::Const(Value::Int(2)) },
+                            ValueTest { pred: Pred::Lt, atom: TestAtom::Const(Value::Int(5)) },
+                        ]),
+                    ),
+                    (1, AttrTest::Disj(vec![Value::Int(1), Value::Int(2)])),
+                ],
+            }],
+            rhs: vec![],
+        };
+        // 1 class + 2 conj + 1 disj
+        assert_eq!(p.specificity(), 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error types for parsing and program construction.
+
+use std::fmt;
+
+/// Any error raised by the ops5 crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ops5Error {
+    /// Lexical error at a source offset (line, column).
+    Lex {
+        line: u32,
+        col: u32,
+        msg: String,
+    },
+    /// Parse error at a source offset.
+    Parse {
+        line: u32,
+        col: u32,
+        msg: String,
+    },
+    /// Semantic error (unknown attribute, unbound variable, bad CE index...).
+    Semantic(String),
+    /// Runtime error raised during RHS evaluation.
+    Runtime(String),
+}
+
+impl fmt::Display for Ops5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ops5Error::Lex { line, col, msg } => {
+                write!(f, "lex error at {line}:{col}: {msg}")
+            }
+            Ops5Error::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            Ops5Error::Semantic(m) => write!(f, "semantic error: {m}"),
+            Ops5Error::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Ops5Error {}
+
+pub type Result<T> = std::result::Result<T, Ops5Error>;

@@ -1,0 +1,478 @@
+//! Lexer for OPS5 source text.
+//!
+//! OPS5 is a Lisp-family surface syntax with a few twists that make the
+//! lexer stateful-free but fiddly:
+//!
+//! * `<x>` (no internal whitespace) is a *variable*; a bare `<` followed by
+//!   whitespace is the less-than predicate; `<=`, `<>`, `<=>`, `<<`, `>>`,
+//!   `>=` are multi-character tokens.
+//! * `-` before an open parenthesis in an LHS is condition-element negation;
+//!   before a digit it may begin a negative number; otherwise it is a symbol
+//!   (the RHS `compute` subtraction operator). The lexer emits a single
+//!   `Minus` token and lets the parser decide.
+//! * `;` starts a comment to end of line.
+
+use crate::error::{Ops5Error, Result};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    /// `<<`
+    LDisj,
+    /// `>>`
+    RDisj,
+    /// `-->`
+    Arrow,
+    /// `-` (negation marker or subtraction; parser disambiguates)
+    Minus,
+    /// `^attr`
+    Attr(String),
+    /// `<name>`
+    Var(String),
+    /// `=`, `<>`, `<`, `<=`, `>`, `>=`, `<=>`
+    Pred(PredTok),
+    Sym(String),
+    Int(i64),
+    Float(f64),
+    Eof,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredTok {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    SameType,
+}
+
+/// True for characters that may appear in a bare OPS5 symbol.
+fn is_sym_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '-' | '_' | '*' | '+' | '/' | '.' | '?' | '!' | ':' | '&' | '$' | '%' | '\\')
+}
+
+/// Tokenizes an entire source string.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut it = src.chars().peekable();
+
+    while let Some(&c) = it.peek() {
+        let (tl, tc) = (line, col);
+        let advance = |it: &mut std::iter::Peekable<std::str::Chars>, line: &mut u32, col: &mut u32| {
+            let c = it.next().unwrap();
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            c
+        };
+
+        match c {
+            c if c.is_whitespace() => {
+                advance(&mut it, &mut line, &mut col);
+            }
+            ';' => {
+                while let Some(&c) = it.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    advance(&mut it, &mut line, &mut col);
+                }
+            }
+            '(' => {
+                advance(&mut it, &mut line, &mut col);
+                toks.push(Token { kind: TokKind::LParen, line: tl, col: tc });
+            }
+            ')' => {
+                advance(&mut it, &mut line, &mut col);
+                toks.push(Token { kind: TokKind::RParen, line: tl, col: tc });
+            }
+            '{' => {
+                advance(&mut it, &mut line, &mut col);
+                toks.push(Token { kind: TokKind::LBrace, line: tl, col: tc });
+            }
+            '}' => {
+                advance(&mut it, &mut line, &mut col);
+                toks.push(Token { kind: TokKind::RBrace, line: tl, col: tc });
+            }
+            '^' => {
+                advance(&mut it, &mut line, &mut col);
+                let mut s = String::new();
+                while let Some(&c) = it.peek() {
+                    if is_sym_char(c) && c != '\\' {
+                        s.push(advance(&mut it, &mut line, &mut col));
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(Ops5Error::Lex {
+                        line: tl,
+                        col: tc,
+                        msg: "expected attribute name after ^".into(),
+                    });
+                }
+                toks.push(Token { kind: TokKind::Attr(s), line: tl, col: tc });
+            }
+            '=' => {
+                advance(&mut it, &mut line, &mut col);
+                toks.push(Token { kind: TokKind::Pred(PredTok::Eq), line: tl, col: tc });
+            }
+            '>' => {
+                advance(&mut it, &mut line, &mut col);
+                if it.peek() == Some(&'>') {
+                    advance(&mut it, &mut line, &mut col);
+                    toks.push(Token { kind: TokKind::RDisj, line: tl, col: tc });
+                } else if it.peek() == Some(&'=') {
+                    advance(&mut it, &mut line, &mut col);
+                    toks.push(Token { kind: TokKind::Pred(PredTok::Ge), line: tl, col: tc });
+                } else {
+                    toks.push(Token { kind: TokKind::Pred(PredTok::Gt), line: tl, col: tc });
+                }
+            }
+            '<' => {
+                advance(&mut it, &mut line, &mut col);
+                match it.peek() {
+                    Some(&'<') => {
+                        advance(&mut it, &mut line, &mut col);
+                        toks.push(Token { kind: TokKind::LDisj, line: tl, col: tc });
+                    }
+                    Some(&'>') => {
+                        advance(&mut it, &mut line, &mut col);
+                        toks.push(Token { kind: TokKind::Pred(PredTok::Ne), line: tl, col: tc });
+                    }
+                    Some(&'=') => {
+                        advance(&mut it, &mut line, &mut col);
+                        if it.peek() == Some(&'>') {
+                            advance(&mut it, &mut line, &mut col);
+                            toks.push(Token {
+                                kind: TokKind::Pred(PredTok::SameType),
+                                line: tl,
+                                col: tc,
+                            });
+                        } else {
+                            toks.push(Token { kind: TokKind::Pred(PredTok::Le), line: tl, col: tc });
+                        }
+                    }
+                    Some(&c2) if c2.is_alphanumeric() || c2 == '_' => {
+                        // A variable: <name>
+                        let mut s = String::new();
+                        let mut closed = false;
+                        while let Some(&c3) = it.peek() {
+                            if c3 == '>' {
+                                advance(&mut it, &mut line, &mut col);
+                                closed = true;
+                                break;
+                            }
+                            if c3.is_whitespace() || c3 == '(' || c3 == ')' {
+                                break;
+                            }
+                            s.push(advance(&mut it, &mut line, &mut col));
+                        }
+                        if !closed {
+                            return Err(Ops5Error::Lex {
+                                line: tl,
+                                col: tc,
+                                msg: format!("unterminated variable <{s}"),
+                            });
+                        }
+                        toks.push(Token { kind: TokKind::Var(s), line: tl, col: tc });
+                    }
+                    _ => {
+                        toks.push(Token { kind: TokKind::Pred(PredTok::Lt), line: tl, col: tc });
+                    }
+                }
+            }
+            '-' => {
+                advance(&mut it, &mut line, &mut col);
+                // `-->` arrow, `-5` number, otherwise Minus.
+                if it.peek() == Some(&'-') {
+                    let mut clone = it.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'>') {
+                        advance(&mut it, &mut line, &mut col);
+                        advance(&mut it, &mut line, &mut col);
+                        toks.push(Token { kind: TokKind::Arrow, line: tl, col: tc });
+                        continue;
+                    }
+                }
+                if it.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    let kind = lex_number(&mut it, &mut line, &mut col, true, tl, tc)?;
+                    toks.push(Token { kind, line: tl, col: tc });
+                } else {
+                    toks.push(Token { kind: TokKind::Minus, line: tl, col: tc });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let kind = lex_number(&mut it, &mut line, &mut col, false, tl, tc)?;
+                toks.push(Token { kind, line: tl, col: tc });
+            }
+            c if is_sym_char(c) => {
+                let mut s = String::new();
+                while let Some(&c2) = it.peek() {
+                    if is_sym_char(c2) {
+                        s.push(advance(&mut it, &mut line, &mut col));
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token { kind: TokKind::Sym(s), line: tl, col: tc });
+            }
+            '|' => {
+                // |quoted symbol| — may contain anything but `|`.
+                advance(&mut it, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    match it.peek() {
+                        Some(&'|') => {
+                            advance(&mut it, &mut line, &mut col);
+                            break;
+                        }
+                        Some(_) => s.push(advance(&mut it, &mut line, &mut col)),
+                        None => {
+                            return Err(Ops5Error::Lex {
+                                line: tl,
+                                col: tc,
+                                msg: "unterminated |symbol|".into(),
+                            })
+                        }
+                    }
+                }
+                toks.push(Token { kind: TokKind::Sym(s), line: tl, col: tc });
+            }
+            other => {
+                return Err(Ops5Error::Lex {
+                    line: tl,
+                    col: tc,
+                    msg: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    toks.push(Token { kind: TokKind::Eof, line, col });
+    Ok(toks)
+}
+
+fn lex_number(
+    it: &mut std::iter::Peekable<std::str::Chars>,
+    _line: &mut u32,
+    col: &mut u32,
+    neg: bool,
+    tl: u32,
+    tc: u32,
+) -> Result<TokKind> {
+    let mut s = String::new();
+    if neg {
+        s.push('-');
+    }
+    let mut is_float = false;
+    while let Some(&c) = it.peek() {
+        if c.is_ascii_digit() {
+            s.push(c);
+        } else if c == '.' && !is_float {
+            // Only a float if a digit follows; `3.` is the symbol-ish edge we
+            // reject for simplicity.
+            is_float = true;
+            s.push(c);
+        } else if (c == 'e' || c == 'E') && is_float {
+            s.push(c);
+        } else {
+            break;
+        }
+        it.next();
+        *col += 1;
+    }
+    if is_float {
+        s.parse::<f64>()
+            .map(TokKind::Float)
+            .map_err(|e| Ops5Error::Lex { line: tl, col: tc, msg: format!("bad float {s}: {e}") })
+    } else {
+        s.parse::<i64>()
+            .map(TokKind::Int)
+            .map_err(|e| Ops5Error::Lex { line: tl, col: tc, msg: format!("bad int {s}: {e}") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_production_tokens() {
+        let ks = kinds("(p find (goal ^type find-block) --> (halt))");
+        assert_eq!(ks[0], TokKind::LParen);
+        assert_eq!(ks[1], TokKind::Sym("p".into()));
+        assert_eq!(ks[2], TokKind::Sym("find".into()));
+        assert!(ks.contains(&TokKind::Attr("type".into())));
+        assert!(ks.contains(&TokKind::Arrow));
+        assert!(ks.contains(&TokKind::Sym("find-block".into())));
+    }
+
+    #[test]
+    fn variables_vs_predicates() {
+        let ks = kinds("<x> < <= <> <=> >= > << >>");
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Var("x".into()),
+                TokKind::Pred(PredTok::Lt),
+                TokKind::Pred(PredTok::Le),
+                TokKind::Pred(PredTok::Ne),
+                TokKind::Pred(PredTok::SameType),
+                TokKind::Pred(PredTok::Ge),
+                TokKind::Pred(PredTok::Gt),
+                TokKind::LDisj,
+                TokKind::RDisj,
+                TokKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("12 -4 3.5 -0.25"),
+            vec![
+                TokKind::Int(12),
+                TokKind::Int(-4),
+                TokKind::Float(3.5),
+                TokKind::Float(-0.25),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_and_arrow() {
+        assert_eq!(
+            kinds("- --> -"),
+            vec![TokKind::Minus, TokKind::Arrow, TokKind::Minus, TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("foo ; a comment\nbar"),
+            vec![TokKind::Sym("foo".into()), TokKind::Sym("bar".into()), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn line_tracking() {
+        let ts = lex("a\nb").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn braces_for_conjunction() {
+        assert_eq!(
+            kinds("{ > 2 < 5 }"),
+            vec![
+                TokKind::LBrace,
+                TokKind::Pred(PredTok::Gt),
+                TokKind::Int(2),
+                TokKind::Pred(PredTok::Lt),
+                TokKind::Int(5),
+                TokKind::RBrace,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_symbol() {
+        assert_eq!(
+            kinds("|hello world|"),
+            vec![TokKind::Sym("hello world".into()), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_var_is_error() {
+        assert!(lex("<oops").is_err());
+    }
+
+    #[test]
+    fn symbols_with_hyphens() {
+        assert_eq!(
+            kinds("find-colored-block"),
+            vec![TokKind::Sym("find-colored-block".into()), TokKind::Eof]
+        );
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+        /// The lexer must never panic: any input either tokenizes or
+        /// reports a positioned error.
+        #[test]
+        fn lexer_total(src in "\\PC*") {
+            let _ = lex(&src);
+        }
+
+        /// Lexing the rendering of arbitrary symbol-ish words roundtrips.
+        #[test]
+        fn symbols_roundtrip(words in proptest::collection::vec("[a-z][a-z0-9-]{0,10}", 1..8)) {
+            let src = words.join(" ");
+            let toks = lex(&src).unwrap();
+            let syms: Vec<String> = toks
+                .into_iter()
+                .filter_map(|t| match t.kind {
+                    TokKind::Sym(s) => Some(s),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(syms, words);
+        }
+    }
+}
+
+#[cfg(test)]
+mod parser_fuzz {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+        /// The parser must never panic either.
+        #[test]
+        fn parser_total(src in "\\PC*") {
+            let _ = crate::program::Program::from_source(&src);
+        }
+
+        /// Parenthesis soup specifically.
+        #[test]
+        fn paren_soup(src in "[()p\\-<>=^ a-z0-9{}]*") {
+            let _ = crate::program::Program::from_source(&src);
+        }
+    }
+}

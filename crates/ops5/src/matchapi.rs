@@ -1,0 +1,247 @@
+//! The matcher API: the contract between the recognize-act interpreter (the
+//! paper's *control process*) and any match engine.
+//!
+//! Four engines implement this in the workspace: the sequential Rete with
+//! list memories (*vs1*), the sequential Rete with global hash-table
+//! memories (*vs2*), the interpretive `lispsim` baseline, and the parallel
+//! PSM-E matcher. The interpreter pipelines WME changes into the matcher as
+//! RHS evaluation computes them (`submit`), then blocks for quiescence
+//! (`quiesce`) before conflict resolution — exactly the structure of §3.1 of
+//! the paper.
+
+use crate::program::ProdId;
+use crate::wme::WmeRef;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Add or delete, the paper's `+`/`−` token tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    Plus,
+    Minus,
+}
+
+impl Sign {
+    #[inline]
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sign::Plus => write!(f, "+"),
+            Sign::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// One working-memory change flowing into the match network.
+#[derive(Debug, Clone)]
+pub struct WmeChange {
+    pub sign: Sign,
+    pub wme: WmeRef,
+}
+
+/// A satisfied production instance: the production plus the WMEs matched by
+/// its positive condition elements, in CE order.
+#[derive(Debug, Clone)]
+pub struct Instantiation {
+    pub prod: ProdId,
+    pub wmes: Vec<WmeRef>,
+}
+
+impl Instantiation {
+    /// Identity key: production + matched timetags. Two instantiations are
+    /// the same iff they fire the same rule on the same elements.
+    pub fn key(&self) -> (ProdId, Vec<u64>) {
+        (self.prod, self.wmes.iter().map(|w| w.timetag).collect())
+    }
+}
+
+impl PartialEq for Instantiation {
+    fn eq(&self, other: &Self) -> bool {
+        self.prod == other.prod
+            && self.wmes.len() == other.wmes.len()
+            && self
+                .wmes
+                .iter()
+                .zip(&other.wmes)
+                .all(|(a, b)| a.timetag == b.timetag)
+    }
+}
+impl Eq for Instantiation {}
+
+/// A conflict-set delta emitted by the match phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsChange {
+    Insert(Instantiation),
+    Remove(Instantiation),
+}
+
+/// Match-phase statistics, the raw material for Tables 4-1, 4-2, 4-3 and the
+/// task-length analysis in §5.
+///
+/// "Opposite memory" statistics are recorded per two-input-node activation
+/// *whose opposite memory is non-empty* (the paper's Table 4-2 counts only
+/// those); "same memory" statistics are recorded per delete request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// WME changes submitted to the network.
+    pub wme_changes: u64,
+    /// Total node activations processed (tasks, in the parallel framing).
+    pub activations: u64,
+    /// Constant-test node activations (grouped into tasks separately).
+    pub alpha_activations: u64,
+
+    /// Σ tokens examined in the opposite memory, for left activations.
+    pub opp_tokens_left: u64,
+    /// Number of left activations with a non-empty opposite memory.
+    pub opp_nonempty_left: u64,
+    /// Σ tokens examined in the opposite memory, for right activations.
+    pub opp_tokens_right: u64,
+    /// Number of right activations with a non-empty opposite memory.
+    pub opp_nonempty_right: u64,
+
+    /// Σ tokens examined in the same memory to locate a delete target, left.
+    pub same_tokens_left: u64,
+    /// Number of left delete searches.
+    pub same_searches_left: u64,
+    /// Σ tokens examined in the same memory to locate a delete target, right.
+    pub same_tokens_right: u64,
+    /// Number of right delete searches.
+    pub same_searches_right: u64,
+
+    /// Conflict-set insert/remove operations.
+    pub cs_changes: u64,
+    /// Conjugate token pairs annihilated (parallel matcher only).
+    pub conjugate_pairs: u64,
+}
+
+impl MatchStats {
+    /// Mean tokens examined in the opposite memory per left activation
+    /// (over activations with non-empty opposite memory), Table 4-2 style.
+    pub fn avg_opp_left(&self) -> f64 {
+        ratio(self.opp_tokens_left, self.opp_nonempty_left)
+    }
+    pub fn avg_opp_right(&self) -> f64 {
+        ratio(self.opp_tokens_right, self.opp_nonempty_right)
+    }
+    /// Mean tokens examined in the same memory per delete, Table 4-3 style.
+    pub fn avg_same_left(&self) -> f64 {
+        ratio(self.same_tokens_left, self.same_searches_left)
+    }
+    pub fn avg_same_right(&self) -> f64 {
+        ratio(self.same_tokens_right, self.same_searches_right)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Add for MatchStats {
+    type Output = MatchStats;
+    fn add(self, o: MatchStats) -> MatchStats {
+        MatchStats {
+            wme_changes: self.wme_changes + o.wme_changes,
+            activations: self.activations + o.activations,
+            alpha_activations: self.alpha_activations + o.alpha_activations,
+            opp_tokens_left: self.opp_tokens_left + o.opp_tokens_left,
+            opp_nonempty_left: self.opp_nonempty_left + o.opp_nonempty_left,
+            opp_tokens_right: self.opp_tokens_right + o.opp_tokens_right,
+            opp_nonempty_right: self.opp_nonempty_right + o.opp_nonempty_right,
+            same_tokens_left: self.same_tokens_left + o.same_tokens_left,
+            same_searches_left: self.same_searches_left + o.same_searches_left,
+            same_tokens_right: self.same_tokens_right + o.same_tokens_right,
+            same_searches_right: self.same_searches_right + o.same_searches_right,
+            cs_changes: self.cs_changes + o.cs_changes,
+            conjugate_pairs: self.conjugate_pairs + o.conjugate_pairs,
+        }
+    }
+}
+
+impl AddAssign for MatchStats {
+    fn add_assign(&mut self, o: MatchStats) {
+        *self = *self + o;
+    }
+}
+
+/// A match engine.
+///
+/// Lifecycle per recognize-act cycle: zero or more `submit` calls (the
+/// control process pushes changes as RHS evaluation produces them), then one
+/// `quiesce` that blocks until the match phase is complete and returns the
+/// conflict-set deltas. Engines may process eagerly inside `submit`
+/// (sequential engines do) or defer to worker threads (PSM-E does).
+pub trait Matcher: Send {
+    /// Feed one WME change into the network. May return immediately.
+    fn submit(&mut self, change: WmeChange);
+
+    /// Block until the match phase completes; drain and return the
+    /// conflict-set deltas produced since the previous `quiesce`.
+    fn quiesce(&mut self) -> Vec<CsChange>;
+
+    /// Cumulative statistics since construction or the last `reset_stats`.
+    fn stats(&self) -> MatchStats;
+
+    /// Zero the statistics counters.
+    fn reset_stats(&mut self);
+
+    /// Human-readable engine name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolId;
+    use crate::value::Value;
+    use crate::wme::Wme;
+
+    #[test]
+    fn sign_flip() {
+        assert_eq!(Sign::Plus.flip(), Sign::Minus);
+        assert_eq!(Sign::Minus.flip(), Sign::Plus);
+    }
+
+    #[test]
+    fn instantiation_identity_is_timetags() {
+        let w1 = Wme::new(SymbolId(1), vec![Value::Int(1)], 10);
+        let w1b = Wme::new(SymbolId(1), vec![Value::Int(1)], 10);
+        let w2 = Wme::new(SymbolId(1), vec![Value::Int(1)], 11);
+        let a = Instantiation { prod: ProdId(0), wmes: vec![w1] };
+        let b = Instantiation { prod: ProdId(0), wmes: vec![w1b] };
+        let c = Instantiation { prod: ProdId(0), wmes: vec![w2] };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stats_averages() {
+        let s = MatchStats {
+            opp_tokens_left: 30,
+            opp_nonempty_left: 10,
+            ..Default::default()
+        };
+        assert!((s.avg_opp_left() - 3.0).abs() < 1e-12);
+        assert_eq!(s.avg_opp_right(), 0.0);
+    }
+
+    #[test]
+    fn stats_add() {
+        let a = MatchStats { wme_changes: 1, activations: 2, ..Default::default() };
+        let b = MatchStats { wme_changes: 3, activations: 4, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.wme_changes, 4);
+        assert_eq!(c.activations, 6);
+    }
+}

@@ -1,0 +1,268 @@
+//! Runtime values and match predicates.
+
+use crate::symbol::{SymbolId, SymbolTable};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A working-memory value: a symbolic constant or a number.
+///
+/// Equality and hashing are *variant-exact*: an `Int` never equals a `Float`
+/// under `==`/`Hash` (so hash-table memories stay consistent), while the
+/// ordering predicates (`<`, `<=`, ...) compare `Int` and `Float`
+/// numerically, which is what OPS5 programs expect of arithmetic tests.
+#[derive(Clone, Copy, Debug)]
+pub enum Value {
+    Sym(SymbolId),
+    Int(i64),
+    Float(f64),
+}
+
+impl Value {
+    pub const NIL: Value = Value::Sym(SymbolId::NIL);
+
+    #[inline]
+    pub fn is_nil(self) -> bool {
+        matches!(self, Value::Sym(SymbolId::NIL))
+    }
+
+    #[inline]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Numeric comparison when both sides are numbers; `None` otherwise or
+    /// for unordered floats (NaN).
+    #[inline]
+    pub fn num_cmp(self, other: Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(&b)),
+            (Value::Int(a), Value::Float(b)) => (a as f64).partial_cmp(&b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(b as f64)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(&b),
+            _ => None,
+        }
+    }
+
+    /// Renders the value for traces and the RHS `write` action.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Value, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Value::Sym(s) => write!(f, "{}", self.1.name(*s)),
+                    Value::Int(i) => write!(f, "{i}"),
+                    Value::Float(x) => write!(f, "{x}"),
+                }
+            }
+        }
+        D(self, syms)
+    }
+}
+
+impl PartialEq for Value {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            // Exact bit equality keeps Hash/Eq consistent; NaN != NaN is
+            // irrelevant because the parser never produces NaN.
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+impl Eq for Value {}
+
+impl Hash for Value {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Sym(s) => {
+                state.write_u8(0);
+                state.write_u32(s.0);
+            }
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_i64(*i);
+            }
+            Value::Float(x) => {
+                state.write_u8(2);
+                state.write_u64(x.to_bits());
+            }
+        }
+    }
+}
+
+/// An OPS5 match predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// `=` — equality (also the implicit predicate).
+    Eq,
+    /// `<>` — inequality.
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<=>` — same type (both numeric, or both symbolic).
+    SameType,
+}
+
+impl Pred {
+    /// Applies the predicate: does candidate value `v` stand in this relation
+    /// to the reference value `r`? (`v Pred r`, e.g. `v < r` for `Lt`.)
+    #[inline]
+    pub fn eval(self, v: Value, r: Value) -> bool {
+        match self {
+            Pred::Eq => v == r,
+            Pred::Ne => v != r,
+            Pred::Lt => matches!(v.num_cmp(r), Some(Ordering::Less)),
+            Pred::Le => matches!(v.num_cmp(r), Some(Ordering::Less | Ordering::Equal)),
+            Pred::Gt => matches!(v.num_cmp(r), Some(Ordering::Greater)),
+            Pred::Ge => matches!(v.num_cmp(r), Some(Ordering::Greater | Ordering::Equal)),
+            Pred::SameType => v.is_numeric() == r.is_numeric(),
+        }
+    }
+
+    /// True for `=`, the only predicate a hash-table memory can index on.
+    #[inline]
+    pub fn is_eq(self) -> bool {
+        matches!(self, Pred::Eq)
+    }
+}
+
+/// RHS `compute` operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl ArithOp {
+    /// Evaluates `a op b`. Integer arithmetic stays integral; any float
+    /// operand promotes. Division by zero and non-numeric operands yield
+    /// `None` (the engine raises a runtime error).
+    pub fn eval(self, a: Value, b: Value) -> Option<Value> {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Some(match self {
+                ArithOp::Add => Value::Int(x.wrapping_add(y)),
+                ArithOp::Sub => Value::Int(x.wrapping_sub(y)),
+                ArithOp::Mul => Value::Int(x.wrapping_mul(y)),
+                ArithOp::Div => {
+                    if y == 0 {
+                        return None;
+                    }
+                    Value::Int(x.wrapping_div(y))
+                }
+                ArithOp::Mod => {
+                    if y == 0 {
+                        return None;
+                    }
+                    Value::Int(x.wrapping_rem(y))
+                }
+            }),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                let x = match a {
+                    Value::Int(i) => i as f64,
+                    Value::Float(f) => f,
+                    _ => unreachable!(),
+                };
+                let y = match b {
+                    Value::Int(i) => i as f64,
+                    Value::Float(f) => f,
+                    _ => unreachable!(),
+                };
+                Some(match self {
+                    ArithOp::Add => Value::Float(x + y),
+                    ArithOp::Sub => Value::Float(x - y),
+                    ArithOp::Mul => Value::Float(x * y),
+                    ArithOp::Div => Value::Float(x / y),
+                    ArithOp::Mod => Value::Float(x % y),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: u32) -> Value {
+        Value::Sym(SymbolId(n))
+    }
+
+    #[test]
+    fn variant_exact_equality() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(sym(1), Value::Int(1));
+    }
+
+    #[test]
+    fn numeric_predicates_cross_variants() {
+        assert!(Pred::Lt.eval(Value::Int(2), Value::Float(2.5)));
+        assert!(Pred::Ge.eval(Value::Float(3.0), Value::Int(3)));
+        assert!(!Pred::Lt.eval(sym(1), Value::Int(5)), "symbols are unordered");
+    }
+
+    #[test]
+    fn ne_on_mixed_types_is_true() {
+        assert!(Pred::Ne.eval(sym(1), Value::Int(1)));
+    }
+
+    #[test]
+    fn same_type_predicate() {
+        assert!(Pred::SameType.eval(Value::Int(1), Value::Float(2.0)));
+        assert!(Pred::SameType.eval(sym(1), sym(2)));
+        assert!(!Pred::SameType.eval(sym(1), Value::Int(2)));
+    }
+
+    #[test]
+    fn arith_integer_stays_integer() {
+        assert_eq!(
+            ArithOp::Add.eval(Value::Int(2), Value::Int(3)),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            ArithOp::Mod.eval(Value::Int(7), Value::Int(3)),
+            Some(Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn arith_promotes_to_float() {
+        assert_eq!(
+            ArithOp::Mul.eval(Value::Int(2), Value::Float(1.5)),
+            Some(Value::Float(3.0))
+        );
+    }
+
+    #[test]
+    fn arith_errors() {
+        assert_eq!(ArithOp::Div.eval(Value::Int(1), Value::Int(0)), None);
+        assert_eq!(ArithOp::Add.eval(sym(1), Value::Int(1)), None);
+    }
+
+    #[test]
+    fn float_hash_eq_consistent() {
+        use std::collections::hash_map::DefaultHasher;
+        let h = |v: Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(Value::Float(1.5)), h(Value::Float(1.5)));
+        assert_ne!(Value::Float(1.5), Value::Float(1.6));
+    }
+}

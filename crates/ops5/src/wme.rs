@@ -1,0 +1,114 @@
+//! Working-memory elements.
+//!
+//! A WME is immutable once created (OPS5 `modify` is compiled to a
+//! remove-plus-make, exactly as in the paper, where a modify is "treated as a
+//! delete followed by an add"). WMEs are shared between the control process
+//! and the match processes via `Arc`, standing in for the paper's
+//! same-virtual-address shared-memory tokens.
+
+use crate::symbol::{SymbolId, SymbolTable};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A working-memory element: a class plus a fixed-arity field vector.
+///
+/// The `timetag` is the OPS5 timetag: a unique, monotonically increasing
+/// stamp assigned when the element enters working memory. It doubles as the
+/// WME's identity for token bookkeeping (two structurally equal WMEs made at
+/// different times are distinct elements).
+#[derive(Debug)]
+pub struct Wme {
+    pub class: SymbolId,
+    pub fields: Box<[Value]>,
+    pub timetag: u64,
+}
+
+/// Shared handle to an immutable WME.
+pub type WmeRef = Arc<Wme>;
+
+impl Wme {
+    pub fn new(class: SymbolId, fields: Vec<Value>, timetag: u64) -> WmeRef {
+        Arc::new(Wme {
+            class,
+            fields: fields.into_boxed_slice(),
+            timetag,
+        })
+    }
+
+    /// Field accessor; out-of-range fields read as `nil`, matching OPS5's
+    /// "unset attributes are nil" semantics.
+    #[inline]
+    pub fn field(&self, idx: u16) -> Value {
+        self.fields.get(idx as usize).copied().unwrap_or(Value::NIL)
+    }
+
+    /// Renders like `(class ^attr val ...)` given the class's attribute
+    /// names.
+    pub fn display<'a>(
+        &'a self,
+        syms: &'a SymbolTable,
+        attr_names: &'a [SymbolId],
+    ) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Wme, &'a SymbolTable, &'a [SymbolId]);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "({}", self.1.name(self.0.class))?;
+                for (i, v) in self.0.fields.iter().enumerate() {
+                    if v.is_nil() {
+                        continue;
+                    }
+                    if let Some(a) = self.2.get(i) {
+                        write!(f, " ^{} {}", self.1.name(*a), v.display(self.1))?;
+                    } else {
+                        write!(f, " ^{} {}", i, v.display(self.1))?;
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, syms, attr_names)
+    }
+}
+
+/// Structural equality check used by tests and the `remove`-by-content path.
+pub fn wme_content_eq(a: &Wme, b: &Wme) -> bool {
+    a.class == b.class && a.fields == b.fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn out_of_range_field_is_nil() {
+        let mut t = SymbolTable::new();
+        let c = t.intern("goal");
+        let w = Wme::new(c, vec![Value::Int(1)], 1);
+        assert_eq!(w.field(0), Value::Int(1));
+        assert!(w.field(5).is_nil());
+    }
+
+    #[test]
+    fn content_eq_ignores_timetag() {
+        let mut t = SymbolTable::new();
+        let c = t.intern("goal");
+        let a = Wme::new(c, vec![Value::Int(1)], 1);
+        let b = Wme::new(c, vec![Value::Int(1)], 2);
+        assert!(wme_content_eq(&a, &b));
+        assert_ne!(a.timetag, b.timetag);
+    }
+
+    #[test]
+    fn display_skips_nil_fields() {
+        let mut t = SymbolTable::new();
+        let c = t.intern("goal");
+        let ty = t.intern("type");
+        let color = t.intern("color");
+        let red = t.intern("red");
+        let w = Wme::new(c, vec![Value::NIL, Value::Sym(red)], 3);
+        let s = format!("{}", w.display(&t, &[ty, color]));
+        assert_eq!(s, "(goal ^color red)");
+    }
+}

@@ -1,0 +1,915 @@
+//! The parallel match engine: k match processes cooperating through shared
+//! task queues and the global token hash tables (§3.1–3.2).
+
+use crate::line::{LineLock, LockScheme, MinusOutcome, ParLine, PlusOutcome, Side};
+use crate::queue::{ParTask, Scheduler};
+use crate::steal::StealScheduler;
+use crate::stats::{AtomicMatchStats, ContentionReport, ContentionStats};
+use ops5::{CsChange, Instantiation, MatchStats, Matcher, ProdId, Sign, WmeChange, WmeRef};
+use rete::fxhash::FxHashMap;
+use rete::network::{AlphaSucc, JoinNode, Network, Succ};
+use rete::token::Token;
+use crate::sync::SpinLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Task-scheduling implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The paper's design: 1..n shared deques behind TTAS spin locks.
+    #[default]
+    SpinQueues,
+    /// Modern extension: per-worker crossbeam deques with work stealing
+    /// (the software descendant of the hardware task scheduler the paper
+    /// left as future work).
+    WorkStealing,
+}
+
+/// Parallel matcher configuration — the axes varied in Tables 4-5..4-9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsmConfig {
+    /// Number of match processes (the "k" in "1+k").
+    pub match_processes: usize,
+    /// Number of task queues (1 for Table 4-5, up to 8 for Table 4-6).
+    /// Ignored under `SchedulerKind::WorkStealing`.
+    pub queues: usize,
+    /// Hash-line lock scheme (simple vs MRSW, Table 4-8).
+    pub lock_scheme: LockScheme,
+    /// Hash-table lines (bucket pairs); rounded up to a power of two.
+    pub buckets: usize,
+    /// Scheduling implementation.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for PsmConfig {
+    fn default() -> Self {
+        PsmConfig {
+            match_processes: 2,
+            queues: 2,
+            lock_scheme: LockScheme::Simple,
+            buckets: 1024,
+            scheduler: SchedulerKind::SpinQueues,
+        }
+    }
+}
+
+type InstKey = (ProdId, Vec<u64>);
+
+/// The active scheduling implementation.
+enum Work {
+    Spin(Scheduler),
+    Steal(Box<StealScheduler>),
+}
+
+/// Per-thread scheduling context: the round-robin push cursor (spin
+/// queues) and the local deque (work stealing; `None` on the control
+/// thread).
+struct Ctx {
+    cursor: usize,
+    local: Option<crossbeam::deque::Worker<ParTask>>,
+}
+
+impl Work {
+    fn push(&self, task: ParTask, ctx: &mut Ctx) {
+        match self {
+            Work::Spin(s) => s.push(task, &mut ctx.cursor),
+            Work::Steal(s) => s.push(task, ctx.local.as_ref()),
+        }
+    }
+
+    fn push_requeue(&self, task: ParTask, ctx: &mut Ctx) {
+        match self {
+            Work::Spin(s) => s.push_requeue(task, &mut ctx.cursor),
+            Work::Steal(s) => s.push_requeue(task, ctx.local.as_ref()),
+        }
+    }
+
+    fn pop(&self, ctx: &Ctx, home: usize) -> Option<ParTask> {
+        match self {
+            Work::Spin(s) => s.pop(home),
+            Work::Steal(s) => s.pop(ctx.local.as_ref().expect("worker has a local deque")),
+        }
+    }
+
+    fn task_done(&self) {
+        match self {
+            Work::Spin(s) => s.task_done(),
+            Work::Steal(s) => s.task_done(),
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        match self {
+            Work::Spin(s) => s.quiescent(),
+            Work::Steal(s) => s.quiescent(),
+        }
+    }
+
+    fn contention(&self) -> (u64, u64) {
+        match self {
+            Work::Spin(s) => s.contention(),
+            // crossbeam deques are lock-free; no spin metric exists.
+            Work::Steal(_) => (0, 0),
+        }
+    }
+
+    fn reset_contention(&self) {
+        if let Work::Spin(s) = self {
+            s.reset_contention();
+        }
+    }
+}
+
+struct Shared {
+    net: Arc<Network>,
+    sched: Work,
+    lines: Box<[LineLock]>,
+    mask: u64,
+    scheme: LockScheme,
+    /// Net conflict-set deltas for the current match phase: key → (net
+    /// count, a representative instantiation). Net counting makes the output
+    /// independent of task interleaving.
+    cs_acc: SpinLock<FxHashMap<InstKey, (i32, Instantiation)>>,
+    stop: AtomicBool,
+    stats: AtomicMatchStats,
+    cstats: ContentionStats,
+}
+
+/// PSM-E: the parallel Rete matcher.
+///
+/// Construct with [`ParMatcher::new`], drive through the [`Matcher`] trait.
+/// The control process (the caller) submits WME changes, which become root
+/// tasks; the match processes drain the task queues until TaskCount hits
+/// zero at `quiesce`.
+pub struct ParMatcher {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    ctx: Ctx,
+    cfg: PsmConfig,
+}
+
+impl ParMatcher {
+    pub fn new(net: Arc<Network>, cfg: PsmConfig) -> ParMatcher {
+        let n_lines = cfg.buckets.next_power_of_two().max(2);
+        let lines: Box<[LineLock]> = (0..n_lines).map(|_| LineLock::new()).collect();
+        let sched = match cfg.scheduler {
+            SchedulerKind::SpinQueues => Work::Spin(Scheduler::new(cfg.queues)),
+            SchedulerKind::WorkStealing => {
+                Work::Steal(Box::new(StealScheduler::new(cfg.match_processes.max(1))))
+            }
+        };
+        let shared = Arc::new(Shared {
+            net,
+            sched,
+            lines,
+            mask: (n_lines - 1) as u64,
+            scheme: cfg.lock_scheme,
+            cs_acc: SpinLock::new(FxHashMap::default()),
+            stop: AtomicBool::new(false),
+            stats: AtomicMatchStats::default(),
+            cstats: ContentionStats::default(),
+        });
+        let workers = (0..cfg.match_processes.max(1))
+            .map(|i| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("psm-match-{i}"))
+                    .spawn(move || worker_loop(sh, i))
+                    .expect("spawn match process")
+            })
+            .collect();
+        ParMatcher { shared, workers, ctx: Ctx { cursor: 0, local: None }, cfg }
+    }
+
+    /// Boxed constructor for engine factories.
+    pub fn boxed(net: Arc<Network>, cfg: PsmConfig) -> Box<dyn Matcher> {
+        Box::new(ParMatcher::new(net, cfg))
+    }
+
+    pub fn config(&self) -> PsmConfig {
+        self.cfg
+    }
+
+    /// Contention report: queue-lock and hash-line-lock spin averages.
+    pub fn contention(&self) -> ContentionReport {
+        let mut r = self.shared.cstats.snapshot();
+        let (qs, qa) = self.shared.sched.contention();
+        r.queue_spins = qs;
+        r.queue_acqs = qa;
+        r
+    }
+
+    pub fn reset_contention(&self) {
+        self.shared.cstats.reset();
+        self.shared.sched.reset_contention();
+    }
+
+    /// Total entries parked on extra-deletes lists (must be 0 when quiescent).
+    pub fn parked_tokens(&self) -> usize {
+        self.shared
+            .lines
+            .iter()
+            .map(|l| l.peek_entries(self.shared.scheme).1)
+            .sum()
+    }
+}
+
+impl Drop for ParMatcher {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Matcher for ParMatcher {
+    fn submit(&mut self, change: WmeChange) {
+        self.shared.stats.wme_changes.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .sched
+            .push(ParTask::Root { sign: change.sign, wme: change.wme }, &mut self.ctx);
+    }
+
+    fn quiesce(&mut self) -> Vec<CsChange> {
+        // Wait for TaskCount to reach zero (§3.2). The host may have fewer
+        // cores than processes, so be polite while spinning.
+        let mut spins = 0u64;
+        while !self.shared.sched.quiescent() {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let mut acc = self.shared.cs_acc.lock();
+        let mut out = Vec::with_capacity(acc.len());
+        for (_k, (net, inst)) in acc.drain() {
+            match net.signum() {
+                1 => out.push(CsChange::Insert(inst)),
+                -1 => out.push(CsChange::Remove(inst)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.shared.stats.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.shared.stats.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "psm-e"
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    let (home, local) = match &shared.sched {
+        Work::Spin(s) => (index % s.n_queues(), None),
+        Work::Steal(s) => (index, Some(s.claim_worker(index))),
+    };
+    let mut ctx = Ctx { cursor: index, local };
+    let mut idle = 0u32;
+    loop {
+        match shared.sched.pop(&ctx, home) {
+            Some(task) => {
+                idle = 0;
+                process_task(&shared, task, &mut ctx);
+            }
+            None => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                idle += 1;
+                if idle > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Emit a successor token from a join.
+fn emit(shared: &Shared, succ: Succ, token: Token, sign: Sign, ctx: &mut Ctx) {
+    match succ {
+        Succ::Join(j) => shared.sched.push(ParTask::Left { join: j, sign, token }, ctx),
+        Succ::Terminal(p) => {
+            shared.sched.push(ParTask::Terminal { prod: p, sign, token }, ctx)
+        }
+    }
+}
+
+fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
+    match task {
+        ParTask::Root { sign, wme } => {
+            // One grouped constant-test activation per WME change (§3.1).
+            shared.stats.alpha_activations.fetch_add(1, Ordering::Relaxed);
+            for &pid in shared.net.patterns_for_class(wme.class) {
+                let pat = shared.net.pattern(pid);
+                if !pat.tests.iter().all(|t| t.passes(&wme)) {
+                    continue;
+                }
+                for succ in &pat.succs {
+                    match *succ {
+                        AlphaSucc::JoinLeft(j) => shared.sched.push(
+                            ParTask::Left { join: j, sign, token: Token::single(wme.clone()) },
+                            ctx,
+                        ),
+                        AlphaSucc::JoinRight(j) => shared
+                            .sched
+                            .push(ParTask::Right { join: j, sign, wme: wme.clone() }, ctx),
+                        AlphaSucc::Terminal(p) => shared.sched.push(
+                            ParTask::Terminal { prod: p, sign, token: Token::single(wme.clone()) },
+                            ctx,
+                        ),
+                    }
+                }
+            }
+            shared.sched.task_done();
+        }
+        ParTask::Left { join, sign, token } => {
+            let j = shared.net.join(join);
+            let key = j.left_key(&token);
+            let line = &shared.lines[(key & shared.mask) as usize];
+            match shared.scheme {
+                LockScheme::Simple => {
+                    let mut g = line.lock_simple();
+                    shared.cstats.record_hash(true, g.spins);
+                    shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+                    left_activation(shared, j, key, sign, &token, &mut g, ctx);
+                }
+                LockScheme::Mrsw => {
+                    let (entered, spins) = line.try_enter(Side::Left);
+                    shared.cstats.record_hash(true, spins);
+                    if !entered {
+                        shared.cstats.requeues.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .sched
+                            .push_requeue(ParTask::Left { join, sign, token }, ctx);
+                        return; // task still accounted for in TaskCount
+                    }
+                    shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+                    left_activation_mrsw(shared, j, key, sign, &token, line, ctx);
+                    line.exit();
+                }
+            }
+            shared.sched.task_done();
+        }
+        ParTask::Right { join, sign, wme } => {
+            let j = shared.net.join(join);
+            let key = j.right_key(&wme);
+            let line = &shared.lines[(key & shared.mask) as usize];
+            match shared.scheme {
+                LockScheme::Simple => {
+                    let mut g = line.lock_simple();
+                    shared.cstats.record_hash(false, g.spins);
+                    shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+                    right_activation(shared, j, key, sign, &wme, &mut g, ctx);
+                }
+                LockScheme::Mrsw => {
+                    let (entered, spins) = line.try_enter(Side::Right);
+                    shared.cstats.record_hash(false, spins);
+                    if !entered {
+                        shared.cstats.requeues.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .sched
+                            .push_requeue(ParTask::Right { join, sign, wme }, ctx);
+                        return;
+                    }
+                    shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+                    right_activation_mrsw(shared, j, key, sign, &wme, line, ctx);
+                    line.exit();
+                }
+            }
+            shared.sched.task_done();
+        }
+        ParTask::Terminal { prod, sign, token } => {
+            shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+            shared.stats.cs_changes.fetch_add(1, Ordering::Relaxed);
+            let inst = Instantiation { prod, wmes: token.wmes().to_vec() };
+            let key = inst.key();
+            let mut acc = shared.cs_acc.lock();
+            let entry = acc.entry(key.clone()).or_insert_with(|| (0, inst));
+            entry.0 += match sign {
+                Sign::Plus => 1,
+                Sign::Minus => -1,
+            };
+            if entry.0 == 0 {
+                acc.remove(&key);
+            }
+            drop(acc);
+            shared.sched.task_done();
+        }
+    }
+}
+
+/// Left activation under the simple (exclusive) line lock.
+fn left_activation(
+    shared: &Shared,
+    j: &JoinNode,
+    key: u64,
+    sign: Sign,
+    token: &Token,
+    line: &mut ParLine,
+    ctx: &mut Ctx,
+) {
+    if !j.negated {
+        match sign {
+            Sign::Plus => {
+                if line.left_plus(j, key, token, 0) == PlusOutcome::Annihilated {
+                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Sign::Minus => match line.left_minus(j, key, token) {
+                MinusOutcome::Removed { examined, .. } => {
+                    shared.stats.same_tokens_left.fetch_add(examined, Ordering::Relaxed);
+                    shared.stats.same_searches_left.fetch_add(1, Ordering::Relaxed);
+                }
+                MinusOutcome::Parked => return,
+            },
+        }
+        let (matches, examined) = line.scan_right(j, key, token);
+        record_opp_left(shared, examined);
+        for w in matches {
+            emit(shared, j.succ, token.extended(w), sign, ctx);
+        }
+    } else {
+        match sign {
+            Sign::Plus => {
+                let (n, examined) = line.count_right(j, key, token);
+                record_opp_left(shared, examined);
+                if line.left_plus(j, key, token, n) == PlusOutcome::Annihilated {
+                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if n == 0 {
+                    emit(shared, j.succ, token.clone(), Sign::Plus, ctx);
+                }
+            }
+            Sign::Minus => match line.left_minus(j, key, token) {
+                MinusOutcome::Removed { neg_count, examined } => {
+                    shared.stats.same_tokens_left.fetch_add(examined, Ordering::Relaxed);
+                    shared.stats.same_searches_left.fetch_add(1, Ordering::Relaxed);
+                    if neg_count == 0 {
+                        emit(shared, j.succ, token.clone(), Sign::Minus, ctx);
+                    }
+                }
+                MinusOutcome::Parked => {}
+            },
+        }
+    }
+}
+
+/// Left activation under the MRSW protocol: list mutation under the write
+/// lock, opposite-memory scan under the read lock (the line flag guarantees
+/// the right memory is stable meanwhile).
+fn left_activation_mrsw(
+    shared: &Shared,
+    j: &JoinNode,
+    key: u64,
+    sign: Sign,
+    token: &Token,
+    line: &LineLock,
+    ctx: &mut Ctx,
+) {
+    if !j.negated {
+        match sign {
+            Sign::Plus => {
+                let outcome = line.write().left_plus(j, key, token, 0);
+                if outcome == PlusOutcome::Annihilated {
+                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Sign::Minus => {
+                let outcome = line.write().left_minus(j, key, token);
+                match outcome {
+                    MinusOutcome::Removed { examined, .. } => {
+                        shared.stats.same_tokens_left.fetch_add(examined, Ordering::Relaxed);
+                        shared.stats.same_searches_left.fetch_add(1, Ordering::Relaxed);
+                    }
+                    MinusOutcome::Parked => return,
+                }
+            }
+        }
+        let (matches, examined) = line.read().scan_right(j, key, token);
+        record_opp_left(shared, examined);
+        for w in matches {
+            emit(shared, j.succ, token.extended(w), sign, ctx);
+        }
+    } else {
+        match sign {
+            Sign::Plus => {
+                let (n, examined) = line.read().count_right(j, key, token);
+                record_opp_left(shared, examined);
+                let outcome = line.write().left_plus(j, key, token, n);
+                if outcome == PlusOutcome::Annihilated {
+                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if n == 0 {
+                    emit(shared, j.succ, token.clone(), Sign::Plus, ctx);
+                }
+            }
+            Sign::Minus => {
+                let outcome = line.write().left_minus(j, key, token);
+                match outcome {
+                    MinusOutcome::Removed { neg_count, examined } => {
+                        shared.stats.same_tokens_left.fetch_add(examined, Ordering::Relaxed);
+                        shared.stats.same_searches_left.fetch_add(1, Ordering::Relaxed);
+                        if neg_count == 0 {
+                            emit(shared, j.succ, token.clone(), Sign::Minus, ctx);
+                        }
+                    }
+                    MinusOutcome::Parked => {}
+                }
+            }
+        }
+    }
+}
+
+/// Right activation under the simple lock.
+fn right_activation(
+    shared: &Shared,
+    j: &JoinNode,
+    key: u64,
+    sign: Sign,
+    wme: &WmeRef,
+    line: &mut ParLine,
+    ctx: &mut Ctx,
+) {
+    if !j.negated {
+        match sign {
+            Sign::Plus => {
+                if line.right_plus(j, key, wme) == PlusOutcome::Annihilated {
+                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Sign::Minus => match line.right_minus(j, key, wme) {
+                MinusOutcome::Removed { examined, .. } => {
+                    shared.stats.same_tokens_right.fetch_add(examined, Ordering::Relaxed);
+                    shared.stats.same_searches_right.fetch_add(1, Ordering::Relaxed);
+                }
+                MinusOutcome::Parked => return,
+            },
+        }
+        let (matches, examined) = line.scan_left(j, key, wme);
+        record_opp_right(shared, examined);
+        for t in matches {
+            emit(shared, j.succ, t.extended(wme.clone()), sign, ctx);
+        }
+    } else {
+        match sign {
+            Sign::Plus => {
+                if line.right_plus(j, key, wme) == PlusOutcome::Annihilated {
+                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                let (crossed, examined) = line.adjust_left_counts(j, key, wme, 1);
+                record_opp_right(shared, examined);
+                for t in crossed {
+                    emit(shared, j.succ, t, Sign::Minus, ctx);
+                }
+            }
+            Sign::Minus => match line.right_minus(j, key, wme) {
+                MinusOutcome::Removed { examined, .. } => {
+                    shared.stats.same_tokens_right.fetch_add(examined, Ordering::Relaxed);
+                    shared.stats.same_searches_right.fetch_add(1, Ordering::Relaxed);
+                    let (crossed, examined) = line.adjust_left_counts(j, key, wme, -1);
+                    record_opp_right(shared, examined);
+                    for t in crossed {
+                        emit(shared, j.succ, t, Sign::Plus, ctx);
+                    }
+                }
+                MinusOutcome::Parked => {}
+            },
+        }
+    }
+}
+
+/// Right activation under MRSW.
+fn right_activation_mrsw(
+    shared: &Shared,
+    j: &JoinNode,
+    key: u64,
+    sign: Sign,
+    wme: &WmeRef,
+    line: &LineLock,
+    ctx: &mut Ctx,
+) {
+    if !j.negated {
+        match sign {
+            Sign::Plus => {
+                let outcome = line.write().right_plus(j, key, wme);
+                if outcome == PlusOutcome::Annihilated {
+                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Sign::Minus => {
+                let outcome = line.write().right_minus(j, key, wme);
+                match outcome {
+                    MinusOutcome::Removed { examined, .. } => {
+                        shared.stats.same_tokens_right.fetch_add(examined, Ordering::Relaxed);
+                        shared.stats.same_searches_right.fetch_add(1, Ordering::Relaxed);
+                    }
+                    MinusOutcome::Parked => return,
+                }
+            }
+        }
+        let (matches, examined) = line.read().scan_left(j, key, wme);
+        record_opp_right(shared, examined);
+        for t in matches {
+            emit(shared, j.succ, t.extended(wme.clone()), sign, ctx);
+        }
+    } else {
+        match sign {
+            Sign::Plus => {
+                let annihilated = {
+                    let mut g = line.write();
+                    if g.right_plus(j, key, wme) == PlusOutcome::Annihilated {
+                        true
+                    } else {
+                        let (crossed, examined) = g.adjust_left_counts(j, key, wme, 1);
+                        drop(g);
+                        record_opp_right(shared, examined);
+                        for t in crossed {
+                            emit(shared, j.succ, t, Sign::Minus, ctx);
+                        }
+                        false
+                    }
+                };
+                if annihilated {
+                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Sign::Minus => {
+                let mut g = line.write();
+                match g.right_minus(j, key, wme) {
+                    MinusOutcome::Removed { examined, .. } => {
+                        shared.stats.same_tokens_right.fetch_add(examined, Ordering::Relaxed);
+                        shared.stats.same_searches_right.fetch_add(1, Ordering::Relaxed);
+                        let (crossed, examined) = g.adjust_left_counts(j, key, wme, -1);
+                        drop(g);
+                        record_opp_right(shared, examined);
+                        for t in crossed {
+                            emit(shared, j.succ, t, Sign::Plus, ctx);
+                        }
+                    }
+                    MinusOutcome::Parked => {}
+                }
+            }
+        }
+    }
+}
+
+fn record_opp_left(shared: &Shared, examined: u64) {
+    shared.stats.opp_tokens_left.fetch_add(examined, Ordering::Relaxed);
+    if examined > 0 {
+        shared.stats.opp_nonempty_left.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn record_opp_right(shared: &Shared, examined: u64) {
+    shared.stats.opp_tokens_right.fetch_add(examined, Ordering::Relaxed);
+    if examined > 0 {
+        shared.stats.opp_nonempty_right.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{Program, Value, Wme};
+
+    fn configs() -> Vec<PsmConfig> {
+        let base = PsmConfig {
+            match_processes: 1,
+            queues: 1,
+            lock_scheme: LockScheme::Simple,
+            buckets: 16,
+            scheduler: SchedulerKind::SpinQueues,
+        };
+        vec![
+            base,
+            PsmConfig { match_processes: 3, ..base },
+            PsmConfig { match_processes: 3, queues: 4, ..base },
+            PsmConfig { match_processes: 3, queues: 4, lock_scheme: LockScheme::Mrsw, ..base },
+            PsmConfig { match_processes: 3, scheduler: SchedulerKind::WorkStealing, ..base },
+            PsmConfig {
+                match_processes: 4,
+                lock_scheme: LockScheme::Mrsw,
+                scheduler: SchedulerKind::WorkStealing,
+                ..base
+            },
+        ]
+    }
+
+    fn net_of(src: &str) -> (Program, Arc<Network>) {
+        let prog = Program::from_source(src).unwrap();
+        let net = Arc::new(Network::compile(&prog).unwrap());
+        (prog, net)
+    }
+
+    /// Sorted final conflict-set keys after feeding `changes` and quiescing.
+    /// Sequential matchers emit the full insert/remove history while the
+    /// parallel matcher emits net deltas, so apply the deltas to a set and
+    /// compare the resulting states.
+    fn final_cs(m: &mut dyn Matcher, changes: Vec<WmeChange>) -> Vec<(ProdId, Vec<u64>)> {
+        for c in changes {
+            m.submit(c);
+        }
+        let mut set = std::collections::BTreeSet::new();
+        for c in m.quiesce() {
+            match c {
+                CsChange::Insert(i) => {
+                    set.insert(i.key());
+                }
+                CsChange::Remove(i) => {
+                    set.remove(&i.key());
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_simple_join() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        for cfg in configs() {
+            let (mut prog, net) = net_of(src);
+            let ca = prog.symbols.intern("a");
+            let cb = prog.symbols.intern("b");
+            let mut changes = Vec::new();
+            for i in 0..20i64 {
+                changes.push(WmeChange {
+                    sign: Sign::Plus,
+                    wme: Wme::new(ca, vec![Value::Int(i % 5)], i as u64 + 1),
+                });
+                changes.push(WmeChange {
+                    sign: Sign::Plus,
+                    wme: Wme::new(cb, vec![Value::Int(i % 5)], i as u64 + 100),
+                });
+            }
+            let mut seq = rete::seq::boxed_vs2(net.clone(), rete::HashMemConfig { buckets: 16 });
+            let expect = final_cs(seq.as_mut(), changes.clone());
+
+            let mut par = ParMatcher::new(net, cfg);
+            let got = final_cs(&mut par, changes);
+            assert_eq!(got, expect, "config {cfg:?}");
+            assert_eq!(par.parked_tokens(), 0, "no conjugate leftovers");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_deletes() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        for cfg in configs() {
+            let (mut prog, net) = net_of(src);
+            let ca = prog.symbols.intern("a");
+            let cb = prog.symbols.intern("b");
+            let wa = Wme::new(ca, vec![Value::Int(1)], 1);
+            let wb = Wme::new(cb, vec![Value::Int(1)], 2);
+            let mut par = ParMatcher::new(net, cfg);
+            // Add and delete in the same match phase: net zero.
+            let cs = final_cs(
+                &mut par,
+                vec![
+                    WmeChange { sign: Sign::Plus, wme: wa.clone() },
+                    WmeChange { sign: Sign::Plus, wme: wb.clone() },
+                    WmeChange { sign: Sign::Minus, wme: wa.clone() },
+                ],
+            );
+            assert!(cs.is_empty(), "config {cfg:?}: add+delete nets to nothing, got {cs:?}");
+            assert_eq!(par.parked_tokens(), 0);
+        }
+    }
+
+    #[test]
+    fn negated_ce_parallel() {
+        let src = "(p q (a ^x <v>) - (b ^y <v>) --> (halt))";
+        for cfg in configs() {
+            let (mut prog, net) = net_of(src);
+            let ca = prog.symbols.intern("a");
+            let cb = prog.symbols.intern("b");
+            let mut changes = Vec::new();
+            for i in 0..10i64 {
+                changes.push(WmeChange {
+                    sign: Sign::Plus,
+                    wme: Wme::new(ca, vec![Value::Int(i)], i as u64 + 1),
+                });
+            }
+            // Block even values.
+            for i in (0..10i64).step_by(2) {
+                changes.push(WmeChange {
+                    sign: Sign::Plus,
+                    wme: Wme::new(cb, vec![Value::Int(i)], i as u64 + 50),
+                });
+            }
+            let mut seq = rete::seq::boxed_vs2(net.clone(), rete::HashMemConfig { buckets: 16 });
+            let expect = final_cs(seq.as_mut(), changes.clone());
+            assert_eq!(expect.len(), 5, "sanity: odd values fire");
+
+            let mut par = ParMatcher::new(net, cfg);
+            let got = final_cs(&mut par, changes);
+            assert_eq!(got, expect, "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn multi_cycle_state_persists() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let (mut prog, net) = net_of(src);
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("b");
+        let mut par = ParMatcher::new(
+            net,
+            PsmConfig {
+                match_processes: 2,
+                queues: 2,
+                lock_scheme: LockScheme::Simple,
+                buckets: 16,
+                scheduler: SchedulerKind::SpinQueues,
+            },
+        );
+        // Cycle 1: only the a-wme.
+        par.submit(WmeChange { sign: Sign::Plus, wme: Wme::new(ca, vec![Value::Int(7)], 1) });
+        assert!(par.quiesce().is_empty());
+        // Cycle 2: the b-wme joins against cycle-1 state.
+        par.submit(WmeChange { sign: Sign::Plus, wme: Wme::new(cb, vec![Value::Int(7)], 2) });
+        let cs = par.quiesce();
+        assert_eq!(cs.len(), 1);
+        assert!(matches!(cs[0], CsChange::Insert(_)));
+    }
+
+    #[test]
+    fn cross_product_stress_all_configs() {
+        // The Tourney pathology: all tokens in one line.
+        let src = "(p q (a ^x <v>) (b ^y <w>) --> (halt))";
+        for cfg in configs() {
+            let (mut prog, net) = net_of(src);
+            let ca = prog.symbols.intern("a");
+            let cb = prog.symbols.intern("b");
+            let mut changes = Vec::new();
+            for i in 0..15i64 {
+                changes.push(WmeChange {
+                    sign: Sign::Plus,
+                    wme: Wme::new(ca, vec![Value::Int(i)], i as u64 + 1),
+                });
+                changes.push(WmeChange {
+                    sign: Sign::Plus,
+                    wme: Wme::new(cb, vec![Value::Int(i)], i as u64 + 100),
+                });
+            }
+            let mut par = ParMatcher::new(net, cfg);
+            let got = final_cs(&mut par, changes);
+            assert_eq!(got.len(), 225, "15x15 cross product, config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn stats_and_contention_populated() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let (mut prog, net) = net_of(src);
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("b");
+        let mut par = ParMatcher::new(
+            net,
+            PsmConfig {
+                match_processes: 2,
+                queues: 1,
+                lock_scheme: LockScheme::Simple,
+                buckets: 16,
+                scheduler: SchedulerKind::SpinQueues,
+            },
+        );
+        for i in 0..50i64 {
+            par.submit(WmeChange {
+                sign: Sign::Plus,
+                wme: Wme::new(ca, vec![Value::Int(i)], i as u64 + 1),
+            });
+            par.submit(WmeChange {
+                sign: Sign::Plus,
+                wme: Wme::new(cb, vec![Value::Int(i)], i as u64 + 100),
+            });
+        }
+        par.quiesce();
+        let s = par.stats();
+        assert_eq!(s.wme_changes, 100);
+        assert!(s.activations >= 100);
+        assert_eq!(s.cs_changes, 50);
+        let c = par.contention();
+        assert!(c.queue_acqs > 0);
+        assert!(c.hash_acqs_left + c.hash_acqs_right > 0);
+    }
+}

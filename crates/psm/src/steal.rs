@@ -1,0 +1,205 @@
+//! Work-stealing task scheduling — a modern extension.
+//!
+//! The paper found the centralized task queue to be the major bottleneck
+//! and proposed (via Gupta's thesis) a *hardware task scheduler* as future
+//! work. Four decades later the software answer is work stealing: each
+//! match process owns a local deque, pushes its spawned activations there,
+//! and steals from peers (or the control process's injector) when dry —
+//! contention appears only when work is scarce, which is exactly when it is
+//! cheap.
+//!
+//! This module wires `crossbeam_deque` into the PSM-E matcher as an
+//! alternative to the spin-locked queues (`PsmConfig::scheduler =
+//! SchedulerKind::WorkStealing`). TaskCount-based termination is unchanged.
+
+use crate::queue::{ParTask, TaskCount};
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::sync::Mutex;
+
+/// The shared half of the work-stealing scheduler.
+pub struct StealScheduler {
+    /// Control-process (and overflow) pushes.
+    injector: Injector<ParTask>,
+    /// One stealer per match process's local deque.
+    stealers: Vec<Stealer<ParTask>>,
+    /// Local deques parked here until the worker threads claim them.
+    pending_workers: Mutex<Vec<Option<Worker<ParTask>>>>,
+    count: TaskCount,
+}
+
+impl StealScheduler {
+    pub fn new(n_workers: usize) -> StealScheduler {
+        let workers: Vec<Worker<ParTask>> =
+            (0..n_workers).map(|_| Worker::new_fifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        StealScheduler {
+            injector: Injector::new(),
+            stealers,
+            pending_workers: Mutex::new(workers.into_iter().map(Some).collect()),
+            count: TaskCount::new(),
+        }
+    }
+
+    /// Claims worker `i`'s local deque (called once per match process).
+    pub fn claim_worker(&self, i: usize) -> Worker<ParTask> {
+        self.pending_workers.lock().unwrap()[i]
+            .take()
+            .expect("worker deque already claimed")
+    }
+
+    pub fn task_count(&self) -> &TaskCount {
+        &self.count
+    }
+
+    /// Push a new task. Workers push to their local deque; the control
+    /// process (no local) to the injector.
+    pub fn push(&self, task: ParTask, local: Option<&Worker<ParTask>>) {
+        self.count.inc();
+        self.push_raw(task, local);
+    }
+
+    /// Re-push a requeued task (already counted).
+    pub fn push_requeue(&self, task: ParTask, local: Option<&Worker<ParTask>>) {
+        self.push_raw(task, local);
+    }
+
+    fn push_raw(&self, task: ParTask, local: Option<&Worker<ParTask>>) {
+        match local {
+            Some(w) => w.push(task),
+            None => self.injector.push(task),
+        }
+    }
+
+    /// Pop: local deque first, then the injector, then steal from peers.
+    pub fn pop(&self, local: &Worker<ParTask>) -> Option<ParTask> {
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            let steal = self.injector.steal_batch_and_pop(local);
+            if steal.is_success() {
+                return steal.success();
+            }
+            if !steal.is_retry() {
+                break;
+            }
+        }
+        for s in &self.stealers {
+            loop {
+                let steal = s.steal();
+                if steal.is_success() {
+                    return steal.success();
+                }
+                if !steal.is_retry() {
+                    break;
+                }
+            }
+        }
+        None
+    }
+
+    #[inline]
+    pub fn task_done(&self) {
+        self.count.dec();
+    }
+
+    #[inline]
+    pub fn quiescent(&self) -> bool {
+        self.count.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{Sign, SymbolId, Value, Wme};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn task(tag: u64) -> ParTask {
+        ParTask::Root {
+            sign: Sign::Plus,
+            wme: Wme::new(SymbolId(1), vec![Value::Int(1)], tag),
+        }
+    }
+
+    #[test]
+    fn local_push_pop() {
+        let s = StealScheduler::new(1);
+        let w = s.claim_worker(0);
+        s.push(task(1), Some(&w));
+        s.push(task(2), Some(&w));
+        assert!(s.pop(&w).is_some());
+        assert!(s.pop(&w).is_some());
+        assert!(s.pop(&w).is_none());
+        s.task_done();
+        s.task_done();
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn injector_feeds_workers() {
+        let s = StealScheduler::new(2);
+        let w0 = s.claim_worker(0);
+        s.push(task(7), None); // control push
+        assert!(s.pop(&w0).is_some());
+        s.task_done();
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn stealing_across_workers() {
+        let s = StealScheduler::new(2);
+        let w0 = s.claim_worker(0);
+        let w1 = s.claim_worker(1);
+        s.push(task(1), Some(&w0));
+        // Worker 1 finds nothing locally and steals from worker 0.
+        assert!(s.pop(&w1).is_some());
+        s.task_done();
+        assert!(s.quiescent());
+        drop(w0);
+    }
+
+    #[test]
+    fn concurrent_produce_consume() {
+        let s = Arc::new(StealScheduler::new(2));
+        let consumed = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            let s = s.clone();
+            let consumed = consumed.clone();
+            handles.push(std::thread::spawn(move || {
+                let w = s.claim_worker(i);
+                // Each worker produces 500 locally, everyone consumes.
+                for k in 0..500 {
+                    s.push(task(k), Some(&w));
+                }
+                loop {
+                    if let Some(_t) = s.pop(&w) {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                        s.task_done();
+                    } else if consumed.load(Ordering::Relaxed) >= 1000 {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), 1000);
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn claim_twice_panics() {
+        let s = StealScheduler::new(1);
+        let _w = s.claim_worker(0);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.claim_worker(0)
+        }))
+        .is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # rete — the compiled Rete match network
+//!
+//! This crate is the Rust analogue of the paper's "compile the Rete network
+//! directly into machine code": the network is compiled from production LHSs
+//! into flat, index-addressed instruction arrays (constant tests with
+//! pre-resolved field indices, join tests with pre-computed token positions,
+//! pre-extracted equality specs for hashing) that the matchers execute with
+//! static dispatch and no per-node interpretation. The deliberately
+//! *interpretive* counterpart lives in the `lispsim` crate.
+//!
+//! Contents:
+//!
+//! * [`network`] — network types and the LHS → network compiler. Constant-test
+//!   nodes are shared across productions (the paper's Figure 2-2 sharing);
+//!   memory nodes are coalesced into the two-input nodes below them (§3.1)
+//!   and are *not* shared between productions (paper footnote 6: sharing is
+//!   impossible in the parallel implementation).
+//! * [`memory`] — token memories: per-join linear lists (*vs1*) and the two
+//!   global hash tables holding all left/right tokens for the whole network
+//!   (*vs2*, §3.2), organised in "lines" (pairs of same-index buckets).
+//! * [`seq`] — the sequential matcher over either memory kind, instrumented
+//!   with the Table 4-1/4-2/4-3 statistics.
+//! * [`dot`] — Graphviz/ASCII rendering of the network (Figure 2-2).
+
+pub mod dot;
+pub mod fxhash;
+pub mod memory;
+pub mod network;
+pub mod seq;
+pub mod token;
+
+pub use memory::{HashMemConfig, MemoryKind};
+pub use network::{AlphaPatternId, AlphaSucc, EqSpec, JoinId, JoinNode, JoinTest, Network, Succ};
+pub use seq::SeqMatcher;
+pub use token::Token;

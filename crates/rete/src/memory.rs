@@ -1,0 +1,541 @@
+//! Token memories: per-join linear lists (*vs1*) and the two global hash
+//! tables (*vs2*).
+//!
+//! The matcher sees one interface, [`TokenMem`]; the two implementations
+//! reproduce the paper's uniprocessor versions:
+//!
+//! * [`ListMem`] — vs1: every join keeps its left tokens and right WMEs in
+//!   plain vectors, "just as uniprocessor lisp implementations do". Every
+//!   scan examines the entire opposite memory; every delete searches the
+//!   entire same memory.
+//! * [`HashMem`] — vs2: two global hash tables hold all left tokens and all
+//!   right WMEs for the whole network. The key covers the join id and the
+//!   values under the join's equality tests, so a scan only examines the
+//!   entries of one bucket (a "line"). Joins without equality tests (the
+//!   cross-product case) hash on the join id alone and degenerate to the
+//!   list behaviour — the Tourney pathology.
+//!
+//! Every operation reports how many tokens it *examined*, the raw data for
+//! Tables 4-2 and 4-3.
+
+use crate::network::JoinNode;
+use crate::token::Token;
+use ops5::{Wme, WmeRef};
+
+/// Which memory implementation a matcher uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryKind {
+    /// vs1 — per-join linear lists.
+    List,
+    /// vs2 — global left/right hash tables.
+    Hash(HashMemConfig),
+}
+
+/// Configuration for the global hash tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashMemConfig {
+    /// Bucket count per table; rounded up to a power of two.
+    pub buckets: usize,
+}
+
+impl Default for HashMemConfig {
+    fn default() -> Self {
+        // "Two large hash tables which hold all the tokens for the entire
+        // network": with hundreds of rules the tables hold tens of
+        // thousands of entries, and bucket sharing between joins costs
+        // skip-scans, so size generously.
+        HashMemConfig { buckets: 16384 }
+    }
+}
+
+/// Result of a scan of the opposite memory.
+pub struct Scan<T> {
+    pub matches: Vec<T>,
+    /// Tokens examined in the opposite memory.
+    pub examined: u64,
+    /// Whether the opposite memory contained any candidate for this join.
+    pub nonempty: bool,
+}
+
+/// Result of a delete search in the same memory.
+pub struct Removed<T> {
+    pub entry: Option<T>,
+    /// Tokens examined before the target was found.
+    pub examined: u64,
+}
+
+/// Storage interface shared by vs1 and vs2.
+pub trait TokenMem {
+    /// Insert a token into the join's left memory. `neg_count` is the
+    /// matching-WME counter for not-nodes (0 for positive joins).
+    fn insert_left(&mut self, j: &JoinNode, token: Token, neg_count: u32);
+
+    /// Remove a token (by WME identity) from the left memory, returning its
+    /// stored `neg_count`.
+    fn remove_left(&mut self, j: &JoinNode, token: &Token) -> Removed<u32>;
+
+    fn insert_right(&mut self, j: &JoinNode, wme: WmeRef);
+
+    fn remove_right(&mut self, j: &JoinNode, wme: &Wme) -> Removed<()>;
+
+    /// Right-memory WMEs pairing with `token` under the join tests.
+    fn scan_right(&self, j: &JoinNode, token: &Token) -> Scan<WmeRef>;
+
+    /// Left-memory tokens pairing with `wme` under the join tests
+    /// (positive joins).
+    fn scan_left(&self, j: &JoinNode, wme: &Wme) -> Scan<Token>;
+
+    /// Not-node right activation: bump every matching left entry's counter
+    /// by `delta` (+1/-1) and return the tokens whose counter crossed the
+    /// 0 boundary (0→1 on insert, 1→0 on delete).
+    fn adjust_left_counts(&mut self, j: &JoinNode, wme: &Wme, delta: i32) -> Scan<Token>;
+
+    /// Not-node left activation: count matching right WMEs.
+    fn count_right(&self, j: &JoinNode, token: &Token) -> (u32, u64, bool);
+
+    /// Total stored entries (diagnostics / invariant checks).
+    fn total_entries(&self) -> usize;
+}
+
+// ---------------------------------------------------------------- vs1: lists
+
+struct ListLeftEntry {
+    token: Token,
+    neg_count: u32,
+}
+
+/// vs1 memories: one vector pair per join.
+pub struct ListMem {
+    left: Vec<Vec<ListLeftEntry>>,
+    right: Vec<Vec<WmeRef>>,
+}
+
+impl ListMem {
+    pub fn new(n_joins: usize) -> ListMem {
+        ListMem {
+            left: (0..n_joins).map(|_| Vec::new()).collect(),
+            right: (0..n_joins).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+impl TokenMem for ListMem {
+    fn insert_left(&mut self, j: &JoinNode, token: Token, neg_count: u32) {
+        self.left[j.id as usize].push(ListLeftEntry { token, neg_count });
+    }
+
+    fn remove_left(&mut self, j: &JoinNode, token: &Token) -> Removed<u32> {
+        let mem = &mut self.left[j.id as usize];
+        for (i, e) in mem.iter().enumerate() {
+            if e.token.same_wmes(token) {
+                let e = mem.swap_remove(i);
+                return Removed { entry: Some(e.neg_count), examined: (i + 1) as u64 };
+            }
+        }
+        Removed { entry: None, examined: mem.len() as u64 }
+    }
+
+    fn insert_right(&mut self, j: &JoinNode, wme: WmeRef) {
+        self.right[j.id as usize].push(wme);
+    }
+
+    fn remove_right(&mut self, j: &JoinNode, wme: &Wme) -> Removed<()> {
+        let mem = &mut self.right[j.id as usize];
+        for (i, w) in mem.iter().enumerate() {
+            if w.timetag == wme.timetag {
+                mem.swap_remove(i);
+                return Removed { entry: Some(()), examined: (i + 1) as u64 };
+            }
+        }
+        Removed { entry: None, examined: mem.len() as u64 }
+    }
+
+    fn scan_right(&self, j: &JoinNode, token: &Token) -> Scan<WmeRef> {
+        let mem = &self.right[j.id as usize];
+        let matches = mem
+            .iter()
+            .filter(|w| j.passes(token, w))
+            .cloned()
+            .collect();
+        Scan { matches, examined: mem.len() as u64, nonempty: !mem.is_empty() }
+    }
+
+    fn scan_left(&self, j: &JoinNode, wme: &Wme) -> Scan<Token> {
+        let mem = &self.left[j.id as usize];
+        let matches = mem
+            .iter()
+            .filter(|e| j.passes(&e.token, wme))
+            .map(|e| e.token.clone())
+            .collect();
+        Scan { matches, examined: mem.len() as u64, nonempty: !mem.is_empty() }
+    }
+
+    fn adjust_left_counts(&mut self, j: &JoinNode, wme: &Wme, delta: i32) -> Scan<Token> {
+        let mem = &mut self.left[j.id as usize];
+        let mut crossed = Vec::new();
+        for e in mem.iter_mut() {
+            if j.passes(&e.token, wme) {
+                if delta > 0 {
+                    e.neg_count += 1;
+                    if e.neg_count == 1 {
+                        crossed.push(e.token.clone());
+                    }
+                } else {
+                    debug_assert!(e.neg_count > 0, "not-node counter underflow");
+                    e.neg_count -= 1;
+                    if e.neg_count == 0 {
+                        crossed.push(e.token.clone());
+                    }
+                }
+            }
+        }
+        Scan { matches: crossed, examined: mem.len() as u64, nonempty: !mem.is_empty() }
+    }
+
+    fn count_right(&self, j: &JoinNode, token: &Token) -> (u32, u64, bool) {
+        let mem = &self.right[j.id as usize];
+        let n = mem.iter().filter(|w| j.passes(token, w)).count() as u32;
+        (n, mem.len() as u64, !mem.is_empty())
+    }
+
+    fn total_entries(&self) -> usize {
+        self.left.iter().map(Vec::len).sum::<usize>()
+            + self.right.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+// ----------------------------------------------------------- vs2: hash lines
+
+struct HashLeftEntry {
+    join: u32,
+    key: u64,
+    token: Token,
+    neg_count: u32,
+}
+
+struct HashRightEntry {
+    join: u32,
+    key: u64,
+    wme: WmeRef,
+}
+
+/// vs2 memories: the two global hash tables of §3.2.
+///
+/// A "line" is the pair of same-index buckets of the left and right tables;
+/// any single node activation touches exactly one line. The bucket index of
+/// an entry is `key & mask`, where the key hashes the join id and the values
+/// covered by the join's equality tests.
+pub struct HashMem {
+    left: Vec<Vec<HashLeftEntry>>,
+    right: Vec<Vec<HashRightEntry>>,
+    mask: u64,
+}
+
+impl HashMem {
+    pub fn new(cfg: HashMemConfig) -> HashMem {
+        let n = cfg.buckets.next_power_of_two().max(2);
+        HashMem {
+            left: (0..n).map(|_| Vec::new()).collect(),
+            right: (0..n).map(|_| Vec::new()).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Line index for a key — exposed so the parallel matcher and the
+    /// Multimax simulator use identical line geometry.
+    #[inline]
+    pub fn line_of(&self, key: u64) -> usize {
+        (key & self.mask) as usize
+    }
+
+    pub fn n_lines(&self) -> usize {
+        self.left.len()
+    }
+}
+
+impl TokenMem for HashMem {
+    fn insert_left(&mut self, j: &JoinNode, token: Token, neg_count: u32) {
+        let key = j.left_key(&token);
+        let b = self.line_of(key);
+        self.left[b].push(HashLeftEntry { join: j.id, key, token, neg_count });
+    }
+
+    fn remove_left(&mut self, j: &JoinNode, token: &Token) -> Removed<u32> {
+        let key = j.left_key(token);
+        let b = self.line_of(key);
+        let mem = &mut self.left[b];
+        let mut examined = 0u64;
+        for i in 0..mem.len() {
+            let e = &mem[i];
+            if e.join != j.id {
+                continue;
+            }
+            examined += 1;
+            if e.key == key && e.token.same_wmes(token) {
+                let e = mem.swap_remove(i);
+                return Removed { entry: Some(e.neg_count), examined };
+            }
+        }
+        Removed { entry: None, examined }
+    }
+
+    fn insert_right(&mut self, j: &JoinNode, wme: WmeRef) {
+        let key = j.right_key(&wme);
+        let b = self.line_of(key);
+        self.right[b].push(HashRightEntry { join: j.id, key, wme });
+    }
+
+    fn remove_right(&mut self, j: &JoinNode, wme: &Wme) -> Removed<()> {
+        let key = j.right_key(wme);
+        let b = self.line_of(key);
+        let mem = &mut self.right[b];
+        let mut examined = 0u64;
+        for i in 0..mem.len() {
+            let e = &mem[i];
+            if e.join != j.id {
+                continue;
+            }
+            examined += 1;
+            if e.key == key && e.wme.timetag == wme.timetag {
+                mem.swap_remove(i);
+                return Removed { entry: Some(()), examined };
+            }
+        }
+        Removed { entry: None, examined }
+    }
+
+    fn scan_right(&self, j: &JoinNode, token: &Token) -> Scan<WmeRef> {
+        let key = j.left_key(token);
+        let mem = &self.right[self.line_of(key)];
+        let mut matches = Vec::new();
+        let mut examined = 0u64;
+        for e in mem {
+            if e.join != j.id {
+                continue;
+            }
+            examined += 1;
+            if e.key == key && j.passes(token, &e.wme) {
+                matches.push(e.wme.clone());
+            }
+        }
+        Scan { matches, examined, nonempty: examined > 0 }
+    }
+
+    fn scan_left(&self, j: &JoinNode, wme: &Wme) -> Scan<Token> {
+        let key = j.right_key(wme);
+        let mem = &self.left[self.line_of(key)];
+        let mut matches = Vec::new();
+        let mut examined = 0u64;
+        for e in mem {
+            if e.join != j.id {
+                continue;
+            }
+            examined += 1;
+            if e.key == key && j.passes(&e.token, wme) {
+                matches.push(e.token.clone());
+            }
+        }
+        Scan { matches, examined, nonempty: examined > 0 }
+    }
+
+    fn adjust_left_counts(&mut self, j: &JoinNode, wme: &Wme, delta: i32) -> Scan<Token> {
+        let key = j.right_key(wme);
+        let b = self.line_of(key);
+        let mem = &mut self.left[b];
+        let mut crossed = Vec::new();
+        let mut examined = 0u64;
+        for e in mem.iter_mut() {
+            if e.join != j.id {
+                continue;
+            }
+            examined += 1;
+            if e.key == key && j.passes(&e.token, wme) {
+                if delta > 0 {
+                    e.neg_count += 1;
+                    if e.neg_count == 1 {
+                        crossed.push(e.token.clone());
+                    }
+                } else {
+                    debug_assert!(e.neg_count > 0, "not-node counter underflow");
+                    e.neg_count -= 1;
+                    if e.neg_count == 0 {
+                        crossed.push(e.token.clone());
+                    }
+                }
+            }
+        }
+        Scan { matches: crossed, examined, nonempty: examined > 0 }
+    }
+
+    fn count_right(&self, j: &JoinNode, token: &Token) -> (u32, u64, bool) {
+        let key = j.left_key(token);
+        let mem = &self.right[self.line_of(key)];
+        let mut n = 0u32;
+        let mut examined = 0u64;
+        for e in mem {
+            if e.join != j.id {
+                continue;
+            }
+            examined += 1;
+            if e.key == key && j.passes(token, &e.wme) {
+                n += 1;
+            }
+        }
+        (n, examined, examined > 0)
+    }
+
+    fn total_entries(&self) -> usize {
+        self.left.iter().map(Vec::len).sum::<usize>()
+            + self.right.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use ops5::{Program, Value, Wme};
+
+    fn setup() -> (Program, Network) {
+        let prog = Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
+        let net = Network::compile(&prog).unwrap();
+        (prog, net)
+    }
+
+    fn run_common(mem: &mut dyn TokenMem) {
+        let (mut prog, net) = setup();
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("b");
+        let j = net.join(0).clone();
+
+        let wa = Wme::new(ca, vec![Value::Int(1)], 1);
+        let wb1 = Wme::new(cb, vec![Value::Int(1)], 2);
+        let wb2 = Wme::new(cb, vec![Value::Int(2)], 3);
+        let tok = Token::single(wa);
+
+        mem.insert_left(&j, tok.clone(), 0);
+        mem.insert_right(&j, wb1.clone());
+        mem.insert_right(&j, wb2.clone());
+
+        // Left scan finds only the matching wme.
+        let s = mem.scan_right(&j, &tok);
+        assert_eq!(s.matches.len(), 1);
+        assert_eq!(s.matches[0].timetag, 2);
+        assert!(s.nonempty);
+
+        // Right scan from the matching wme finds the token.
+        let s = mem.scan_left(&j, &wb1);
+        assert_eq!(s.matches.len(), 1);
+        // Right scan from the non-matching wme finds nothing.
+        let s = mem.scan_left(&j, &wb2);
+        assert_eq!(s.matches.len(), 0);
+
+        // Delete the token; second delete fails.
+        let r = mem.remove_left(&j, &tok);
+        assert_eq!(r.entry, Some(0));
+        let r = mem.remove_left(&j, &tok);
+        assert!(r.entry.is_none());
+
+        // Delete a right wme.
+        let r = mem.remove_right(&j, &wb2);
+        assert!(r.entry.is_some());
+        assert_eq!(mem.total_entries(), 1);
+    }
+
+    #[test]
+    fn list_mem_basics() {
+        let (_, net) = setup();
+        let mut mem = ListMem::new(net.n_joins());
+        run_common(&mut mem);
+    }
+
+    #[test]
+    fn hash_mem_basics() {
+        let mut mem = HashMem::new(HashMemConfig { buckets: 8 });
+        run_common(&mut mem);
+    }
+
+    #[test]
+    fn hash_mem_examines_fewer_tokens() {
+        let (mut prog, net) = setup();
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("b");
+        let j = net.join(0).clone();
+
+        let mut list = ListMem::new(net.n_joins());
+        let mut hash = HashMem::new(HashMemConfig { buckets: 256 });
+
+        // 100 right wmes with distinct join values.
+        for i in 0..100 {
+            let w = Wme::new(cb, vec![Value::Int(i)], 10 + i as u64);
+            list.insert_right(&j, w.clone());
+            hash.insert_right(&j, w);
+        }
+        let tok = Token::single(Wme::new(ca, vec![Value::Int(5)], 1));
+        let sl = list.scan_right(&j, &tok);
+        let sh = hash.scan_right(&j, &tok);
+        assert_eq!(sl.matches.len(), 1);
+        assert_eq!(sh.matches.len(), 1);
+        assert_eq!(sl.examined, 100, "vs1 examines the whole opposite memory");
+        assert!(
+            sh.examined < 10,
+            "vs2 examines only one line (got {})",
+            sh.examined
+        );
+    }
+
+    #[test]
+    fn neg_count_transitions() {
+        // Not-node counters: insert two matching right wmes, remove them.
+        let (mut prog, _) = setup();
+        // Build a negated join by hand: reuse join 0's tests but negated.
+        let prog2 = Program::from_source(
+            "(p q (a ^x <v>) - (b ^y <v>) --> (halt))",
+        )
+        .unwrap();
+        let net2 = Network::compile(&prog2).unwrap();
+        let j = net2.join(0).clone();
+        assert!(j.negated);
+
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("b");
+        let mut mem = HashMem::new(HashMemConfig { buckets: 8 });
+        let tok = Token::single(Wme::new(ca, vec![Value::Int(1)], 1));
+        mem.insert_left(&j, tok.clone(), 0);
+
+        let wb = Wme::new(cb, vec![Value::Int(1)], 2);
+        let wb2 = Wme::new(cb, vec![Value::Int(1)], 3);
+
+        // 0 -> 1 crossing reported once.
+        let s = mem.adjust_left_counts(&j, &wb, 1);
+        assert_eq!(s.matches.len(), 1);
+        // 1 -> 2: no crossing.
+        let s = mem.adjust_left_counts(&j, &wb2, 1);
+        assert_eq!(s.matches.len(), 0);
+        // 2 -> 1: no crossing.
+        let s = mem.adjust_left_counts(&j, &wb2, -1);
+        assert_eq!(s.matches.len(), 0);
+        // 1 -> 0: crossing.
+        let s = mem.adjust_left_counts(&j, &wb, -1);
+        assert_eq!(s.matches.len(), 1);
+    }
+
+    #[test]
+    fn cross_product_join_shares_one_line() {
+        // No eq tests: every token of the join lands in the same line.
+        let prog = Program::from_source("(p q (a ^x <v>) (b ^y <w>) --> (halt))").unwrap();
+        let net = Network::compile(&prog).unwrap();
+        let j = net.join(0).clone();
+        let mut prog = prog;
+        let cb = prog.symbols.intern("b");
+        let mut mem = HashMem::new(HashMemConfig { buckets: 256 });
+        for i in 0..50 {
+            mem.insert_right(&j, Wme::new(cb, vec![Value::Int(i)], i as u64 + 1));
+        }
+        let ca = prog.symbols.intern("a");
+        let tok = Token::single(Wme::new(ca, vec![Value::Int(0)], 100));
+        let s = mem.scan_right(&j, &tok);
+        assert_eq!(s.matches.len(), 50, "cross-product matches everything");
+        assert_eq!(s.examined, 50, "and examines everything — the Tourney pathology");
+    }
+}

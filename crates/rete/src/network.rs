@@ -1,0 +1,701 @@
+//! Network types and the LHS → network compiler.
+//!
+//! The compiled network has two layers, matching §2.2:
+//!
+//! * the **alpha network**: per-class lists of *alpha patterns*, each a flat
+//!   array of constant/intra-element tests with pre-resolved field indices.
+//!   Identical patterns are shared across condition elements and productions
+//!   (the constant-test-node sharing visible in Figure 2-2);
+//! * the **beta network**: one chain of coalesced memory/two-input
+//!   [`JoinNode`]s per production (memory nodes are folded into the join
+//!   below them, §3.1, and are not shared across productions — paper
+//!   footnote 6). Negated condition elements compile to not-nodes, which are
+//!   join nodes with a per-left-token match counter.
+//!
+//! All variable occurrences are resolved at compile time into either
+//! intra-element field comparisons (alpha) or inter-element [`JoinTest`]s
+//! (beta); the equality subset of the join tests is extracted into
+//! [`EqSpec`]s that drive the token hash tables of §3.2.
+
+use crate::fxhash::{self, FxHashMap};
+use crate::token::Token;
+use ops5::ast::{AttrTest, TestAtom};
+use ops5::{Ops5Error, Pred, ProdId, Program, SymbolId, Value, Wme};
+
+pub type JoinId = u32;
+pub type AlphaPatternId = u32;
+
+/// One constant-test-node test, pre-compiled to a field index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AlphaTest {
+    pub field: u16,
+    pub kind: AlphaTestKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AlphaTestKind {
+    /// `field PRED constant`
+    Pred(Pred, Value),
+    /// `field ∈ { v1, v2, ... }` (OPS5 `<< ... >>`)
+    Disj(Box<[Value]>),
+    /// Intra-element variable consistency: `field PRED field2` on the same
+    /// WME (e.g. `(c ^a <x> ^b <x>)`).
+    FieldCmp(Pred, u16),
+}
+
+impl AlphaTest {
+    #[inline]
+    pub fn passes(&self, wme: &Wme) -> bool {
+        let v = wme.field(self.field);
+        match &self.kind {
+            AlphaTestKind::Pred(p, r) => p.eval(v, *r),
+            AlphaTestKind::Disj(vs) => vs.contains(&v),
+            AlphaTestKind::FieldCmp(p, f2) => p.eval(v, wme.field(*f2)),
+        }
+    }
+}
+
+/// Where a passing WME goes from an alpha pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlphaSucc {
+    /// Becomes a 1-WME token entering the left memory of this join (the
+    /// production's first condition element).
+    JoinLeft(JoinId),
+    /// Enters the right memory of this join (condition elements 2..n).
+    JoinRight(JoinId),
+    /// Single-CE production: straight to the conflict set.
+    Terminal(ProdId),
+}
+
+/// A shared constant-test chain endpoint.
+#[derive(Debug, Clone)]
+pub struct AlphaPattern {
+    pub id: AlphaPatternId,
+    pub class: SymbolId,
+    pub tests: Box<[AlphaTest]>,
+    pub succs: Vec<AlphaSucc>,
+}
+
+/// An inter-element test: `wme.field(right_field) PRED token[left_ce].field(left_field)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinTest {
+    pub pred: Pred,
+    /// Index into the left token's WME list (positive CEs only).
+    pub left_ce: u16,
+    pub left_field: u16,
+    pub right_field: u16,
+}
+
+/// The equality subset of a join's tests, used to compute hash-table keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EqSpec {
+    pub left_ce: u16,
+    pub left_field: u16,
+    pub right_field: u16,
+}
+
+/// Successor of a join node (chains are linear — no beta sharing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Succ {
+    Join(JoinId),
+    Terminal(ProdId),
+}
+
+/// A coalesced memory/two-input node (or not-node when `negated`).
+#[derive(Debug, Clone)]
+pub struct JoinNode {
+    pub id: JoinId,
+    pub prod: ProdId,
+    /// Source CE index (0-based over all CEs) — diagnostics only.
+    pub ce_index: u16,
+    pub negated: bool,
+    /// Length of tokens arriving on the left input.
+    pub left_len: u16,
+    pub tests: Box<[JoinTest]>,
+    pub eq_specs: Box<[EqSpec]>,
+    pub succ: Succ,
+}
+
+#[inline]
+fn hash_value(seed: u64, v: Value) -> u64 {
+    match v {
+        Value::Sym(s) => fxhash::mix(fxhash::mix(seed, 0), s.0 as u64),
+        Value::Int(i) => fxhash::mix(fxhash::mix(seed, 1), i as u64),
+        Value::Float(f) => fxhash::mix(fxhash::mix(seed, 2), f.to_bits()),
+    }
+}
+
+impl JoinNode {
+    /// Do all inter-element tests pass for this (token, wme) pair?
+    #[inline]
+    pub fn passes(&self, token: &Token, wme: &Wme) -> bool {
+        self.tests.iter().all(|t| {
+            t.pred
+                .eval(wme.field(t.right_field), token.value(t.left_ce, t.left_field))
+        })
+    }
+
+    /// Hash key for a token entering this join's **left** memory.
+    ///
+    /// Covers the join id and the left-side values of every equality test,
+    /// so that candidate (token, wme) pairs land in the same hash line —
+    /// §3.2: the hash function takes into account "the values in the token
+    /// which will have equality tests applied at the two-input node" and
+    /// "the unique identifier of the two-input node".
+    #[inline]
+    pub fn left_key(&self, token: &Token) -> u64 {
+        let mut h = fxhash::mix(0, self.id as u64);
+        for s in self.eq_specs.iter() {
+            h = hash_value(h, token.value(s.left_ce, s.left_field));
+        }
+        h
+    }
+
+    /// Hash key for a WME entering this join's **right** memory. Equal to
+    /// `left_key` of any token it can pair with.
+    #[inline]
+    pub fn right_key(&self, wme: &Wme) -> u64 {
+        let mut h = fxhash::mix(0, self.id as u64);
+        for s in self.eq_specs.iter() {
+            h = hash_value(h, wme.field(s.right_field));
+        }
+        h
+    }
+
+    /// Length of tokens this join emits.
+    #[inline]
+    pub fn out_len(&self) -> u16 {
+        self.left_len + if self.negated { 0 } else { 1 }
+    }
+}
+
+/// The compiled match network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    pub patterns: Vec<AlphaPattern>,
+    by_class: FxHashMap<SymbolId, Vec<AlphaPatternId>>,
+    pub joins: Vec<JoinNode>,
+    /// Positive-CE count per production (instantiation length).
+    pub prod_sizes: Vec<u16>,
+    /// Production names (for traces and dot output).
+    pub prod_names: Vec<String>,
+}
+
+impl Network {
+    /// Alpha patterns whose class matches the WME's class.
+    #[inline]
+    pub fn patterns_for_class(&self, class: SymbolId) -> &[AlphaPatternId] {
+        self.by_class.get(&class).map_or(&[], |v| v.as_slice())
+    }
+
+    #[inline]
+    pub fn pattern(&self, id: AlphaPatternId) -> &AlphaPattern {
+        &self.patterns[id as usize]
+    }
+
+    #[inline]
+    pub fn join(&self, id: JoinId) -> &JoinNode {
+        &self.joins[id as usize]
+    }
+
+    pub fn n_joins(&self) -> usize {
+        self.joins.len()
+    }
+
+    pub fn n_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Checks the network's structural invariants, returning a description
+    /// of every violation (empty = valid). Used by debug assertions in
+    /// `compile` and by tests over the workload generators.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        let mut terminal_seen = vec![0u32; self.prod_sizes.len()];
+        for pat in &self.patterns {
+            for succ in &pat.succs {
+                match *succ {
+                    AlphaSucc::JoinLeft(j) => {
+                        match self.joins.get(j as usize) {
+                            None => errs.push(format!("alpha {} -> missing join {j}", pat.id)),
+                            Some(join) if join.left_len != 1 => errs.push(format!(
+                                "alpha {} feeds left of join {j} with left_len {}",
+                                pat.id, join.left_len
+                            )),
+                            _ => {}
+                        }
+                    }
+                    AlphaSucc::JoinRight(j) => {
+                        if self.joins.get(j as usize).is_none() {
+                            errs.push(format!("alpha {} -> missing join {j}", pat.id));
+                        }
+                    }
+                    AlphaSucc::Terminal(p) => {
+                        match self.prod_sizes.get(p.index()) {
+                            None => errs.push(format!("alpha {} -> missing prod {p:?}", pat.id)),
+                            Some(&sz) => {
+                                terminal_seen[p.index()] += 1;
+                                if sz != 1 {
+                                    errs.push(format!(
+                                        "alpha-terminal prod {p:?} should have 1 positive CE, has {sz}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for j in &self.joins {
+            for t in j.tests.iter() {
+                if t.left_ce >= j.left_len {
+                    errs.push(format!(
+                        "join {}: test references token position {} but left_len is {}",
+                        j.id, t.left_ce, j.left_len
+                    ));
+                }
+            }
+            match j.succ {
+                Succ::Join(n) => match self.joins.get(n as usize) {
+                    None => errs.push(format!("join {} -> missing join {n}", j.id)),
+                    Some(next) => {
+                        if n <= j.id {
+                            errs.push(format!("join {} -> non-forward successor {n}", j.id));
+                        }
+                        if next.left_len != j.out_len() {
+                            errs.push(format!(
+                                "join {} emits len {} but join {n} expects left_len {}",
+                                j.id,
+                                j.out_len(),
+                                next.left_len
+                            ));
+                        }
+                        if next.prod != j.prod {
+                            errs.push(format!(
+                                "join {} (prod {:?}) chains into join {n} (prod {:?})",
+                                j.id, j.prod, next.prod
+                            ));
+                        }
+                    }
+                },
+                Succ::Terminal(p) => {
+                    if p != j.prod {
+                        errs.push(format!("join {} terminates foreign prod {p:?}", j.id));
+                    }
+                    match self.prod_sizes.get(p.index()) {
+                        None => errs.push(format!("join {} -> missing prod {p:?}", j.id)),
+                        Some(&sz) => {
+                            terminal_seen[p.index()] += 1;
+                            if sz != j.out_len() {
+                                errs.push(format!(
+                                    "prod {p:?} instantiation length {} but terminal join {} emits {}",
+                                    sz,
+                                    j.id,
+                                    j.out_len()
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (i, &n) in terminal_seen.iter().enumerate() {
+            if n != 1 {
+                errs.push(format!("prod {i} has {n} terminal feeds (expected 1)"));
+            }
+        }
+        errs
+    }
+
+    /// Compiles a program's productions into a network.
+    pub fn compile(prog: &Program) -> Result<Network, Ops5Error> {
+        let mut net = Network {
+            patterns: Vec::new(),
+            by_class: FxHashMap::default(),
+            joins: Vec::new(),
+            prod_sizes: Vec::with_capacity(prog.productions.len()),
+            prod_names: Vec::with_capacity(prog.productions.len()),
+        };
+        // Dedup map for alpha patterns: (class, tests) → id.
+        let mut alpha_dedup: FxHashMap<(SymbolId, Vec<AlphaTest>), AlphaPatternId> =
+            FxHashMap::default();
+
+        for (pidx, prod) in prog.productions.iter().enumerate() {
+            let prod_id = ProdId(pidx as u32);
+            net.prod_names.push(prog.symbols.name(prod.name).to_string());
+            net.prod_sizes.push(prod.positive_ces() as u16);
+            net.compile_production(prog, prod_id, &mut alpha_dedup)?;
+        }
+        debug_assert!(net.validate().is_empty(), "invalid network: {:?}", net.validate());
+        Ok(net)
+    }
+
+    fn intern_pattern(
+        &mut self,
+        dedup: &mut FxHashMap<(SymbolId, Vec<AlphaTest>), AlphaPatternId>,
+        class: SymbolId,
+        tests: Vec<AlphaTest>,
+    ) -> AlphaPatternId {
+        if let Some(&id) = dedup.get(&(class, tests.clone())) {
+            return id;
+        }
+        let id = self.patterns.len() as AlphaPatternId;
+        self.patterns.push(AlphaPattern {
+            id,
+            class,
+            tests: tests.clone().into_boxed_slice(),
+            succs: Vec::new(),
+        });
+        self.by_class.entry(class).or_default().push(id);
+        dedup.insert((class, tests), id);
+        id
+    }
+
+    fn compile_production(
+        &mut self,
+        prog: &Program,
+        prod_id: ProdId,
+        alpha_dedup: &mut FxHashMap<(SymbolId, Vec<AlphaTest>), AlphaPatternId>,
+    ) -> Result<(), Ops5Error> {
+        let prod = prog.production(prod_id);
+        // Global variable bindings: var → (positive CE position, field).
+        let mut global: FxHashMap<SymbolId, (u16, u16)> = FxHashMap::default();
+        let mut pos_count: u16 = 0;
+
+        // The pending link from the previous element to the next node.
+        enum Prev {
+            /// First CE's alpha pattern — its successor not yet decided.
+            Alpha(AlphaPatternId),
+            Join(JoinId),
+        }
+        let mut prev: Option<Prev> = None;
+
+        for (ce_idx, ce) in prod.lhs.iter().enumerate() {
+            let mut alpha_tests: Vec<AlphaTest> = Vec::new();
+            let mut join_tests: Vec<JoinTest> = Vec::new();
+
+            // Pass 1: local Eq first-occurrences (var → field).
+            let mut local: FxHashMap<SymbolId, u16> = FxHashMap::default();
+            for (field, test) in &ce.tests {
+                if let AttrTest::Conj(ts) = test {
+                    for vt in ts {
+                        if let TestAtom::Var(v) = vt.atom {
+                            if vt.pred.is_eq() {
+                                local.entry(v).or_insert(*field);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Pass 2: emit tests.
+            for (field, test) in &ce.tests {
+                match test {
+                    AttrTest::Disj(vs) => alpha_tests.push(AlphaTest {
+                        field: *field,
+                        kind: AlphaTestKind::Disj(vs.clone().into_boxed_slice()),
+                    }),
+                    AttrTest::Conj(ts) => {
+                        for vt in ts {
+                            match vt.atom {
+                                TestAtom::Const(val) => alpha_tests.push(AlphaTest {
+                                    field: *field,
+                                    kind: AlphaTestKind::Pred(vt.pred, val),
+                                }),
+                                TestAtom::Var(v) => {
+                                    if vt.pred.is_eq() {
+                                        let first = local[&v];
+                                        if *field != first {
+                                            // Later occurrence in the same CE.
+                                            alpha_tests.push(AlphaTest {
+                                                field: *field,
+                                                kind: AlphaTestKind::FieldCmp(Pred::Eq, first),
+                                            });
+                                        } else if let Some(&(pce, pf)) = global.get(&v) {
+                                            // Bound in an earlier CE: join.
+                                            join_tests.push(JoinTest {
+                                                pred: Pred::Eq,
+                                                left_ce: pce,
+                                                left_field: pf,
+                                                right_field: *field,
+                                            });
+                                        } else if !ce.negated {
+                                            global.insert(v, (pos_count, *field));
+                                        }
+                                        // First occurrence in a negated CE
+                                        // with no earlier binding: a local
+                                        // wildcard — no test at all.
+                                    } else {
+                                        // Non-Eq predicate against a variable.
+                                        let local_first = local.get(&v).copied();
+                                        if let Some(first) = local_first {
+                                            alpha_tests.push(AlphaTest {
+                                                field: *field,
+                                                kind: AlphaTestKind::FieldCmp(vt.pred, first),
+                                            });
+                                        } else if let Some(&(pce, pf)) = global.get(&v) {
+                                            join_tests.push(JoinTest {
+                                                pred: vt.pred,
+                                                left_ce: pce,
+                                                left_field: pf,
+                                                right_field: *field,
+                                            });
+                                        } else {
+                                            return Err(Ops5Error::Semantic(format!(
+                                                "production {}: predicate on unbound variable <{}>",
+                                                prog.symbols.name(prod.name),
+                                                prog.symbols.name(v)
+                                            )));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            let pat = self.intern_pattern(alpha_dedup, ce.class, alpha_tests);
+
+            match prev.take() {
+                None => {
+                    // First CE: its matches become 1-WME tokens. Where they
+                    // go is decided when we see the next element (or the end
+                    // of the LHS).
+                    debug_assert!(!ce.negated, "parser rejects negated first CE");
+                    pos_count += 1;
+                    prev = Some(Prev::Alpha(pat));
+                }
+                Some(p) => {
+                    let join_id = self.joins.len() as JoinId;
+                    let eq_specs: Vec<EqSpec> = join_tests
+                        .iter()
+                        .filter(|t| t.pred.is_eq())
+                        .map(|t| EqSpec {
+                            left_ce: t.left_ce,
+                            left_field: t.left_field,
+                            right_field: t.right_field,
+                        })
+                        .collect();
+                    let node = JoinNode {
+                        id: join_id,
+                        prod: prod_id,
+                        ce_index: ce_idx as u16,
+                        negated: ce.negated,
+                        left_len: pos_count,
+                        tests: join_tests.into_boxed_slice(),
+                        eq_specs: eq_specs.into_boxed_slice(),
+                        // Patched below once the next element is seen.
+                        succ: Succ::Terminal(prod_id),
+                    };
+                    self.joins.push(node);
+                    // Link predecessor's output to this join's left input.
+                    match p {
+                        Prev::Alpha(a) => {
+                            self.patterns[a as usize].succs.push(AlphaSucc::JoinLeft(join_id))
+                        }
+                        Prev::Join(j) => self.joins[j as usize].succ = Succ::Join(join_id),
+                    }
+                    // This CE's alpha feeds the join's right input.
+                    self.patterns[pat as usize].succs.push(AlphaSucc::JoinRight(join_id));
+                    if !ce.negated {
+                        pos_count += 1;
+                    }
+                    prev = Some(Prev::Join(join_id));
+                }
+            }
+        }
+
+        match prev {
+            Some(Prev::Alpha(a)) => {
+                // Single-CE production.
+                self.patterns[a as usize].succs.push(AlphaSucc::Terminal(prod_id));
+            }
+            Some(Prev::Join(j)) => {
+                self.joins[j as usize].succ = Succ::Terminal(prod_id);
+            }
+            None => unreachable!("parser rejects empty LHS"),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::Program;
+
+    fn fig22() -> (Program, Network) {
+        let prog = Program::from_source(
+            "(p p1 (C1 ^attr1 <x> ^attr2 12)
+                   (C2 ^attr1 15 ^attr2 <x>)
+                 - (C3 ^attr1 <x>)
+               -->
+               (remove 2))
+             (p p2 (C2 ^attr1 15 ^attr2 <y>)
+                   (C4 ^attr1 <y>)
+               -->
+               (modify 1 ^attr1 12))",
+        )
+        .unwrap();
+        let net = Network::compile(&prog).unwrap();
+        (prog, net)
+    }
+
+    #[test]
+    fn figure_2_2_shares_constant_tests() {
+        let (_prog, net) = fig22();
+        // Patterns: C1(attr2=12), C2(attr1=15), C3(no tests), C4(no tests).
+        // The C2 pattern is shared between p1 (right input of join 1) and p2
+        // (first CE).
+        assert_eq!(net.n_patterns(), 4, "C2 pattern must be shared");
+        // Joins: p1 has 2 (C2 join + negated C3 join), p2 has 1.
+        assert_eq!(net.n_joins(), 3);
+    }
+
+    #[test]
+    fn figure_2_2_join_structure() {
+        let (_prog, net) = fig22();
+        let j0 = net.join(0); // p1's C2 join
+        assert!(!j0.negated);
+        assert_eq!(j0.left_len, 1);
+        assert_eq!(j0.tests.len(), 1);
+        assert_eq!(j0.eq_specs.len(), 1);
+        assert_eq!(j0.succ, Succ::Join(1));
+        let j1 = net.join(1); // p1's negated C3 node
+        assert!(j1.negated);
+        assert_eq!(j1.left_len, 2);
+        assert_eq!(j1.out_len(), 2);
+        assert_eq!(j1.succ, Succ::Terminal(ProdId(0)));
+        let j2 = net.join(2); // p2's C4 join
+        assert_eq!(j2.succ, Succ::Terminal(ProdId(1)));
+    }
+
+    #[test]
+    fn alpha_tests_compile_constants() {
+        let prog = Program::from_source("(p q (a ^x 5 ^y <v> ^z <v>) --> (halt))").unwrap();
+        let net = Network::compile(&prog).unwrap();
+        let pat = net.pattern(0);
+        // One constant test (x=5) and one FieldCmp (z == y-binding field).
+        assert_eq!(pat.tests.len(), 2);
+        assert!(matches!(pat.tests[0].kind, AlphaTestKind::Pred(Pred::Eq, Value::Int(5))));
+        assert!(matches!(pat.tests[1].kind, AlphaTestKind::FieldCmp(Pred::Eq, _)));
+    }
+
+    #[test]
+    fn intra_element_fieldcmp_passes() {
+        let mut prog = Program::from_source("(p q (a ^x <v> ^y <v>) --> (halt))").unwrap();
+        let net = Network::compile(&prog).unwrap();
+        let c = prog.symbols.intern("a");
+        let w_eq = ops5::Wme::new(c, vec![Value::Int(3), Value::Int(3)], 1);
+        let w_ne = ops5::Wme::new(c, vec![Value::Int(3), Value::Int(4)], 2);
+        let pat = net.pattern(0);
+        assert!(pat.tests.iter().all(|t| t.passes(&w_eq)));
+        assert!(!pat.tests.iter().all(|t| t.passes(&w_ne)));
+    }
+
+    #[test]
+    fn join_keys_agree_for_matching_pairs() {
+        let mut prog = Program::from_source(
+            "(p q (a ^x <v>) (b ^y <v>) --> (halt))",
+        )
+        .unwrap();
+        let net = Network::compile(&prog).unwrap();
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("b");
+        let wa = ops5::Wme::new(ca, vec![Value::Int(7)], 1);
+        let wb = ops5::Wme::new(cb, vec![Value::Int(7)], 2);
+        let wb2 = ops5::Wme::new(cb, vec![Value::Int(8)], 3);
+        let j = net.join(0);
+        let tok = Token::single(wa);
+        assert_eq!(j.left_key(&tok), j.right_key(&wb));
+        assert_ne!(j.left_key(&tok), j.right_key(&wb2));
+        assert!(j.passes(&tok, &wb));
+        assert!(!j.passes(&tok, &wb2));
+    }
+
+    #[test]
+    fn cross_product_join_has_no_eq_specs() {
+        // The Tourney pathology: CEs with no common variables.
+        let prog = Program::from_source(
+            "(p q (a ^x <v>) (b ^y <w>) --> (halt))",
+        )
+        .unwrap();
+        let net = Network::compile(&prog).unwrap();
+        let j = net.join(0);
+        assert!(j.eq_specs.is_empty());
+        assert!(j.tests.is_empty());
+    }
+
+    #[test]
+    fn single_ce_production_goes_to_terminal() {
+        let prog = Program::from_source("(p q (a ^x 1) --> (halt))").unwrap();
+        let net = Network::compile(&prog).unwrap();
+        assert_eq!(net.n_joins(), 0);
+        assert_eq!(net.pattern(0).succs, vec![AlphaSucc::Terminal(ProdId(0))]);
+    }
+
+    #[test]
+    fn non_eq_cross_ce_predicate_becomes_join_test() {
+        let prog = Program::from_source(
+            "(p q (a ^x <v>) (b ^y > <v>) --> (halt))",
+        )
+        .unwrap();
+        let net = Network::compile(&prog).unwrap();
+        let j = net.join(0);
+        assert_eq!(j.tests.len(), 1);
+        assert_eq!(j.tests[0].pred, Pred::Gt);
+        assert!(j.eq_specs.is_empty(), "non-eq tests cannot be hashed");
+    }
+
+    #[test]
+    fn predicate_on_never_bound_variable_errors() {
+        let prog = Program::from_source("(p q (a ^x > <nope>) --> (halt))").unwrap();
+        assert!(Network::compile(&prog).is_err());
+    }
+
+    #[test]
+    fn negated_ce_variables_do_not_bind_globally() {
+        // <w> first occurs in the negated CE; using it in a later CE must
+        // fail at compile time (no binding).
+        let prog = Program::from_source(
+            "(p q (a ^x <v>) - (b ^y <w>) (c ^z > <w>) --> (halt))",
+        )
+        .unwrap();
+        assert!(Network::compile(&prog).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_compiled_networks() {
+        let prog = Program::from_source(
+            "(p p1 (C1 ^attr1 <x> ^attr2 12)
+                   (C2 ^attr1 15 ^attr2 <x>)
+                 - (C3 ^attr1 <x>)
+               --> (remove 2))
+             (p p2 (C2 ^attr1 15 ^attr2 <y>) (C4 ^attr1 <y>) --> (modify 1 ^attr1 12))
+             (p p3 (C1 ^attr1 1) --> (halt))",
+        )
+        .unwrap();
+        let net = Network::compile(&prog).unwrap();
+        assert!(net.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let prog = Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
+        let mut net = Network::compile(&prog).unwrap();
+        // Corrupt the chain: point the join at a foreign production.
+        net.joins[0].succ = Succ::Terminal(ProdId(7));
+        assert!(!net.validate().is_empty());
+    }
+
+    #[test]
+    fn class_dispatch() {
+        let mut prog = Program::from_source("(p q (a ^x 1) --> (halt))").unwrap();
+        let net = Network::compile(&prog).unwrap();
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("zz");
+        assert_eq!(net.patterns_for_class(ca).len(), 1);
+        assert_eq!(net.patterns_for_class(cb).len(), 0);
+    }
+}

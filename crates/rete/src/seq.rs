@@ -1,0 +1,474 @@
+//! The sequential matcher — the paper's uniprocessor C implementations.
+//!
+//! `SeqMatcher<ListMem>` is *vs1*, `SeqMatcher<HashMem>` is *vs2*
+//! (Table 4-1). Node activations are processed depth-first off an explicit
+//! stack; each activation updates the memories and schedules successor
+//! activations, exactly the task structure the parallel matcher distributes
+//! across match processes.
+
+use crate::memory::{HashMem, HashMemConfig, ListMem, TokenMem};
+use crate::network::{AlphaSucc, JoinId, Network, Succ};
+use crate::token::Token;
+use ops5::{CsChange, Instantiation, MatchStats, Matcher, ProdId, Sign, WmeChange, WmeRef};
+use std::sync::Arc;
+
+/// One schedulable unit of match work (§3.1: a node activation).
+#[derive(Debug, Clone)]
+pub enum Task {
+    Left { join: JoinId, sign: Sign, token: Token },
+    Right { join: JoinId, sign: Sign, wme: WmeRef },
+    Terminal { prod: ProdId, sign: Sign, token: Token },
+}
+
+/// Sequential Rete matcher over a pluggable memory implementation.
+pub struct SeqMatcher<M: TokenMem> {
+    net: Arc<Network>,
+    mem: M,
+    agenda: Vec<Task>,
+    out: Vec<CsChange>,
+    stats: MatchStats,
+}
+
+impl SeqMatcher<ListMem> {
+    /// vs1: linear-list memories.
+    pub fn vs1(net: Arc<Network>) -> Self {
+        let mem = ListMem::new(net.n_joins());
+        SeqMatcher { net, mem, agenda: Vec::new(), out: Vec::new(), stats: MatchStats::default() }
+    }
+}
+
+impl SeqMatcher<HashMem> {
+    /// vs2: global hash-table memories.
+    pub fn vs2(net: Arc<Network>, cfg: HashMemConfig) -> Self {
+        SeqMatcher {
+            net,
+            mem: HashMem::new(cfg),
+            agenda: Vec::new(),
+            out: Vec::new(),
+            stats: MatchStats::default(),
+        }
+    }
+}
+
+/// Factory helpers returning boxed matchers (for table-driven harnesses).
+pub fn boxed_vs1(net: Arc<Network>) -> Box<dyn Matcher> {
+    Box::new(SeqMatcher::vs1(net))
+}
+
+pub fn boxed_vs2(net: Arc<Network>, cfg: HashMemConfig) -> Box<dyn Matcher> {
+    Box::new(SeqMatcher::vs2(net, cfg))
+}
+
+impl<M: TokenMem + Send> SeqMatcher<M> {
+    fn emit(&mut self, succ: Succ, token: Token, sign: Sign) {
+        match succ {
+            Succ::Join(j) => self.agenda.push(Task::Left { join: j, sign, token }),
+            Succ::Terminal(p) => self.agenda.push(Task::Terminal { prod: p, sign, token }),
+        }
+    }
+
+    fn run_task(&mut self, task: Task) {
+        match task {
+            Task::Left { join, sign, token } => {
+                self.stats.activations += 1;
+                let j = self.net.join(join).clone();
+                if !j.negated {
+                    match sign {
+                        Sign::Plus => self.mem.insert_left(&j, token.clone(), 0),
+                        Sign::Minus => {
+                            let r = self.mem.remove_left(&j, &token);
+                            self.stats.same_tokens_left += r.examined;
+                            self.stats.same_searches_left += 1;
+                            debug_assert!(r.entry.is_some(), "sequential delete must find its token");
+                        }
+                    }
+                    let scan = self.mem.scan_right(&j, &token);
+                    self.stats.opp_tokens_left += scan.examined;
+                    if scan.nonempty {
+                        self.stats.opp_nonempty_left += 1;
+                    }
+                    for w in scan.matches {
+                        self.emit(j.succ, token.extended(w), sign);
+                    }
+                } else {
+                    match sign {
+                        Sign::Plus => {
+                            let (n, examined, nonempty) = self.mem.count_right(&j, &token);
+                            self.stats.opp_tokens_left += examined;
+                            if nonempty {
+                                self.stats.opp_nonempty_left += 1;
+                            }
+                            self.mem.insert_left(&j, token.clone(), n);
+                            if n == 0 {
+                                self.emit(j.succ, token, Sign::Plus);
+                            }
+                        }
+                        Sign::Minus => {
+                            let r = self.mem.remove_left(&j, &token);
+                            self.stats.same_tokens_left += r.examined;
+                            self.stats.same_searches_left += 1;
+                            if let Some(neg_count) = r.entry {
+                                if neg_count == 0 {
+                                    self.emit(j.succ, token, Sign::Minus);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Task::Right { join, sign, wme } => {
+                self.stats.activations += 1;
+                let j = self.net.join(join).clone();
+                if !j.negated {
+                    match sign {
+                        Sign::Plus => self.mem.insert_right(&j, wme.clone()),
+                        Sign::Minus => {
+                            let r = self.mem.remove_right(&j, &wme);
+                            self.stats.same_tokens_right += r.examined;
+                            self.stats.same_searches_right += 1;
+                            debug_assert!(r.entry.is_some(), "sequential delete must find its wme");
+                        }
+                    }
+                    let scan = self.mem.scan_left(&j, &wme);
+                    self.stats.opp_tokens_right += scan.examined;
+                    if scan.nonempty {
+                        self.stats.opp_nonempty_right += 1;
+                    }
+                    for t in scan.matches {
+                        self.emit(j.succ, t.extended(wme.clone()), sign);
+                    }
+                } else {
+                    match sign {
+                        Sign::Plus => {
+                            self.mem.insert_right(&j, wme.clone());
+                            let scan = self.mem.adjust_left_counts(&j, &wme, 1);
+                            self.stats.opp_tokens_right += scan.examined;
+                            if scan.nonempty {
+                                self.stats.opp_nonempty_right += 1;
+                            }
+                            for t in scan.matches {
+                                // 0→1: those tokens just lost their support.
+                                self.emit(j.succ, t, Sign::Minus);
+                            }
+                        }
+                        Sign::Minus => {
+                            let r = self.mem.remove_right(&j, &wme);
+                            self.stats.same_tokens_right += r.examined;
+                            self.stats.same_searches_right += 1;
+                            let scan = self.mem.adjust_left_counts(&j, &wme, -1);
+                            self.stats.opp_tokens_right += scan.examined;
+                            if scan.nonempty {
+                                self.stats.opp_nonempty_right += 1;
+                            }
+                            for t in scan.matches {
+                                // 1→0: those tokens regained satisfaction.
+                                self.emit(j.succ, t, Sign::Plus);
+                            }
+                        }
+                    }
+                }
+            }
+            Task::Terminal { prod, sign, token } => {
+                self.stats.activations += 1;
+                self.stats.cs_changes += 1;
+                let inst = Instantiation { prod, wmes: token.wmes().to_vec() };
+                self.out.push(match sign {
+                    Sign::Plus => CsChange::Insert(inst),
+                    Sign::Minus => CsChange::Remove(inst),
+                });
+            }
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some(t) = self.agenda.pop() {
+            self.run_task(t);
+        }
+    }
+
+    /// Direct access to the network (tests, tooling).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Total memory entries (invariant checks in tests).
+    pub fn memory_entries(&self) -> usize {
+        self.mem.total_entries()
+    }
+}
+
+impl<M: TokenMem + Send> Matcher for SeqMatcher<M> {
+    fn submit(&mut self, change: WmeChange) {
+        self.stats.wme_changes += 1;
+        let wme = change.wme;
+        // One task's worth of grouped constant-test node activations (§3.1).
+        self.stats.alpha_activations += 1;
+        let pats: Vec<_> = self.net.patterns_for_class(wme.class).to_vec();
+        for pid in pats {
+            let pat = self.net.pattern(pid);
+            if !pat.tests.iter().all(|t| t.passes(&wme)) {
+                continue;
+            }
+            let succs: Vec<AlphaSucc> = pat.succs.clone();
+            for succ in succs {
+                match succ {
+                    AlphaSucc::JoinLeft(j) => self.agenda.push(Task::Left {
+                        join: j,
+                        sign: change.sign,
+                        token: Token::single(wme.clone()),
+                    }),
+                    AlphaSucc::JoinRight(j) => self.agenda.push(Task::Right {
+                        join: j,
+                        sign: change.sign,
+                        wme: wme.clone(),
+                    }),
+                    AlphaSucc::Terminal(p) => self.agenda.push(Task::Terminal {
+                        prod: p,
+                        sign: change.sign,
+                        token: Token::single(wme.clone()),
+                    }),
+                }
+            }
+        }
+        self.drain();
+    }
+
+    fn quiesce(&mut self) -> Vec<CsChange> {
+        debug_assert!(self.agenda.is_empty());
+        std::mem::take(&mut self.out)
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
+    }
+
+    fn name(&self) -> &'static str {
+        "seq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{Program, Sign, Value, Wme};
+
+    fn net_of(src: &str) -> (Program, Arc<Network>) {
+        let prog = Program::from_source(src).unwrap();
+        let net = Arc::new(Network::compile(&prog).unwrap());
+        (prog, net)
+    }
+
+    fn wme(prog: &mut Program, class: &str, vals: Vec<Value>, tag: u64) -> WmeRef {
+        let c = prog.symbols.intern(class);
+        Wme::new(c, vals, tag)
+    }
+
+    fn add(m: &mut dyn Matcher, w: WmeRef) {
+        m.submit(WmeChange { sign: Sign::Plus, wme: w });
+    }
+
+    fn del(m: &mut dyn Matcher, w: WmeRef) {
+        m.submit(WmeChange { sign: Sign::Minus, wme: w });
+    }
+
+    fn both(src: &str) -> (Program, Arc<Network>, Vec<Box<dyn Matcher>>) {
+        let (prog, net) = net_of(src);
+        let ms: Vec<Box<dyn Matcher>> = vec![
+            boxed_vs1(net.clone()),
+            boxed_vs2(net.clone(), HashMemConfig { buckets: 16 }),
+        ];
+        (prog, net, ms)
+    }
+
+    #[test]
+    fn two_ce_join_fires() {
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) (b ^y <v>) --> (halt))");
+        for mut m in ms {
+            let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+            let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+            add(m.as_mut(), wa.clone());
+            assert!(m.quiesce().is_empty(), "no match with one wme");
+            add(m.as_mut(), wb.clone());
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 1);
+            match &cs[0] {
+                CsChange::Insert(inst) => {
+                    assert_eq!(inst.wmes.len(), 2);
+                    assert_eq!(inst.wmes[0].timetag, 1);
+                    assert_eq!(inst.wmes[1].timetag, 2);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn right_then_left_order_also_fires() {
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) (b ^y <v>) --> (halt))");
+        for mut m in ms {
+            let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+            let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+            add(m.as_mut(), wb);
+            add(m.as_mut(), wa);
+            assert_eq!(m.quiesce().len(), 1);
+        }
+    }
+
+    #[test]
+    fn delete_retracts_instantiation() {
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) (b ^y <v>) --> (halt))");
+        for mut m in ms {
+            let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+            let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+            add(m.as_mut(), wa.clone());
+            add(m.as_mut(), wb.clone());
+            m.quiesce();
+            del(m.as_mut(), wa);
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 1);
+            assert!(matches!(cs[0], CsChange::Remove(_)));
+        }
+    }
+
+    #[test]
+    fn negated_ce_blocks_and_unblocks() {
+        let (mut prog, _net, ms) =
+            both("(p q (a ^x <v>) - (b ^y <v>) --> (halt))");
+        for mut m in ms {
+            let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+            let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+            add(m.as_mut(), wa.clone());
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 1, "fires while no blocker exists");
+            assert!(matches!(cs[0], CsChange::Insert(_)));
+
+            add(m.as_mut(), wb.clone());
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 1, "blocker retracts it");
+            assert!(matches!(cs[0], CsChange::Remove(_)));
+
+            del(m.as_mut(), wb);
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 1, "removing blocker re-fires");
+            assert!(matches!(cs[0], CsChange::Insert(_)));
+        }
+    }
+
+    #[test]
+    fn blocker_added_first() {
+        let (mut prog, _net, ms) =
+            both("(p q (a ^x <v>) - (b ^y <v>) --> (halt))");
+        for mut m in ms {
+            let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+            let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+            add(m.as_mut(), wb);
+            add(m.as_mut(), wa);
+            assert!(m.quiesce().is_empty(), "blocked from the start");
+        }
+    }
+
+    #[test]
+    fn three_ce_chain() {
+        let (mut prog, _net, ms) = both(
+            "(p q (a ^x <v>) (b ^y <v> ^z <w>) (c ^u <w>) --> (halt))",
+        );
+        for mut m in ms {
+            add(m.as_mut(), wme(&mut prog, "a", vec![Value::Int(1)], 1));
+            add(m.as_mut(), wme(&mut prog, "b", vec![Value::Int(1), Value::Int(9)], 2));
+            add(m.as_mut(), wme(&mut prog, "c", vec![Value::Int(9)], 3));
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 1);
+            match &cs[0] {
+                CsChange::Insert(i) => assert_eq!(i.wmes.len(), 3),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cross_product_counts() {
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) (b ^y <w>) --> (halt))");
+        for mut m in ms {
+            for i in 0..3 {
+                add(m.as_mut(), wme(&mut prog, "a", vec![Value::Int(i)], i as u64 + 1));
+            }
+            for i in 0..4 {
+                add(m.as_mut(), wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 10));
+            }
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 12, "3x4 cross product");
+        }
+    }
+
+    #[test]
+    fn modify_as_delete_add() {
+        let (mut prog, _net, ms) = both("(p q (a ^x 1) --> (halt))");
+        for mut m in ms {
+            let w1 = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+            add(m.as_mut(), w1.clone());
+            assert_eq!(m.quiesce().len(), 1);
+            // modify: delete then add with new timetag and value 2.
+            del(m.as_mut(), w1);
+            let w2 = wme(&mut prog, "a", vec![Value::Int(2)], 2);
+            add(m.as_mut(), w2);
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 1);
+            assert!(matches!(cs[0], CsChange::Remove(_)));
+        }
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) (b ^y <v>) --> (halt))");
+        for mut m in ms {
+            add(m.as_mut(), wme(&mut prog, "a", vec![Value::Int(1)], 1));
+            add(m.as_mut(), wme(&mut prog, "b", vec![Value::Int(1)], 2));
+            m.quiesce();
+            let s = m.stats();
+            assert_eq!(s.wme_changes, 2);
+            assert!(s.activations >= 2);
+            assert_eq!(s.cs_changes, 1);
+            assert_eq!(s.opp_nonempty_right, 1);
+        }
+    }
+
+    #[test]
+    fn vs1_examines_more_than_vs2() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let (mut prog, net) = net_of(src);
+        let mut m1 = SeqMatcher::vs1(net.clone());
+        let mut m2 = SeqMatcher::vs2(net.clone(), HashMemConfig { buckets: 64 });
+        for i in 0..20i64 {
+            let wb = wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 1);
+            m1.submit(WmeChange { sign: Sign::Plus, wme: wb.clone() });
+            m2.submit(WmeChange { sign: Sign::Plus, wme: wb });
+        }
+        let wa = wme(&mut prog, "a", vec![Value::Int(5)], 100);
+        m1.submit(WmeChange { sign: Sign::Plus, wme: wa.clone() });
+        m2.submit(WmeChange { sign: Sign::Plus, wme: wa });
+        assert_eq!(m1.quiesce().len(), 1);
+        assert_eq!(m2.quiesce().len(), 1);
+        assert!(m1.stats().opp_tokens_left > m2.stats().opp_tokens_left * 3);
+    }
+
+    #[test]
+    fn duplicate_value_wmes_are_distinct() {
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) (b ^y <v>) --> (halt))");
+        for mut m in ms {
+            let wa1 = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+            let wa2 = wme(&mut prog, "a", vec![Value::Int(1)], 2);
+            let wb = wme(&mut prog, "b", vec![Value::Int(1)], 3);
+            add(m.as_mut(), wa1.clone());
+            add(m.as_mut(), wa2);
+            add(m.as_mut(), wb);
+            assert_eq!(m.quiesce().len(), 2);
+            del(m.as_mut(), wa1);
+            let cs = m.quiesce();
+            assert_eq!(cs.len(), 1, "only the instantiation with wa1 retracts");
+        }
+    }
+}

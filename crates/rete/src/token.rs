@@ -1,0 +1,139 @@
+//! Match tokens.
+//!
+//! A token is an ordered list of WMEs matching a prefix of a production's
+//! positive condition elements (§2.2). Tokens are immutable and shared; a
+//! join extends its left token by one WME, producing a fresh token. Identity
+//! (for memory lookups and conjugate-pair detection) is the sequence of WME
+//! timetags — structurally equal WMEs created at different times are
+//! different elements.
+
+use crate::fxhash;
+use ops5::{Value, WmeRef};
+use std::fmt;
+use std::sync::Arc;
+
+/// An ordered list of matched WMEs (positive condition elements only).
+#[derive(Clone)]
+pub struct Token {
+    wmes: Arc<[WmeRef]>,
+}
+
+impl Token {
+    /// The empty token (left input of the first join when the first CE is
+    /// negated never occurs — parser forbids it — but the dummy top token is
+    /// still useful in tests).
+    pub fn empty() -> Token {
+        Token { wmes: Arc::from(Vec::new().into_boxed_slice()) }
+    }
+
+    /// A one-WME token, as produced by the alpha network.
+    pub fn single(wme: WmeRef) -> Token {
+        Token { wmes: Arc::from(vec![wme].into_boxed_slice()) }
+    }
+
+    /// Extends this token with one more WME (join output).
+    pub fn extended(&self, wme: WmeRef) -> Token {
+        let mut v = Vec::with_capacity(self.wmes.len() + 1);
+        v.extend(self.wmes.iter().cloned());
+        v.push(wme);
+        Token { wmes: Arc::from(v.into_boxed_slice()) }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.wmes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.wmes.is_empty()
+    }
+
+    #[inline]
+    pub fn wme(&self, idx: u16) -> &WmeRef {
+        &self.wmes[idx as usize]
+    }
+
+    #[inline]
+    pub fn wmes(&self) -> &[WmeRef] {
+        &self.wmes
+    }
+
+    /// Value of `token[ce].field(f)` — the join-test left operand.
+    #[inline]
+    pub fn value(&self, ce: u16, field: u16) -> Value {
+        self.wmes[ce as usize].field(field)
+    }
+
+    /// Token identity: equal iff same timetag sequence.
+    #[inline]
+    pub fn same_wmes(&self, other: &Token) -> bool {
+        self.wmes.len() == other.wmes.len()
+            && self
+                .wmes
+                .iter()
+                .zip(other.wmes.iter())
+                .all(|(a, b)| a.timetag == b.timetag)
+    }
+
+    /// Fx hash of the timetag sequence (used for fast identity pre-checks).
+    pub fn identity_hash(&self) -> u64 {
+        fxhash::hash_words(self.wmes.iter().map(|w| w.timetag))
+    }
+
+    pub fn timetags(&self) -> Vec<u64> {
+        self.wmes.iter().map(|w| w.timetag).collect()
+    }
+}
+
+impl fmt::Debug for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tok[")?;
+        for (i, w) in self.wmes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", w.timetag)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{SymbolId, Value, Wme};
+
+    fn wme(tag: u64) -> WmeRef {
+        Wme::new(SymbolId(1), vec![Value::Int(tag as i64)], tag)
+    }
+
+    #[test]
+    fn extend_grows() {
+        let t = Token::single(wme(1)).extended(wme(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.wme(1).timetag, 2);
+    }
+
+    #[test]
+    fn identity_is_timetags() {
+        let a = Token::single(wme(1)).extended(wme(2));
+        let b = Token::single(wme(1)).extended(wme(2));
+        let c = Token::single(wme(1)).extended(wme(3));
+        assert!(a.same_wmes(&b));
+        assert!(!a.same_wmes(&c));
+        assert_eq!(a.identity_hash(), b.identity_hash());
+    }
+
+    #[test]
+    fn value_reads_fields() {
+        let t = Token::single(wme(7));
+        assert_eq!(t.value(0, 0), Value::Int(7));
+    }
+
+    #[test]
+    fn empty_token() {
+        assert!(Token::empty().is_empty());
+        assert_eq!(Token::empty().len(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests for the `ops5` command-line interpreter.
+
+use std::process::Command;
+
+fn ops5() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ops5"))
+}
+
+#[test]
+fn runs_blocks_program() {
+    let out = ops5()
+        .args(["programs/blocks.ops"])
+        .output()
+        .expect("run ops5");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("tower complete"), "stdout: {stdout}");
+    assert!(stderr.contains("3 cycles"), "stderr: {stderr}");
+}
+
+#[test]
+fn all_matchers_agree_on_blocks() {
+    for matcher in ["vs1", "vs2", "lisp", "psm"] {
+        let out = ops5()
+            .args(["programs/blocks.ops", "--matcher", matcher])
+            .output()
+            .expect("run ops5");
+        assert!(out.status.success(), "{matcher} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("tower complete"), "{matcher}: {stdout}");
+    }
+}
+
+#[test]
+fn print_roundtrips_through_cli() {
+    let out = ops5()
+        .args(["programs/blocks.ops", "--print"])
+        .output()
+        .expect("run ops5");
+    assert!(out.status.success());
+    let printed = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(printed.contains("(p stack"));
+    assert!(printed.contains("(literalize block"));
+    // The printed output is itself a runnable program.
+    let dir = std::env::temp_dir().join("ops5-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("printed.ops");
+    std::fs::write(&path, &printed).unwrap();
+    let out2 = ops5().arg(path.to_str().unwrap()).output().expect("run printed");
+    assert!(out2.status.success());
+    assert!(String::from_utf8_lossy(&out2.stdout).contains("tower complete"));
+}
+
+#[test]
+fn network_dump() {
+    let out = ops5()
+        .args(["programs/blocks.ops", "--network"])
+        .output()
+        .expect("run ops5");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("root"));
+    assert!(stdout.contains("terminal: stack"));
+}
+
+#[test]
+fn wm_dump_shows_final_state() {
+    let out = ops5()
+        .args(["programs/blocks.ops", "--wm"])
+        .output()
+        .expect("run ops5");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("^on b"), "c sits on b: {stdout}");
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let out = ops5().arg("does-not-exist.ops").output().expect("run ops5");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn parse_error_reported_with_position() {
+    let dir = std::env::temp_dir().join("ops5-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.ops");
+    std::fs::write(&path, "(p broken (a ^x 1) --> (explode))").unwrap();
+    let out = ops5().arg(path.to_str().unwrap()).output().expect("run ops5");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown RHS action"), "{stderr}");
+}
+
+#[test]
+fn monkey_and_bananas_plans_correctly() {
+    let out = ops5()
+        .args(["programs/monkey.ops"])
+        .output()
+        .expect("run ops5");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The full means-ends plan, in order.
+    let steps = [
+        "climbing down",
+        "walking to loc-b",
+        "grabbing ladder",
+        "carrying ladder to loc-c",
+        "dropping ladder",
+        "climbing the ladder",
+        "grabbing bananas",
+        "the monkey has the bananas",
+    ];
+    let mut pos = 0;
+    for step in steps {
+        let found = stdout[pos..].find(step).unwrap_or_else(|| {
+            panic!("step '{step}' missing or out of order in:\n{stdout}")
+        });
+        pos += found;
+    }
+}
+
+#[test]
+fn monkey_plan_is_matcher_independent() {
+    let reference = ops5().args(["programs/monkey.ops"]).output().unwrap().stdout;
+    for matcher in ["vs1", "lisp", "psm"] {
+        let out = ops5()
+            .args(["programs/monkey.ops", "--matcher", matcher])
+            .output()
+            .unwrap();
+        assert_eq!(out.stdout, reference, "{matcher} diverged");
+    }
+}
+
+#[test]
+fn fibonacci_computes() {
+    let out = ops5().args(["programs/fibonacci.ops"]).output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fib 20 is 6765"), "{stdout}");
+}

@@ -1,0 +1,130 @@
+//! Differential tests: every match engine must produce the same firing
+//! sequence on the same program.
+//!
+//! The engines differ in memory organisation (vs1 lists, vs2 hash tables),
+//! execution style (compiled vs interpreted), and concurrency (sequential vs
+//! 1..4 match processes with either lock scheme) — but the recognize-act
+//! semantics must be identical. The firing log (production, matched
+//! timetags, in firing order) is the strongest observable.
+
+use parallel_ops5::prelude::*;
+use workloads::{build_engine, rubik, synth, tourney, weaver, MatcherChoice, Workload};
+
+fn firing_log(w: &Workload, choice: &MatcherChoice) -> Vec<(u32, Vec<u64>)> {
+    let mut eng = build_engine(w, choice).expect("build engine");
+    eng.run(w.max_cycles).expect("run");
+    eng.fired_log()
+        .iter()
+        .map(|(p, tags)| (p.0, tags.clone()))
+        .collect()
+}
+
+fn all_choices() -> Vec<MatcherChoice> {
+    vec![
+        MatcherChoice::Vs1,
+        MatcherChoice::Vs2,
+        MatcherChoice::Lisp,
+        MatcherChoice::Psm(PsmConfig {
+            match_processes: 1,
+            queues: 1,
+            lock_scheme: LockScheme::Simple,
+            buckets: 64,
+            scheduler: psm::SchedulerKind::SpinQueues,
+        }),
+        MatcherChoice::Psm(PsmConfig {
+            match_processes: 4,
+            queues: 2,
+            lock_scheme: LockScheme::Simple,
+            buckets: 64,
+            scheduler: psm::SchedulerKind::SpinQueues,
+        }),
+        MatcherChoice::Psm(PsmConfig {
+            match_processes: 4,
+            queues: 4,
+            lock_scheme: LockScheme::Mrsw,
+            buckets: 64,
+            scheduler: psm::SchedulerKind::SpinQueues,
+        }),
+    ]
+}
+
+fn assert_all_engines_agree(w: Workload) {
+    let reference = firing_log(&w, &MatcherChoice::Vs2);
+    assert!(!reference.is_empty(), "workload {} did nothing", w.name);
+    for choice in all_choices() {
+        let log = firing_log(&w, &choice);
+        assert_eq!(
+            log,
+            reference,
+            "firing log mismatch: {} under {}",
+            w.name,
+            choice.label()
+        );
+    }
+}
+
+#[test]
+fn rubik_firings_identical_everywhere() {
+    assert_all_engines_agree(rubik::workload(rubik::RubikConfig {
+        seed: 3,
+        scramble_len: 5,
+        plan: rubik::PlanMode::Inverse,
+    }));
+}
+
+#[test]
+fn tourney_pathological_firings_identical() {
+    assert_all_engines_agree(tourney::workload(tourney::TourneyConfig {
+        teams: 6,
+        variant: tourney::Variant::Pathological,
+    }));
+}
+
+#[test]
+fn tourney_fixed_firings_identical() {
+    assert_all_engines_agree(tourney::workload(tourney::TourneyConfig {
+        teams: 6,
+        variant: tourney::Variant::Fixed,
+    }));
+}
+
+#[test]
+fn weaver_firings_identical() {
+    assert_all_engines_agree(weaver::workload(weaver::WeaverConfig {
+        width: 5,
+        height: 4,
+        kinds: 2,
+        nets: 2,
+        blocked_pct: 5,
+        seed: 17,
+    }));
+}
+
+#[test]
+fn synthetic_cross_product_firings_identical() {
+    assert_all_engines_agree(synth::cross_product(5));
+}
+
+#[test]
+fn synthetic_chain_firings_identical() {
+    assert_all_engines_agree(synth::long_chain(30));
+}
+
+#[test]
+fn synthetic_fat_memories_firings_identical() {
+    assert_all_engines_agree(synth::fat_memories(6, 12));
+}
+
+#[test]
+fn trace_matcher_agrees_too() {
+    let w = rubik::workload(rubik::RubikConfig {
+        seed: 9,
+        scramble_len: 4,
+        plan: rubik::PlanMode::Inverse,
+    });
+    let reference = firing_log(&w, &MatcherChoice::Vs2);
+    let sink = std::sync::Arc::new(std::sync::Mutex::new(psm::trace::RunTrace::default()));
+    let log = firing_log(&w, &MatcherChoice::Trace(sink.clone()));
+    assert_eq!(log, reference);
+    assert!(sink.lock().unwrap().total_tasks() > 100);
+}

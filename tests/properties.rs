@@ -1,0 +1,251 @@
+//! Property-based tests (proptest) on the match engines.
+//!
+//! Strategy: generate small random programs over a fixed vocabulary of
+//! classes/attributes/values, plus random add/remove streams, and require
+//! that every engine computes the identical final conflict set. Also checks
+//! core invariants: token memories drain when everything is retracted, the
+//! parallel matcher leaves no parked conjugate tokens at quiescence, and
+//! TaskCount returns to zero.
+
+use ops5::{CsChange, Matcher, Program, Sign, Value, Wme, WmeChange, WmeRef};
+use proptest::prelude::*;
+use psm::{LockScheme, ParMatcher, PsmConfig};
+use rete::network::Network;
+use rete::HashMemConfig;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A random condition element over classes c0..c2, fields 0..2, values 0..3
+/// or variables v0..v2.
+#[derive(Debug, Clone)]
+struct GenCe {
+    class: u8,
+    negated: bool,
+    tests: Vec<(u8, GenTest)>,
+}
+
+#[derive(Debug, Clone)]
+enum GenTest {
+    Const(u8),
+    Var(u8),
+    VarNe(u8),
+}
+
+fn gen_ce(negated: bool) -> impl Strategy<Value = GenCe> {
+    (
+        0u8..3,
+        proptest::collection::vec((0u8..3, gen_test()), 0..3),
+    )
+        .prop_map(move |(class, tests)| GenCe { class, negated, tests })
+}
+
+fn gen_test() -> impl Strategy<Value = GenTest> {
+    prop_oneof![
+        (0u8..4).prop_map(GenTest::Const),
+        (0u8..3).prop_map(GenTest::Var),
+        (0u8..3).prop_map(GenTest::VarNe),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct GenProgram {
+    prods: Vec<Vec<GenCe>>,
+}
+
+fn gen_program() -> impl Strategy<Value = GenProgram> {
+    proptest::collection::vec(
+        (
+            gen_ce(false),
+            proptest::collection::vec((gen_ce(false), any::<bool>()), 0..3),
+        ),
+        1..4,
+    )
+    .prop_map(|prods| GenProgram {
+        prods: prods
+            .into_iter()
+            .map(|(first, rest)| {
+                let mut lhs = vec![first];
+                for (mut ce, neg) in rest {
+                    ce.negated = neg;
+                    lhs.push(ce);
+                }
+                lhs
+            })
+            .collect(),
+    })
+}
+
+/// Renders the generated program as OPS5 source. Variables appearing in only
+/// one place are still legal; VarNe tests against variables that end up
+/// unbound would be compile errors, so every production pre-binds all three
+/// variables in its first CE.
+fn render(prog: &GenProgram) -> String {
+    let mut s = String::new();
+    // Fix the field layout up front so WME construction in the test can use
+    // positional fields f0, f1, f2 for every class.
+    for c in 0..3 {
+        s.push_str(&format!("(literalize c{c} f0 f1 f2)\n"));
+    }
+    for (pi, lhs) in prog.prods.iter().enumerate() {
+        s.push_str(&format!("(p p{pi}\n"));
+        for (ci, ce) in lhs.iter().enumerate() {
+            if ce.negated && ci > 0 {
+                s.push_str("  - ");
+            } else {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("(c{}", ce.class));
+            if ci == 0 {
+                // Bind all variables so later predicates are always legal.
+                s.push_str(" ^f0 <v0> ^f1 <v1> ^f2 <v2>");
+            }
+            for (field, t) in &ce.tests {
+                match t {
+                    GenTest::Const(v) => s.push_str(&format!(" ^f{field} {v}")),
+                    GenTest::Var(v) => s.push_str(&format!(" ^f{field} <v{v}>")),
+                    GenTest::VarNe(v) => s.push_str(&format!(" ^f{field} <> <v{v}>")),
+                }
+            }
+            s.push_str(")\n");
+        }
+        // The RHS is irrelevant: these tests drive matchers directly.
+        s.push_str("  --> (halt))\n");
+    }
+    s
+}
+
+/// A random WME stream: adds, and removes of previously-added elements.
+fn gen_stream() -> impl Strategy<Value = Vec<(u8, [u8; 3], bool)>> {
+    proptest::collection::vec((0u8..3, [0u8..4, 0u8..4, 0u8..4], any::<bool>()), 1..25)
+}
+
+fn final_cs(m: &mut dyn Matcher, changes: &[WmeChange]) -> BTreeSet<(u32, Vec<u64>)> {
+    for c in changes {
+        m.submit(c.clone());
+    }
+    let mut set = BTreeSet::new();
+    for c in m.quiesce() {
+        match c {
+            CsChange::Insert(i) => {
+                let k = i.key();
+                set.insert((k.0 .0, k.1));
+            }
+            CsChange::Remove(i) => {
+                let k = i.key();
+                set.remove(&(k.0 .0, k.1));
+            }
+        }
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn engines_agree_on_random_programs(genp in gen_program(), stream in gen_stream()) {
+        let src = render(&genp);
+        let prog = Program::from_source(&src).expect("generated source parses");
+        let net = Arc::new(Network::compile(&prog).expect("network compiles"));
+
+        // Build the change stream: adds, and removes of live elements.
+        let mut live: Vec<WmeRef> = Vec::new();
+        let mut changes = Vec::new();
+        let mut tag = 1u64;
+        for (class, fields, remove) in &stream {
+            if *remove && !live.is_empty() {
+                let w = live.swap_remove((*class as usize) % live.len());
+                changes.push(WmeChange { sign: Sign::Minus, wme: w });
+            } else {
+                let cs = prog.symbols.get(&format!("c{class}")).unwrap();
+                let w = Wme::new(
+                    cs,
+                    fields.iter().map(|&v| Value::Int(v as i64)).collect(),
+                    tag,
+                );
+                tag += 1;
+                live.push(w.clone());
+                changes.push(WmeChange { sign: Sign::Plus, wme: w });
+            }
+        }
+
+        let mut vs1 = rete::seq::boxed_vs1(net.clone());
+        let reference = final_cs(vs1.as_mut(), &changes);
+
+        let mut vs2 = rete::seq::boxed_vs2(net.clone(), HashMemConfig { buckets: 16 });
+        prop_assert_eq!(final_cs(vs2.as_mut(), &changes), reference.clone(), "vs2 disagrees");
+
+        let mut lisp = lispsim::LispEngineMatcher::boxed(&prog);
+        prop_assert_eq!(final_cs(lisp.as_mut(), &changes), reference.clone(), "lisp disagrees");
+
+        for scheme in [LockScheme::Simple, LockScheme::Mrsw] {
+            let mut par = ParMatcher::new(
+                net.clone(),
+                PsmConfig { match_processes: 3, queues: 2, lock_scheme: scheme, buckets: 16, scheduler: psm::SchedulerKind::SpinQueues },
+            );
+            prop_assert_eq!(
+                final_cs(&mut par, &changes),
+                reference.clone(),
+                "psm {:?} disagrees",
+                scheme
+            );
+            prop_assert_eq!(par.parked_tokens(), 0, "conjugate tokens parked at quiescence");
+        }
+    }
+
+    #[test]
+    fn printer_roundtrip_preserves_semantics(genp in gen_program(), stream in gen_stream()) {
+        // parse → print → reparse must give a semantically identical
+        // program: same final conflict set on the same WME stream.
+        let src = render(&genp);
+        let prog = Program::from_source(&src).expect("parses");
+        let printed = ops5::printer::print_program(&prog);
+        let prog2 = Program::from_source(&printed)
+            .unwrap_or_else(|e| panic!("printed program fails to reparse: {e}\n{printed}"));
+        let net1 = Arc::new(Network::compile(&prog).expect("net1"));
+        let net2 = Arc::new(Network::compile(&prog2).expect("net2"));
+
+        let mk = |prog: &Program, class: u8, fields: &[u8; 3], tag: u64| {
+            let c = prog.symbols.get(&format!("c{class}")).unwrap();
+            Wme::new(c, fields.iter().map(|&v| Value::Int(v as i64)).collect(), tag)
+        };
+        let mut m1 = rete::seq::boxed_vs2(net1, HashMemConfig { buckets: 16 });
+        let mut m2 = rete::seq::boxed_vs2(net2, HashMemConfig { buckets: 16 });
+        let mut ch1 = Vec::new();
+        let mut ch2 = Vec::new();
+        for (tag, (class, fields, _)) in (1u64..).zip(stream.iter()) {
+            ch1.push(WmeChange { sign: Sign::Plus, wme: mk(&prog, *class, fields, tag) });
+            ch2.push(WmeChange { sign: Sign::Plus, wme: mk(&prog2, *class, fields, tag) });
+        }
+        prop_assert_eq!(final_cs(m1.as_mut(), &ch1), final_cs(m2.as_mut(), &ch2));
+    }
+
+    #[test]
+    fn add_then_remove_everything_leaves_empty_cs(genp in gen_program(), stream in gen_stream()) {
+        let src = render(&genp);
+        let mut prog = Program::from_source(&src).expect("parses");
+        let net = Arc::new(Network::compile(&prog).expect("compiles"));
+        let mut adds = Vec::new();
+        for (tag, (class, fields, _)) in (1u64..).zip(stream.iter()) {
+            let cs = prog.symbols.intern(&format!("c{class}"));
+            adds.push(Wme::new(
+                cs,
+                fields.iter().map(|&v| Value::Int(v as i64)).collect(),
+                tag,
+            ));
+        }
+        let mut changes: Vec<WmeChange> = adds
+            .iter()
+            .map(|w| WmeChange { sign: Sign::Plus, wme: w.clone() })
+            .collect();
+        changes.extend(adds.iter().map(|w| WmeChange { sign: Sign::Minus, wme: w.clone() }));
+
+        let mut par = ParMatcher::new(
+            net,
+            PsmConfig { match_processes: 2, queues: 2, lock_scheme: LockScheme::Simple, buckets: 16, scheduler: psm::SchedulerKind::SpinQueues },
+        );
+        let cs = final_cs(&mut par, &changes);
+        prop_assert!(cs.is_empty(), "retracting all WMEs must empty the conflict set: {cs:?}");
+        prop_assert_eq!(par.parked_tokens(), 0);
+    }
+}
