@@ -1,0 +1,154 @@
+//! Batched vs per-change submission — what the `ChangeBatch` pipeline buys.
+//!
+//! Records the exact WME-change stream each workload pushes through the
+//! match during a real run (via a recording wrapper matcher), then replays
+//! that stream into fresh matchers re-chunked into batches of 1, 8, and 64
+//! changes. Batch size 1 is the old per-change discipline; the chunking
+//! invariance property (tests/properties.rs) guarantees every size computes
+//! the same conflict set, so the difference is pure dispatch overhead:
+//! per-class alpha-chain walks for vs2, TaskCount traffic and queue pushes
+//! for PSM-E.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::EngineBuilder;
+use ops5::{ChangeBatch, MatchStats, Matcher, QuiesceReport, WmeChange};
+use rete::network::Network;
+use std::sync::{Arc, Mutex};
+use workloads::{rubik, tourney, weaver, Workload};
+
+/// Wrapper that logs every submitted change in order, then delegates.
+struct Recorder {
+    inner: Box<dyn Matcher>,
+    log: Arc<Mutex<Vec<WmeChange>>>,
+}
+
+impl Matcher for Recorder {
+    fn submit(&mut self, batch: &ChangeBatch) {
+        self.log.lock().unwrap().extend(batch.iter().cloned());
+        self.inner.submit(batch);
+    }
+    fn quiesce(&mut self) -> QuiesceReport {
+        self.inner.quiesce()
+    }
+    fn stats(&self) -> MatchStats {
+        self.inner.stats()
+    }
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats()
+    }
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+}
+
+/// Runs a workload once under vs2 and returns the compiled network plus the
+/// post-annihilation change stream the matcher actually saw.
+fn record_stream(w: &Workload) -> (Arc<Network>, Vec<WmeChange>) {
+    let log: Arc<Mutex<Vec<WmeChange>>> = Arc::default();
+    let log2 = log.clone();
+    let mut eng = EngineBuilder::from_source(&w.source)
+        .expect("parse")
+        .custom_matcher(move |net| {
+            Box::new(Recorder {
+                inner: rete::seq::boxed_vs2(net, rete::HashMemConfig::default()),
+                log: log2,
+            })
+        })
+        .build()
+        .expect("build");
+    for wme in &w.setup {
+        let sets: Vec<(String, ops5::Value)> = wme
+            .sets
+            .iter()
+            .map(|(a, v)| {
+                let val = match v {
+                    workloads::SetupVal::Sym(s) => eng.sym(s),
+                    workloads::SetupVal::Int(i) => ops5::Value::Int(*i),
+                };
+                (a.clone(), val)
+            })
+            .collect();
+        let refs: Vec<(&str, ops5::Value)> = sets.iter().map(|(a, v)| (a.as_str(), *v)).collect();
+        eng.make_wme(&wme.class, &refs).expect("setup wme");
+    }
+    eng.run(w.max_cycles).expect("run");
+    let stream = std::mem::take(&mut *log.lock().unwrap());
+    (eng.network().clone(), stream)
+}
+
+/// Replays a stream in chunks of `batch` changes, quiescing after each.
+fn replay(m: &mut dyn Matcher, stream: &[WmeChange], batch: usize) -> usize {
+    let mut cs = 0;
+    for chunk in stream.chunks(batch) {
+        m.submit(&chunk.iter().cloned().collect::<ChangeBatch>());
+        cs += m.quiesce().cs_changes.len();
+    }
+    cs
+}
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+fn bench_workload(c: &mut Criterion, name: &str, w: &Workload) {
+    let (net, stream) = record_stream(w);
+    assert!(stream.len() > 100, "{name}: stream too small to measure");
+
+    let mut g = c.benchmark_group(format!("batching/{name}"));
+    g.sample_size(10);
+    for batch in BATCH_SIZES {
+        g.bench_with_input(BenchmarkId::new("vs2", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut m = rete::seq::boxed_vs2(net.clone(), rete::HashMemConfig::default());
+                replay(m.as_mut(), &stream, batch)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("psm", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut m = psm::ParMatcher::new(
+                    net.clone(),
+                    psm::PsmConfig {
+                        match_processes: 4,
+                        queues: 2,
+                        ..Default::default()
+                    },
+                );
+                replay(&mut m, &stream, batch)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn batching(c: &mut Criterion) {
+    bench_workload(
+        c,
+        "rubik",
+        &rubik::workload(rubik::RubikConfig {
+            seed: 7,
+            scramble_len: 12,
+            plan: rubik::PlanMode::Inverse,
+        }),
+    );
+    bench_workload(
+        c,
+        "tourney",
+        &tourney::workload(tourney::TourneyConfig {
+            teams: 10,
+            variant: tourney::Variant::Fixed,
+        }),
+    );
+    bench_workload(
+        c,
+        "weaver",
+        &weaver::workload(weaver::WeaverConfig {
+            width: 7,
+            height: 6,
+            kinds: 4,
+            nets: 3,
+            blocked_pct: 5,
+            seed: 11,
+        }),
+    );
+}
+
+criterion_group!(benches, batching);
+criterion_main!(benches);

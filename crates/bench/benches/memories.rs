@@ -10,7 +10,12 @@ use rete::token::Token;
 use rete::HashMemConfig;
 use std::sync::Arc;
 
-fn setup() -> (ops5::SymbolId, ops5::SymbolId, rete::network::JoinNode, Arc<Network>) {
+fn setup() -> (
+    ops5::SymbolId,
+    ops5::SymbolId,
+    rete::network::JoinNode,
+    Arc<Network>,
+) {
     let mut prog = Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
     let net = Arc::new(Network::compile(&prog).unwrap());
     let ca = prog.symbols.intern("a");
@@ -52,7 +57,11 @@ fn delete_search(c: &mut Criterion) {
                     for i in 0..size {
                         m.insert_right(&j, Wme::new(cb, vec![Value::Int(i as i64)], i as u64 + 1));
                     }
-                    (m, j, Wme::new(cb, vec![Value::Int(size as i64 - 1)], size as u64))
+                    (
+                        m,
+                        j,
+                        Wme::new(cb, vec![Value::Int(size as i64 - 1)], size as u64),
+                    )
                 },
                 |(mut m, j, target)| m.remove_right(&j, &target).examined,
             )
@@ -65,7 +74,11 @@ fn delete_search(c: &mut Criterion) {
                     for i in 0..size {
                         m.insert_right(&j, Wme::new(cb, vec![Value::Int(i as i64)], i as u64 + 1));
                     }
-                    (m, j, Wme::new(cb, vec![Value::Int(size as i64 - 1)], size as u64))
+                    (
+                        m,
+                        j,
+                        Wme::new(cb, vec![Value::Int(size as i64 - 1)], size as u64),
+                    )
                 },
                 |(mut m, j, target)| m.remove_right(&j, &target).examined,
             )

@@ -17,11 +17,11 @@ use workloads::SetupVal;
 const SIZES: [usize; 5] = [256, 1024, 4096, 16384, 65536];
 
 fn vs2_time(w: &workloads::Workload, buckets: usize) -> f64 {
-    let prog = ops5::Program::from_source(&w.source).unwrap();
-    let mut eng = engine::Engine::with_matcher(prog, move |net| {
-        rete::seq::boxed_vs2(net, rete::HashMemConfig { buckets })
-    })
-    .unwrap();
+    let mut eng = engine::EngineBuilder::from_source(&w.source)
+        .unwrap()
+        .matcher(engine::MatcherKind::Vs2(rete::HashMemConfig { buckets }))
+        .build()
+        .unwrap();
     for wme in &w.setup {
         let sets: Vec<(String, ops5::Value)> = wme
             .sets

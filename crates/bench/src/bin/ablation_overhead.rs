@@ -28,7 +28,10 @@ fn main() {
         let avg = trace.avg_task_cost(&CostModel::default());
         print!("{:<10} {:>10.0}", name, avg);
         for o in OVERHEADS {
-            let cost = CostModel { sched_overhead: o, ..CostModel::default() };
+            let cost = CostModel {
+                sched_overhead: o,
+                ..CostModel::default()
+            };
             let mut uni_cfg = SimConfig::new(1, 1, LockScheme::Simple);
             uni_cfg.cost = cost;
             let mut par_cfg = SimConfig::new(13, 8, LockScheme::Simple);

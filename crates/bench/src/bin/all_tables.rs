@@ -8,8 +8,16 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table_4_1", "table_4_2", "table_4_3", "table_4_4", "table_4_5", "table_4_6",
-        "table_4_7", "table_4_8", "table_4_9", "tourney_fix",
+        "table_4_1",
+        "table_4_2",
+        "table_4_3",
+        "table_4_4",
+        "table_4_5",
+        "table_4_6",
+        "table_4_7",
+        "table_4_8",
+        "table_4_9",
+        "tourney_fix",
     ];
     // When invoked via cargo, sibling binaries sit next to this executable.
     let me = std::env::current_exe().expect("current_exe");

@@ -34,7 +34,10 @@ fn main() {
         let sw8 = simulate(&trace, &SimConfig::new(13, 8, LockScheme::Simple));
 
         let mut hw = SimConfig::new(13, 1, LockScheme::Simple);
-        hw.cost = CostModel { sched_overhead: 2, ..CostModel::default() };
+        hw.cost = CostModel {
+            sched_overhead: 2,
+            ..CostModel::default()
+        };
         // The uniprocessor baseline must use the same cost model.
         let mut hw_uni_cfg = SimConfig::new(1, 1, LockScheme::Simple);
         hw_uni_cfg.cost = hw.cost;

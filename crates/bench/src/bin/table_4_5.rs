@@ -16,11 +16,7 @@ fn main() {
     for (name, make) in programs() {
         let trace = record_trace(&make()).expect("trace");
         let uni = sim(&trace, 1, 1, LockScheme::Simple);
-        print!(
-            "{:<10} {:>12.2}",
-            name,
-            uni.match_time as f64 / 1.0e6
-        );
+        print!("{:<10} {:>12.2}", name, uni.match_time as f64 / 1.0e6);
         for p in PROC_COLUMNS {
             let r = sim(&trace, p, 1, LockScheme::Simple);
             print!(" {:>6.2}", uni.match_time as f64 / r.match_time as f64);

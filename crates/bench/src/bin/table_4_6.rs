@@ -7,7 +7,9 @@ use bench::{header, programs, record_trace, sim, PROC_COLUMNS, QUEUE_COLUMNS};
 use psm::line::LockScheme;
 
 fn main() {
-    header("Table 4-6: Speed-up, multiple task queues, simple hash-table locks (simulated Multimax)");
+    header(
+        "Table 4-6: Speed-up, multiple task queues, simple hash-table locks (simulated Multimax)",
+    );
     print!("{:<10} {:>12}", "PROGRAM", "uniproc(Mop)");
     for (p, q) in PROC_COLUMNS.iter().zip(QUEUE_COLUMNS.iter()) {
         print!(" {:>9}", format!("1+{p}/{q}q"));

@@ -12,7 +12,10 @@ use psm::line::LockScheme;
 
 fn main() {
     header("Table 4-8: Speed-up, multiple task queues, MRSW hash-table locks (simulated Multimax)");
-    print!("{:<10} {:>12} {:>10}", "PROGRAM", "uniproc(Mop)", "vs 4-6 uni");
+    print!(
+        "{:<10} {:>12} {:>10}",
+        "PROGRAM", "uniproc(Mop)", "vs 4-6 uni"
+    );
     for (p, q) in PROC_COLUMNS.iter().zip(QUEUE_COLUMNS.iter()) {
         print!(" {:>9}", format!("1+{p}/{q}q"));
     }
@@ -36,7 +39,9 @@ fn main() {
     println!();
     println!("(paper: Weaver uniproc 134.9s vs 118.2s simple — MRSW costs ~14% overhead;");
     println!("        speed-ups 1.02/3.02/4.63/6.14/8.18/9.02 Weaver,");
-    println!("        1.04/3.98/6.40/9.01/11.33/12.35 Rubik, 1.07/2.06/2.58/2.40/2.57/2.67 Tourney;");
+    println!(
+        "        1.04/3.98/6.40/9.01/11.33/12.35 Rubik, 1.07/2.06/2.58/2.40/2.57/2.67 Tourney;"
+    );
     println!(" expected shape: uniproc slower than simple locks (ratio > 1.0);");
     println!(" speed-ups at or slightly above Table 4-6 for Weaver/Rubik; Tourney still poor)");
 }

@@ -8,7 +8,9 @@ use bench::{header, record_trace, sim, tourney_bench, tourney_fixed_bench};
 use psm::line::LockScheme;
 
 fn main() {
-    header("Tourney fix: cross-product productions rewritten with domain knowledge (1+13, 8 queues)");
+    header(
+        "Tourney fix: cross-product productions rewritten with domain knowledge (1+13, 8 queues)",
+    );
     for (label, w) in [
         ("pathological", tourney_bench()),
         ("fixed", tourney_fixed_bench()),

@@ -108,11 +108,9 @@ pub fn record_trace(w: &Workload) -> Result<RunTrace> {
 /// Records a trace with an explicit hash-line count.
 pub fn record_trace_with_lines(w: &Workload, lines: usize) -> Result<RunTrace> {
     let sink = Arc::new(Mutex::new(RunTrace::default()));
-    let prog = ops5::Program::from_source(&w.source)?;
-    let sink2 = sink.clone();
-    let mut eng = engine::Engine::with_matcher(prog, move |net| {
-        Box::new(psm::trace::TraceMatcher::new(net, lines, sink2)) as Box<dyn ops5::Matcher>
-    })?;
+    let mut eng = engine::EngineBuilder::from_source(&w.source)?
+        .trace(lines, sink.clone())
+        .build()?;
     load_setup(&mut eng, w)?;
     eng.run(w.max_cycles)?;
     if let Err(e) = (w.validate)(&eng) {
@@ -152,7 +150,13 @@ pub fn sim(trace: &RunTrace, procs: usize, queues: usize, scheme: LockScheme) ->
 
 /// Speed-up of `procs` match processes relative to one (same queue count
 /// and lock scheme as configured per column, uniprocessor with 1 queue).
-pub fn speedup(trace: &RunTrace, uni: &SimResult, procs: usize, queues: usize, scheme: LockScheme) -> f64 {
+pub fn speedup(
+    trace: &RunTrace,
+    uni: &SimResult,
+    procs: usize,
+    queues: usize,
+    scheme: LockScheme,
+) -> f64 {
     let r = sim(trace, procs, queues, scheme);
     uni.match_time as f64 / r.match_time as f64
 }

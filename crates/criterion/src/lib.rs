@@ -1,0 +1,310 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the subset of criterion's API its benches use:
+//! [`Criterion`], [`BenchmarkGroup`] (`sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher`] (`iter`, `iter_custom`,
+//! `iter_with_setup`), [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated to a per-sample
+//! target time, then timed over `sample_size` samples; the harness prints
+//! min / median / mean per-iteration times. There are no plots, no saved
+//! baselines, and no statistical regression analysis — the numbers are
+//! honest wall-clock medians, which is what the ablation write-ups quote.
+//!
+//! A `--quick` argument (also honored when running under `cargo test`)
+//! reduces sampling so CI smoke runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample target running time for auto-calibration.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Default number of samples per benchmark (groups can override).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let samples = self.sample_size;
+        run_benchmark(name, samples, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    /// Iterations the routine should run this sample.
+    iters: u64,
+    /// Measured time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// The routine does its own timing over `iters` iterations.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iters);
+    }
+
+    /// Per-iteration setup excluded from the measurement.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "--test")
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let (samples, target) = if quick_mode() {
+        (2usize, Duration::from_millis(2))
+    } else {
+        (sample_size, TARGET_SAMPLE_TIME)
+    };
+
+    // Calibrate: double the iteration count until one sample reaches the
+    // target time.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= target || iters >= 1 << 24 {
+            break;
+        }
+        // Jump close to the target in one step once we have a signal.
+        if b.elapsed > Duration::ZERO {
+            let scale = target.as_nanos() as f64 / b.elapsed.as_nanos().max(1) as f64;
+            let next = (iters as f64 * scale * 1.2) as u64;
+            iters = next
+                .clamp(iters + 1, iters.saturating_mul(128))
+                .min(1 << 24);
+        } else {
+            iters = iters.saturating_mul(128).min(1 << 24);
+        }
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "  {label:<48} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        per_iter.len(),
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 10);
+        assert!(b.elapsed > Duration::ZERO || calls == 10);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_with_setup(|| vec![1u8; 16], |v| v.len());
+        // Just exercise the path; elapsed is whatever the clock says.
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("list", 32).into_benchmark_id(), "list/32");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Work-stealing deque primitives (mutex-backed stand-in).
+//!
+//! API mirrors `crossbeam_deque`: a `Worker` owns a FIFO deque, hands out
+//! `Stealer` handles, and an `Injector` is a shared MPMC overflow queue
+//! supporting `steal_batch_and_pop`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The caller lost a race and may retry. The mutex-backed stand-in
+    /// never reports this; it exists for API compatibility.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A worker-owned FIFO deque.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue (`push` enqueues at the back, `pop`
+    /// dequeues from the front).
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a LIFO worker queue. The stand-in keeps FIFO order; the
+    /// matcher only uses FIFO workers.
+    pub fn new_lifo() -> Worker<T> {
+        Worker::new_fifo()
+    }
+
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// A handle other threads use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// A handle for stealing single tasks from a `Worker`'s deque.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the front of the victim's deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+/// A shared FIFO injector queue (control-process and overflow pushes).
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Injector<T> {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Steals one task for the caller and moves up to half of the rest of
+    /// the injector into the caller's local deque.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.inner.lock().unwrap();
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        let batch = q.len() / 2;
+        if batch > 0 {
+            let mut dest_q = dest.inner.lock().unwrap();
+            for _ in 0..batch {
+                if let Some(t) = q.pop_front() {
+                    dest_q.push_back(t);
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_front() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_and_pop() {
+        let inj = Injector::new();
+        let w = Worker::new_fifo();
+        for i in 0..5 {
+            inj.push(i);
+        }
+        let got = inj.steal_batch_and_pop(&w);
+        assert_eq!(got.success(), Some(0));
+        // Half of the remaining four moved to the local deque.
+        assert_eq!(w.len(), 2);
+        assert_eq!(inj.len(), 2);
+    }
+
+    #[test]
+    fn steal_is_thread_safe() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let h = std::thread::spawn(move || {
+            let mut n = 0;
+            while s.steal().is_success() {
+                n += 1;
+            }
+            n
+        });
+        let mut local = 0;
+        while w.pop().is_some() {
+            local += 1;
+        }
+        let stolen = h.join().unwrap();
+        assert_eq!(local + stolen, 1000);
+    }
+}

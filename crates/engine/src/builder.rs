@@ -1,0 +1,277 @@
+//! Engine construction: one builder for every matcher in the reproduction.
+//!
+//! The paper compares four match engines over the same control process
+//! (lisp interpreter baseline, vs1 linear memories, vs2 hash memories, and
+//! the parallel PSM-E matcher); [`EngineBuilder`] is the single construction
+//! path that picks between them, replacing the old scatter of ad-hoc
+//! `Engine::vs1` / `Engine::vs2` / `Engine::with_matcher` call sites:
+//!
+//! ```
+//! use engine::{EngineBuilder, MatcherKind};
+//! use ops5::Program;
+//!
+//! let src = "(p hi (a ^x 1) --> (write hi (crlf)))";
+//! let mut eng = EngineBuilder::from_source(src).unwrap()
+//!     .matcher(MatcherKind::Vs2(rete::HashMemConfig::default()))
+//!     .build()
+//!     .unwrap();
+//! eng.make_wme("a", &[("x", ops5::Value::Int(1))]).unwrap();
+//! let r = eng.run(10).unwrap();
+//! assert_eq!(r.cycles, 1);
+//! ```
+
+use crate::interp::Engine;
+use ops5::{Matcher, Program, Result, Strategy};
+use psm::trace::{RunTrace, TraceMatcher};
+use rete::network::Network;
+use std::sync::{Arc, Mutex};
+
+/// Which match engine the built [`Engine`] drives.
+#[derive(Clone)]
+pub enum MatcherKind {
+    /// vs1: sequential Rete with linear-list memories.
+    Vs1,
+    /// vs2: sequential Rete with global hash-table memories.
+    Vs2(rete::HashMemConfig),
+    /// The interpretive lisp-style baseline (Table 4-4's Franz column).
+    Lisp,
+    /// PSM-E: the parallel matcher (threads, queues, and line locks per the
+    /// config).
+    Psm(psm::PsmConfig),
+    /// The sequential trace recorder feeding the Multimax simulator.
+    Trace {
+        buckets: usize,
+        sink: Arc<Mutex<RunTrace>>,
+    },
+}
+
+impl Default for MatcherKind {
+    fn default() -> Self {
+        MatcherKind::Vs2(rete::HashMemConfig::default())
+    }
+}
+
+/// Builder for [`Engine`]: program + matcher choice + interpreter knobs.
+///
+/// Defaults: vs2 matcher with the default hash-memory config, the program's
+/// own `(strategy ...)` directive (LEX if absent), no write echoing, fired
+/// log kept.
+pub struct EngineBuilder {
+    program: Program,
+    matcher: MatcherKind,
+    strategy: Option<Strategy>,
+    echo_writes: bool,
+    keep_fired_log: bool,
+    #[allow(clippy::type_complexity)]
+    factory: Option<Box<dyn FnOnce(Arc<Network>) -> Box<dyn Matcher>>>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder from an already-parsed program.
+    pub fn new(program: Program) -> EngineBuilder {
+        EngineBuilder {
+            program,
+            matcher: MatcherKind::default(),
+            strategy: None,
+            echo_writes: false,
+            keep_fired_log: true,
+            factory: None,
+        }
+    }
+
+    /// Parses OPS5 source and starts a builder.
+    pub fn from_source(src: &str) -> Result<EngineBuilder> {
+        Ok(EngineBuilder::new(Program::from_source(src)?))
+    }
+
+    /// Picks the match engine (default: vs2).
+    pub fn matcher(mut self, kind: MatcherKind) -> Self {
+        self.matcher = kind;
+        self.factory = None;
+        self
+    }
+
+    /// Shorthand for [`MatcherKind::Vs1`].
+    pub fn vs1(self) -> Self {
+        self.matcher(MatcherKind::Vs1)
+    }
+
+    /// Shorthand for [`MatcherKind::Vs2`] with the default hash config.
+    pub fn vs2(self) -> Self {
+        self.matcher(MatcherKind::Vs2(rete::HashMemConfig::default()))
+    }
+
+    /// Shorthand for [`MatcherKind::Lisp`].
+    pub fn lisp(self) -> Self {
+        self.matcher(MatcherKind::Lisp)
+    }
+
+    /// Shorthand for [`MatcherKind::Psm`].
+    pub fn psm(self, cfg: psm::PsmConfig) -> Self {
+        self.matcher(MatcherKind::Psm(cfg))
+    }
+
+    /// Shorthand for [`MatcherKind::Trace`].
+    pub fn trace(self, buckets: usize, sink: Arc<Mutex<RunTrace>>) -> Self {
+        self.matcher(MatcherKind::Trace { buckets, sink })
+    }
+
+    /// Installs a custom matcher factory (overrides [`Self::matcher`]); the
+    /// escape hatch for matchers this crate does not know about.
+    pub fn custom_matcher(
+        mut self,
+        f: impl FnOnce(Arc<Network>) -> Box<dyn Matcher> + 'static,
+    ) -> Self {
+        self.factory = Some(Box::new(f));
+        self
+    }
+
+    /// Overrides the program's conflict-resolution strategy directive.
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = Some(s);
+        self
+    }
+
+    /// Echo `write` output to stdout as it is produced.
+    pub fn echo_writes(mut self, on: bool) -> Self {
+        self.echo_writes = on;
+        self
+    }
+
+    /// Keep the per-cycle fired log (disable for long benchmark runs).
+    pub fn keep_fired_log(mut self, on: bool) -> Self {
+        self.keep_fired_log = on;
+        self
+    }
+
+    /// Compiles the network, installs the matcher, and returns the engine.
+    pub fn build(self) -> Result<Engine> {
+        let mut program = self.program;
+        if let Some(s) = self.strategy {
+            program.strategy = s;
+        }
+        let mut eng = if let Some(factory) = self.factory {
+            Engine::with_matcher(program, factory)?
+        } else {
+            match self.matcher {
+                MatcherKind::Vs1 => Engine::with_matcher(program, rete::seq::boxed_vs1)?,
+                MatcherKind::Vs2(cfg) => {
+                    Engine::with_matcher(program, move |net| rete::seq::boxed_vs2(net, cfg))?
+                }
+                MatcherKind::Lisp => {
+                    // The lisp matcher works from the parsed program (names),
+                    // not the compiled network.
+                    let prog2 = program.clone();
+                    Engine::with_matcher(program, move |_net| {
+                        lispsim::LispEngineMatcher::boxed(&prog2)
+                    })?
+                }
+                MatcherKind::Psm(cfg) => {
+                    Engine::with_matcher(program, move |net| psm::ParMatcher::boxed(net, cfg))?
+                }
+                MatcherKind::Trace { buckets, sink } => {
+                    Engine::with_matcher(program, move |net| {
+                        Box::new(TraceMatcher::new(net, buckets, sink)) as Box<dyn Matcher>
+                    })?
+                }
+            }
+        };
+        eng.echo_writes = self.echo_writes;
+        eng.keep_fired_log = self.keep_fired_log;
+        Ok(eng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::Value;
+
+    const COUNTER: &str = "(p count
+                             (c ^n <n> ^limit <l>)
+                             (c ^n < <l>)
+                             -->
+                             (modify 1 ^n (compute <n> + 1)))
+                           (p done (c ^n <n> ^limit <n>) --> (halt))";
+
+    fn run_counter(b: EngineBuilder) -> Engine {
+        let mut eng = b.build().unwrap();
+        eng.make_wme("c", &[("n", Value::Int(0)), ("limit", Value::Int(3))])
+            .unwrap();
+        eng.run(50).unwrap();
+        eng
+    }
+
+    #[test]
+    fn all_matcher_kinds_agree() {
+        let sink = Arc::new(Mutex::new(RunTrace::default()));
+        let kinds: Vec<(&str, MatcherKind)> = vec![
+            ("vs1", MatcherKind::Vs1),
+            ("vs2", MatcherKind::Vs2(rete::HashMemConfig { buckets: 64 })),
+            ("lisp", MatcherKind::Lisp),
+            ("psm", MatcherKind::Psm(psm::PsmConfig::default())),
+            (
+                "trace",
+                MatcherKind::Trace {
+                    buckets: 64,
+                    sink: sink.clone(),
+                },
+            ),
+        ];
+        for (name, kind) in kinds {
+            let eng = run_counter(EngineBuilder::from_source(COUNTER).unwrap().matcher(kind));
+            assert_eq!(eng.cycles(), 4, "matcher {name}");
+        }
+        assert!(sink.lock().unwrap().total_tasks() > 0, "trace recorded");
+    }
+
+    #[test]
+    fn strategy_override_wins() {
+        // MEA on a program with no directive: first-CE recency decides.
+        let src = "(p pick (goal ^id <g>) (item ^v <v>) --> (write <g> <v>) (remove 2))";
+        let mut eng = EngineBuilder::from_source(src)
+            .unwrap()
+            .strategy(Strategy::Mea)
+            .build()
+            .unwrap();
+        assert_eq!(eng.prog.strategy, Strategy::Mea);
+        eng.make_wme("goal", &[("id", Value::Int(1))]).unwrap();
+        eng.make_wme("item", &[("v", Value::Int(10))]).unwrap();
+        eng.make_wme("goal", &[("id", Value::Int(2))]).unwrap();
+        eng.run(10).unwrap();
+        assert_eq!(eng.output()[0], "2 10");
+    }
+
+    #[test]
+    fn interpreter_knobs_apply() {
+        let eng = EngineBuilder::from_source(COUNTER)
+            .unwrap()
+            .keep_fired_log(false)
+            .build()
+            .unwrap();
+        assert!(!eng.keep_fired_log);
+        assert!(!eng.echo_writes);
+    }
+
+    #[test]
+    fn custom_factory_overrides_kind() {
+        let eng = run_counter(
+            EngineBuilder::from_source(COUNTER)
+                .unwrap()
+                .custom_matcher(rete::seq::boxed_vs1),
+        );
+        assert_eq!(eng.matcher().name(), "seq");
+        assert_eq!(eng.cycles(), 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let prog = Program::from_source(COUNTER).unwrap();
+        let mut eng = Engine::vs1(prog).unwrap();
+        eng.make_wme("c", &[("n", Value::Int(0)), ("limit", Value::Int(3))])
+            .unwrap();
+        eng.run(50).unwrap();
+        assert_eq!(eng.cycles(), 4);
+    }
+}

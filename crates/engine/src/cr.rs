@@ -150,7 +150,10 @@ mod tests {
         // a matched (3, 10), b matched (9, 4): recencies (10,3) vs (9,4).
         let a = inst(0, &[3, 10]);
         let b = inst(1, &[9, 4]);
-        assert_eq!(order_dominates(Strategy::Lex, &a, &b, &ps), Ordering::Greater);
+        assert_eq!(
+            order_dominates(Strategy::Lex, &a, &b, &ps),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -158,7 +161,10 @@ mod tests {
         let ps = prods(2, true); // p1 more specific
         let a = inst(0, &[7]);
         let b = inst(1, &[7]);
-        assert_eq!(order_dominates(Strategy::Lex, &b, &a, &ps), Ordering::Greater);
+        assert_eq!(
+            order_dominates(Strategy::Lex, &b, &a, &ps),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -168,8 +174,14 @@ mod tests {
         // `b`'s first CE (9) beats `a`'s first CE (2).
         let a = inst(0, &[2, 10]);
         let b = inst(1, &[9, 3]);
-        assert_eq!(order_dominates(Strategy::Lex, &a, &b, &ps), Ordering::Greater);
-        assert_eq!(order_dominates(Strategy::Mea, &b, &a, &ps), Ordering::Greater);
+        assert_eq!(
+            order_dominates(Strategy::Lex, &a, &b, &ps),
+            Ordering::Greater
+        );
+        assert_eq!(
+            order_dominates(Strategy::Mea, &b, &a, &ps),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -179,7 +191,10 @@ mod tests {
         let b = inst(1, &[7]);
         // Same recency, same specificity: higher prod id wins (arbitrary but
         // fixed).
-        assert_eq!(order_dominates(Strategy::Lex, &b, &a, &ps), Ordering::Greater);
+        assert_eq!(
+            order_dominates(Strategy::Lex, &b, &a, &ps),
+            Ordering::Greater
+        );
         assert_eq!(order_dominates(Strategy::Lex, &a, &b, &ps), Ordering::Less);
     }
 

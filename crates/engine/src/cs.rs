@@ -24,7 +24,9 @@ pub struct ConflictSet {
 
 impl ConflictSet {
     pub fn new() -> Self {
-        ConflictSet { entries: HashMap::new() }
+        ConflictSet {
+            entries: HashMap::new(),
+        }
     }
 
     /// Applies one match-phase delta.
@@ -109,7 +111,11 @@ mod tests {
         cs.apply(CsChange::Insert(i.clone()));
         assert_eq!(cs.candidates().count(), 1);
         cs.mark_fired(&i);
-        assert_eq!(cs.candidates().count(), 0, "fired instantiation not a candidate");
+        assert_eq!(
+            cs.candidates().count(),
+            0,
+            "fired instantiation not a candidate"
+        );
         assert_eq!(cs.len(), 1, "but it remains in the set");
         // Retraction and re-derivation resets refraction.
         cs.apply(CsChange::Remove(i.clone()));

@@ -5,8 +5,8 @@ use crate::cs::ConflictSet;
 use crate::rhs::{self, RhsEffect, RhsProgram};
 use crate::wm::WorkingMemory;
 use ops5::{
-    Instantiation, Matcher, Ops5Error, ProdId, Program, Result, Sign, SymbolId, Value, WmeChange,
-    WmeRef,
+    ChangeBatch, Instantiation, Matcher, Ops5Error, ProdId, Program, Result, Sign, SymbolId, Value,
+    WmeChange, WmeRef,
 };
 use rete::network::Network;
 use std::sync::Arc;
@@ -78,15 +78,15 @@ impl Engine {
     }
 
     /// vs1: sequential matcher with linear-list memories.
+    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::new(prog).vs1().build()`")]
     pub fn vs1(prog: Program) -> Result<Engine> {
-        Self::with_matcher(prog, rete::seq::boxed_vs1)
+        crate::builder::EngineBuilder::new(prog).vs1().build()
     }
 
     /// vs2: sequential matcher with global hash-table memories.
+    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::new(prog).vs2().build()`")]
     pub fn vs2(prog: Program) -> Result<Engine> {
-        Self::with_matcher(prog, |net| {
-            rete::seq::boxed_vs2(net, rete::HashMemConfig::default())
-        })
+        crate::builder::EngineBuilder::new(prog).vs2().build()
     }
 
     pub fn network(&self) -> &Arc<Network> {
@@ -175,7 +175,10 @@ impl Engine {
     /// Creates a WME from pre-resolved field values.
     pub fn insert(&mut self, class: SymbolId, fields: Vec<Value>) -> WmeRef {
         let w = self.wm.make(class, fields);
-        self.matcher.submit(WmeChange { sign: Sign::Plus, wme: w.clone() });
+        self.matcher.submit_one(WmeChange {
+            sign: Sign::Plus,
+            wme: w.clone(),
+        });
         w
     }
 
@@ -183,7 +186,10 @@ impl Engine {
     pub fn retract(&mut self, wme: &WmeRef) -> Result<()> {
         match self.wm.remove(wme.timetag) {
             Some(w) => {
-                self.matcher.submit(WmeChange { sign: Sign::Minus, wme: w });
+                self.matcher.submit_one(WmeChange {
+                    sign: Sign::Minus,
+                    wme: w,
+                });
                 Ok(())
             }
             None => Err(Ops5Error::Runtime(format!(
@@ -199,8 +205,8 @@ impl Engine {
         if self.halted {
             return Ok(None);
         }
-        let deltas = self.matcher.quiesce();
-        self.cs.apply_all(deltas);
+        let report = self.matcher.quiesce();
+        self.cs.apply_all(report.cs_changes);
         let winner = match cr::select(
             self.prog.strategy,
             self.cs.candidates(),
@@ -222,11 +228,15 @@ impl Engine {
     fn fire(&mut self, inst: &Instantiation) -> Result<()> {
         let code = self.rhs[inst.prod.index()].clone();
         let wm = &mut self.wm;
-        let matcher = &mut self.matcher;
         let line = &mut self.line;
         let output = &mut self.output;
         let echo = self.echo_writes;
         let mut err: Option<Ops5Error> = None;
+        // One firing ships one batch: RHS effects accumulate here and reach
+        // the matcher in a single `submit`, so a `modify`'s delete/add pair
+        // of an untouched WME annihilates before the network sees tokens and
+        // the matcher walks each class's alpha chain once per firing.
+        let mut batch = ChangeBatch::new();
 
         let halted = rhs::execute(&code, inst, &mut self.prog.symbols, |effect| {
             if err.is_some() {
@@ -235,12 +245,10 @@ impl Engine {
             match effect {
                 RhsEffect::Make { class, fields } => {
                     let w = wm.make(class, fields);
-                    // Pipelining: the change goes to the matcher the moment
-                    // it is computed (§3.1).
-                    matcher.submit(WmeChange { sign: Sign::Plus, wme: w });
+                    batch.add(w);
                 }
                 RhsEffect::Remove { wme } => match wm.remove(wme.timetag) {
-                    Some(w) => matcher.submit(WmeChange { sign: Sign::Minus, wme: w }),
+                    Some(w) => batch.delete(w),
                     None => {
                         err = Some(Ops5Error::Runtime(format!(
                             "RHS removed wme {} twice",
@@ -262,6 +270,11 @@ impl Engine {
                 }
             }
         })?;
+        // Working memory already reflects every effect executed before an
+        // error, so the batch still goes out even on the error path.
+        if !batch.is_empty() {
+            self.matcher.submit(&batch);
+        }
         if let Some(e) = err {
             return Err(e);
         }
@@ -277,7 +290,10 @@ impl Engine {
         loop {
             if self.halted {
                 self.finish_output();
-                return Ok(RunResult { cycles: self.cycles - start, reason: StopReason::Halt });
+                return Ok(RunResult {
+                    cycles: self.cycles - start,
+                    reason: StopReason::Halt,
+                });
             }
             if self.cycles - start >= max_cycles {
                 self.finish_output();
@@ -311,10 +327,20 @@ mod tests {
     use super::*;
     use ops5::Value;
 
+    use crate::builder::EngineBuilder;
+
     fn engines(src: &str) -> Vec<Engine> {
         vec![
-            Engine::vs1(Program::from_source(src).unwrap()).unwrap(),
-            Engine::vs2(Program::from_source(src).unwrap()).unwrap(),
+            EngineBuilder::from_source(src)
+                .unwrap()
+                .vs1()
+                .build()
+                .unwrap(),
+            EngineBuilder::from_source(src)
+                .unwrap()
+                .vs2()
+                .build()
+                .unwrap(),
         ]
     }
 
@@ -332,10 +358,16 @@ mod tests {
             let no = e.sym("no");
             let fb = e.sym("find-block");
             e.make_wme("goal", &[("type", fb), ("color", red)]).unwrap();
-            e.make_wme("block", &[("id", Value::Int(1)), ("color", blue), ("selected", no)])
-                .unwrap();
-            e.make_wme("block", &[("id", Value::Int(2)), ("color", red), ("selected", no)])
-                .unwrap();
+            e.make_wme(
+                "block",
+                &[("id", Value::Int(1)), ("color", blue), ("selected", no)],
+            )
+            .unwrap();
+            e.make_wme(
+                "block",
+                &[("id", Value::Int(2)), ("color", red), ("selected", no)],
+            )
+            .unwrap();
             let r = e.run(10).unwrap();
             assert_eq!(r.cycles, 1, "exactly one block matches");
             assert_eq!(r.reason, StopReason::Quiescent);

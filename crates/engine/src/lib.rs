@@ -6,19 +6,25 @@
 //! (§3.3) and interprets them, and drives a pluggable
 //! [`ops5::Matcher`] through the recognize-act cycle:
 //!
-//! 1. **Match** — delegated to the matcher. WME changes are *pipelined*:
-//!    each change is submitted the moment RHS evaluation computes it, so a
-//!    parallel matcher overlaps match with RHS evaluation exactly as in the
-//!    paper.
+//! 1. **Match** — delegated to the matcher. Each firing's WME changes go
+//!    out as one [`ops5::ChangeBatch`]: a `modify`'s delete/add conjugate
+//!    pair annihilates inside the batch, and the matcher sees the surviving
+//!    changes grouped by class so it amortises per-change dispatch.
 //! 2. **Conflict resolution** — pick the dominant unfired instantiation.
 //! 3. **Act** — interpret the winner's threaded RHS code.
+//!
+//! Construct engines with [`EngineBuilder`]; it selects between all four of
+//! the paper's match engines (vs1, vs2, the lisp baseline, PSM-E) plus the
+//! trace recorder.
 
+pub mod builder;
 pub mod cr;
 pub mod cs;
 pub mod interp;
 pub mod rhs;
 pub mod wm;
 
+pub use builder::{EngineBuilder, MatcherKind};
 pub use cr::order_dominates;
 pub use cs::ConflictSet;
 pub use interp::{Engine, RunResult, StopReason};

@@ -93,7 +93,10 @@ pub fn compile_rhs(
                     for vt in ts {
                         if let ops5::ast::TestAtom::Var(v) = vt.atom {
                             if vt.pred.is_eq() {
-                                slots.entry(v).or_insert(Slot::Lhs { ce: pos, field: *field });
+                                slots.entry(v).or_insert(Slot::Lhs {
+                                    ce: pos,
+                                    field: *field,
+                                });
                             }
                         }
                     }
@@ -115,9 +118,10 @@ pub fn compile_rhs(
         match e {
             RhsExpr::Const(v) => code.push(Instr::PushConst(*v)),
             RhsExpr::Var(v) => match slots.get(v) {
-                Some(Slot::Lhs { ce, field }) => {
-                    code.push(Instr::PushBinding { ce: *ce, field: *field })
-                }
+                Some(Slot::Lhs { ce, field }) => code.push(Instr::PushBinding {
+                    ce: *ce,
+                    field: *field,
+                }),
                 Some(Slot::Local(i)) => code.push(Instr::PushLocal(*i)),
                 None => {
                     return Err(Ops5Error::Semantic(format!(
@@ -138,7 +142,10 @@ pub fn compile_rhs(
     for action in &prod.rhs {
         match action {
             Action::Make { class, sets } => {
-                code.push(Instr::BeginWme { class: *class, arity: arity_of(*class) });
+                code.push(Instr::BeginWme {
+                    class: *class,
+                    arity: arity_of(*class),
+                });
                 for (field, e) in sets {
                     compile_expr(e, &slots, syms, &mut code)?;
                     code.push(Instr::SetField(*field));
@@ -155,7 +162,10 @@ pub fn compile_rhs(
                     .nth(ce0 as usize)
                     .map(|c| c.class)
                     .ok_or_else(|| Ops5Error::Semantic("modify CE out of range".into()))?;
-                code.push(Instr::BeginFromCe { ce: ce0, arity: arity_of(class) });
+                code.push(Instr::BeginFromCe {
+                    ce: ce0,
+                    arity: arity_of(class),
+                });
                 for (field, e) in sets {
                     compile_expr(e, &slots, syms, &mut code)?;
                     code.push(Instr::SetField(*field));
@@ -218,9 +228,10 @@ pub fn execute(
         match instr {
             Instr::PushConst(v) => stack.push(*v),
             Instr::PushBinding { ce, field } => {
-                let w = inst.wmes.get(*ce as usize).ok_or_else(|| {
-                    Ops5Error::Runtime("binding references missing CE".into())
-                })?;
+                let w = inst
+                    .wmes
+                    .get(*ce as usize)
+                    .ok_or_else(|| Ops5Error::Runtime("binding references missing CE".into()))?;
                 stack.push(w.field(*field));
             }
             Instr::PushLocal(i) => stack.push(locals[*i as usize]),
@@ -238,9 +249,10 @@ pub fn execute(
                 buf.resize(*arity as usize, Value::NIL);
             }
             Instr::BeginFromCe { ce, arity } => {
-                let w = inst.wmes.get(*ce as usize).ok_or_else(|| {
-                    Ops5Error::Runtime("modify references missing CE".into())
-                })?;
+                let w = inst
+                    .wmes
+                    .get(*ce as usize)
+                    .ok_or_else(|| Ops5Error::Runtime("modify references missing CE".into()))?;
                 buf_class = w.class;
                 buf.clear();
                 buf.extend_from_slice(&w.fields);
@@ -255,12 +267,18 @@ pub fn execute(
                 buf[f] = v;
             }
             Instr::EmitMake => {
-                sink(RhsEffect::Make { class: buf_class, fields: std::mem::take(&mut buf) });
+                sink(RhsEffect::Make {
+                    class: buf_class,
+                    fields: std::mem::take(&mut buf),
+                });
             }
             Instr::EmitModify { ce } => {
                 let w = inst.wmes[*ce as usize].clone();
                 sink(RhsEffect::Remove { wme: w });
-                sink(RhsEffect::Make { class: buf_class, fields: std::mem::take(&mut buf) });
+                sink(RhsEffect::Make {
+                    class: buf_class,
+                    fields: std::mem::take(&mut buf),
+                });
             }
             Instr::RemoveCe { ce } => {
                 let w = inst.wmes[*ce as usize].clone();
@@ -301,12 +319,11 @@ mod tests {
         (prog, rhs)
     }
 
-    fn run(
-        prog: &mut Program,
-        rhs: &RhsProgram,
-        wmes: Vec<WmeRef>,
-    ) -> (Vec<RhsEffect>, bool) {
-        let inst = Instantiation { prod: ProdId(0), wmes };
+    fn run(prog: &mut Program, rhs: &RhsProgram, wmes: Vec<WmeRef>) -> (Vec<RhsEffect>, bool) {
+        let inst = Instantiation {
+            prod: ProdId(0),
+            wmes,
+        };
         let mut fx = Vec::new();
         let halted = execute(rhs, &inst, &mut prog.symbols, |e| fx.push(e)).unwrap();
         (fx, halted)
@@ -314,9 +331,7 @@ mod tests {
 
     #[test]
     fn make_with_binding_and_compute() {
-        let (mut prog, rhs) = setup(
-            "(p q (a ^x <v>) --> (make b ^y (compute <v> + 1) ^z <v>))",
-        );
+        let (mut prog, rhs) = setup("(p q (a ^x <v>) --> (make b ^y (compute <v> + 1) ^z <v>))");
         let ca = prog.symbols.get("a").unwrap();
         let w = Wme::new(ca, vec![Value::Int(5)], 1);
         let (fx, halted) = run(&mut prog, &rhs, vec![w]);
@@ -411,7 +426,10 @@ mod tests {
         let (mut prog, rhs) = setup("(p q (a ^x <v>) --> (make b ^y (compute 1 // 0)))");
         let ca = prog.symbols.get("a").unwrap();
         let w = Wme::new(ca, vec![Value::Int(5)], 1);
-        let inst = Instantiation { prod: ProdId(0), wmes: vec![w] };
+        let inst = Instantiation {
+            prod: ProdId(0),
+            wmes: vec![w],
+        };
         let r = execute(&rhs, &inst, &mut prog.symbols, |_| {});
         assert!(r.is_err());
     }

@@ -16,7 +16,10 @@ pub struct WorkingMemory {
 
 impl WorkingMemory {
     pub fn new() -> Self {
-        WorkingMemory { live: HashMap::new(), next_timetag: 1 }
+        WorkingMemory {
+            live: HashMap::new(),
+            next_timetag: 1,
+        }
     }
 
     /// Creates a WME with the next timetag and registers it live.

@@ -9,15 +9,19 @@
 use crate::value::{acons, assoc, lisp_equal, LispVal};
 use ops5::ast::{AttrTest, TestAtom};
 use ops5::{
-    CsChange, Instantiation, MatchStats, Matcher, Pred, ProdId, Program, Sign, Value, WmeChange,
-    WmeRef,
+    ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, Pred, ProdId, Program,
+    QuiesceReport, Sign, StatsDeltaTracker, Value, WmeRef,
 };
 
 /// One interpreted test of a condition element.
 #[derive(Debug, Clone)]
 enum LItem {
     /// `^attr PRED atom`
-    Test { attr: LispVal, pred: Pred, atom: LAtom },
+    Test {
+        attr: LispVal,
+        pred: Pred,
+        atom: LAtom,
+    },
     /// `^attr << v1 v2 ... >>`
     Disj { attr: LispVal, alts: Vec<LispVal> },
 }
@@ -57,7 +61,11 @@ struct LToken {
 impl LToken {
     fn same_wmes(&self, other_tags: &[u64]) -> bool {
         self.wmes.len() == other_tags.len()
-            && self.wmes.iter().zip(other_tags).all(|(w, t)| w.timetag == *t)
+            && self
+                .wmes
+                .iter()
+                .zip(other_tags)
+                .all(|(w, t)| w.timetag == *t)
     }
 }
 
@@ -72,10 +80,24 @@ struct LProd {
 
 enum LTask {
     /// Token arriving at the join of CE `ce` of production `prod`.
-    Left { prod: usize, ce: usize, sign: Sign, token: LToken },
+    Left {
+        prod: usize,
+        ce: usize,
+        sign: Sign,
+        token: LToken,
+    },
     /// WME arriving at the right input of the join of CE `ce`.
-    Right { prod: usize, ce: usize, sign: Sign, wme: LWme },
-    Terminal { prod: usize, sign: Sign, token: LToken },
+    Right {
+        prod: usize,
+        ce: usize,
+        sign: Sign,
+        wme: LWme,
+    },
+    Terminal {
+        prod: usize,
+        sign: Sign,
+        token: LToken,
+    },
 }
 
 /// The interpretive matcher.
@@ -114,7 +136,10 @@ impl LispMatcher {
                     match test {
                         AttrTest::Disj(vs) => items.push(LItem::Disj {
                             attr,
-                            alts: vs.iter().map(|v| value_to_lisp(*v, &prog.symbols)).collect(),
+                            alts: vs
+                                .iter()
+                                .map(|v| value_to_lisp(*v, &prog.symbols))
+                                .collect(),
                         }),
                         AttrTest::Conj(ts) => {
                             for vt in ts {
@@ -126,7 +151,11 @@ impl LispMatcher {
                                         LAtom::Var(LispVal::sym(prog.symbols.name(v)))
                                     }
                                 };
-                                items.push(LItem::Test { attr: attr.clone(), pred: vt.pred, atom });
+                                items.push(LItem::Test {
+                                    attr: attr.clone(),
+                                    pred: vt.pred,
+                                    atom,
+                                });
                             }
                         }
                     }
@@ -144,9 +173,13 @@ impl LispMatcher {
                 left: (0..n).map(|_| Vec::new()).collect(),
             });
         }
-        LispMatcher { prods, agenda: Vec::new(), out: Vec::new(), stats: MatchStats::default() }
+        LispMatcher {
+            prods,
+            agenda: Vec::new(),
+            out: Vec::new(),
+            stats: MatchStats::default(),
+        }
     }
-
 }
 
 /// Evaluates one interpreted predicate.
@@ -177,7 +210,12 @@ fn pred_eval(pred: Pred, v: &LispVal, r: &LispVal) -> bool {
 /// condition element cannot be evaluated yet and must pass through to the
 /// join — exactly what the compiled network does by routing it into a
 /// join test.
-fn match_ce(wme: &LWme, cond: &LCond, bindings: &LispVal, lenient_unbound: bool) -> Option<LispVal> {
+fn match_ce(
+    wme: &LWme,
+    cond: &LCond,
+    bindings: &LispVal,
+    lenient_unbound: bool,
+) -> Option<LispVal> {
     let mut b = bindings.clone();
     let nil = LispVal::Nil;
     for item in &cond.items {
@@ -229,18 +267,20 @@ impl LispMatcher {
         while let Some(task) = self.agenda.pop() {
             self.stats.activations += 1;
             match task {
-                LTask::Left { prod, ce, sign, token } => {
+                LTask::Left {
+                    prod,
+                    ce,
+                    sign,
+                    token,
+                } => {
                     let negated = self.prods[prod].conds[ce].negated;
                     if !negated {
                         match sign {
                             Sign::Plus => self.prods[prod].left[ce].push(token.clone()),
                             Sign::Minus => {
-                                let tags: Vec<u64> =
-                                    token.wmes.iter().map(|w| w.timetag).collect();
+                                let tags: Vec<u64> = token.wmes.iter().map(|w| w.timetag).collect();
                                 let mem = &mut self.prods[prod].left[ce];
-                                if let Some(i) =
-                                    mem.iter().position(|t| t.same_wmes(&tags))
-                                {
+                                if let Some(i) = mem.iter().position(|t| t.same_wmes(&tags)) {
                                     self.stats.same_tokens_left += (i + 1) as u64;
                                     self.stats.same_searches_left += 1;
                                     mem.swap_remove(i);
@@ -258,7 +298,16 @@ impl LispMatcher {
                             if let Some(b2) = match_ce(&w, &cond, &token.bindings, false) {
                                 let mut wmes = token.wmes.clone();
                                 wmes.push(w.orig.clone());
-                                self.emit(prod, ce, sign, LToken { wmes, bindings: b2, neg_count: 0 });
+                                self.emit(
+                                    prod,
+                                    ce,
+                                    sign,
+                                    LToken {
+                                        wmes,
+                                        bindings: b2,
+                                        neg_count: 0,
+                                    },
+                                );
                             }
                         }
                     } else {
@@ -272,7 +321,9 @@ impl LispMatcher {
                                 let cond = self.prods[prod].conds[ce].clone();
                                 let n = alpha
                                     .iter()
-                                    .filter(|w| match_ce(w, &cond, &token.bindings, false).is_some())
+                                    .filter(|w| {
+                                        match_ce(w, &cond, &token.bindings, false).is_some()
+                                    })
                                     .count() as u32;
                                 let mut t = token.clone();
                                 t.neg_count = n;
@@ -282,8 +333,7 @@ impl LispMatcher {
                                 }
                             }
                             Sign::Minus => {
-                                let tags: Vec<u64> =
-                                    token.wmes.iter().map(|w| w.timetag).collect();
+                                let tags: Vec<u64> = token.wmes.iter().map(|w| w.timetag).collect();
                                 let mem = &mut self.prods[prod].left[ce];
                                 if let Some(i) = mem.iter().position(|t| t.same_wmes(&tags)) {
                                     self.stats.same_tokens_left += (i + 1) as u64;
@@ -297,7 +347,12 @@ impl LispMatcher {
                         }
                     }
                 }
-                LTask::Right { prod, ce, sign, wme } => {
+                LTask::Right {
+                    prod,
+                    ce,
+                    sign,
+                    wme,
+                } => {
                     let negated = self.prods[prod].conds[ce].negated;
                     match sign {
                         Sign::Plus => self.prods[prod].alpha[ce].push(wme.clone()),
@@ -321,7 +376,11 @@ impl LispMatcher {
                                 prod,
                                 0,
                                 sign,
-                                LToken { wmes: vec![wme.orig.clone()], bindings: b, neg_count: 0 },
+                                LToken {
+                                    wmes: vec![wme.orig.clone()],
+                                    bindings: b,
+                                    neg_count: 0,
+                                },
                             );
                         }
                         continue;
@@ -337,7 +396,16 @@ impl LispMatcher {
                             if let Some(b2) = match_ce(&wme, &cond, &t.bindings, false) {
                                 let mut wmes = t.wmes.clone();
                                 wmes.push(wme.orig.clone());
-                                self.emit(prod, ce, sign, LToken { wmes, bindings: b2, neg_count: 0 });
+                                self.emit(
+                                    prod,
+                                    ce,
+                                    sign,
+                                    LToken {
+                                        wmes,
+                                        bindings: b2,
+                                        neg_count: 0,
+                                    },
+                                );
                             }
                         }
                     } else {
@@ -368,8 +436,10 @@ impl LispMatcher {
                 }
                 LTask::Terminal { prod, sign, token } => {
                     self.stats.cs_changes += 1;
-                    let inst =
-                        Instantiation { prod: ProdId(prod as u32), wmes: token.wmes.clone() };
+                    let inst = Instantiation {
+                        prod: ProdId(prod as u32),
+                        wmes: token.wmes.clone(),
+                    };
                     self.out.push(match sign {
                         Sign::Plus => CsChange::Insert(inst),
                         Sign::Minus => CsChange::Remove(inst),
@@ -385,7 +455,12 @@ impl LispMatcher {
         if next >= self.prods[prod].conds.len() {
             self.agenda.push(LTask::Terminal { prod, sign, token });
         } else {
-            self.agenda.push(LTask::Left { prod, ce: next, sign, token });
+            self.agenda.push(LTask::Left {
+                prod,
+                ce: next,
+                sign,
+                token,
+            });
         }
     }
 }
@@ -406,14 +481,21 @@ impl LispConverter {
         for (class, info) in prog.classes.classes() {
             names.insert(
                 class.0,
-                info.attrs.iter().map(|a| LispVal::sym(prog.symbols.name(*a))).collect(),
+                info.attrs
+                    .iter()
+                    .map(|a| LispVal::sym(prog.symbols.name(*a)))
+                    .collect(),
             );
             class_names.insert(class.0, LispVal::sym(prog.symbols.name(*class)));
         }
         let sym_names = (0..prog.symbols.len() as u32)
             .map(|i| LispVal::sym(prog.symbols.name(ops5::SymbolId(i))))
             .collect();
-        LispConverter { names, sym_names, class_names }
+        LispConverter {
+            names,
+            sym_names,
+            class_names,
+        }
     }
 
     fn value(&self, v: Value) -> LispVal {
@@ -432,7 +514,11 @@ impl LispConverter {
         let mut alist = LispVal::Nil;
         if let Some(attrs) = self.names.get(&w.class.0) {
             for (i, name) in attrs.iter().enumerate() {
-                let v = w.fields.get(i).map(|v| self.value(*v)).unwrap_or(LispVal::Nil);
+                let v = w
+                    .fields
+                    .get(i)
+                    .map(|v| self.value(*v))
+                    .unwrap_or(LispVal::Nil);
                 alist = acons(name.clone(), v, alist);
             }
         }
@@ -441,7 +527,11 @@ impl LispConverter {
             .get(&w.class.0)
             .cloned()
             .unwrap_or(LispVal::Nil);
-        LWme { orig: w.clone(), alist, class }
+        LWme {
+            orig: w.clone(),
+            alist,
+            class,
+        }
     }
 }
 
@@ -449,11 +539,16 @@ impl LispConverter {
 pub struct LispEngineMatcher {
     conv: LispConverter,
     inner: LispMatcher,
+    delta: StatsDeltaTracker,
 }
 
 impl LispEngineMatcher {
     pub fn new(prog: &Program) -> LispEngineMatcher {
-        LispEngineMatcher { conv: LispConverter::new(prog), inner: LispMatcher::new(prog) }
+        LispEngineMatcher {
+            conv: LispConverter::new(prog),
+            inner: LispMatcher::new(prog),
+            delta: StatsDeltaTracker::default(),
+        }
     }
 
     pub fn boxed(prog: &Program) -> Box<dyn Matcher> {
@@ -462,35 +557,53 @@ impl LispEngineMatcher {
 }
 
 impl Matcher for LispEngineMatcher {
-    fn submit(&mut self, change: WmeChange) {
-        self.inner.stats.wme_changes += 1;
-        self.inner.stats.alpha_activations += 1;
-        let lw = self.conv.wme(&change.wme);
-        // Interpreted "constant-test network": check every CE of every
-        // production by name — class test first, then the full interpreted
-        // element match as a filter for alpha membership.
-        for p in 0..self.inner.prods.len() {
-            for ce in 0..self.inner.prods[p].conds.len() {
-                let cond = &self.inner.prods[p].conds[ce];
-                if !lisp_equal(&cond.class, &lw.class) {
-                    continue;
+    fn submit(&mut self, batch: &ChangeBatch) {
+        self.inner.stats.conjugate_pairs += batch.annihilated();
+        for (_class, group) in batch.groups() {
+            // One grouped interpreted "constant-test" walk per class: the
+            // class-dispatch scan over every CE of every production runs
+            // once per *group*; each change in the group then only pays
+            // the interpreted element match against the surviving CEs.
+            self.inner.stats.alpha_activations += 1;
+            self.inner.stats.wme_changes += group.len() as u64;
+            let converted: Vec<(Sign, LWme)> = group
+                .iter()
+                .map(|c| (c.sign, self.conv.wme(&c.wme)))
+                .collect();
+            let class_lv = converted[0].1.class.clone();
+            let mut candidates = Vec::new();
+            for p in 0..self.inner.prods.len() {
+                for ce in 0..self.inner.prods[p].conds.len() {
+                    if lisp_equal(&self.inner.prods[p].conds[ce].class, &class_lv) {
+                        candidates.push((p, ce));
+                    }
                 }
-                if match_ce(&lw, cond, &LispVal::Nil, true).is_none() {
-                    continue;
+            }
+            for (sign, lw) in converted {
+                for &(p, ce) in &candidates {
+                    if match_ce(&lw, &self.inner.prods[p].conds[ce], &LispVal::Nil, true).is_none()
+                    {
+                        continue;
+                    }
+                    self.inner.agenda.push(LTask::Right {
+                        prod: p,
+                        ce,
+                        sign,
+                        wme: lw.clone(),
+                    });
                 }
-                self.inner.agenda.push(LTask::Right {
-                    prod: p,
-                    ce,
-                    sign: change.sign,
-                    wme: lw.clone(),
-                });
+                // Drain per change: the linear memories rely on the
+                // one-change-at-a-time discipline.
+                self.inner.run_agenda();
             }
         }
-        self.inner.run_agenda();
     }
 
-    fn quiesce(&mut self) -> Vec<CsChange> {
-        std::mem::take(&mut self.inner.out)
+    fn quiesce(&mut self) -> QuiesceReport {
+        QuiesceReport {
+            cs_changes: std::mem::take(&mut self.inner.out),
+            stats_delta: self.delta.take(self.inner.stats),
+        }
     }
 
     fn stats(&self) -> MatchStats {
@@ -499,6 +612,7 @@ impl Matcher for LispEngineMatcher {
 
     fn reset_stats(&mut self) {
         self.inner.stats = MatchStats::default();
+        self.delta.reset();
     }
 
     fn name(&self) -> &'static str {
@@ -509,26 +623,27 @@ impl Matcher for LispEngineMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ops5::WmeChange;
 
-    fn changes(
-        prog: &mut Program,
-        specs: &[(&str, Vec<Value>, u64, Sign)],
-    ) -> Vec<WmeChange> {
+    fn changes(prog: &mut Program, specs: &[(&str, Vec<Value>, u64, Sign)]) -> Vec<WmeChange> {
         specs
             .iter()
             .map(|(class, vals, tag, sign)| {
                 let c = prog.symbols.intern(class);
-                WmeChange { sign: *sign, wme: ops5::Wme::new(c, vals.clone(), *tag) }
+                WmeChange {
+                    sign: *sign,
+                    wme: ops5::Wme::new(c, vals.clone(), *tag),
+                }
             })
             .collect()
     }
 
     fn final_set(m: &mut dyn Matcher, cs: Vec<WmeChange>) -> Vec<(ProdId, Vec<u64>)> {
         for c in cs {
-            m.submit(c);
+            m.submit_one(c);
         }
         let mut set = std::collections::BTreeSet::new();
-        for c in m.quiesce() {
+        for c in m.quiesce().cs_changes {
             match c {
                 CsChange::Insert(i) => {
                     set.insert(i.key());
@@ -543,8 +658,7 @@ mod tests {
 
     #[test]
     fn join_fires_like_compiled() {
-        let mut prog =
-            Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
+        let mut prog = Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
         let cs = changes(
             &mut prog,
             &[
@@ -561,8 +675,7 @@ mod tests {
 
     #[test]
     fn negated_ce() {
-        let mut prog =
-            Program::from_source("(p q (a ^x <v>) - (b ^y <v>) --> (halt))").unwrap();
+        let mut prog = Program::from_source("(p q (a ^x <v>) - (b ^y <v>) --> (halt))").unwrap();
         let cs = changes(
             &mut prog,
             &[
@@ -579,8 +692,7 @@ mod tests {
 
     #[test]
     fn deletes_retract() {
-        let mut prog =
-            Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
+        let mut prog = Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
         let cs = changes(
             &mut prog,
             &[
@@ -612,8 +724,7 @@ mod tests {
 
     #[test]
     fn stats_populated() {
-        let mut prog =
-            Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
+        let mut prog = Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
         let cs = changes(
             &mut prog,
             &[

@@ -58,9 +58,7 @@ pub fn lisp_equal(a: &LispVal, b: &LispVal) -> bool {
         (LispVal::Sym(x), LispVal::Sym(y)) => x.as_ref() == y.as_ref(),
         (LispVal::Int(x), LispVal::Int(y)) => x == y,
         (LispVal::Float(x), LispVal::Float(y)) => x.to_bits() == y.to_bits(),
-        (LispVal::Cons(a1, d1), LispVal::Cons(a2, d2)) => {
-            lisp_equal(a1, a2) && lisp_equal(d1, d2)
-        }
+        (LispVal::Cons(a1, d1), LispVal::Cons(a2, d2)) => lisp_equal(a1, a2) && lisp_equal(d1, d2),
         _ => false,
     }
 }
@@ -117,6 +115,9 @@ mod tests {
     fn shadowing_prepend_wins() {
         let l = acons(LispVal::sym("x"), LispVal::Int(1), LispVal::Nil);
         let l2 = acons(LispVal::sym("x"), LispVal::Int(2), l);
-        assert!(lisp_equal(assoc(&LispVal::sym("x"), &l2).unwrap(), &LispVal::Int(2)));
+        assert!(lisp_equal(
+            assoc(&LispVal::sym("x"), &l2).unwrap(),
+            &LispVal::Int(2)
+        ));
     }
 }

@@ -27,7 +27,12 @@ pub struct SimConfig {
 
 impl SimConfig {
     pub fn new(match_processes: usize, queues: usize, lock_scheme: LockScheme) -> SimConfig {
-        SimConfig { match_processes, queues, lock_scheme, cost: CostModel::default() }
+        SimConfig {
+            match_processes,
+            queues,
+            lock_scheme,
+            cost: CostModel::default(),
+        }
     }
 }
 
@@ -134,8 +139,16 @@ pub fn simulate(trace: &RunTrace, cfg: &SimConfig) -> SimResult {
                 }
             }
         }
-        let roots: Vec<u32> = cyc.roots.iter().filter_map(|r| index.get(r).copied()).collect();
-        let cycle = Cycle { tasks: &cyc.tasks, children, roots };
+        let roots: Vec<u32> = cyc
+            .roots
+            .iter()
+            .filter_map(|r| index.get(r).copied())
+            .collect();
+        let cycle = Cycle {
+            tasks: &cyc.tasks,
+            children,
+            roots,
+        };
         let end = simulate_cycle(&cycle, cfg, nq, np, pop_hold, push_hold, clock, &mut res);
         res.match_time += end.match_end - clock;
         res.tasks += cyc.tasks.len() as u64;
@@ -166,10 +179,11 @@ fn simulate_cycle(
     let cm = &cfg.cost;
     let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
     let mut seq = 0u64;
-    let push_ev = |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, t: u64, ev: Ev, seq: &mut u64| {
-        heap.push(Reverse((t, *seq, ev)));
-        *seq += 1;
-    };
+    let push_ev =
+        |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, t: u64, ev: Ev, seq: &mut u64| {
+            heap.push(Reverse((t, *seq, ev)));
+            *seq += 1;
+        };
 
     let mut q_items: Vec<VecDeque<u32>> = vec![VecDeque::new(); nq];
     let mut q_free: Vec<u64> = vec![0; nq];
@@ -184,12 +198,23 @@ fn simulate_cycle(
     let mut match_end = start;
     let mut control_end = start;
 
-    // Kick off the control process: first root computed after one
-    // RHS-evaluation quantum.
+    // Kick off the control process: a root task covering a group of g WME
+    // changes is pushed after g RHS-evaluation quanta (the control process
+    // computes every change in the group before the single queue push).
     if cyc.roots.is_empty() {
-        return CycleEnd { match_end: start, control_end: start };
+        return CycleEnd {
+            match_end: start,
+            control_end: start,
+        };
     }
-    push_ev(&mut heap, start + cm.rhs_per_change as u64, Ev::RootPush(cyc.roots[0]), &mut seq);
+    let rhs_cost =
+        |idx: u32| cm.rhs_per_change as u64 * cyc.tasks[idx as usize].group.max(1) as u64;
+    push_ev(
+        &mut heap,
+        start + rhs_cost(cyc.roots[0]),
+        Ev::RootPush(cyc.roots[0]),
+        &mut seq,
+    );
     let mut next_root = 1usize;
 
     // Helper: push task `idx` to queue `q` starting the protocol at `t`;
@@ -231,7 +256,7 @@ fn simulate_cycle(
                 if next_root < cyc.roots.len() {
                     let r = cyc.roots[next_root];
                     next_root += 1;
-                    push_ev(&mut heap, done + cm.rhs_per_change as u64, Ev::RootPush(r), &mut seq);
+                    push_ev(&mut heap, done + rhs_cost(r), Ev::RootPush(r), &mut seq);
                 }
             }
             Ev::Avail(idx, q) => {
@@ -259,7 +284,11 @@ fn simulate_cycle(
                         break;
                     }
                 }
-                if found.is_some() { res.pop_free += 1; } else if fallback.is_some() { res.pop_fallback += 1; }
+                if found.is_some() {
+                    res.pop_free += 1;
+                } else if fallback.is_some() {
+                    res.pop_fallback += 1;
+                }
                 let Some(q) = found.or(fallback) else {
                     idle.push(p);
                     continue;
@@ -283,6 +312,7 @@ fn simulate_cycle(
                 let e = match task.kind {
                     TaskKind::Root => {
                         s + cm.root_base as u64
+                            + cm.root_per_change as u64 * task.group as u64
                             + cm.per_alpha_test as u64 * task.alpha_tests as u64
                     }
                     TaskKind::Terminal => {
@@ -314,7 +344,11 @@ fn simulate_cycle(
                                 let a2 = e0.max(st.entry_free_at);
                                 record_hash(res, left, (a2 - e0) / SPIN_UNIT);
                                 st.entry_free_at = a2 + ENTRY_HOLD;
-                                let opp_busy = if left { st.right_busy_until } else { st.left_busy_until };
+                                let opp_busy = if left {
+                                    st.right_busy_until
+                                } else {
+                                    st.left_busy_until
+                                };
                                 if a2 < opp_busy {
                                     // Opposite side active: requeue (§3.2).
                                     res.requeues += 1;
@@ -322,13 +356,19 @@ fn simulate_cycle(
                                     let rt = a2 + ENTRY_HOLD;
                                     // The processor re-pushes the token.
                                     let q2 = proc_cursor[p as usize] % nq;
-                                    proc_cursor[p as usize] = proc_cursor[p as usize].wrapping_add(1);
+                                    proc_cursor[p as usize] =
+                                        proc_cursor[p as usize].wrapping_add(1);
                                     let a3 = rt.max(q_free[q2]);
                                     res.queue_spins += (a3 - rt) / SPIN_UNIT;
                                     res.push_wait += a3 - rt;
                                     res.queue_acqs += 1;
                                     q_free[q2] = a3 + push_hold;
-                                    push_ev(&mut heap, a3 + push_hold, Ev::Avail(idx, q2 as u32), &mut seq);
+                                    push_ev(
+                                        &mut heap,
+                                        a3 + push_hold,
+                                        Ev::Avail(idx, q2 as u32),
+                                        &mut seq,
+                                    );
                                     a3 + push_hold
                                 } else {
                                     // Modification serialized; scan overlaps
@@ -384,7 +424,10 @@ fn simulate_cycle(
         }
     }
     debug_assert_eq!(remaining, 0, "all tasks must complete");
-    CycleEnd { match_end: match_end.max(control_end), control_end }
+    CycleEnd {
+        match_end: match_end.max(control_end),
+        control_end,
+    }
 }
 
 fn record_hash(res: &mut SimResult, left: bool, spins: u64) {
@@ -412,6 +455,7 @@ mod tests {
             same_examined: 0,
             emitted,
             alpha_tests: 4,
+            group: 1,
         }
     }
 
@@ -419,12 +463,17 @@ mod tests {
         TaskRecord {
             id,
             parent: Some(parent),
-            kind: if left { TaskKind::Left { negated: false } } else { TaskKind::Right { negated: false } },
+            kind: if left {
+                TaskKind::Left { negated: false }
+            } else {
+                TaskKind::Right { negated: false }
+            },
             line,
             examined,
             same_examined: 0,
             emitted: 0,
             alpha_tests: 0,
+            group: 1,
         }
     }
 
@@ -448,7 +497,10 @@ mod tests {
             }
         }
         RunTrace {
-            cycles: vec![CycleTrace { roots: root_ids, tasks }],
+            cycles: vec![CycleTrace {
+                roots: root_ids,
+                tasks,
+            }],
             n_lines: (roots * fan).max(1),
         }
     }
@@ -484,7 +536,10 @@ mod tests {
         let t4 = simulate(&t, &SimConfig::new(4, 4, LockScheme::Simple)).match_time as f64;
         let s = t1 / t4;
         assert!(s <= 4.3, "speedup {s} exceeds processor count");
-        assert!(s >= 1.5, "speedup {s} suspiciously low for independent tasks");
+        assert!(
+            s >= 1.5,
+            "speedup {s} suspiciously low for independent tasks"
+        );
     }
 
     #[test]
@@ -539,7 +594,10 @@ mod tests {
         let t = wide_trace(100, true);
         let simple = simulate(&t, &SimConfig::new(1, 1, LockScheme::Simple)).match_time;
         let mrsw = simulate(&t, &SimConfig::new(1, 1, LockScheme::Mrsw)).match_time;
-        assert!(mrsw > simple, "MRSW must cost overhead ({mrsw} vs {simple})");
+        assert!(
+            mrsw > simple,
+            "MRSW must cost overhead ({mrsw} vs {simple})"
+        );
     }
 
     #[test]
@@ -549,7 +607,13 @@ mod tests {
         for i in 1..100u32 {
             tasks.push(join(i, i - 1, i, 10, true));
         }
-        let t = RunTrace { cycles: vec![CycleTrace { roots: vec![0], tasks }], n_lines: 128 };
+        let t = RunTrace {
+            cycles: vec![CycleTrace {
+                roots: vec![0],
+                tasks,
+            }],
+            n_lines: 128,
+        };
         let t1 = simulate(&t, &SimConfig::new(1, 1, LockScheme::Simple)).match_time as f64;
         let t8 = simulate(&t, &SimConfig::new(8, 8, LockScheme::Simple)).match_time as f64;
         assert!(t1 / t8 < 1.3, "chains cannot speed up ({})", t1 / t8);
@@ -563,7 +627,13 @@ mod tests {
         for i in 1..=64u32 {
             tasks.push(join(i, 0, 0, 10, i % 2 == 0));
         }
-        let t = RunTrace { cycles: vec![CycleTrace { roots: vec![0], tasks }], n_lines: 4 };
+        let t = RunTrace {
+            cycles: vec![CycleTrace {
+                roots: vec![0],
+                tasks,
+            }],
+            n_lines: 4,
+        };
         let r = simulate(&t, &SimConfig::new(8, 2, LockScheme::Mrsw));
         assert_eq!(r.tasks, 65);
         assert!(r.requeues > 0, "alternating sides must requeue");

@@ -141,7 +141,11 @@ mod tests {
     use super::*;
 
     fn ce(negated: bool) -> CondElem {
-        CondElem { class: SymbolId(1), negated, tests: vec![] }
+        CondElem {
+            class: SymbolId(1),
+            negated,
+            tests: vec![],
+        }
     }
 
     #[test]
@@ -169,8 +173,14 @@ mod tests {
                     (
                         0,
                         AttrTest::Conj(vec![
-                            ValueTest { pred: Pred::Gt, atom: TestAtom::Const(Value::Int(2)) },
-                            ValueTest { pred: Pred::Lt, atom: TestAtom::Const(Value::Int(5)) },
+                            ValueTest {
+                                pred: Pred::Gt,
+                                atom: TestAtom::Const(Value::Int(2)),
+                            },
+                            ValueTest {
+                                pred: Pred::Lt,
+                                atom: TestAtom::Const(Value::Int(5)),
+                            },
                         ]),
                     ),
                     (1, AttrTest::Disj(vec![Value::Int(1), Value::Int(2)])),

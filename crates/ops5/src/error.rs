@@ -6,17 +6,9 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Ops5Error {
     /// Lexical error at a source offset (line, column).
-    Lex {
-        line: u32,
-        col: u32,
-        msg: String,
-    },
+    Lex { line: u32, col: u32, msg: String },
     /// Parse error at a source offset.
-    Parse {
-        line: u32,
-        col: u32,
-        msg: String,
-    },
+    Parse { line: u32, col: u32, msg: String },
     /// Semantic error (unknown attribute, unbound variable, bad CE index...).
     Semantic(String),
     /// Runtime error raised during RHS evaluation.

@@ -61,7 +61,11 @@ pub enum PredTok {
 
 /// True for characters that may appear in a bare OPS5 symbol.
 fn is_sym_char(c: char) -> bool {
-    c.is_alphanumeric() || matches!(c, '-' | '_' | '*' | '+' | '/' | '.' | '?' | '!' | ':' | '&' | '$' | '%' | '\\')
+    c.is_alphanumeric()
+        || matches!(
+            c,
+            '-' | '_' | '*' | '+' | '/' | '.' | '?' | '!' | ':' | '&' | '$' | '%' | '\\'
+        )
 }
 
 /// Tokenizes an entire source string.
@@ -73,16 +77,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
 
     while let Some(&c) = it.peek() {
         let (tl, tc) = (line, col);
-        let advance = |it: &mut std::iter::Peekable<std::str::Chars>, line: &mut u32, col: &mut u32| {
-            let c = it.next().unwrap();
-            if c == '\n' {
-                *line += 1;
-                *col = 1;
-            } else {
-                *col += 1;
-            }
-            c
-        };
+        let advance =
+            |it: &mut std::iter::Peekable<std::str::Chars>, line: &mut u32, col: &mut u32| {
+                let c = it.next().unwrap();
+                if c == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                c
+            };
 
         match c {
             c if c.is_whitespace() => {
@@ -98,19 +103,35 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
             '(' => {
                 advance(&mut it, &mut line, &mut col);
-                toks.push(Token { kind: TokKind::LParen, line: tl, col: tc });
+                toks.push(Token {
+                    kind: TokKind::LParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ')' => {
                 advance(&mut it, &mut line, &mut col);
-                toks.push(Token { kind: TokKind::RParen, line: tl, col: tc });
+                toks.push(Token {
+                    kind: TokKind::RParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             '{' => {
                 advance(&mut it, &mut line, &mut col);
-                toks.push(Token { kind: TokKind::LBrace, line: tl, col: tc });
+                toks.push(Token {
+                    kind: TokKind::LBrace,
+                    line: tl,
+                    col: tc,
+                });
             }
             '}' => {
                 advance(&mut it, &mut line, &mut col);
-                toks.push(Token { kind: TokKind::RBrace, line: tl, col: tc });
+                toks.push(Token {
+                    kind: TokKind::RBrace,
+                    line: tl,
+                    col: tc,
+                });
             }
             '^' => {
                 advance(&mut it, &mut line, &mut col);
@@ -129,22 +150,42 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         msg: "expected attribute name after ^".into(),
                     });
                 }
-                toks.push(Token { kind: TokKind::Attr(s), line: tl, col: tc });
+                toks.push(Token {
+                    kind: TokKind::Attr(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             '=' => {
                 advance(&mut it, &mut line, &mut col);
-                toks.push(Token { kind: TokKind::Pred(PredTok::Eq), line: tl, col: tc });
+                toks.push(Token {
+                    kind: TokKind::Pred(PredTok::Eq),
+                    line: tl,
+                    col: tc,
+                });
             }
             '>' => {
                 advance(&mut it, &mut line, &mut col);
                 if it.peek() == Some(&'>') {
                     advance(&mut it, &mut line, &mut col);
-                    toks.push(Token { kind: TokKind::RDisj, line: tl, col: tc });
+                    toks.push(Token {
+                        kind: TokKind::RDisj,
+                        line: tl,
+                        col: tc,
+                    });
                 } else if it.peek() == Some(&'=') {
                     advance(&mut it, &mut line, &mut col);
-                    toks.push(Token { kind: TokKind::Pred(PredTok::Ge), line: tl, col: tc });
+                    toks.push(Token {
+                        kind: TokKind::Pred(PredTok::Ge),
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
-                    toks.push(Token { kind: TokKind::Pred(PredTok::Gt), line: tl, col: tc });
+                    toks.push(Token {
+                        kind: TokKind::Pred(PredTok::Gt),
+                        line: tl,
+                        col: tc,
+                    });
                 }
             }
             '<' => {
@@ -152,11 +193,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 match it.peek() {
                     Some(&'<') => {
                         advance(&mut it, &mut line, &mut col);
-                        toks.push(Token { kind: TokKind::LDisj, line: tl, col: tc });
+                        toks.push(Token {
+                            kind: TokKind::LDisj,
+                            line: tl,
+                            col: tc,
+                        });
                     }
                     Some(&'>') => {
                         advance(&mut it, &mut line, &mut col);
-                        toks.push(Token { kind: TokKind::Pred(PredTok::Ne), line: tl, col: tc });
+                        toks.push(Token {
+                            kind: TokKind::Pred(PredTok::Ne),
+                            line: tl,
+                            col: tc,
+                        });
                     }
                     Some(&'=') => {
                         advance(&mut it, &mut line, &mut col);
@@ -168,7 +217,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                                 col: tc,
                             });
                         } else {
-                            toks.push(Token { kind: TokKind::Pred(PredTok::Le), line: tl, col: tc });
+                            toks.push(Token {
+                                kind: TokKind::Pred(PredTok::Le),
+                                line: tl,
+                                col: tc,
+                            });
                         }
                     }
                     Some(&c2) if c2.is_alphanumeric() || c2 == '_' => {
@@ -193,10 +246,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                                 msg: format!("unterminated variable <{s}"),
                             });
                         }
-                        toks.push(Token { kind: TokKind::Var(s), line: tl, col: tc });
+                        toks.push(Token {
+                            kind: TokKind::Var(s),
+                            line: tl,
+                            col: tc,
+                        });
                     }
                     _ => {
-                        toks.push(Token { kind: TokKind::Pred(PredTok::Lt), line: tl, col: tc });
+                        toks.push(Token {
+                            kind: TokKind::Pred(PredTok::Lt),
+                            line: tl,
+                            col: tc,
+                        });
                     }
                 }
             }
@@ -209,20 +270,36 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     if clone.peek() == Some(&'>') {
                         advance(&mut it, &mut line, &mut col);
                         advance(&mut it, &mut line, &mut col);
-                        toks.push(Token { kind: TokKind::Arrow, line: tl, col: tc });
+                        toks.push(Token {
+                            kind: TokKind::Arrow,
+                            line: tl,
+                            col: tc,
+                        });
                         continue;
                     }
                 }
                 if it.peek().is_some_and(|c| c.is_ascii_digit()) {
                     let kind = lex_number(&mut it, &mut line, &mut col, true, tl, tc)?;
-                    toks.push(Token { kind, line: tl, col: tc });
+                    toks.push(Token {
+                        kind,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
-                    toks.push(Token { kind: TokKind::Minus, line: tl, col: tc });
+                    toks.push(Token {
+                        kind: TokKind::Minus,
+                        line: tl,
+                        col: tc,
+                    });
                 }
             }
             c if c.is_ascii_digit() => {
                 let kind = lex_number(&mut it, &mut line, &mut col, false, tl, tc)?;
-                toks.push(Token { kind, line: tl, col: tc });
+                toks.push(Token {
+                    kind,
+                    line: tl,
+                    col: tc,
+                });
             }
             c if is_sym_char(c) => {
                 let mut s = String::new();
@@ -233,7 +310,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                toks.push(Token { kind: TokKind::Sym(s), line: tl, col: tc });
+                toks.push(Token {
+                    kind: TokKind::Sym(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             '|' => {
                 // |quoted symbol| — may contain anything but `|`.
@@ -255,7 +336,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                toks.push(Token { kind: TokKind::Sym(s), line: tl, col: tc });
+                toks.push(Token {
+                    kind: TokKind::Sym(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             other => {
                 return Err(Ops5Error::Lex {
@@ -266,7 +351,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    toks.push(Token { kind: TokKind::Eof, line, col });
+    toks.push(Token {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
     Ok(toks)
 }
 
@@ -302,11 +391,19 @@ fn lex_number(
     if is_float {
         s.parse::<f64>()
             .map(TokKind::Float)
-            .map_err(|e| Ops5Error::Lex { line: tl, col: tc, msg: format!("bad float {s}: {e}") })
+            .map_err(|e| Ops5Error::Lex {
+                line: tl,
+                col: tc,
+                msg: format!("bad float {s}: {e}"),
+            })
     } else {
         s.parse::<i64>()
             .map(TokKind::Int)
-            .map_err(|e| Ops5Error::Lex { line: tl, col: tc, msg: format!("bad int {s}: {e}") })
+            .map_err(|e| Ops5Error::Lex {
+                line: tl,
+                col: tc,
+                msg: format!("bad int {s}: {e}"),
+            })
     }
 }
 
@@ -375,7 +472,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("foo ; a comment\nbar"),
-            vec![TokKind::Sym("foo".into()), TokKind::Sym("bar".into()), TokKind::Eof]
+            vec![
+                TokKind::Sym("foo".into()),
+                TokKind::Sym("bar".into()),
+                TokKind::Eof
+            ]
         );
     }
 

@@ -35,7 +35,10 @@ pub mod wme;
 
 pub use ast::{Action, AttrTest, CondElem, Production, RhsExpr, RhsValue, WriteItem};
 pub use error::{Ops5Error, Result};
-pub use matchapi::{CsChange, Instantiation, MatchStats, Matcher, Sign, WmeChange};
+pub use matchapi::{
+    ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, QuiesceReport, Sign,
+    StatsDeltaTracker, WmeChange,
+};
 pub use program::{ClassInfo, ClassTable, ProdId, Program, Strategy};
 pub use symbol::{SymbolId, SymbolTable};
 pub use value::{Pred, Value};

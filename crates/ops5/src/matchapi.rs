@@ -10,9 +10,11 @@
 //! the paper.
 
 use crate::program::ProdId;
+use crate::symbol::SymbolId;
 use crate::wme::WmeRef;
+use std::collections::HashMap;
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Add or delete, the paper's `+`/`−` token tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +47,168 @@ impl fmt::Display for Sign {
 pub struct WmeChange {
     pub sign: Sign,
     pub wme: WmeRef,
+}
+
+/// A batch of WME changes submitted to a matcher as one unit — the
+/// ingestion granularity of the batched match pipeline.
+///
+/// The control process accumulates every change a production firing
+/// produces (a `modify` contributes a delete *and* an add) into one
+/// `ChangeBatch` and ships the whole batch with a single
+/// [`Matcher::submit`] call, amortizing per-call scheduling, locking, and
+/// constant-test dispatch. Batches apply three normalizations as changes
+/// are pushed:
+///
+/// 1. **Conjugate-pair annihilation.** A delete whose timetag matches an
+///    add still pending in the same batch cancels it: both changes vanish
+///    before the network ever sees a token. (Timetags are unique, so the
+///    reverse order — delete before add of the same tag — cannot occur.)
+///    The number of cancelled pairs is reported by [`annihilated`] and
+///    rolled into the matcher's `conjugate_pairs` statistic.
+/// 2. **Per-class grouping.** Changes are bucketed by WME class so that
+///    one batch entry drives one alpha-chain walk: a matcher visits the
+///    constant-test patterns of a class once per *group*, not once per
+///    change — the paper's "small groups of constant-test node
+///    activations constitute a task". Groups preserve the first-appearance
+///    order of classes; changes within a group preserve submission order
+///    (except when an annihilation back-fills a hole).
+/// 3. **Coalescing requires distinct elements.** Reordering across groups
+///    is sound because changes to *distinct* WMEs commute in the final
+///    match state; changes to the *same* WME are exactly the
+///    add-then-delete pairs rule 1 removes. Callers must not push the same
+///    signed change twice (the engine's working memory guards this).
+///
+/// [`annihilated`]: ChangeBatch::annihilated
+#[derive(Debug, Clone, Default)]
+pub struct ChangeBatch {
+    /// Per-class groups in first-appearance order of the class.
+    groups: Vec<(SymbolId, Vec<WmeChange>)>,
+    /// Class → index into `groups`.
+    class_index: HashMap<SymbolId, usize>,
+    /// Timetag → (group, position) of a pending add, for annihilation.
+    pending_adds: HashMap<u64, (usize, usize)>,
+    /// Conjugate pairs cancelled inside this batch.
+    annihilated: u64,
+    /// Live changes across all groups.
+    len: usize,
+}
+
+impl ChangeBatch {
+    pub fn new() -> ChangeBatch {
+        ChangeBatch::default()
+    }
+
+    /// A batch holding a single change.
+    pub fn from_change(change: WmeChange) -> ChangeBatch {
+        let mut b = ChangeBatch::new();
+        b.push(change);
+        b
+    }
+
+    /// Pushes one change, applying the coalescing rules above.
+    pub fn push(&mut self, change: WmeChange) {
+        let tag = change.wme.timetag;
+        if change.sign == Sign::Minus {
+            if let Some((g, pos)) = self.pending_adds.remove(&tag) {
+                // Annihilate: the pending add and this delete cancel.
+                let group = &mut self.groups[g].1;
+                group.swap_remove(pos);
+                if let Some(moved) = group.get(pos) {
+                    // The former last element now sits at `pos`; fix its
+                    // index if it is a tracked add.
+                    if moved.sign == Sign::Plus {
+                        self.pending_adds.insert(moved.wme.timetag, (g, pos));
+                    }
+                }
+                self.annihilated += 1;
+                self.len -= 1;
+                return;
+            }
+        }
+        let class = change.wme.class;
+        let g = match self.class_index.get(&class) {
+            Some(&g) => g,
+            None => {
+                let g = self.groups.len();
+                self.groups.push((class, Vec::new()));
+                self.class_index.insert(class, g);
+                g
+            }
+        };
+        if change.sign == Sign::Plus {
+            self.pending_adds.insert(tag, (g, self.groups[g].1.len()));
+        }
+        self.groups[g].1.push(change);
+        self.len += 1;
+    }
+
+    /// Convenience: push an add.
+    pub fn add(&mut self, wme: WmeRef) {
+        self.push(WmeChange {
+            sign: Sign::Plus,
+            wme,
+        });
+    }
+
+    /// Convenience: push a delete.
+    pub fn delete(&mut self, wme: WmeRef) {
+        self.push(WmeChange {
+            sign: Sign::Minus,
+            wme,
+        });
+    }
+
+    /// Live changes in the batch (after annihilation).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Conjugate add/delete pairs cancelled inside this batch.
+    pub fn annihilated(&self) -> u64 {
+        self.annihilated
+    }
+
+    /// Number of non-empty per-class groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.iter().filter(|(_, g)| !g.is_empty()).count()
+    }
+
+    /// Per-class groups in first-appearance order. Groups emptied by
+    /// annihilation are skipped.
+    pub fn groups(&self) -> impl Iterator<Item = (SymbolId, &[WmeChange])> {
+        self.groups
+            .iter()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(c, g)| (*c, g.as_slice()))
+    }
+
+    /// All live changes, flattened in group order.
+    pub fn iter(&self) -> impl Iterator<Item = &WmeChange> {
+        self.groups.iter().flat_map(|(_, g)| g.iter())
+    }
+
+    /// Empties the batch for reuse, keeping allocations.
+    pub fn clear(&mut self) {
+        self.groups.clear();
+        self.class_index.clear();
+        self.pending_adds.clear();
+        self.annihilated = 0;
+        self.len = 0;
+    }
+}
+
+impl FromIterator<WmeChange> for ChangeBatch {
+    fn from_iter<I: IntoIterator<Item = WmeChange>>(iter: I) -> ChangeBatch {
+        let mut b = ChangeBatch::new();
+        for c in iter {
+            b.push(c);
+        }
+        b
+    }
 }
 
 /// A satisfied production instance: the production plus the WMEs matched by
@@ -148,24 +312,28 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Applies a macro to every counter field of `MatchStats`.
+macro_rules! for_each_stat {
+    ($m:ident, $($args:tt)*) => {
+        $m! { $($args)*;
+            wme_changes, activations, alpha_activations,
+            opp_tokens_left, opp_nonempty_left, opp_tokens_right, opp_nonempty_right,
+            same_tokens_left, same_searches_left, same_tokens_right, same_searches_right,
+            cs_changes, conjugate_pairs
+        }
+    };
+}
+
+macro_rules! stats_binop {
+    ($a:ident, $b:ident, $op:ident; $($field:ident),+) => {
+        MatchStats { $($field: $a.$field.$op($b.$field)),+ }
+    };
+}
+
 impl Add for MatchStats {
     type Output = MatchStats;
     fn add(self, o: MatchStats) -> MatchStats {
-        MatchStats {
-            wme_changes: self.wme_changes + o.wme_changes,
-            activations: self.activations + o.activations,
-            alpha_activations: self.alpha_activations + o.alpha_activations,
-            opp_tokens_left: self.opp_tokens_left + o.opp_tokens_left,
-            opp_nonempty_left: self.opp_nonempty_left + o.opp_nonempty_left,
-            opp_tokens_right: self.opp_tokens_right + o.opp_tokens_right,
-            opp_nonempty_right: self.opp_nonempty_right + o.opp_nonempty_right,
-            same_tokens_left: self.same_tokens_left + o.same_tokens_left,
-            same_searches_left: self.same_searches_left + o.same_searches_left,
-            same_tokens_right: self.same_tokens_right + o.same_tokens_right,
-            same_searches_right: self.same_searches_right + o.same_searches_right,
-            cs_changes: self.cs_changes + o.cs_changes,
-            conjugate_pairs: self.conjugate_pairs + o.conjugate_pairs,
-        }
+        for_each_stat!(stats_binop, self, o, wrapping_add)
     }
 }
 
@@ -175,20 +343,71 @@ impl AddAssign for MatchStats {
     }
 }
 
+/// Counter-wise difference (saturating), for `stats_delta` reporting.
+impl Sub for MatchStats {
+    type Output = MatchStats;
+    fn sub(self, o: MatchStats) -> MatchStats {
+        for_each_stat!(stats_binop, self, o, saturating_sub)
+    }
+}
+
+/// Tracks the statistics snapshot taken at the previous quiesce so a
+/// matcher can report per-cycle deltas. Every engine embeds one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsDeltaTracker {
+    last: MatchStats,
+}
+
+impl StatsDeltaTracker {
+    /// Returns the delta from the previous call and re-snapshots.
+    pub fn take(&mut self, now: MatchStats) -> MatchStats {
+        let delta = now - self.last;
+        self.last = now;
+        delta
+    }
+
+    /// Forgets the snapshot (call from `reset_stats`).
+    pub fn reset(&mut self) {
+        self.last = MatchStats::default();
+    }
+}
+
+/// What one `quiesce` produced: the conflict-set deltas of the completed
+/// match phase plus the statistics delta since the previous quiesce.
+///
+/// Bundling the two closes a race in the old five-method API, where
+/// callers pairing `quiesce()` with a separate `stats()` call could
+/// observe counters from a neighbouring cycle.
+#[derive(Debug, Clone, Default)]
+pub struct QuiesceReport {
+    /// Conflict-set inserts/removes produced since the previous quiesce.
+    pub cs_changes: Vec<CsChange>,
+    /// Statistics accumulated since the previous quiesce.
+    pub stats_delta: MatchStats,
+}
+
 /// A match engine.
 ///
 /// Lifecycle per recognize-act cycle: zero or more `submit` calls (the
-/// control process pushes changes as RHS evaluation produces them), then one
-/// `quiesce` that blocks until the match phase is complete and returns the
-/// conflict-set deltas. Engines may process eagerly inside `submit`
-/// (sequential engines do) or defer to worker threads (PSM-E does).
+/// control process ships each production firing's changes as one
+/// [`ChangeBatch`]), then one `quiesce` that blocks until the match phase
+/// is complete and returns the conflict-set deltas plus the cycle's
+/// statistics. Engines may process eagerly inside `submit` (sequential
+/// engines do) or defer to worker threads (PSM-E does).
 pub trait Matcher: Send {
-    /// Feed one WME change into the network. May return immediately.
-    fn submit(&mut self, change: WmeChange);
+    /// Feed a batch of WME changes into the network. May return
+    /// immediately.
+    fn submit(&mut self, batch: &ChangeBatch);
+
+    /// Convenience shim: submit a single change as a one-element batch.
+    fn submit_one(&mut self, change: WmeChange) {
+        self.submit(&ChangeBatch::from_change(change));
+    }
 
     /// Block until the match phase completes; drain and return the
-    /// conflict-set deltas produced since the previous `quiesce`.
-    fn quiesce(&mut self) -> Vec<CsChange>;
+    /// conflict-set deltas and statistics produced since the previous
+    /// `quiesce`.
+    fn quiesce(&mut self) -> QuiesceReport;
 
     /// Cumulative statistics since construction or the last `reset_stats`.
     fn stats(&self) -> MatchStats;
@@ -218,9 +437,18 @@ mod tests {
         let w1 = Wme::new(SymbolId(1), vec![Value::Int(1)], 10);
         let w1b = Wme::new(SymbolId(1), vec![Value::Int(1)], 10);
         let w2 = Wme::new(SymbolId(1), vec![Value::Int(1)], 11);
-        let a = Instantiation { prod: ProdId(0), wmes: vec![w1] };
-        let b = Instantiation { prod: ProdId(0), wmes: vec![w1b] };
-        let c = Instantiation { prod: ProdId(0), wmes: vec![w2] };
+        let a = Instantiation {
+            prod: ProdId(0),
+            wmes: vec![w1],
+        };
+        let b = Instantiation {
+            prod: ProdId(0),
+            wmes: vec![w1b],
+        };
+        let c = Instantiation {
+            prod: ProdId(0),
+            wmes: vec![w2],
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -238,10 +466,131 @@ mod tests {
 
     #[test]
     fn stats_add() {
-        let a = MatchStats { wme_changes: 1, activations: 2, ..Default::default() };
-        let b = MatchStats { wme_changes: 3, activations: 4, ..Default::default() };
+        let a = MatchStats {
+            wme_changes: 1,
+            activations: 2,
+            ..Default::default()
+        };
+        let b = MatchStats {
+            wme_changes: 3,
+            activations: 4,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.wme_changes, 4);
         assert_eq!(c.activations, 6);
+    }
+
+    #[test]
+    fn stats_sub_and_delta_tracker() {
+        let a = MatchStats {
+            wme_changes: 5,
+            cs_changes: 2,
+            ..Default::default()
+        };
+        let b = MatchStats {
+            wme_changes: 8,
+            cs_changes: 2,
+            ..Default::default()
+        };
+        let d = b - a;
+        assert_eq!(d.wme_changes, 3);
+        assert_eq!(d.cs_changes, 0);
+
+        let mut t = StatsDeltaTracker::default();
+        assert_eq!(t.take(a).wme_changes, 5);
+        assert_eq!(t.take(b).wme_changes, 3);
+        assert_eq!(t.take(b).wme_changes, 0);
+    }
+
+    fn wme(class: u32, tag: u64) -> WmeRef {
+        Wme::new(SymbolId(class), vec![Value::Int(tag as i64)], tag)
+    }
+
+    #[test]
+    fn batch_groups_by_class_in_first_appearance_order() {
+        let mut b = ChangeBatch::new();
+        b.add(wme(2, 1));
+        b.add(wme(1, 2));
+        b.add(wme(2, 3));
+        b.delete(wme(1, 99)); // delete of an element from an earlier cycle
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.group_count(), 2);
+        let groups: Vec<(SymbolId, usize)> = b.groups().map(|(c, g)| (c, g.len())).collect();
+        assert_eq!(groups, vec![(SymbolId(2), 2), (SymbolId(1), 2)]);
+        // Flattened iteration follows group order.
+        let tags: Vec<u64> = b.iter().map(|c| c.wme.timetag).collect();
+        assert_eq!(tags, vec![1, 3, 2, 99]);
+    }
+
+    #[test]
+    fn batch_annihilates_conjugate_pairs() {
+        let mut b = ChangeBatch::new();
+        b.add(wme(1, 10));
+        b.add(wme(1, 11));
+        b.delete(wme(1, 10)); // cancels the pending add of tag 10
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.annihilated(), 1);
+        let tags: Vec<u64> = b.iter().map(|c| c.wme.timetag).collect();
+        assert_eq!(tags, vec![11]);
+    }
+
+    #[test]
+    fn batch_annihilation_can_empty_a_group() {
+        let mut b = ChangeBatch::new();
+        b.add(wme(3, 20));
+        b.delete(wme(3, 20));
+        assert!(b.is_empty());
+        assert_eq!(b.group_count(), 0);
+        assert_eq!(b.groups().count(), 0);
+        assert_eq!(b.annihilated(), 1);
+    }
+
+    #[test]
+    fn batch_annihilation_repairs_swap_index() {
+        // Three pending adds; annihilating the first moves the last into
+        // its slot. A later delete of the moved add must still annihilate.
+        let mut b = ChangeBatch::new();
+        b.add(wme(1, 1));
+        b.add(wme(1, 2));
+        b.add(wme(1, 3));
+        b.delete(wme(1, 1));
+        b.delete(wme(1, 3));
+        assert_eq!(b.annihilated(), 2);
+        let tags: Vec<u64> = b.iter().map(|c| c.wme.timetag).collect();
+        assert_eq!(tags, vec![2]);
+    }
+
+    #[test]
+    fn batch_from_iterator_and_clear() {
+        let changes = vec![
+            WmeChange {
+                sign: Sign::Plus,
+                wme: wme(1, 1),
+            },
+            WmeChange {
+                sign: Sign::Minus,
+                wme: wme(1, 1),
+            },
+            WmeChange {
+                sign: Sign::Plus,
+                wme: wme(2, 2),
+            },
+        ];
+        let mut b: ChangeBatch = changes.into_iter().collect();
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.annihilated(), 0);
+    }
+
+    #[test]
+    fn from_change_is_singleton() {
+        let b = ChangeBatch::from_change(WmeChange {
+            sign: Sign::Minus,
+            wme: wme(1, 7),
+        });
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.group_count(), 1);
     }
 }

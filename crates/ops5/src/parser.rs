@@ -61,7 +61,11 @@ impl<'a> Parser<'a> {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
         let (line, col) = self.here();
-        Err(Ops5Error::Parse { line, col, msg: msg.into() })
+        Err(Ops5Error::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        })
     }
 
     fn expect_lparen(&mut self) -> Result<()> {
@@ -148,7 +152,11 @@ impl<'a> Parser<'a> {
                 TokKind::LParen => {
                     lhs.push(self.cond_elem()?);
                 }
-                other => return self.err(format!("expected condition element or -->, found {other:?}")),
+                other => {
+                    return self.err(format!(
+                        "expected condition element or -->, found {other:?}"
+                    ))
+                }
             }
         }
         if lhs.is_empty() {
@@ -215,7 +223,9 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        self.prog.startup.push(crate::program::StartupWme { class, sets });
+        self.prog
+            .startup
+            .push(crate::program::StartupWme { class, sets });
         Ok(())
     }
 
@@ -238,10 +248,18 @@ impl<'a> Parser<'a> {
                     let test = self.lhs_value()?;
                     tests.push((field, test));
                 }
-                other => return self.err(format!("expected ^attr or ')' in condition element, found {other:?}")),
+                other => {
+                    return self.err(format!(
+                        "expected ^attr or ')' in condition element, found {other:?}"
+                    ))
+                }
             }
         }
-        Ok(CondElem { class, negated: false, tests })
+        Ok(CondElem {
+            class,
+            negated: false,
+            tests,
+        })
     }
 
     fn lhs_value(&mut self) -> Result<AttrTest> {
@@ -322,7 +340,10 @@ impl<'a> Parser<'a> {
     /// erroring on negated or out-of-range references.
     fn resolve_ce_index(&self, lhs: &[CondElem], k: i64, what: &str) -> Result<(u16, SymbolId)> {
         if k < 1 || k as usize > lhs.len() {
-            return self.err(format!("{what} references condition element {k}, but LHS has {} elements", lhs.len()));
+            return self.err(format!(
+                "{what} references condition element {k}, but LHS has {} elements",
+                lhs.len()
+            ));
         }
         let idx = (k - 1) as usize;
         if lhs[idx].negated {
@@ -354,7 +375,9 @@ impl<'a> Parser<'a> {
             "modify" => {
                 let k = match self.bump() {
                     TokKind::Int(i) => i,
-                    other => return self.err(format!("expected CE index after modify, found {other:?}")),
+                    other => {
+                        return self.err(format!("expected CE index after modify, found {other:?}"))
+                    }
                 };
                 let (pos, class) = self.resolve_ce_index(lhs, k, "modify")?;
                 let sets = self.rhs_sets(class, bound)?;
@@ -404,7 +427,9 @@ impl<'a> Parser<'a> {
                             self.bump();
                             match self.bump() {
                                 TokKind::Sym(s) if s == "crlf" => {}
-                                other => return self.err(format!("expected (crlf), found {other:?}")),
+                                other => {
+                                    return self.err(format!("expected (crlf), found {other:?}"))
+                                }
                             }
                             self.expect_rparen()?;
                             items.push(WriteItem::Crlf);
@@ -426,7 +451,9 @@ impl<'a> Parser<'a> {
             "bind" => {
                 let var = match self.bump() {
                     TokKind::Var(v) => self.prog.symbols.intern(&v),
-                    other => return self.err(format!("expected <var> after bind, found {other:?}")),
+                    other => {
+                        return self.err(format!("expected <var> after bind, found {other:?}"))
+                    }
                 };
                 let expr = if matches!(self.peek(), TokKind::RParen) {
                     None
@@ -469,7 +496,10 @@ impl<'a> Parser<'a> {
         if bound.contains(&v) {
             Ok(())
         } else {
-            self.err(format!("variable <{}> is not bound in the LHS", self.prog.symbols.name(v)))
+            self.err(format!(
+                "variable <{}> is not bound in the LHS",
+                self.prog.symbols.name(v)
+            ))
         }
     }
 
@@ -596,17 +626,13 @@ mod tests {
 
     #[test]
     fn negated_ce_index_rejected_in_remove() {
-        let r = Program::from_source(
-            "(p bad (a ^x 1) - (b ^y 2) --> (remove 2))",
-        );
+        let r = Program::from_source("(p bad (a ^x 1) - (b ^y 2) --> (remove 2))");
         assert!(r.is_err());
     }
 
     #[test]
     fn ce_index_maps_past_negated_elements() {
-        let p = parse(
-            "(p ok (a ^x 1) - (b ^y 2) (c ^z <v>) --> (modify 3 ^z nil))",
-        );
+        let p = parse("(p ok (a ^x 1) - (b ^y 2) (c ^z <v>) --> (modify 3 ^z nil))");
         match &p.productions[0].rhs[0] {
             // CE 3 in source is the 2nd positive CE.
             Action::Modify { ce, .. } => assert_eq!(*ce, 2),
@@ -621,10 +647,7 @@ mod tests {
 
     #[test]
     fn variable_bound_only_in_negated_ce_rejected_in_rhs() {
-        assert!(Program::from_source(
-            "(p bad (a ^x 1) - (b ^y <v>) --> (make c ^z <v>))"
-        )
-        .is_err());
+        assert!(Program::from_source("(p bad (a ^x 1) - (b ^y <v>) --> (make c ^z <v>))").is_err());
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub struct ClassTable {
 
 impl ClassTable {
     pub fn new() -> Self {
-        ClassTable { classes: HashMap::new(), auto_extend: true }
+        ClassTable {
+            classes: HashMap::new(),
+            auto_extend: true,
+        }
     }
 
     /// Handles a `(literalize class a b c)` declaration.

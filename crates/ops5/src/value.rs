@@ -213,7 +213,10 @@ mod tests {
     fn numeric_predicates_cross_variants() {
         assert!(Pred::Lt.eval(Value::Int(2), Value::Float(2.5)));
         assert!(Pred::Ge.eval(Value::Float(3.0), Value::Int(3)));
-        assert!(!Pred::Lt.eval(sym(1), Value::Int(5)), "symbols are unordered");
+        assert!(
+            !Pred::Lt.eval(sym(1), Value::Int(5)),
+            "symbols are unordered"
+        );
     }
 
     #[test]

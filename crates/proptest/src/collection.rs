@@ -1,0 +1,80 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A size specification for collections. Converts from `Range<usize>` and
+/// from a fixed `usize`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    pub min: usize,
+    /// Exclusive upper bound.
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.range_u64(self.size.min as u64, self.size.max as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_range() {
+        let s = vec(0u8..4, 1..8);
+        let mut r = TestRng::from_seed(9);
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((1..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        // The shape used by tests/properties.rs.
+        let s = vec(
+            (0u8..3, [0u8..4, 0u8..4, 0u8..4], crate::any::<bool>()),
+            1..25,
+        );
+        let mut r = TestRng::from_seed(11);
+        let v = s.generate(&mut r);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Regex-lite string generation.
+//!
+//! Real proptest compiles `&str` strategies through the `regex-syntax`
+//! crate. The stand-in supports the subset the workspace's tests use:
+//!
+//! * literal characters and `\`-escapes,
+//! * character classes `[...]` with ranges (`a-z`) and escaped members
+//!   (a trailing `-` is a literal),
+//! * `\PC` — "any printable character" (non-control; includes a few
+//!   multi-byte code points to exercise UTF-8 handling),
+//! * `.` — treated like `\PC`,
+//! * quantifiers `*`, `+`, `?`, `{m}`, and `{m,n}` (`*`/`+` cap repeats
+//!   at 16).
+//!
+//! Unsupported syntax (alternation, groups, anchors, negated classes)
+//! panics with a clear message rather than silently generating garbage.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+    Printable,
+}
+
+struct Elem {
+    atom: Atom,
+    min: usize,
+    /// Inclusive.
+    max: usize,
+}
+
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..=0x7e).map(|b| b as char).collect();
+    pool.extend(['é', 'λ', '→', '×', '中', '�']);
+    pool
+}
+
+fn parse(pattern: &str) -> Vec<Elem> {
+    let mut elems = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut members = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let m = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in /{pattern}/"));
+                    match m {
+                        ']' => break,
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in /{pattern}/"));
+                            members.push(esc);
+                            prev = Some(esc);
+                        }
+                        '^' if prev.is_none() && members.is_empty() => {
+                            panic!("negated classes are not supported by the proptest stand-in: /{pattern}/")
+                        }
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "bad range {lo}-{hi} in /{pattern}/");
+                            // `lo` is already in `members`; add the rest.
+                            let mut x = lo as u32 + 1;
+                            while x <= hi as u32 {
+                                if let Some(ch) = char::from_u32(x) {
+                                    members.push(ch);
+                                }
+                                x += 1;
+                            }
+                        }
+                        other => {
+                            members.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!members.is_empty(), "empty class in /{pattern}/");
+                Atom::Class(members)
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in /{pattern}/"));
+                match esc {
+                    'P' => {
+                        // \PC = "not a control character".
+                        let prop = chars.next();
+                        assert_eq!(
+                            prop,
+                            Some('C'),
+                            "only \\PC is supported by the proptest stand-in: /{pattern}/"
+                        );
+                        Atom::Printable
+                    }
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut m: Vec<char> = ('a'..='z').collect();
+                        m.extend('A'..='Z');
+                        m.extend('0'..='9');
+                        m.push('_');
+                        Atom::Class(m)
+                    }
+                    's' => Atom::Class(vec![' ', '\t']),
+                    other => Atom::Lit(other),
+                }
+            }
+            '.' => Atom::Printable,
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex feature {c:?} is not supported by the proptest stand-in: /{pattern}/")
+            }
+            other => Atom::Lit(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut lo = String::new();
+                let mut hi = String::new();
+                let mut in_hi = false;
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(',') => in_hi = true,
+                        Some(d) if d.is_ascii_digit() => {
+                            if in_hi {
+                                hi.push(d)
+                            } else {
+                                lo.push(d)
+                            }
+                        }
+                        other => panic!("bad quantifier near {other:?} in /{pattern}/"),
+                    }
+                }
+                let m: usize = lo.parse().expect("quantifier lower bound");
+                let n: usize = if in_hi {
+                    hi.parse().expect("quantifier upper bound")
+                } else {
+                    m
+                };
+                assert!(m <= n, "bad quantifier {{{m},{n}}} in /{pattern}/");
+                (m, n)
+            }
+            _ => (1, 1),
+        };
+        elems.push(Elem { atom, min, max });
+    }
+    elems
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let elems = parse(pattern);
+    let pool = printable_pool();
+    let mut out = String::new();
+    for e in &elems {
+        let reps = rng.range_u64(e.min as u64, e.max as u64 + 1) as usize;
+        for _ in 0..reps {
+            match &e.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(members) => out.push(*rng.pick(members)),
+                Atom::Printable => out.push(*rng.pick(&pool)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(31337)
+    }
+
+    #[test]
+    fn symbol_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9-]{0,10}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("\\PC*", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn paren_soup_class() {
+        let mut r = rng();
+        let allowed: Vec<char> = {
+            let mut v = vec!['(', ')', 'p', '-', '<', '>', '=', '^', ' ', '{', '}'];
+            v.extend('a'..='z');
+            v.extend('0'..='9');
+            v
+        };
+        for _ in 0..200 {
+            let s = generate("[()p\\-<>=^ a-z0-9{}]*", &mut r);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_quantifier() {
+        let mut r = rng();
+        assert_eq!(generate("a{4}", &mut r), "aaaa");
+    }
+}

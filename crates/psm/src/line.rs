@@ -82,7 +82,13 @@ pub enum MinusOutcome {
 
 impl ParLine {
     /// Applies a `+` token to the left memory of `j`.
-    pub fn left_plus(&mut self, j: &JoinNode, key: u64, token: &Token, neg_count: u32) -> PlusOutcome {
+    pub fn left_plus(
+        &mut self,
+        j: &JoinNode,
+        key: u64,
+        token: &Token,
+        neg_count: u32,
+    ) -> PlusOutcome {
         if let Some(i) = self
             .extra_del_left
             .iter()
@@ -91,7 +97,12 @@ impl ParLine {
             self.extra_del_left.swap_remove(i);
             return PlusOutcome::Annihilated;
         }
-        self.left.push(LeftEntry { join: j.id, key, token: token.clone(), neg_count });
+        self.left.push(LeftEntry {
+            join: j.id,
+            key,
+            token: token.clone(),
+            neg_count,
+        });
         PlusOutcome::Inserted
     }
 
@@ -106,7 +117,10 @@ impl ParLine {
             examined += 1;
             if e.key == key && e.token.same_wmes(token) {
                 let e = self.left.swap_remove(i);
-                return MinusOutcome::Removed { neg_count: e.neg_count, examined };
+                return MinusOutcome::Removed {
+                    neg_count: e.neg_count,
+                    examined,
+                };
             }
         }
         self.extra_del_left.push((j.id, key, token.clone()));
@@ -123,7 +137,11 @@ impl ParLine {
             self.extra_del_right.swap_remove(i);
             return PlusOutcome::Annihilated;
         }
-        self.right.push(RightEntry { join: j.id, key, wme: wme.clone() });
+        self.right.push(RightEntry {
+            join: j.id,
+            key,
+            wme: wme.clone(),
+        });
         PlusOutcome::Inserted
     }
 
@@ -138,7 +156,10 @@ impl ParLine {
             examined += 1;
             if e.key == key && e.wme.timetag == wme.timetag {
                 self.right.swap_remove(i);
-                return MinusOutcome::Removed { neg_count: 0, examined };
+                return MinusOutcome::Removed {
+                    neg_count: 0,
+                    examined,
+                };
             }
         }
         self.extra_del_right.push((j.id, key, wme.clone()));
@@ -268,7 +289,10 @@ impl LineLock {
     pub fn new() -> LineLock {
         LineLock {
             simple: SpinLock::new(ParLine::default()),
-            entry: SpinLock::new(EntryState { flag: FLAG_UNUSED, count: 0 }),
+            entry: SpinLock::new(EntryState {
+                flag: FLAG_UNUSED,
+                count: 0,
+            }),
             data: RwSpinLock::new(ParLine::default()),
         }
     }

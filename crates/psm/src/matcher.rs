@@ -3,13 +3,16 @@
 
 use crate::line::{LineLock, LockScheme, MinusOutcome, ParLine, PlusOutcome, Side};
 use crate::queue::{ParTask, Scheduler};
-use crate::steal::StealScheduler;
 use crate::stats::{AtomicMatchStats, ContentionReport, ContentionStats};
-use ops5::{CsChange, Instantiation, MatchStats, Matcher, ProdId, Sign, WmeChange, WmeRef};
+use crate::steal::StealScheduler;
+use crate::sync::SpinLock;
+use ops5::{
+    ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, ProdId, QuiesceReport, Sign,
+    StatsDeltaTracker, WmeRef,
+};
 use rete::fxhash::FxHashMap;
 use rete::network::{AlphaSucc, JoinNode, Network, Succ};
 use rete::token::Token;
-use crate::sync::SpinLock;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -147,6 +150,7 @@ pub struct ParMatcher {
     workers: Vec<JoinHandle<()>>,
     ctx: Ctx,
     cfg: PsmConfig,
+    delta: StatsDeltaTracker,
 }
 
 impl ParMatcher {
@@ -179,7 +183,16 @@ impl ParMatcher {
                     .expect("spawn match process")
             })
             .collect();
-        ParMatcher { shared, workers, ctx: Ctx { cursor: 0, local: None }, cfg }
+        ParMatcher {
+            shared,
+            workers,
+            ctx: Ctx {
+                cursor: 0,
+                local: None,
+            },
+            cfg,
+            delta: StatsDeltaTracker::default(),
+        }
     }
 
     /// Boxed constructor for engine factories.
@@ -225,14 +238,32 @@ impl Drop for ParMatcher {
 }
 
 impl Matcher for ParMatcher {
-    fn submit(&mut self, change: WmeChange) {
-        self.shared.stats.wme_changes.fetch_add(1, Ordering::Relaxed);
+    fn submit(&mut self, batch: &ChangeBatch) {
+        // Conjugate pairs the batch annihilated never became tasks at all —
+        // the cheapest possible handling (§3.2).
         self.shared
-            .sched
-            .push(ParTask::Root { sign: change.sign, wme: change.wme }, &mut self.ctx);
+            .stats
+            .conjugate_pairs
+            .fetch_add(batch.annihilated(), Ordering::Relaxed);
+        // One TaskCount increment and one queue push per per-class group;
+        // the worker that pops the group walks the class's constant-test
+        // chain once for every change in it.
+        for (class, group) in batch.groups() {
+            self.shared
+                .stats
+                .wme_changes
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            self.shared.sched.push(
+                ParTask::RootGroup {
+                    class,
+                    changes: group.to_vec(),
+                },
+                &mut self.ctx,
+            );
+        }
     }
 
-    fn quiesce(&mut self) -> Vec<CsChange> {
+    fn quiesce(&mut self) -> QuiesceReport {
         // Wait for TaskCount to reach zero (§3.2). The host may have fewer
         // cores than processes, so be polite while spinning.
         let mut spins = 0u64;
@@ -253,7 +284,11 @@ impl Matcher for ParMatcher {
                 _ => {}
             }
         }
-        out
+        drop(acc);
+        QuiesceReport {
+            cs_changes: out,
+            stats_delta: self.delta.take(self.shared.stats.snapshot()),
+        }
     }
 
     fn stats(&self) -> MatchStats {
@@ -262,6 +297,7 @@ impl Matcher for ParMatcher {
 
     fn reset_stats(&mut self) {
         self.shared.stats.reset();
+        self.delta.reset();
     }
 
     fn name(&self) -> &'static str {
@@ -274,7 +310,10 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         Work::Spin(s) => (index % s.n_queues(), None),
         Work::Steal(s) => (index, Some(s.claim_worker(index))),
     };
-    let mut ctx = Ctx { cursor: index, local };
+    let mut ctx = Ctx {
+        cursor: index,
+        local,
+    };
     let mut idle = 0u32;
     loop {
         match shared.sched.pop(&ctx, home) {
@@ -297,13 +336,64 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
     }
 }
 
+/// Feed one WME change through its class's constant-test patterns, pushing
+/// a child task per passing pattern successor.
+fn root_dispatch(shared: &Shared, sign: Sign, wme: &WmeRef, ctx: &mut Ctx) {
+    for &pid in shared.net.patterns_for_class(wme.class) {
+        let pat = shared.net.pattern(pid);
+        if !pat.tests.iter().all(|t| t.passes(wme)) {
+            continue;
+        }
+        for succ in &pat.succs {
+            match *succ {
+                AlphaSucc::JoinLeft(j) => shared.sched.push(
+                    ParTask::Left {
+                        join: j,
+                        sign,
+                        token: Token::single(wme.clone()),
+                    },
+                    ctx,
+                ),
+                AlphaSucc::JoinRight(j) => shared.sched.push(
+                    ParTask::Right {
+                        join: j,
+                        sign,
+                        wme: wme.clone(),
+                    },
+                    ctx,
+                ),
+                AlphaSucc::Terminal(p) => shared.sched.push(
+                    ParTask::Terminal {
+                        prod: p,
+                        sign,
+                        token: Token::single(wme.clone()),
+                    },
+                    ctx,
+                ),
+            }
+        }
+    }
+}
+
 /// Emit a successor token from a join.
 fn emit(shared: &Shared, succ: Succ, token: Token, sign: Sign, ctx: &mut Ctx) {
     match succ {
-        Succ::Join(j) => shared.sched.push(ParTask::Left { join: j, sign, token }, ctx),
-        Succ::Terminal(p) => {
-            shared.sched.push(ParTask::Terminal { prod: p, sign, token }, ctx)
-        }
+        Succ::Join(j) => shared.sched.push(
+            ParTask::Left {
+                join: j,
+                sign,
+                token,
+            },
+            ctx,
+        ),
+        Succ::Terminal(p) => shared.sched.push(
+            ParTask::Terminal {
+                prod: p,
+                sign,
+                token,
+            },
+            ctx,
+        ),
     }
 }
 
@@ -311,27 +401,26 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
     match task {
         ParTask::Root { sign, wme } => {
             // One grouped constant-test activation per WME change (§3.1).
-            shared.stats.alpha_activations.fetch_add(1, Ordering::Relaxed);
-            for &pid in shared.net.patterns_for_class(wme.class) {
-                let pat = shared.net.pattern(pid);
-                if !pat.tests.iter().all(|t| t.passes(&wme)) {
-                    continue;
-                }
-                for succ in &pat.succs {
-                    match *succ {
-                        AlphaSucc::JoinLeft(j) => shared.sched.push(
-                            ParTask::Left { join: j, sign, token: Token::single(wme.clone()) },
-                            ctx,
-                        ),
-                        AlphaSucc::JoinRight(j) => shared
-                            .sched
-                            .push(ParTask::Right { join: j, sign, wme: wme.clone() }, ctx),
-                        AlphaSucc::Terminal(p) => shared.sched.push(
-                            ParTask::Terminal { prod: p, sign, token: Token::single(wme.clone()) },
-                            ctx,
-                        ),
-                    }
-                }
+            shared
+                .stats
+                .alpha_activations
+                .fetch_add(1, Ordering::Relaxed);
+            root_dispatch(shared, sign, &wme, ctx);
+            shared.sched.task_done();
+        }
+        ParTask::RootGroup { class, changes } => {
+            // A whole per-class batch group under one task: the constant-test
+            // chain for `class` is conceptually walked once, each change
+            // tested against it in turn. The join cascade below still sees
+            // one child task per surviving (change, pattern-successor) pair,
+            // so conjugate parking handles any out-of-order arrivals.
+            shared
+                .stats
+                .alpha_activations
+                .fetch_add(1, Ordering::Relaxed);
+            debug_assert!(changes.iter().all(|c| c.wme.class == class));
+            for change in &changes {
+                root_dispatch(shared, change.sign, &change.wme, ctx);
             }
             shared.sched.task_done();
         }
@@ -394,7 +483,10 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
         ParTask::Terminal { prod, sign, token } => {
             shared.stats.activations.fetch_add(1, Ordering::Relaxed);
             shared.stats.cs_changes.fetch_add(1, Ordering::Relaxed);
-            let inst = Instantiation { prod, wmes: token.wmes().to_vec() };
+            let inst = Instantiation {
+                prod,
+                wmes: token.wmes().to_vec(),
+            };
             let key = inst.key();
             let mut acc = shared.cs_acc.lock();
             let entry = acc.entry(key.clone()).or_insert_with(|| (0, inst));
@@ -431,8 +523,14 @@ fn left_activation(
             }
             Sign::Minus => match line.left_minus(j, key, token) {
                 MinusOutcome::Removed { examined, .. } => {
-                    shared.stats.same_tokens_left.fetch_add(examined, Ordering::Relaxed);
-                    shared.stats.same_searches_left.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .same_tokens_left
+                        .fetch_add(examined, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .same_searches_left
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 MinusOutcome::Parked => return,
             },
@@ -456,9 +554,18 @@ fn left_activation(
                 }
             }
             Sign::Minus => match line.left_minus(j, key, token) {
-                MinusOutcome::Removed { neg_count, examined } => {
-                    shared.stats.same_tokens_left.fetch_add(examined, Ordering::Relaxed);
-                    shared.stats.same_searches_left.fetch_add(1, Ordering::Relaxed);
+                MinusOutcome::Removed {
+                    neg_count,
+                    examined,
+                } => {
+                    shared
+                        .stats
+                        .same_tokens_left
+                        .fetch_add(examined, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .same_searches_left
+                        .fetch_add(1, Ordering::Relaxed);
                     if neg_count == 0 {
                         emit(shared, j.succ, token.clone(), Sign::Minus, ctx);
                     }
@@ -494,8 +601,14 @@ fn left_activation_mrsw(
                 let outcome = line.write().left_minus(j, key, token);
                 match outcome {
                     MinusOutcome::Removed { examined, .. } => {
-                        shared.stats.same_tokens_left.fetch_add(examined, Ordering::Relaxed);
-                        shared.stats.same_searches_left.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .same_tokens_left
+                            .fetch_add(examined, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .same_searches_left
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                     MinusOutcome::Parked => return,
                 }
@@ -523,9 +636,18 @@ fn left_activation_mrsw(
             Sign::Minus => {
                 let outcome = line.write().left_minus(j, key, token);
                 match outcome {
-                    MinusOutcome::Removed { neg_count, examined } => {
-                        shared.stats.same_tokens_left.fetch_add(examined, Ordering::Relaxed);
-                        shared.stats.same_searches_left.fetch_add(1, Ordering::Relaxed);
+                    MinusOutcome::Removed {
+                        neg_count,
+                        examined,
+                    } => {
+                        shared
+                            .stats
+                            .same_tokens_left
+                            .fetch_add(examined, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .same_searches_left
+                            .fetch_add(1, Ordering::Relaxed);
                         if neg_count == 0 {
                             emit(shared, j.succ, token.clone(), Sign::Minus, ctx);
                         }
@@ -557,8 +679,14 @@ fn right_activation(
             }
             Sign::Minus => match line.right_minus(j, key, wme) {
                 MinusOutcome::Removed { examined, .. } => {
-                    shared.stats.same_tokens_right.fetch_add(examined, Ordering::Relaxed);
-                    shared.stats.same_searches_right.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .same_tokens_right
+                        .fetch_add(examined, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .same_searches_right
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 MinusOutcome::Parked => return,
             },
@@ -583,8 +711,14 @@ fn right_activation(
             }
             Sign::Minus => match line.right_minus(j, key, wme) {
                 MinusOutcome::Removed { examined, .. } => {
-                    shared.stats.same_tokens_right.fetch_add(examined, Ordering::Relaxed);
-                    shared.stats.same_searches_right.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .same_tokens_right
+                        .fetch_add(examined, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .same_searches_right
+                        .fetch_add(1, Ordering::Relaxed);
                     let (crossed, examined) = line.adjust_left_counts(j, key, wme, -1);
                     record_opp_right(shared, examined);
                     for t in crossed {
@@ -620,8 +754,14 @@ fn right_activation_mrsw(
                 let outcome = line.write().right_minus(j, key, wme);
                 match outcome {
                     MinusOutcome::Removed { examined, .. } => {
-                        shared.stats.same_tokens_right.fetch_add(examined, Ordering::Relaxed);
-                        shared.stats.same_searches_right.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .same_tokens_right
+                            .fetch_add(examined, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .same_searches_right
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                     MinusOutcome::Parked => return,
                 }
@@ -657,8 +797,14 @@ fn right_activation_mrsw(
                 let mut g = line.write();
                 match g.right_minus(j, key, wme) {
                     MinusOutcome::Removed { examined, .. } => {
-                        shared.stats.same_tokens_right.fetch_add(examined, Ordering::Relaxed);
-                        shared.stats.same_searches_right.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .same_tokens_right
+                            .fetch_add(examined, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .same_searches_right
+                            .fetch_add(1, Ordering::Relaxed);
                         let (crossed, examined) = g.adjust_left_counts(j, key, wme, -1);
                         drop(g);
                         record_opp_right(shared, examined);
@@ -674,23 +820,35 @@ fn right_activation_mrsw(
 }
 
 fn record_opp_left(shared: &Shared, examined: u64) {
-    shared.stats.opp_tokens_left.fetch_add(examined, Ordering::Relaxed);
+    shared
+        .stats
+        .opp_tokens_left
+        .fetch_add(examined, Ordering::Relaxed);
     if examined > 0 {
-        shared.stats.opp_nonempty_left.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .opp_nonempty_left
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 
 fn record_opp_right(shared: &Shared, examined: u64) {
-    shared.stats.opp_tokens_right.fetch_add(examined, Ordering::Relaxed);
+    shared
+        .stats
+        .opp_tokens_right
+        .fetch_add(examined, Ordering::Relaxed);
     if examined > 0 {
-        shared.stats.opp_nonempty_right.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .opp_nonempty_right
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ops5::{Program, Value, Wme};
+    use ops5::{Program, Value, Wme, WmeChange};
 
     fn configs() -> Vec<PsmConfig> {
         let base = PsmConfig {
@@ -702,10 +860,26 @@ mod tests {
         };
         vec![
             base,
-            PsmConfig { match_processes: 3, ..base },
-            PsmConfig { match_processes: 3, queues: 4, ..base },
-            PsmConfig { match_processes: 3, queues: 4, lock_scheme: LockScheme::Mrsw, ..base },
-            PsmConfig { match_processes: 3, scheduler: SchedulerKind::WorkStealing, ..base },
+            PsmConfig {
+                match_processes: 3,
+                ..base
+            },
+            PsmConfig {
+                match_processes: 3,
+                queues: 4,
+                ..base
+            },
+            PsmConfig {
+                match_processes: 3,
+                queues: 4,
+                lock_scheme: LockScheme::Mrsw,
+                ..base
+            },
+            PsmConfig {
+                match_processes: 3,
+                scheduler: SchedulerKind::WorkStealing,
+                ..base
+            },
             PsmConfig {
                 match_processes: 4,
                 lock_scheme: LockScheme::Mrsw,
@@ -727,10 +901,10 @@ mod tests {
     /// compare the resulting states.
     fn final_cs(m: &mut dyn Matcher, changes: Vec<WmeChange>) -> Vec<(ProdId, Vec<u64>)> {
         for c in changes {
-            m.submit(c);
+            m.submit_one(c);
         }
         let mut set = std::collections::BTreeSet::new();
-        for c in m.quiesce() {
+        for c in m.quiesce().cs_changes {
             match c {
                 CsChange::Insert(i) => {
                     set.insert(i.key());
@@ -785,12 +959,24 @@ mod tests {
             let cs = final_cs(
                 &mut par,
                 vec![
-                    WmeChange { sign: Sign::Plus, wme: wa.clone() },
-                    WmeChange { sign: Sign::Plus, wme: wb.clone() },
-                    WmeChange { sign: Sign::Minus, wme: wa.clone() },
+                    WmeChange {
+                        sign: Sign::Plus,
+                        wme: wa.clone(),
+                    },
+                    WmeChange {
+                        sign: Sign::Plus,
+                        wme: wb.clone(),
+                    },
+                    WmeChange {
+                        sign: Sign::Minus,
+                        wme: wa.clone(),
+                    },
                 ],
             );
-            assert!(cs.is_empty(), "config {cfg:?}: add+delete nets to nothing, got {cs:?}");
+            assert!(
+                cs.is_empty(),
+                "config {cfg:?}: add+delete nets to nothing, got {cs:?}"
+            );
             assert_eq!(par.parked_tokens(), 0);
         }
     }
@@ -827,6 +1013,63 @@ mod tests {
     }
 
     #[test]
+    fn batched_submit_matches_per_change() {
+        // Whole-batch submission (grouped root tasks, in-batch annihilation)
+        // nets to the same conflict set as one-change-at-a-time submission.
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        for cfg in configs() {
+            let (mut prog, net) = net_of(src);
+            let ca = prog.symbols.intern("a");
+            let cb = prog.symbols.intern("b");
+            let mut changes = Vec::new();
+            for i in 0..12i64 {
+                changes.push(WmeChange {
+                    sign: Sign::Plus,
+                    wme: Wme::new(ca, vec![Value::Int(i % 4)], i as u64 + 1),
+                });
+                changes.push(WmeChange {
+                    sign: Sign::Plus,
+                    wme: Wme::new(cb, vec![Value::Int(i % 4)], i as u64 + 100),
+                });
+            }
+            // A conjugate pair: annihilates inside the batch, never queued.
+            let ghost = Wme::new(ca, vec![Value::Int(2)], 500);
+            changes.push(WmeChange {
+                sign: Sign::Plus,
+                wme: ghost.clone(),
+            });
+            changes.push(WmeChange {
+                sign: Sign::Minus,
+                wme: ghost,
+            });
+
+            let mut seq = rete::seq::boxed_vs2(net.clone(), rete::HashMemConfig { buckets: 16 });
+            let expect = final_cs(seq.as_mut(), changes.clone());
+
+            let mut par = ParMatcher::new(net, cfg);
+            let batch: ops5::ChangeBatch = changes.into_iter().collect();
+            assert_eq!(batch.annihilated(), 1);
+            assert_eq!(batch.group_count(), 2, "one group per class");
+            par.submit(&batch);
+            let mut set = std::collections::BTreeSet::new();
+            for c in par.quiesce().cs_changes {
+                match c {
+                    CsChange::Insert(i) => {
+                        set.insert(i.key());
+                    }
+                    CsChange::Remove(i) => {
+                        set.remove(&i.key());
+                    }
+                }
+            }
+            let got: Vec<_> = set.into_iter().collect();
+            assert_eq!(got, expect, "config {cfg:?}");
+            assert_eq!(par.stats().conjugate_pairs, 1, "annihilated in the batch");
+            assert_eq!(par.parked_tokens(), 0);
+        }
+    }
+
+    #[test]
     fn multi_cycle_state_persists() {
         let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
         let (mut prog, net) = net_of(src);
@@ -843,11 +1086,17 @@ mod tests {
             },
         );
         // Cycle 1: only the a-wme.
-        par.submit(WmeChange { sign: Sign::Plus, wme: Wme::new(ca, vec![Value::Int(7)], 1) });
-        assert!(par.quiesce().is_empty());
+        par.submit_one(WmeChange {
+            sign: Sign::Plus,
+            wme: Wme::new(ca, vec![Value::Int(7)], 1),
+        });
+        assert!(par.quiesce().cs_changes.is_empty());
         // Cycle 2: the b-wme joins against cycle-1 state.
-        par.submit(WmeChange { sign: Sign::Plus, wme: Wme::new(cb, vec![Value::Int(7)], 2) });
-        let cs = par.quiesce();
+        par.submit_one(WmeChange {
+            sign: Sign::Plus,
+            wme: Wme::new(cb, vec![Value::Int(7)], 2),
+        });
+        let cs = par.quiesce().cs_changes;
         assert_eq!(cs.len(), 1);
         assert!(matches!(cs[0], CsChange::Insert(_)));
     }
@@ -894,11 +1143,11 @@ mod tests {
             },
         );
         for i in 0..50i64 {
-            par.submit(WmeChange {
+            par.submit_one(WmeChange {
                 sign: Sign::Plus,
                 wme: Wme::new(ca, vec![Value::Int(i)], i as u64 + 1),
             });
-            par.submit(WmeChange {
+            par.submit_one(WmeChange {
                 sign: Sign::Plus,
                 wme: Wme::new(cb, vec![Value::Int(i)], i as u64 + 100),
             });

@@ -12,7 +12,7 @@
 //! finished, so it reaches zero exactly when the match phase is complete.
 
 use crate::sync::SpinLock;
-use ops5::{ProdId, Sign, WmeRef};
+use ops5::{ProdId, Sign, SymbolId, WmeChange, WmeRef};
 use rete::network::JoinId;
 use rete::token::Token;
 use std::collections::VecDeque;
@@ -24,12 +24,31 @@ pub enum ParTask {
     /// A WME change from the control process, bound for the (grouped)
     /// constant-test nodes.
     Root { sign: Sign, wme: WmeRef },
+    /// A whole per-class group of WME changes from one [`ops5::ChangeBatch`]:
+    /// one TaskCount increment and one queue push cover every change in the
+    /// group, and the worker walks the class's constant-test chain once.
+    RootGroup {
+        class: SymbolId,
+        changes: Vec<WmeChange>,
+    },
     /// Token bound for the left input of a two-input node.
-    Left { join: JoinId, sign: Sign, token: Token },
+    Left {
+        join: JoinId,
+        sign: Sign,
+        token: Token,
+    },
     /// WME bound for the right input of a two-input node.
-    Right { join: JoinId, sign: Sign, wme: WmeRef },
+    Right {
+        join: JoinId,
+        sign: Sign,
+        wme: WmeRef,
+    },
     /// Token bound for a terminal node.
-    Terminal { prod: ProdId, sign: Sign, token: Token },
+    Terminal {
+        prod: ProdId,
+        sign: Sign,
+        token: Token,
+    },
 }
 
 /// The global count of tokens on queues plus tokens being processed.

@@ -29,8 +29,7 @@ pub struct StealScheduler {
 
 impl StealScheduler {
     pub fn new(n_workers: usize) -> StealScheduler {
-        let workers: Vec<Worker<ParTask>> =
-            (0..n_workers).map(|_| Worker::new_fifo()).collect();
+        let workers: Vec<Worker<ParTask>> = (0..n_workers).map(|_| Worker::new_fifo()).collect();
         let stealers = workers.iter().map(|w| w.stealer()).collect();
         StealScheduler {
             injector: Injector::new(),
@@ -197,9 +196,9 @@ mod tests {
     fn claim_twice_panics() {
         let s = StealScheduler::new(1);
         let _w = s.claim_worker(0);
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            s.claim_worker(0)
-        }))
-        .is_err());
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| { s.claim_worker(0) }))
+                .is_err()
+        );
     }
 }

@@ -24,7 +24,9 @@ pub struct RawSpin {
 
 impl RawSpin {
     pub const fn new() -> Self {
-        RawSpin { locked: AtomicBool::new(false) }
+        RawSpin {
+            locked: AtomicBool::new(false),
+        }
     }
 
     /// Acquires the lock; returns how many times we observed it busy.
@@ -102,7 +104,10 @@ impl<T> SpinLock<T> {
 
     /// Cumulative (spins, acquisitions) counters.
     pub fn contention(&self) -> (u64, u64) {
-        (self.spins.load(Ordering::Relaxed), self.acquisitions.load(Ordering::Relaxed))
+        (
+            self.spins.load(Ordering::Relaxed),
+            self.acquisitions.load(Ordering::Relaxed),
+        )
     }
 
     pub fn reset_contention(&self) {
@@ -182,9 +187,9 @@ impl<T> RwSpinLock<T> {
                     .state
                     .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
-                {
-                    break;
-                }
+            {
+                break;
+            }
             spins += 1;
             if spins.is_multiple_of(256) {
                 std::thread::yield_now();
@@ -223,7 +228,10 @@ impl<T> RwSpinLock<T> {
     }
 
     pub fn contention(&self) -> (u64, u64) {
-        (self.spins.load(Ordering::Relaxed), self.acquisitions.load(Ordering::Relaxed))
+        (
+            self.spins.load(Ordering::Relaxed),
+            self.acquisitions.load(Ordering::Relaxed),
+        )
     }
 }
 

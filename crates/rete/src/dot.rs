@@ -32,9 +32,12 @@ pub fn to_dot(net: &Network, syms: &SymbolTable) -> String {
         let mut label = format!("class={}", syms.name(pat.class));
         for t in pat.tests.iter() {
             match &t.kind {
-                AlphaTestKind::Pred(p, v) => {
-                    label.push_str(&format!("\\nf{}{}{}", t.field, pred_str(*p), val_str(*v, syms)))
-                }
+                AlphaTestKind::Pred(p, v) => label.push_str(&format!(
+                    "\\nf{}{}{}",
+                    t.field,
+                    pred_str(*p),
+                    val_str(*v, syms)
+                )),
                 AlphaTestKind::Disj(vs) => {
                     let alts: Vec<String> = vs.iter().map(|v| val_str(*v, syms)).collect();
                     label.push_str(&format!("\\nf{}∈{{{}}}", t.field, alts.join(",")));
@@ -61,7 +64,10 @@ pub fn to_dot(net: &Network, syms: &SymbolTable) -> String {
                 t.left_field
             ));
         }
-        s.push_str(&format!("  j{} [shape=ellipse label=\"{}\"];\n", j.id, label));
+        s.push_str(&format!(
+            "  j{} [shape=ellipse label=\"{}\"];\n",
+            j.id, label
+        ));
     }
     for (i, name) in net.prod_names.iter().enumerate() {
         s.push_str(&format!("  t{i} [shape=doubleoctagon label=\"{name}\"];\n"));
@@ -75,9 +81,7 @@ pub fn to_dot(net: &Network, syms: &SymbolTable) -> String {
                 AlphaSucc::JoinRight(j) => {
                     s.push_str(&format!("  a{} -> j{} [label=\"R\"];\n", pat.id, j))
                 }
-                AlphaSucc::Terminal(p) => {
-                    s.push_str(&format!("  a{} -> t{};\n", pat.id, p.0))
-                }
+                AlphaSucc::Terminal(p) => s.push_str(&format!("  a{} -> t{};\n", pat.id, p.0)),
             }
         }
     }
@@ -160,7 +164,10 @@ mod tests {
         let prog = Program::from_source("(p solo (a ^x 1) --> (halt))").unwrap();
         let net = Network::compile(&prog).unwrap();
         let dot = to_dot(&net, &prog.symbols);
-        assert!(dot.contains("a0 -> t0"), "alpha connects straight to terminal: {dot}");
+        assert!(
+            dot.contains("a0 -> t0"),
+            "alpha connects straight to terminal: {dot}"
+        );
         assert!(!dot.contains("j0"), "no joins for a single-CE production");
     }
 
@@ -173,7 +180,10 @@ mod tests {
         let net = Network::compile(&prog).unwrap();
         let dot = to_dot(&net, &prog.symbols);
         assert!(dot.contains("∈{red,green}"), "{dot}");
-        assert!(dot.contains("f2=f1") || dot.contains("f2=f"), "fieldcmp rendered: {dot}");
+        assert!(
+            dot.contains("f2=f1") || dot.contains("f2=f"),
+            "fieldcmp rendered: {dot}"
+        );
         assert!(dot.contains(" > "), "join predicate rendered: {dot}");
     }
 

@@ -129,10 +129,16 @@ impl TokenMem for ListMem {
         for (i, e) in mem.iter().enumerate() {
             if e.token.same_wmes(token) {
                 let e = mem.swap_remove(i);
-                return Removed { entry: Some(e.neg_count), examined: (i + 1) as u64 };
+                return Removed {
+                    entry: Some(e.neg_count),
+                    examined: (i + 1) as u64,
+                };
             }
         }
-        Removed { entry: None, examined: mem.len() as u64 }
+        Removed {
+            entry: None,
+            examined: mem.len() as u64,
+        }
     }
 
     fn insert_right(&mut self, j: &JoinNode, wme: WmeRef) {
@@ -144,20 +150,26 @@ impl TokenMem for ListMem {
         for (i, w) in mem.iter().enumerate() {
             if w.timetag == wme.timetag {
                 mem.swap_remove(i);
-                return Removed { entry: Some(()), examined: (i + 1) as u64 };
+                return Removed {
+                    entry: Some(()),
+                    examined: (i + 1) as u64,
+                };
             }
         }
-        Removed { entry: None, examined: mem.len() as u64 }
+        Removed {
+            entry: None,
+            examined: mem.len() as u64,
+        }
     }
 
     fn scan_right(&self, j: &JoinNode, token: &Token) -> Scan<WmeRef> {
         let mem = &self.right[j.id as usize];
-        let matches = mem
-            .iter()
-            .filter(|w| j.passes(token, w))
-            .cloned()
-            .collect();
-        Scan { matches, examined: mem.len() as u64, nonempty: !mem.is_empty() }
+        let matches = mem.iter().filter(|w| j.passes(token, w)).cloned().collect();
+        Scan {
+            matches,
+            examined: mem.len() as u64,
+            nonempty: !mem.is_empty(),
+        }
     }
 
     fn scan_left(&self, j: &JoinNode, wme: &Wme) -> Scan<Token> {
@@ -167,7 +179,11 @@ impl TokenMem for ListMem {
             .filter(|e| j.passes(&e.token, wme))
             .map(|e| e.token.clone())
             .collect();
-        Scan { matches, examined: mem.len() as u64, nonempty: !mem.is_empty() }
+        Scan {
+            matches,
+            examined: mem.len() as u64,
+            nonempty: !mem.is_empty(),
+        }
     }
 
     fn adjust_left_counts(&mut self, j: &JoinNode, wme: &Wme, delta: i32) -> Scan<Token> {
@@ -189,7 +205,11 @@ impl TokenMem for ListMem {
                 }
             }
         }
-        Scan { matches: crossed, examined: mem.len() as u64, nonempty: !mem.is_empty() }
+        Scan {
+            matches: crossed,
+            examined: mem.len() as u64,
+            nonempty: !mem.is_empty(),
+        }
     }
 
     fn count_right(&self, j: &JoinNode, token: &Token) -> (u32, u64, bool) {
@@ -257,7 +277,12 @@ impl TokenMem for HashMem {
     fn insert_left(&mut self, j: &JoinNode, token: Token, neg_count: u32) {
         let key = j.left_key(&token);
         let b = self.line_of(key);
-        self.left[b].push(HashLeftEntry { join: j.id, key, token, neg_count });
+        self.left[b].push(HashLeftEntry {
+            join: j.id,
+            key,
+            token,
+            neg_count,
+        });
     }
 
     fn remove_left(&mut self, j: &JoinNode, token: &Token) -> Removed<u32> {
@@ -273,16 +298,26 @@ impl TokenMem for HashMem {
             examined += 1;
             if e.key == key && e.token.same_wmes(token) {
                 let e = mem.swap_remove(i);
-                return Removed { entry: Some(e.neg_count), examined };
+                return Removed {
+                    entry: Some(e.neg_count),
+                    examined,
+                };
             }
         }
-        Removed { entry: None, examined }
+        Removed {
+            entry: None,
+            examined,
+        }
     }
 
     fn insert_right(&mut self, j: &JoinNode, wme: WmeRef) {
         let key = j.right_key(&wme);
         let b = self.line_of(key);
-        self.right[b].push(HashRightEntry { join: j.id, key, wme });
+        self.right[b].push(HashRightEntry {
+            join: j.id,
+            key,
+            wme,
+        });
     }
 
     fn remove_right(&mut self, j: &JoinNode, wme: &Wme) -> Removed<()> {
@@ -298,10 +333,16 @@ impl TokenMem for HashMem {
             examined += 1;
             if e.key == key && e.wme.timetag == wme.timetag {
                 mem.swap_remove(i);
-                return Removed { entry: Some(()), examined };
+                return Removed {
+                    entry: Some(()),
+                    examined,
+                };
             }
         }
-        Removed { entry: None, examined }
+        Removed {
+            entry: None,
+            examined,
+        }
     }
 
     fn scan_right(&self, j: &JoinNode, token: &Token) -> Scan<WmeRef> {
@@ -318,7 +359,11 @@ impl TokenMem for HashMem {
                 matches.push(e.wme.clone());
             }
         }
-        Scan { matches, examined, nonempty: examined > 0 }
+        Scan {
+            matches,
+            examined,
+            nonempty: examined > 0,
+        }
     }
 
     fn scan_left(&self, j: &JoinNode, wme: &Wme) -> Scan<Token> {
@@ -335,7 +380,11 @@ impl TokenMem for HashMem {
                 matches.push(e.token.clone());
             }
         }
-        Scan { matches, examined, nonempty: examined > 0 }
+        Scan {
+            matches,
+            examined,
+            nonempty: examined > 0,
+        }
     }
 
     fn adjust_left_counts(&mut self, j: &JoinNode, wme: &Wme, delta: i32) -> Scan<Token> {
@@ -364,7 +413,11 @@ impl TokenMem for HashMem {
                 }
             }
         }
-        Scan { matches: crossed, examined, nonempty: examined > 0 }
+        Scan {
+            matches: crossed,
+            examined,
+            nonempty: examined > 0,
+        }
     }
 
     fn count_right(&self, j: &JoinNode, token: &Token) -> (u32, u64, bool) {
@@ -489,10 +542,7 @@ mod tests {
         // Not-node counters: insert two matching right wmes, remove them.
         let (mut prog, _) = setup();
         // Build a negated join by hand: reuse join 0's tests but negated.
-        let prog2 = Program::from_source(
-            "(p q (a ^x <v>) - (b ^y <v>) --> (halt))",
-        )
-        .unwrap();
+        let prog2 = Program::from_source("(p q (a ^x <v>) - (b ^y <v>) --> (halt))").unwrap();
         let net2 = Network::compile(&prog2).unwrap();
         let j = net2.join(0).clone();
         assert!(j.negated);
@@ -536,6 +586,9 @@ mod tests {
         let tok = Token::single(Wme::new(ca, vec![Value::Int(0)], 100));
         let s = mem.scan_right(&j, &tok);
         assert_eq!(s.matches.len(), 50, "cross-product matches everything");
-        assert_eq!(s.examined, 50, "and examines everything — the Tourney pathology");
+        assert_eq!(
+            s.examined, 50,
+            "and examines everything — the Tourney pathology"
+        );
     }
 }

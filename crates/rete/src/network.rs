@@ -130,8 +130,10 @@ impl JoinNode {
     #[inline]
     pub fn passes(&self, token: &Token, wme: &Wme) -> bool {
         self.tests.iter().all(|t| {
-            t.pred
-                .eval(wme.field(t.right_field), token.value(t.left_ce, t.left_field))
+            t.pred.eval(
+                wme.field(t.right_field),
+                token.value(t.left_ce, t.left_field),
+            )
         })
     }
 
@@ -215,34 +217,30 @@ impl Network {
         for pat in &self.patterns {
             for succ in &pat.succs {
                 match *succ {
-                    AlphaSucc::JoinLeft(j) => {
-                        match self.joins.get(j as usize) {
-                            None => errs.push(format!("alpha {} -> missing join {j}", pat.id)),
-                            Some(join) if join.left_len != 1 => errs.push(format!(
-                                "alpha {} feeds left of join {j} with left_len {}",
-                                pat.id, join.left_len
-                            )),
-                            _ => {}
-                        }
-                    }
+                    AlphaSucc::JoinLeft(j) => match self.joins.get(j as usize) {
+                        None => errs.push(format!("alpha {} -> missing join {j}", pat.id)),
+                        Some(join) if join.left_len != 1 => errs.push(format!(
+                            "alpha {} feeds left of join {j} with left_len {}",
+                            pat.id, join.left_len
+                        )),
+                        _ => {}
+                    },
                     AlphaSucc::JoinRight(j) => {
                         if self.joins.get(j as usize).is_none() {
                             errs.push(format!("alpha {} -> missing join {j}", pat.id));
                         }
                     }
-                    AlphaSucc::Terminal(p) => {
-                        match self.prod_sizes.get(p.index()) {
-                            None => errs.push(format!("alpha {} -> missing prod {p:?}", pat.id)),
-                            Some(&sz) => {
-                                terminal_seen[p.index()] += 1;
-                                if sz != 1 {
-                                    errs.push(format!(
-                                        "alpha-terminal prod {p:?} should have 1 positive CE, has {sz}"
-                                    ));
-                                }
+                    AlphaSucc::Terminal(p) => match self.prod_sizes.get(p.index()) {
+                        None => errs.push(format!("alpha {} -> missing prod {p:?}", pat.id)),
+                        Some(&sz) => {
+                            terminal_seen[p.index()] += 1;
+                            if sz != 1 {
+                                errs.push(format!(
+                                    "alpha-terminal prod {p:?} should have 1 positive CE, has {sz}"
+                                ));
                             }
                         }
-                    }
+                    },
                 }
             }
         }
@@ -322,11 +320,16 @@ impl Network {
 
         for (pidx, prod) in prog.productions.iter().enumerate() {
             let prod_id = ProdId(pidx as u32);
-            net.prod_names.push(prog.symbols.name(prod.name).to_string());
+            net.prod_names
+                .push(prog.symbols.name(prod.name).to_string());
             net.prod_sizes.push(prod.positive_ces() as u16);
             net.compile_production(prog, prod_id, &mut alpha_dedup)?;
         }
-        debug_assert!(net.validate().is_empty(), "invalid network: {:?}", net.validate());
+        debug_assert!(
+            net.validate().is_empty(),
+            "invalid network: {:?}",
+            net.validate()
+        );
         Ok(net)
     }
 
@@ -491,13 +494,15 @@ impl Network {
                     self.joins.push(node);
                     // Link predecessor's output to this join's left input.
                     match p {
-                        Prev::Alpha(a) => {
-                            self.patterns[a as usize].succs.push(AlphaSucc::JoinLeft(join_id))
-                        }
+                        Prev::Alpha(a) => self.patterns[a as usize]
+                            .succs
+                            .push(AlphaSucc::JoinLeft(join_id)),
                         Prev::Join(j) => self.joins[j as usize].succ = Succ::Join(join_id),
                     }
                     // This CE's alpha feeds the join's right input.
-                    self.patterns[pat as usize].succs.push(AlphaSucc::JoinRight(join_id));
+                    self.patterns[pat as usize]
+                        .succs
+                        .push(AlphaSucc::JoinRight(join_id));
                     if !ce.negated {
                         pos_count += 1;
                     }
@@ -509,7 +514,9 @@ impl Network {
         match prev {
             Some(Prev::Alpha(a)) => {
                 // Single-CE production.
-                self.patterns[a as usize].succs.push(AlphaSucc::Terminal(prod_id));
+                self.patterns[a as usize]
+                    .succs
+                    .push(AlphaSucc::Terminal(prod_id));
             }
             Some(Prev::Join(j)) => {
                 self.joins[j as usize].succ = Succ::Terminal(prod_id);
@@ -578,8 +585,14 @@ mod tests {
         let pat = net.pattern(0);
         // One constant test (x=5) and one FieldCmp (z == y-binding field).
         assert_eq!(pat.tests.len(), 2);
-        assert!(matches!(pat.tests[0].kind, AlphaTestKind::Pred(Pred::Eq, Value::Int(5))));
-        assert!(matches!(pat.tests[1].kind, AlphaTestKind::FieldCmp(Pred::Eq, _)));
+        assert!(matches!(
+            pat.tests[0].kind,
+            AlphaTestKind::Pred(Pred::Eq, Value::Int(5))
+        ));
+        assert!(matches!(
+            pat.tests[1].kind,
+            AlphaTestKind::FieldCmp(Pred::Eq, _)
+        ));
     }
 
     #[test]
@@ -596,10 +609,7 @@ mod tests {
 
     #[test]
     fn join_keys_agree_for_matching_pairs() {
-        let mut prog = Program::from_source(
-            "(p q (a ^x <v>) (b ^y <v>) --> (halt))",
-        )
-        .unwrap();
+        let mut prog = Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
         let net = Network::compile(&prog).unwrap();
         let ca = prog.symbols.intern("a");
         let cb = prog.symbols.intern("b");
@@ -617,10 +627,7 @@ mod tests {
     #[test]
     fn cross_product_join_has_no_eq_specs() {
         // The Tourney pathology: CEs with no common variables.
-        let prog = Program::from_source(
-            "(p q (a ^x <v>) (b ^y <w>) --> (halt))",
-        )
-        .unwrap();
+        let prog = Program::from_source("(p q (a ^x <v>) (b ^y <w>) --> (halt))").unwrap();
         let net = Network::compile(&prog).unwrap();
         let j = net.join(0);
         assert!(j.eq_specs.is_empty());
@@ -637,10 +644,7 @@ mod tests {
 
     #[test]
     fn non_eq_cross_ce_predicate_becomes_join_test() {
-        let prog = Program::from_source(
-            "(p q (a ^x <v>) (b ^y > <v>) --> (halt))",
-        )
-        .unwrap();
+        let prog = Program::from_source("(p q (a ^x <v>) (b ^y > <v>) --> (halt))").unwrap();
         let net = Network::compile(&prog).unwrap();
         let j = net.join(0);
         assert_eq!(j.tests.len(), 1);
@@ -658,10 +662,8 @@ mod tests {
     fn negated_ce_variables_do_not_bind_globally() {
         // <w> first occurs in the negated CE; using it in a later CE must
         // fail at compile time (no binding).
-        let prog = Program::from_source(
-            "(p q (a ^x <v>) - (b ^y <w>) (c ^z > <w>) --> (halt))",
-        )
-        .unwrap();
+        let prog =
+            Program::from_source("(p q (a ^x <v>) - (b ^y <w>) (c ^z > <w>) --> (halt))").unwrap();
         assert!(Network::compile(&prog).is_err());
     }
 

@@ -9,15 +9,30 @@
 use crate::memory::{HashMem, HashMemConfig, ListMem, TokenMem};
 use crate::network::{AlphaSucc, JoinId, Network, Succ};
 use crate::token::Token;
-use ops5::{CsChange, Instantiation, MatchStats, Matcher, ProdId, Sign, WmeChange, WmeRef};
+use ops5::{
+    ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, ProdId, QuiesceReport, Sign,
+    StatsDeltaTracker, WmeRef,
+};
 use std::sync::Arc;
 
 /// One schedulable unit of match work (§3.1: a node activation).
 #[derive(Debug, Clone)]
 pub enum Task {
-    Left { join: JoinId, sign: Sign, token: Token },
-    Right { join: JoinId, sign: Sign, wme: WmeRef },
-    Terminal { prod: ProdId, sign: Sign, token: Token },
+    Left {
+        join: JoinId,
+        sign: Sign,
+        token: Token,
+    },
+    Right {
+        join: JoinId,
+        sign: Sign,
+        wme: WmeRef,
+    },
+    Terminal {
+        prod: ProdId,
+        sign: Sign,
+        token: Token,
+    },
 }
 
 /// Sequential Rete matcher over a pluggable memory implementation.
@@ -27,13 +42,21 @@ pub struct SeqMatcher<M: TokenMem> {
     agenda: Vec<Task>,
     out: Vec<CsChange>,
     stats: MatchStats,
+    delta: StatsDeltaTracker,
 }
 
 impl SeqMatcher<ListMem> {
     /// vs1: linear-list memories.
     pub fn vs1(net: Arc<Network>) -> Self {
         let mem = ListMem::new(net.n_joins());
-        SeqMatcher { net, mem, agenda: Vec::new(), out: Vec::new(), stats: MatchStats::default() }
+        SeqMatcher {
+            net,
+            mem,
+            agenda: Vec::new(),
+            out: Vec::new(),
+            stats: MatchStats::default(),
+            delta: StatsDeltaTracker::default(),
+        }
     }
 }
 
@@ -46,6 +69,7 @@ impl SeqMatcher<HashMem> {
             agenda: Vec::new(),
             out: Vec::new(),
             stats: MatchStats::default(),
+            delta: StatsDeltaTracker::default(),
         }
     }
 }
@@ -62,8 +86,16 @@ pub fn boxed_vs2(net: Arc<Network>, cfg: HashMemConfig) -> Box<dyn Matcher> {
 impl<M: TokenMem + Send> SeqMatcher<M> {
     fn emit(&mut self, succ: Succ, token: Token, sign: Sign) {
         match succ {
-            Succ::Join(j) => self.agenda.push(Task::Left { join: j, sign, token }),
-            Succ::Terminal(p) => self.agenda.push(Task::Terminal { prod: p, sign, token }),
+            Succ::Join(j) => self.agenda.push(Task::Left {
+                join: j,
+                sign,
+                token,
+            }),
+            Succ::Terminal(p) => self.agenda.push(Task::Terminal {
+                prod: p,
+                sign,
+                token,
+            }),
         }
     }
 
@@ -79,7 +111,10 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                             let r = self.mem.remove_left(&j, &token);
                             self.stats.same_tokens_left += r.examined;
                             self.stats.same_searches_left += 1;
-                            debug_assert!(r.entry.is_some(), "sequential delete must find its token");
+                            debug_assert!(
+                                r.entry.is_some(),
+                                "sequential delete must find its token"
+                            );
                         }
                     }
                     let scan = self.mem.scan_right(&j, &token);
@@ -171,7 +206,10 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
             Task::Terminal { prod, sign, token } => {
                 self.stats.activations += 1;
                 self.stats.cs_changes += 1;
-                let inst = Instantiation { prod, wmes: token.wmes().to_vec() };
+                let inst = Instantiation {
+                    prod,
+                    wmes: token.wmes().to_vec(),
+                };
                 self.out.push(match sign {
                     Sign::Plus => CsChange::Insert(inst),
                     Sign::Minus => CsChange::Remove(inst),
@@ -198,44 +236,60 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
 }
 
 impl<M: TokenMem + Send> Matcher for SeqMatcher<M> {
-    fn submit(&mut self, change: WmeChange) {
-        self.stats.wme_changes += 1;
-        let wme = change.wme;
-        // One task's worth of grouped constant-test node activations (§3.1).
-        self.stats.alpha_activations += 1;
-        let pats: Vec<_> = self.net.patterns_for_class(wme.class).to_vec();
-        for pid in pats {
-            let pat = self.net.pattern(pid);
-            if !pat.tests.iter().all(|t| t.passes(&wme)) {
-                continue;
-            }
-            let succs: Vec<AlphaSucc> = pat.succs.clone();
-            for succ in succs {
-                match succ {
-                    AlphaSucc::JoinLeft(j) => self.agenda.push(Task::Left {
-                        join: j,
-                        sign: change.sign,
-                        token: Token::single(wme.clone()),
-                    }),
-                    AlphaSucc::JoinRight(j) => self.agenda.push(Task::Right {
-                        join: j,
-                        sign: change.sign,
-                        wme: wme.clone(),
-                    }),
-                    AlphaSucc::Terminal(p) => self.agenda.push(Task::Terminal {
-                        prod: p,
-                        sign: change.sign,
-                        token: Token::single(wme.clone()),
-                    }),
+    fn submit(&mut self, batch: &ChangeBatch) {
+        // Pairs already annihilated inside the batch never reach the
+        // network; account for them like the parallel matcher does.
+        self.stats.conjugate_pairs += batch.annihilated();
+        for (class, group) in batch.groups() {
+            // One grouped constant-test task per class (§3.1): the
+            // pattern chain for the class is resolved once per *group*,
+            // then every change in the group is tested against it.
+            self.stats.alpha_activations += 1;
+            self.stats.wme_changes += group.len() as u64;
+            let pats: Vec<_> = self.net.patterns_for_class(class).to_vec();
+            for change in group {
+                let wme = &change.wme;
+                for &pid in &pats {
+                    let pat = self.net.pattern(pid);
+                    if !pat.tests.iter().all(|t| t.passes(wme)) {
+                        continue;
+                    }
+                    let succs: Vec<AlphaSucc> = pat.succs.clone();
+                    for succ in succs {
+                        match succ {
+                            AlphaSucc::JoinLeft(j) => self.agenda.push(Task::Left {
+                                join: j,
+                                sign: change.sign,
+                                token: Token::single(wme.clone()),
+                            }),
+                            AlphaSucc::JoinRight(j) => self.agenda.push(Task::Right {
+                                join: j,
+                                sign: change.sign,
+                                wme: wme.clone(),
+                            }),
+                            AlphaSucc::Terminal(p) => self.agenda.push(Task::Terminal {
+                                prod: p,
+                                sign: change.sign,
+                                token: Token::single(wme.clone()),
+                            }),
+                        }
+                    }
                 }
+                // Each change's beta cascade completes before the next
+                // change's begins: the sequential memories rely on the
+                // one-change-at-a-time discipline (no conjugate-pair
+                // parking here, unlike the parallel matcher).
+                self.drain();
             }
         }
-        self.drain();
     }
 
-    fn quiesce(&mut self) -> Vec<CsChange> {
+    fn quiesce(&mut self) -> QuiesceReport {
         debug_assert!(self.agenda.is_empty());
-        std::mem::take(&mut self.out)
+        QuiesceReport {
+            cs_changes: std::mem::take(&mut self.out),
+            stats_delta: self.delta.take(self.stats),
+        }
     }
 
     fn stats(&self) -> MatchStats {
@@ -244,6 +298,7 @@ impl<M: TokenMem + Send> Matcher for SeqMatcher<M> {
 
     fn reset_stats(&mut self) {
         self.stats = MatchStats::default();
+        self.delta.reset();
     }
 
     fn name(&self) -> &'static str {
@@ -254,7 +309,7 @@ impl<M: TokenMem + Send> Matcher for SeqMatcher<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ops5::{Program, Sign, Value, Wme};
+    use ops5::{Program, Sign, Value, Wme, WmeChange};
 
     fn net_of(src: &str) -> (Program, Arc<Network>) {
         let prog = Program::from_source(src).unwrap();
@@ -268,11 +323,17 @@ mod tests {
     }
 
     fn add(m: &mut dyn Matcher, w: WmeRef) {
-        m.submit(WmeChange { sign: Sign::Plus, wme: w });
+        m.submit_one(WmeChange {
+            sign: Sign::Plus,
+            wme: w,
+        });
     }
 
     fn del(m: &mut dyn Matcher, w: WmeRef) {
-        m.submit(WmeChange { sign: Sign::Minus, wme: w });
+        m.submit_one(WmeChange {
+            sign: Sign::Minus,
+            wme: w,
+        });
     }
 
     fn both(src: &str) -> (Program, Arc<Network>, Vec<Box<dyn Matcher>>) {
@@ -291,9 +352,9 @@ mod tests {
             let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
             let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
             add(m.as_mut(), wa.clone());
-            assert!(m.quiesce().is_empty(), "no match with one wme");
+            assert!(m.quiesce().cs_changes.is_empty(), "no match with one wme");
             add(m.as_mut(), wb.clone());
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 1);
             match &cs[0] {
                 CsChange::Insert(inst) => {
@@ -314,7 +375,7 @@ mod tests {
             let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
             add(m.as_mut(), wb);
             add(m.as_mut(), wa);
-            assert_eq!(m.quiesce().len(), 1);
+            assert_eq!(m.quiesce().cs_changes.len(), 1);
         }
     }
 
@@ -328,7 +389,7 @@ mod tests {
             add(m.as_mut(), wb.clone());
             m.quiesce();
             del(m.as_mut(), wa);
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 1);
             assert!(matches!(cs[0], CsChange::Remove(_)));
         }
@@ -336,23 +397,22 @@ mod tests {
 
     #[test]
     fn negated_ce_blocks_and_unblocks() {
-        let (mut prog, _net, ms) =
-            both("(p q (a ^x <v>) - (b ^y <v>) --> (halt))");
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) - (b ^y <v>) --> (halt))");
         for mut m in ms {
             let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
             let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
             add(m.as_mut(), wa.clone());
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 1, "fires while no blocker exists");
             assert!(matches!(cs[0], CsChange::Insert(_)));
 
             add(m.as_mut(), wb.clone());
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 1, "blocker retracts it");
             assert!(matches!(cs[0], CsChange::Remove(_)));
 
             del(m.as_mut(), wb);
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 1, "removing blocker re-fires");
             assert!(matches!(cs[0], CsChange::Insert(_)));
         }
@@ -360,27 +420,27 @@ mod tests {
 
     #[test]
     fn blocker_added_first() {
-        let (mut prog, _net, ms) =
-            both("(p q (a ^x <v>) - (b ^y <v>) --> (halt))");
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) - (b ^y <v>) --> (halt))");
         for mut m in ms {
             let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
             let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
             add(m.as_mut(), wb);
             add(m.as_mut(), wa);
-            assert!(m.quiesce().is_empty(), "blocked from the start");
+            assert!(m.quiesce().cs_changes.is_empty(), "blocked from the start");
         }
     }
 
     #[test]
     fn three_ce_chain() {
-        let (mut prog, _net, ms) = both(
-            "(p q (a ^x <v>) (b ^y <v> ^z <w>) (c ^u <w>) --> (halt))",
-        );
+        let (mut prog, _net, ms) = both("(p q (a ^x <v>) (b ^y <v> ^z <w>) (c ^u <w>) --> (halt))");
         for mut m in ms {
             add(m.as_mut(), wme(&mut prog, "a", vec![Value::Int(1)], 1));
-            add(m.as_mut(), wme(&mut prog, "b", vec![Value::Int(1), Value::Int(9)], 2));
+            add(
+                m.as_mut(),
+                wme(&mut prog, "b", vec![Value::Int(1), Value::Int(9)], 2),
+            );
             add(m.as_mut(), wme(&mut prog, "c", vec![Value::Int(9)], 3));
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 1);
             match &cs[0] {
                 CsChange::Insert(i) => assert_eq!(i.wmes.len(), 3),
@@ -394,12 +454,18 @@ mod tests {
         let (mut prog, _net, ms) = both("(p q (a ^x <v>) (b ^y <w>) --> (halt))");
         for mut m in ms {
             for i in 0..3 {
-                add(m.as_mut(), wme(&mut prog, "a", vec![Value::Int(i)], i as u64 + 1));
+                add(
+                    m.as_mut(),
+                    wme(&mut prog, "a", vec![Value::Int(i)], i as u64 + 1),
+                );
             }
             for i in 0..4 {
-                add(m.as_mut(), wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 10));
+                add(
+                    m.as_mut(),
+                    wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 10),
+                );
             }
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 12, "3x4 cross product");
         }
     }
@@ -410,12 +476,12 @@ mod tests {
         for mut m in ms {
             let w1 = wme(&mut prog, "a", vec![Value::Int(1)], 1);
             add(m.as_mut(), w1.clone());
-            assert_eq!(m.quiesce().len(), 1);
+            assert_eq!(m.quiesce().cs_changes.len(), 1);
             // modify: delete then add with new timetag and value 2.
             del(m.as_mut(), w1);
             let w2 = wme(&mut prog, "a", vec![Value::Int(2)], 2);
             add(m.as_mut(), w2);
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 1);
             assert!(matches!(cs[0], CsChange::Remove(_)));
         }
@@ -444,14 +510,26 @@ mod tests {
         let mut m2 = SeqMatcher::vs2(net.clone(), HashMemConfig { buckets: 64 });
         for i in 0..20i64 {
             let wb = wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 1);
-            m1.submit(WmeChange { sign: Sign::Plus, wme: wb.clone() });
-            m2.submit(WmeChange { sign: Sign::Plus, wme: wb });
+            m1.submit_one(WmeChange {
+                sign: Sign::Plus,
+                wme: wb.clone(),
+            });
+            m2.submit_one(WmeChange {
+                sign: Sign::Plus,
+                wme: wb,
+            });
         }
         let wa = wme(&mut prog, "a", vec![Value::Int(5)], 100);
-        m1.submit(WmeChange { sign: Sign::Plus, wme: wa.clone() });
-        m2.submit(WmeChange { sign: Sign::Plus, wme: wa });
-        assert_eq!(m1.quiesce().len(), 1);
-        assert_eq!(m2.quiesce().len(), 1);
+        m1.submit_one(WmeChange {
+            sign: Sign::Plus,
+            wme: wa.clone(),
+        });
+        m2.submit_one(WmeChange {
+            sign: Sign::Plus,
+            wme: wa,
+        });
+        assert_eq!(m1.quiesce().cs_changes.len(), 1);
+        assert_eq!(m2.quiesce().cs_changes.len(), 1);
         assert!(m1.stats().opp_tokens_left > m2.stats().opp_tokens_left * 3);
     }
 
@@ -465,9 +543,9 @@ mod tests {
             add(m.as_mut(), wa1.clone());
             add(m.as_mut(), wa2);
             add(m.as_mut(), wb);
-            assert_eq!(m.quiesce().len(), 2);
+            assert_eq!(m.quiesce().cs_changes.len(), 2);
             del(m.as_mut(), wa1);
-            let cs = m.quiesce();
+            let cs = m.quiesce().cs_changes;
             assert_eq!(cs.len(), 1, "only the instantiation with wa1 retracts");
         }
     }

@@ -23,12 +23,16 @@ impl Token {
     /// negated never occurs — parser forbids it — but the dummy top token is
     /// still useful in tests).
     pub fn empty() -> Token {
-        Token { wmes: Arc::from(Vec::new().into_boxed_slice()) }
+        Token {
+            wmes: Arc::from(Vec::new().into_boxed_slice()),
+        }
     }
 
     /// A one-WME token, as produced by the alpha network.
     pub fn single(wme: WmeRef) -> Token {
-        Token { wmes: Arc::from(vec![wme].into_boxed_slice()) }
+        Token {
+            wmes: Arc::from(vec![wme].into_boxed_slice()),
+        }
     }
 
     /// Extends this token with one more WME (join output).
@@ -36,7 +40,9 @@ impl Token {
         let mut v = Vec::with_capacity(self.wmes.len() + 1);
         v.extend(self.wmes.iter().cloned());
         v.push(wme);
-        Token { wmes: Arc::from(v.into_boxed_slice()) }
+        Token {
+            wmes: Arc::from(v.into_boxed_slice()),
+        }
     }
 
     #[inline]

@@ -32,11 +32,10 @@ pub mod synth;
 pub mod tourney;
 pub mod weaver;
 
-use engine::Engine;
-use ops5::{Matcher, Program, Result, Value};
-use psm::trace::{RunTrace, TraceMatcher};
-use psm::{ParMatcher, PsmConfig};
-use rete::network::Network;
+use engine::{Engine, EngineBuilder, MatcherKind};
+use ops5::{Result, Value};
+use psm::trace::RunTrace;
+use psm::PsmConfig;
 use std::sync::{Arc, Mutex};
 
 /// A setup value (pre-symbol-table).
@@ -63,7 +62,10 @@ impl SetupWme {
     pub fn new(class: &str, sets: &[(&str, SetupVal)]) -> SetupWme {
         SetupWme {
             class: class.to_string(),
-            sets: sets.iter().map(|(a, v)| (a.to_string(), v.clone())).collect(),
+            sets: sets
+                .iter()
+                .map(|(a, v)| (a.to_string(), v.clone()))
+                .collect(),
         }
     }
 }
@@ -107,31 +109,28 @@ impl MatcherChoice {
             MatcherChoice::Trace(_) => "trace",
         }
     }
+
+    /// The [`MatcherKind`] this choice maps to.
+    pub fn kind(&self) -> MatcherKind {
+        match self.clone() {
+            MatcherChoice::Vs1 => MatcherKind::Vs1,
+            MatcherChoice::Vs2 => MatcherKind::Vs2(rete::HashMemConfig::default()),
+            MatcherChoice::Lisp => MatcherKind::Lisp,
+            MatcherChoice::Psm(cfg) => MatcherKind::Psm(cfg),
+            MatcherChoice::Trace(sink) => MatcherKind::Trace {
+                buckets: 32768,
+                sink,
+            },
+        }
+    }
 }
 
 /// Builds an engine for a workload: parses the source, compiles the network,
 /// installs the chosen matcher, and loads the initial working memory.
 pub fn build_engine(w: &Workload, choice: &MatcherChoice) -> Result<Engine> {
-    let prog = Program::from_source(&w.source)?;
-    let choice = choice.clone();
-    let mut eng = match choice {
-        MatcherChoice::Vs1 => Engine::vs1(prog)?,
-        MatcherChoice::Vs2 => Engine::vs2(prog)?,
-        MatcherChoice::Lisp => {
-            // The lisp matcher works from the parsed program (names), not
-            // the compiled network.
-            let prog2 = Program::from_source(&w.source)?;
-            Engine::with_matcher(prog, move |_net: Arc<Network>| {
-                lispsim::LispEngineMatcher::boxed(&prog2)
-            })?
-        }
-        MatcherChoice::Psm(cfg) => {
-            Engine::with_matcher(prog, move |net| ParMatcher::boxed(net, cfg))?
-        }
-        MatcherChoice::Trace(sink) => Engine::with_matcher(prog, move |net| {
-            Box::new(TraceMatcher::new(net, 32768, sink)) as Box<dyn Matcher>
-        })?,
-    };
+    let mut eng = EngineBuilder::from_source(&w.source)?
+        .matcher(choice.kind())
+        .build()?;
     for wme in &w.setup {
         let sets: Vec<(String, Value)> = wme
             .sets
@@ -152,10 +151,7 @@ pub fn build_engine(w: &Workload, choice: &MatcherChoice) -> Result<Engine> {
 
 /// Runs a workload to completion and validates the outcome. Returns the
 /// engine (for stats inspection) and the run result.
-pub fn run_workload(
-    w: &Workload,
-    choice: &MatcherChoice,
-) -> Result<(Engine, engine::RunResult)> {
+pub fn run_workload(w: &Workload, choice: &MatcherChoice) -> Result<(Engine, engine::RunResult)> {
     let mut eng = build_engine(w, choice)?;
     let res = eng.run(w.max_cycles)?;
     if let Err(e) = (w.validate)(&eng) {

@@ -32,12 +32,12 @@ type V3 = [i32; 3];
 /// (normal, right, down) basis per face, fixing the facelet numbering:
 /// `face*9 + (down+1)*3 + (right+1)`.
 const FACES: [(V3, V3, V3); 6] = [
-    ([0, 1, 0], [1, 0, 0], [0, 0, 1]),   // U
-    ([0, -1, 0], [1, 0, 0], [0, 0, -1]), // D
-    ([0, 0, 1], [1, 0, 0], [0, -1, 0]),  // F
+    ([0, 1, 0], [1, 0, 0], [0, 0, 1]),    // U
+    ([0, -1, 0], [1, 0, 0], [0, 0, -1]),  // D
+    ([0, 0, 1], [1, 0, 0], [0, -1, 0]),   // F
     ([0, 0, -1], [-1, 0, 0], [0, -1, 0]), // B
-    ([-1, 0, 0], [0, 0, 1], [0, -1, 0]), // L
-    ([1, 0, 0], [0, 0, -1], [0, -1, 0]), // R
+    ([-1, 0, 0], [0, 0, 1], [0, -1, 0]),  // L
+    ([1, 0, 0], [0, 0, -1], [0, -1, 0]),  // R
 ];
 
 fn dot(a: V3, b: V3) -> i32 {
@@ -67,12 +67,12 @@ fn facelet_index(cell: V3, normal: V3) -> usize {
 fn rotate(face: usize, v: V3) -> V3 {
     let [x, y, z] = v;
     match face {
-        0 => [-z, y, x],  // U (from +y)
-        1 => [z, y, -x],  // D (from -y)
-        2 => [y, -x, z],  // F (from +z)
-        3 => [-y, x, z],  // B (from -z)
-        4 => [x, -z, y],  // L (from -x)
-        5 => [x, z, -y],  // R (from +x)
+        0 => [-z, y, x], // U (from +y)
+        1 => [z, y, -x], // D (from -y)
+        2 => [y, -x, z], // F (from +z)
+        3 => [-y, x, z], // B (from -z)
+        4 => [x, -z, y], // L (from -x)
+        5 => [x, z, -y], // R (from +x)
         _ => unreachable!(),
     }
 }
@@ -90,7 +90,10 @@ impl Move {
     }
 
     pub fn inverse(&self) -> Move {
-        Move { face: self.face, turns: 4 - self.turns }
+        Move {
+            face: self.face,
+            turns: 4 - self.turns,
+        }
     }
 
     /// All 18 distinct moves.
@@ -207,7 +210,10 @@ pub fn scramble(seed: u64, len: usize) -> Vec<Move> {
             face = rng.below(6) as u8;
         }
         last_face = face;
-        out.push(Move { face, turns: rng.below(3) as u8 + 1 });
+        out.push(Move {
+            face,
+            turns: rng.below(3) as u8 + 1,
+        });
     }
     out
 }
@@ -274,7 +280,11 @@ pub struct RubikConfig {
 
 impl Default for RubikConfig {
     fn default() -> Self {
-        RubikConfig { seed: 7, scramble_len: 20, plan: PlanMode::Inverse }
+        RubikConfig {
+            seed: 7,
+            scramble_len: 20,
+            plan: PlanMode::Inverse,
+        }
     }
 }
 
@@ -358,8 +368,9 @@ pub fn workload(cfg: RubikConfig) -> Workload {
     let mut cube = Cube::solved();
     cube.apply_seq(&scr);
     let plan = match cfg.plan {
-        PlanMode::Iddfs { max_depth } => solve_iddfs(&cube, max_depth)
-            .expect("IDDFS failed: scramble longer than max_depth?"),
+        PlanMode::Iddfs { max_depth } => {
+            solve_iddfs(&cube, max_depth).expect("IDDFS failed: scramble longer than max_depth?")
+        }
         PlanMode::Inverse => invert(&scr),
     };
     let mut check = cube.clone();
@@ -370,13 +381,19 @@ pub fn workload(cfg: RubikConfig) -> Workload {
     for (i, &c) in cube.stickers.iter().enumerate() {
         setup.push(SetupWme::new(
             "f",
-            &[("pos", SetupVal::Int(i as i64)), ("color", SetupVal::Int(c as i64))],
+            &[
+                ("pos", SetupVal::Int(i as i64)),
+                ("color", SetupVal::Int(c as i64)),
+            ],
         ));
     }
     for (k, m) in plan.iter().enumerate() {
         setup.push(SetupWme::new(
             "plan",
-            &[("step", SetupVal::Int(k as i64)), ("move", SetupVal::sym(m.name()))],
+            &[
+                ("step", SetupVal::Int(k as i64)),
+                ("move", SetupVal::sym(m.name())),
+            ],
         ));
     }
     setup.push(SetupWme::new("counter", &[("value", SetupVal::Int(0))]));
@@ -432,7 +449,10 @@ mod tests {
             c.apply_seq(&scramble(1, 10));
             let before = c.clone();
             for _ in 0..4 {
-                c.apply(Move { face: face as u8, turns: 1 });
+                c.apply(Move {
+                    face: face as u8,
+                    turns: 1,
+                });
             }
             assert_eq!(c, before, "face {face}");
         }
@@ -498,7 +518,11 @@ mod tests {
 
     #[test]
     fn rubik_program_solves_cube_via_rules() {
-        let cfg = RubikConfig { seed: 11, scramble_len: 4, plan: PlanMode::Inverse };
+        let cfg = RubikConfig {
+            seed: 11,
+            scramble_len: 4,
+            plan: PlanMode::Inverse,
+        };
         let w = workload(cfg);
         let (eng, res) = run_workload(&w, &MatcherChoice::Vs2).unwrap();
         assert_eq!(res.reason, engine::StopReason::Halt);
@@ -507,7 +531,11 @@ mod tests {
 
     #[test]
     fn rubik_with_iddfs_plan() {
-        let cfg = RubikConfig { seed: 5, scramble_len: 3, plan: PlanMode::Iddfs { max_depth: 3 } };
+        let cfg = RubikConfig {
+            seed: 5,
+            scramble_len: 3,
+            plan: PlanMode::Iddfs { max_depth: 3 },
+        };
         let w = workload(cfg);
         let (_eng, res) = run_workload(&w, &MatcherChoice::Vs2).unwrap();
         assert_eq!(res.reason, engine::StopReason::Halt);

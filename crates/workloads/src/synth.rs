@@ -39,11 +39,17 @@ pub fn cross_product(n: usize) -> Workload {
     for i in 0..n {
         setup.push(SetupWme::new(
             "a",
-            &[("v", SetupVal::Int(i as i64)), ("used", SetupVal::sym("no"))],
+            &[
+                ("v", SetupVal::Int(i as i64)),
+                ("used", SetupVal::sym("no")),
+            ],
         ));
         setup.push(SetupWme::new("b", &[("w", SetupVal::Int(i as i64))]));
     }
-    setup.push(SetupWme::new("ctl", &[("left", SetupVal::Int((n * n) as i64))]));
+    setup.push(SetupWme::new(
+        "ctl",
+        &[("left", SetupVal::Int((n * n) as i64))],
+    ));
     Workload {
         name: format!("synth-cross-product({n})"),
         source,
@@ -73,11 +79,17 @@ pub fn wide_independent(groups: usize) -> Workload {
     for g in 0..groups {
         setup.push(SetupWme::new(
             "a",
-            &[("key", SetupVal::Int(g as i64)), ("done", SetupVal::sym("no"))],
+            &[
+                ("key", SetupVal::Int(g as i64)),
+                ("done", SetupVal::sym("no")),
+            ],
         ));
         setup.push(SetupWme::new("b", &[("key", SetupVal::Int(g as i64))]));
     }
-    setup.push(SetupWme::new("ctl", &[("left", SetupVal::Int(groups as i64))]));
+    setup.push(SetupWme::new(
+        "ctl",
+        &[("left", SetupVal::Int(groups as i64))],
+    ));
     Workload {
         name: format!("synth-wide({groups})"),
         source,
@@ -101,7 +113,10 @@ pub fn long_chain(depth: usize) -> Workload {
         .to_string();
     let setup = vec![SetupWme::new(
         "tok",
-        &[("n", SetupVal::Int(0)), ("limit", SetupVal::Int(depth as i64))],
+        &[
+            ("n", SetupVal::Int(0)),
+            ("limit", SetupVal::Int(depth as i64)),
+        ],
     )];
     Workload {
         name: format!("synth-chain({depth})"),
@@ -132,12 +147,18 @@ pub fn fat_memories(keys: usize, per_key: usize) -> Workload {
         for v in 0..per_key {
             setup.push(SetupWme::new(
                 "item",
-                &[("key", SetupVal::Int(k as i64)), ("v", SetupVal::Int(v as i64))],
+                &[
+                    ("key", SetupVal::Int(k as i64)),
+                    ("v", SetupVal::Int(v as i64)),
+                ],
             ));
         }
         setup.push(SetupWme::new(
             "q",
-            &[("key", SetupVal::Int(k as i64)), ("served", SetupVal::sym("no"))],
+            &[
+                ("key", SetupVal::Int(k as i64)),
+                ("served", SetupVal::sym("no")),
+            ],
         ));
     }
     setup.push(SetupWme::new("ctl", &[("tag", SetupVal::sym("go"))]));

@@ -43,7 +43,10 @@ pub struct TourneyConfig {
 
 impl Default for TourneyConfig {
     fn default() -> Self {
-        TourneyConfig { teams: 10, variant: Variant::Pathological }
+        TourneyConfig {
+            teams: 10,
+            variant: Variant::Pathological,
+        }
     }
 }
 
@@ -174,16 +177,25 @@ pub fn generate_source(variant: Variant) -> String {
 /// Builds the Tourney workload.
 pub fn workload(cfg: TourneyConfig) -> Workload {
     let n = cfg.teams;
-    assert!(n >= 4 && n.is_multiple_of(2), "team count must be even and >= 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "team count must be even and >= 4"
+    );
     let mut setup = Vec::new();
     for t in 0..n {
         setup.push(SetupWme::new(
             "team",
-            &[("name", SetupVal::sym(format!("t{t}"))), ("busy", SetupVal::sym("no"))],
+            &[
+                ("name", SetupVal::sym(format!("t{t}"))),
+                ("busy", SetupVal::sym("no")),
+            ],
         ));
     }
     let total_pairs = (n * (n - 1) / 2) as i64;
-    setup.push(SetupWme::new("count", &[("left", SetupVal::Int(total_pairs))]));
+    setup.push(SetupWme::new(
+        "count",
+        &[("left", SetupVal::Int(total_pairs))],
+    ));
     if cfg.variant == Variant::Fixed {
         // Domain knowledge: circle-method slot assignments. Two teams with
         // the same (round, slot) play each other that round.
@@ -214,7 +226,10 @@ pub fn workload(cfg: TourneyConfig) -> Workload {
     }
     setup.push(SetupWme::new(
         "ctrl",
-        &[("phase", SetupVal::sym("pair")), ("round", SetupVal::Int(0))],
+        &[
+            ("phase", SetupVal::sym("pair")),
+            ("round", SetupVal::Int(0)),
+        ],
     ));
 
     let teams = n;
@@ -283,7 +298,10 @@ fn validate_schedule(e: &Engine, n: usize) -> std::result::Result<(), String> {
         }
     }
     if seen.len() != expected {
-        return Err(format!("expected {expected} distinct pairs, found {}", seen.len()));
+        return Err(format!(
+            "expected {expected} distinct pairs, found {}",
+            seen.len()
+        ));
     }
     Ok(())
 }
@@ -316,14 +334,20 @@ mod tests {
 
     #[test]
     fn pathological_variant_schedules_everything() {
-        let w = workload(TourneyConfig { teams: 6, variant: Variant::Pathological });
+        let w = workload(TourneyConfig {
+            teams: 6,
+            variant: Variant::Pathological,
+        });
         let (_eng, res) = run_workload(&w, &MatcherChoice::Vs2).unwrap();
         assert_eq!(res.reason, engine::StopReason::Halt);
     }
 
     #[test]
     fn fixed_variant_schedules_everything() {
-        let w = workload(TourneyConfig { teams: 6, variant: Variant::Fixed });
+        let w = workload(TourneyConfig {
+            teams: 6,
+            variant: Variant::Fixed,
+        });
         let (_eng, res) = run_workload(&w, &MatcherChoice::Vs2).unwrap();
         assert_eq!(res.reason, engine::StopReason::Halt);
     }

@@ -36,7 +36,14 @@ pub struct WeaverConfig {
 
 impl Default for WeaverConfig {
     fn default() -> Self {
-        WeaverConfig { width: 10, height: 10, kinds: 36, nets: 6, blocked_pct: 8, seed: 42 }
+        WeaverConfig {
+            width: 10,
+            height: 10,
+            kinds: 36,
+            nets: 6,
+            blocked_pct: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -223,18 +230,16 @@ fn generate_board(cfg: &WeaverConfig) -> (Board, Vec<SetupWme>) {
     let mut used: HashSet<i64> = HashSet::new();
     let mut nets = Vec::with_capacity(cfg.nets);
     for _ in 0..cfg.nets {
-        let pick = |rng: &mut SplitMix64, used: &mut HashSet<i64>, blocked: &mut HashSet<i64>| {
-            loop {
-                let x = rng.index(w);
-                let y = rng.index(h);
-                let id = cell_id(cfg, x, y, 0);
-                if used.contains(&id) {
-                    continue;
-                }
-                blocked.remove(&id);
-                used.insert(id);
-                return id;
+        let pick = |rng: &mut SplitMix64, used: &mut HashSet<i64>, blocked: &mut HashSet<i64>| loop {
+            let x = rng.index(w);
+            let y = rng.index(h);
+            let id = cell_id(cfg, x, y, 0);
+            if used.contains(&id) {
+                continue;
             }
+            blocked.remove(&id);
+            used.insert(id);
+            return id;
         };
         let src = pick(&mut rng, &mut used, &mut blocked);
         let dst = pick(&mut rng, &mut used, &mut blocked);
@@ -284,17 +289,47 @@ fn generate_board(cfg: &WeaverConfig) -> (Board, Vec<SetupWme>) {
         for x in 0..w {
             // Layer 0: east/west.
             if x + 1 < w {
-                adj(&mut setup, cell_id(cfg, x, y, 0), cell_id(cfg, x + 1, y, 0), "east");
-                adj(&mut setup, cell_id(cfg, x + 1, y, 0), cell_id(cfg, x, y, 0), "west");
+                adj(
+                    &mut setup,
+                    cell_id(cfg, x, y, 0),
+                    cell_id(cfg, x + 1, y, 0),
+                    "east",
+                );
+                adj(
+                    &mut setup,
+                    cell_id(cfg, x + 1, y, 0),
+                    cell_id(cfg, x, y, 0),
+                    "west",
+                );
             }
             // Layer 1: north/south.
             if y + 1 < h {
-                adj(&mut setup, cell_id(cfg, x, y, 1), cell_id(cfg, x, y + 1, 1), "south");
-                adj(&mut setup, cell_id(cfg, x, y + 1, 1), cell_id(cfg, x, y, 1), "north");
+                adj(
+                    &mut setup,
+                    cell_id(cfg, x, y, 1),
+                    cell_id(cfg, x, y + 1, 1),
+                    "south",
+                );
+                adj(
+                    &mut setup,
+                    cell_id(cfg, x, y + 1, 1),
+                    cell_id(cfg, x, y, 1),
+                    "north",
+                );
             }
             // Vias.
-            adj(&mut setup, cell_id(cfg, x, y, 0), cell_id(cfg, x, y, 1), "up");
-            adj(&mut setup, cell_id(cfg, x, y, 1), cell_id(cfg, x, y, 0), "down");
+            adj(
+                &mut setup,
+                cell_id(cfg, x, y, 0),
+                cell_id(cfg, x, y, 1),
+                "up",
+            );
+            adj(
+                &mut setup,
+                cell_id(cfg, x, y, 1),
+                cell_id(cfg, x, y, 0),
+                "down",
+            );
         }
     }
     for (i, &(src, dst)) in nets.iter().enumerate() {
@@ -311,9 +346,19 @@ fn generate_board(cfg: &WeaverConfig) -> (Board, Vec<SetupWme>) {
     }
     setup.push(SetupWme::new(
         "phase",
-        &[("name", SetupVal::sym("idle")), ("net", SetupVal::sym("nil"))],
+        &[
+            ("name", SetupVal::sym("idle")),
+            ("net", SetupVal::sym("nil")),
+        ],
     ));
-    (Board { cfg: *cfg, blocked, nets }, setup)
+    (
+        Board {
+            cfg: *cfg,
+            blocked,
+            nets,
+        },
+        setup,
+    )
 }
 
 /// Builds the Weaver workload.
@@ -372,8 +417,7 @@ fn validate_routes(e: &Engine, board: &Board) -> std::result::Result<(), String>
             // Check connectivity of the wire cells (plus dst, which the
             // backtrace never marks) from src to dst.
             let (src, dst) = board.nets[id as usize];
-            let mut cells: HashSet<i64> =
-                wires.get(&id).cloned().unwrap_or_default();
+            let mut cells: HashSet<i64> = wires.get(&id).cloned().unwrap_or_default();
             cells.insert(dst);
             if !cells.contains(&src) {
                 return Err(format!("net {id}: src not on wire"));
@@ -441,7 +485,14 @@ mod tests {
     use crate::{run_workload, MatcherChoice};
 
     fn small() -> WeaverConfig {
-        WeaverConfig { width: 5, height: 4, kinds: 3, nets: 2, blocked_pct: 0, seed: 3 }
+        WeaverConfig {
+            width: 5,
+            height: 4,
+            kinds: 3,
+            nets: 2,
+            blocked_pct: 0,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -470,7 +521,12 @@ mod tests {
     fn routes_small_board() {
         let w = workload(small());
         let (eng, res) = run_workload(&w, &MatcherChoice::Vs2).unwrap();
-        assert_eq!(res.reason, engine::StopReason::Halt, "cycles: {}", res.cycles);
+        assert_eq!(
+            res.reason,
+            engine::StopReason::Halt,
+            "cycles: {}",
+            res.cycles
+        );
         assert!(eng.output().iter().any(|l| l.contains("routing complete")));
     }
 

@@ -25,8 +25,11 @@ fn main() {
     let prog = Program::from_source(FIG22).expect("parse Figure 2-2 productions");
     let net = Network::compile(&prog).expect("compile");
 
-    println!("Figure 2-2 network: {} constant-test patterns (C2 shared), {} joins",
-        net.n_patterns(), net.n_joins());
+    println!(
+        "Figure 2-2 network: {} constant-test patterns (C2 shared), {} joins",
+        net.n_patterns(),
+        net.n_joins()
+    );
     println!();
     print!("{}", rete::dot::to_text(&net, &prog.symbols));
 

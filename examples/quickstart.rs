@@ -25,15 +25,23 @@ fn run(mut engine: Engine, label: &str) {
     let blue = engine.sym("blue");
     let no = engine.sym("no");
     let fb = engine.sym("find-block");
-    engine.make_wme("goal", &[("type", fb), ("color", red)]).unwrap();
+    engine
+        .make_wme("goal", &[("type", fb), ("color", red)])
+        .unwrap();
     for (id, color) in [(1, blue), (2, red), (3, red), (4, blue)] {
         engine
-            .make_wme("block", &[("id", Value::Int(id)), ("color", color), ("selected", no)])
+            .make_wme(
+                "block",
+                &[("id", Value::Int(id)), ("color", color), ("selected", no)],
+            )
             .unwrap();
     }
 
     let result = engine.run(100).unwrap();
-    println!("[{label}] fired {} productions ({:?})", result.cycles, result.reason);
+    println!(
+        "[{label}] fired {} productions ({:?})",
+        result.cycles, result.reason
+    );
     for line in engine.output() {
         println!("[{label}]   {line}");
     }
@@ -45,11 +53,22 @@ fn run(mut engine: Engine, label: &str) {
 }
 
 fn main() {
-    let prog = Program::from_source(SRC).expect("parse");
-    run(Engine::vs2(prog).expect("build vs2"), "vs2 sequential");
+    let eng = EngineBuilder::from_source(SRC)
+        .expect("parse")
+        .vs2()
+        .build()
+        .expect("build vs2");
+    run(eng, "vs2 sequential");
 
-    let prog = Program::from_source(SRC).expect("parse");
-    let cfg = PsmConfig { match_processes: 3, queues: 2, ..Default::default() };
-    let eng = Engine::with_matcher(prog, move |net| ParMatcher::boxed(net, cfg)).expect("build");
+    let cfg = PsmConfig {
+        match_processes: 3,
+        queues: 2,
+        ..Default::default()
+    };
+    let eng = EngineBuilder::from_source(SRC)
+        .expect("parse")
+        .psm(cfg)
+        .build()
+        .expect("build psm");
     run(eng, "psm-e 1+3");
 }

@@ -17,7 +17,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
 
-    let cfg = RubikConfig { seed: 2026, scramble_len, plan: PlanMode::Inverse };
+    let cfg = RubikConfig {
+        seed: 2026,
+        scramble_len,
+        plan: PlanMode::Inverse,
+    };
     println!("scramble length: {scramble_len}");
 
     for choice in [

@@ -14,7 +14,14 @@ fn main() {
     let height: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let nets: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
 
-    let cfg = WeaverConfig { width, height, kinds: 12, nets, blocked_pct: 6, seed: 11 };
+    let cfg = WeaverConfig {
+        width,
+        height,
+        kinds: 12,
+        nets,
+        blocked_pct: 6,
+        seed: 11,
+    };
     let w = weaver::workload(cfg);
     println!("{} — {} productions", w.name, {
         let p = Program::from_source(&w.source).unwrap();
@@ -56,7 +63,10 @@ fn main() {
         grid[layer as usize][y as usize][x as usize] = ch;
     }
     for (l, layer) in grid.iter().enumerate() {
-        println!("layer {l} ({}):", if l == 0 { "east-west" } else { "north-south" });
+        println!(
+            "layer {l} ({}):",
+            if l == 0 { "east-west" } else { "north-south" }
+        );
         for row in layer {
             println!("  {}", row.iter().collect::<String>());
         }

@@ -96,7 +96,9 @@ fn parse_args() -> Result<Opts, String> {
 
 fn usage() {
     eprintln!("Usage: ops5 <file.ops> [--matcher vs1|vs2|lisp|psm] [--procs N] [--queues N]");
-    eprintln!("            [--mrsw] [--max-cycles N] [--trace] [--wm] [--network] [--print] [--stats]");
+    eprintln!(
+        "            [--mrsw] [--max-cycles N] [--trace] [--wm] [--network] [--print] [--stats]"
+    );
 }
 
 fn main() -> ExitCode {
@@ -148,36 +150,37 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let engine = match opts.matcher.as_str() {
-        "vs1" => Engine::vs1(prog),
-        "vs2" => Engine::vs2(prog),
-        "lisp" => {
-            let prog2 = Program::from_source(&src).expect("already parsed once");
-            Engine::with_matcher(prog, move |_net| lispsim::LispEngineMatcher::boxed(&prog2))
-        }
-        "psm" => {
-            let cfg = PsmConfig {
-                match_processes: opts.procs,
-                queues: opts.queues,
-                lock_scheme: if opts.mrsw { LockScheme::Mrsw } else { LockScheme::Simple },
-                buckets: 16384,
-                scheduler: psm::SchedulerKind::SpinQueues,
-            };
-            Engine::with_matcher(prog, move |net| ParMatcher::boxed(net, cfg))
-        }
+    let kind = match opts.matcher.as_str() {
+        "vs1" => MatcherKind::Vs1,
+        "vs2" => MatcherKind::Vs2(HashMemConfig::default()),
+        "lisp" => MatcherKind::Lisp,
+        "psm" => MatcherKind::Psm(PsmConfig {
+            match_processes: opts.procs,
+            queues: opts.queues,
+            lock_scheme: if opts.mrsw {
+                LockScheme::Mrsw
+            } else {
+                LockScheme::Simple
+            },
+            buckets: 16384,
+            scheduler: psm::SchedulerKind::SpinQueues,
+        }),
         other => {
             eprintln!("error: unknown matcher {other}");
             return ExitCode::FAILURE;
         }
     };
-    let mut engine = match engine {
+    let mut engine = match EngineBuilder::new(prog)
+        .matcher(kind)
+        .echo_writes(true)
+        .build()
+    {
         Ok(e) => e,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    engine.echo_writes = true;
 
     if let Err(e) = engine.load_startup() {
         eprintln!("error: {e}");
@@ -208,7 +211,10 @@ fn main() -> ExitCode {
                     }
                 }
                 Ok(None) => {
-                    res = Ok(RunResult { cycles: engine.cycles(), reason: StopReason::Quiescent });
+                    res = Ok(RunResult {
+                        cycles: engine.cycles(),
+                        reason: StopReason::Quiescent,
+                    });
                     break;
                 }
                 Err(e) => {
@@ -262,7 +268,11 @@ fn main() -> ExitCode {
                 .info(w.class)
                 .map(|i| i.attrs.clone())
                 .unwrap_or_default();
-            println!("{:>6}: {}", w.timetag, w.display(&engine.prog.symbols, &attrs));
+            println!(
+                "{:>6}: {}",
+                w.timetag,
+                w.display(&engine.prog.symbols, &attrs)
+            );
         }
     }
     ExitCode::SUCCESS

@@ -29,7 +29,7 @@
 //!              (block ^id <i> ^color <c> ^selected no)
 //!              -->
 //!              (modify 2 ^selected yes))";
-//! let mut engine = Engine::vs2(Program::from_source(src).unwrap()).unwrap();
+//! let mut engine = EngineBuilder::from_source(src).unwrap().vs2().build().unwrap();
 //! let red = engine.sym("red");
 //! let no = engine.sym("no");
 //! let fb = engine.sym("find-block");
@@ -52,11 +52,11 @@ pub use workloads;
 
 /// Common imports for applications.
 pub mod prelude {
-    pub use engine::{Engine, RunResult, StopReason};
+    pub use engine::{Engine, EngineBuilder, MatcherKind, RunResult, StopReason};
     pub use multimax::{simulate, SimConfig, SimResult};
     pub use ops5::{
-        CsChange, Instantiation, MatchStats, Matcher, Pred, ProdId, Program, Sign, SymbolId,
-        Value, Wme, WmeChange, WmeRef,
+        ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, Pred, ProdId, Program,
+        QuiesceReport, Sign, SymbolId, Value, Wme, WmeChange, WmeRef,
     };
     pub use psm::{LockScheme, ParMatcher, PsmConfig};
     pub use rete::network::Network;

@@ -12,7 +12,11 @@ fn runs_blocks_program() {
         .args(["programs/blocks.ops"])
         .output()
         .expect("run ops5");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stdout.contains("tower complete"), "stdout: {stdout}");
@@ -47,7 +51,10 @@ fn print_roundtrips_through_cli() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("printed.ops");
     std::fs::write(&path, &printed).unwrap();
-    let out2 = ops5().arg(path.to_str().unwrap()).output().expect("run printed");
+    let out2 = ops5()
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("run printed");
     assert!(out2.status.success());
     assert!(String::from_utf8_lossy(&out2.stdout).contains("tower complete"));
 }
@@ -87,7 +94,10 @@ fn parse_error_reported_with_position() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("broken.ops");
     std::fs::write(&path, "(p broken (a ^x 1) --> (explode))").unwrap();
-    let out = ops5().arg(path.to_str().unwrap()).output().expect("run ops5");
+    let out = ops5()
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("run ops5");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown RHS action"), "{stderr}");
@@ -114,16 +124,20 @@ fn monkey_and_bananas_plans_correctly() {
     ];
     let mut pos = 0;
     for step in steps {
-        let found = stdout[pos..].find(step).unwrap_or_else(|| {
-            panic!("step '{step}' missing or out of order in:\n{stdout}")
-        });
+        let found = stdout[pos..]
+            .find(step)
+            .unwrap_or_else(|| panic!("step '{step}' missing or out of order in:\n{stdout}"));
         pos += found;
     }
 }
 
 #[test]
 fn monkey_plan_is_matcher_independent() {
-    let reference = ops5().args(["programs/monkey.ops"]).output().unwrap().stdout;
+    let reference = ops5()
+        .args(["programs/monkey.ops"])
+        .output()
+        .unwrap()
+        .stdout;
     for matcher in ["vs1", "lisp", "psm"] {
         let out = ops5()
             .args(["programs/monkey.ops", "--matcher", matcher])
@@ -135,7 +149,10 @@ fn monkey_plan_is_matcher_independent() {
 
 #[test]
 fn fibonacci_computes() {
-    let out = ops5().args(["programs/fibonacci.ops"]).output().expect("run");
+    let out = ops5()
+        .args(["programs/fibonacci.ops"])
+        .output()
+        .expect("run");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("fib 20 is 6765"), "{stdout}");

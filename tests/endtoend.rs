@@ -84,7 +84,10 @@ fn simulated_speedup_shapes_match_paper() {
     let t5_4q = simulate(&rt, &SimConfig::new(5, 4, LockScheme::Simple)).match_time as f64;
     let s_1q = t1 / t5_1q;
     let s_4q = t1 / t5_4q;
-    assert!(s_1q > 1.5, "some speed-up even with one queue (got {s_1q:.2})");
+    assert!(
+        s_1q > 1.5,
+        "some speed-up even with one queue (got {s_1q:.2})"
+    );
     assert!(
         s_4q >= s_1q * 0.98,
         "multiple queues should not hurt (1q {s_1q:.2}, 4q {s_4q:.2})"

@@ -7,7 +7,7 @@
 //! parallel matcher leaves no parked conjugate tokens at quiescence, and
 //! TaskCount returns to zero.
 
-use ops5::{CsChange, Matcher, Program, Sign, Value, Wme, WmeChange, WmeRef};
+use ops5::{ChangeBatch, CsChange, Matcher, Program, Sign, Value, Wme, WmeChange, WmeRef};
 use proptest::prelude::*;
 use psm::{LockScheme, ParMatcher, PsmConfig};
 use rete::network::Network;
@@ -36,7 +36,11 @@ fn gen_ce(negated: bool) -> impl Strategy<Value = GenCe> {
         0u8..3,
         proptest::collection::vec((0u8..3, gen_test()), 0..3),
     )
-        .prop_map(move |(class, tests)| GenCe { class, negated, tests })
+        .prop_map(move |(class, tests)| GenCe {
+            class,
+            negated,
+            tests,
+        })
 }
 
 fn gen_test() -> impl Strategy<Value = GenTest> {
@@ -119,12 +123,10 @@ fn gen_stream() -> impl Strategy<Value = Vec<(u8, [u8; 3], bool)>> {
     proptest::collection::vec((0u8..3, [0u8..4, 0u8..4, 0u8..4], any::<bool>()), 1..25)
 }
 
-fn final_cs(m: &mut dyn Matcher, changes: &[WmeChange]) -> BTreeSet<(u32, Vec<u64>)> {
+type CsState = BTreeSet<(u32, Vec<u64>)>;
+
+fn apply_cs(set: &mut CsState, changes: Vec<CsChange>) {
     for c in changes {
-        m.submit(c.clone());
-    }
-    let mut set = BTreeSet::new();
-    for c in m.quiesce() {
         match c {
             CsChange::Insert(i) => {
                 let k = i.key();
@@ -136,7 +138,48 @@ fn final_cs(m: &mut dyn Matcher, changes: &[WmeChange]) -> BTreeSet<(u32, Vec<u6
             }
         }
     }
+}
+
+fn final_cs(m: &mut dyn Matcher, changes: &[WmeChange]) -> CsState {
+    for c in changes {
+        m.submit_one(c.clone());
+    }
+    let mut set = BTreeSet::new();
+    apply_cs(&mut set, m.quiesce().cs_changes);
     set
+}
+
+/// Feeds `changes` in chunks of the (cycled) `chunk_lens` sizes, quiescing
+/// at every chunk boundary. `batched` picks whole-`ChangeBatch` submission
+/// vs one `submit_one` per change with the same quiesce points. Returns the
+/// net conflict-set state observed after each quiesce.
+fn chunked_cs_history(
+    m: &mut dyn Matcher,
+    changes: &[WmeChange],
+    chunk_lens: &[usize],
+    batched: bool,
+) -> Vec<CsState> {
+    let mut set = BTreeSet::new();
+    let mut history = Vec::new();
+    let mut i = 0;
+    let mut ci = 0;
+    while i < changes.len() {
+        let n = chunk_lens[ci % chunk_lens.len()].max(1);
+        ci += 1;
+        let chunk = &changes[i..(i + n).min(changes.len())];
+        i += n;
+        if batched {
+            let batch: ChangeBatch = chunk.iter().cloned().collect();
+            m.submit(&batch);
+        } else {
+            for c in chunk {
+                m.submit_one(c.clone());
+            }
+        }
+        apply_cs(&mut set, m.quiesce().cs_changes);
+        history.push(set.clone());
+    }
+    history
 }
 
 proptest! {
@@ -190,6 +233,78 @@ proptest! {
                 scheme
             );
             prop_assert_eq!(par.parked_tokens(), 0, "conjugate tokens parked at quiescence");
+        }
+    }
+
+    #[test]
+    fn batch_chunking_is_invariant(
+        genp in gen_program(),
+        stream in gen_stream(),
+        chunk_lens in proptest::collection::vec(1usize..6, 1..8),
+    ) {
+        // Submitting one change at a time must be indistinguishable from
+        // re-chunking the same stream into arbitrary ChangeBatches: the net
+        // conflict-set state at every quiesce point is identical, for all
+        // four matchers.
+        let src = render(&genp);
+        let prog = Program::from_source(&src).expect("generated source parses");
+        let net = Arc::new(Network::compile(&prog).expect("network compiles"));
+
+        let mut live: Vec<WmeRef> = Vec::new();
+        let mut changes = Vec::new();
+        let mut tag = 1u64;
+        for (class, fields, remove) in &stream {
+            if *remove && !live.is_empty() {
+                let w = live.swap_remove((*class as usize) % live.len());
+                changes.push(WmeChange { sign: Sign::Minus, wme: w });
+            } else {
+                let cs = prog.symbols.get(&format!("c{class}")).unwrap();
+                let w = Wme::new(
+                    cs,
+                    fields.iter().map(|&v| Value::Int(v as i64)).collect(),
+                    tag,
+                );
+                tag += 1;
+                live.push(w.clone());
+                changes.push(WmeChange { sign: Sign::Plus, wme: w });
+            }
+        }
+
+        type MatcherFactory = Box<dyn Fn() -> Box<dyn Matcher>>;
+        let factories: Vec<(&str, MatcherFactory)> = vec![
+            ("vs1", Box::new({
+                let net = net.clone();
+                move || rete::seq::boxed_vs1(net.clone())
+            })),
+            ("vs2", Box::new({
+                let net = net.clone();
+                move || rete::seq::boxed_vs2(net.clone(), HashMemConfig { buckets: 16 })
+            })),
+            ("lisp", Box::new({
+                let prog = prog.clone();
+                move || lispsim::LispEngineMatcher::boxed(&prog)
+            })),
+        ];
+        for (name, mk) in &factories {
+            let per_change = chunked_cs_history(mk().as_mut(), &changes, &chunk_lens, false);
+            let batched = chunked_cs_history(mk().as_mut(), &changes, &chunk_lens, true);
+            prop_assert_eq!(per_change, batched, "{}: chunking changed the CS history", name);
+        }
+        for scheme in [LockScheme::Simple, LockScheme::Mrsw] {
+            let cfg = PsmConfig {
+                match_processes: 3,
+                queues: 2,
+                lock_scheme: scheme,
+                buckets: 16,
+                scheduler: psm::SchedulerKind::SpinQueues,
+            };
+            let mut a = ParMatcher::new(net.clone(), cfg);
+            let per_change = chunked_cs_history(&mut a, &changes, &chunk_lens, false);
+            let mut b = ParMatcher::new(net.clone(), cfg);
+            let batched = chunked_cs_history(&mut b, &changes, &chunk_lens, true);
+            prop_assert_eq!(per_change, batched, "psm {:?}: chunking changed the CS history", scheme);
+            prop_assert_eq!(a.parked_tokens(), 0);
+            prop_assert_eq!(b.parked_tokens(), 0, "psm {:?}: batched run parked conjugate tokens", scheme);
         }
     }
 
