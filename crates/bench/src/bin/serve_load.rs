@@ -1,0 +1,329 @@
+//! `serve_load` — closed-loop load generator for the serve layer.
+//!
+//! Spins up an in-process server with a PSM session pool, then drives N
+//! concurrent connections for M iterations each. One iteration opens a
+//! session on the next program from the corpus rotation (`programs/*.ops`
+//! plus the generated Rubik workload), runs it to halt/quiescence in
+//! chunked `RUN` commands, fetches the firing log, checks it against a
+//! direct in-process engine run of the same program (differential check:
+//! the server must not change semantics), and closes.
+//!
+//! Backpressure is exercised two ways: the run queue is deliberately
+//! smaller than the connection count, so closed-loop clients bounce off
+//! `BUSY` and retry; and a dedicated saturation probe pipelines a burst of
+//! `ASSERT`s at a wedged session without reading replies, which must
+//! produce `OVERLOADED`.
+//!
+//! Prints a throughput/latency summary and writes `BENCH_serve.json`.
+//!
+//! ```text
+//! Usage: serve_load [--connections N] [--iterations M] [--workers W]
+//!                   [--programs DIR] [--json PATH]
+//! ```
+
+use serve::{Client, ClientReply, Registry, ServeConfig, Server};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    connections: usize,
+    iterations: usize,
+    workers: usize,
+    programs: PathBuf,
+    json: PathBuf,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts {
+        connections: 32,
+        iterations: 2,
+        workers: 4,
+        programs: PathBuf::from("programs"),
+        json: PathBuf::from("BENCH_serve.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--connections" => o.connections = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--iterations" => o.iterations = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => o.workers = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--programs" => o.programs = PathBuf::from(val()?),
+            "--json" => o.json = PathBuf::from(val()?),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+#[derive(Default)]
+struct Counters {
+    sessions: AtomicU64,
+    commands: AtomicU64,
+    cycles: AtomicU64,
+    busy_retries: AtomicU64,
+    divergences: AtomicU64,
+}
+
+/// Sends a request, retrying on backpressure (the closed-loop client's
+/// contract: a `BUSY` reply means "come back", not "give up").
+fn req_retry(c: &mut Client, line: &str, n: &Counters) -> std::io::Result<ClientReply> {
+    loop {
+        let reply = c.request(line)?;
+        if reply.is_backpressure() {
+            n.busy_retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(500));
+            continue;
+        }
+        n.commands.fetch_add(1, Ordering::Relaxed);
+        return Ok(reply);
+    }
+}
+
+fn field<'a>(payload: &'a str, key: &str) -> Option<&'a str> {
+    payload
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+/// One session lifecycle; returns this session's firing log.
+fn drive_session(
+    c: &mut Client,
+    program: &str,
+    n: &Counters,
+    lat: &mut Vec<f64>,
+) -> Result<Vec<String>, String> {
+    let t0 = Instant::now();
+    c.open(program, Some("psm"))
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    lat.push(t0.elapsed().as_secs_f64() * 1e3);
+    n.commands.fetch_add(1, Ordering::Relaxed);
+    n.sessions.fetch_add(1, Ordering::Relaxed);
+    for _ in 0..200 {
+        let t0 = Instant::now();
+        let payload = req_retry(c, "RUN 2000", n)
+            .map_err(|e| e.to_string())?
+            .expect_ok()?;
+        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        let cycles: u64 = field(&payload, "cycles")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad RUN reply `{payload}`"))?;
+        n.cycles.fetch_add(cycles, Ordering::Relaxed);
+        match field(&payload, "reason") {
+            Some("halt") | Some("quiescent") | Some("budget") => break,
+            Some("limit") | Some("settled") => continue,
+            other => return Err(format!("bad reason {other:?} in `{payload}`")),
+        }
+    }
+    let fired = req_retry(c, "FIRED?", n)
+        .map_err(|e| e.to_string())?
+        .expect_lines()?;
+    req_retry(c, "CLOSE", n)
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    Ok(fired)
+}
+
+/// Reference firing logs from direct in-process engine runs — the ground
+/// truth the served sessions are diffed against.
+fn references(programs: &Path, names: &[&str]) -> HashMap<String, Vec<String>> {
+    let reg = Registry::with_builtins(Some(programs));
+    let mut map = HashMap::new();
+    for name in names {
+        let spec = reg.get(name).unwrap_or_else(|| panic!("missing {name}"));
+        let mut eng = spec
+            .build(serve::matcher_kind("psm").unwrap(), Default::default())
+            .expect("build reference engine");
+        eng.run(400_000).expect("reference run");
+        let lines: Vec<String> = eng
+            .fired_log()
+            .iter()
+            .map(|(p, tags)| {
+                let t: Vec<String> = tags.iter().map(|x| x.to_string()).collect();
+                format!("{} {}", eng.prog.prod_name(*p), t.join(" "))
+            })
+            .collect();
+        map.insert(name.to_string(), lines);
+    }
+    map
+}
+
+/// Pipelines a burst of commands at a wedged session without draining
+/// replies, forcing the per-session inbox over its depth. Returns how many
+/// `OVERLOADED` replies came back.
+fn saturation_probe(addr: std::net::SocketAddr) -> Result<u64, String> {
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    let spin = "(literalize c n)
+                (p spin (c ^n <n>) --> (modify 1 ^n (compute <n> + 1)))";
+    c.open_source(spin, Some("vs2"))
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    c.assert_wme("c ^n 0").map_err(|e| e.to_string())?.unwrap();
+    // Wedge the session's worker on a long run, then flood the inbox.
+    let burst = 96;
+    c.send_line("RUN 10000").map_err(|e| e.to_string())?;
+    for i in 0..burst {
+        c.send_line(&format!("ASSERT c ^n {i}"))
+            .map_err(|e| e.to_string())?;
+    }
+    let mut overloaded = 0;
+    for _ in 0..burst + 1 {
+        if matches!(
+            c.read_reply().map_err(|e| e.to_string())?,
+            ClientReply::Overloaded(_)
+        ) {
+            overloaded += 1;
+        }
+    }
+    let _ = c.close();
+    Ok(overloaded)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            std::process::exit(2);
+        }
+    };
+    let corpus = ["blocks", "fibonacci", "monkey", "hanoi", "rubik"];
+    eprintln!(
+        "serve_load: {} connections x {} iterations over {:?}",
+        opts.connections, opts.iterations, corpus
+    );
+
+    eprintln!("serve_load: computing reference firing logs (direct psm engines)...");
+    let refs = Arc::new(references(&opts.programs, &corpus));
+
+    // Run queue deliberately smaller than the connection count so the
+    // closed-loop clients exercise BUSY-and-retry under saturation.
+    let cfg = ServeConfig {
+        workers: opts.workers,
+        queue_depth: 8,
+        run_queue_cap: (opts.connections / 2).max(4),
+        max_cycles_per_run: 10_000,
+        matcher: serve::matcher_kind("psm").unwrap(),
+        programs_dir: Some(opts.programs.clone()),
+        ..ServeConfig::default()
+    };
+    let run_queue_cap = cfg.run_queue_cap;
+    let handle = Server::bind("127.0.0.1:0", cfg).expect("bind").spawn();
+    let addr = handle.addr;
+
+    let n = Arc::new(Counters::default());
+    let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..opts.connections)
+        .map(|ci| {
+            let n = n.clone();
+            let refs = refs.clone();
+            let latencies = latencies.clone();
+            std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                let mut c = Client::connect(addr).expect("connect");
+                for it in 0..opts.iterations {
+                    let program = corpus[(ci + it) % corpus.len()];
+                    match drive_session(&mut c, program, &n, &mut lat) {
+                        Ok(fired) => {
+                            if fired != refs[program] {
+                                eprintln!(
+                                    "serve_load: DIVERGENCE conn {ci} iter {it} program {program}: \
+                                     {} fired vs {} reference",
+                                    fired.len(),
+                                    refs[program].len()
+                                );
+                                n.divergences.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("serve_load: conn {ci} iter {it} {program}: {e}");
+                            n.divergences.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(lat);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let overloaded = match saturation_probe(addr) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("serve_load: saturation probe: {e}");
+            0
+        }
+    };
+
+    let mut shut = Client::connect(addr).expect("connect");
+    shut.shutdown().expect("shutdown").expect_ok().expect("ok");
+    handle.join().expect("server join");
+
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p90, p99) = (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+    );
+    let max_lat = lat.last().copied().unwrap_or(0.0);
+    let sessions = n.sessions.load(Ordering::Relaxed);
+    let commands = n.commands.load(Ordering::Relaxed);
+    let cycles = n.cycles.load(Ordering::Relaxed);
+    let busy = n.busy_retries.load(Ordering::Relaxed);
+    let divergences = n.divergences.load(Ordering::Relaxed);
+
+    println!("== serve_load ==");
+    println!("sessions {sessions}  commands {commands}  cycles {cycles}  elapsed {elapsed:.2}s");
+    println!(
+        "throughput: {:.0} commands/s, {:.0} cycles/s, {:.1} sessions/s",
+        commands as f64 / elapsed,
+        cycles as f64 / elapsed,
+        sessions as f64 / elapsed
+    );
+    println!("latency ms: p50 {p50:.2}  p90 {p90:.2}  p99 {p99:.2}  max {max_lat:.2}");
+    println!("backpressure: {busy} busy/overloaded retries, {overloaded} overloaded (probe)");
+    println!("divergences: {divergences}");
+
+    let json = format!(
+        "{{\n  \"config\": {{\"connections\": {}, \"iterations\": {}, \"workers\": {}, \
+         \"queue_depth\": 8, \"run_queue_cap\": {}, \"matcher\": \"psm\"}},\n  \
+         \"totals\": {{\"sessions\": {sessions}, \"commands\": {commands}, \"cycles\": {cycles}, \
+         \"elapsed_s\": {elapsed:.3}}},\n  \
+         \"throughput\": {{\"commands_per_s\": {:.1}, \"cycles_per_s\": {:.1}, \
+         \"sessions_per_s\": {:.2}}},\n  \
+         \"latency_ms\": {{\"p50\": {p50:.3}, \"p90\": {p90:.3}, \"p99\": {p99:.3}, \
+         \"max\": {max_lat:.3}}},\n  \
+         \"backpressure\": {{\"busy_retries\": {busy}, \"overloaded_probe\": {overloaded}}},\n  \
+         \"divergences\": {divergences}\n}}\n",
+        opts.connections,
+        opts.iterations,
+        opts.workers,
+        run_queue_cap,
+        commands as f64 / elapsed,
+        cycles as f64 / elapsed,
+        sessions as f64 / elapsed,
+    );
+    std::fs::write(&opts.json, json).expect("write json");
+    eprintln!("serve_load: wrote {}", opts.json.display());
+
+    if divergences > 0 {
+        std::process::exit(1);
+    }
+}

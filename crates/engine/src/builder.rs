@@ -62,6 +62,7 @@ pub struct EngineBuilder {
     strategy: Option<Strategy>,
     echo_writes: bool,
     keep_fired_log: bool,
+    limits: crate::interp::EngineLimits,
     #[allow(clippy::type_complexity)]
     factory: Option<Box<dyn FnOnce(Arc<Network>) -> Box<dyn Matcher>>>,
 }
@@ -75,6 +76,7 @@ impl EngineBuilder {
             strategy: None,
             echo_writes: false,
             keep_fired_log: true,
+            limits: crate::interp::EngineLimits::default(),
             factory: None,
         }
     }
@@ -144,6 +146,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Resource limits for hosts multiplexing many engines (the serve
+    /// layer's per-session limits). Unlimited by default.
+    pub fn limits(mut self, limits: crate::interp::EngineLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     /// Compiles the network, installs the matcher, and returns the engine.
     pub fn build(self) -> Result<Engine> {
         let mut program = self.program;
@@ -178,6 +187,7 @@ impl EngineBuilder {
         };
         eng.echo_writes = self.echo_writes;
         eng.keep_fired_log = self.keep_fired_log;
+        eng.limits = self.limits;
         Ok(eng)
     }
 }

@@ -20,6 +20,26 @@ pub enum StopReason {
     Quiescent,
     /// The caller's cycle limit was reached.
     CycleLimit,
+    /// The engine's lifetime cycle budget ([`EngineLimits::max_cycles`])
+    /// was exhausted.
+    Budget,
+}
+
+/// Resource limits enforced by the engine, for hosts that multiplex many
+/// engines (the serve layer's per-session limits).
+///
+/// Both limits default to unlimited. `max_wm` bounds the number of live
+/// WMEs accepted through the checked ingestion paths ([`Engine::make_wme`],
+/// [`Engine::stage`]); RHS-produced elements are not limited, so a firing
+/// never fails halfway. `max_cycles` is a lifetime budget across all runs:
+/// once `cycles()` reaches it, [`Engine::run`] stops with
+/// [`StopReason::Budget`] and [`Engine::step`] refuses to fire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineLimits {
+    /// Maximum live WMEs accepted through checked ingestion.
+    pub max_wm: Option<usize>,
+    /// Lifetime recognize-act cycle budget.
+    pub max_cycles: Option<u64>,
 }
 
 /// Summary of a run.
@@ -46,6 +66,11 @@ pub struct Engine {
     pub echo_writes: bool,
     /// Keep the per-cycle fired log (disable for long benchmark runs).
     pub keep_fired_log: bool,
+    /// Resource limits (see [`EngineLimits`]); unlimited by default.
+    pub limits: EngineLimits,
+    /// Changes staged by [`stage`](Self::stage)/[`stage_retract`]
+    /// (Self::stage_retract) awaiting the next flush.
+    staged: ChangeBatch,
 }
 
 impl Engine {
@@ -74,6 +99,8 @@ impl Engine {
             line: String::new(),
             echo_writes: false,
             keep_fired_log: true,
+            limits: EngineLimits::default(),
+            staged: ChangeBatch::new(),
         })
     }
 
@@ -131,9 +158,21 @@ impl Engine {
         Value::Sym(self.prog.symbols.intern(name))
     }
 
+    fn check_wm_limit(&self) -> Result<()> {
+        if let Some(max) = self.limits.max_wm {
+            if self.wm.len() >= max {
+                return Err(Ops5Error::Runtime(format!(
+                    "working-memory limit reached ({max} elements)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Creates a WME from attribute-value pairs and feeds it to the matcher
     /// (the OPS5 `make` top-level / startup form).
     pub fn make_wme(&mut self, class: &str, sets: &[(&str, Value)]) -> Result<WmeRef> {
+        self.check_wm_limit()?;
         let class_sym = self.prog.symbols.intern(class);
         let mut resolved = Vec::with_capacity(sets.len());
         for (attr, v) in sets {
@@ -199,12 +238,81 @@ impl Engine {
         }
     }
 
+    /// Stages a WME: it enters working memory (with a timetag) immediately,
+    /// but the matcher does not see it until the next flush — the serving
+    /// layer's ingestion path, which coalesces a session's pending changes
+    /// into one [`ChangeBatch`] per run. Checked against
+    /// [`EngineLimits::max_wm`].
+    pub fn stage(&mut self, class: SymbolId, fields: Vec<Value>) -> Result<WmeRef> {
+        self.check_wm_limit()?;
+        let w = self.wm.make(class, fields);
+        self.staged.add(w.clone());
+        Ok(w)
+    }
+
+    /// Stages the retraction of a live WME by timetag. A retract of an
+    /// element still staged annihilates inside the pending batch and the
+    /// matcher never sees either change.
+    pub fn stage_retract(&mut self, timetag: u64) -> Result<()> {
+        match self.wm.remove(timetag) {
+            Some(w) => {
+                self.staged.delete(w);
+                Ok(())
+            }
+            None => Err(Ops5Error::Runtime(format!(
+                "remove of non-live wme (timetag {timetag})"
+            ))),
+        }
+    }
+
+    /// Changes currently staged and not yet flushed to the matcher.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Ships the staged batch to the matcher (one `submit` for everything
+    /// pending). Returns the number of changes submitted. Called
+    /// automatically by [`step`](Self::step) and [`settle`](Self::settle).
+    pub fn flush_staged(&mut self) -> usize {
+        if self.staged.is_empty() {
+            // An annihilated-to-empty batch still has conjugate pairs to
+            // account for; drop them silently (nothing to match).
+            self.staged.clear();
+            return 0;
+        }
+        let n = self.staged.len();
+        self.matcher.submit(&self.staged);
+        self.staged.clear();
+        n
+    }
+
+    /// Completes the match phase *without firing anything*: flushes staged
+    /// changes, blocks for matcher quiescence, and folds the conflict-set
+    /// deltas in. The non-blocking observation API — after `settle`,
+    /// [`conflict_set`](Self::conflict_set) reflects every submitted change
+    /// while working memory and the cycle count stay untouched.
+    ///
+    /// Returns the match statistics accumulated since the previous quiesce.
+    pub fn settle(&mut self) -> ops5::MatchStats {
+        self.flush_staged();
+        let report = self.matcher.quiesce();
+        self.cs.apply_all(report.cs_changes);
+        report.stats_delta
+    }
+
+    /// True once the lifetime cycle budget is exhausted.
+    pub fn budget_exhausted(&self) -> bool {
+        self.limits.max_cycles.is_some_and(|m| self.cycles >= m)
+    }
+
     /// Match + conflict-resolve + fire one production. Returns the fired
-    /// instantiation, or `None` at quiescence.
+    /// instantiation, or `None` at quiescence (or once halted / out of
+    /// cycle budget).
     pub fn step(&mut self) -> Result<Option<Instantiation>> {
-        if self.halted {
+        if self.halted || self.budget_exhausted() {
             return Ok(None);
         }
+        self.flush_staged();
         let report = self.matcher.quiesce();
         self.cs.apply_all(report.cs_changes);
         let winner = match cr::select(
@@ -293,6 +401,13 @@ impl Engine {
                 return Ok(RunResult {
                     cycles: self.cycles - start,
                     reason: StopReason::Halt,
+                });
+            }
+            if self.budget_exhausted() {
+                self.finish_output();
+                return Ok(RunResult {
+                    cycles: self.cycles - start,
+                    reason: StopReason::Budget,
                 });
             }
             if self.cycles - start >= max_cycles {
@@ -479,6 +594,64 @@ mod tests {
             let r = e.run(10).unwrap();
             assert_eq!(r.cycles, 0, "retracted before it could fire");
             assert!(e.retract(&w).is_err(), "double retract errors");
+        }
+    }
+
+    #[test]
+    fn staged_changes_invisible_until_settle() {
+        let src = "(p q (a ^x 1) --> (write fired (crlf)))";
+        for mut e in engines(src) {
+            let a = e.prog.symbols.intern("a");
+            let x1 = vec![Value::Int(1)];
+            e.stage(a, x1.clone()).unwrap();
+            assert_eq!(e.staged_len(), 1);
+            // The WME is live in WM but the conflict set is stale until a
+            // settle (or step) flushes the staged batch.
+            assert_eq!(e.wm().len(), 1);
+            assert_eq!(e.conflict_set().len(), 0);
+            e.settle();
+            assert_eq!(e.staged_len(), 0);
+            assert_eq!(e.conflict_set().len(), 1);
+            assert_eq!(e.cycles(), 0, "settle must not fire");
+            // A staged add + retract of the same element annihilates; the
+            // conflict set still empties because the first add went through.
+            let w = e.stage(a, x1.clone()).unwrap();
+            e.stage_retract(w.timetag).unwrap();
+            assert_eq!(e.staged_len(), 0);
+            let r = e.run(10).unwrap();
+            assert_eq!(r.cycles, 1, "only the settled element fires");
+        }
+    }
+
+    #[test]
+    fn wm_limit_enforced_on_checked_ingestion() {
+        let src = "(p q (a ^x 1) --> (halt))";
+        for mut e in engines(src) {
+            e.limits.max_wm = Some(2);
+            e.make_wme("a", &[("x", Value::Int(0))]).unwrap();
+            let a = e.prog.symbols.intern("a");
+            e.stage(a, vec![Value::Int(0)]).unwrap();
+            assert!(e.make_wme("a", &[("x", Value::Int(0))]).is_err());
+            assert!(e.stage(a, vec![Value::Int(0)]).is_err());
+        }
+    }
+
+    #[test]
+    fn cycle_budget_stops_run() {
+        let src = "(p spin (a ^x <v>) --> (modify 1 ^x (compute <v> + 1)))";
+        for mut e in engines(src) {
+            e.limits.max_cycles = Some(3);
+            e.make_wme("a", &[("x", Value::Int(0))]).unwrap();
+            let r = e.run(100).unwrap();
+            assert_eq!(r.reason, StopReason::Budget);
+            assert_eq!(r.cycles, 3);
+            assert!(e.budget_exhausted());
+            assert!(e.step().unwrap().is_none(), "budget blocks further steps");
+            // Raising the budget resumes the engine where it stopped.
+            e.limits.max_cycles = Some(5);
+            let r = e.run(100).unwrap();
+            assert_eq!(r.cycles, 2);
+            assert_eq!(r.reason, StopReason::Budget);
         }
     }
 

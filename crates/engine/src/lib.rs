@@ -27,6 +27,6 @@ pub mod wm;
 pub use builder::{EngineBuilder, MatcherKind};
 pub use cr::order_dominates;
 pub use cs::ConflictSet;
-pub use interp::{Engine, RunResult, StopReason};
+pub use interp::{Engine, EngineLimits, RunResult, StopReason};
 pub use rhs::{Instr, RhsProgram};
 pub use wm::WorkingMemory;

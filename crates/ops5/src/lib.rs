@@ -31,6 +31,7 @@ pub mod printer;
 pub mod program;
 pub mod symbol;
 pub mod value;
+pub mod wire;
 pub mod wme;
 
 pub use ast::{Action, AttrTest, CondElem, Production, RhsExpr, RhsValue, WriteItem};

@@ -105,6 +105,26 @@ impl ChangeBatch {
         b
     }
 
+    /// Fast path for a one-change batch: builds the single per-class group
+    /// directly, skipping the `class_index` and `pending_adds` bookkeeping
+    /// that [`push`](Self::push) maintains for grouping and conjugate-pair
+    /// annihilation — neither can apply to a lone change.
+    ///
+    /// The returned batch is intended for immediate submission. Pushing
+    /// further changes onto it stays *semantically* correct (the flattened
+    /// change order is preserved), but a second change of the same class
+    /// lands in a fresh group and a conjugate delete is not annihilated;
+    /// use [`from_change`](Self::from_change) when the batch will grow.
+    pub fn single(change: WmeChange) -> ChangeBatch {
+        ChangeBatch {
+            groups: vec![(change.wme.class, vec![change])],
+            class_index: HashMap::new(),
+            pending_adds: HashMap::new(),
+            annihilated: 0,
+            len: 1,
+        }
+    }
+
     /// Pushes one change, applying the coalescing rules above.
     pub fn push(&mut self, change: WmeChange) {
         let tag = change.wme.timetag;
@@ -399,9 +419,10 @@ pub trait Matcher: Send {
     /// immediately.
     fn submit(&mut self, batch: &ChangeBatch);
 
-    /// Convenience shim: submit a single change as a one-element batch.
+    /// Convenience shim: submit a single change as a one-element batch
+    /// (via the [`ChangeBatch::single`] fast path).
     fn submit_one(&mut self, change: WmeChange) {
-        self.submit(&ChangeBatch::from_change(change));
+        self.submit(&ChangeBatch::single(change));
     }
 
     /// Block until the match phase completes; drain and return the
@@ -592,5 +613,42 @@ mod tests {
         });
         assert_eq!(b.len(), 1);
         assert_eq!(b.group_count(), 1);
+    }
+
+    #[test]
+    fn single_matches_from_change_observably() {
+        for sign in [Sign::Plus, Sign::Minus] {
+            let c = WmeChange {
+                sign,
+                wme: wme(3, 9),
+            };
+            let fast = ChangeBatch::single(c.clone());
+            let slow = ChangeBatch::from_change(c);
+            assert_eq!(fast.len(), slow.len());
+            assert_eq!(fast.group_count(), slow.group_count());
+            assert_eq!(fast.annihilated(), slow.annihilated());
+            let f: Vec<(SymbolId, Sign, u64)> = fast
+                .iter()
+                .map(|c| (c.wme.class, c.sign, c.wme.timetag))
+                .collect();
+            let s: Vec<(SymbolId, Sign, u64)> = slow
+                .iter()
+                .map(|c| (c.wme.class, c.sign, c.wme.timetag))
+                .collect();
+            assert_eq!(f, s);
+        }
+    }
+
+    #[test]
+    fn pushing_onto_single_keeps_change_order() {
+        // Not the intended use, but must stay semantically sound: the
+        // flattened order still replays add-before-delete.
+        let mut b = ChangeBatch::single(WmeChange {
+            sign: Sign::Plus,
+            wme: wme(1, 1),
+        });
+        b.delete(wme(1, 1));
+        let flat: Vec<(Sign, u64)> = b.iter().map(|c| (c.sign, c.wme.timetag)).collect();
+        assert_eq!(flat, vec![(Sign::Plus, 1), (Sign::Minus, 1)]);
     }
 }

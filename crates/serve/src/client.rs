@@ -1,0 +1,188 @@
+//! Blocking client for the serve protocol — used by the load harness, the
+//! integration tests, and anyone scripting a server from Rust.
+//!
+//! [`Client::request`] is strictly request/reply. The raw
+//! [`send_line`](Client::send_line) / [`read_reply`](Client::read_reply)
+//! halves exist for pipelining: fire a burst of requests without reading,
+//! then drain the replies (the server guarantees reply order matches
+//! request order, with `BUSY`/`OVERLOADED` taking the rejected request's
+//! place).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A parsed reply, mirroring [`crate::protocol::Reply`] from the wire side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientReply {
+    Ok(String),
+    Multi { head: String, lines: Vec<String> },
+    Err(String),
+    Busy(String),
+    Overloaded(String),
+}
+
+impl ClientReply {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ClientReply::Ok(_) | ClientReply::Multi { .. })
+    }
+
+    /// True for the two backpressure rejections.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, ClientReply::Busy(_) | ClientReply::Overloaded(_))
+    }
+
+    /// Unwraps `OK <payload>`, turning anything else into an error string.
+    pub fn expect_ok(self) -> Result<String, String> {
+        match self {
+            ClientReply::Ok(s) => Ok(s),
+            other => Err(format!("expected OK, got {other:?}")),
+        }
+    }
+
+    /// Unwraps a multi-line reply's body lines.
+    pub fn expect_lines(self) -> Result<Vec<String>, String> {
+        match self {
+            ClientReply::Multi { lines, .. } => Ok(lines),
+            other => Err(format!("expected multi-line reply, got {other:?}")),
+        }
+    }
+}
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line (pipelining half; pair with
+    /// [`read_reply`](Self::read_reply)).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut s = String::new();
+        if self.reader.read_line(&mut s)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(s.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    /// Reads one reply (single- or multi-line).
+    pub fn read_reply(&mut self) -> io::Result<ClientReply> {
+        let head = self.read_line()?;
+        let (tag, rest) = match head.split_once(' ') {
+            Some((t, r)) => (t, r.to_string()),
+            None => (head.as_str(), String::new()),
+        };
+        match tag {
+            "OK" => Ok(ClientReply::Ok(rest)),
+            "ERR" => Ok(ClientReply::Err(rest)),
+            "BUSY" => Ok(ClientReply::Busy(rest)),
+            "OVERLOADED" => Ok(ClientReply::Overloaded(rest)),
+            _ => {
+                // Multi-line reply: `<KIND> <n>` then n lines then END.
+                let mut lines = Vec::new();
+                loop {
+                    let l = self.read_line()?;
+                    if l == "END" {
+                        break;
+                    }
+                    lines.push(l);
+                }
+                Ok(ClientReply::Multi { head, lines })
+            }
+        }
+    }
+
+    /// One request, one reply.
+    pub fn request(&mut self, line: &str) -> io::Result<ClientReply> {
+        self.send_line(line)?;
+        self.read_reply()
+    }
+
+    /// Opens a session on a registered program; returns the `OK` payload.
+    pub fn open(&mut self, program: &str, matcher: Option<&str>) -> io::Result<ClientReply> {
+        match matcher {
+            Some(m) => self.request(&format!("OPEN {program} {m}")),
+            None => self.request(&format!("OPEN {program}")),
+        }
+    }
+
+    /// Opens a session on inline OPS5 source.
+    pub fn open_source(&mut self, source: &str, matcher: Option<&str>) -> io::Result<ClientReply> {
+        let head = match matcher {
+            Some(m) => format!("OPEN - {m}"),
+            None => "OPEN -".to_string(),
+        };
+        self.send_line(&head)?;
+        for line in source.lines() {
+            self.send_line(line)?;
+        }
+        self.send_line("END")?;
+        self.read_reply()
+    }
+
+    /// Stages one WME; returns its timetag on success.
+    pub fn assert_wme(&mut self, body: &str) -> io::Result<Result<u64, ClientReply>> {
+        let reply = self.request(&format!("ASSERT {body}"))?;
+        Ok(match reply {
+            ClientReply::Ok(tag) => match tag.parse() {
+                Ok(t) => Ok(t),
+                Err(_) => Err(ClientReply::Err(format!("unparsable timetag `{tag}`"))),
+            },
+            other => Err(other),
+        })
+    }
+
+    pub fn retract(&mut self, timetag: u64) -> io::Result<ClientReply> {
+        self.request(&format!("RETRACT {timetag}"))
+    }
+
+    pub fn run(&mut self, cycles: u64) -> io::Result<ClientReply> {
+        self.request(&format!("RUN {cycles}"))
+    }
+
+    pub fn cs(&mut self) -> io::Result<ClientReply> {
+        self.request("CS?")
+    }
+
+    pub fn wm(&mut self, class: Option<&str>) -> io::Result<ClientReply> {
+        match class {
+            Some(c) => self.request(&format!("WM? {c}")),
+            None => self.request("WM?"),
+        }
+    }
+
+    pub fn stats(&mut self) -> io::Result<ClientReply> {
+        self.request("STATS?")
+    }
+
+    pub fn fired(&mut self) -> io::Result<ClientReply> {
+        self.request("FIRED?")
+    }
+
+    pub fn close(&mut self) -> io::Result<ClientReply> {
+        self.request("CLOSE")
+    }
+
+    pub fn shutdown(&mut self) -> io::Result<ClientReply> {
+        self.request("SHUTDOWN")
+    }
+}

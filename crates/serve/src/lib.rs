@@ -1,0 +1,245 @@
+//! # serve — a multi-session production-system server
+//!
+//! The paper parallelizes *one* OPS5 program across Multimax processors;
+//! this crate multiplexes *many* independent programs over a bounded worker
+//! pool, the complementary production-scale deployment shape: a
+//! recognize-act service where clients open sessions, stream working-memory
+//! changes, and run cycles over the wire.
+//!
+//! Layers, bottom up:
+//!
+//! * [`registry`] — named program profiles (`programs/*.ops` + the
+//!   generated Rubik workload); each `OPEN` builds a fresh, fully
+//!   independent [`engine::Engine`] (own symbol table, network, matcher).
+//! * [`session`] — the command executor around one engine. Ingestion is
+//!   staged: `ASSERT`/`RETRACT` take effect in working memory immediately
+//!   but reach the matcher as **one [`ops5::ChangeBatch`] per `RUN`**, the
+//!   batched-ingestion path the engine grew for this layer.
+//! * [`pool`] — a fixed worker-thread pool with actor-style scheduling
+//!   (one command per pop) and two-level backpressure: a full per-session
+//!   inbox replies `OVERLOADED`, a saturated global run queue replies
+//!   `BUSY`. Shutdown drains every queued command before workers exit.
+//! * [`server`] — the TCP front-end (`std::net` only): line protocol,
+//!   per-connection reader/writer threads, reply ordering under
+//!   pipelining, graceful `SHUTDOWN`.
+//! * [`client`] — a blocking client used by `bench`'s `serve_load` harness
+//!   and the integration tests.
+//!
+//! See [`protocol`] for the wire grammar.
+
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientReply};
+pub use pool::{Pool, PoolStats, SessionSlot, SubmitOutcome};
+pub use protocol::{parse_line, Line, Reply};
+pub use registry::{matcher_kind, ProgramSpec, Registry};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use session::{BatchItem, Command, Session};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end over a real socket: open, stage, run, inspect, close,
+    /// shut down.
+    #[test]
+    fn socket_roundtrip_and_shutdown() {
+        let mut cfg = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        cfg.programs_dir = None;
+        let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+        let mut c = Client::connect(handle.addr).unwrap();
+
+        let src = "(literalize item n)
+                   (literalize sum total)
+                   (p add (item ^n <n>) (sum ^total <t>)
+                      --> (remove 1) (modify 2 ^total (compute <t> + <n>)))";
+        let open = c
+            .open_source(src, Some("vs2"))
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        assert!(open.contains("matcher=seq"), "{open}");
+
+        c.request("ASSERT sum ^total 0")
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        let t1 = c.assert_wme("item ^n 3").unwrap().unwrap();
+        let t2 = c.assert_wme("item ^n 4").unwrap().unwrap();
+        assert!(t2 > t1);
+
+        let run = c.run(100).unwrap().expect_ok().unwrap();
+        assert!(run.contains("cycles=2"), "{run}");
+        assert!(run.contains("reason=quiescent"), "{run}");
+
+        let wm = c.wm(Some("sum")).unwrap().expect_lines().unwrap();
+        assert_eq!(wm.len(), 1);
+        assert!(wm[0].contains("^total 7"), "{wm:?}");
+
+        let fired = c.fired().unwrap().expect_lines().unwrap();
+        assert_eq!(fired.len(), 2);
+
+        c.close().unwrap().expect_ok().unwrap();
+        assert!(matches!(c.run(1).unwrap(), ClientReply::Err(_)));
+
+        c.shutdown().unwrap().expect_ok().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// Two connections get fully independent sessions of the same program.
+    #[test]
+    fn sessions_are_isolated() {
+        let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+            .unwrap()
+            .spawn();
+        let src = "(literalize x v)\n(p r (x ^v <v>) --> (remove 1))";
+        let mut a = Client::connect(handle.addr).unwrap();
+        let mut b = Client::connect(handle.addr).unwrap();
+        a.open_source(src, None).unwrap().expect_ok().unwrap();
+        b.open_source(src, None).unwrap().expect_ok().unwrap();
+        a.assert_wme("x ^v 1").unwrap().unwrap();
+        a.assert_wme("x ^v 2").unwrap().unwrap();
+        b.assert_wme("x ^v 9").unwrap().unwrap();
+        // A's staged elements are invisible to B.
+        let wm_b = b.wm(None).unwrap().expect_lines().unwrap();
+        assert_eq!(wm_b.len(), 1, "{wm_b:?}");
+        a.run(10).unwrap().expect_ok().unwrap();
+        let stats_b = b.stats().unwrap().expect_ok().unwrap();
+        assert!(stats_b.contains("cycles=0"), "{stats_b}");
+        let mut s = Client::connect(handle.addr).unwrap();
+        s.shutdown().unwrap().expect_ok().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// Pipelined requests come back in order, and protocol errors do not
+    /// desynchronize the stream.
+    #[test]
+    fn pipelined_replies_stay_ordered() {
+        // Deep inbox: this test wants ordering, not backpressure.
+        let cfg = ServeConfig {
+            queue_depth: 256,
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+        let mut c = Client::connect(handle.addr).unwrap();
+        c.open_source("(literalize x v)\n(p r (x ^v 0) --> (halt))", None)
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        for i in 0..20 {
+            c.send_line(&format!("ASSERT x ^v {i}")).unwrap();
+        }
+        c.send_line("FROBNICATE").unwrap();
+        c.send_line("STATS?").unwrap();
+        let mut tags = Vec::new();
+        for _ in 0..20 {
+            tags.push(
+                c.read_reply()
+                    .unwrap()
+                    .expect_ok()
+                    .unwrap()
+                    .parse::<u64>()
+                    .unwrap(),
+            );
+        }
+        assert!(tags.windows(2).all(|w| w[0] < w[1]), "{tags:?}");
+        assert!(matches!(c.read_reply().unwrap(), ClientReply::Err(_)));
+        let stats = c.read_reply().unwrap().expect_ok().unwrap();
+        assert!(stats.contains("staged=20"), "{stats}");
+        c.shutdown().unwrap().expect_ok().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// A `CLOSE` bounced by the run queue (`BUSY`) must leave the session
+    /// open so the retry can still close it — regression test for the slot
+    /// being dropped before the pool accepted the command.
+    #[test]
+    fn close_survives_busy_rejection() {
+        let cfg = ServeConfig {
+            workers: 1,
+            run_queue_cap: 1,
+            queue_depth: 4,
+            max_cycles_per_run: 200_000,
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+        let spin = "(literalize c n)\n(p spin (c ^n <n>) --> (modify 1 ^n (compute <n> + 1)))";
+
+        // Wedge the only worker on a long spin run...
+        let mut a = Client::connect(handle.addr).unwrap();
+        a.open_source(spin, Some("vs2"))
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        a.assert_wme("c ^n 0").unwrap().unwrap();
+        a.send_line("RUN 200000").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        // ...and fill the (capacity-1) run queue with a second session's
+        // pending command, pipelined so this thread does not block on it.
+        let mut filler = Client::connect(handle.addr).unwrap();
+        filler
+            .open_source(spin, Some("vs2"))
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        filler.send_line("ASSERT c ^n 0").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        // CLOSE now gets BUSY; the retry must find the session still open.
+        let mut b = Client::connect(handle.addr).unwrap();
+        b.open_source(spin, Some("vs2"))
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        let mut busy = 0;
+        loop {
+            match b.request("CLOSE").unwrap() {
+                ClientReply::Ok(_) => break,
+                r if r.is_backpressure() => {
+                    busy += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                other => panic!("CLOSE must never error across BUSY: {other:?}"),
+            }
+        }
+        assert!(busy > 0, "run queue never saturated; wedge too short");
+
+        a.read_reply().unwrap().expect_ok().unwrap();
+        filler.read_reply().unwrap().expect_ok().unwrap();
+        b.shutdown().unwrap().expect_ok().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// BATCH stages everything as one command and replies once.
+    #[test]
+    fn batch_is_one_command() {
+        let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+            .unwrap()
+            .spawn();
+        let mut c = Client::connect(handle.addr).unwrap();
+        c.open_source("(literalize x v)\n(p r (x ^v <v>) --> (remove 1))", None)
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        c.send_line("BATCH").unwrap();
+        for i in 0..5 {
+            c.send_line(&format!("ASSERT x ^v {i}")).unwrap();
+        }
+        c.send_line("END").unwrap();
+        let reply = c.read_reply().unwrap().expect_ok().unwrap();
+        assert!(reply.starts_with("5 "), "{reply}");
+        let run = c.run(100).unwrap().expect_ok().unwrap();
+        assert!(run.contains("cycles=5"), "{run}");
+        c.shutdown().unwrap().expect_ok().unwrap();
+        handle.join().unwrap();
+    }
+}

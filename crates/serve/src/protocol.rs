@@ -1,0 +1,213 @@
+//! The wire protocol: line-oriented text, one request per line.
+//!
+//! ```text
+//! OPEN <program> [matcher]   open a session on a registered program
+//! OPEN - [matcher]           ... on inline source (lines follow, then END)
+//! ASSERT <class ^attr v ...> stage one WME               -> OK <timetag>
+//! RETRACT <timetag>          stage one retraction        -> OK <timetag>
+//! BATCH                      begin a multi-line batch (ASSERT/RETRACT
+//! ...                        lines), closed by END       -> OK <n> <tags>
+//! RUN <n>                    flush staged changes as one batch, fire up
+//!                            to n cycles (0 = match-only settle)
+//! CS?                        conflict set                -> CS <n> ... END
+//! WM? [class]                working memory              -> WM <n> ... END
+//! FIRED?                     firing log                  -> FIRED <n> ... END
+//! STATS?                     session statistics          -> OK k=v ...
+//! CLOSE                      close the session
+//! SHUTDOWN                   drain and stop the whole server
+//! ```
+//!
+//! Every request gets exactly one reply, in request order. Single-line
+//! replies are `OK ...`, `ERR ...`, or the backpressure pair `BUSY ...`
+//! (server-wide run queue saturated — retry later) and `OVERLOADED ...`
+//! (this session's command queue is full — drain replies first).
+//! Multi-line replies open with `<KIND> <count>` and close with `END`.
+
+use std::fmt;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// `OPEN <program> [matcher]`; a program of `-` introduces inline
+    /// source terminated by `END`.
+    Open {
+        program: String,
+        matcher: Option<String>,
+    },
+    Assert(String),
+    Retract(u64),
+    BatchStart,
+    /// Terminates a `BATCH` or an inline `OPEN -` body.
+    End,
+    Run(u64),
+    Cs,
+    Wm(Option<String>),
+    Stats,
+    Fired,
+    Close,
+    Shutdown,
+}
+
+/// Parses one request line (already stripped of the newline).
+pub fn parse_line(line: &str) -> Result<Line, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let no_arg = |l: Line| {
+        if rest.is_empty() {
+            Ok(l)
+        } else {
+            Err(format!("{verb} takes no argument"))
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "OPEN" => {
+            let mut parts = rest.split_whitespace();
+            let program = parts
+                .next()
+                .ok_or_else(|| "OPEN needs a program name (or `-`)".to_string())?
+                .to_string();
+            let matcher = parts.next().map(|s| s.to_string());
+            if parts.next().is_some() {
+                return Err("OPEN takes at most two arguments".into());
+            }
+            Ok(Line::Open { program, matcher })
+        }
+        "ASSERT" => {
+            if rest.is_empty() {
+                Err("ASSERT needs a WME body".into())
+            } else {
+                Ok(Line::Assert(rest.to_string()))
+            }
+        }
+        "RETRACT" => rest
+            .parse::<u64>()
+            .map(Line::Retract)
+            .map_err(|_| format!("RETRACT needs a timetag, got `{rest}`")),
+        "BATCH" => no_arg(Line::BatchStart),
+        "END" => no_arg(Line::End),
+        "RUN" => rest
+            .parse::<u64>()
+            .map(Line::Run)
+            .map_err(|_| format!("RUN needs a cycle count, got `{rest}`")),
+        "CS?" => no_arg(Line::Cs),
+        "WM?" => Ok(Line::Wm(if rest.is_empty() {
+            None
+        } else {
+            Some(rest.to_string())
+        })),
+        "STATS?" => no_arg(Line::Stats),
+        "FIRED?" => no_arg(Line::Fired),
+        "CLOSE" => no_arg(Line::Close),
+        "SHUTDOWN" => no_arg(Line::Shutdown),
+        "" => Err("empty request".into()),
+        other => Err(format!("unknown request `{other}`")),
+    }
+}
+
+/// One reply, ready to serialize. The `Busy`/`Overloaded` variants are the
+/// protocol's backpressure signals and are never folded into `Err`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    Ok(String),
+    /// Multi-line reply: `<head>\n` + one line per item + `END\n`.
+    Multi {
+        head: String,
+        lines: Vec<String>,
+    },
+    Err(String),
+    Busy(String),
+    Overloaded(String),
+}
+
+impl Reply {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Ok(_) | Reply::Multi { .. })
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reply::Ok(s) => writeln!(f, "OK {s}"),
+            Reply::Multi { head, lines } => {
+                writeln!(f, "{head}")?;
+                for l in lines {
+                    writeln!(f, "{l}")?;
+                }
+                writeln!(f, "END")
+            }
+            Reply::Err(s) => writeln!(f, "ERR {s}"),
+            Reply::Busy(s) => writeln!(f, "BUSY {s}"),
+            Reply::Overloaded(s) => writeln!(f, "OVERLOADED {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_line("OPEN rubik"),
+            Ok(Line::Open {
+                program: "rubik".into(),
+                matcher: None
+            })
+        );
+        assert_eq!(
+            parse_line("open - psm"),
+            Ok(Line::Open {
+                program: "-".into(),
+                matcher: Some("psm".into())
+            })
+        );
+        assert_eq!(
+            parse_line("ASSERT block ^name a"),
+            Ok(Line::Assert("block ^name a".into()))
+        );
+        assert_eq!(parse_line("RETRACT 17"), Ok(Line::Retract(17)));
+        assert_eq!(parse_line("BATCH"), Ok(Line::BatchStart));
+        assert_eq!(parse_line("END"), Ok(Line::End));
+        assert_eq!(parse_line("RUN 100"), Ok(Line::Run(100)));
+        assert_eq!(parse_line("CS?"), Ok(Line::Cs));
+        assert_eq!(parse_line("WM?"), Ok(Line::Wm(None)));
+        assert_eq!(parse_line("WM? block"), Ok(Line::Wm(Some("block".into()))));
+        assert_eq!(parse_line("STATS?"), Ok(Line::Stats));
+        assert_eq!(parse_line("FIRED?"), Ok(Line::Fired));
+        assert_eq!(parse_line("CLOSE"), Ok(Line::Close));
+        assert_eq!(parse_line("SHUTDOWN"), Ok(Line::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("FROB").is_err());
+        assert!(parse_line("RUN").is_err());
+        assert!(parse_line("RUN x").is_err());
+        assert!(parse_line("RETRACT -3").is_err());
+        assert!(parse_line("ASSERT").is_err());
+        assert!(parse_line("OPEN").is_err());
+        assert!(parse_line("CLOSE now").is_err());
+    }
+
+    #[test]
+    fn reply_serialization() {
+        assert_eq!(Reply::Ok("17".into()).to_string(), "OK 17\n");
+        assert_eq!(Reply::Err("nope".into()).to_string(), "ERR nope\n");
+        assert_eq!(Reply::Busy("q".into()).to_string(), "BUSY q\n");
+        assert_eq!(
+            Reply::Overloaded("full".into()).to_string(),
+            "OVERLOADED full\n"
+        );
+        let m = Reply::Multi {
+            head: "CS 2".into(),
+            lines: vec!["p1 1 2".into(), "p2 3".into()],
+        };
+        assert_eq!(m.to_string(), "CS 2\np1 1 2\np2 3\nEND\n");
+    }
+}

@@ -1,0 +1,174 @@
+//! The program registry: named production-system profiles a session can be
+//! opened on.
+//!
+//! A [`ProgramSpec`] is source plus initial working memory; building one
+//! yields a fresh, independent [`Engine`] (own symbol table, own network,
+//! own matcher threads). [`Registry::with_builtins`] loads every `*.ops`
+//! file from a corpus directory under its file stem, plus the generated
+//! `rubik` workload, so the server's sessions exercise both hand-written
+//! corpus programs and the paper's benchmark generator.
+
+use engine::{Engine, EngineBuilder, EngineLimits, MatcherKind};
+use ops5::{Result, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+use workloads::{SetupVal, SetupWme};
+
+/// A named program profile: OPS5 source plus initial working memory.
+pub struct ProgramSpec {
+    pub source: String,
+    pub setup: Vec<SetupWme>,
+}
+
+impl ProgramSpec {
+    pub fn from_source(source: impl Into<String>) -> ProgramSpec {
+        ProgramSpec {
+            source: source.into(),
+            setup: Vec::new(),
+        }
+    }
+
+    /// Builds a fresh engine for this spec: parse, compile, install the
+    /// matcher, load the source's startup forms, then the setup WMEs.
+    pub fn build(&self, kind: MatcherKind, limits: EngineLimits) -> Result<Engine> {
+        let mut eng = EngineBuilder::from_source(&self.source)?
+            .matcher(kind)
+            .limits(limits)
+            .build()?;
+        eng.load_startup()?;
+        for wme in &self.setup {
+            let sets: Vec<(String, Value)> = wme
+                .sets
+                .iter()
+                .map(|(a, v)| {
+                    let val = match v {
+                        SetupVal::Sym(s) => eng.sym(s),
+                        SetupVal::Int(i) => Value::Int(*i),
+                    };
+                    (a.clone(), val)
+                })
+                .collect();
+            let set_refs: Vec<(&str, Value)> = sets.iter().map(|(a, v)| (a.as_str(), *v)).collect();
+            eng.make_wme(&wme.class, &set_refs)?;
+        }
+        Ok(eng)
+    }
+}
+
+/// Named program profiles available to `OPEN`.
+#[derive(Default)]
+pub struct Registry {
+    specs: BTreeMap<String, ProgramSpec>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Loads every `*.ops` file under `programs_dir` (keyed by file stem)
+    /// plus the generated `rubik` benchmark workload. Unreadable files are
+    /// skipped — a server must come up even on a partial corpus.
+    pub fn with_builtins(programs_dir: Option<&Path>) -> Registry {
+        let mut reg = Registry::new();
+        if let Some(dir) = programs_dir {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for e in entries.flatten() {
+                    let path = e.path();
+                    if path.extension().is_some_and(|x| x == "ops") {
+                        if let (Some(stem), Ok(src)) = (
+                            path.file_stem().and_then(|s| s.to_str()),
+                            std::fs::read_to_string(&path),
+                        ) {
+                            reg.insert(stem, ProgramSpec::from_source(src));
+                        }
+                    }
+                }
+            }
+        }
+        let rubik = workloads::rubik::workload(workloads::rubik::RubikConfig {
+            seed: 3,
+            scramble_len: 5,
+            plan: workloads::rubik::PlanMode::Inverse,
+        });
+        reg.insert(
+            "rubik",
+            ProgramSpec {
+                source: rubik.source,
+                setup: rubik.setup,
+            },
+        );
+        reg
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, spec: ProgramSpec) {
+        self.specs.insert(name.into(), spec);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&ProgramSpec> {
+        self.specs.get(name)
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// Maps a protocol matcher name to a [`MatcherKind`]. The `psm` engine gets
+/// one match process: the server multiplexes many sessions over few cores,
+/// so parallelism lives across sessions, not inside one matcher.
+pub fn matcher_kind(name: &str) -> std::result::Result<MatcherKind, String> {
+    match name {
+        "vs1" => Ok(MatcherKind::Vs1),
+        "vs2" => Ok(MatcherKind::Vs2(rete::HashMemConfig::default())),
+        "lisp" => Ok(MatcherKind::Lisp),
+        "psm" => Ok(MatcherKind::Psm(psm::PsmConfig {
+            match_processes: 1,
+            ..psm::PsmConfig::default()
+        })),
+        other => Err(format!("unknown matcher `{other}` (want vs1|vs2|lisp|psm)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_rubik_and_builds_it() {
+        let reg = Registry::with_builtins(None);
+        assert_eq!(reg.names(), vec!["rubik"]);
+        let mut eng = reg
+            .get("rubik")
+            .unwrap()
+            .build(MatcherKind::default(), EngineLimits::default())
+            .unwrap();
+        assert!(eng.wm().len() > 50, "cube facelets loaded");
+        let r = eng.run(10_000).unwrap();
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn corpus_dir_is_loaded_by_stem() {
+        let dir = std::env::temp_dir().join("serve-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("tiny.ops"),
+            "(literalize a x)\n(p r (a ^x 1) --> (halt))",
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let reg = Registry::with_builtins(Some(&dir));
+        assert!(reg.get("tiny").is_some());
+        assert!(reg.get("notes").is_none());
+        assert!(reg.get("rubik").is_some());
+    }
+
+    #[test]
+    fn matcher_names_resolve() {
+        for name in ["vs1", "vs2", "lisp", "psm"] {
+            assert!(matcher_kind(name).is_ok(), "{name}");
+        }
+        assert!(matcher_kind("frob").is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! The TCP front-end: accept loop, per-connection reader/writer threads,
+//! and the command framing between the wire and the worker pool.
+//!
+//! Each connection gets a reader thread (parses lines, frames `BATCH` and
+//! inline `OPEN -` bodies, submits commands) and a writer thread. Replies
+//! must arrive in request order even though commands execute on pool
+//! workers, so the reader pushes a one-shot reply channel onto the writer's
+//! queue *before* submitting; rejected submissions (`BUSY`/`OVERLOADED`)
+//! are answered by the reader itself through the same one-shot, which keeps
+//! the order intact under pipelining.
+//!
+//! Shutdown: `SHUTDOWN` (or [`ServerHandle`] dropping the listener via a
+//! self-connection) stops the accept loop, readers notice the stop flag at
+//! their next read timeout, and the pool drains every queued command before
+//! its workers exit.
+
+use crate::pool::{Pool, PoolStats, SessionSlot, SubmitOutcome};
+use crate::protocol::{parse_line, Line, Reply};
+use crate::registry::{matcher_kind, ProgramSpec, Registry};
+use crate::session::{BatchItem, Command, Session};
+use engine::{EngineLimits, MatcherKind};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked reads wake up to check the stop flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Server tuning knobs.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing session commands.
+    pub workers: usize,
+    /// Per-session inbox depth; overflow replies `OVERLOADED`.
+    pub queue_depth: usize,
+    /// Global run-queue capacity; overflow replies `BUSY`.
+    pub run_queue_cap: usize,
+    /// `RUN n` is clamped to this many cycles per command.
+    pub max_cycles_per_run: u64,
+    /// Per-session engine limits (working-memory size, lifetime cycles).
+    pub limits: EngineLimits,
+    /// Matcher used when `OPEN` names none.
+    pub matcher: MatcherKind,
+    /// Corpus directory for [`Registry::with_builtins`].
+    pub programs_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 16,
+            run_queue_cap: 1024,
+            max_cycles_per_run: 10_000,
+            limits: EngineLimits::default(),
+            matcher: MatcherKind::default(),
+            programs_dir: None,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    registry: Registry,
+    pool: Pool,
+    stop: AtomicBool,
+    next_session: AtomicU64,
+    addr: SocketAddr,
+}
+
+/// A bound server, ready to [`run`](Server::run) or [`spawn`](Server::spawn).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Handle to a spawned server: its address plus the accept-loop thread.
+pub struct ServerHandle {
+    pub addr: SocketAddr,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Waits for the server to shut down (a client must send `SHUTDOWN`).
+    pub fn join(self) -> io::Result<()> {
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+impl Server {
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Registry::with_builtins(cfg.programs_dir.as_deref());
+        let pool = Pool::new(cfg.workers, cfg.queue_depth, cfg.run_queue_cap);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                registry,
+                pool,
+                stop: AtomicBool::new(false),
+                next_session: AtomicU64::new(1),
+                addr,
+            }),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Accept loop; returns after a `SHUTDOWN`, once every connection has
+    /// wound down and the pool has drained.
+    pub fn run(self) -> io::Result<()> {
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let shared = self.shared.clone();
+            conns.push(std::thread::spawn(move || handle_conn(stream, &shared)));
+            // Opportunistically reap finished connections so a long-lived
+            // server does not accumulate handles.
+            conns.retain(|h| !h.is_finished());
+        }
+        for h in conns {
+            let _ = h.join();
+        }
+        self.shared.pool.shutdown();
+        Ok(())
+    }
+
+    /// Runs the accept loop on its own thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.shared.addr;
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle { addr, join }
+    }
+
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
+    }
+}
+
+/// Timeout-aware line reader over the raw stream. `BufReader::read_line`
+/// may leave partial data in an unspecified state across timeouts, so the
+/// buffer is owned here and survives `WouldBlock` ticks intact.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> io::Result<LineReader> {
+        stream.set_read_timeout(Some(READ_TICK))?;
+        Ok(LineReader {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Next full line (without terminator), `None` on EOF or server stop.
+    fn next_line(&mut self, stop: &AtomicBool) -> Option<String> {
+        loop {
+            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = self.buf.drain(..=i).collect();
+                let s = String::from_utf8_lossy(&raw);
+                return Some(s.trim_end_matches(['\n', '\r']).to_string());
+            }
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = match LineReader::new(stream) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+
+    // Reply channels queue up here in request order; the writer resolves
+    // them one at a time, so slow commands never reorder replies.
+    let (writer_tx, writer_rx) = mpsc::channel::<mpsc::Receiver<Reply>>();
+    let writer = std::thread::spawn(move || {
+        let mut out = io::BufWriter::new(write_half);
+        for rx in writer_rx {
+            let Ok(reply) = rx.recv() else { continue };
+            if out.write_all(reply.to_string().as_bytes()).is_err() || out.flush().is_err() {
+                break;
+            }
+        }
+    });
+
+    conn_loop(&mut reader, shared, &writer_tx);
+    // Dropping the queue ends the writer once every queued reply flushed.
+    drop(writer_tx);
+    let _ = writer.join();
+}
+
+type ReplyQueue = mpsc::Sender<mpsc::Receiver<Reply>>;
+
+/// Answers a request on the spot, still through the ordered writer queue.
+fn send_direct(writer_tx: &ReplyQueue, reply: Reply) {
+    let (tx, rx) = mpsc::sync_channel(1);
+    let _ = tx.send(reply);
+    let _ = writer_tx.send(rx);
+}
+
+/// Queues a command; on rejection the backpressure reply takes the
+/// command's reserved place in the writer queue. Returns whether the pool
+/// actually accepted the command.
+fn submit(writer_tx: &ReplyQueue, shared: &Shared, slot: &Arc<SessionSlot>, cmd: Command) -> bool {
+    let (tx, rx) = mpsc::sync_channel(1);
+    let _ = writer_tx.send(rx);
+    let reject = match shared.pool.submit(slot, cmd, tx.clone()) {
+        SubmitOutcome::Accepted => None,
+        SubmitOutcome::Busy => Some(Reply::Busy("run queue full; retry".into())),
+        SubmitOutcome::Overloaded => Some(Reply::Overloaded(
+            "session queue full; drain replies".into(),
+        )),
+        SubmitOutcome::ShuttingDown => Some(Reply::Err("server shutting down".into())),
+    };
+    match reject {
+        Some(r) => {
+            let _ = tx.send(r);
+            false
+        }
+        None => true,
+    }
+}
+
+fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQueue) {
+    let mut slot: Option<Arc<SessionSlot>> = None;
+    while let Some(line) = reader.next_line(&shared.stop) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match parse_line(&line) {
+            Ok(l) => l,
+            Err(e) => {
+                send_direct(writer_tx, Reply::Err(e));
+                continue;
+            }
+        };
+        match parsed {
+            Line::Open { program, matcher } => {
+                if slot.is_some() {
+                    send_direct(
+                        writer_tx,
+                        Reply::Err("session already open (CLOSE first)".into()),
+                    );
+                    // An inline body would follow; we cannot know, so leave
+                    // it to parse as commands and fail loudly.
+                    continue;
+                }
+                let kind = match matcher.as_deref().map(matcher_kind).transpose() {
+                    Ok(k) => k.unwrap_or_else(|| shared.cfg.matcher.clone()),
+                    Err(e) => {
+                        send_direct(writer_tx, Reply::Err(e));
+                        continue;
+                    }
+                };
+                let inline;
+                let spec: &ProgramSpec = if program == "-" {
+                    let mut src = String::new();
+                    loop {
+                        match reader.next_line(&shared.stop) {
+                            Some(l) if l.trim().eq_ignore_ascii_case("END") => break,
+                            Some(l) => {
+                                src.push_str(&l);
+                                src.push('\n');
+                            }
+                            None => return,
+                        }
+                    }
+                    inline = ProgramSpec::from_source(src);
+                    &inline
+                } else {
+                    match shared.registry.get(&program) {
+                        Some(s) => s,
+                        None => {
+                            send_direct(
+                                writer_tx,
+                                Reply::Err(format!(
+                                    "unknown program `{program}` (have: {})",
+                                    shared.registry.names().join(" ")
+                                )),
+                            );
+                            continue;
+                        }
+                    }
+                };
+                match spec.build(kind, shared.cfg.limits) {
+                    Ok(engine) => {
+                        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                        let name = engine.matcher().name().to_string();
+                        let session =
+                            Session::new(id, &program, engine, shared.cfg.max_cycles_per_run);
+                        slot = Some(SessionSlot::new(session));
+                        send_direct(
+                            writer_tx,
+                            Reply::Ok(format!("session {id} program={program} matcher={name}")),
+                        );
+                    }
+                    Err(e) => send_direct(writer_tx, Reply::Err(e.to_string())),
+                }
+            }
+            Line::BatchStart => {
+                let mut items = Vec::new();
+                let reply = loop {
+                    match reader.next_line(&shared.stop) {
+                        Some(l) if l.trim().is_empty() => continue,
+                        Some(l) => match parse_line(&l) {
+                            Ok(Line::Assert(body)) => items.push(BatchItem::Assert(body)),
+                            Ok(Line::Retract(tag)) => items.push(BatchItem::Retract(tag)),
+                            Ok(Line::End) => break None,
+                            Ok(other) => {
+                                break Some(Reply::Err(format!(
+                                    "only ASSERT/RETRACT allowed in BATCH, got {other:?}"
+                                )))
+                            }
+                            Err(e) => break Some(Reply::Err(format!("in BATCH: {e}"))),
+                        },
+                        None => return,
+                    }
+                };
+                match (reply, &slot) {
+                    (Some(err), _) => send_direct(writer_tx, err),
+                    (None, Some(s)) => {
+                        submit(writer_tx, shared, s, Command::Batch(items));
+                    }
+                    (None, None) => send_direct(writer_tx, Reply::Err("no open session".into())),
+                }
+            }
+            Line::End => send_direct(writer_tx, Reply::Err("END outside BATCH".into())),
+            Line::Shutdown => {
+                send_direct(writer_tx, Reply::Ok("shutting down".into()));
+                shared.stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it can observe the flag.
+                let _ = TcpStream::connect(shared.addr);
+                break;
+            }
+            Line::Close => match &slot {
+                // Release the slot only once the pool has the command: a
+                // rejected CLOSE (`BUSY`) must leave the session open so the
+                // client's retry still has something to close.
+                Some(s) => {
+                    if submit(writer_tx, shared, s, Command::Close) {
+                        slot = None;
+                    }
+                }
+                None => send_direct(writer_tx, Reply::Err("no open session".into())),
+            },
+            session_cmd => {
+                let cmd = match session_cmd {
+                    Line::Assert(body) => Command::Assert(body),
+                    Line::Retract(tag) => Command::Retract(tag),
+                    Line::Run(n) => Command::Run(n),
+                    Line::Cs => Command::Cs,
+                    Line::Wm(class) => Command::Wm(class),
+                    Line::Stats => Command::Stats,
+                    Line::Fired => Command::Fired,
+                    // Open/BatchStart/End/Shutdown/Close handled above.
+                    _ => unreachable!(),
+                };
+                match &slot {
+                    Some(s) => {
+                        submit(writer_tx, shared, s, cmd);
+                    }
+                    None => send_direct(writer_tx, Reply::Err("no open session".into())),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! One session: a protocol command executor wrapped around an [`Engine`].
+//!
+//! Ingestion is *staged*: `ASSERT`/`RETRACT` enter working memory
+//! immediately (timetags are handed back synchronously) but the matcher
+//! only sees them when a `RUN` flushes the session's pending changes as a
+//! single [`ops5::ChangeBatch`] — the serve layer's batched-ingestion
+//! contract. `RUN 0` is a match-only settle; `RUN n` is clamped to the
+//! server's per-command cycle limit so one session cannot monopolize a
+//! worker.
+
+use crate::protocol::Reply;
+use engine::{Engine, StopReason};
+use ops5::wire;
+
+/// One staged change inside a `BATCH ... END` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchItem {
+    Assert(String),
+    Retract(u64),
+}
+
+/// A queued session command (the post-parse, post-framing form of
+/// [`crate::protocol::Line`]: batches are assembled, session-control verbs
+/// are resolved by the connection layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    Assert(String),
+    Retract(u64),
+    Batch(Vec<BatchItem>),
+    Run(u64),
+    Cs,
+    Wm(Option<String>),
+    Stats,
+    Fired,
+    Close,
+}
+
+/// A live session: an engine plus its protocol identity.
+pub struct Session {
+    pub id: u64,
+    /// Program name the session was opened on.
+    pub program: String,
+    engine: Engine,
+    max_cycles_per_run: u64,
+    closed: bool,
+}
+
+fn reason_str(r: StopReason) -> &'static str {
+    match r {
+        StopReason::Halt => "halt",
+        StopReason::Quiescent => "quiescent",
+        StopReason::CycleLimit => "limit",
+        StopReason::Budget => "budget",
+    }
+}
+
+impl Session {
+    pub fn new(
+        id: u64,
+        program: impl Into<String>,
+        engine: Engine,
+        max_cycles_per_run: u64,
+    ) -> Session {
+        Session {
+            id,
+            program: program.into(),
+            engine,
+            max_cycles_per_run: max_cycles_per_run.max(1),
+            closed: false,
+        }
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Direct engine access for differential checks in tests and the load
+    /// harness.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn stage_assert(&mut self, body: &str) -> Result<u64, String> {
+        let prog = &mut self.engine.prog;
+        let (class, fields) = wire::parse_wme_text(body, &mut prog.symbols, &prog.classes)
+            .map_err(|e| e.to_string())?;
+        self.engine
+            .stage(class, fields)
+            .map(|w| w.timetag)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Executes one command against the engine, producing exactly one reply.
+    pub fn execute(&mut self, cmd: Command) -> Reply {
+        if self.closed {
+            return Reply::Err("session is closed".into());
+        }
+        match cmd {
+            Command::Assert(body) => match self.stage_assert(&body) {
+                Ok(tag) => Reply::Ok(tag.to_string()),
+                Err(e) => Reply::Err(e),
+            },
+            Command::Retract(tag) => match self.engine.stage_retract(tag) {
+                Ok(()) => Reply::Ok(tag.to_string()),
+                Err(e) => Reply::Err(e.to_string()),
+            },
+            Command::Batch(items) => {
+                let total = items.len();
+                let mut tags = Vec::new();
+                for (i, item) in items.into_iter().enumerate() {
+                    let res = match item {
+                        BatchItem::Assert(body) => self.stage_assert(&body),
+                        BatchItem::Retract(tag) => self
+                            .engine
+                            .stage_retract(tag)
+                            .map(|()| tag)
+                            .map_err(|e| e.to_string()),
+                    };
+                    match res {
+                        Ok(tag) => tags.push(tag.to_string()),
+                        Err(e) => return Reply::Err(format!("batch item {i}: {e}")),
+                    }
+                }
+                Reply::Ok(format!("{total} {}", tags.join(" ")))
+            }
+            Command::Run(n) => {
+                if n == 0 {
+                    self.engine.settle();
+                    return Reply::Ok(format!(
+                        "cycles=0 reason=settled total={} cs={}",
+                        self.engine.cycles(),
+                        self.engine.conflict_set().len()
+                    ));
+                }
+                let clamped = n.min(self.max_cycles_per_run);
+                match self.engine.run(clamped) {
+                    Ok(res) => {
+                        // Leave the conflict set current even when the run
+                        // stopped on a limit mid-stream.
+                        self.engine.settle();
+                        Reply::Ok(format!(
+                            "cycles={} reason={} total={} cs={}",
+                            res.cycles,
+                            reason_str(res.reason),
+                            self.engine.cycles(),
+                            self.engine.conflict_set().len()
+                        ))
+                    }
+                    Err(e) => Reply::Err(e.to_string()),
+                }
+            }
+            Command::Cs => {
+                self.engine.settle();
+                let keys = self.engine.conflict_set().sorted_keys();
+                let lines: Vec<String> = keys
+                    .iter()
+                    .map(|(p, tags)| {
+                        let tag_s: Vec<String> = tags.iter().map(|t| t.to_string()).collect();
+                        format!("{} {}", self.engine.prog.prod_name(*p), tag_s.join(" "))
+                    })
+                    .collect();
+                Reply::Multi {
+                    head: format!("CS {}", lines.len()),
+                    lines,
+                }
+            }
+            Command::Wm(class) => {
+                let class_id = match class {
+                    None => None,
+                    Some(name) => match self.engine.prog.symbols.get(&name) {
+                        Some(id) => Some(id),
+                        None => return Reply::Err(format!("unknown class `{name}`")),
+                    },
+                };
+                let mut wmes: Vec<_> = self
+                    .engine
+                    .wm()
+                    .iter()
+                    .filter(|w| class_id.is_none_or(|c| w.class == c))
+                    .cloned()
+                    .collect();
+                wmes.sort_by_key(|w| w.timetag);
+                let prog = &self.engine.prog;
+                let lines: Vec<String> = wmes
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            "{} {}",
+                            w.timetag,
+                            wire::print_wme(w, &prog.symbols, &prog.classes)
+                        )
+                    })
+                    .collect();
+                Reply::Multi {
+                    head: format!("WM {}", lines.len()),
+                    lines,
+                }
+            }
+            Command::Stats => {
+                let ms = self.engine.match_stats();
+                Reply::Ok(format!(
+                    "program={} matcher={} cycles={} wm={} cs={} staged={} wme-changes={} activations={}",
+                    self.program,
+                    self.engine.matcher().name(),
+                    self.engine.cycles(),
+                    self.engine.wm().len(),
+                    self.engine.conflict_set().len(),
+                    self.engine.staged_len(),
+                    ms.wme_changes,
+                    ms.activations
+                ))
+            }
+            Command::Fired => {
+                let lines: Vec<String> = self
+                    .engine
+                    .fired_log()
+                    .iter()
+                    .map(|(p, tags)| {
+                        let tag_s: Vec<String> = tags.iter().map(|t| t.to_string()).collect();
+                        format!("{} {}", self.engine.prog.prod_name(*p), tag_s.join(" "))
+                    })
+                    .collect();
+                Reply::Multi {
+                    head: format!("FIRED {}", lines.len()),
+                    lines,
+                }
+            }
+            Command::Close => {
+                self.closed = true;
+                Reply::Ok(format!("closed cycles={}", self.engine.cycles()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{EngineBuilder, EngineLimits, MatcherKind};
+
+    const SRC: &str = "(literalize item n)
+                       (literalize sum total)
+                       (p add (item ^n <n>) (sum ^total <t>)
+                          --> (remove 1) (modify 2 ^total (compute <t> + <n>)))
+                       (p report (sum ^total <t>) - (item)
+                          --> (write sum is <t> (crlf)) (halt))";
+
+    fn session(max_per_run: u64) -> Session {
+        let mut eng = EngineBuilder::from_source(SRC)
+            .unwrap()
+            .matcher(MatcherKind::default())
+            .build()
+            .unwrap();
+        eng.make_wme("sum", &[("total", ops5::Value::Int(0))])
+            .unwrap();
+        Session::new(1, "adder", eng, max_per_run)
+    }
+
+    #[test]
+    fn assert_run_cs_roundtrip() {
+        let mut s = session(1000);
+        let r = s.execute(Command::Assert("item ^n 3".into()));
+        assert!(matches!(r, Reply::Ok(_)), "{r:?}");
+        let r = s.execute(Command::Assert("item ^n 4".into()));
+        assert!(r.is_ok());
+        // Staged, not yet matched: CS? settles and sees the pending adds.
+        match s.execute(Command::Cs) {
+            Reply::Multi { head, lines } => {
+                assert_eq!(head, "CS 2");
+                assert!(lines.iter().all(|l| l.starts_with("add ")), "{lines:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match s.execute(Command::Run(100)) {
+            Reply::Ok(msg) => {
+                assert!(msg.contains("reason=halt"), "{msg}");
+                assert!(msg.contains("total=3"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match s.execute(Command::Wm(Some("sum".into()))) {
+            Reply::Multi { head, lines } => {
+                assert_eq!(head, "WM 1");
+                assert!(lines[0].contains("^total 7"), "{lines:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_replies_with_count_and_tags() {
+        let mut s = session(1000);
+        let r = s.execute(Command::Batch(vec![
+            BatchItem::Assert("item ^n 1".into()),
+            BatchItem::Assert("item ^n 2".into()),
+        ]));
+        match r {
+            Reply::Ok(msg) => assert!(msg.starts_with("2 "), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        // A retract of a staged element annihilates inside the batch.
+        let tag: u64 = match s.execute(Command::Assert("item ^n 9".into())) {
+            Reply::Ok(t) => t.parse().unwrap(),
+            other => panic!("{other:?}"),
+        };
+        assert!(s.execute(Command::Retract(tag)).is_ok());
+        match s.execute(Command::Stats) {
+            Reply::Ok(msg) => assert!(msg.contains("staged=2"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_zero_settles_without_firing() {
+        let mut s = session(1000);
+        s.execute(Command::Assert("item ^n 5".into()));
+        match s.execute(Command::Run(0)) {
+            Reply::Ok(msg) => {
+                assert!(msg.contains("cycles=0"), "{msg}");
+                assert!(msg.contains("reason=settled"), "{msg}");
+                assert!(msg.contains("cs=1"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_is_clamped_to_per_command_limit() {
+        let mut s = session(1);
+        s.execute(Command::Assert("item ^n 1".into()));
+        s.execute(Command::Assert("item ^n 2".into()));
+        match s.execute(Command::Run(1_000_000)) {
+            Reply::Ok(msg) => {
+                assert!(msg.contains("cycles=1"), "{msg}");
+                assert!(msg.contains("reason=limit"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_parse_errors_surface_as_err() {
+        let mut s = session(1000);
+        assert!(matches!(
+            s.execute(Command::Assert("nosuch ^x 1".into())),
+            Reply::Err(_)
+        ));
+        assert!(matches!(
+            s.execute(Command::Assert("item ^bogus 1".into())),
+            Reply::Err(_)
+        ));
+        assert!(matches!(s.execute(Command::Retract(999)), Reply::Err(_)));
+    }
+
+    #[test]
+    fn wm_limit_produces_err_not_panic() {
+        let mut eng = EngineBuilder::from_source(SRC)
+            .unwrap()
+            .limits(EngineLimits {
+                max_wm: Some(2),
+                max_cycles: None,
+            })
+            .build()
+            .unwrap();
+        eng.make_wme("sum", &[("total", ops5::Value::Int(0))])
+            .unwrap();
+        let mut s = Session::new(1, "adder", eng, 1000);
+        assert!(s.execute(Command::Assert("item ^n 1".into())).is_ok());
+        assert!(matches!(
+            s.execute(Command::Assert("item ^n 2".into())),
+            Reply::Err(_)
+        ));
+    }
+
+    #[test]
+    fn closed_session_rejects_everything() {
+        let mut s = session(1000);
+        assert!(s.execute(Command::Close).is_ok());
+        assert!(s.is_closed());
+        assert!(matches!(s.execute(Command::Run(1)), Reply::Err(_)));
+    }
+}

@@ -17,7 +17,10 @@
 //!   recorded task traces to regenerate the paper's speed-up and contention
 //!   tables on any host;
 //! * [`workloads`] — the three benchmark programs rebuilt: Rubik, Tourney
-//!   (pathological and fixed), and a Weaver-scale generated VLSI router.
+//!   (pathological and fixed), and a Weaver-scale generated VLSI router;
+//! * [`serve`] — a multi-session TCP server multiplexing many independent
+//!   engines over a bounded worker pool, with batched ingestion and
+//!   explicit backpressure (the `ops5-serve` binary).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub use multimax;
 pub use ops5;
 pub use psm;
 pub use rete;
+pub use serve;
 pub use workloads;
 
 /// Common imports for applications.
@@ -61,6 +65,7 @@ pub mod prelude {
     pub use psm::{LockScheme, ParMatcher, PsmConfig};
     pub use rete::network::Network;
     pub use rete::{HashMemConfig, SeqMatcher};
+    pub use serve::{Client, ServeConfig, Server};
     pub use workloads::{build_engine, run_workload, MatcherChoice, Workload};
 }
 

@@ -148,6 +148,38 @@ fn monkey_plan_is_matcher_independent() {
 }
 
 #[test]
+fn hanoi_solves_four_disks() {
+    let out = ops5().args(["programs/hanoi.ops"]).output().expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hanoi complete in 15 moves"), "{stdout}");
+    // The first three moves of the textbook 4-disk solution, in order.
+    let moves: Vec<&str> = stdout.lines().filter(|l| l.starts_with("move ")).collect();
+    assert_eq!(moves.len(), 15);
+    assert_eq!(moves[0], "move disk left to middle");
+    assert_eq!(moves[1], "move disk left to right");
+    assert_eq!(moves[2], "move disk middle to right");
+    // The largest disk crosses exactly once, halfway through.
+    assert_eq!(moves[7], "move disk left to right");
+}
+
+#[test]
+fn hanoi_is_matcher_independent() {
+    let reference = ops5().args(["programs/hanoi.ops"]).output().unwrap().stdout;
+    for matcher in ["vs1", "lisp", "psm"] {
+        let out = ops5()
+            .args(["programs/hanoi.ops", "--matcher", matcher])
+            .output()
+            .unwrap();
+        assert_eq!(out.stdout, reference, "{matcher} diverged");
+    }
+}
+
+#[test]
 fn fibonacci_computes() {
     let out = ops5()
         .args(["programs/fibonacci.ops"])

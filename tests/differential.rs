@@ -115,6 +115,39 @@ fn synthetic_fat_memories_firings_identical() {
     assert_all_engines_agree(synth::fat_memories(6, 12));
 }
 
+/// The `programs/` corpus (the server's session profiles) must also fire
+/// identically everywhere. These load their startup forms from source,
+/// unlike the generated workloads above.
+#[test]
+fn corpus_programs_identical_on_all_matchers() {
+    for name in ["blocks", "fibonacci", "monkey", "hanoi"] {
+        let src = std::fs::read_to_string(format!("programs/{name}.ops")).expect("read corpus");
+        let log = |choice: &MatcherChoice| -> Vec<(u32, Vec<u64>)> {
+            let mut eng = EngineBuilder::from_source(&src)
+                .expect("parse")
+                .matcher(choice.kind())
+                .build()
+                .expect("build");
+            eng.load_startup().expect("startup");
+            eng.run(100_000).expect("run");
+            eng.fired_log()
+                .iter()
+                .map(|(p, tags)| (p.0, tags.clone()))
+                .collect()
+        };
+        let reference = log(&MatcherChoice::Vs2);
+        assert!(!reference.is_empty(), "{name} did nothing");
+        for choice in all_choices() {
+            assert_eq!(
+                log(&choice),
+                reference,
+                "firing log mismatch: {name} under {}",
+                choice.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn trace_matcher_agrees_too() {
     let w = rubik::workload(rubik::RubikConfig {

@@ -1,0 +1,208 @@
+//! Integration tests for the serve layer: served sessions must be
+//! observably identical to direct in-process engine runs, on every matcher.
+
+use parallel_ops5::prelude::*;
+use proptest::prelude::*;
+use serve::{matcher_kind, Registry, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::OnceLock;
+
+/// One shared server for the whole test binary (leaked; the process exit
+/// reaps it). Deep inboxes: these tests exercise semantics, not
+/// backpressure.
+fn server_addr() -> SocketAddr {
+    static SERVER: OnceLock<SocketAddr> = OnceLock::new();
+    *SERVER.get_or_init(|| {
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_depth: 512,
+            programs_dir: Some("programs".into()),
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+        let addr = handle.addr;
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+fn fired_lines(eng: &Engine) -> Vec<String> {
+    eng.fired_log()
+        .iter()
+        .map(|(p, tags)| {
+            let t: Vec<String> = tags.iter().map(|x| x.to_string()).collect();
+            format!("{} {}", eng.prog.prod_name(*p), t.join(" "))
+        })
+        .collect()
+}
+
+fn cs_lines(eng: &Engine) -> Vec<String> {
+    eng.conflict_set()
+        .sorted_keys()
+        .iter()
+        .map(|(p, tags)| {
+            let t: Vec<String> = tags.iter().map(|x| x.to_string()).collect();
+            format!("{} {}", eng.prog.prod_name(*p), t.join(" "))
+        })
+        .collect()
+}
+
+/// Every corpus program, served on a PSM session and run in bounded `RUN`
+/// chunks, fires exactly like a direct engine run of the same profile.
+#[test]
+fn served_corpus_matches_direct_runs() {
+    let addr = server_addr();
+    let reg = Registry::with_builtins(Some("programs".as_ref()));
+    for program in ["blocks", "fibonacci", "monkey", "hanoi", "rubik"] {
+        let mut eng = reg
+            .get(program)
+            .unwrap()
+            .build(matcher_kind("psm").unwrap(), Default::default())
+            .unwrap();
+        eng.run(400_000).unwrap();
+        let reference = fired_lines(&eng);
+        assert!(!reference.is_empty(), "{program} did nothing");
+
+        let mut c = serve::Client::connect(addr).unwrap();
+        c.open(program, Some("psm")).unwrap().expect_ok().unwrap();
+        for _ in 0..400 {
+            let payload = c.run(1000).unwrap().expect_ok().unwrap();
+            if !payload.contains("reason=limit") {
+                break;
+            }
+        }
+        let fired = c.fired().unwrap().expect_lines().unwrap();
+        assert_eq!(fired, reference, "served {program} diverged");
+        c.close().unwrap().expect_ok().unwrap();
+    }
+}
+
+/// Several concurrent connections of mixed corpus programs, all equal to
+/// their direct references — the in-test miniature of `serve_load`.
+#[test]
+fn concurrent_mixed_sessions_all_agree() {
+    let addr = server_addr();
+    let reg = Registry::with_builtins(Some("programs".as_ref()));
+    let programs = ["blocks", "hanoi", "monkey", "blocks", "hanoi", "monkey"];
+    let refs: Vec<Vec<String>> = programs
+        .iter()
+        .map(|p| {
+            let mut eng = reg
+                .get(p)
+                .unwrap()
+                .build(matcher_kind("psm").unwrap(), Default::default())
+                .unwrap();
+            eng.run(400_000).unwrap();
+            fired_lines(&eng)
+        })
+        .collect();
+    let threads: Vec<_> = programs
+        .into_iter()
+        .zip(refs)
+        .map(|(program, reference)| {
+            std::thread::spawn(move || {
+                let mut c = serve::Client::connect(addr).unwrap();
+                c.open(program, Some("psm")).unwrap().expect_ok().unwrap();
+                for _ in 0..400 {
+                    let payload = c.run(500).unwrap().expect_ok().unwrap();
+                    if !payload.contains("reason=limit") {
+                        break;
+                    }
+                }
+                let fired = c.fired().unwrap().expect_lines().unwrap();
+                assert_eq!(fired, reference, "served {program} diverged");
+                c.close().unwrap().expect_ok().unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}
+
+const PROP_SRC: &str = "(literalize a x y)
+(literalize b x y)
+(p join (a ^x <x> ^y <y>) (b ^x <x>) --> (halt))
+(p lone (a ^x <x>) - (b ^y <x>) --> (halt))";
+
+/// One generated WME as a protocol `ASSERT` body.
+fn gen_wme() -> impl Strategy<Value = String> {
+    (prop_oneof!["a", "b"], 0i64..3, 0i64..3)
+        .prop_map(|(class, x, y)| format!("{class} ^x {x} ^y {y}"))
+}
+
+/// A stream of WMEs plus chunk sizes partitioning it.
+fn gen_chunked_stream() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(proptest::collection::vec(gen_wme(), 1..4), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// The satellite property: a session's ASSERTs split across multiple
+    /// `RUN 0` settles produce the same conflict-set history, on all four
+    /// matchers through the serve layer, as a direct engine staging the
+    /// same chunks — and in particular the final CS equals one big batch.
+    #[test]
+    fn chunked_ingestion_matches_direct_staging(chunks in gen_chunked_stream()) {
+        let addr = server_addr();
+        for m in ["vs1", "vs2", "lisp", "psm"] {
+            // Direct engine: stage chunk, settle, snapshot CS — the ground
+            // truth history.
+            let mut eng = EngineBuilder::from_source(PROP_SRC)
+                .unwrap()
+                .matcher(matcher_kind(m).unwrap())
+                .build()
+                .unwrap();
+            let mut want_history = Vec::new();
+            for chunk in &chunks {
+                for body in chunk {
+                    let prog = &mut eng.prog;
+                    let (class, fields) =
+                        ops5::wire::parse_wme_text(body, &mut prog.symbols, &prog.classes)
+                            .unwrap();
+                    eng.stage(class, fields).unwrap();
+                }
+                eng.settle();
+                want_history.push(cs_lines(&eng));
+            }
+
+            // Served session: same chunks as BATCH + RUN 0, CS? after each.
+            let mut c = serve::Client::connect(addr).unwrap();
+            c.open_source(PROP_SRC, Some(m)).unwrap().expect_ok().unwrap();
+            let mut got_history = Vec::new();
+            for chunk in &chunks {
+                c.send_line("BATCH").unwrap();
+                for body in chunk {
+                    c.send_line(&format!("ASSERT {body}")).unwrap();
+                }
+                c.send_line("END").unwrap();
+                c.read_reply().unwrap().expect_ok().unwrap();
+                c.run(0).unwrap().expect_ok().unwrap();
+                got_history.push(c.cs().unwrap().expect_lines().unwrap());
+            }
+            c.close().unwrap().expect_ok().unwrap();
+            prop_assert_eq!(&got_history, &want_history, "matcher {}", m);
+
+            // And the whole stream in one batch ends at the same CS.
+            let mut one = EngineBuilder::from_source(PROP_SRC)
+                .unwrap()
+                .matcher(matcher_kind(m).unwrap())
+                .build()
+                .unwrap();
+            for body in chunks.iter().flatten() {
+                let prog = &mut one.prog;
+                let (class, fields) =
+                    ops5::wire::parse_wme_text(body, &mut prog.symbols, &prog.classes).unwrap();
+                one.stage(class, fields).unwrap();
+            }
+            one.settle();
+            prop_assert_eq!(
+                want_history.last().unwrap(),
+                &cs_lines(&one),
+                "chunked vs one-batch final CS, matcher {}",
+                m
+            );
+        }
+    }
+}
