@@ -32,15 +32,22 @@ fn scan(c: &mut Criterion) {
         let mut hash = HashMem::new(HashMemConfig { buckets: 256 });
         for i in 0..size {
             let w = Wme::new(cb, vec![Value::Int(i as i64)], i as u64 + 1);
-            list.insert_right(&j, w.clone());
-            hash.insert_right(&j, w);
+            list.insert_right(&j, list.right_key(&j, &w), w.clone());
+            hash.insert_right(&j, hash.right_key(&j, &w), w);
         }
         let tok = Token::single(Wme::new(ca, vec![Value::Int(7)], 100_000));
+        let mut out = Vec::new();
         g.bench_with_input(BenchmarkId::new("list", size), &size, |b, _| {
-            b.iter(|| list.scan_right(&j, &tok).matches.len())
+            b.iter(|| {
+                list.scan_right(&j, list.left_key(&j, &tok), &tok, &mut out);
+                out.len()
+            })
         });
         g.bench_with_input(BenchmarkId::new("hash", size), &size, |b, _| {
-            b.iter(|| hash.scan_right(&j, &tok).matches.len())
+            b.iter(|| {
+                hash.scan_right(&j, hash.left_key(&j, &tok), &tok, &mut out);
+                out.len()
+            })
         });
     }
     g.finish();
@@ -55,7 +62,8 @@ fn delete_search(c: &mut Criterion) {
                     let (_ca, cb, j, net) = setup();
                     let mut m = ListMem::new(net.n_joins());
                     for i in 0..size {
-                        m.insert_right(&j, Wme::new(cb, vec![Value::Int(i as i64)], i as u64 + 1));
+                        let w = Wme::new(cb, vec![Value::Int(i as i64)], i as u64 + 1);
+                        m.insert_right(&j, m.right_key(&j, &w), w);
                     }
                     (
                         m,
@@ -63,7 +71,10 @@ fn delete_search(c: &mut Criterion) {
                         Wme::new(cb, vec![Value::Int(size as i64 - 1)], size as u64),
                     )
                 },
-                |(mut m, j, target)| m.remove_right(&j, &target).examined,
+                |(mut m, j, target)| {
+                    let k = m.right_key(&j, &target);
+                    m.remove_right(&j, k, &target).examined
+                },
             )
         });
         g.bench_with_input(BenchmarkId::new("hash", size), &size, |b, &size| {
@@ -72,7 +83,8 @@ fn delete_search(c: &mut Criterion) {
                     let (_ca, cb, j, _net) = setup();
                     let mut m = HashMem::new(HashMemConfig { buckets: 256 });
                     for i in 0..size {
-                        m.insert_right(&j, Wme::new(cb, vec![Value::Int(i as i64)], i as u64 + 1));
+                        let w = Wme::new(cb, vec![Value::Int(i as i64)], i as u64 + 1);
+                        m.insert_right(&j, m.right_key(&j, &w), w);
                     }
                     (
                         m,
@@ -80,7 +92,10 @@ fn delete_search(c: &mut Criterion) {
                         Wme::new(cb, vec![Value::Int(size as i64 - 1)], size as u64),
                     )
                 },
-                |(mut m, j, target)| m.remove_right(&j, &target).examined,
+                |(mut m, j, target)| {
+                    let k = m.right_key(&j, &target);
+                    m.remove_right(&j, k, &target).examined
+                },
             )
         });
     }

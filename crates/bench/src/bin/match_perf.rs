@@ -1,0 +1,209 @@
+//! Cross-matcher match-performance suite.
+//!
+//! Runs Weaver, Rubik, and Tourney on all four matchers (vs1, vs2, lisp,
+//! psm-e) and reports per-change and per-cycle wall times plus heap
+//! allocation counts, writing `BENCH_match.json` — the seed point for the
+//! repo's match-perf trajectory (EXPERIMENTS.md tracks before/after numbers
+//! per optimization PR).
+//!
+//! Run with: `cargo run --release -p bench --bin match_perf`
+//! CI smoke:  `cargo run --release -p bench --bin match_perf -- --smoke`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use workloads::{rubik, tourney, weaver, MatcherChoice, Workload};
+
+/// Forwarding allocator that counts allocations and allocated bytes so the
+/// suite can report match-loop allocation pressure, not just wall time.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+struct Row {
+    program: &'static str,
+    matcher: &'static str,
+    wall_s: f64,
+    cycles: u64,
+    changes: u64,
+    per_change_us: f64,
+    per_cycle_us: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+    allocs_per_change: f64,
+}
+
+fn benchmark(program: &'static str, w: &Workload, choice: &MatcherChoice) -> Row {
+    // Build (parse + compile + initial WM) outside the measured window: the
+    // suite measures the match loop, not the front end.
+    let mut eng = workloads::build_engine(w, choice).expect("build engine");
+    let (a0, b0) = alloc_snapshot();
+    let started = Instant::now();
+    let res = eng.run(w.max_cycles).expect("run");
+    let wall = started.elapsed();
+    let (a1, b1) = alloc_snapshot();
+    if let Err(e) = (w.validate)(&eng) {
+        panic!("{program} failed validation under {}: {e}", choice.label());
+    }
+    let stats = eng.match_stats();
+    let changes = stats.wme_changes.max(1);
+    let cycles = res.cycles.max(1);
+    let allocs = a1 - a0;
+    Row {
+        program,
+        matcher: choice.label(),
+        wall_s: wall.as_secs_f64(),
+        cycles: res.cycles,
+        changes: stats.wme_changes,
+        per_change_us: wall.as_secs_f64() * 1e6 / changes as f64,
+        per_cycle_us: wall.as_secs_f64() * 1e6 / cycles as f64,
+        allocs,
+        alloc_bytes: b1 - b0,
+        allocs_per_change: allocs as f64 / changes as f64,
+    }
+}
+
+fn smoke_programs() -> Vec<(&'static str, Workload)> {
+    vec![
+        (
+            "Weaver",
+            weaver::workload(weaver::WeaverConfig {
+                width: 6,
+                height: 6,
+                kinds: 12,
+                nets: 3,
+                blocked_pct: 8,
+                seed: 42,
+            }),
+        ),
+        (
+            "Rubik",
+            rubik::workload(rubik::RubikConfig {
+                seed: 2026,
+                scramble_len: 12,
+                plan: rubik::PlanMode::Inverse,
+            }),
+        ),
+        (
+            "Tourney",
+            tourney::workload(tourney::TourneyConfig {
+                teams: 8,
+                variant: tourney::Variant::Pathological,
+            }),
+        ),
+    ]
+}
+
+fn matchers() -> Vec<MatcherChoice> {
+    vec![
+        MatcherChoice::Vs1,
+        MatcherChoice::Vs2,
+        MatcherChoice::Lisp,
+        MatcherChoice::Psm(psm::PsmConfig::default()),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let programs: Vec<(&'static str, Workload)> = if smoke {
+        smoke_programs()
+    } else {
+        bench::programs()
+            .into_iter()
+            .map(|(name, make)| (name, make()))
+            .collect()
+    };
+
+    bench::header(if smoke {
+        "Match-perf suite (smoke configs)"
+    } else {
+        "Match-perf suite"
+    });
+    println!(
+        "{:<8} {:<6} {:>9} {:>8} {:>9} {:>11} {:>11} {:>11} {:>12}",
+        "PROGRAM",
+        "ENGINE",
+        "wall(s)",
+        "cycles",
+        "changes",
+        "us/change",
+        "us/cycle",
+        "allocs",
+        "allocs/chg"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, w) in &programs {
+        for choice in matchers() {
+            let row = benchmark(name, w, &choice);
+            println!(
+                "{:<8} {:<6} {:>9.3} {:>8} {:>9} {:>11.2} {:>11.1} {:>11} {:>12.1}",
+                row.program,
+                row.matcher,
+                row.wall_s,
+                row.cycles,
+                row.changes,
+                row.per_change_us,
+                row.per_cycle_us,
+                row.allocs,
+                row.allocs_per_change
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("{\n  \"suite\": \"match_perf\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n  \"results\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"program\": \"{}\", \"matcher\": \"{}\", \"wall_s\": {:.6}, \
+             \"cycles\": {}, \"wme_changes\": {}, \"us_per_change\": {:.3}, \
+             \"us_per_cycle\": {:.3}, \"allocs\": {}, \"alloc_bytes\": {}, \
+             \"allocs_per_change\": {:.2}}}{}\n",
+            r.program,
+            r.matcher,
+            r.wall_s,
+            r.cycles,
+            r.changes,
+            r.per_change_us,
+            r.per_cycle_us,
+            r.allocs,
+            r.alloc_bytes,
+            r.allocs_per_change,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_match.json", &json).expect("write BENCH_match.json");
+    println!();
+    println!("wrote BENCH_match.json ({} rows)", rows.len());
+}

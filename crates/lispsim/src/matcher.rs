@@ -12,6 +12,7 @@ use ops5::{
     ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, Pred, ProdId, Program,
     QuiesceReport, Sign, StatsDeltaTracker, Value, WmeRef,
 };
+use rete::Token;
 
 /// One interpreted test of a condition element.
 #[derive(Debug, Clone)]
@@ -50,23 +51,13 @@ struct LWme {
     class: LispVal,
 }
 
-/// A partial-match token: matched WMEs plus the binding association list.
+/// A partial-match token: matched WMEs (parent-linked, shared with the
+/// compiled matchers) plus the binding association list.
 #[derive(Clone)]
 struct LToken {
-    wmes: Vec<WmeRef>,
+    wmes: Token,
     bindings: LispVal,
     neg_count: u32,
-}
-
-impl LToken {
-    fn same_wmes(&self, other_tags: &[u64]) -> bool {
-        self.wmes.len() == other_tags.len()
-            && self
-                .wmes
-                .iter()
-                .zip(other_tags)
-                .all(|(w, t)| w.timetag == *t)
-    }
 }
 
 /// One production's interpreted match state.
@@ -278,51 +269,50 @@ impl LispMatcher {
                         match sign {
                             Sign::Plus => self.prods[prod].left[ce].push(token.clone()),
                             Sign::Minus => {
-                                let tags: Vec<u64> = token.wmes.iter().map(|w| w.timetag).collect();
                                 let mem = &mut self.prods[prod].left[ce];
-                                if let Some(i) = mem.iter().position(|t| t.same_wmes(&tags)) {
+                                if let Some(i) =
+                                    mem.iter().position(|t| t.wmes.same_wmes(&token.wmes))
+                                {
                                     self.stats.same_tokens_left += (i + 1) as u64;
                                     self.stats.same_searches_left += 1;
                                     mem.swap_remove(i);
                                 }
                             }
                         }
-                        // Scan the full alpha memory of this CE (linear).
-                        let alpha: Vec<LWme> = self.prods[prod].alpha[ce].clone();
-                        self.stats.opp_tokens_left += alpha.len() as u64;
-                        if !alpha.is_empty() {
+                        // Scan the full alpha memory of this CE (linear,
+                        // in place — `emit` only touches the agenda).
+                        let alpha_len = self.prods[prod].alpha[ce].len();
+                        self.stats.opp_tokens_left += alpha_len as u64;
+                        if alpha_len > 0 {
                             self.stats.opp_nonempty_left += 1;
                         }
-                        let cond = self.prods[prod].conds[ce].clone();
-                        for w in alpha {
-                            if let Some(b2) = match_ce(&w, &cond, &token.bindings, false) {
-                                let mut wmes = token.wmes.clone();
-                                wmes.push(w.orig.clone());
-                                self.emit(
-                                    prod,
-                                    ce,
-                                    sign,
-                                    LToken {
-                                        wmes,
-                                        bindings: b2,
-                                        neg_count: 0,
-                                    },
-                                );
+                        for i in 0..alpha_len {
+                            let emit_tok = {
+                                let p = &self.prods[prod];
+                                let w = &p.alpha[ce][i];
+                                match_ce(w, &p.conds[ce], &token.bindings, false).map(|b2| LToken {
+                                    wmes: token.wmes.extended(w.orig.clone()),
+                                    bindings: b2,
+                                    neg_count: 0,
+                                })
+                            };
+                            if let Some(t) = emit_tok {
+                                self.emit(prod, ce, sign, t);
                             }
                         }
                     } else {
                         match sign {
                             Sign::Plus => {
-                                let alpha: Vec<LWme> = self.prods[prod].alpha[ce].clone();
+                                let p = &self.prods[prod];
+                                let alpha = &p.alpha[ce];
                                 self.stats.opp_tokens_left += alpha.len() as u64;
                                 if !alpha.is_empty() {
                                     self.stats.opp_nonempty_left += 1;
                                 }
-                                let cond = self.prods[prod].conds[ce].clone();
                                 let n = alpha
                                     .iter()
                                     .filter(|w| {
-                                        match_ce(w, &cond, &token.bindings, false).is_some()
+                                        match_ce(w, &p.conds[ce], &token.bindings, false).is_some()
                                     })
                                     .count() as u32;
                                 let mut t = token.clone();
@@ -333,9 +323,10 @@ impl LispMatcher {
                                 }
                             }
                             Sign::Minus => {
-                                let tags: Vec<u64> = token.wmes.iter().map(|w| w.timetag).collect();
                                 let mem = &mut self.prods[prod].left[ce];
-                                if let Some(i) = mem.iter().position(|t| t.same_wmes(&tags)) {
+                                if let Some(i) =
+                                    mem.iter().position(|t| t.wmes.same_wmes(&token.wmes))
+                                {
                                     self.stats.same_tokens_left += (i + 1) as u64;
                                     self.stats.same_searches_left += 1;
                                     let old = mem.swap_remove(i);
@@ -370,49 +361,47 @@ impl LispMatcher {
                     if ce == 0 {
                         // CE 0's matches become 1-wme tokens for the next
                         // element (or the terminal).
-                        let cond = self.prods[prod].conds[0].clone();
-                        if let Some(b) = match_ce(&wme, &cond, &LispVal::Nil, false) {
-                            self.emit(
-                                prod,
-                                0,
-                                sign,
-                                LToken {
-                                    wmes: vec![wme.orig.clone()],
+                        let emit_tok =
+                            match_ce(&wme, &self.prods[prod].conds[0], &LispVal::Nil, false).map(
+                                |b| LToken {
+                                    wmes: Token::empty().extended(wme.orig.clone()),
                                     bindings: b,
                                     neg_count: 0,
                                 },
                             );
+                        if let Some(t) = emit_tok {
+                            self.emit(prod, 0, sign, t);
                         }
                         continue;
                     }
-                    let cond = self.prods[prod].conds[ce].clone();
-                    let tokens: Vec<LToken> = self.prods[prod].left[ce].clone();
-                    self.stats.opp_tokens_right += tokens.len() as u64;
-                    if !tokens.is_empty() {
+                    let n_tok = self.prods[prod].left[ce].len();
+                    self.stats.opp_tokens_right += n_tok as u64;
+                    if n_tok > 0 {
                         self.stats.opp_nonempty_right += 1;
                     }
                     if !negated {
-                        for t in tokens {
-                            if let Some(b2) = match_ce(&wme, &cond, &t.bindings, false) {
-                                let mut wmes = t.wmes.clone();
-                                wmes.push(wme.orig.clone());
-                                self.emit(
-                                    prod,
-                                    ce,
-                                    sign,
-                                    LToken {
-                                        wmes,
-                                        bindings: b2,
-                                        neg_count: 0,
-                                    },
-                                );
+                        for i in 0..n_tok {
+                            let emit_tok = {
+                                let p = &self.prods[prod];
+                                let t = &p.left[ce][i];
+                                match_ce(&wme, &p.conds[ce], &t.bindings, false).map(|b2| LToken {
+                                    wmes: t.wmes.extended(wme.orig.clone()),
+                                    bindings: b2,
+                                    neg_count: 0,
+                                })
+                            };
+                            if let Some(t) = emit_tok {
+                                self.emit(prod, ce, sign, t);
                             }
                         }
                     } else {
                         // Adjust stored counters in place.
                         let mut crossed = Vec::new();
-                        for t in self.prods[prod].left[ce].iter_mut() {
-                            if match_ce(&wme, &cond, &t.bindings, false).is_some() {
+                        let p = &mut self.prods[prod];
+                        let (conds, left) = (&p.conds, &mut p.left);
+                        let cond = &conds[ce];
+                        for t in left[ce].iter_mut() {
+                            if match_ce(&wme, cond, &t.bindings, false).is_some() {
                                 match sign {
                                     Sign::Plus => {
                                         t.neg_count += 1;
@@ -438,7 +427,7 @@ impl LispMatcher {
                     self.stats.cs_changes += 1;
                     let inst = Instantiation {
                         prod: ProdId(prod as u32),
-                        wmes: token.wmes.clone(),
+                        wmes: token.wmes.wme_vec(),
                     };
                     self.out.push(match sign {
                         Sign::Plus => CsChange::Insert(inst),

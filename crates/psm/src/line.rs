@@ -166,26 +166,29 @@ impl ParLine {
         MinusOutcome::Parked
     }
 
-    /// Right-memory WMEs pairing with `token` under the join tests.
-    /// Returns (matches, tokens examined).
-    pub fn scan_right(&self, j: &JoinNode, key: u64, token: &Token) -> (Vec<WmeRef>, u64) {
-        let mut out = Vec::new();
+    /// Right-memory WMEs pairing with `token` under the join tests,
+    /// appended to `out` (cleared first). Returns tokens examined. The
+    /// caller owns `out` so the scan allocates nothing in steady state.
+    pub fn scan_right(&self, j: &JoinNode, key: u64, token: &Token, out: &mut Vec<WmeRef>) -> u64 {
+        out.clear();
+        let ops = j.resolve_left(token);
         let mut examined = 0u64;
         for e in &self.right {
             if e.join != j.id {
                 continue;
             }
             examined += 1;
-            if e.key == key && j.passes(token, &e.wme) {
+            if e.key == key && j.passes_resolved(&ops, token, &e.wme) {
                 out.push(e.wme.clone());
             }
         }
-        (out, examined)
+        examined
     }
 
-    /// Left-memory tokens pairing with `wme` under the join tests.
-    pub fn scan_left(&self, j: &JoinNode, key: u64, wme: &Wme) -> (Vec<Token>, u64) {
-        let mut out = Vec::new();
+    /// Left-memory tokens pairing with `wme` under the join tests,
+    /// appended to `out` (cleared first). Returns tokens examined.
+    pub fn scan_left(&self, j: &JoinNode, key: u64, wme: &Wme, out: &mut Vec<Token>) -> u64 {
+        out.clear();
         let mut examined = 0u64;
         for e in &self.left {
             if e.join != j.id {
@@ -196,19 +199,21 @@ impl ParLine {
                 out.push(e.token.clone());
             }
         }
-        (out, examined)
+        examined
     }
 
     /// Not-node counter maintenance for a right activation: bump matching
-    /// left entries by `delta`, returning tokens that crossed 0.
+    /// left entries by `delta`, appending tokens that crossed 0 to `out`
+    /// (cleared first). Returns tokens examined.
     pub fn adjust_left_counts(
         &mut self,
         j: &JoinNode,
         key: u64,
         wme: &Wme,
         delta: i32,
-    ) -> (Vec<Token>, u64) {
-        let mut crossed = Vec::new();
+        out: &mut Vec<Token>,
+    ) -> u64 {
+        out.clear();
         let mut examined = 0u64;
         for e in self.left.iter_mut() {
             if e.join != j.id {
@@ -219,22 +224,23 @@ impl ParLine {
                 if delta > 0 {
                     e.neg_count += 1;
                     if e.neg_count == 1 {
-                        crossed.push(e.token.clone());
+                        out.push(e.token.clone());
                     }
                 } else {
                     debug_assert!(e.neg_count > 0, "not-node counter underflow");
                     e.neg_count = e.neg_count.saturating_sub(1);
                     if e.neg_count == 0 {
-                        crossed.push(e.token.clone());
+                        out.push(e.token.clone());
                     }
                 }
             }
         }
-        (crossed, examined)
+        examined
     }
 
     /// Matching right-memory WME count for a not-node left activation.
     pub fn count_right(&self, j: &JoinNode, key: u64, token: &Token) -> (u32, u64) {
+        let ops = j.resolve_left(token);
         let mut n = 0u32;
         let mut examined = 0u64;
         for e in &self.right {
@@ -242,7 +248,7 @@ impl ParLine {
                 continue;
             }
             examined += 1;
-            if e.key == key && j.passes(token, &e.wme) {
+            if e.key == key && j.passes_resolved(&ops, token, &e.wme) {
                 n += 1;
             }
         }
@@ -434,7 +440,8 @@ mod tests {
         line.right_plus(&j, j.right_key(&w1), &w1);
         line.right_plus(&j, j.right_key(&w2), &w2);
         let tok = Token::single(Wme::new(ca, vec![Value::Int(1)], 3));
-        let (m, examined) = line.scan_right(&j, j.left_key(&tok), &tok);
+        let mut m = Vec::new();
+        let examined = line.scan_right(&j, j.left_key(&tok), &tok, &mut m);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].timetag, 1);
         // Both entries share the line only if their keys collide in a real
@@ -481,9 +488,10 @@ mod tests {
         line.left_plus(&j, j.left_key(&tok), &tok, 0);
         let w = Wme::new(cb, vec![Value::Int(1)], 2);
         let key = j.right_key(&w);
-        let (c, _) = line.adjust_left_counts(&j, key, &w, 1);
+        let mut c = Vec::new();
+        line.adjust_left_counts(&j, key, &w, 1, &mut c);
         assert_eq!(c.len(), 1, "0→1 crossing");
-        let (c, _) = line.adjust_left_counts(&j, key, &w, -1);
+        line.adjust_left_counts(&j, key, &w, -1, &mut c);
         assert_eq!(c.len(), 1, "1→0 crossing");
     }
 }

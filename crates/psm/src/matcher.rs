@@ -73,6 +73,15 @@ struct Ctx {
     local: Option<crossbeam::deque::Worker<ParTask>>,
 }
 
+/// Per-worker reusable scan buffers: a steady-state activation performs no
+/// heap allocation for its match lists. Kept separate from [`Ctx`] so a
+/// drain of one buffer can run concurrently with queue pushes through `ctx`.
+#[derive(Default)]
+struct Scratch {
+    wmes: Vec<WmeRef>,
+    tokens: Vec<Token>,
+}
+
 impl Work {
     fn push(&self, task: ParTask, ctx: &mut Ctx) {
         match self {
@@ -314,12 +323,13 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         cursor: index,
         local,
     };
+    let mut scratch = Scratch::default();
     let mut idle = 0u32;
     loop {
         match shared.sched.pop(&ctx, home) {
             Some(task) => {
                 idle = 0;
-                process_task(&shared, task, &mut ctx);
+                process_task(&shared, task, &mut ctx, &mut scratch);
             }
             None => {
                 if shared.stop.load(Ordering::Acquire) {
@@ -397,7 +407,7 @@ fn emit(shared: &Shared, succ: Succ, token: Token, sign: Sign, ctx: &mut Ctx) {
     }
 }
 
-fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
+fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx, scratch: &mut Scratch) {
     match task {
         ParTask::Root { sign, wme } => {
             // One grouped constant-test activation per WME change (§3.1).
@@ -433,7 +443,7 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
                     let mut g = line.lock_simple();
                     shared.cstats.record_hash(true, g.spins);
                     shared.stats.activations.fetch_add(1, Ordering::Relaxed);
-                    left_activation(shared, j, key, sign, &token, &mut g, ctx);
+                    left_activation(shared, j, key, sign, &token, &mut g, ctx, scratch);
                 }
                 LockScheme::Mrsw => {
                     let (entered, spins) = line.try_enter(Side::Left);
@@ -446,7 +456,7 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
                         return; // task still accounted for in TaskCount
                     }
                     shared.stats.activations.fetch_add(1, Ordering::Relaxed);
-                    left_activation_mrsw(shared, j, key, sign, &token, line, ctx);
+                    left_activation_mrsw(shared, j, key, sign, &token, line, ctx, scratch);
                     line.exit();
                 }
             }
@@ -461,7 +471,7 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
                     let mut g = line.lock_simple();
                     shared.cstats.record_hash(false, g.spins);
                     shared.stats.activations.fetch_add(1, Ordering::Relaxed);
-                    right_activation(shared, j, key, sign, &wme, &mut g, ctx);
+                    right_activation(shared, j, key, sign, &wme, &mut g, ctx, scratch);
                 }
                 LockScheme::Mrsw => {
                     let (entered, spins) = line.try_enter(Side::Right);
@@ -474,7 +484,7 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
                         return;
                     }
                     shared.stats.activations.fetch_add(1, Ordering::Relaxed);
-                    right_activation_mrsw(shared, j, key, sign, &wme, line, ctx);
+                    right_activation_mrsw(shared, j, key, sign, &wme, line, ctx, scratch);
                     line.exit();
                 }
             }
@@ -485,7 +495,7 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
             shared.stats.cs_changes.fetch_add(1, Ordering::Relaxed);
             let inst = Instantiation {
                 prod,
-                wmes: token.wmes().to_vec(),
+                wmes: token.wme_vec(),
             };
             let key = inst.key();
             let mut acc = shared.cs_acc.lock();
@@ -504,6 +514,7 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx) {
 }
 
 /// Left activation under the simple (exclusive) line lock.
+#[allow(clippy::too_many_arguments)]
 fn left_activation(
     shared: &Shared,
     j: &JoinNode,
@@ -512,6 +523,7 @@ fn left_activation(
     token: &Token,
     line: &mut ParLine,
     ctx: &mut Ctx,
+    scratch: &mut Scratch,
 ) {
     if !j.negated {
         match sign {
@@ -535,9 +547,9 @@ fn left_activation(
                 MinusOutcome::Parked => return,
             },
         }
-        let (matches, examined) = line.scan_right(j, key, token);
+        let examined = line.scan_right(j, key, token, &mut scratch.wmes);
         record_opp_left(shared, examined);
-        for w in matches {
+        for w in scratch.wmes.drain(..) {
             emit(shared, j.succ, token.extended(w), sign, ctx);
         }
     } else {
@@ -579,6 +591,7 @@ fn left_activation(
 /// Left activation under the MRSW protocol: list mutation under the write
 /// lock, opposite-memory scan under the read lock (the line flag guarantees
 /// the right memory is stable meanwhile).
+#[allow(clippy::too_many_arguments)]
 fn left_activation_mrsw(
     shared: &Shared,
     j: &JoinNode,
@@ -587,6 +600,7 @@ fn left_activation_mrsw(
     token: &Token,
     line: &LineLock,
     ctx: &mut Ctx,
+    scratch: &mut Scratch,
 ) {
     if !j.negated {
         match sign {
@@ -614,9 +628,9 @@ fn left_activation_mrsw(
                 }
             }
         }
-        let (matches, examined) = line.read().scan_right(j, key, token);
+        let examined = line.read().scan_right(j, key, token, &mut scratch.wmes);
         record_opp_left(shared, examined);
-        for w in matches {
+        for w in scratch.wmes.drain(..) {
             emit(shared, j.succ, token.extended(w), sign, ctx);
         }
     } else {
@@ -660,6 +674,7 @@ fn left_activation_mrsw(
 }
 
 /// Right activation under the simple lock.
+#[allow(clippy::too_many_arguments)]
 fn right_activation(
     shared: &Shared,
     j: &JoinNode,
@@ -668,6 +683,7 @@ fn right_activation(
     wme: &WmeRef,
     line: &mut ParLine,
     ctx: &mut Ctx,
+    scratch: &mut Scratch,
 ) {
     if !j.negated {
         match sign {
@@ -691,9 +707,9 @@ fn right_activation(
                 MinusOutcome::Parked => return,
             },
         }
-        let (matches, examined) = line.scan_left(j, key, wme);
+        let examined = line.scan_left(j, key, wme, &mut scratch.tokens);
         record_opp_right(shared, examined);
-        for t in matches {
+        for t in scratch.tokens.drain(..) {
             emit(shared, j.succ, t.extended(wme.clone()), sign, ctx);
         }
     } else {
@@ -703,9 +719,9 @@ fn right_activation(
                     shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                let (crossed, examined) = line.adjust_left_counts(j, key, wme, 1);
+                let examined = line.adjust_left_counts(j, key, wme, 1, &mut scratch.tokens);
                 record_opp_right(shared, examined);
-                for t in crossed {
+                for t in scratch.tokens.drain(..) {
                     emit(shared, j.succ, t, Sign::Minus, ctx);
                 }
             }
@@ -719,9 +735,9 @@ fn right_activation(
                         .stats
                         .same_searches_right
                         .fetch_add(1, Ordering::Relaxed);
-                    let (crossed, examined) = line.adjust_left_counts(j, key, wme, -1);
+                    let examined = line.adjust_left_counts(j, key, wme, -1, &mut scratch.tokens);
                     record_opp_right(shared, examined);
-                    for t in crossed {
+                    for t in scratch.tokens.drain(..) {
                         emit(shared, j.succ, t, Sign::Plus, ctx);
                     }
                 }
@@ -732,6 +748,7 @@ fn right_activation(
 }
 
 /// Right activation under MRSW.
+#[allow(clippy::too_many_arguments)]
 fn right_activation_mrsw(
     shared: &Shared,
     j: &JoinNode,
@@ -740,6 +757,7 @@ fn right_activation_mrsw(
     wme: &WmeRef,
     line: &LineLock,
     ctx: &mut Ctx,
+    scratch: &mut Scratch,
 ) {
     if !j.negated {
         match sign {
@@ -767,9 +785,9 @@ fn right_activation_mrsw(
                 }
             }
         }
-        let (matches, examined) = line.read().scan_left(j, key, wme);
+        let examined = line.read().scan_left(j, key, wme, &mut scratch.tokens);
         record_opp_right(shared, examined);
-        for t in matches {
+        for t in scratch.tokens.drain(..) {
             emit(shared, j.succ, t.extended(wme.clone()), sign, ctx);
         }
     } else {
@@ -780,10 +798,10 @@ fn right_activation_mrsw(
                     if g.right_plus(j, key, wme) == PlusOutcome::Annihilated {
                         true
                     } else {
-                        let (crossed, examined) = g.adjust_left_counts(j, key, wme, 1);
+                        let examined = g.adjust_left_counts(j, key, wme, 1, &mut scratch.tokens);
                         drop(g);
                         record_opp_right(shared, examined);
-                        for t in crossed {
+                        for t in scratch.tokens.drain(..) {
                             emit(shared, j.succ, t, Sign::Minus, ctx);
                         }
                         false
@@ -805,10 +823,10 @@ fn right_activation_mrsw(
                             .stats
                             .same_searches_right
                             .fetch_add(1, Ordering::Relaxed);
-                        let (crossed, examined) = g.adjust_left_counts(j, key, wme, -1);
+                        let examined = g.adjust_left_counts(j, key, wme, -1, &mut scratch.tokens);
                         drop(g);
                         record_opp_right(shared, examined);
-                        for t in crossed {
+                        for t in scratch.tokens.drain(..) {
                             emit(shared, j.succ, t, Sign::Plus, ctx);
                         }
                     }

@@ -15,8 +15,14 @@
 //!   cross-product case) hash on the join id alone and degenerate to the
 //!   list behaviour — the Tourney pathology.
 //!
-//! Every operation reports how many tokens it *examined*, the raw data for
-//! Tables 4-2 and 4-3.
+//! Hot-path contract: the caller computes the activation's bucket key once
+//! (via [`TokenMem::left_key`]/[`TokenMem::right_key`]) and threads it
+//! through every operation of that activation, so vs2 hashes once per
+//! activation instead of once per operation. Scans append matches into a
+//! caller-owned scratch buffer instead of allocating a fresh `Vec`, so a
+//! steady-state node activation performs no heap allocation in the memory
+//! layer. Every operation still reports how many tokens it *examined*, the
+//! raw data for Tables 4-2 and 4-3.
 
 use crate::network::JoinNode;
 use crate::token::Token;
@@ -48,9 +54,10 @@ impl Default for HashMemConfig {
     }
 }
 
-/// Result of a scan of the opposite memory.
-pub struct Scan<T> {
-    pub matches: Vec<T>,
+/// Work counters of a scan of the opposite memory (matches go into the
+/// caller's scratch buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct ScanStats {
     /// Tokens examined in the opposite memory.
     pub examined: u64,
     /// Whether the opposite memory contained any candidate for this join.
@@ -65,33 +72,53 @@ pub struct Removed<T> {
 }
 
 /// Storage interface shared by vs1 and vs2.
+///
+/// `key` arguments are the activation's bucket key, computed once via
+/// [`TokenMem::left_key`] (left activations) or [`TokenMem::right_key`]
+/// (right activations) and reused for the removes, inserts, and scans of
+/// that activation. [`ListMem`] has no buckets and returns 0.
 pub trait TokenMem {
+    /// Bucket key for a token entering this join's left memory.
+    fn left_key(&self, j: &JoinNode, token: &Token) -> u64;
+
+    /// Bucket key for a WME entering this join's right memory.
+    fn right_key(&self, j: &JoinNode, wme: &Wme) -> u64;
+
     /// Insert a token into the join's left memory. `neg_count` is the
     /// matching-WME counter for not-nodes (0 for positive joins).
-    fn insert_left(&mut self, j: &JoinNode, token: Token, neg_count: u32);
+    fn insert_left(&mut self, j: &JoinNode, key: u64, token: Token, neg_count: u32);
 
     /// Remove a token (by WME identity) from the left memory, returning its
     /// stored `neg_count`.
-    fn remove_left(&mut self, j: &JoinNode, token: &Token) -> Removed<u32>;
+    fn remove_left(&mut self, j: &JoinNode, key: u64, token: &Token) -> Removed<u32>;
 
-    fn insert_right(&mut self, j: &JoinNode, wme: WmeRef);
+    fn insert_right(&mut self, j: &JoinNode, key: u64, wme: WmeRef);
 
-    fn remove_right(&mut self, j: &JoinNode, wme: &Wme) -> Removed<()>;
+    fn remove_right(&mut self, j: &JoinNode, key: u64, wme: &Wme) -> Removed<()>;
 
-    /// Right-memory WMEs pairing with `token` under the join tests.
-    fn scan_right(&self, j: &JoinNode, token: &Token) -> Scan<WmeRef>;
+    /// Right-memory WMEs pairing with `token` under the join tests,
+    /// appended to `out` (cleared first).
+    fn scan_right(&self, j: &JoinNode, key: u64, token: &Token, out: &mut Vec<WmeRef>)
+        -> ScanStats;
 
     /// Left-memory tokens pairing with `wme` under the join tests
-    /// (positive joins).
-    fn scan_left(&self, j: &JoinNode, wme: &Wme) -> Scan<Token>;
+    /// (positive joins), appended to `out` (cleared first).
+    fn scan_left(&self, j: &JoinNode, key: u64, wme: &Wme, out: &mut Vec<Token>) -> ScanStats;
 
     /// Not-node right activation: bump every matching left entry's counter
-    /// by `delta` (+1/-1) and return the tokens whose counter crossed the
-    /// 0 boundary (0→1 on insert, 1→0 on delete).
-    fn adjust_left_counts(&mut self, j: &JoinNode, wme: &Wme, delta: i32) -> Scan<Token>;
+    /// by `delta` (+1/-1) and append the tokens whose counter crossed the
+    /// 0 boundary (0→1 on insert, 1→0 on delete) to `out` (cleared first).
+    fn adjust_left_counts(
+        &mut self,
+        j: &JoinNode,
+        key: u64,
+        wme: &Wme,
+        delta: i32,
+        out: &mut Vec<Token>,
+    ) -> ScanStats;
 
     /// Not-node left activation: count matching right WMEs.
-    fn count_right(&self, j: &JoinNode, token: &Token) -> (u32, u64, bool);
+    fn count_right(&self, j: &JoinNode, key: u64, token: &Token) -> (u32, u64, bool);
 
     /// Total stored entries (diagnostics / invariant checks).
     fn total_entries(&self) -> usize;
@@ -120,11 +147,19 @@ impl ListMem {
 }
 
 impl TokenMem for ListMem {
-    fn insert_left(&mut self, j: &JoinNode, token: Token, neg_count: u32) {
+    fn left_key(&self, _j: &JoinNode, _token: &Token) -> u64 {
+        0
+    }
+
+    fn right_key(&self, _j: &JoinNode, _wme: &Wme) -> u64 {
+        0
+    }
+
+    fn insert_left(&mut self, j: &JoinNode, _key: u64, token: Token, neg_count: u32) {
         self.left[j.id as usize].push(ListLeftEntry { token, neg_count });
     }
 
-    fn remove_left(&mut self, j: &JoinNode, token: &Token) -> Removed<u32> {
+    fn remove_left(&mut self, j: &JoinNode, _key: u64, token: &Token) -> Removed<u32> {
         let mem = &mut self.left[j.id as usize];
         for (i, e) in mem.iter().enumerate() {
             if e.token.same_wmes(token) {
@@ -141,11 +176,11 @@ impl TokenMem for ListMem {
         }
     }
 
-    fn insert_right(&mut self, j: &JoinNode, wme: WmeRef) {
+    fn insert_right(&mut self, j: &JoinNode, _key: u64, wme: WmeRef) {
         self.right[j.id as usize].push(wme);
     }
 
-    fn remove_right(&mut self, j: &JoinNode, wme: &Wme) -> Removed<()> {
+    fn remove_right(&mut self, j: &JoinNode, _key: u64, wme: &Wme) -> Removed<()> {
         let mem = &mut self.right[j.id as usize];
         for (i, w) in mem.iter().enumerate() {
             if w.timetag == wme.timetag {
@@ -162,59 +197,80 @@ impl TokenMem for ListMem {
         }
     }
 
-    fn scan_right(&self, j: &JoinNode, token: &Token) -> Scan<WmeRef> {
+    fn scan_right(
+        &self,
+        j: &JoinNode,
+        _key: u64,
+        token: &Token,
+        out: &mut Vec<WmeRef>,
+    ) -> ScanStats {
+        out.clear();
         let mem = &self.right[j.id as usize];
-        let matches = mem.iter().filter(|w| j.passes(token, w)).cloned().collect();
-        Scan {
-            matches,
+        let ops = j.resolve_left(token);
+        for w in mem {
+            if j.passes_resolved(&ops, token, w) {
+                out.push(w.clone());
+            }
+        }
+        ScanStats {
             examined: mem.len() as u64,
             nonempty: !mem.is_empty(),
         }
     }
 
-    fn scan_left(&self, j: &JoinNode, wme: &Wme) -> Scan<Token> {
+    fn scan_left(&self, j: &JoinNode, _key: u64, wme: &Wme, out: &mut Vec<Token>) -> ScanStats {
+        out.clear();
         let mem = &self.left[j.id as usize];
-        let matches = mem
-            .iter()
-            .filter(|e| j.passes(&e.token, wme))
-            .map(|e| e.token.clone())
-            .collect();
-        Scan {
-            matches,
+        for e in mem {
+            if j.passes(&e.token, wme) {
+                out.push(e.token.clone());
+            }
+        }
+        ScanStats {
             examined: mem.len() as u64,
             nonempty: !mem.is_empty(),
         }
     }
 
-    fn adjust_left_counts(&mut self, j: &JoinNode, wme: &Wme, delta: i32) -> Scan<Token> {
+    fn adjust_left_counts(
+        &mut self,
+        j: &JoinNode,
+        _key: u64,
+        wme: &Wme,
+        delta: i32,
+        out: &mut Vec<Token>,
+    ) -> ScanStats {
+        out.clear();
         let mem = &mut self.left[j.id as usize];
-        let mut crossed = Vec::new();
         for e in mem.iter_mut() {
             if j.passes(&e.token, wme) {
                 if delta > 0 {
                     e.neg_count += 1;
                     if e.neg_count == 1 {
-                        crossed.push(e.token.clone());
+                        out.push(e.token.clone());
                     }
                 } else {
                     debug_assert!(e.neg_count > 0, "not-node counter underflow");
                     e.neg_count -= 1;
                     if e.neg_count == 0 {
-                        crossed.push(e.token.clone());
+                        out.push(e.token.clone());
                     }
                 }
             }
         }
-        Scan {
-            matches: crossed,
+        ScanStats {
             examined: mem.len() as u64,
             nonempty: !mem.is_empty(),
         }
     }
 
-    fn count_right(&self, j: &JoinNode, token: &Token) -> (u32, u64, bool) {
+    fn count_right(&self, j: &JoinNode, _key: u64, token: &Token) -> (u32, u64, bool) {
         let mem = &self.right[j.id as usize];
-        let n = mem.iter().filter(|w| j.passes(token, w)).count() as u32;
+        let ops = j.resolve_left(token);
+        let n = mem
+            .iter()
+            .filter(|w| j.passes_resolved(&ops, token, w))
+            .count() as u32;
         (n, mem.len() as u64, !mem.is_empty())
     }
 
@@ -244,7 +300,8 @@ struct HashRightEntry {
 /// A "line" is the pair of same-index buckets of the left and right tables;
 /// any single node activation touches exactly one line. The bucket index of
 /// an entry is `key & mask`, where the key hashes the join id and the values
-/// covered by the join's equality tests.
+/// covered by the join's equality tests. Each entry stores its key, so
+/// probes compare one cached word before touching token identity.
 pub struct HashMem {
     left: Vec<Vec<HashLeftEntry>>,
     right: Vec<Vec<HashRightEntry>>,
@@ -274,8 +331,15 @@ impl HashMem {
 }
 
 impl TokenMem for HashMem {
-    fn insert_left(&mut self, j: &JoinNode, token: Token, neg_count: u32) {
-        let key = j.left_key(&token);
+    fn left_key(&self, j: &JoinNode, token: &Token) -> u64 {
+        j.left_key(token)
+    }
+
+    fn right_key(&self, j: &JoinNode, wme: &Wme) -> u64 {
+        j.right_key(wme)
+    }
+
+    fn insert_left(&mut self, j: &JoinNode, key: u64, token: Token, neg_count: u32) {
         let b = self.line_of(key);
         self.left[b].push(HashLeftEntry {
             join: j.id,
@@ -285,8 +349,7 @@ impl TokenMem for HashMem {
         });
     }
 
-    fn remove_left(&mut self, j: &JoinNode, token: &Token) -> Removed<u32> {
-        let key = j.left_key(token);
+    fn remove_left(&mut self, j: &JoinNode, key: u64, token: &Token) -> Removed<u32> {
         let b = self.line_of(key);
         let mem = &mut self.left[b];
         let mut examined = 0u64;
@@ -310,8 +373,7 @@ impl TokenMem for HashMem {
         }
     }
 
-    fn insert_right(&mut self, j: &JoinNode, wme: WmeRef) {
-        let key = j.right_key(&wme);
+    fn insert_right(&mut self, j: &JoinNode, key: u64, wme: WmeRef) {
         let b = self.line_of(key);
         self.right[b].push(HashRightEntry {
             join: j.id,
@@ -320,8 +382,7 @@ impl TokenMem for HashMem {
         });
     }
 
-    fn remove_right(&mut self, j: &JoinNode, wme: &Wme) -> Removed<()> {
-        let key = j.right_key(wme);
+    fn remove_right(&mut self, j: &JoinNode, key: u64, wme: &Wme) -> Removed<()> {
         let b = self.line_of(key);
         let mem = &mut self.right[b];
         let mut examined = 0u64;
@@ -345,31 +406,35 @@ impl TokenMem for HashMem {
         }
     }
 
-    fn scan_right(&self, j: &JoinNode, token: &Token) -> Scan<WmeRef> {
-        let key = j.left_key(token);
+    fn scan_right(
+        &self,
+        j: &JoinNode,
+        key: u64,
+        token: &Token,
+        out: &mut Vec<WmeRef>,
+    ) -> ScanStats {
+        out.clear();
         let mem = &self.right[self.line_of(key)];
-        let mut matches = Vec::new();
+        let ops = j.resolve_left(token);
         let mut examined = 0u64;
         for e in mem {
             if e.join != j.id {
                 continue;
             }
             examined += 1;
-            if e.key == key && j.passes(token, &e.wme) {
-                matches.push(e.wme.clone());
+            if e.key == key && j.passes_resolved(&ops, token, &e.wme) {
+                out.push(e.wme.clone());
             }
         }
-        Scan {
-            matches,
+        ScanStats {
             examined,
             nonempty: examined > 0,
         }
     }
 
-    fn scan_left(&self, j: &JoinNode, wme: &Wme) -> Scan<Token> {
-        let key = j.right_key(wme);
+    fn scan_left(&self, j: &JoinNode, key: u64, wme: &Wme, out: &mut Vec<Token>) -> ScanStats {
+        out.clear();
         let mem = &self.left[self.line_of(key)];
-        let mut matches = Vec::new();
         let mut examined = 0u64;
         for e in mem {
             if e.join != j.id {
@@ -377,21 +442,26 @@ impl TokenMem for HashMem {
             }
             examined += 1;
             if e.key == key && j.passes(&e.token, wme) {
-                matches.push(e.token.clone());
+                out.push(e.token.clone());
             }
         }
-        Scan {
-            matches,
+        ScanStats {
             examined,
             nonempty: examined > 0,
         }
     }
 
-    fn adjust_left_counts(&mut self, j: &JoinNode, wme: &Wme, delta: i32) -> Scan<Token> {
-        let key = j.right_key(wme);
+    fn adjust_left_counts(
+        &mut self,
+        j: &JoinNode,
+        key: u64,
+        wme: &Wme,
+        delta: i32,
+        out: &mut Vec<Token>,
+    ) -> ScanStats {
+        out.clear();
         let b = self.line_of(key);
         let mem = &mut self.left[b];
-        let mut crossed = Vec::new();
         let mut examined = 0u64;
         for e in mem.iter_mut() {
             if e.join != j.id {
@@ -402,27 +472,26 @@ impl TokenMem for HashMem {
                 if delta > 0 {
                     e.neg_count += 1;
                     if e.neg_count == 1 {
-                        crossed.push(e.token.clone());
+                        out.push(e.token.clone());
                     }
                 } else {
                     debug_assert!(e.neg_count > 0, "not-node counter underflow");
                     e.neg_count -= 1;
                     if e.neg_count == 0 {
-                        crossed.push(e.token.clone());
+                        out.push(e.token.clone());
                     }
                 }
             }
         }
-        Scan {
-            matches: crossed,
+        ScanStats {
             examined,
             nonempty: examined > 0,
         }
     }
 
-    fn count_right(&self, j: &JoinNode, token: &Token) -> (u32, u64, bool) {
-        let key = j.left_key(token);
+    fn count_right(&self, j: &JoinNode, key: u64, token: &Token) -> (u32, u64, bool) {
         let mem = &self.right[self.line_of(key)];
+        let ops = j.resolve_left(token);
         let mut n = 0u32;
         let mut examined = 0u64;
         for e in mem {
@@ -430,7 +499,7 @@ impl TokenMem for HashMem {
                 continue;
             }
             examined += 1;
-            if e.key == key && j.passes(token, &e.wme) {
+            if e.key == key && j.passes_resolved(&ops, token, &e.wme) {
                 n += 1;
             }
         }
@@ -466,31 +535,34 @@ mod tests {
         let wb2 = Wme::new(cb, vec![Value::Int(2)], 3);
         let tok = Token::single(wa);
 
-        mem.insert_left(&j, tok.clone(), 0);
-        mem.insert_right(&j, wb1.clone());
-        mem.insert_right(&j, wb2.clone());
+        let lk = mem.left_key(&j, &tok);
+        mem.insert_left(&j, lk, tok.clone(), 0);
+        mem.insert_right(&j, mem.right_key(&j, &wb1), wb1.clone());
+        mem.insert_right(&j, mem.right_key(&j, &wb2), wb2.clone());
 
         // Left scan finds only the matching wme.
-        let s = mem.scan_right(&j, &tok);
-        assert_eq!(s.matches.len(), 1);
-        assert_eq!(s.matches[0].timetag, 2);
+        let mut wmes = Vec::new();
+        let s = mem.scan_right(&j, lk, &tok, &mut wmes);
+        assert_eq!(wmes.len(), 1);
+        assert_eq!(wmes[0].timetag, 2);
         assert!(s.nonempty);
 
         // Right scan from the matching wme finds the token.
-        let s = mem.scan_left(&j, &wb1);
-        assert_eq!(s.matches.len(), 1);
+        let mut toks = Vec::new();
+        mem.scan_left(&j, mem.right_key(&j, &wb1), &wb1, &mut toks);
+        assert_eq!(toks.len(), 1);
         // Right scan from the non-matching wme finds nothing.
-        let s = mem.scan_left(&j, &wb2);
-        assert_eq!(s.matches.len(), 0);
+        mem.scan_left(&j, mem.right_key(&j, &wb2), &wb2, &mut toks);
+        assert_eq!(toks.len(), 0);
 
         // Delete the token; second delete fails.
-        let r = mem.remove_left(&j, &tok);
+        let r = mem.remove_left(&j, lk, &tok);
         assert_eq!(r.entry, Some(0));
-        let r = mem.remove_left(&j, &tok);
+        let r = mem.remove_left(&j, lk, &tok);
         assert!(r.entry.is_none());
 
         // Delete a right wme.
-        let r = mem.remove_right(&j, &wb2);
+        let r = mem.remove_right(&j, mem.right_key(&j, &wb2), &wb2);
         assert!(r.entry.is_some());
         assert_eq!(mem.total_entries(), 1);
     }
@@ -521,14 +593,15 @@ mod tests {
         // 100 right wmes with distinct join values.
         for i in 0..100 {
             let w = Wme::new(cb, vec![Value::Int(i)], 10 + i as u64);
-            list.insert_right(&j, w.clone());
-            hash.insert_right(&j, w);
+            list.insert_right(&j, list.right_key(&j, &w), w.clone());
+            hash.insert_right(&j, hash.right_key(&j, &w), w);
         }
         let tok = Token::single(Wme::new(ca, vec![Value::Int(5)], 1));
-        let sl = list.scan_right(&j, &tok);
-        let sh = hash.scan_right(&j, &tok);
-        assert_eq!(sl.matches.len(), 1);
-        assert_eq!(sh.matches.len(), 1);
+        let mut out = Vec::new();
+        let sl = list.scan_right(&j, list.left_key(&j, &tok), &tok, &mut out);
+        assert_eq!(out.len(), 1);
+        let sh = hash.scan_right(&j, hash.left_key(&j, &tok), &tok, &mut out);
+        assert_eq!(out.len(), 1);
         assert_eq!(sl.examined, 100, "vs1 examines the whole opposite memory");
         assert!(
             sh.examined < 10,
@@ -551,23 +624,26 @@ mod tests {
         let cb = prog.symbols.intern("b");
         let mut mem = HashMem::new(HashMemConfig { buckets: 8 });
         let tok = Token::single(Wme::new(ca, vec![Value::Int(1)], 1));
-        mem.insert_left(&j, tok.clone(), 0);
+        mem.insert_left(&j, mem.left_key(&j, &tok), tok.clone(), 0);
 
         let wb = Wme::new(cb, vec![Value::Int(1)], 2);
         let wb2 = Wme::new(cb, vec![Value::Int(1)], 3);
+        let kb = mem.right_key(&j, &wb);
+        let kb2 = mem.right_key(&j, &wb2);
 
+        let mut crossed = Vec::new();
         // 0 -> 1 crossing reported once.
-        let s = mem.adjust_left_counts(&j, &wb, 1);
-        assert_eq!(s.matches.len(), 1);
+        mem.adjust_left_counts(&j, kb, &wb, 1, &mut crossed);
+        assert_eq!(crossed.len(), 1);
         // 1 -> 2: no crossing.
-        let s = mem.adjust_left_counts(&j, &wb2, 1);
-        assert_eq!(s.matches.len(), 0);
+        mem.adjust_left_counts(&j, kb2, &wb2, 1, &mut crossed);
+        assert_eq!(crossed.len(), 0);
         // 2 -> 1: no crossing.
-        let s = mem.adjust_left_counts(&j, &wb2, -1);
-        assert_eq!(s.matches.len(), 0);
+        mem.adjust_left_counts(&j, kb2, &wb2, -1, &mut crossed);
+        assert_eq!(crossed.len(), 0);
         // 1 -> 0: crossing.
-        let s = mem.adjust_left_counts(&j, &wb, -1);
-        assert_eq!(s.matches.len(), 1);
+        mem.adjust_left_counts(&j, kb, &wb, -1, &mut crossed);
+        assert_eq!(crossed.len(), 1);
     }
 
     #[test]
@@ -580,12 +656,14 @@ mod tests {
         let cb = prog.symbols.intern("b");
         let mut mem = HashMem::new(HashMemConfig { buckets: 256 });
         for i in 0..50 {
-            mem.insert_right(&j, Wme::new(cb, vec![Value::Int(i)], i as u64 + 1));
+            let w = Wme::new(cb, vec![Value::Int(i)], i as u64 + 1);
+            mem.insert_right(&j, mem.right_key(&j, &w), w);
         }
         let ca = prog.symbols.intern("a");
         let tok = Token::single(Wme::new(ca, vec![Value::Int(0)], 100));
-        let s = mem.scan_right(&j, &tok);
-        assert_eq!(s.matches.len(), 50, "cross-product matches everything");
+        let mut out = Vec::new();
+        let s = mem.scan_right(&j, mem.left_key(&j, &tok), &tok, &mut out);
+        assert_eq!(out.len(), 50, "cross-product matches everything");
         assert_eq!(
             s.examined, 50,
             "and examines everything — the Tourney pathology"

@@ -125,6 +125,25 @@ fn hash_value(seed: u64, v: Value) -> u64 {
     }
 }
 
+/// Join-test left operands capacity for the stack-resolved fast path.
+pub const MAX_RESOLVED_TESTS: usize = 8;
+
+/// The left token's join-test operands, resolved once per left activation.
+///
+/// A left activation compares one token against every candidate WME in the
+/// opposite line; resolving `token[left_ce].field(left_field)` once turns
+/// the per-candidate work into flat field-vs-value compares instead of
+/// repeated token-chain walks. Held entirely on the stack.
+pub enum LeftOperands {
+    Inline {
+        vals: [Value; MAX_RESOLVED_TESTS],
+        len: u8,
+    },
+    /// More tests than the inline capacity (vanishingly rare): fall back to
+    /// per-candidate [`JoinNode::passes`].
+    Overflow,
+}
+
 impl JoinNode {
     /// Do all inter-element tests pass for this (token, wme) pair?
     #[inline]
@@ -135,6 +154,35 @@ impl JoinNode {
                 token.value(t.left_ce, t.left_field),
             )
         })
+    }
+
+    /// Resolve the left operands of all join tests against `token`.
+    #[inline]
+    pub fn resolve_left(&self, token: &Token) -> LeftOperands {
+        if self.tests.len() > MAX_RESOLVED_TESTS {
+            return LeftOperands::Overflow;
+        }
+        let mut vals = [Value::Int(0); MAX_RESOLVED_TESTS];
+        for (v, t) in vals.iter_mut().zip(self.tests.iter()) {
+            *v = token.value(t.left_ce, t.left_field);
+        }
+        LeftOperands::Inline {
+            vals,
+            len: self.tests.len() as u8,
+        }
+    }
+
+    /// [`JoinNode::passes`] against pre-resolved left operands.
+    #[inline]
+    pub fn passes_resolved(&self, ops: &LeftOperands, token: &Token, wme: &Wme) -> bool {
+        match ops {
+            LeftOperands::Inline { vals, .. } => self
+                .tests
+                .iter()
+                .zip(vals.iter())
+                .all(|(t, lv)| t.pred.eval(wme.field(t.right_field), *lv)),
+            LeftOperands::Overflow => self.passes(token, wme),
+        }
     }
 
     /// Hash key for a token entering this join's **left** memory.

@@ -43,6 +43,9 @@ pub struct SeqMatcher<M: TokenMem> {
     out: Vec<CsChange>,
     stats: MatchStats,
     delta: StatsDeltaTracker,
+    /// Reusable scan buffers: a steady-state activation allocates nothing.
+    scratch_wmes: Vec<WmeRef>,
+    scratch_tokens: Vec<Token>,
 }
 
 impl SeqMatcher<ListMem> {
@@ -56,6 +59,8 @@ impl SeqMatcher<ListMem> {
             out: Vec::new(),
             stats: MatchStats::default(),
             delta: StatsDeltaTracker::default(),
+            scratch_wmes: Vec::new(),
+            scratch_tokens: Vec::new(),
         }
     }
 }
@@ -70,6 +75,8 @@ impl SeqMatcher<HashMem> {
             out: Vec::new(),
             stats: MatchStats::default(),
             delta: StatsDeltaTracker::default(),
+            scratch_wmes: Vec::new(),
+            scratch_tokens: Vec::new(),
         }
     }
 }
@@ -83,32 +90,37 @@ pub fn boxed_vs2(net: Arc<Network>, cfg: HashMemConfig) -> Box<dyn Matcher> {
     Box::new(SeqMatcher::vs2(net, cfg))
 }
 
-impl<M: TokenMem + Send> SeqMatcher<M> {
-    fn emit(&mut self, succ: Succ, token: Token, sign: Sign) {
-        match succ {
-            Succ::Join(j) => self.agenda.push(Task::Left {
-                join: j,
-                sign,
-                token,
-            }),
-            Succ::Terminal(p) => self.agenda.push(Task::Terminal {
-                prod: p,
-                sign,
-                token,
-            }),
-        }
+/// Schedules a join output (free function so scan-buffer drains can push
+/// while the buffer is borrowed from `self`).
+fn push_succ(agenda: &mut Vec<Task>, succ: Succ, token: Token, sign: Sign) {
+    match succ {
+        Succ::Join(j) => agenda.push(Task::Left {
+            join: j,
+            sign,
+            token,
+        }),
+        Succ::Terminal(p) => agenda.push(Task::Terminal {
+            prod: p,
+            sign,
+            token,
+        }),
     }
+}
 
+impl<M: TokenMem + Send> SeqMatcher<M> {
     fn run_task(&mut self, task: Task) {
         match task {
             Task::Left { join, sign, token } => {
                 self.stats.activations += 1;
                 let j = self.net.join(join).clone();
+                // One key per activation: the same key addresses the remove
+                // or insert and the opposite-memory scan.
+                let key = self.mem.left_key(&j, &token);
                 if !j.negated {
                     match sign {
-                        Sign::Plus => self.mem.insert_left(&j, token.clone(), 0),
+                        Sign::Plus => self.mem.insert_left(&j, key, token.clone(), 0),
                         Sign::Minus => {
-                            let r = self.mem.remove_left(&j, &token);
+                            let r = self.mem.remove_left(&j, key, &token);
                             self.stats.same_tokens_left += r.examined;
                             self.stats.same_searches_left += 1;
                             debug_assert!(
@@ -117,34 +129,34 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                             );
                         }
                     }
-                    let scan = self.mem.scan_right(&j, &token);
+                    let scan = self.mem.scan_right(&j, key, &token, &mut self.scratch_wmes);
                     self.stats.opp_tokens_left += scan.examined;
                     if scan.nonempty {
                         self.stats.opp_nonempty_left += 1;
                     }
-                    for w in scan.matches {
-                        self.emit(j.succ, token.extended(w), sign);
+                    for w in self.scratch_wmes.drain(..) {
+                        push_succ(&mut self.agenda, j.succ, token.extended(w), sign);
                     }
                 } else {
                     match sign {
                         Sign::Plus => {
-                            let (n, examined, nonempty) = self.mem.count_right(&j, &token);
+                            let (n, examined, nonempty) = self.mem.count_right(&j, key, &token);
                             self.stats.opp_tokens_left += examined;
                             if nonempty {
                                 self.stats.opp_nonempty_left += 1;
                             }
-                            self.mem.insert_left(&j, token.clone(), n);
+                            self.mem.insert_left(&j, key, token.clone(), n);
                             if n == 0 {
-                                self.emit(j.succ, token, Sign::Plus);
+                                push_succ(&mut self.agenda, j.succ, token, Sign::Plus);
                             }
                         }
                         Sign::Minus => {
-                            let r = self.mem.remove_left(&j, &token);
+                            let r = self.mem.remove_left(&j, key, &token);
                             self.stats.same_tokens_left += r.examined;
                             self.stats.same_searches_left += 1;
                             if let Some(neg_count) = r.entry {
                                 if neg_count == 0 {
-                                    self.emit(j.succ, token, Sign::Minus);
+                                    push_succ(&mut self.agenda, j.succ, token, Sign::Minus);
                                 }
                             }
                         }
@@ -154,50 +166,63 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
             Task::Right { join, sign, wme } => {
                 self.stats.activations += 1;
                 let j = self.net.join(join).clone();
+                let key = self.mem.right_key(&j, &wme);
                 if !j.negated {
                     match sign {
-                        Sign::Plus => self.mem.insert_right(&j, wme.clone()),
+                        Sign::Plus => self.mem.insert_right(&j, key, wme.clone()),
                         Sign::Minus => {
-                            let r = self.mem.remove_right(&j, &wme);
+                            let r = self.mem.remove_right(&j, key, &wme);
                             self.stats.same_tokens_right += r.examined;
                             self.stats.same_searches_right += 1;
                             debug_assert!(r.entry.is_some(), "sequential delete must find its wme");
                         }
                     }
-                    let scan = self.mem.scan_left(&j, &wme);
+                    let scan = self.mem.scan_left(&j, key, &wme, &mut self.scratch_tokens);
                     self.stats.opp_tokens_right += scan.examined;
                     if scan.nonempty {
                         self.stats.opp_nonempty_right += 1;
                     }
-                    for t in scan.matches {
-                        self.emit(j.succ, t.extended(wme.clone()), sign);
+                    for t in self.scratch_tokens.drain(..) {
+                        push_succ(&mut self.agenda, j.succ, t.extended(wme.clone()), sign);
                     }
                 } else {
                     match sign {
                         Sign::Plus => {
-                            self.mem.insert_right(&j, wme.clone());
-                            let scan = self.mem.adjust_left_counts(&j, &wme, 1);
+                            self.mem.insert_right(&j, key, wme.clone());
+                            let scan = self.mem.adjust_left_counts(
+                                &j,
+                                key,
+                                &wme,
+                                1,
+                                &mut self.scratch_tokens,
+                            );
                             self.stats.opp_tokens_right += scan.examined;
                             if scan.nonempty {
                                 self.stats.opp_nonempty_right += 1;
                             }
-                            for t in scan.matches {
+                            for t in self.scratch_tokens.drain(..) {
                                 // 0→1: those tokens just lost their support.
-                                self.emit(j.succ, t, Sign::Minus);
+                                push_succ(&mut self.agenda, j.succ, t, Sign::Minus);
                             }
                         }
                         Sign::Minus => {
-                            let r = self.mem.remove_right(&j, &wme);
+                            let r = self.mem.remove_right(&j, key, &wme);
                             self.stats.same_tokens_right += r.examined;
                             self.stats.same_searches_right += 1;
-                            let scan = self.mem.adjust_left_counts(&j, &wme, -1);
+                            let scan = self.mem.adjust_left_counts(
+                                &j,
+                                key,
+                                &wme,
+                                -1,
+                                &mut self.scratch_tokens,
+                            );
                             self.stats.opp_tokens_right += scan.examined;
                             if scan.nonempty {
                                 self.stats.opp_nonempty_right += 1;
                             }
-                            for t in scan.matches {
+                            for t in self.scratch_tokens.drain(..) {
                                 // 1→0: those tokens regained satisfaction.
-                                self.emit(j.succ, t, Sign::Plus);
+                                push_succ(&mut self.agenda, j.succ, t, Sign::Plus);
                             }
                         }
                     }
@@ -208,7 +233,7 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                 self.stats.cs_changes += 1;
                 let inst = Instantiation {
                     prod,
-                    wmes: token.wmes().to_vec(),
+                    wmes: token.wme_vec(),
                 };
                 self.out.push(match sign {
                     Sign::Plus => CsChange::Insert(inst),

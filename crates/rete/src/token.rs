@@ -6,100 +6,176 @@
 //! (for memory lookups and conjugate-pair detection) is the sequence of WME
 //! timetags — structurally equal WMEs created at different times are
 //! different elements.
+//!
+//! Representation: a parent-linked persistent list. Each join output shares
+//! its parent's chain and allocates exactly one [`TokenNode`], so
+//! `extended()` is O(1) instead of O(depth) — the paper's point that match
+//! tasks are only 100–700 instructions makes token materialization the
+//! dominant per-task cost otherwise. The identity hash is the Fx left fold
+//! over the timetag sequence; because the fold is incremental
+//! (`mix(parent_hash, timetag)`), it is computed once at construction and
+//! every memory probe reads the cached word.
 
 use crate::fxhash;
 use ops5::{Value, WmeRef};
 use std::fmt;
 use std::sync::Arc;
 
+/// One link in a token chain: the most recent WME plus the shared parent.
+struct TokenNode {
+    parent: Option<Arc<TokenNode>>,
+    wme: WmeRef,
+    /// Number of WMEs in the chain ending here (1-based).
+    depth: u16,
+    /// Fx fold of the timetag sequence root → here, cached at construction.
+    hash: u64,
+}
+
 /// An ordered list of matched WMEs (positive condition elements only).
 #[derive(Clone)]
 pub struct Token {
-    wmes: Arc<[WmeRef]>,
+    node: Option<Arc<TokenNode>>,
 }
 
 impl Token {
     /// The empty token (left input of the first join when the first CE is
     /// negated never occurs — parser forbids it — but the dummy top token is
-    /// still useful in tests).
+    /// still useful in tests). Allocation-free.
     pub fn empty() -> Token {
-        Token {
-            wmes: Arc::from(Vec::new().into_boxed_slice()),
-        }
+        Token { node: None }
     }
 
     /// A one-WME token, as produced by the alpha network.
     pub fn single(wme: WmeRef) -> Token {
-        Token {
-            wmes: Arc::from(vec![wme].into_boxed_slice()),
-        }
+        Token::empty().extended(wme)
     }
 
-    /// Extends this token with one more WME (join output).
+    /// Extends this token with one more WME (join output). O(1): the parent
+    /// chain is shared, one `TokenNode` is allocated.
     pub fn extended(&self, wme: WmeRef) -> Token {
-        let mut v = Vec::with_capacity(self.wmes.len() + 1);
-        v.extend(self.wmes.iter().cloned());
-        v.push(wme);
+        let (depth, hash) = match &self.node {
+            Some(n) => (n.depth + 1, fxhash::mix(n.hash, wme.timetag)),
+            None => (1, fxhash::mix(0, wme.timetag)),
+        };
         Token {
-            wmes: Arc::from(v.into_boxed_slice()),
+            node: Some(Arc::new(TokenNode {
+                parent: self.node.clone(),
+                wme,
+                depth,
+                hash,
+            })),
         }
     }
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.wmes.len()
+        self.node.as_ref().map_or(0, |n| n.depth as usize)
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.wmes.is_empty()
+        self.node.is_none()
     }
 
+    /// The WME bound to positive CE `idx` (0-based from the front). Walks
+    /// `len() - 1 - idx` parent links; tokens are at most a production's
+    /// positive-CE count deep, so the walk is a handful of hops.
     #[inline]
     pub fn wme(&self, idx: u16) -> &WmeRef {
-        &self.wmes[idx as usize]
+        let mut n = self.node.as_deref().expect("wme index out of range");
+        debug_assert!((idx as usize) < n.depth as usize);
+        while n.depth != idx + 1 {
+            n = n.parent.as_deref().expect("wme index out of range");
+        }
+        &n.wme
     }
 
+    /// The most recently matched WME (`wme(len-1)`), O(1).
     #[inline]
-    pub fn wmes(&self) -> &[WmeRef] {
-        &self.wmes
+    pub fn last_wme(&self) -> Option<&WmeRef> {
+        self.node.as_deref().map(|n| &n.wme)
+    }
+
+    /// Collects the WMEs front-to-back (instantiation construction — the
+    /// cold path; hot paths address CEs through [`Token::wme`]).
+    pub fn wme_vec(&self) -> Vec<WmeRef> {
+        let mut v: Vec<WmeRef> = self.iter_back().cloned().collect();
+        v.reverse();
+        v
     }
 
     /// Value of `token[ce].field(f)` — the join-test left operand.
     #[inline]
     pub fn value(&self, ce: u16, field: u16) -> Value {
-        self.wmes[ce as usize].field(field)
+        self.wme(ce).field(field)
     }
 
-    /// Token identity: equal iff same timetag sequence.
+    /// Token identity: equal iff same timetag sequence. The cached hash and
+    /// depth reject almost all non-equal pairs in two word compares; the
+    /// chain walk confirms (hash collisions must not merge identities).
     #[inline]
     pub fn same_wmes(&self, other: &Token) -> bool {
-        self.wmes.len() == other.wmes.len()
-            && self
-                .wmes
-                .iter()
-                .zip(other.wmes.iter())
-                .all(|(a, b)| a.timetag == b.timetag)
+        match (&self.node, &other.node) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                if a.depth != b.depth || a.hash != b.hash {
+                    return false;
+                }
+                if Arc::ptr_eq(a, b) {
+                    return true;
+                }
+                self.iter_back()
+                    .zip(other.iter_back())
+                    .all(|(x, y)| x.timetag == y.timetag)
+            }
+            _ => false,
+        }
     }
 
     /// Fx hash of the timetag sequence (used for fast identity pre-checks).
+    /// Cached at construction — reading it is free.
+    #[inline]
     pub fn identity_hash(&self) -> u64 {
-        fxhash::hash_words(self.wmes.iter().map(|w| w.timetag))
+        self.node.as_ref().map_or(0, |n| n.hash)
     }
 
     pub fn timetags(&self) -> Vec<u64> {
-        self.wmes.iter().map(|w| w.timetag).collect()
+        let mut v: Vec<u64> = self.iter_back().map(|w| w.timetag).collect();
+        v.reverse();
+        v
+    }
+
+    /// Iterates the chain back-to-front (most recent WME first).
+    fn iter_back(&self) -> TokenIter<'_> {
+        TokenIter {
+            node: self.node.as_deref(),
+        }
+    }
+}
+
+struct TokenIter<'a> {
+    node: Option<&'a TokenNode>,
+}
+
+impl<'a> Iterator for TokenIter<'a> {
+    type Item = &'a WmeRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a WmeRef> {
+        let n = self.node?;
+        self.node = n.parent.as_deref();
+        Some(&n.wme)
     }
 }
 
 impl fmt::Debug for Token {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "tok[")?;
-        for (i, w) in self.wmes.iter().enumerate() {
+        for (i, t) in self.timetags().iter().enumerate() {
             if i > 0 {
                 write!(f, " ")?;
             }
-            write!(f, "{}", w.timetag)?;
+            write!(f, "{t}")?;
         }
         write!(f, "]")
     }
@@ -119,6 +195,8 @@ mod tests {
         let t = Token::single(wme(1)).extended(wme(2));
         assert_eq!(t.len(), 2);
         assert_eq!(t.wme(1).timetag, 2);
+        assert_eq!(t.wme(0).timetag, 1);
+        assert_eq!(t.last_wme().unwrap().timetag, 2);
     }
 
     #[test]
@@ -132,6 +210,18 @@ mod tests {
     }
 
     #[test]
+    fn cached_hash_matches_fold_of_timetags() {
+        // The incremental hash must equal the flat fold over the sequence —
+        // memories built before and after this representation change probe
+        // the same lines.
+        let mut t = Token::empty();
+        for tag in [5u64, 9, 2, 40, 17] {
+            t = t.extended(wme(tag));
+            assert_eq!(t.identity_hash(), fxhash::hash_words(t.timetags()));
+        }
+    }
+
+    #[test]
     fn value_reads_fields() {
         let t = Token::single(wme(7));
         assert_eq!(t.value(0, 0), Value::Int(7));
@@ -141,5 +231,25 @@ mod tests {
     fn empty_token() {
         assert!(Token::empty().is_empty());
         assert_eq!(Token::empty().len(), 0);
+        assert_eq!(Token::empty().identity_hash(), 0);
+        assert!(Token::empty().same_wmes(&Token::empty()));
+    }
+
+    #[test]
+    fn wme_vec_is_front_to_back() {
+        let t = Token::single(wme(1)).extended(wme(2)).extended(wme(3));
+        let tags: Vec<u64> = t.wme_vec().iter().map(|w| w.timetag).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert_eq!(t.timetags(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_parent_chains_diverge() {
+        let base = Token::single(wme(1)).extended(wme(2));
+        let a = base.extended(wme(3));
+        let b = base.extended(wme(4));
+        assert_eq!(a.timetags(), vec![1, 2, 3]);
+        assert_eq!(b.timetags(), vec![1, 2, 4]);
+        assert!(!a.same_wmes(&b));
     }
 }

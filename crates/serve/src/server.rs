@@ -128,6 +128,10 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            // Request/response protocol: without NODELAY the kernel holds
+            // small replies for Nagle coalescing and every round trip eats
+            // a delayed-ACK timeout.
+            let _ = stream.set_nodelay(true);
             let shared = self.shared.clone();
             conns.push(std::thread::spawn(move || handle_conn(stream, &shared)));
             // Opportunistically reap finished connections so a long-lived

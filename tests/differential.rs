@@ -148,6 +148,50 @@ fn corpus_programs_identical_on_all_matchers() {
     }
 }
 
+/// Stronger than the firing log: the conflict-set contents after every
+/// recognize-act cycle, rendered to bytes, must be identical on all four
+/// matchers for every corpus program. Firing order alone could mask a
+/// memory-level divergence that conflict resolution happens to hide.
+#[test]
+fn corpus_cs_history_identical_on_all_matchers() {
+    for name in ["blocks", "fibonacci", "monkey", "hanoi"] {
+        let src = std::fs::read_to_string(format!("programs/{name}.ops")).expect("read corpus");
+        let history = |choice: &MatcherChoice| -> Vec<u8> {
+            let mut eng = EngineBuilder::from_source(&src)
+                .expect("parse")
+                .matcher(choice.kind())
+                .build()
+                .expect("build");
+            eng.load_startup().expect("startup");
+            let mut out = Vec::new();
+            loop {
+                let r = eng.run(1).expect("run");
+                for (prod, tags) in eng.conflict_set().sorted_keys() {
+                    out.extend_from_slice(format!("{}:{tags:?};", prod.0).as_bytes());
+                }
+                out.push(b'\n');
+                if r.reason != StopReason::CycleLimit {
+                    break;
+                }
+            }
+            out
+        };
+        let reference = history(&MatcherChoice::Vs2);
+        assert!(
+            reference.len() > 4,
+            "{name} produced no conflict-set history"
+        );
+        for choice in all_choices() {
+            assert_eq!(
+                history(&choice),
+                reference,
+                "CS history mismatch: {name} under {}",
+                choice.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn trace_matcher_agrees_too() {
     let w = rubik::workload(rubik::RubikConfig {

@@ -237,6 +237,49 @@ proptest! {
     }
 
     #[test]
+    fn token_identity_matches_timetag_sequence(
+        tags_a in proptest::collection::vec(1u64..64, 0..8),
+        tags_b in proptest::collection::vec(1u64..64, 0..8),
+    ) {
+        // The parent-linked token must be observationally identical to the
+        // flat WME-list definition: identity is the timetag sequence, the
+        // cached hash is the flat fxhash fold over it, and walking the
+        // chain reproduces the sequence front to back.
+        let class = ops5::SymbolId(0);
+        let mk = |tags: &[u64]| {
+            let mut t = rete::Token::empty();
+            for &tag in tags {
+                t = t.extended(Wme::new(class, vec![], tag));
+            }
+            t
+        };
+        let (ta, tb) = (mk(&tags_a), mk(&tags_b));
+        prop_assert_eq!(ta.same_wmes(&tb), tags_a == tags_b);
+        prop_assert_eq!(tb.same_wmes(&ta), tags_a == tags_b);
+        prop_assert_eq!(
+            ta.identity_hash(),
+            rete::fxhash::hash_words(tags_a.iter().copied())
+        );
+        if tags_a == tags_b {
+            prop_assert_eq!(ta.identity_hash(), tb.identity_hash());
+        }
+        prop_assert_eq!(ta.timetags(), tags_a.clone());
+        prop_assert_eq!(
+            ta.wme_vec().iter().map(|w| w.timetag).collect::<Vec<u64>>(),
+            tags_a.clone()
+        );
+        prop_assert_eq!(ta.len(), tags_a.len());
+        // Extending shares the parent chain: both extensions agree with
+        // the flat definition independently.
+        let ext_a = ta.extended(Wme::new(class, vec![], 99));
+        let ext_b = ta.extended(Wme::new(class, vec![], 98));
+        prop_assert!(!ext_a.same_wmes(&ext_b));
+        let mut flat_a = tags_a.clone();
+        flat_a.push(99);
+        prop_assert_eq!(ext_a.identity_hash(), rete::fxhash::hash_words(flat_a));
+    }
+
+    #[test]
     fn batch_chunking_is_invariant(
         genp in gen_program(),
         stream in gen_stream(),
