@@ -57,6 +57,8 @@ struct Row {
     changes: u64,
     per_change_us: f64,
     per_cycle_us: f64,
+    join_acts: u64,
+    null_acts: u64,
     allocs: u64,
     alloc_bytes: u64,
     allocs_per_change: f64,
@@ -86,9 +88,155 @@ fn benchmark(program: &'static str, w: &Workload, choice: &MatcherChoice) -> Row
         changes: stats.wme_changes,
         per_change_us: wall.as_secs_f64() * 1e6 / changes as f64,
         per_cycle_us: wall.as_secs_f64() * 1e6 / cycles as f64,
+        join_acts: stats.join_activations,
+        null_acts: stats.null_activations,
         allocs,
         alloc_bytes: b1 - b0,
         allocs_per_change: allocs as f64 / changes as f64,
+    }
+}
+
+/// One rete-configuration measurement: Weaver on vs2 under the given network
+/// compile options, capturing network node counts and join/null counters.
+struct ReteRow {
+    config: &'static str,
+    options: rete::NetworkOptions,
+    joins: usize,
+    shared_prefixes: usize,
+    memory_nodes: usize,
+    join_acts: u64,
+    null_acts: u64,
+    null_skipped: u64,
+    wall_s: f64,
+}
+
+fn rete_config_row(w: &Workload, config: &'static str, options: rete::NetworkOptions) -> ReteRow {
+    let mut eng =
+        workloads::build_engine_with(w, &MatcherChoice::Vs2, Some(options)).expect("build engine");
+    let summary = eng.network().summary();
+    let started = Instant::now();
+    eng.run(w.max_cycles).expect("run");
+    let wall = started.elapsed();
+    if let Err(e) = (w.validate)(&eng) {
+        panic!("rete config {config} failed validation: {e}");
+    }
+    let s = eng.match_stats();
+    ReteRow {
+        config,
+        options,
+        joins: summary.joins,
+        shared_prefixes: summary.shared_prefixes,
+        memory_nodes: summary.memory_nodes,
+        join_acts: s.join_activations,
+        null_acts: s.null_activations,
+        null_skipped: s.null_skipped,
+        wall_s: wall.as_secs_f64(),
+    }
+}
+
+/// Compares network compile configurations on Weaver and writes
+/// `BENCH_rete.json`. Under `--smoke` this doubles as the acceptance gate
+/// for sharing + unlinking: unlinking must strictly reduce null activations,
+/// and the combined config must cut join activations by at least 20%.
+fn rete_comparison(w: &Workload, smoke: bool) {
+    bench::header("Rete network configurations (Weaver, vs2)");
+    let configs = [
+        (
+            "baseline",
+            rete::NetworkOptions {
+                sharing: false,
+                unlinking: false,
+            },
+        ),
+        (
+            "unlink",
+            rete::NetworkOptions {
+                sharing: false,
+                unlinking: true,
+            },
+        ),
+        (
+            "share+unlink",
+            rete::NetworkOptions {
+                sharing: true,
+                unlinking: true,
+            },
+        ),
+    ];
+    println!(
+        "{:<13} {:>7} {:>8} {:>8} {:>12} {:>11} {:>12} {:>9}",
+        "CONFIG", "joins", "shared", "mems", "join-acts", "null-acts", "null-skip", "wall(s)"
+    );
+    let rows: Vec<ReteRow> = configs
+        .iter()
+        .map(|(name, opts)| {
+            let r = rete_config_row(w, name, *opts);
+            println!(
+                "{:<13} {:>7} {:>8} {:>8} {:>12} {:>11} {:>12} {:>9.3}",
+                r.config,
+                r.joins,
+                r.shared_prefixes,
+                r.memory_nodes,
+                r.join_acts,
+                r.null_acts,
+                r.null_skipped,
+                r.wall_s
+            );
+            r
+        })
+        .collect();
+
+    let mut json = String::from("{\n  \"suite\": \"rete_configs\",\n  \"program\": \"Weaver\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n  \"results\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"sharing\": {}, \"unlinking\": {}, \
+             \"joins\": {}, \"shared_prefixes\": {}, \"memory_nodes\": {}, \
+             \"join_activations\": {}, \"null_activations\": {}, \
+             \"null_skipped\": {}, \"wall_s\": {:.6}}}{}\n",
+            r.config,
+            r.options.sharing,
+            r.options.unlinking,
+            r.joins,
+            r.shared_prefixes,
+            r.memory_nodes,
+            r.join_acts,
+            r.null_acts,
+            r.null_skipped,
+            r.wall_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_rete.json", &json).expect("write BENCH_rete.json");
+    println!();
+    println!("wrote BENCH_rete.json ({} configs)", rows.len());
+
+    let base = &rows[0];
+    let unlink = &rows[1];
+    let tuned = &rows[2];
+    let join_cut = 1.0 - tuned.join_acts as f64 / base.join_acts.max(1) as f64;
+    println!(
+        "unlinking null activations: {} -> {} ({} skipped); sharing+unlinking join activations: {} -> {} ({:.1}% fewer)",
+        base.null_acts,
+        unlink.null_acts,
+        unlink.null_skipped,
+        base.join_acts,
+        tuned.join_acts,
+        100.0 * join_cut
+    );
+    if smoke {
+        assert!(
+            unlink.null_acts < base.null_acts,
+            "unlinking must strictly reduce Weaver null activations ({} vs {})",
+            unlink.null_acts,
+            base.null_acts
+        );
+        assert!(
+            join_cut >= 0.20,
+            "sharing+unlinking must cut Weaver join activations by >= 20% (got {:.1}%)",
+            100.0 * join_cut
+        );
     }
 }
 
@@ -149,7 +297,7 @@ fn main() {
         "Match-perf suite"
     });
     println!(
-        "{:<8} {:<6} {:>9} {:>8} {:>9} {:>11} {:>11} {:>11} {:>12}",
+        "{:<8} {:<6} {:>9} {:>8} {:>9} {:>11} {:>11} {:>11} {:>10} {:>11} {:>12}",
         "PROGRAM",
         "ENGINE",
         "wall(s)",
@@ -157,6 +305,8 @@ fn main() {
         "changes",
         "us/change",
         "us/cycle",
+        "join-acts",
+        "null-acts",
         "allocs",
         "allocs/chg"
     );
@@ -166,7 +316,7 @@ fn main() {
         for choice in matchers() {
             let row = benchmark(name, w, &choice);
             println!(
-                "{:<8} {:<6} {:>9.3} {:>8} {:>9} {:>11.2} {:>11.1} {:>11} {:>12.1}",
+                "{:<8} {:<6} {:>9.3} {:>8} {:>9} {:>11.2} {:>11.1} {:>11} {:>10} {:>11} {:>12.1}",
                 row.program,
                 row.matcher,
                 row.wall_s,
@@ -174,6 +324,8 @@ fn main() {
                 row.changes,
                 row.per_change_us,
                 row.per_cycle_us,
+                row.join_acts,
+                row.null_acts,
                 row.allocs,
                 row.allocs_per_change
             );
@@ -187,7 +339,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"program\": \"{}\", \"matcher\": \"{}\", \"wall_s\": {:.6}, \
              \"cycles\": {}, \"wme_changes\": {}, \"us_per_change\": {:.3}, \
-             \"us_per_cycle\": {:.3}, \"allocs\": {}, \"alloc_bytes\": {}, \
+             \"us_per_cycle\": {:.3}, \"join_activations\": {}, \
+             \"null_activations\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
              \"allocs_per_change\": {:.2}}}{}\n",
             r.program,
             r.matcher,
@@ -196,6 +349,8 @@ fn main() {
             r.changes,
             r.per_change_us,
             r.per_cycle_us,
+            r.join_acts,
+            r.null_acts,
             r.allocs,
             r.alloc_bytes,
             r.allocs_per_change,
@@ -206,4 +361,11 @@ fn main() {
     std::fs::write("BENCH_match.json", &json).expect("write BENCH_match.json");
     println!();
     println!("wrote BENCH_match.json ({} rows)", rows.len());
+    println!();
+
+    // The Weaver config comparison runs on the smoke-sized grid either way:
+    // the counters it gates on are deterministic, and the smoke run is the
+    // one CI enforces.
+    let (_, weaver) = smoke_programs().remove(0);
+    rete_comparison(&weaver, smoke);
 }

@@ -63,8 +63,25 @@ pub struct EngineBuilder {
     echo_writes: bool,
     keep_fired_log: bool,
     limits: crate::interp::EngineLimits,
+    network_options: Option<rete::NetworkOptions>,
     #[allow(clippy::type_complexity)]
     factory: Option<Box<dyn FnOnce(Arc<Network>) -> Box<dyn Matcher>>>,
+}
+
+/// Reads the `OPS5_NETWORK_SHARING` / `OPS5_NETWORK_UNLINKING` environment
+/// knobs (any of `1`, `true`, `on`, `yes`, case-insensitive, enables). This
+/// is how CI runs the whole test suite in the tuned configuration without
+/// touching call sites.
+fn options_from_env() -> rete::NetworkOptions {
+    fn flag(name: &str) -> bool {
+        std::env::var(name)
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"))
+            .unwrap_or(false)
+    }
+    rete::NetworkOptions {
+        sharing: flag("OPS5_NETWORK_SHARING"),
+        unlinking: flag("OPS5_NETWORK_UNLINKING"),
+    }
 }
 
 impl EngineBuilder {
@@ -77,6 +94,7 @@ impl EngineBuilder {
             echo_writes: false,
             keep_fired_log: true,
             limits: crate::interp::EngineLimits::default(),
+            network_options: None,
             factory: None,
         }
     }
@@ -153,33 +171,54 @@ impl EngineBuilder {
         self
     }
 
+    /// Network compile options: beta-prefix sharing and left/right
+    /// unlinking. When not set explicitly, non-trace matchers read the
+    /// `OPS5_NETWORK_SHARING` / `OPS5_NETWORK_UNLINKING` environment knobs
+    /// (both default off, the paper-faithful configuration); the trace
+    /// matcher is pinned to the defaults so the Tables 4-5..4-9 harnesses
+    /// stay reproducible regardless of environment.
+    pub fn network_options(mut self, options: rete::NetworkOptions) -> Self {
+        self.network_options = Some(options);
+        self
+    }
+
     /// Compiles the network, installs the matcher, and returns the engine.
     pub fn build(self) -> Result<Engine> {
         let mut program = self.program;
         if let Some(s) = self.strategy {
             program.strategy = s;
         }
+        let opts = match self.network_options {
+            Some(o) => o,
+            // Pin the trace matcher to the paper-faithful defaults unless
+            // the caller opted in explicitly: the simulator tables must not
+            // shift under a CI-wide environment override.
+            None if matches!(self.matcher, MatcherKind::Trace { .. }) && self.factory.is_none() => {
+                rete::NetworkOptions::default()
+            }
+            None => options_from_env(),
+        };
         let mut eng = if let Some(factory) = self.factory {
-            Engine::with_matcher(program, factory)?
+            Engine::with_matcher_opts(program, opts, factory)?
         } else {
             match self.matcher {
-                MatcherKind::Vs1 => Engine::with_matcher(program, rete::seq::boxed_vs1)?,
-                MatcherKind::Vs2(cfg) => {
-                    Engine::with_matcher(program, move |net| rete::seq::boxed_vs2(net, cfg))?
-                }
+                MatcherKind::Vs1 => Engine::with_matcher_opts(program, opts, rete::seq::boxed_vs1)?,
+                MatcherKind::Vs2(cfg) => Engine::with_matcher_opts(program, opts, move |net| {
+                    rete::seq::boxed_vs2(net, cfg)
+                })?,
                 MatcherKind::Lisp => {
                     // The lisp matcher works from the parsed program (names),
-                    // not the compiled network.
+                    // not the compiled network; only unlinking applies.
                     let prog2 = program.clone();
-                    Engine::with_matcher(program, move |_net| {
-                        lispsim::LispEngineMatcher::boxed(&prog2)
+                    Engine::with_matcher_opts(program, opts, move |_net| {
+                        lispsim::LispEngineMatcher::boxed_with(&prog2, opts)
                     })?
                 }
-                MatcherKind::Psm(cfg) => {
-                    Engine::with_matcher(program, move |net| psm::ParMatcher::boxed(net, cfg))?
-                }
+                MatcherKind::Psm(cfg) => Engine::with_matcher_opts(program, opts, move |net| {
+                    psm::ParMatcher::boxed(net, cfg)
+                })?,
                 MatcherKind::Trace { buckets, sink } => {
-                    Engine::with_matcher(program, move |net| {
+                    Engine::with_matcher_opts(program, opts, move |net| {
                         Box::new(TraceMatcher::new(net, buckets, sink)) as Box<dyn Matcher>
                     })?
                 }
@@ -233,6 +272,32 @@ mod tests {
             assert_eq!(eng.cycles(), 4, "matcher {name}");
         }
         assert!(sink.lock().unwrap().total_tasks() > 0, "trace recorded");
+    }
+
+    #[test]
+    fn network_options_thread_through_to_the_compiled_network() {
+        let opts = rete::NetworkOptions {
+            sharing: true,
+            unlinking: true,
+        };
+        let eng = run_counter(
+            EngineBuilder::from_source(COUNTER)
+                .unwrap()
+                .vs2()
+                .network_options(opts),
+        );
+        assert_eq!(eng.cycles(), 4);
+        assert!(eng.network().options.sharing);
+        assert!(eng.network().options.unlinking);
+
+        // A pair of productions with an identical two-CE prefix must share it.
+        let shared_src = "(p p1 (a) (b) (c) --> (halt)) (p p2 (a) (b) (d) --> (halt))";
+        let eng2 = EngineBuilder::from_source(shared_src)
+            .unwrap()
+            .network_options(opts)
+            .build()
+            .unwrap();
+        assert!(eng2.network().summary().shared_prefixes >= 1);
     }
 
     #[test]

@@ -74,12 +74,23 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine with a custom matcher (parallel matcher, lispsim...).
+    /// Builds an engine with a custom matcher (parallel matcher, lispsim...)
+    /// and default (paper-faithful) network options.
     pub fn with_matcher(
         prog: Program,
         make_matcher: impl FnOnce(Arc<Network>) -> Box<dyn Matcher>,
     ) -> Result<Engine> {
-        let net = Arc::new(Network::compile(&prog)?);
+        Engine::with_matcher_opts(prog, rete::NetworkOptions::default(), make_matcher)
+    }
+
+    /// As [`Engine::with_matcher`] with explicit network compile options
+    /// (beta-prefix sharing, left/right unlinking).
+    pub fn with_matcher_opts(
+        prog: Program,
+        options: rete::NetworkOptions,
+        make_matcher: impl FnOnce(Arc<Network>) -> Box<dyn Matcher>,
+    ) -> Result<Engine> {
+        let net = Arc::new(Network::compile_with(&prog, options)?);
         let classes = prog.classes.clone();
         let mut rhs = Vec::with_capacity(prog.productions.len());
         for p in &prog.productions {

@@ -92,10 +92,17 @@ enum LTask {
 }
 
 /// The interpretive matcher.
+///
+/// Beta-prefix sharing does not apply here: like the lisp baseline it
+/// mirrors, every production owns its interpreted join chain. Left/right
+/// unlinking does: an activation whose opposite memory is empty skips the
+/// (null) scan when `options.unlinking` is set, and the null-activation
+/// counters are maintained either way.
 pub struct LispMatcher {
     prods: Vec<LProd>,
     agenda: Vec<LTask>,
     out: Vec<CsChange>,
+    options: rete::NetworkOptions,
     stats: MatchStats,
 }
 
@@ -112,6 +119,12 @@ impl LispMatcher {
     /// and symbol names are captured as strings — exactly what the lisp
     /// implementation worked with.
     pub fn new(prog: &Program) -> LispMatcher {
+        LispMatcher::new_with(prog, rete::NetworkOptions::default())
+    }
+
+    /// As [`LispMatcher::new`], with explicit network options (only the
+    /// `unlinking` flag applies to the interpreted matcher).
+    pub fn new_with(prog: &Program, options: rete::NetworkOptions) -> LispMatcher {
         let mut prods = Vec::with_capacity(prog.productions.len());
         for p in &prog.productions {
             let mut conds = Vec::new();
@@ -168,6 +181,7 @@ impl LispMatcher {
             prods,
             agenda: Vec::new(),
             out: Vec::new(),
+            options,
             stats: MatchStats::default(),
         }
     }
@@ -264,7 +278,10 @@ impl LispMatcher {
                     sign,
                     token,
                 } => {
+                    self.stats.join_activations += 1;
+                    let unlink = self.options.unlinking;
                     let negated = self.prods[prod].conds[ce].negated;
+                    let opp_empty = self.prods[prod].alpha[ce].is_empty();
                     if !negated {
                         match sign {
                             Sign::Plus => self.prods[prod].left[ce].push(token.clone()),
@@ -279,42 +296,60 @@ impl LispMatcher {
                                 }
                             }
                         }
-                        // Scan the full alpha memory of this CE (linear,
-                        // in place — `emit` only touches the agenda).
-                        let alpha_len = self.prods[prod].alpha[ce].len();
-                        self.stats.opp_tokens_left += alpha_len as u64;
-                        if alpha_len > 0 {
-                            self.stats.opp_nonempty_left += 1;
-                        }
-                        for i in 0..alpha_len {
-                            let emit_tok = {
-                                let p = &self.prods[prod];
-                                let w = &p.alpha[ce][i];
-                                match_ce(w, &p.conds[ce], &token.bindings, false).map(|b2| LToken {
-                                    wmes: token.wmes.extended(w.orig.clone()),
-                                    bindings: b2,
-                                    neg_count: 0,
-                                })
-                            };
-                            if let Some(t) = emit_tok {
-                                self.emit(prod, ce, sign, t);
+                        if unlink && opp_empty {
+                            self.stats.null_skipped += 1;
+                        } else {
+                            if opp_empty {
+                                self.stats.null_activations += 1;
+                            }
+                            // Scan the full alpha memory of this CE (linear,
+                            // in place — `emit` only touches the agenda).
+                            let alpha_len = self.prods[prod].alpha[ce].len();
+                            self.stats.opp_tokens_left += alpha_len as u64;
+                            if alpha_len > 0 {
+                                self.stats.opp_nonempty_left += 1;
+                            }
+                            for i in 0..alpha_len {
+                                let emit_tok = {
+                                    let p = &self.prods[prod];
+                                    let w = &p.alpha[ce][i];
+                                    match_ce(w, &p.conds[ce], &token.bindings, false).map(|b2| {
+                                        LToken {
+                                            wmes: token.wmes.extended(w.orig.clone()),
+                                            bindings: b2,
+                                            neg_count: 0,
+                                        }
+                                    })
+                                };
+                                if let Some(t) = emit_tok {
+                                    self.emit(prod, ce, sign, t);
+                                }
                             }
                         }
                     } else {
                         match sign {
                             Sign::Plus => {
-                                let p = &self.prods[prod];
-                                let alpha = &p.alpha[ce];
-                                self.stats.opp_tokens_left += alpha.len() as u64;
-                                if !alpha.is_empty() {
-                                    self.stats.opp_nonempty_left += 1;
-                                }
-                                let n = alpha
-                                    .iter()
-                                    .filter(|w| {
-                                        match_ce(w, &p.conds[ce], &token.bindings, false).is_some()
-                                    })
-                                    .count() as u32;
+                                let n = if unlink && opp_empty {
+                                    self.stats.null_skipped += 1;
+                                    0
+                                } else {
+                                    if opp_empty {
+                                        self.stats.null_activations += 1;
+                                    }
+                                    let p = &self.prods[prod];
+                                    let alpha = &p.alpha[ce];
+                                    self.stats.opp_tokens_left += alpha.len() as u64;
+                                    if !alpha.is_empty() {
+                                        self.stats.opp_nonempty_left += 1;
+                                    }
+                                    alpha
+                                        .iter()
+                                        .filter(|w| {
+                                            match_ce(w, &p.conds[ce], &token.bindings, false)
+                                                .is_some()
+                                        })
+                                        .count() as u32
+                                };
                                 let mut t = token.clone();
                                 t.neg_count = n;
                                 self.prods[prod].left[ce].push(t);
@@ -374,7 +409,16 @@ impl LispMatcher {
                         }
                         continue;
                     }
+                    self.stats.join_activations += 1;
                     let n_tok = self.prods[prod].left[ce].len();
+                    let opp_empty = n_tok == 0;
+                    if self.options.unlinking && opp_empty {
+                        self.stats.null_skipped += 1;
+                        continue;
+                    }
+                    if opp_empty {
+                        self.stats.null_activations += 1;
+                    }
                     self.stats.opp_tokens_right += n_tok as u64;
                     if n_tok > 0 {
                         self.stats.opp_nonempty_right += 1;
@@ -533,15 +577,26 @@ pub struct LispEngineMatcher {
 
 impl LispEngineMatcher {
     pub fn new(prog: &Program) -> LispEngineMatcher {
+        LispEngineMatcher::new_with(prog, rete::NetworkOptions::default())
+    }
+
+    /// As [`LispEngineMatcher::new`] with explicit network options; only
+    /// `unlinking` applies (the interpreted chains are per-production, so
+    /// there is no prefix to share).
+    pub fn new_with(prog: &Program, options: rete::NetworkOptions) -> LispEngineMatcher {
         LispEngineMatcher {
             conv: LispConverter::new(prog),
-            inner: LispMatcher::new(prog),
+            inner: LispMatcher::new_with(prog, options),
             delta: StatsDeltaTracker::default(),
         }
     }
 
     pub fn boxed(prog: &Program) -> Box<dyn Matcher> {
         Box::new(LispEngineMatcher::new(prog))
+    }
+
+    pub fn boxed_with(prog: &Program, options: rete::NetworkOptions) -> Box<dyn Matcher> {
+        Box::new(LispEngineMatcher::new_with(prog, options))
     }
 }
 

@@ -304,6 +304,17 @@ pub struct MatchStats {
     pub cs_changes: u64,
     /// Conjugate token pairs annihilated (parallel matcher only).
     pub conjugate_pairs: u64,
+
+    /// Two-input (join) node activations: every Left/Right task delivered
+    /// to a join, whether or not its scan was performed. With beta-prefix
+    /// sharing this is the counter that shrinks.
+    pub join_activations: u64,
+    /// Join activations *performed* whose opposite memory was empty
+    /// network-wide (null activations). With unlinking these become
+    /// `null_skipped` instead.
+    pub null_activations: u64,
+    /// Opposite-memory scans skipped by the unlinking emptiness gate.
+    pub null_skipped: u64,
 }
 
 impl MatchStats {
@@ -339,7 +350,8 @@ macro_rules! for_each_stat {
             wme_changes, activations, alpha_activations,
             opp_tokens_left, opp_nonempty_left, opp_tokens_right, opp_nonempty_right,
             same_tokens_left, same_searches_left, same_tokens_right, same_searches_right,
-            cs_changes, conjugate_pairs
+            cs_changes, conjugate_pairs,
+            join_activations, null_activations, null_skipped
         }
     };
 }

@@ -13,9 +13,10 @@ use ops5::{
 use rete::fxhash::FxHashMap;
 use rete::network::{AlphaSucc, JoinNode, Network, Succ};
 use rete::token::Token;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Task-scheduling implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,6 +134,21 @@ impl Work {
     }
 }
 
+/// Sleep/wake coordination for idle match processes. Workers that find the
+/// queues empty back off from spinning to yielding to parking on the
+/// condvar; every push notifies if anyone is parked, so wake latency stays
+/// in the microseconds while idle CPU burn drops to ~zero.
+#[derive(Default)]
+struct Parker {
+    /// Workers registered as (about to be) parked. Checked by pushers with
+    /// a SeqCst load after the task is visible; the mutex closes the
+    /// register→wait window (Dekker-style), and the wait timeout bounds any
+    /// residual race to a few milliseconds.
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
 struct Shared {
     net: Arc<Network>,
     sched: Work,
@@ -143,9 +159,77 @@ struct Shared {
     /// count, a representative instantiation). Net counting makes the output
     /// independent of task interleaving.
     cs_acc: SpinLock<FxHashMap<InstKey, (i32, Instantiation)>>,
+    /// Global per-join memory sizes across all hash lines — the left/right
+    /// unlinking gates. Updated with relaxed atomics while the owning line's
+    /// lock is held, driven by the line outcome (count a left token only on
+    /// `PlusOutcome::Inserted`, uncount only on `MinusOutcome::Removed`), so
+    /// parked and annihilated conjugates never perturb the counts. A gate
+    /// read under a line lock can only see a stale value for entries in
+    /// *other* lines, which are never pairable with the activation at hand,
+    /// so a skip is always sound (see DESIGN.md).
+    left_counts: Box<[AtomicU32]>,
+    right_counts: Box<[AtomicU32]>,
+    parker: Parker,
+    /// OS thread ids of the match processes, self-reported at startup
+    /// (std exposes no portable tid). Used by per-worker CPU accounting.
+    worker_tids: SpinLock<Vec<u64>>,
     stop: AtomicBool,
     stats: AtomicMatchStats,
     cstats: ContentionStats,
+}
+
+impl Shared {
+    /// Push a new task and wake any parked worker.
+    fn push(&self, task: ParTask, ctx: &mut Ctx) {
+        self.sched.push(task, ctx);
+        self.wake();
+    }
+
+    /// Re-push an MRSW-refused task (already counted) and wake.
+    fn push_requeue(&self, task: ParTask, ctx: &mut Ctx) {
+        self.sched.push_requeue(task, ctx);
+        self.wake();
+    }
+
+    #[inline]
+    fn wake(&self) {
+        if self.parker.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking the mutex orders this notify after any in-flight
+            // register→recheck sequence, so the wakeup cannot be lost.
+            let _g = self.parker.lock.lock().expect("parker mutex");
+            self.parker.cv.notify_all();
+        }
+    }
+
+    #[inline]
+    fn left_empty(&self, j: &JoinNode) -> bool {
+        self.left_counts[j.id as usize].load(Ordering::Relaxed) == 0
+    }
+
+    #[inline]
+    fn right_empty(&self, j: &JoinNode) -> bool {
+        self.right_counts[j.id as usize].load(Ordering::Relaxed) == 0
+    }
+
+    #[inline]
+    fn count_left(&self, j: &JoinNode, delta: i32) {
+        bump(&self.left_counts[j.id as usize], delta);
+    }
+
+    #[inline]
+    fn count_right(&self, j: &JoinNode, delta: i32) {
+        bump(&self.right_counts[j.id as usize], delta);
+    }
+}
+
+#[inline]
+fn bump(c: &AtomicU32, delta: i32) {
+    if delta >= 0 {
+        c.fetch_add(delta as u32, Ordering::Relaxed);
+    } else {
+        let prev = c.fetch_sub((-delta) as u32, Ordering::Relaxed);
+        debug_assert!(prev >= (-delta) as u32, "join memory count underflow");
+    }
 }
 
 /// PSM-E: the parallel Rete matcher.
@@ -172,6 +256,7 @@ impl ParMatcher {
                 Work::Steal(Box::new(StealScheduler::new(cfg.match_processes.max(1))))
             }
         };
+        let n_joins = net.n_joins();
         let shared = Arc::new(Shared {
             net,
             sched,
@@ -179,6 +264,10 @@ impl ParMatcher {
             mask: (n_lines - 1) as u64,
             scheme: cfg.lock_scheme,
             cs_acc: SpinLock::new(FxHashMap::default()),
+            left_counts: (0..n_joins).map(|_| AtomicU32::new(0)).collect(),
+            right_counts: (0..n_joins).map(|_| AtomicU32::new(0)).collect(),
+            parker: Parker::default(),
+            worker_tids: SpinLock::new(Vec::new()),
             stop: AtomicBool::new(false),
             stats: AtomicMatchStats::default(),
             cstats: ContentionStats::default(),
@@ -235,11 +324,40 @@ impl ParMatcher {
             .map(|l| l.peek_entries(self.shared.scheme).1)
             .sum()
     }
+
+    /// Sum of CPU jiffies (utime + stime from `/proc`) consumed by the
+    /// match-process threads so far. Returns `None` off Linux or if the
+    /// procfs read fails. Lets harnesses verify idle workers park rather
+    /// than burn a core each.
+    pub fn worker_cpu_ticks(&self) -> Option<u64> {
+        let tids: Vec<u64> = self.shared.worker_tids.lock().clone();
+        if tids.is_empty() {
+            return None;
+        }
+        let mut total = 0u64;
+        for tid in tids {
+            let stat = std::fs::read_to_string(format!("/proc/self/task/{tid}/stat")).ok()?;
+            // Fields after the parenthesised comm (which may contain spaces).
+            let (_, rest) = stat.rsplit_once(") ")?;
+            let mut fields = rest.split_ascii_whitespace();
+            // utime and stime are fields 14 and 15 overall; after ") " the
+            // state field is index 0, so they land at indices 11 and 12.
+            let utime: u64 = fields.nth(11)?.parse().ok()?;
+            let stime: u64 = fields.next()?.parse().ok()?;
+            total += utime + stime;
+        }
+        Some(total)
+    }
 }
 
 impl Drop for ParMatcher {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        // Parked workers would notice within a wait timeout; nudge them now.
+        {
+            let _g = self.shared.parker.lock.lock().expect("parker mutex");
+            self.shared.parker.cv.notify_all();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -262,7 +380,7 @@ impl Matcher for ParMatcher {
                 .stats
                 .wme_changes
                 .fetch_add(group.len() as u64, Ordering::Relaxed);
-            self.shared.sched.push(
+            self.shared.push(
                 ParTask::RootGroup {
                     class,
                     changes: group.to_vec(),
@@ -314,6 +432,16 @@ impl Matcher for ParMatcher {
     }
 }
 
+/// This thread's OS tid, via the `/proc/thread-self` symlink (Linux only).
+fn os_tid() -> Option<u64> {
+    std::fs::read_link("/proc/thread-self")
+        .ok()?
+        .file_name()?
+        .to_str()?
+        .parse()
+        .ok()
+}
+
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     let (home, local) = match &shared.sched {
         Work::Spin(s) => (index % s.n_queues(), None),
@@ -323,24 +451,45 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         cursor: index,
         local,
     };
+    if let Some(tid) = os_tid() {
+        shared.worker_tids.lock().push(tid);
+    }
     let mut scratch = Scratch::default();
+    // Empty-poll backoff: spin briefly (work usually arrives within a few
+    // activations' latency), then yield, then park on the condvar. A parked
+    // worker costs ~nothing; every queue push wakes it promptly.
     let mut idle = 0u32;
     loop {
-        match shared.sched.pop(&ctx, home) {
-            Some(task) => {
+        if let Some(task) = shared.sched.pop(&ctx, home) {
+            idle = 0;
+            process_task(&shared, task, &mut ctx, &mut scratch);
+            continue;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        idle += 1;
+        if idle <= 64 {
+            std::hint::spin_loop();
+        } else if idle <= 256 {
+            std::thread::yield_now();
+        } else {
+            let p = &shared.parker;
+            p.sleepers.fetch_add(1, Ordering::SeqCst);
+            let guard = p.lock.lock().expect("parker mutex");
+            // Final recheck with the sleeper registered and the mutex held:
+            // a racing push either left its task visible to this pop or is
+            // blocked on the mutex and will notify once we wait.
+            let recheck = shared.sched.pop(&ctx, home);
+            if recheck.is_none() && !shared.stop.load(Ordering::Acquire) {
+                let _ = p.cv.wait_timeout(guard, Duration::from_millis(2));
+            } else {
+                drop(guard);
+            }
+            p.sleepers.fetch_sub(1, Ordering::SeqCst);
+            if let Some(task) = recheck {
                 idle = 0;
                 process_task(&shared, task, &mut ctx, &mut scratch);
-            }
-            None => {
-                if shared.stop.load(Ordering::Acquire) {
-                    return;
-                }
-                idle += 1;
-                if idle > 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
             }
         }
     }
@@ -356,7 +505,7 @@ fn root_dispatch(shared: &Shared, sign: Sign, wme: &WmeRef, ctx: &mut Ctx) {
         }
         for succ in &pat.succs {
             match *succ {
-                AlphaSucc::JoinLeft(j) => shared.sched.push(
+                AlphaSucc::JoinLeft(j) => shared.push(
                     ParTask::Left {
                         join: j,
                         sign,
@@ -364,7 +513,7 @@ fn root_dispatch(shared: &Shared, sign: Sign, wme: &WmeRef, ctx: &mut Ctx) {
                     },
                     ctx,
                 ),
-                AlphaSucc::JoinRight(j) => shared.sched.push(
+                AlphaSucc::JoinRight(j) => shared.push(
                     ParTask::Right {
                         join: j,
                         sign,
@@ -372,7 +521,7 @@ fn root_dispatch(shared: &Shared, sign: Sign, wme: &WmeRef, ctx: &mut Ctx) {
                     },
                     ctx,
                 ),
-                AlphaSucc::Terminal(p) => shared.sched.push(
+                AlphaSucc::Terminal(p) => shared.push(
                     ParTask::Terminal {
                         prod: p,
                         sign,
@@ -385,25 +534,29 @@ fn root_dispatch(shared: &Shared, sign: Sign, wme: &WmeRef, ctx: &mut Ctx) {
     }
 }
 
-/// Emit a successor token from a join.
-fn emit(shared: &Shared, succ: Succ, token: Token, sign: Sign, ctx: &mut Ctx) {
-    match succ {
-        Succ::Join(j) => shared.sched.push(
-            ParTask::Left {
-                join: j,
-                sign,
-                token,
-            },
-            ctx,
-        ),
-        Succ::Terminal(p) => shared.sched.push(
-            ParTask::Terminal {
-                prod: p,
-                sign,
-                token,
-            },
-            ctx,
-        ),
+/// Emit a join output to every successor. With sharing off a join has one
+/// successor; with it on a shared join fans the token out to each consumer
+/// (token clones are `Arc` bumps).
+fn emit(shared: &Shared, succs: &[Succ], token: &Token, sign: Sign, ctx: &mut Ctx) {
+    for succ in succs {
+        match *succ {
+            Succ::Join(j) => shared.push(
+                ParTask::Left {
+                    join: j,
+                    sign,
+                    token: token.clone(),
+                },
+                ctx,
+            ),
+            Succ::Terminal(p) => shared.push(
+                ParTask::Terminal {
+                    prod: p,
+                    sign,
+                    token: token.clone(),
+                },
+                ctx,
+            ),
+        }
     }
 }
 
@@ -443,6 +596,10 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx, scratch: &mut Scr
                     let mut g = line.lock_simple();
                     shared.cstats.record_hash(true, g.spins);
                     shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .join_activations
+                        .fetch_add(1, Ordering::Relaxed);
                     left_activation(shared, j, key, sign, &token, &mut g, ctx, scratch);
                 }
                 LockScheme::Mrsw => {
@@ -450,12 +607,14 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx, scratch: &mut Scr
                     shared.cstats.record_hash(true, spins);
                     if !entered {
                         shared.cstats.requeues.fetch_add(1, Ordering::Relaxed);
-                        shared
-                            .sched
-                            .push_requeue(ParTask::Left { join, sign, token }, ctx);
+                        shared.push_requeue(ParTask::Left { join, sign, token }, ctx);
                         return; // task still accounted for in TaskCount
                     }
                     shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .join_activations
+                        .fetch_add(1, Ordering::Relaxed);
                     left_activation_mrsw(shared, j, key, sign, &token, line, ctx, scratch);
                     line.exit();
                 }
@@ -471,6 +630,10 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx, scratch: &mut Scr
                     let mut g = line.lock_simple();
                     shared.cstats.record_hash(false, g.spins);
                     shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .join_activations
+                        .fetch_add(1, Ordering::Relaxed);
                     right_activation(shared, j, key, sign, &wme, &mut g, ctx, scratch);
                 }
                 LockScheme::Mrsw => {
@@ -478,12 +641,14 @@ fn process_task(shared: &Shared, task: ParTask, ctx: &mut Ctx, scratch: &mut Scr
                     shared.cstats.record_hash(false, spins);
                     if !entered {
                         shared.cstats.requeues.fetch_add(1, Ordering::Relaxed);
-                        shared
-                            .sched
-                            .push_requeue(ParTask::Right { join, sign, wme }, ctx);
+                        shared.push_requeue(ParTask::Right { join, sign, wme }, ctx);
                         return;
                     }
                     shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .join_activations
+                        .fetch_add(1, Ordering::Relaxed);
                     right_activation_mrsw(shared, j, key, sign, &wme, line, ctx, scratch);
                     line.exit();
                 }
@@ -525,14 +690,21 @@ fn left_activation(
     ctx: &mut Ctx,
     scratch: &mut Scratch,
 ) {
+    // Unlinking gate: with the join's right memory globally empty the
+    // opposite-memory scan is a null activation — skip it. Own-side
+    // insert/remove always runs, so the memories stay exact and the gate
+    // "relinks" itself the moment the opposite side gains an entry.
+    let unlink = shared.net.options.unlinking;
+    let opp_empty = shared.right_empty(j);
     if !j.negated {
         match sign {
-            Sign::Plus => {
-                if line.left_plus(j, key, token, 0) == PlusOutcome::Annihilated {
+            Sign::Plus => match line.left_plus(j, key, token, 0) {
+                PlusOutcome::Annihilated => {
                     shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-            }
+                PlusOutcome::Inserted => shared.count_left(j, 1),
+            },
             Sign::Minus => match line.left_minus(j, key, token) {
                 MinusOutcome::Removed { examined, .. } => {
                     shared
@@ -543,26 +715,52 @@ fn left_activation(
                         .stats
                         .same_searches_left
                         .fetch_add(1, Ordering::Relaxed);
+                    shared.count_left(j, -1);
                 }
                 MinusOutcome::Parked => return,
             },
         }
-        let examined = line.scan_right(j, key, token, &mut scratch.wmes);
-        record_opp_left(shared, examined);
-        for w in scratch.wmes.drain(..) {
-            emit(shared, j.succ, token.extended(w), sign, ctx);
+        if unlink && opp_empty {
+            shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            if opp_empty {
+                shared
+                    .stats
+                    .null_activations
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let examined = line.scan_right(j, key, token, &mut scratch.wmes);
+            record_opp_left(shared, examined);
+            for w in scratch.wmes.drain(..) {
+                emit(shared, &j.succs, &token.extended(w), sign, ctx);
+            }
         }
     } else {
         match sign {
             Sign::Plus => {
-                let (n, examined) = line.count_right(j, key, token);
-                record_opp_left(shared, examined);
-                if line.left_plus(j, key, token, n) == PlusOutcome::Annihilated {
-                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
-                    return;
+                let n = if unlink && opp_empty {
+                    shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+                    0
+                } else {
+                    if opp_empty {
+                        shared
+                            .stats
+                            .null_activations
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let (n, examined) = line.count_right(j, key, token);
+                    record_opp_left(shared, examined);
+                    n
+                };
+                match line.left_plus(j, key, token, n) {
+                    PlusOutcome::Annihilated => {
+                        shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    PlusOutcome::Inserted => shared.count_left(j, 1),
                 }
                 if n == 0 {
-                    emit(shared, j.succ, token.clone(), Sign::Plus, ctx);
+                    emit(shared, &j.succs, token, Sign::Plus, ctx);
                 }
             }
             Sign::Minus => match line.left_minus(j, key, token) {
@@ -578,8 +776,9 @@ fn left_activation(
                         .stats
                         .same_searches_left
                         .fetch_add(1, Ordering::Relaxed);
+                    shared.count_left(j, -1);
                     if neg_count == 0 {
-                        emit(shared, j.succ, token.clone(), Sign::Minus, ctx);
+                        emit(shared, &j.succs, token, Sign::Minus, ctx);
                     }
                 }
                 MinusOutcome::Parked => {}
@@ -602,13 +801,21 @@ fn left_activation_mrsw(
     ctx: &mut Ctx,
     scratch: &mut Scratch,
 ) {
+    // The line flag guarantees no right activation runs in this line while
+    // we are entered, so the right-count gate read cannot race a pairable
+    // insert (see the `left_counts` field doc).
+    let unlink = shared.net.options.unlinking;
+    let opp_empty = shared.right_empty(j);
     if !j.negated {
         match sign {
             Sign::Plus => {
                 let outcome = line.write().left_plus(j, key, token, 0);
-                if outcome == PlusOutcome::Annihilated {
-                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
-                    return;
+                match outcome {
+                    PlusOutcome::Annihilated => {
+                        shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    PlusOutcome::Inserted => shared.count_left(j, 1),
                 }
             }
             Sign::Minus => {
@@ -623,28 +830,54 @@ fn left_activation_mrsw(
                             .stats
                             .same_searches_left
                             .fetch_add(1, Ordering::Relaxed);
+                        shared.count_left(j, -1);
                     }
                     MinusOutcome::Parked => return,
                 }
             }
         }
-        let examined = line.read().scan_right(j, key, token, &mut scratch.wmes);
-        record_opp_left(shared, examined);
-        for w in scratch.wmes.drain(..) {
-            emit(shared, j.succ, token.extended(w), sign, ctx);
+        if unlink && opp_empty {
+            shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            if opp_empty {
+                shared
+                    .stats
+                    .null_activations
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let examined = line.read().scan_right(j, key, token, &mut scratch.wmes);
+            record_opp_left(shared, examined);
+            for w in scratch.wmes.drain(..) {
+                emit(shared, &j.succs, &token.extended(w), sign, ctx);
+            }
         }
     } else {
         match sign {
             Sign::Plus => {
-                let (n, examined) = line.read().count_right(j, key, token);
-                record_opp_left(shared, examined);
+                let n = if unlink && opp_empty {
+                    shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+                    0
+                } else {
+                    if opp_empty {
+                        shared
+                            .stats
+                            .null_activations
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let (n, examined) = line.read().count_right(j, key, token);
+                    record_opp_left(shared, examined);
+                    n
+                };
                 let outcome = line.write().left_plus(j, key, token, n);
-                if outcome == PlusOutcome::Annihilated {
-                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
-                    return;
+                match outcome {
+                    PlusOutcome::Annihilated => {
+                        shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    PlusOutcome::Inserted => shared.count_left(j, 1),
                 }
                 if n == 0 {
-                    emit(shared, j.succ, token.clone(), Sign::Plus, ctx);
+                    emit(shared, &j.succs, token, Sign::Plus, ctx);
                 }
             }
             Sign::Minus => {
@@ -662,8 +895,9 @@ fn left_activation_mrsw(
                             .stats
                             .same_searches_left
                             .fetch_add(1, Ordering::Relaxed);
+                        shared.count_left(j, -1);
                         if neg_count == 0 {
-                            emit(shared, j.succ, token.clone(), Sign::Minus, ctx);
+                            emit(shared, &j.succs, token, Sign::Minus, ctx);
                         }
                     }
                     MinusOutcome::Parked => {}
@@ -685,14 +919,19 @@ fn right_activation(
     ctx: &mut Ctx,
     scratch: &mut Scratch,
 ) {
+    // Unlinking gate, mirrored: an empty left memory means no token can
+    // pair with (or be count-adjusted by) this WME.
+    let unlink = shared.net.options.unlinking;
+    let opp_empty = shared.left_empty(j);
     if !j.negated {
         match sign {
-            Sign::Plus => {
-                if line.right_plus(j, key, wme) == PlusOutcome::Annihilated {
+            Sign::Plus => match line.right_plus(j, key, wme) {
+                PlusOutcome::Annihilated => {
                     shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-            }
+                PlusOutcome::Inserted => shared.count_right(j, 1),
+            },
             Sign::Minus => match line.right_minus(j, key, wme) {
                 MinusOutcome::Removed { examined, .. } => {
                     shared
@@ -703,26 +942,50 @@ fn right_activation(
                         .stats
                         .same_searches_right
                         .fetch_add(1, Ordering::Relaxed);
+                    shared.count_right(j, -1);
                 }
                 MinusOutcome::Parked => return,
             },
         }
-        let examined = line.scan_left(j, key, wme, &mut scratch.tokens);
-        record_opp_right(shared, examined);
-        for t in scratch.tokens.drain(..) {
-            emit(shared, j.succ, t.extended(wme.clone()), sign, ctx);
+        if unlink && opp_empty {
+            shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            if opp_empty {
+                shared
+                    .stats
+                    .null_activations
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let examined = line.scan_left(j, key, wme, &mut scratch.tokens);
+            record_opp_right(shared, examined);
+            for t in scratch.tokens.drain(..) {
+                emit(shared, &j.succs, &t.extended(wme.clone()), sign, ctx);
+            }
         }
     } else {
         match sign {
             Sign::Plus => {
-                if line.right_plus(j, key, wme) == PlusOutcome::Annihilated {
-                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
-                    return;
+                match line.right_plus(j, key, wme) {
+                    PlusOutcome::Annihilated => {
+                        shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    PlusOutcome::Inserted => shared.count_right(j, 1),
                 }
-                let examined = line.adjust_left_counts(j, key, wme, 1, &mut scratch.tokens);
-                record_opp_right(shared, examined);
-                for t in scratch.tokens.drain(..) {
-                    emit(shared, j.succ, t, Sign::Minus, ctx);
+                if unlink && opp_empty {
+                    shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    if opp_empty {
+                        shared
+                            .stats
+                            .null_activations
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let examined = line.adjust_left_counts(j, key, wme, 1, &mut scratch.tokens);
+                    record_opp_right(shared, examined);
+                    for t in scratch.tokens.drain(..) {
+                        emit(shared, &j.succs, &t, Sign::Minus, ctx);
+                    }
                 }
             }
             Sign::Minus => match line.right_minus(j, key, wme) {
@@ -735,10 +998,22 @@ fn right_activation(
                         .stats
                         .same_searches_right
                         .fetch_add(1, Ordering::Relaxed);
-                    let examined = line.adjust_left_counts(j, key, wme, -1, &mut scratch.tokens);
-                    record_opp_right(shared, examined);
-                    for t in scratch.tokens.drain(..) {
-                        emit(shared, j.succ, t, Sign::Plus, ctx);
+                    shared.count_right(j, -1);
+                    if unlink && opp_empty {
+                        shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        if opp_empty {
+                            shared
+                                .stats
+                                .null_activations
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        let examined =
+                            line.adjust_left_counts(j, key, wme, -1, &mut scratch.tokens);
+                        record_opp_right(shared, examined);
+                        for t in scratch.tokens.drain(..) {
+                            emit(shared, &j.succs, &t, Sign::Plus, ctx);
+                        }
                     }
                 }
                 MinusOutcome::Parked => {}
@@ -759,13 +1034,18 @@ fn right_activation_mrsw(
     ctx: &mut Ctx,
     scratch: &mut Scratch,
 ) {
+    let unlink = shared.net.options.unlinking;
+    let opp_empty = shared.left_empty(j);
     if !j.negated {
         match sign {
             Sign::Plus => {
                 let outcome = line.write().right_plus(j, key, wme);
-                if outcome == PlusOutcome::Annihilated {
-                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
-                    return;
+                match outcome {
+                    PlusOutcome::Annihilated => {
+                        shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    PlusOutcome::Inserted => shared.count_right(j, 1),
                 }
             }
             Sign::Minus => {
@@ -780,35 +1060,55 @@ fn right_activation_mrsw(
                             .stats
                             .same_searches_right
                             .fetch_add(1, Ordering::Relaxed);
+                        shared.count_right(j, -1);
                     }
                     MinusOutcome::Parked => return,
                 }
             }
         }
-        let examined = line.read().scan_left(j, key, wme, &mut scratch.tokens);
-        record_opp_right(shared, examined);
-        for t in scratch.tokens.drain(..) {
-            emit(shared, j.succ, t.extended(wme.clone()), sign, ctx);
+        if unlink && opp_empty {
+            shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            if opp_empty {
+                shared
+                    .stats
+                    .null_activations
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let examined = line.read().scan_left(j, key, wme, &mut scratch.tokens);
+            record_opp_right(shared, examined);
+            for t in scratch.tokens.drain(..) {
+                emit(shared, &j.succs, &t.extended(wme.clone()), sign, ctx);
+            }
         }
     } else {
         match sign {
             Sign::Plus => {
-                let annihilated = {
-                    let mut g = line.write();
-                    if g.right_plus(j, key, wme) == PlusOutcome::Annihilated {
-                        true
-                    } else {
-                        let examined = g.adjust_left_counts(j, key, wme, 1, &mut scratch.tokens);
+                let mut g = line.write();
+                match g.right_plus(j, key, wme) {
+                    PlusOutcome::Annihilated => {
                         drop(g);
-                        record_opp_right(shared, examined);
-                        for t in scratch.tokens.drain(..) {
-                            emit(shared, j.succ, t, Sign::Minus, ctx);
-                        }
-                        false
+                        shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                        return;
                     }
-                };
-                if annihilated {
-                    shared.stats.conjugate_pairs.fetch_add(1, Ordering::Relaxed);
+                    PlusOutcome::Inserted => shared.count_right(j, 1),
+                }
+                if unlink && opp_empty {
+                    drop(g);
+                    shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    if opp_empty {
+                        shared
+                            .stats
+                            .null_activations
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let examined = g.adjust_left_counts(j, key, wme, 1, &mut scratch.tokens);
+                    drop(g);
+                    record_opp_right(shared, examined);
+                    for t in scratch.tokens.drain(..) {
+                        emit(shared, &j.succs, &t, Sign::Minus, ctx);
+                    }
                 }
             }
             Sign::Minus => {
@@ -823,11 +1123,24 @@ fn right_activation_mrsw(
                             .stats
                             .same_searches_right
                             .fetch_add(1, Ordering::Relaxed);
-                        let examined = g.adjust_left_counts(j, key, wme, -1, &mut scratch.tokens);
-                        drop(g);
-                        record_opp_right(shared, examined);
-                        for t in scratch.tokens.drain(..) {
-                            emit(shared, j.succ, t, Sign::Plus, ctx);
+                        shared.count_right(j, -1);
+                        if unlink && opp_empty {
+                            drop(g);
+                            shared.stats.null_skipped.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            if opp_empty {
+                                shared
+                                    .stats
+                                    .null_activations
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            let examined =
+                                g.adjust_left_counts(j, key, wme, -1, &mut scratch.tokens);
+                            drop(g);
+                            record_opp_right(shared, examined);
+                            for t in scratch.tokens.drain(..) {
+                                emit(shared, &j.succs, &t, Sign::Plus, ctx);
+                            }
                         }
                     }
                     MinusOutcome::Parked => {}
@@ -1175,8 +1488,106 @@ mod tests {
         assert_eq!(s.wme_changes, 100);
         assert!(s.activations >= 100);
         assert_eq!(s.cs_changes, 50);
+        assert!(s.join_activations >= 100);
         let c = par.contention();
         assert!(c.queue_acqs > 0);
         assert!(c.hash_acqs_left + c.hash_acqs_right > 0);
+    }
+
+    #[test]
+    fn unlinking_and_sharing_match_baseline() {
+        // Compiled with sharing+unlinking, the parallel matcher must reach
+        // the same net conflict set as the plain sequential baseline, while
+        // never performing a scan it classified as null.
+        use rete::NetworkOptions;
+        let srcs = [
+            "(p q (a ^x <v>) (b ^y <v>) --> (halt))",
+            "(p q (a ^x <v>) - (b ^y <v>) --> (halt))",
+            "(p p1 (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))
+             (p p2 (a ^x <v>) (b ^y <v>) (d ^w <v>) --> (halt))",
+        ];
+        let opts = NetworkOptions {
+            sharing: true,
+            unlinking: true,
+        };
+        for src in srcs {
+            for cfg in configs() {
+                let mut prog = Program::from_source(src).unwrap();
+                let base = Arc::new(Network::compile(&prog).unwrap());
+                let tuned = Arc::new(Network::compile_with(&prog, opts).unwrap());
+                let mut changes = Vec::new();
+                let mut tag = 1u64;
+                let mut first = None;
+                for name in ["a", "b", "c", "d"] {
+                    let class = prog.symbols.intern(name);
+                    for i in 0..6i64 {
+                        let wme = Wme::new(class, vec![Value::Int(i % 3)], tag);
+                        first.get_or_insert_with(|| wme.clone());
+                        changes.push(WmeChange {
+                            sign: Sign::Plus,
+                            wme,
+                        });
+                        tag += 1;
+                    }
+                }
+                // Exercise the minus paths against populated memories too.
+                changes.push(WmeChange {
+                    sign: Sign::Minus,
+                    wme: first.unwrap(),
+                });
+                let mut seq = rete::seq::boxed_vs2(base, rete::HashMemConfig { buckets: 16 });
+                let expect = final_cs(seq.as_mut(), changes.clone());
+                let mut par = ParMatcher::new(tuned, cfg);
+                let got = final_cs(&mut par, changes);
+                assert_eq!(got, expect, "config {cfg:?} on {src:?}");
+                assert_eq!(par.parked_tokens(), 0);
+                let s = par.stats();
+                assert_eq!(s.null_activations, 0, "unlinking leaves no null scans");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn idle_workers_park_with_negligible_cpu() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let (mut prog, net) = net_of(src);
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("b");
+        let mut par = ParMatcher::new(
+            net,
+            PsmConfig {
+                match_processes: 4,
+                queues: 2,
+                lock_scheme: LockScheme::Simple,
+                buckets: 16,
+                scheduler: SchedulerKind::SpinQueues,
+            },
+        );
+        // One real cycle so every worker is up and has seen work.
+        par.submit_one(WmeChange {
+            sign: Sign::Plus,
+            wme: Wme::new(ca, vec![Value::Int(1)], 1),
+        });
+        par.quiesce();
+        // Let the spin→yield backoff drain into the parked state.
+        std::thread::sleep(Duration::from_millis(100));
+        let t0 = par.worker_cpu_ticks().expect("procfs available on linux");
+        std::thread::sleep(Duration::from_millis(500));
+        let burned = par.worker_cpu_ticks().expect("procfs available on linux") - t0;
+        // Four busy-spinning workers would burn ~200 ticks (2 000 ms of CPU)
+        // across this window; parked workers waking every 2 ms burn at most
+        // a handful.
+        assert!(
+            burned <= 10,
+            "idle workers burned {burned} CPU ticks over a 500ms idle window"
+        );
+        // Parked workers must still wake promptly when work arrives.
+        par.submit_one(WmeChange {
+            sign: Sign::Plus,
+            wme: Wme::new(cb, vec![Value::Int(1)], 2),
+        });
+        let cs = par.quiesce().cs_changes;
+        assert_eq!(cs.len(), 1, "wake-on-push completed the join");
     }
 }

@@ -19,6 +19,9 @@ pub struct AtomicMatchStats {
     pub same_searches_right: AtomicU64,
     pub cs_changes: AtomicU64,
     pub conjugate_pairs: AtomicU64,
+    pub join_activations: AtomicU64,
+    pub null_activations: AtomicU64,
+    pub null_skipped: AtomicU64,
 }
 
 impl AtomicMatchStats {
@@ -38,6 +41,9 @@ impl AtomicMatchStats {
             same_searches_right: g(&self.same_searches_right),
             cs_changes: g(&self.cs_changes),
             conjugate_pairs: g(&self.conjugate_pairs),
+            join_activations: g(&self.join_activations),
+            null_activations: g(&self.null_activations),
+            null_skipped: g(&self.null_skipped),
         }
     }
 
@@ -56,6 +62,9 @@ impl AtomicMatchStats {
         z(&self.same_searches_right);
         z(&self.cs_changes);
         z(&self.conjugate_pairs);
+        z(&self.join_activations);
+        z(&self.null_activations);
+        z(&self.null_skipped);
     }
 }
 

@@ -86,9 +86,12 @@ pub fn to_dot(net: &Network, syms: &SymbolTable) -> String {
         }
     }
     for j in &net.joins {
-        match j.succ {
-            Succ::Join(n) => s.push_str(&format!("  j{} -> j{} [label=\"L\"];\n", j.id, n)),
-            Succ::Terminal(p) => s.push_str(&format!("  j{} -> t{};\n", j.id, p.0)),
+        // A shared join renders once; each successor gets its own edge.
+        for succ in &j.succs {
+            match *succ {
+                Succ::Join(n) => s.push_str(&format!("  j{} -> j{} [label=\"L\"];\n", j.id, n)),
+                Succ::Terminal(p) => s.push_str(&format!("  j{} -> t{};\n", j.id, p.0)),
+            }
         }
     }
     s.push_str("}\n");
@@ -117,7 +120,7 @@ pub fn to_text(net: &Network, syms: &SymbolTable) -> String {
             j.left_len,
             j.tests.len(),
             j.eq_specs.len(),
-            j.succ
+            j.succs
         ));
     }
     for name in &net.prod_names {
@@ -185,6 +188,32 @@ mod tests {
             "fieldcmp rendered: {dot}"
         );
         assert!(dot.contains(" > "), "join predicate rendered: {dot}");
+    }
+
+    #[test]
+    fn shared_join_renders_once_with_multiple_successor_edges() {
+        use crate::network::NetworkOptions;
+        let prog = Program::from_source(
+            "(p p1 (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))
+             (p p2 (a ^x <v>) (b ^y <v>) (d ^w <v>) --> (halt))",
+        )
+        .unwrap();
+        let net = Network::compile_with(
+            &prog,
+            NetworkOptions {
+                sharing: true,
+                unlinking: false,
+            },
+        )
+        .unwrap();
+        let dot = to_dot(&net, &prog.symbols);
+        // One shared (a,b) join node, drawn once...
+        assert_eq!(dot.matches("j0 [shape=ellipse").count(), 1);
+        // ...with one left edge to each downstream join.
+        assert!(dot.contains("j0 -> j1 [label=\"L\"];"));
+        assert!(dot.contains("j0 -> j2 [label=\"L\"];"));
+        let txt = to_text(&net, &prog.symbols);
+        assert!(txt.contains("-> [Join(1), Join(2)]"), "{txt}");
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub mod seq;
 pub mod token;
 
 pub use memory::{HashMemConfig, MemoryKind};
-pub use network::{AlphaPatternId, AlphaSucc, EqSpec, JoinId, JoinNode, JoinTest, Network, Succ};
+pub use network::{
+    AlphaPatternId, AlphaSucc, EqSpec, JoinId, JoinNode, JoinTest, Network, NetworkOptions,
+    NetworkSummary, Succ,
+};
 pub use seq::SeqMatcher;
 pub use token::Token;

@@ -120,6 +120,15 @@ pub trait TokenMem {
     /// Not-node left activation: count matching right WMEs.
     fn count_right(&self, j: &JoinNode, key: u64, token: &Token) -> (u32, u64, bool);
 
+    /// Entries stored network-wide in the join's left memory — the
+    /// emptiness gate for right-activation unlinking. 0 means any left
+    /// scan of this join is a null activation.
+    fn left_count(&self, j: &JoinNode) -> u32;
+
+    /// Entries stored network-wide in the join's right memory — the
+    /// emptiness gate for left-activation unlinking.
+    fn right_count(&self, j: &JoinNode) -> u32;
+
     /// Total stored entries (diagnostics / invariant checks).
     fn total_entries(&self) -> usize;
 }
@@ -274,6 +283,14 @@ impl TokenMem for ListMem {
         (n, mem.len() as u64, !mem.is_empty())
     }
 
+    fn left_count(&self, j: &JoinNode) -> u32 {
+        self.left[j.id as usize].len() as u32
+    }
+
+    fn right_count(&self, j: &JoinNode) -> u32 {
+        self.right[j.id as usize].len() as u32
+    }
+
     fn total_entries(&self) -> usize {
         self.left.iter().map(Vec::len).sum::<usize>()
             + self.right.iter().map(Vec::len).sum::<usize>()
@@ -306,6 +323,26 @@ pub struct HashMem {
     left: Vec<Vec<HashLeftEntry>>,
     right: Vec<Vec<HashRightEntry>>,
     mask: u64,
+    /// Per-join entry counts (indexed by join id, grown on demand): the
+    /// buckets interleave joins, so per-join emptiness must be maintained,
+    /// not derived.
+    left_counts: Vec<u32>,
+    right_counts: Vec<u32>,
+}
+
+#[inline]
+fn bump(counts: &mut Vec<u32>, join: u32, delta: i32) {
+    let idx = join as usize;
+    if counts.len() <= idx {
+        counts.resize(idx + 1, 0);
+    }
+    let c = &mut counts[idx];
+    if delta > 0 {
+        *c += 1;
+    } else {
+        debug_assert!(*c > 0, "memory count underflow for join {join}");
+        *c -= 1;
+    }
 }
 
 impl HashMem {
@@ -315,6 +352,8 @@ impl HashMem {
             left: (0..n).map(|_| Vec::new()).collect(),
             right: (0..n).map(|_| Vec::new()).collect(),
             mask: (n - 1) as u64,
+            left_counts: Vec::new(),
+            right_counts: Vec::new(),
         }
     }
 
@@ -347,6 +386,7 @@ impl TokenMem for HashMem {
             token,
             neg_count,
         });
+        bump(&mut self.left_counts, j.id, 1);
     }
 
     fn remove_left(&mut self, j: &JoinNode, key: u64, token: &Token) -> Removed<u32> {
@@ -361,6 +401,7 @@ impl TokenMem for HashMem {
             examined += 1;
             if e.key == key && e.token.same_wmes(token) {
                 let e = mem.swap_remove(i);
+                bump(&mut self.left_counts, j.id, -1);
                 return Removed {
                     entry: Some(e.neg_count),
                     examined,
@@ -380,6 +421,7 @@ impl TokenMem for HashMem {
             key,
             wme,
         });
+        bump(&mut self.right_counts, j.id, 1);
     }
 
     fn remove_right(&mut self, j: &JoinNode, key: u64, wme: &Wme) -> Removed<()> {
@@ -394,6 +436,7 @@ impl TokenMem for HashMem {
             examined += 1;
             if e.key == key && e.wme.timetag == wme.timetag {
                 mem.swap_remove(i);
+                bump(&mut self.right_counts, j.id, -1);
                 return Removed {
                     entry: Some(()),
                     examined,
@@ -504,6 +547,14 @@ impl TokenMem for HashMem {
             }
         }
         (n, examined, examined > 0)
+    }
+
+    fn left_count(&self, j: &JoinNode) -> u32 {
+        self.left_counts.get(j.id as usize).copied().unwrap_or(0)
+    }
+
+    fn right_count(&self, j: &JoinNode) -> u32 {
+        self.right_counts.get(j.id as usize).copied().unwrap_or(0)
     }
 
     fn total_entries(&self) -> usize {
@@ -644,6 +695,39 @@ mod tests {
         // 1 -> 0: crossing.
         mem.adjust_left_counts(&j, kb, &wb, -1, &mut crossed);
         assert_eq!(crossed.len(), 1);
+    }
+
+    #[test]
+    fn per_join_counts_track_inserts_and_removes() {
+        let (mut prog, net) = setup();
+        let ca = prog.symbols.intern("a");
+        let cb = prog.symbols.intern("b");
+        let j = net.join(0).clone();
+        for mem in [
+            Box::new(ListMem::new(net.n_joins())) as Box<dyn TokenMem>,
+            Box::new(HashMem::new(HashMemConfig { buckets: 8 })),
+        ]
+        .iter_mut()
+        {
+            assert_eq!(mem.left_count(&j), 0);
+            assert_eq!(mem.right_count(&j), 0);
+            let tok = Token::single(Wme::new(ca, vec![Value::Int(1)], 1));
+            let lk = mem.left_key(&j, &tok);
+            mem.insert_left(&j, lk, tok.clone(), 0);
+            assert_eq!(mem.left_count(&j), 1);
+            let wb = Wme::new(cb, vec![Value::Int(1)], 2);
+            let rk = mem.right_key(&j, &wb);
+            mem.insert_right(&j, rk, wb.clone());
+            mem.insert_right(&j, rk, wb.clone());
+            assert_eq!(mem.right_count(&j), 2);
+            mem.remove_right(&j, rk, &wb);
+            assert_eq!(mem.right_count(&j), 1);
+            mem.remove_left(&j, lk, &tok);
+            assert_eq!(mem.left_count(&j), 0);
+            // A failed remove must not disturb the count.
+            mem.remove_left(&j, lk, &tok);
+            assert_eq!(mem.left_count(&j), 0);
+        }
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //!   footnote 6). Negated condition elements compile to not-nodes, which are
 //!   join nodes with a per-left-token match counter.
 //!
+//! With [`NetworkOptions::sharing`] enabled (off by default — the paper's
+//! configuration keeps the chains linear), identical join-chain *prefixes*
+//! are deduped across productions exactly like alpha patterns, turning the
+//! beta layer into a DAG of multi-successor joins;
+//! [`NetworkOptions::unlinking`] additionally lets the matchers skip null
+//! activations (two-input activations whose opposite memory is empty).
+//!
 //! All variable occurrences are resolved at compile time into either
 //! intra-element field comparisons (alpha) or inter-element [`JoinTest`]s
 //! (beta); the equality subset of the join tests is extracted into
@@ -77,7 +84,7 @@ pub struct AlphaPattern {
 }
 
 /// An inter-element test: `wme.field(right_field) PRED token[left_ce].field(left_field)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JoinTest {
     pub pred: Pred,
     /// Index into the left token's WME list (positive CEs only).
@@ -94,7 +101,10 @@ pub struct EqSpec {
     pub right_field: u16,
 }
 
-/// Successor of a join node (chains are linear — no beta sharing).
+/// Successor of a join node. In the paper-faithful configuration every join
+/// has exactly one successor (chains are linear — no beta sharing); with
+/// [`NetworkOptions::sharing`] a join may feed several downstream joins
+/// and/or terminals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Succ {
     Join(JoinId),
@@ -105,6 +115,8 @@ pub enum Succ {
 #[derive(Debug, Clone)]
 pub struct JoinNode {
     pub id: JoinId,
+    /// The production that first created this join. With sharing enabled a
+    /// join can serve several productions — diagnostics only.
     pub prod: ProdId,
     /// Source CE index (0-based over all CEs) — diagnostics only.
     pub ce_index: u16,
@@ -113,7 +125,7 @@ pub struct JoinNode {
     pub left_len: u16,
     pub tests: Box<[JoinTest]>,
     pub eq_specs: Box<[EqSpec]>,
-    pub succ: Succ,
+    pub succs: Vec<Succ>,
 }
 
 #[inline]
@@ -219,6 +231,56 @@ impl JoinNode {
     }
 }
 
+/// Compile/runtime options for the match network.
+///
+/// Both default to **off**: the paper keeps one linear, unshared join chain
+/// per production (§3.1, footnote 6) and performs every activation, so the
+/// table-reproduction paths must run with this configuration. The
+/// extensions are opt-in:
+///
+/// * `sharing` — dedup identical join-chain *prefixes* across productions
+///   (same left input, same right alpha pattern, same tests, same sign),
+///   the way alpha patterns are already deduped. Joins become
+///   multi-successor nodes and the beta layer turns into a DAG.
+/// * `unlinking` — matchers skip the opposite-memory scan of a two-input
+///   activation when that memory is globally empty (a *null activation*),
+///   the effect of Doorenbos-style left/right unlinking expressed as an
+///   emptiness gate rather than physical successor-list surgery (which the
+///   parallel matcher could not do safely under per-line locks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkOptions {
+    pub sharing: bool,
+    pub unlinking: bool,
+}
+
+/// Node and sharing counts for a compiled network (CLI `summary` output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkSummary {
+    pub classes: usize,
+    pub alpha_patterns: usize,
+    pub joins: usize,
+    /// Join constructions that reused an existing join (0 with sharing off).
+    pub shared_prefixes: usize,
+    /// Coalesced token memories: one left + one right memory per join.
+    pub memory_nodes: usize,
+    pub terminals: usize,
+}
+
+impl std::fmt::Display for NetworkSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "network: {} classes, {} alpha patterns, {} joins ({} shared prefixes), {} memory nodes, {} terminals",
+            self.classes,
+            self.alpha_patterns,
+            self.joins,
+            self.shared_prefixes,
+            self.memory_nodes,
+            self.terminals
+        )
+    }
+}
+
 /// The compiled match network.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -229,6 +291,11 @@ pub struct Network {
     pub prod_sizes: Vec<u16>,
     /// Production names (for traces and dot output).
     pub prod_names: Vec<String>,
+    /// The options this network was compiled with; matchers read the
+    /// `unlinking` toggle from here at run time.
+    pub options: NetworkOptions,
+    /// How many join constructions were satisfied by an existing join.
+    pub shared_prefixes: usize,
 }
 
 impl Network {
@@ -254,6 +321,18 @@ impl Network {
 
     pub fn n_patterns(&self) -> usize {
         self.patterns.len()
+    }
+
+    /// Node counts for diagnostics and the CLI's load-path report.
+    pub fn summary(&self) -> NetworkSummary {
+        NetworkSummary {
+            classes: self.by_class.len(),
+            alpha_patterns: self.patterns.len(),
+            joins: self.joins.len(),
+            shared_prefixes: self.shared_prefixes,
+            memory_nodes: 2 * self.joins.len(),
+            terminals: self.prod_sizes.len(),
+        }
     }
 
     /// Checks the network's structural invariants, returning a description
@@ -301,44 +380,56 @@ impl Network {
                     ));
                 }
             }
-            match j.succ {
-                Succ::Join(n) => match self.joins.get(n as usize) {
-                    None => errs.push(format!("join {} -> missing join {n}", j.id)),
-                    Some(next) => {
-                        if n <= j.id {
-                            errs.push(format!("join {} -> non-forward successor {n}", j.id));
-                        }
-                        if next.left_len != j.out_len() {
-                            errs.push(format!(
-                                "join {} emits len {} but join {n} expects left_len {}",
-                                j.id,
-                                j.out_len(),
-                                next.left_len
-                            ));
-                        }
-                        if next.prod != j.prod {
-                            errs.push(format!(
-                                "join {} (prod {:?}) chains into join {n} (prod {:?})",
-                                j.id, j.prod, next.prod
-                            ));
-                        }
-                    }
-                },
-                Succ::Terminal(p) => {
-                    if p != j.prod {
-                        errs.push(format!("join {} terminates foreign prod {p:?}", j.id));
-                    }
-                    match self.prod_sizes.get(p.index()) {
-                        None => errs.push(format!("join {} -> missing prod {p:?}", j.id)),
-                        Some(&sz) => {
-                            terminal_seen[p.index()] += 1;
-                            if sz != j.out_len() {
+            if j.succs.is_empty() {
+                errs.push(format!("join {} has no successors", j.id));
+            }
+            if !self.options.sharing && j.succs.len() > 1 {
+                errs.push(format!(
+                    "join {} has {} successors but sharing is off",
+                    j.id,
+                    j.succs.len()
+                ));
+            }
+            for succ in &j.succs {
+                match *succ {
+                    Succ::Join(n) => match self.joins.get(n as usize) {
+                        None => errs.push(format!("join {} -> missing join {n}", j.id)),
+                        Some(next) => {
+                            if n <= j.id {
+                                errs.push(format!("join {} -> non-forward successor {n}", j.id));
+                            }
+                            if next.left_len != j.out_len() {
                                 errs.push(format!(
-                                    "prod {p:?} instantiation length {} but terminal join {} emits {}",
-                                    sz,
+                                    "join {} emits len {} but join {n} expects left_len {}",
                                     j.id,
-                                    j.out_len()
+                                    j.out_len(),
+                                    next.left_len
                                 ));
+                            }
+                            if !self.options.sharing && next.prod != j.prod {
+                                errs.push(format!(
+                                    "join {} (prod {:?}) chains into join {n} (prod {:?})",
+                                    j.id, j.prod, next.prod
+                                ));
+                            }
+                        }
+                    },
+                    Succ::Terminal(p) => {
+                        if !self.options.sharing && p != j.prod {
+                            errs.push(format!("join {} terminates foreign prod {p:?}", j.id));
+                        }
+                        match self.prod_sizes.get(p.index()) {
+                            None => errs.push(format!("join {} -> missing prod {p:?}", j.id)),
+                            Some(&sz) => {
+                                terminal_seen[p.index()] += 1;
+                                if sz != j.out_len() {
+                                    errs.push(format!(
+                                        "prod {p:?} instantiation length {} but terminal join {} emits {}",
+                                        sz,
+                                        j.id,
+                                        j.out_len()
+                                    ));
+                                }
                             }
                         }
                     }
@@ -353,25 +444,35 @@ impl Network {
         errs
     }
 
-    /// Compiles a program's productions into a network.
+    /// Compiles a program's productions into a network with the
+    /// paper-faithful default options (no sharing, no unlinking).
     pub fn compile(prog: &Program) -> Result<Network, Ops5Error> {
+        Network::compile_with(prog, NetworkOptions::default())
+    }
+
+    /// Compiles a program's productions into a network.
+    pub fn compile_with(prog: &Program, options: NetworkOptions) -> Result<Network, Ops5Error> {
         let mut net = Network {
             patterns: Vec::new(),
             by_class: FxHashMap::default(),
             joins: Vec::new(),
             prod_sizes: Vec::with_capacity(prog.productions.len()),
             prod_names: Vec::with_capacity(prog.productions.len()),
+            options,
+            shared_prefixes: 0,
         };
         // Dedup map for alpha patterns: (class, tests) → id.
         let mut alpha_dedup: FxHashMap<(SymbolId, Vec<AlphaTest>), AlphaPatternId> =
             FxHashMap::default();
+        // Dedup map for join-chain prefixes (only consulted with sharing on).
+        let mut join_dedup: FxHashMap<JoinKey, JoinId> = FxHashMap::default();
 
         for (pidx, prod) in prog.productions.iter().enumerate() {
             let prod_id = ProdId(pidx as u32);
             net.prod_names
                 .push(prog.symbols.name(prod.name).to_string());
             net.prod_sizes.push(prod.positive_ces() as u16);
-            net.compile_production(prog, prod_id, &mut alpha_dedup)?;
+            net.compile_production(prog, prod_id, &mut alpha_dedup, &mut join_dedup)?;
         }
         debug_assert!(
             net.validate().is_empty(),
@@ -407,6 +508,7 @@ impl Network {
         prog: &Program,
         prod_id: ProdId,
         alpha_dedup: &mut FxHashMap<(SymbolId, Vec<AlphaTest>), AlphaPatternId>,
+        join_dedup: &mut FxHashMap<JoinKey, JoinId>,
     ) -> Result<(), Ops5Error> {
         let prod = prog.production(prod_id);
         // Global variable bindings: var → (positive CE position, field).
@@ -518,39 +620,72 @@ impl Network {
                     prev = Some(Prev::Alpha(pat));
                 }
                 Some(p) => {
-                    let join_id = self.joins.len() as JoinId;
-                    let eq_specs: Vec<EqSpec> = join_tests
-                        .iter()
-                        .filter(|t| t.pred.is_eq())
-                        .map(|t| EqSpec {
-                            left_ce: t.left_ce,
-                            left_field: t.left_field,
-                            right_field: t.right_field,
-                        })
-                        .collect();
-                    let node = JoinNode {
-                        id: join_id,
-                        prod: prod_id,
-                        ce_index: ce_idx as u16,
-                        negated: ce.negated,
-                        left_len: pos_count,
-                        tests: join_tests.into_boxed_slice(),
-                        eq_specs: eq_specs.into_boxed_slice(),
-                        // Patched below once the next element is seen.
-                        succ: Succ::Terminal(prod_id),
+                    let left = match p {
+                        Prev::Alpha(a) => LeftSrc::Alpha(a),
+                        Prev::Join(j) => LeftSrc::Join(j),
                     };
-                    self.joins.push(node);
-                    // Link predecessor's output to this join's left input.
-                    match p {
-                        Prev::Alpha(a) => self.patterns[a as usize]
-                            .succs
-                            .push(AlphaSucc::JoinLeft(join_id)),
-                        Prev::Join(j) => self.joins[j as usize].succ = Succ::Join(join_id),
-                    }
-                    // This CE's alpha feeds the join's right input.
-                    self.patterns[pat as usize]
-                        .succs
-                        .push(AlphaSucc::JoinRight(join_id));
+                    let key = JoinKey {
+                        left,
+                        right: pat,
+                        negated: ce.negated,
+                        tests: join_tests.clone(),
+                    };
+                    let reused = if self.options.sharing {
+                        join_dedup.get(&key).copied()
+                    } else {
+                        None
+                    };
+                    let join_id = match reused {
+                        Some(j) => {
+                            // Identical prefix already compiled: the shared
+                            // join's left input, right alpha link, tests and
+                            // (therefore) left_len all match by key equality.
+                            // Nothing to link — just continue the chain here.
+                            self.shared_prefixes += 1;
+                            j
+                        }
+                        None => {
+                            let join_id = self.joins.len() as JoinId;
+                            let eq_specs: Vec<EqSpec> = join_tests
+                                .iter()
+                                .filter(|t| t.pred.is_eq())
+                                .map(|t| EqSpec {
+                                    left_ce: t.left_ce,
+                                    left_field: t.left_field,
+                                    right_field: t.right_field,
+                                })
+                                .collect();
+                            let node = JoinNode {
+                                id: join_id,
+                                prod: prod_id,
+                                ce_index: ce_idx as u16,
+                                negated: ce.negated,
+                                left_len: pos_count,
+                                tests: join_tests.into_boxed_slice(),
+                                eq_specs: eq_specs.into_boxed_slice(),
+                                // Filled once the next element is seen.
+                                succs: Vec::new(),
+                            };
+                            self.joins.push(node);
+                            // Link predecessor's output to this join's left input.
+                            match p {
+                                Prev::Alpha(a) => self.patterns[a as usize]
+                                    .succs
+                                    .push(AlphaSucc::JoinLeft(join_id)),
+                                Prev::Join(j) => {
+                                    self.joins[j as usize].succs.push(Succ::Join(join_id))
+                                }
+                            }
+                            // This CE's alpha feeds the join's right input.
+                            self.patterns[pat as usize]
+                                .succs
+                                .push(AlphaSucc::JoinRight(join_id));
+                            if self.options.sharing {
+                                join_dedup.insert(key, join_id);
+                            }
+                            join_id
+                        }
+                    };
                     if !ce.negated {
                         pos_count += 1;
                     }
@@ -567,12 +702,32 @@ impl Network {
                     .push(AlphaSucc::Terminal(prod_id));
             }
             Some(Prev::Join(j)) => {
-                self.joins[j as usize].succ = Succ::Terminal(prod_id);
+                self.joins[j as usize].succs.push(Succ::Terminal(prod_id));
             }
             None => unreachable!("parser rejects empty LHS"),
         }
         Ok(())
     }
+}
+
+/// What feeds a join's left input — the discriminator of the beta-prefix
+/// dedup key. Equal sources see byte-identical left token streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LeftSrc {
+    Alpha(AlphaPatternId),
+    Join(JoinId),
+}
+
+/// Beta-prefix dedup key: two join constructions may share one node iff
+/// they have the same left input, the same right alpha pattern (alpha ids
+/// are already deduped, so id equality is pattern equality), the same sign,
+/// and the same test list. `left_len` is implied by `left`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JoinKey {
+    left: LeftSrc,
+    right: AlphaPatternId,
+    negated: bool,
+    tests: Vec<JoinTest>,
 }
 
 #[cfg(test)]
@@ -616,14 +771,14 @@ mod tests {
         assert_eq!(j0.left_len, 1);
         assert_eq!(j0.tests.len(), 1);
         assert_eq!(j0.eq_specs.len(), 1);
-        assert_eq!(j0.succ, Succ::Join(1));
+        assert_eq!(j0.succs, vec![Succ::Join(1)]);
         let j1 = net.join(1); // p1's negated C3 node
         assert!(j1.negated);
         assert_eq!(j1.left_len, 2);
         assert_eq!(j1.out_len(), 2);
-        assert_eq!(j1.succ, Succ::Terminal(ProdId(0)));
+        assert_eq!(j1.succs, vec![Succ::Terminal(ProdId(0))]);
         let j2 = net.join(2); // p2's C4 join
-        assert_eq!(j2.succ, Succ::Terminal(ProdId(1)));
+        assert_eq!(j2.succs, vec![Succ::Terminal(ProdId(1))]);
     }
 
     #[test]
@@ -735,8 +890,104 @@ mod tests {
         let prog = Program::from_source("(p q (a ^x <v>) (b ^y <v>) --> (halt))").unwrap();
         let mut net = Network::compile(&prog).unwrap();
         // Corrupt the chain: point the join at a foreign production.
-        net.joins[0].succ = Succ::Terminal(ProdId(7));
+        net.joins[0].succs = vec![Succ::Terminal(ProdId(7))];
         assert!(!net.validate().is_empty());
+    }
+
+    /// Two productions with a common two-CE prefix: with sharing the first
+    /// join is compiled once and grows two successors.
+    const SHARED_PREFIX_SRC: &str = "(p p1 (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))
+         (p p2 (a ^x <v>) (b ^y <v>) (d ^w <v>) --> (halt))";
+
+    #[test]
+    fn sharing_dedups_common_join_prefix() {
+        let prog = Program::from_source(SHARED_PREFIX_SRC).unwrap();
+        let off = Network::compile(&prog).unwrap();
+        assert_eq!(off.n_joins(), 4);
+        assert_eq!(off.shared_prefixes, 0);
+        let on = Network::compile_with(
+            &prog,
+            NetworkOptions {
+                sharing: true,
+                unlinking: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(on.n_joins(), 3, "the (a,b) join must be shared");
+        assert_eq!(on.shared_prefixes, 1);
+        assert!(on.validate().is_empty());
+        // The shared join fans out to both productions' second joins.
+        let j0 = on.join(0);
+        assert_eq!(j0.succs.len(), 2);
+        assert!(j0.succs.iter().all(|s| matches!(s, Succ::Join(_))));
+        assert_eq!(on.summary().shared_prefixes, 1);
+    }
+
+    #[test]
+    fn sharing_respects_test_differences() {
+        // Same alpha patterns, different join predicate: no sharing.
+        let prog = Program::from_source(
+            "(p p1 (a ^x <v>) (b ^y <v>) --> (halt))
+             (p p2 (a ^x <v>) (b ^y > <v>) --> (halt))",
+        )
+        .unwrap();
+        let on = Network::compile_with(
+            &prog,
+            NetworkOptions {
+                sharing: true,
+                unlinking: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(on.n_joins(), 2);
+        assert_eq!(on.shared_prefixes, 0);
+    }
+
+    #[test]
+    fn sharing_respects_negation_sign() {
+        let prog = Program::from_source(
+            "(p p1 (a ^x <v>) (b ^y <v>) --> (halt))
+             (p p2 (a ^x <v>) - (b ^y <v>) --> (halt))",
+        )
+        .unwrap();
+        let on = Network::compile_with(
+            &prog,
+            NetworkOptions {
+                sharing: true,
+                unlinking: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            on.n_joins(),
+            2,
+            "a negated join cannot share with a positive one"
+        );
+        assert_eq!(on.shared_prefixes, 0);
+    }
+
+    #[test]
+    fn identical_lhs_productions_share_whole_chain() {
+        let prog = Program::from_source(
+            "(p p1 (a ^x <v>) (b ^y <v>) --> (halt))
+             (p p2 (a ^x <v>) (b ^y <v>) --> (remove 1))",
+        )
+        .unwrap();
+        let on = Network::compile_with(
+            &prog,
+            NetworkOptions {
+                sharing: true,
+                unlinking: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(on.n_joins(), 1);
+        let j = on.join(0);
+        assert_eq!(
+            j.succs,
+            vec![Succ::Terminal(ProdId(0)), Succ::Terminal(ProdId(1))]
+        );
+        assert!(on.validate().is_empty());
     }
 
     #[test]

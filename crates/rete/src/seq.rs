@@ -90,20 +90,24 @@ pub fn boxed_vs2(net: Arc<Network>, cfg: HashMemConfig) -> Box<dyn Matcher> {
     Box::new(SeqMatcher::vs2(net, cfg))
 }
 
-/// Schedules a join output (free function so scan-buffer drains can push
-/// while the buffer is borrowed from `self`).
-fn push_succ(agenda: &mut Vec<Task>, succ: Succ, token: Token, sign: Sign) {
-    match succ {
-        Succ::Join(j) => agenda.push(Task::Left {
-            join: j,
-            sign,
-            token,
-        }),
-        Succ::Terminal(p) => agenda.push(Task::Terminal {
-            prod: p,
-            sign,
-            token,
-        }),
+/// Schedules a join output to every successor (free function so scan-buffer
+/// drains can push while the buffer is borrowed from `self`). With sharing
+/// off every join has exactly one successor; with it on a shared join fans
+/// the token out to each consumer (token clones are `Arc` bumps).
+fn push_succs(agenda: &mut Vec<Task>, succs: &[Succ], token: &Token, sign: Sign) {
+    for succ in succs {
+        match *succ {
+            Succ::Join(j) => agenda.push(Task::Left {
+                join: j,
+                sign,
+                token: token.clone(),
+            }),
+            Succ::Terminal(p) => agenda.push(Task::Terminal {
+                prod: p,
+                sign,
+                token: token.clone(),
+            }),
+        }
     }
 }
 
@@ -112,10 +116,17 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
         match task {
             Task::Left { join, sign, token } => {
                 self.stats.activations += 1;
+                self.stats.join_activations += 1;
+                let unlink = self.net.options.unlinking;
                 let j = self.net.join(join).clone();
                 // One key per activation: the same key addresses the remove
                 // or insert and the opposite-memory scan.
                 let key = self.mem.left_key(&j, &token);
+                // Unlinking gate: with the join's right memory globally
+                // empty the opposite-memory scan is a null activation —
+                // skip it (own-side insert/remove still runs). The gate
+                // only suppresses work that would have produced nothing.
+                let opp_empty = self.mem.right_count(&j) == 0;
                 if !j.negated {
                     match sign {
                         Sign::Plus => self.mem.insert_left(&j, key, token.clone(), 0),
@@ -129,25 +140,41 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                             );
                         }
                     }
-                    let scan = self.mem.scan_right(&j, key, &token, &mut self.scratch_wmes);
-                    self.stats.opp_tokens_left += scan.examined;
-                    if scan.nonempty {
-                        self.stats.opp_nonempty_left += 1;
-                    }
-                    for w in self.scratch_wmes.drain(..) {
-                        push_succ(&mut self.agenda, j.succ, token.extended(w), sign);
+                    if unlink && opp_empty {
+                        self.stats.null_skipped += 1;
+                    } else {
+                        if opp_empty {
+                            self.stats.null_activations += 1;
+                        }
+                        let scan = self.mem.scan_right(&j, key, &token, &mut self.scratch_wmes);
+                        self.stats.opp_tokens_left += scan.examined;
+                        if scan.nonempty {
+                            self.stats.opp_nonempty_left += 1;
+                        }
+                        for w in self.scratch_wmes.drain(..) {
+                            push_succs(&mut self.agenda, &j.succs, &token.extended(w), sign);
+                        }
                     }
                 } else {
                     match sign {
                         Sign::Plus => {
-                            let (n, examined, nonempty) = self.mem.count_right(&j, key, &token);
-                            self.stats.opp_tokens_left += examined;
-                            if nonempty {
-                                self.stats.opp_nonempty_left += 1;
-                            }
+                            let n = if unlink && opp_empty {
+                                self.stats.null_skipped += 1;
+                                0
+                            } else {
+                                if opp_empty {
+                                    self.stats.null_activations += 1;
+                                }
+                                let (n, examined, nonempty) = self.mem.count_right(&j, key, &token);
+                                self.stats.opp_tokens_left += examined;
+                                if nonempty {
+                                    self.stats.opp_nonempty_left += 1;
+                                }
+                                n
+                            };
                             self.mem.insert_left(&j, key, token.clone(), n);
                             if n == 0 {
-                                push_succ(&mut self.agenda, j.succ, token, Sign::Plus);
+                                push_succs(&mut self.agenda, &j.succs, &token, Sign::Plus);
                             }
                         }
                         Sign::Minus => {
@@ -156,7 +183,7 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                             self.stats.same_searches_left += 1;
                             if let Some(neg_count) = r.entry {
                                 if neg_count == 0 {
-                                    push_succ(&mut self.agenda, j.succ, token, Sign::Minus);
+                                    push_succs(&mut self.agenda, &j.succs, &token, Sign::Minus);
                                 }
                             }
                         }
@@ -165,8 +192,13 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
             }
             Task::Right { join, sign, wme } => {
                 self.stats.activations += 1;
+                self.stats.join_activations += 1;
+                let unlink = self.net.options.unlinking;
                 let j = self.net.join(join).clone();
                 let key = self.mem.right_key(&j, &wme);
+                // Unlinking gate, mirrored: an empty left memory means no
+                // token can pair with (or be count-adjusted by) this WME.
+                let opp_empty = self.mem.left_count(&j) == 0;
                 if !j.negated {
                     match sign {
                         Sign::Plus => self.mem.insert_right(&j, key, wme.clone()),
@@ -177,52 +209,73 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                             debug_assert!(r.entry.is_some(), "sequential delete must find its wme");
                         }
                     }
-                    let scan = self.mem.scan_left(&j, key, &wme, &mut self.scratch_tokens);
-                    self.stats.opp_tokens_right += scan.examined;
-                    if scan.nonempty {
-                        self.stats.opp_nonempty_right += 1;
-                    }
-                    for t in self.scratch_tokens.drain(..) {
-                        push_succ(&mut self.agenda, j.succ, t.extended(wme.clone()), sign);
+                    if unlink && opp_empty {
+                        self.stats.null_skipped += 1;
+                    } else {
+                        if opp_empty {
+                            self.stats.null_activations += 1;
+                        }
+                        let scan = self.mem.scan_left(&j, key, &wme, &mut self.scratch_tokens);
+                        self.stats.opp_tokens_right += scan.examined;
+                        if scan.nonempty {
+                            self.stats.opp_nonempty_right += 1;
+                        }
+                        for t in self.scratch_tokens.drain(..) {
+                            push_succs(&mut self.agenda, &j.succs, &t.extended(wme.clone()), sign);
+                        }
                     }
                 } else {
                     match sign {
                         Sign::Plus => {
                             self.mem.insert_right(&j, key, wme.clone());
-                            let scan = self.mem.adjust_left_counts(
-                                &j,
-                                key,
-                                &wme,
-                                1,
-                                &mut self.scratch_tokens,
-                            );
-                            self.stats.opp_tokens_right += scan.examined;
-                            if scan.nonempty {
-                                self.stats.opp_nonempty_right += 1;
-                            }
-                            for t in self.scratch_tokens.drain(..) {
-                                // 0→1: those tokens just lost their support.
-                                push_succ(&mut self.agenda, j.succ, t, Sign::Minus);
+                            if unlink && opp_empty {
+                                self.stats.null_skipped += 1;
+                            } else {
+                                if opp_empty {
+                                    self.stats.null_activations += 1;
+                                }
+                                let scan = self.mem.adjust_left_counts(
+                                    &j,
+                                    key,
+                                    &wme,
+                                    1,
+                                    &mut self.scratch_tokens,
+                                );
+                                self.stats.opp_tokens_right += scan.examined;
+                                if scan.nonempty {
+                                    self.stats.opp_nonempty_right += 1;
+                                }
+                                for t in self.scratch_tokens.drain(..) {
+                                    // 0→1: those tokens just lost their support.
+                                    push_succs(&mut self.agenda, &j.succs, &t, Sign::Minus);
+                                }
                             }
                         }
                         Sign::Minus => {
                             let r = self.mem.remove_right(&j, key, &wme);
                             self.stats.same_tokens_right += r.examined;
                             self.stats.same_searches_right += 1;
-                            let scan = self.mem.adjust_left_counts(
-                                &j,
-                                key,
-                                &wme,
-                                -1,
-                                &mut self.scratch_tokens,
-                            );
-                            self.stats.opp_tokens_right += scan.examined;
-                            if scan.nonempty {
-                                self.stats.opp_nonempty_right += 1;
-                            }
-                            for t in self.scratch_tokens.drain(..) {
-                                // 1→0: those tokens regained satisfaction.
-                                push_succ(&mut self.agenda, j.succ, t, Sign::Plus);
+                            if unlink && opp_empty {
+                                self.stats.null_skipped += 1;
+                            } else {
+                                if opp_empty {
+                                    self.stats.null_activations += 1;
+                                }
+                                let scan = self.mem.adjust_left_counts(
+                                    &j,
+                                    key,
+                                    &wme,
+                                    -1,
+                                    &mut self.scratch_tokens,
+                                );
+                                self.stats.opp_tokens_right += scan.examined;
+                                if scan.nonempty {
+                                    self.stats.opp_nonempty_right += 1;
+                                }
+                                for t in self.scratch_tokens.drain(..) {
+                                    // 1→0: those tokens regained satisfaction.
+                                    push_succs(&mut self.agenda, &j.succs, &t, Sign::Plus);
+                                }
                             }
                         }
                     }
@@ -556,6 +609,81 @@ mod tests {
         assert_eq!(m1.quiesce().cs_changes.len(), 1);
         assert_eq!(m2.quiesce().cs_changes.len(), 1);
         assert!(m1.stats().opp_tokens_left > m2.stats().opp_tokens_left * 3);
+    }
+
+    /// Unlinking gate lifecycle: a join whose opposite memory is empty
+    /// skips its scans (unlinked), starts scanning again the moment the
+    /// memory becomes non-empty (relinked), and survives a conjugate
+    /// add/delete pair that empties the memory again — producing exactly
+    /// the CS changes of an unlinking-off matcher throughout.
+    #[test]
+    fn unlinking_gate_relinks_after_conjugate_add_delete() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let prog = Program::from_source(src).unwrap();
+        let on = Arc::new(
+            Network::compile_with(
+                &prog,
+                crate::network::NetworkOptions {
+                    sharing: false,
+                    unlinking: true,
+                },
+            )
+            .unwrap(),
+        );
+        let off = Arc::new(Network::compile(&prog).unwrap());
+        let mut prog = prog;
+        let mut m_on = SeqMatcher::vs2(on, HashMemConfig { buckets: 16 });
+        let mut m_off = SeqMatcher::vs2(off, HashMemConfig { buckets: 16 });
+
+        let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+        let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+        let wb2 = wme(&mut prog, "b", vec![Value::Int(1)], 3);
+
+        let step = |m_on: &mut SeqMatcher<HashMem>,
+                    m_off: &mut SeqMatcher<HashMem>,
+                    sign: Sign,
+                    w: &WmeRef,
+                    label: &str| {
+            for m in [&mut *m_on, &mut *m_off] {
+                m.submit_one(WmeChange {
+                    sign,
+                    wme: w.clone(),
+                });
+            }
+            let a = format!("{:?}", m_on.quiesce().cs_changes);
+            let b = format!("{:?}", m_off.quiesce().cs_changes);
+            assert_eq!(a, b, "CS divergence at step {label}");
+        };
+
+        // Left memory empty: the right activation for wa's join is gated.
+        step(&mut m_on, &mut m_off, Sign::Plus, &wb, "add b (unlinked)");
+        assert_eq!(m_on.stats().null_skipped, 1);
+        assert_eq!(m_on.stats().null_activations, 0);
+        // Non-empty right memory: the gate must relink and find the pair.
+        step(&mut m_on, &mut m_off, Sign::Plus, &wa, "add a (relinked)");
+        assert_eq!(m_on.stats().null_skipped, 1, "relinked scan performed");
+        // Conjugate pair through the (now populated) join.
+        step(&mut m_on, &mut m_off, Sign::Plus, &wb2, "conjugate add");
+        step(&mut m_on, &mut m_off, Sign::Minus, &wb2, "conjugate delete");
+        // Empty the left memory again; b's retract is gated once more.
+        step(&mut m_on, &mut m_off, Sign::Minus, &wa, "remove a");
+        step(
+            &mut m_on,
+            &mut m_off,
+            Sign::Minus,
+            &wb,
+            "remove b (unlinked)",
+        );
+        assert!(m_on.stats().null_skipped > 1);
+        assert_eq!(
+            m_on.stats().null_activations,
+            0,
+            "unlinking leaves no null activation performed"
+        );
+        assert_eq!(m_off.stats().null_skipped, 0);
+        assert!(m_off.stats().null_activations > 0);
+        assert_eq!(m_on.memory_entries(), 0);
+        assert_eq!(m_off.memory_entries(), 0);
     }
 
     #[test]

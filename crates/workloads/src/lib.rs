@@ -128,9 +128,22 @@ impl MatcherChoice {
 /// Builds an engine for a workload: parses the source, compiles the network,
 /// installs the chosen matcher, and loads the initial working memory.
 pub fn build_engine(w: &Workload, choice: &MatcherChoice) -> Result<Engine> {
-    let mut eng = EngineBuilder::from_source(&w.source)?
-        .matcher(choice.kind())
-        .build()?;
+    build_engine_with(w, choice, None)
+}
+
+/// [`build_engine`] with explicit network compile options (beta-prefix
+/// sharing / unlinking); `None` keeps the builder's default resolution
+/// (environment knobs for non-trace matchers).
+pub fn build_engine_with(
+    w: &Workload,
+    choice: &MatcherChoice,
+    options: Option<rete::NetworkOptions>,
+) -> Result<Engine> {
+    let mut b = EngineBuilder::from_source(&w.source)?.matcher(choice.kind());
+    if let Some(o) = options {
+        b = b.network_options(o);
+    }
+    let mut eng = b.build()?;
     for wme in &w.setup {
         let sets: Vec<(String, Value)> = wme
             .sets

@@ -181,6 +181,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    eprintln!("{}", engine.network().summary());
 
     if let Err(e) = engine.load_startup() {
         eprintln!("error: {e}");
@@ -254,6 +255,10 @@ fn main() -> ExitCode {
             "  opposite-memory tokens examined: left {:.1} avg, right {:.1} avg",
             s.avg_opp_left(),
             s.avg_opp_right()
+        );
+        eprintln!(
+            "  join activations: {} ({} null, {} skipped by unlinking)",
+            s.join_activations, s.null_activations, s.null_skipped
         );
     }
 

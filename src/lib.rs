@@ -64,7 +64,7 @@ pub mod prelude {
     };
     pub use psm::{LockScheme, ParMatcher, PsmConfig};
     pub use rete::network::Network;
-    pub use rete::{HashMemConfig, SeqMatcher};
+    pub use rete::{HashMemConfig, NetworkOptions, NetworkSummary, SeqMatcher};
     pub use serve::{Client, ServeConfig, Server};
     pub use workloads::{build_engine, run_workload, MatcherChoice, Workload};
 }

@@ -192,6 +192,56 @@ fn corpus_cs_history_identical_on_all_matchers() {
     }
 }
 
+/// Beta-prefix sharing and unlinking are pure optimizations: with both
+/// enabled, every matcher must still produce a byte-identical per-cycle
+/// conflict-set history on the whole corpus. The reference runs with both
+/// off (the paper-faithful network), so any emission the shared DAG or the
+/// skip-scan gates add, drop, or reorder shows up here.
+#[test]
+fn corpus_cs_history_identical_with_sharing_and_unlinking() {
+    let tuned = NetworkOptions {
+        sharing: true,
+        unlinking: true,
+    };
+    for name in ["blocks", "fibonacci", "monkey", "hanoi"] {
+        let src = std::fs::read_to_string(format!("programs/{name}.ops")).expect("read corpus");
+        let history = |choice: &MatcherChoice, options: NetworkOptions| -> Vec<u8> {
+            let mut eng = EngineBuilder::from_source(&src)
+                .expect("parse")
+                .matcher(choice.kind())
+                .network_options(options)
+                .build()
+                .expect("build");
+            eng.load_startup().expect("startup");
+            let mut out = Vec::new();
+            loop {
+                let r = eng.run(1).expect("run");
+                for (prod, tags) in eng.conflict_set().sorted_keys() {
+                    out.extend_from_slice(format!("{}:{tags:?};", prod.0).as_bytes());
+                }
+                out.push(b'\n');
+                if r.reason != StopReason::CycleLimit {
+                    break;
+                }
+            }
+            out
+        };
+        let reference = history(&MatcherChoice::Vs2, NetworkOptions::default());
+        assert!(
+            reference.len() > 4,
+            "{name} produced no conflict-set history"
+        );
+        for choice in all_choices() {
+            assert_eq!(
+                history(&choice, tuned),
+                reference,
+                "CS history diverges with sharing+unlinking: {name} under {}",
+                choice.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn trace_matcher_agrees_too() {
     let w = rubik::workload(rubik::RubikConfig {

@@ -234,6 +234,30 @@ proptest! {
             );
             prop_assert_eq!(par.parked_tokens(), 0, "conjugate tokens parked at quiescence");
         }
+
+        // Beta-prefix sharing + unlinking must be invisible: matchers on the
+        // tuned network agree with the unshared baseline on the same stream.
+        let opts = rete::NetworkOptions { sharing: true, unlinking: true };
+        let tuned = Arc::new(Network::compile_with(&prog, opts).expect("tuned network compiles"));
+        let mut vs1t = rete::seq::boxed_vs1(tuned.clone());
+        prop_assert_eq!(final_cs(vs1t.as_mut(), &changes), reference.clone(), "tuned vs1 disagrees");
+        let mut vs2t = rete::seq::boxed_vs2(tuned.clone(), HashMemConfig { buckets: 16 });
+        prop_assert_eq!(final_cs(vs2t.as_mut(), &changes), reference.clone(), "tuned vs2 disagrees");
+        let mut lispt = lispsim::LispEngineMatcher::boxed_with(&prog, opts);
+        prop_assert_eq!(final_cs(lispt.as_mut(), &changes), reference.clone(), "unlinking lisp disagrees");
+        for scheme in [LockScheme::Simple, LockScheme::Mrsw] {
+            let mut par = ParMatcher::new(
+                tuned.clone(),
+                PsmConfig { match_processes: 3, queues: 2, lock_scheme: scheme, buckets: 16, scheduler: psm::SchedulerKind::SpinQueues },
+            );
+            prop_assert_eq!(
+                final_cs(&mut par, &changes),
+                reference.clone(),
+                "tuned psm {:?} disagrees",
+                scheme
+            );
+            prop_assert_eq!(par.parked_tokens(), 0, "tuned psm parked conjugate tokens");
+        }
     }
 
     #[test]
