@@ -8,6 +8,13 @@
 //!
 //! Run with: `cargo run --release -p bench --bin match_perf`
 //! CI smoke:  `cargo run --release -p bench --bin match_perf -- --smoke`
+//!
+//! `--profile` adds the observability pass: every workload x matcher pair is
+//! re-run twice — metrics disabled (baseline) and enabled — reporting the
+//! overhead of the obs layer and the top hottest join nodes per pair (named
+//! by owning production), appended to `BENCH_match.json` under `"profile"`.
+//! Under `--smoke` the pass gates on allocs/change ratio <= 1.05 and on
+//! every histogram snapshot validating.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -240,6 +247,169 @@ fn rete_comparison(w: &Workload, smoke: bool) {
     }
 }
 
+/// One hot join node in a profile report, resolved against the network.
+struct HotLine {
+    join: usize,
+    prod: String,
+    ce: u16,
+    activations: u64,
+    scanned: u64,
+}
+
+/// One workload x matcher measurement from the `--profile` pass.
+struct ProfileRow {
+    program: &'static str,
+    matcher: &'static str,
+    wall_off_s: f64,
+    wall_on_s: f64,
+    allocs_per_change_off: f64,
+    allocs_per_change_on: f64,
+    cycles: u64,
+    hot: Vec<HotLine>,
+}
+
+impl ProfileRow {
+    fn overhead_pct(&self) -> f64 {
+        100.0 * (self.wall_on_s - self.wall_off_s) / self.wall_off_s.max(1e-9)
+    }
+
+    fn alloc_ratio(&self) -> f64 {
+        self.allocs_per_change_on / self.allocs_per_change_off.max(1e-9)
+    }
+}
+
+/// Runs one workload twice — obs disabled, then enabled — and pulls the hot
+/// join nodes out of the enabled engine's node profile.
+fn profile_pair(program: &'static str, w: &Workload, choice: &MatcherChoice) -> ProfileRow {
+    let measure = |eng: &mut engine::Engine| {
+        let (a0, _) = alloc_snapshot();
+        let started = Instant::now();
+        let res = eng.run(w.max_cycles).expect("run");
+        let wall = started.elapsed().as_secs_f64();
+        let (a1, _) = alloc_snapshot();
+        let changes = eng.match_stats().wme_changes.max(1);
+        (wall, (a1 - a0) as f64 / changes as f64, res.cycles)
+    };
+
+    // Best-of-5 on both legs, reps interleaved off/on/off/on/... so that
+    // background load drift over the measurement window contaminates both
+    // legs equally; the per-leg minimum is the least noise-contaminated
+    // estimate of its true cost.
+    const REPS: usize = 5;
+    let mut wall_off_s = f64::INFINITY;
+    let mut allocs_off = 0.0;
+    let mut wall_on_s = f64::INFINITY;
+    let mut allocs_on = 0.0;
+    let mut cycles = 0;
+    let mut on = None;
+    for _ in 0..REPS {
+        let mut off = workloads::build_engine(w, choice).expect("build engine");
+        let (wall, allocs, _) = measure(&mut off);
+        wall_off_s = wall_off_s.min(wall);
+        allocs_off = allocs;
+        drop(off);
+
+        let mut eng = workloads::build_engine_obs(w, choice, None, obs::ObsConfig::enabled())
+            .expect("build engine (obs)");
+        let (wall, allocs, cyc) = measure(&mut eng);
+        wall_on_s = wall_on_s.min(wall);
+        allocs_on = allocs;
+        cycles = cyc;
+        on = Some(eng);
+    }
+    let on = on.expect("at least one obs rep");
+
+    // Histogram invariant gate: every snapshot must be internally
+    // consistent, and the match-phase histogram must hold one sample per
+    // recognize-act cycle.
+    let snap = on.obs_registry().expect("obs registry").snapshot();
+    for (name, h) in snap.histograms() {
+        h.validate()
+            .unwrap_or_else(|e| panic!("{program}/{}: {name}: {e}", choice.label()));
+        if name == "engine_match_ns" {
+            assert_eq!(
+                h.count,
+                cycles,
+                "{program}/{}: engine_match_ns must hold one sample per cycle",
+                choice.label()
+            );
+        }
+    }
+
+    let net = on.network().clone();
+    let hot = on
+        .node_profile()
+        .map(|p| p.top_n(5))
+        .unwrap_or_default()
+        .into_iter()
+        .map(|h| {
+            let j = &net.joins[h.join];
+            HotLine {
+                join: h.join,
+                prod: net.prod_names[j.prod.index()].clone(),
+                ce: j.ce_index,
+                activations: h.activations,
+                scanned: h.scanned,
+            }
+        })
+        .collect();
+
+    ProfileRow {
+        program,
+        matcher: choice.label(),
+        wall_off_s,
+        wall_on_s,
+        allocs_per_change_off: allocs_off,
+        allocs_per_change_on: allocs_on,
+        cycles,
+        hot,
+    }
+}
+
+fn profile_pass(programs: &[(&'static str, Workload)], smoke: bool) -> Vec<ProfileRow> {
+    bench::header("Observability profile (obs off vs on, hottest join nodes)");
+    let mut rows = Vec::new();
+    for (name, w) in programs {
+        for choice in matchers() {
+            let row = profile_pair(name, w, &choice);
+            println!(
+                "{:<8} {:<6} wall {:>8.3}s -> {:>8.3}s ({:>+6.1}%)  allocs/chg x{:.3}",
+                row.program,
+                row.matcher,
+                row.wall_off_s,
+                row.wall_on_s,
+                row.overhead_pct(),
+                row.alloc_ratio()
+            );
+            if row.hot.is_empty() {
+                println!("         (no per-node profile for this matcher)");
+            }
+            for h in &row.hot {
+                println!(
+                    "         join #{:<4} {:<28} ce{:<2} acts {:>10} scanned {:>12}",
+                    h.join, h.prod, h.ce, h.activations, h.scanned
+                );
+            }
+            if smoke {
+                assert!(
+                    row.alloc_ratio() <= 1.05,
+                    "{}/{}: obs-enabled allocs/change ratio {:.3} exceeds 1.05",
+                    row.program,
+                    row.matcher,
+                    row.alloc_ratio()
+                );
+            }
+            rows.push(row);
+        }
+    }
+    // vs1/vs2/psm-e all profile per node; lisp legitimately reports none.
+    assert!(
+        rows.iter().any(|r| !r.hot.is_empty()),
+        "profile pass produced no hot join nodes at all"
+    );
+    rows
+}
+
 fn smoke_programs() -> Vec<(&'static str, Workload)> {
     vec![
         (
@@ -282,6 +452,7 @@ fn matchers() -> Vec<MatcherChoice> {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let profile_mode = std::env::args().any(|a| a == "--profile");
     let programs: Vec<(&'static str, Workload)> = if smoke {
         smoke_programs()
     } else {
@@ -333,6 +504,13 @@ fn main() {
         }
     }
 
+    let profile_rows = if profile_mode {
+        println!();
+        profile_pass(&programs, smoke)
+    } else {
+        Vec::new()
+    };
+
     let mut json = String::from("{\n  \"suite\": \"match_perf\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"results\": [\n"));
     for (i, r) in rows.iter().enumerate() {
@@ -357,7 +535,41 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if !profile_rows.is_empty() {
+        json.push_str(",\n  \"profile\": [\n");
+        for (i, r) in profile_rows.iter().enumerate() {
+            let hot: Vec<String> = r
+                .hot
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{{\"join\": {}, \"prod\": \"{}\", \"ce\": {}, \
+                         \"activations\": {}, \"scanned\": {}}}",
+                        h.join, h.prod, h.ce, h.activations, h.scanned
+                    )
+                })
+                .collect();
+            json.push_str(&format!(
+                "    {{\"program\": \"{}\", \"matcher\": \"{}\", \"cycles\": {}, \
+                 \"wall_off_s\": {:.6}, \"wall_on_s\": {:.6}, \
+                 \"overhead_pct\": {:.2}, \"allocs_per_change_off\": {:.2}, \
+                 \"allocs_per_change_on\": {:.2}, \"hot_nodes\": [{}]}}{}\n",
+                r.program,
+                r.matcher,
+                r.cycles,
+                r.wall_off_s,
+                r.wall_on_s,
+                r.overhead_pct(),
+                r.allocs_per_change_off,
+                r.allocs_per_change_on,
+                hot.join(", "),
+                if i + 1 == profile_rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]");
+    }
+    json.push_str("\n}\n");
     std::fs::write("BENCH_match.json", &json).expect("write BENCH_match.json");
     println!();
     println!("wrote BENCH_match.json ({} rows)", rows.len());

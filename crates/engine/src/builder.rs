@@ -64,6 +64,7 @@ pub struct EngineBuilder {
     keep_fired_log: bool,
     limits: crate::interp::EngineLimits,
     network_options: Option<rete::NetworkOptions>,
+    obs: obs::ObsConfig,
     #[allow(clippy::type_complexity)]
     factory: Option<Box<dyn FnOnce(Arc<Network>) -> Box<dyn Matcher>>>,
 }
@@ -95,6 +96,7 @@ impl EngineBuilder {
             keep_fired_log: true,
             limits: crate::interp::EngineLimits::default(),
             network_options: None,
+            obs: obs::ObsConfig::default(),
             factory: None,
         }
     }
@@ -182,6 +184,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Observability configuration (metrics registry, per-node match
+    /// profiling, per-cycle phase histograms). Disabled by default; when
+    /// disabled the engine carries no instruments at all.
+    pub fn obs(mut self, cfg: obs::ObsConfig) -> Self {
+        self.obs = cfg;
+        self
+    }
+
     /// Compiles the network, installs the matcher, and returns the engine.
     pub fn build(self) -> Result<Engine> {
         let mut program = self.program;
@@ -227,6 +237,7 @@ impl EngineBuilder {
         eng.echo_writes = self.echo_writes;
         eng.keep_fired_log = self.keep_fired_log;
         eng.limits = self.limits;
+        eng.enable_obs(self.obs);
         Ok(eng)
     }
 }
@@ -337,6 +348,57 @@ mod tests {
         );
         assert_eq!(eng.matcher().name(), "seq");
         assert_eq!(eng.cycles(), 4);
+    }
+
+    #[test]
+    fn obs_disabled_by_default_and_enabled_on_request() {
+        let eng = run_counter(EngineBuilder::from_source(COUNTER).unwrap());
+        assert!(eng.obs_registry().is_none());
+        assert!(eng.last_phase().is_none());
+
+        for kind in [
+            MatcherKind::Vs1,
+            MatcherKind::Vs2(rete::HashMemConfig { buckets: 64 }),
+            MatcherKind::Psm(psm::PsmConfig::default()),
+        ] {
+            let eng = run_counter(
+                EngineBuilder::from_source(COUNTER)
+                    .unwrap()
+                    .matcher(kind)
+                    .obs(obs::ObsConfig::enabled()),
+            );
+            let name = eng.matcher().name().to_string();
+            let snap = eng.obs_registry().expect("registry present").snapshot();
+            let hist: Vec<_> = snap
+                .metrics
+                .iter()
+                .filter(|m| m.name == "engine_match_ns")
+                .collect();
+            assert_eq!(hist.len(), 1, "{name}: one match-phase histogram");
+            match &hist[0].data {
+                obs::MetricData::Histogram(h) => {
+                    h.validate().unwrap();
+                    assert_eq!(h.count, 4, "{name}: one sample per recognize-act cycle");
+                }
+                other => panic!("unexpected metric shape {other:?}"),
+            }
+            let phase = eng.last_phase().expect("phase recorded");
+            assert!(phase.match_ns > 0, "{name}: match phase took time");
+            // Rete matchers also carry a per-join-node profile with every
+            // join activation accounted for.
+            let profile = eng.node_profile().expect("profile present");
+            let stats = eng.match_stats();
+            assert_eq!(
+                profile.total_activations(),
+                stats.join_activations,
+                "{name}"
+            );
+            assert_eq!(
+                profile.total_scanned(),
+                stats.opp_tokens_left + stats.opp_tokens_right,
+                "{name}"
+            );
+        }
     }
 
     #[test]

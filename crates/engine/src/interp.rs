@@ -5,11 +5,12 @@ use crate::cs::ConflictSet;
 use crate::rhs::{self, RhsEffect, RhsProgram};
 use crate::wm::WorkingMemory;
 use ops5::{
-    ChangeBatch, Instantiation, Matcher, Ops5Error, ProdId, Program, Result, Sign, SymbolId, Value,
-    WmeChange, WmeRef,
+    ChangeBatch, Instantiation, Matcher, Ops5Error, PhaseNanos, ProdId, Program, Result, Sign,
+    SymbolId, Value, WmeChange, WmeRef,
 };
 use rete::network::Network;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,29 @@ pub struct Engine {
     /// Changes staged by [`stage`](Self::stage)/[`stage_retract`]
     /// (Self::stage_retract) awaiting the next flush.
     staged: ChangeBatch,
+    /// Observability instruments; `None` (the default) costs one branch per
+    /// step and zero allocation.
+    obs: Option<EngineObs>,
+}
+
+/// The engine's slice of the observability layer: a per-engine registry
+/// (also handed to the matcher) plus per-cycle phase-latency histograms.
+struct EngineObs {
+    registry: Arc<obs::Registry>,
+    match_ns: Arc<obs::Histogram>,
+    resolve_ns: Arc<obs::Histogram>,
+    act_ns: Arc<obs::Histogram>,
+    firings: Arc<obs::Counter>,
+    last_phase: Option<PhaseNanos>,
+}
+
+impl EngineObs {
+    fn observe(&mut self, p: PhaseNanos) {
+        self.match_ns.record(p.match_ns);
+        self.resolve_ns.record(p.resolve_ns);
+        self.act_ns.record(p.act_ns);
+        self.last_phase = Some(p);
+    }
 }
 
 impl Engine {
@@ -112,6 +136,7 @@ impl Engine {
             keep_fired_log: true,
             limits: EngineLimits::default(),
             staged: ChangeBatch::new(),
+            obs: None,
         })
     }
 
@@ -129,6 +154,42 @@ impl Engine {
 
     pub fn network(&self) -> &Arc<Network> {
         &self.net
+    }
+
+    /// Turn on the observability layer: creates this engine's metrics
+    /// registry, hands it to the matcher (which starts per-node profiling),
+    /// and begins recording per-cycle phase latencies. Idempotent; a
+    /// disabled [`obs::ObsConfig`] is a no-op, keeping the zero-overhead
+    /// default path.
+    pub fn enable_obs(&mut self, cfg: obs::ObsConfig) {
+        if !cfg.enabled || self.obs.is_some() {
+            return;
+        }
+        let registry = Arc::new(obs::Registry::new());
+        self.matcher.enable_obs(&registry);
+        self.obs = Some(EngineObs {
+            match_ns: registry.histogram("engine_match_ns", vec![]),
+            resolve_ns: registry.histogram("engine_resolve_ns", vec![]),
+            act_ns: registry.histogram("engine_act_ns", vec![]),
+            firings: registry.counter("engine_firings_total", vec![]),
+            registry,
+            last_phase: None,
+        });
+    }
+
+    /// The engine's metrics registry, if observability is enabled.
+    pub fn obs_registry(&self) -> Option<&Arc<obs::Registry>> {
+        self.obs.as_ref().map(|o| &o.registry)
+    }
+
+    /// The matcher's per-join-node activation/scan profile, if profiling.
+    pub fn node_profile(&self) -> Option<Arc<obs::NodeProfile>> {
+        self.matcher.node_profile()
+    }
+
+    /// Phase timings of the most recent [`step`](Self::step), if profiling.
+    pub fn last_phase(&self) -> Option<PhaseNanos> {
+        self.obs.as_ref().and_then(|o| o.last_phase)
     }
 
     pub fn matcher(&self) -> &dyn Matcher {
@@ -305,9 +366,13 @@ impl Engine {
     ///
     /// Returns the match statistics accumulated since the previous quiesce.
     pub fn settle(&mut self) -> ops5::MatchStats {
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         self.flush_staged();
         let report = self.matcher.quiesce();
         self.cs.apply_all(report.cs_changes);
+        if let (Some(t0), Some(o)) = (t0, self.obs.as_mut()) {
+            o.match_ns.record(t0.elapsed().as_nanos() as u64);
+        }
         report.stats_delta
     }
 
@@ -323,25 +388,45 @@ impl Engine {
         if self.halted || self.budget_exhausted() {
             return Ok(None);
         }
+        // Phase clock marks (all `None` unless observability is enabled).
+        let t_start = self.obs.as_ref().map(|_| Instant::now());
         self.flush_staged();
         let report = self.matcher.quiesce();
         self.cs.apply_all(report.cs_changes);
-        let winner = match cr::select(
+        let t_match = t_start.map(|_| Instant::now());
+        let winner = cr::select(
             self.prog.strategy,
             self.cs.candidates(),
             &self.prog.productions,
-        ) {
-            Some(w) => w,
-            None => return Ok(None),
-        };
-        self.cs.mark_fired(&winner);
-        self.cycles += 1;
-        if self.keep_fired_log {
-            self.fired_log
-                .push((winner.prod, winner.wmes.iter().map(|w| w.timetag).collect()));
+        );
+        if let Some(w) = &winner {
+            self.cs.mark_fired(w);
+            self.cycles += 1;
+            if self.keep_fired_log {
+                self.fired_log
+                    .push((w.prod, w.wmes.iter().map(|w| w.timetag).collect()));
+            }
         }
-        self.fire(&winner)?;
-        Ok(Some(winner))
+        let t_resolve = t_start.map(|_| Instant::now());
+        let fire_result = match &winner {
+            Some(w) => self.fire(w),
+            None => Ok(()),
+        };
+        if let (Some(t0), Some(t1), Some(t2)) = (t_start, t_match, t_resolve) {
+            let phase = PhaseNanos {
+                match_ns: (t1 - t0).as_nanos() as u64,
+                resolve_ns: (t2 - t1).as_nanos() as u64,
+                act_ns: t2.elapsed().as_nanos() as u64,
+            };
+            if let Some(o) = self.obs.as_mut() {
+                o.observe(phase);
+                if winner.is_some() {
+                    o.firings.inc();
+                }
+            }
+        }
+        fire_result?;
+        Ok(winner)
     }
 
     fn fire(&mut self, inst: &Instantiation) -> Result<()> {

@@ -647,6 +647,7 @@ impl Matcher for LispEngineMatcher {
         QuiesceReport {
             cs_changes: std::mem::take(&mut self.inner.out),
             stats_delta: self.delta.take(self.inner.stats),
+            phase: None,
         }
     }
 

@@ -37,7 +37,7 @@ pub mod wme;
 pub use ast::{Action, AttrTest, CondElem, Production, RhsExpr, RhsValue, WriteItem};
 pub use error::{Ops5Error, Result};
 pub use matchapi::{
-    ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, QuiesceReport, Sign,
+    ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, PhaseNanos, QuiesceReport, Sign,
     StatsDeltaTracker, WmeChange,
 };
 pub use program::{ClassInfo, ClassTable, ProdId, Program, Strategy};

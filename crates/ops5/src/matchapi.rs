@@ -404,6 +404,22 @@ impl StatsDeltaTracker {
     }
 }
 
+/// Recognize-act phase durations for one cycle, in nanoseconds.
+///
+/// Matchers report `None`; the *engine* driving them measures the phases
+/// (it owns the match/resolve/act boundaries) and attaches the timings to
+/// the report while also recording them into its latency histograms when
+/// observability is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// flush staged changes + matcher quiesce + conflict-set fold-in.
+    pub match_ns: u64,
+    /// Conflict resolution (`select` + `mark_fired`).
+    pub resolve_ns: u64,
+    /// RHS execution of the winning instantiation.
+    pub act_ns: u64,
+}
+
 /// What one `quiesce` produced: the conflict-set deltas of the completed
 /// match phase plus the statistics delta since the previous quiesce.
 ///
@@ -416,6 +432,9 @@ pub struct QuiesceReport {
     pub cs_changes: Vec<CsChange>,
     /// Statistics accumulated since the previous quiesce.
     pub stats_delta: MatchStats,
+    /// Phase timings, filled in by the driving engine (`None` from raw
+    /// matchers and when observability is disabled).
+    pub phase: Option<PhaseNanos>,
 }
 
 /// A match engine.
@@ -450,6 +469,20 @@ pub trait Matcher: Send {
 
     /// Human-readable engine name for reports.
     fn name(&self) -> &'static str;
+
+    /// Turns on observability: the matcher builds its per-node profile and
+    /// registers any additional instruments (worker latency histograms,
+    /// lock-contention counters...) into `registry`. Called at most once,
+    /// before the first `submit`. The default is a no-op — a matcher
+    /// without instrumentation (the trace matcher, test doubles) stays
+    /// byte-for-byte on its old paths.
+    fn enable_obs(&mut self, _registry: &std::sync::Arc<obs::Registry>) {}
+
+    /// The per-join-node activation/scan profile, when observability is
+    /// enabled and the matcher supports it.
+    fn node_profile(&self) -> Option<std::sync::Arc<obs::NodeProfile>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ pub mod sync;
 pub mod trace;
 
 pub use line::{LineLock, LockScheme, ParLine, Side};
-pub use matcher::{ParMatcher, PsmConfig, SchedulerKind};
+pub use matcher::{ParMatcher, PsmConfig, PsmProbe, SchedulerKind};
 pub use queue::{Scheduler, TaskCount};
 pub use stats::ContentionStats;
 pub use steal::StealScheduler;

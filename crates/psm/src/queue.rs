@@ -162,7 +162,13 @@ impl Scheduler {
         (spins, acqs)
     }
 
+    /// Zero the per-queue spin counters. Only legal while quiescent —
+    /// workers draining tasks would race the reset and tear the ratio.
     pub fn reset_contention(&self) {
+        debug_assert!(
+            self.quiescent(),
+            "reset_contention called with tasks outstanding"
+        );
         for q in &self.queues {
             q.reset_contention();
         }

@@ -35,6 +35,53 @@ pub enum Task {
     },
 }
 
+/// Locally-buffered per-join profile. The hot path does plain `u64`
+/// increments; the buffered counts fold into the shared atomic
+/// [`obs::NodeProfile`] once per quiesce. On null-activation-dominated
+/// workloads an activation does so little work that even one relaxed RMW
+/// per record costs several percent of wall, and the sequential matcher
+/// has no concurrent readers mid-cycle to serve.
+struct BufferedProfile {
+    shared: Arc<obs::NodeProfile>,
+    acts: Vec<u64>,
+    scans: Vec<u64>,
+}
+
+impl BufferedProfile {
+    fn new(n_joins: usize) -> BufferedProfile {
+        BufferedProfile {
+            shared: Arc::new(obs::NodeProfile::new(n_joins)),
+            acts: vec![0; n_joins],
+            scans: vec![0; n_joins],
+        }
+    }
+
+    #[inline]
+    fn record_activation(&mut self, join: usize) {
+        self.acts[join] += 1;
+    }
+
+    #[inline]
+    fn record_scan(&mut self, join: usize, examined: u64) {
+        self.scans[join] += examined;
+    }
+
+    fn flush(&mut self) {
+        for (join, n) in self.acts.iter_mut().enumerate() {
+            if *n != 0 {
+                self.shared.record_activations(join, *n);
+                *n = 0;
+            }
+        }
+        for (join, n) in self.scans.iter_mut().enumerate() {
+            if *n != 0 {
+                self.shared.record_scan(join, *n);
+                *n = 0;
+            }
+        }
+    }
+}
+
 /// Sequential Rete matcher over a pluggable memory implementation.
 pub struct SeqMatcher<M: TokenMem> {
     net: Arc<Network>,
@@ -46,6 +93,9 @@ pub struct SeqMatcher<M: TokenMem> {
     /// Reusable scan buffers: a steady-state activation allocates nothing.
     scratch_wmes: Vec<WmeRef>,
     scratch_tokens: Vec<Token>,
+    /// Per-join activation/scan profile; `None` (the default) keeps the
+    /// hot path free of recording.
+    profile: Option<BufferedProfile>,
 }
 
 impl SeqMatcher<ListMem> {
@@ -61,6 +111,7 @@ impl SeqMatcher<ListMem> {
             delta: StatsDeltaTracker::default(),
             scratch_wmes: Vec::new(),
             scratch_tokens: Vec::new(),
+            profile: None,
         }
     }
 }
@@ -77,6 +128,7 @@ impl SeqMatcher<HashMem> {
             delta: StatsDeltaTracker::default(),
             scratch_wmes: Vec::new(),
             scratch_tokens: Vec::new(),
+            profile: None,
         }
     }
 }
@@ -117,6 +169,9 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
             Task::Left { join, sign, token } => {
                 self.stats.activations += 1;
                 self.stats.join_activations += 1;
+                if let Some(p) = &mut self.profile {
+                    p.record_activation(join as usize);
+                }
                 let unlink = self.net.options.unlinking;
                 let j = self.net.join(join).clone();
                 // One key per activation: the same key addresses the remove
@@ -148,6 +203,9 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                         }
                         let scan = self.mem.scan_right(&j, key, &token, &mut self.scratch_wmes);
                         self.stats.opp_tokens_left += scan.examined;
+                        if let Some(p) = &mut self.profile {
+                            p.record_scan(join as usize, scan.examined);
+                        }
                         if scan.nonempty {
                             self.stats.opp_nonempty_left += 1;
                         }
@@ -167,6 +225,9 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                                 }
                                 let (n, examined, nonempty) = self.mem.count_right(&j, key, &token);
                                 self.stats.opp_tokens_left += examined;
+                                if let Some(p) = &mut self.profile {
+                                    p.record_scan(join as usize, examined);
+                                }
                                 if nonempty {
                                     self.stats.opp_nonempty_left += 1;
                                 }
@@ -193,6 +254,9 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
             Task::Right { join, sign, wme } => {
                 self.stats.activations += 1;
                 self.stats.join_activations += 1;
+                if let Some(p) = &mut self.profile {
+                    p.record_activation(join as usize);
+                }
                 let unlink = self.net.options.unlinking;
                 let j = self.net.join(join).clone();
                 let key = self.mem.right_key(&j, &wme);
@@ -217,6 +281,9 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                         }
                         let scan = self.mem.scan_left(&j, key, &wme, &mut self.scratch_tokens);
                         self.stats.opp_tokens_right += scan.examined;
+                        if let Some(p) = &mut self.profile {
+                            p.record_scan(join as usize, scan.examined);
+                        }
                         if scan.nonempty {
                             self.stats.opp_nonempty_right += 1;
                         }
@@ -242,6 +309,9 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                                     &mut self.scratch_tokens,
                                 );
                                 self.stats.opp_tokens_right += scan.examined;
+                                if let Some(p) = &mut self.profile {
+                                    p.record_scan(join as usize, scan.examined);
+                                }
                                 if scan.nonempty {
                                     self.stats.opp_nonempty_right += 1;
                                 }
@@ -269,6 +339,9 @@ impl<M: TokenMem + Send> SeqMatcher<M> {
                                     &mut self.scratch_tokens,
                                 );
                                 self.stats.opp_tokens_right += scan.examined;
+                                if let Some(p) = &mut self.profile {
+                                    p.record_scan(join as usize, scan.examined);
+                                }
                                 if scan.nonempty {
                                     self.stats.opp_nonempty_right += 1;
                                 }
@@ -364,9 +437,13 @@ impl<M: TokenMem + Send> Matcher for SeqMatcher<M> {
 
     fn quiesce(&mut self) -> QuiesceReport {
         debug_assert!(self.agenda.is_empty());
+        if let Some(p) = &mut self.profile {
+            p.flush();
+        }
         QuiesceReport {
             cs_changes: std::mem::take(&mut self.out),
             stats_delta: self.delta.take(self.stats),
+            phase: None,
         }
     }
 
@@ -381,6 +458,16 @@ impl<M: TokenMem + Send> Matcher for SeqMatcher<M> {
 
     fn name(&self) -> &'static str {
         "seq"
+    }
+
+    fn enable_obs(&mut self, _registry: &Arc<obs::Registry>) {
+        if self.profile.is_none() {
+            self.profile = Some(BufferedProfile::new(self.net.n_joins()));
+        }
+    }
+
+    fn node_profile(&self) -> Option<Arc<obs::NodeProfile>> {
+        self.profile.as_ref().map(|p| p.shared.clone())
     }
 }
 

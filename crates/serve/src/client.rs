@@ -174,6 +174,12 @@ impl Client {
         self.request("STATS?")
     }
 
+    /// Server-wide metrics in Prometheus text exposition format, one
+    /// exposition line per reply line.
+    pub fn metrics(&mut self) -> io::Result<ClientReply> {
+        self.request("METRICS?")
+    }
+
     pub fn fired(&mut self) -> io::Result<ClientReply> {
         self.request("FIRED?")
     }

@@ -88,6 +88,39 @@ struct PoolInner {
     executed: AtomicU64,
     rejected_busy: AtomicU64,
     rejected_overloaded: AtomicU64,
+    /// Per-command-kind execution latency histograms, present when the
+    /// server runs with observability enabled.
+    cmd_latency: Option<CmdLatency>,
+}
+
+/// One `serve_command_ns` histogram per command kind, pre-registered so the
+/// worker hot path never touches the registry lock.
+struct CmdLatency {
+    by_kind: Vec<(&'static str, std::sync::Arc<obs::Histogram>)>,
+}
+
+impl CmdLatency {
+    const KINDS: [&'static str; 9] = [
+        "assert", "retract", "batch", "run", "cs", "wm", "stats", "fired", "close",
+    ];
+
+    fn new(registry: &Arc<obs::Registry>) -> CmdLatency {
+        CmdLatency {
+            by_kind: Self::KINDS
+                .iter()
+                .map(|k| {
+                    let labels = vec![("cmd".to_string(), k.to_string())];
+                    (*k, registry.histogram("serve_command_ns", labels))
+                })
+                .collect(),
+        }
+    }
+
+    fn record(&self, kind: &str, nanos: u64) {
+        if let Some((_, h)) = self.by_kind.iter().find(|(k, _)| *k == kind) {
+            h.record(nanos);
+        }
+    }
 }
 
 /// Fixed worker thread pool over session slots.
@@ -99,7 +132,13 @@ pub struct Pool {
 impl Pool {
     /// Spawns `workers` threads. `queue_depth` bounds each session's inbox;
     /// `run_queue_cap` bounds how many sessions may be runnable at once.
-    pub fn new(workers: usize, queue_depth: usize, run_queue_cap: usize) -> Pool {
+    /// A `registry` turns on per-command latency histograms.
+    pub fn new(
+        workers: usize,
+        queue_depth: usize,
+        run_queue_cap: usize,
+        registry: Option<&Arc<obs::Registry>>,
+    ) -> Pool {
         let inner = Arc::new(PoolInner {
             runq: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
@@ -109,6 +148,7 @@ impl Pool {
             executed: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             rejected_overloaded: AtomicU64::new(0),
+            cmd_latency: registry.map(CmdLatency::new),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -213,7 +253,15 @@ fn worker_loop(inner: &PoolInner) {
         };
         let next = slot.inbox.lock().unwrap().q.pop_front();
         if let Some((cmd, reply_tx)) = next {
+            let kind = cmd.label();
+            let t0 = inner
+                .cmd_latency
+                .as_ref()
+                .map(|_| std::time::Instant::now());
             let reply = slot.session.lock().unwrap().execute(cmd);
+            if let (Some(lat), Some(t0)) = (&inner.cmd_latency, t0) {
+                lat.record(kind, t0.elapsed().as_nanos() as u64);
+            }
             inner.executed.fetch_add(1, Ordering::Relaxed);
             // A vanished reader is not the session's problem.
             let _ = reply_tx.send(reply);
@@ -263,7 +311,7 @@ mod tests {
 
     #[test]
     fn commands_on_one_session_execute_in_order() {
-        let pool = Pool::new(2, 64, 64);
+        let pool = Pool::new(2, 64, 64, None);
         let s = slot(1);
         let rxs: Vec<_> = (0..10)
             .map(|i| submit_ok(&pool, &s, Command::Assert(format!("item ^n {i}"))))
@@ -284,7 +332,7 @@ mod tests {
 
     #[test]
     fn inbox_overflow_reports_overloaded() {
-        let pool = Pool::new(1, 2, 64);
+        let pool = Pool::new(1, 2, 64, None);
         let s = slot(1);
         // Wedge the sole worker on long spin runs so the other session's
         // inbox fills without being drained. One-command-per-pop means the
@@ -326,7 +374,7 @@ mod tests {
     fn run_queue_cap_reports_busy() {
         // Wedge the sole worker, then contend two fresh sessions for a
         // run queue with capacity one.
-        let pool = Pool::new(1, 64, 1);
+        let pool = Pool::new(1, 64, 1, None);
         let spin = spinner(9);
         let spin_rx = submit_ok(&pool, &spin, Command::Run(20_000));
         let a = slot(1);
@@ -351,7 +399,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queued_commands() {
-        let pool = Pool::new(2, 64, 64);
+        let pool = Pool::new(2, 64, 64, None);
         let slots: Vec<_> = (0..4).map(slot).collect();
         let rxs: Vec<_> = slots
             .iter()

@@ -13,6 +13,8 @@
 //! WM? [class]                working memory              -> WM <n> ... END
 //! FIRED?                     firing log                  -> FIRED <n> ... END
 //! STATS?                     session statistics          -> OK k=v ...
+//! METRICS?                   server-wide metrics in Prometheus text
+//!                            exposition format           -> METRICS <n> ... END
 //! CLOSE                      close the session
 //! SHUTDOWN                   drain and stop the whole server
 //! ```
@@ -43,6 +45,8 @@ pub enum Line {
     Cs,
     Wm(Option<String>),
     Stats,
+    /// Server-wide metrics snapshot (works with or without an open session).
+    Metrics,
     Fired,
     Close,
     Shutdown,
@@ -99,6 +103,7 @@ pub fn parse_line(line: &str) -> Result<Line, String> {
             Some(rest.to_string())
         })),
         "STATS?" => no_arg(Line::Stats),
+        "METRICS?" => no_arg(Line::Metrics),
         "FIRED?" => no_arg(Line::Fired),
         "CLOSE" => no_arg(Line::Close),
         "SHUTDOWN" => no_arg(Line::Shutdown),
@@ -178,6 +183,8 @@ mod tests {
         assert_eq!(parse_line("WM?"), Ok(Line::Wm(None)));
         assert_eq!(parse_line("WM? block"), Ok(Line::Wm(Some("block".into()))));
         assert_eq!(parse_line("STATS?"), Ok(Line::Stats));
+        assert_eq!(parse_line("METRICS?"), Ok(Line::Metrics));
+        assert_eq!(parse_line("metrics?"), Ok(Line::Metrics));
         assert_eq!(parse_line("FIRED?"), Ok(Line::Fired));
         assert_eq!(parse_line("CLOSE"), Ok(Line::Close));
         assert_eq!(parse_line("SHUTDOWN"), Ok(Line::Shutdown));
@@ -193,6 +200,7 @@ mod tests {
         assert!(parse_line("ASSERT").is_err());
         assert!(parse_line("OPEN").is_err());
         assert!(parse_line("CLOSE now").is_err());
+        assert!(parse_line("METRICS? all").is_err());
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub struct ServeConfig {
     pub matcher: MatcherKind,
     /// Corpus directory for [`Registry::with_builtins`].
     pub programs_dir: Option<PathBuf>,
+    /// Observability: when enabled every session engine gets a metrics
+    /// registry (per-node match profiling, phase histograms), the pool
+    /// records per-command latencies, and `METRICS?` answers with the
+    /// aggregated Prometheus text exposition.
+    pub obs: obs::ObsConfig,
+    /// Serve the same exposition over HTTP (`GET /metrics`) on this
+    /// loopback port (0 = ephemeral). Implies nothing about `obs`; enable
+    /// both for a scrapeable server.
+    pub metrics_port: Option<u16>,
 }
 
 impl Default for ServeConfig {
@@ -59,8 +68,18 @@ impl Default for ServeConfig {
             limits: EngineLimits::default(),
             matcher: MatcherKind::default(),
             programs_dir: None,
+            obs: obs::ObsConfig::default(),
+            metrics_port: None,
         }
     }
+}
+
+/// Server-side observability state: the server-level registry (pool
+/// command latencies) plus the roster of live sessions whose per-engine
+/// registries `METRICS?` aggregates.
+struct ServerObs {
+    registry: Arc<obs::Registry>,
+    sessions: std::sync::Mutex<Vec<std::sync::Weak<SessionSlot>>>,
 }
 
 struct Shared {
@@ -70,17 +89,22 @@ struct Shared {
     stop: AtomicBool,
     next_session: AtomicU64,
     addr: SocketAddr,
+    obs: Option<ServerObs>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 /// A bound server, ready to [`run`](Server::run) or [`spawn`](Server::spawn).
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
 /// Handle to a spawned server: its address plus the accept-loop thread.
 pub struct ServerHandle {
     pub addr: SocketAddr,
+    /// Address of the HTTP metrics endpoint, when `metrics_port` was set.
+    pub metrics_addr: Option<SocketAddr>,
     join: JoinHandle<io::Result<()>>,
 }
 
@@ -98,9 +122,31 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let registry = Registry::with_builtins(cfg.programs_dir.as_deref());
-        let pool = Pool::new(cfg.workers, cfg.queue_depth, cfg.run_queue_cap);
+        let server_obs = if cfg.obs.enabled {
+            Some(ServerObs {
+                registry: Arc::new(obs::Registry::new()),
+                sessions: std::sync::Mutex::new(Vec::new()),
+            })
+        } else {
+            None
+        };
+        let pool = Pool::new(
+            cfg.workers,
+            cfg.queue_depth,
+            cfg.run_queue_cap,
+            server_obs.as_ref().map(|o| &o.registry),
+        );
+        let metrics_listener = match cfg.metrics_port {
+            Some(port) => Some(TcpListener::bind(("127.0.0.1", port))?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         Ok(Server {
             listener,
+            metrics_listener,
             shared: Arc::new(Shared {
                 cfg,
                 registry,
@@ -108,6 +154,8 @@ impl Server {
                 stop: AtomicBool::new(false),
                 next_session: AtomicU64::new(1),
                 addr,
+                obs: server_obs,
+                metrics_addr,
             }),
         })
     }
@@ -116,9 +164,18 @@ impl Server {
         self.shared.addr
     }
 
+    /// Address of the HTTP metrics endpoint, when `metrics_port` was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.shared.metrics_addr
+    }
+
     /// Accept loop; returns after a `SHUTDOWN`, once every connection has
     /// wound down and the pool has drained.
     pub fn run(self) -> io::Result<()> {
+        let metrics_thread = self.metrics_listener.map(|l| {
+            let shared = self.shared.clone();
+            std::thread::spawn(move || serve_metrics_http(l, &shared))
+        });
         let mut conns: Vec<JoinHandle<()>> = Vec::new();
         for stream in self.listener.incoming() {
             if self.shared.stop.load(Ordering::SeqCst) {
@@ -141,6 +198,9 @@ impl Server {
         for h in conns {
             let _ = h.join();
         }
+        if let Some(h) = metrics_thread {
+            let _ = h.join();
+        }
         self.shared.pool.shutdown();
         Ok(())
     }
@@ -148,8 +208,13 @@ impl Server {
     /// Runs the accept loop on its own thread.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.shared.addr;
+        let metrics_addr = self.shared.metrics_addr;
         let join = std::thread::spawn(move || self.run());
-        ServerHandle { addr, join }
+        ServerHandle {
+            addr,
+            metrics_addr,
+            join,
+        }
     }
 
     pub fn pool_stats(&self) -> PoolStats {
@@ -328,12 +393,23 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                     }
                 };
                 match spec.build(kind, shared.cfg.limits) {
-                    Ok(engine) => {
+                    Ok(mut engine) => {
                         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
                         let name = engine.matcher().name().to_string();
+                        if shared.obs.is_some() {
+                            engine.enable_obs(obs::ObsConfig::enabled());
+                        }
                         let session =
                             Session::new(id, &program, engine, shared.cfg.max_cycles_per_run);
-                        slot = Some(SessionSlot::new(session));
+                        let new_slot = SessionSlot::new(session);
+                        if let Some(o) = &shared.obs {
+                            let mut sessions = o.sessions.lock().expect("obs sessions");
+                            // Prune dead sessions while we hold the lock so a
+                            // long-lived server's roster stays bounded.
+                            sessions.retain(|w| w.upgrade().is_some());
+                            sessions.push(Arc::downgrade(&new_slot));
+                        }
+                        slot = Some(new_slot);
                         send_direct(
                             writer_tx,
                             Reply::Ok(format!("session {id} program={program} matcher={name}")),
@@ -344,20 +420,37 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
             }
             Line::BatchStart => {
                 let mut items = Vec::new();
+                // 1-based position within the batch body; counts every line
+                // after BATCH (blanks included) so errors point at the line
+                // the client actually sent.
+                let mut line_no = 0usize;
                 let reply = loop {
                     match reader.next_line(&shared.stop) {
-                        Some(l) if l.trim().is_empty() => continue,
-                        Some(l) => match parse_line(&l) {
-                            Ok(Line::Assert(body)) => items.push(BatchItem::Assert(body)),
-                            Ok(Line::Retract(tag)) => items.push(BatchItem::Retract(tag)),
-                            Ok(Line::End) => break None,
-                            Ok(other) => {
-                                break Some(Reply::Err(format!(
-                                    "only ASSERT/RETRACT allowed in BATCH, got {other:?}"
-                                )))
+                        Some(l) => {
+                            line_no += 1;
+                            if l.trim().is_empty() {
+                                continue;
                             }
-                            Err(e) => break Some(Reply::Err(format!("in BATCH: {e}"))),
-                        },
+                            match parse_line(&l) {
+                                Ok(Line::Assert(body)) => items.push(BatchItem::Assert {
+                                    line: line_no,
+                                    body,
+                                }),
+                                Ok(Line::Retract(tag)) => {
+                                    items.push(BatchItem::Retract { line: line_no, tag })
+                                }
+                                Ok(Line::End) => break None,
+                                Ok(other) => {
+                                    break Some(Reply::Err(format!(
+                                        "BATCH line {line_no}: only ASSERT/RETRACT allowed, \
+                                         got {other:?}"
+                                    )))
+                                }
+                                Err(e) => {
+                                    break Some(Reply::Err(format!("BATCH line {line_no}: {e}")))
+                                }
+                            }
+                        }
                         None => return,
                     }
                 };
@@ -370,6 +463,25 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                 }
             }
             Line::End => send_direct(writer_tx, Reply::Err("END outside BATCH".into())),
+            // Server-wide: answered by the reader itself (works without an
+            // open session), still through the ordered writer queue.
+            Line::Metrics => match &shared.obs {
+                Some(_) => {
+                    let text = render_metrics(shared);
+                    let lines: Vec<String> = text.lines().map(str::to_string).collect();
+                    send_direct(
+                        writer_tx,
+                        Reply::Multi {
+                            head: format!("METRICS {}", lines.len()),
+                            lines,
+                        },
+                    );
+                }
+                None => send_direct(
+                    writer_tx,
+                    Reply::Err("metrics disabled (start with --metrics or obs enabled)".into()),
+                ),
+            },
             Line::Shutdown => {
                 send_direct(writer_tx, Reply::Ok("shutting down".into()));
                 shared.stop.store(true, Ordering::SeqCst);
@@ -407,6 +519,100 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                     None => send_direct(writer_tx, Reply::Err("no open session".into())),
                 }
             }
+        }
+    }
+}
+
+/// Builds the aggregated Prometheus text exposition: the server-level
+/// registry (pool command latencies) merged with every live session's
+/// engine registry — labeled `session`/`program`/`matcher` so same-named
+/// series stay distinguishable — plus synthetic per-join-node counters for
+/// each session's ten hottest join nodes, labeled with the join id and the
+/// owning production.
+fn render_metrics(shared: &Shared) -> String {
+    let Some(o) = &shared.obs else {
+        return String::new();
+    };
+    let mut snap = o.registry.snapshot();
+    let slots: Vec<Arc<SessionSlot>> = {
+        let mut sessions = o.sessions.lock().expect("obs sessions");
+        sessions.retain(|w| w.upgrade().is_some());
+        sessions.iter().filter_map(|w| w.upgrade()).collect()
+    };
+    for slot in slots {
+        slot.with_session(|s| {
+            let sid = s.id.to_string();
+            let engine = s.engine();
+            let matcher = engine.matcher().name().to_string();
+            if let Some(reg) = engine.obs_registry() {
+                snap.merge(
+                    reg.snapshot()
+                        .with_label("session", &sid)
+                        .with_label("program", &s.program)
+                        .with_label("matcher", &matcher),
+                );
+            }
+            if let Some(profile) = engine.node_profile() {
+                let net = engine.network();
+                let mut hot = obs::Snapshot::default();
+                for node in profile.top_n(10) {
+                    let j = &net.joins[node.join];
+                    let labels: obs::Labels = vec![
+                        ("join".to_string(), node.join.to_string()),
+                        ("prod".to_string(), net.prod_names[j.prod.index()].clone()),
+                        ("ce".to_string(), j.ce_index.to_string()),
+                        ("session".to_string(), sid.clone()),
+                        ("matcher".to_string(), matcher.clone()),
+                    ];
+                    hot.metrics.push(obs::MetricValue {
+                        name: "rete_join_activations_total".to_string(),
+                        labels: labels.clone(),
+                        data: obs::MetricData::Counter(node.activations),
+                    });
+                    hot.metrics.push(obs::MetricValue {
+                        name: "rete_join_scanned_total".to_string(),
+                        labels,
+                        data: obs::MetricData::Counter(node.scanned),
+                    });
+                }
+                snap.merge(hot);
+            }
+        });
+    }
+    let mut out = String::new();
+    snap.render_prometheus(&mut out);
+    out
+}
+
+/// Minimal HTTP/1.0 responder for the metrics endpoint: nonblocking accept
+/// polling the stop flag, one short-lived connection per scrape. Every path
+/// answers with the exposition, so `GET /metrics` and `GET /` both work.
+fn serve_metrics_http(listener: TcpListener, shared: &Arc<Shared>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(READ_TICK));
+                // Drain what the client sent of the request head; the body
+                // of the reply does not depend on it.
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let body = render_metrics(shared);
+                let resp = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(resp.as_bytes());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(READ_TICK);
+            }
+            Err(_) => std::thread::sleep(READ_TICK),
         }
     }
 }

@@ -12,11 +12,14 @@ use crate::protocol::Reply;
 use engine::{Engine, StopReason};
 use ops5::wire;
 
-/// One staged change inside a `BATCH ... END` block.
+/// One staged change inside a `BATCH ... END` block. `line` is the 1-based
+/// position of the item within the batch body (counting every line sent
+/// after `BATCH`, blank ones included), so error replies point back at the
+/// exact wire line the client produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchItem {
-    Assert(String),
-    Retract(u64),
+    Assert { line: usize, body: String },
+    Retract { line: usize, tag: u64 },
 }
 
 /// A queued session command (the post-parse, post-framing form of
@@ -33,6 +36,23 @@ pub enum Command {
     Stats,
     Fired,
     Close,
+}
+
+impl Command {
+    /// Stable label for per-command latency metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Command::Assert(_) => "assert",
+            Command::Retract(_) => "retract",
+            Command::Batch(_) => "batch",
+            Command::Run(_) => "run",
+            Command::Cs => "cs",
+            Command::Wm(_) => "wm",
+            Command::Stats => "stats",
+            Command::Fired => "fired",
+            Command::Close => "close",
+        }
+    }
 }
 
 /// A live session: an engine plus its protocol identity.
@@ -107,18 +127,20 @@ impl Session {
             Command::Batch(items) => {
                 let total = items.len();
                 let mut tags = Vec::new();
-                for (i, item) in items.into_iter().enumerate() {
-                    let res = match item {
-                        BatchItem::Assert(body) => self.stage_assert(&body),
-                        BatchItem::Retract(tag) => self
-                            .engine
-                            .stage_retract(tag)
-                            .map(|()| tag)
-                            .map_err(|e| e.to_string()),
+                for item in items {
+                    let (line, res) = match item {
+                        BatchItem::Assert { line, body } => (line, self.stage_assert(&body)),
+                        BatchItem::Retract { line, tag } => (
+                            line,
+                            self.engine
+                                .stage_retract(tag)
+                                .map(|()| tag)
+                                .map_err(|e| e.to_string()),
+                        ),
                     };
                     match res {
                         Ok(tag) => tags.push(tag.to_string()),
-                        Err(e) => return Reply::Err(format!("batch item {i}: {e}")),
+                        Err(e) => return Reply::Err(format!("BATCH line {line}: {e}")),
                     }
                 }
                 Reply::Ok(format!("{total} {}", tags.join(" ")))
@@ -167,7 +189,17 @@ impl Session {
             Command::Wm(class) => {
                 let class_id = match class {
                     None => None,
-                    Some(name) => match self.engine.prog.symbols.get(&name) {
+                    // Check the class *table*, not just the symbol table: any
+                    // interned symbol (attribute names, symbolic values)
+                    // resolves to an id, and filtering on one would silently
+                    // answer `WM 0` for a class that does not exist.
+                    Some(name) => match self
+                        .engine
+                        .prog
+                        .symbols
+                        .get(&name)
+                        .filter(|id| self.engine.prog.classes.info(*id).is_some())
+                    {
                         Some(id) => Some(id),
                         None => return Reply::Err(format!("unknown class `{name}`")),
                     },
@@ -291,8 +323,14 @@ mod tests {
     fn batch_replies_with_count_and_tags() {
         let mut s = session(1000);
         let r = s.execute(Command::Batch(vec![
-            BatchItem::Assert("item ^n 1".into()),
-            BatchItem::Assert("item ^n 2".into()),
+            BatchItem::Assert {
+                line: 1,
+                body: "item ^n 1".into(),
+            },
+            BatchItem::Assert {
+                line: 2,
+                body: "item ^n 2".into(),
+            },
         ]));
         match r {
             Reply::Ok(msg) => assert!(msg.starts_with("2 "), "{msg}"),
@@ -306,6 +344,55 @@ mod tests {
         assert!(s.execute(Command::Retract(tag)).is_ok());
         match s.execute(Command::Stats) {
             Reply::Ok(msg) => assert!(msg.contains("staged=2"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_errors_name_the_offending_line() {
+        let mut s = session(1000);
+        let r = s.execute(Command::Batch(vec![
+            BatchItem::Assert {
+                line: 1,
+                body: "item ^n 1".into(),
+            },
+            BatchItem::Assert {
+                line: 3,
+                body: "item ^bogus 2".into(),
+            },
+        ]));
+        match r {
+            Reply::Err(msg) => assert!(msg.starts_with("BATCH line 3:"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        let r = s.execute(Command::Batch(vec![BatchItem::Retract {
+            line: 2,
+            tag: 999,
+        }]));
+        match r {
+            Reply::Err(msg) => assert!(msg.starts_with("BATCH line 2:"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wm_query_rejects_non_class_symbols() {
+        let mut s = session(1000);
+        s.execute(Command::Assert("item ^n 3".into()));
+        // A name that was never interned.
+        match s.execute(Command::Wm(Some("nosuch".into()))) {
+            Reply::Err(msg) => assert!(msg.contains("unknown class `nosuch`"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        // An interned symbol that is an attribute, not a class — the
+        // regression case that used to come back as an empty `WM 0`.
+        match s.execute(Command::Wm(Some("n".into()))) {
+            Reply::Err(msg) => assert!(msg.contains("unknown class `n`"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        // Real classes still answer.
+        match s.execute(Command::Wm(Some("item".into()))) {
+            Reply::Multi { head, .. } => assert_eq!(head, "WM 1"),
             other => panic!("{other:?}"),
         }
     }

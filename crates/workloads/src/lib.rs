@@ -139,7 +139,21 @@ pub fn build_engine_with(
     choice: &MatcherChoice,
     options: Option<rete::NetworkOptions>,
 ) -> Result<Engine> {
-    let mut b = EngineBuilder::from_source(&w.source)?.matcher(choice.kind());
+    build_engine_obs(w, choice, options, obs::ObsConfig::default())
+}
+
+/// [`build_engine_with`] plus an observability configuration — the profiling
+/// harnesses build the same engine twice, instruments off and on, to measure
+/// overhead.
+pub fn build_engine_obs(
+    w: &Workload,
+    choice: &MatcherChoice,
+    options: Option<rete::NetworkOptions>,
+    obs_cfg: obs::ObsConfig,
+) -> Result<Engine> {
+    let mut b = EngineBuilder::from_source(&w.source)?
+        .matcher(choice.kind())
+        .obs(obs_cfg);
     if let Some(o) = options {
         b = b.network_options(o);
     }

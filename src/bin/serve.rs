@@ -17,6 +17,9 @@
 //!   --max-wm N               per-session working-memory cap
 //!   --max-total-cycles N     per-session lifetime cycle budget
 //!   --matcher vs1|vs2|lisp|psm   default session matcher (default vs2)
+//!   --metrics                enable the observability layer (METRICS?)
+//!   --metrics-port P         also serve GET /metrics on 127.0.0.1:P
+//!                            (0 = ephemeral; implies --metrics)
 //! ```
 
 use parallel_ops5::prelude::*;
@@ -69,6 +72,12 @@ fn parse_args() -> Result<(String, ServeConfig), String> {
                 )?)
             }
             "--matcher" => cfg.matcher = matcher_kind(&next_val(&mut args, "--matcher")?)?,
+            "--metrics" => cfg.obs = ObsConfig::enabled(),
+            "--metrics-port" => {
+                cfg.obs = ObsConfig::enabled();
+                cfg.metrics_port =
+                    Some(parse(next_val(&mut args, "--metrics-port")?, "--metrics-port")? as u16)
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -91,6 +100,9 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("ops5-serve: listening on {}", server.local_addr());
+    if let Some(m) = server.metrics_addr() {
+        eprintln!("ops5-serve: metrics on http://{m}/metrics");
+    }
     match server.run() {
         Ok(()) => {
             eprintln!("ops5-serve: shut down");

@@ -48,6 +48,7 @@
 pub use engine;
 pub use lispsim;
 pub use multimax;
+pub use obs;
 pub use ops5;
 pub use psm;
 pub use rete;
@@ -58,9 +59,10 @@ pub use workloads;
 pub mod prelude {
     pub use engine::{Engine, EngineBuilder, MatcherKind, RunResult, StopReason};
     pub use multimax::{simulate, SimConfig, SimResult};
+    pub use obs::ObsConfig;
     pub use ops5::{
-        ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, Pred, ProdId, Program,
-        QuiesceReport, Sign, SymbolId, Value, Wme, WmeChange, WmeRef,
+        ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, PhaseNanos, Pred, ProdId,
+        Program, QuiesceReport, Sign, SymbolId, Value, Wme, WmeChange, WmeRef,
     };
     pub use psm::{LockScheme, ParMatcher, PsmConfig};
     pub use rete::network::Network;

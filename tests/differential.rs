@@ -242,6 +242,51 @@ fn corpus_cs_history_identical_with_sharing_and_unlinking() {
     }
 }
 
+/// The parallel matcher must reach every quiescence point with TaskCount at
+/// zero and no tokens parked on hash lines — the scheduler-level invariants
+/// behind the firing-log equivalence the rest of this suite checks.
+#[test]
+fn psm_quiescence_points_are_clean() {
+    use std::sync::{Arc, Mutex};
+    let src = std::fs::read_to_string("programs/monkey.ops").expect("read corpus");
+    let probe_slot: Arc<Mutex<Option<psm::PsmProbe>>> = Arc::new(Mutex::new(None));
+    let slot = probe_slot.clone();
+    let cfg = PsmConfig {
+        match_processes: 4,
+        queues: 2,
+        lock_scheme: LockScheme::Mrsw,
+        buckets: 64,
+        scheduler: psm::SchedulerKind::SpinQueues,
+    };
+    let mut eng = EngineBuilder::from_source(&src)
+        .expect("parse")
+        .custom_matcher(move |net| {
+            let m = ParMatcher::new(net, cfg);
+            *slot.lock().unwrap() = Some(m.probe());
+            Box::new(m)
+        })
+        .build()
+        .expect("build");
+    let probe = probe_slot.lock().unwrap().take().expect("probe captured");
+    // The act phase submits RHS changes to the matcher immediately, so the
+    // state right after `run` is not a quiescence point; `settle` flushes
+    // and blocks for one, and the invariants must hold there.
+    eng.load_startup().expect("startup");
+    eng.settle();
+    assert!(probe.quiescent(), "not quiescent after startup settle");
+    assert_eq!(probe.parked_tokens(), 0, "tokens parked after startup");
+    loop {
+        let r = eng.run(1).expect("run");
+        eng.settle();
+        assert!(probe.quiescent(), "tasks outstanding at quiescence");
+        assert_eq!(probe.task_count(), 0, "TaskCount nonzero at quiescence");
+        assert_eq!(probe.parked_tokens(), 0, "tokens parked at quiescence");
+        if r.reason != StopReason::CycleLimit {
+            break;
+        }
+    }
+}
+
 #[test]
 fn trace_matcher_agrees_too() {
     let w = rubik::workload(rubik::RubikConfig {

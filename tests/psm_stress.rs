@@ -1,0 +1,161 @@
+//! PSM-E stress sweep: queues x lock schemes x network compile options.
+//!
+//! Every configuration must (a) keep the scheduler's TaskCount non-negative
+//! and at zero across quiescence points, (b) leave no tokens parked on hash
+//! lines once quiescent, (c) reconcile its observability registry with the
+//! matcher's own `MatchStats`, and (d) produce a per-cycle conflict-set
+//! history byte-identical to the sequential vs2 reference — the strongest
+//! cross-matcher observable we have.
+
+use parallel_ops5::prelude::*;
+use psm::PsmProbe;
+use std::sync::{Arc, Mutex};
+
+const PROGRAMS: [&str; 2] = ["blocks", "monkey"];
+
+fn sweep_configs() -> Vec<(PsmConfig, NetworkOptions)> {
+    let mut configs = Vec::new();
+    for queues in [1usize, 4] {
+        for scheme in [LockScheme::Simple, LockScheme::Mrsw] {
+            for tuned in [false, true] {
+                configs.push((
+                    PsmConfig {
+                        match_processes: 4,
+                        queues,
+                        lock_scheme: scheme,
+                        buckets: 64,
+                        scheduler: psm::SchedulerKind::SpinQueues,
+                    },
+                    NetworkOptions {
+                        sharing: tuned,
+                        unlinking: tuned,
+                    },
+                ));
+            }
+        }
+    }
+    configs
+}
+
+/// Per-cycle conflict-set history on the vs2 reference (paper-faithful
+/// network options).
+fn vs2_history(src: &str) -> Vec<u8> {
+    let mut eng = EngineBuilder::from_source(src)
+        .expect("parse")
+        .vs2()
+        .network_options(NetworkOptions::default())
+        .build()
+        .expect("build vs2");
+    eng.load_startup().expect("startup");
+    cs_history(&mut eng, None, "vs2")
+}
+
+/// Runs the engine one cycle at a time, rendering the conflict set after
+/// each, and checks the scheduler invariants at every quiescence point when
+/// a probe is supplied.
+///
+/// The act phase submits RHS changes to the matcher immediately (match/act
+/// overlap is the parallel design), so the state right after `run` is not a
+/// quiescence point — `settle` is what flushes and blocks for one. Applied
+/// to reference and candidate alike so the histories stay comparable.
+fn cs_history(eng: &mut Engine, probe: Option<&PsmProbe>, label: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let r = eng.run(1).expect("run");
+        eng.settle();
+        if let Some(p) = probe {
+            assert!(p.quiescent(), "{label}: tasks outstanding at quiescence");
+            assert_eq!(
+                p.task_count(),
+                0,
+                "{label}: TaskCount must be exactly zero at quiescence"
+            );
+            assert_eq!(
+                p.parked_tokens(),
+                0,
+                "{label}: tokens left parked on hash lines at quiescence"
+            );
+        }
+        for (prod, tags) in eng.conflict_set().sorted_keys() {
+            out.extend_from_slice(format!("{}:{tags:?};", prod.0).as_bytes());
+        }
+        out.push(b'\n');
+        if r.reason != StopReason::CycleLimit {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn psm_sweep_keeps_invariants_and_matches_vs2() {
+    for name in PROGRAMS {
+        let src = std::fs::read_to_string(format!("programs/{name}.ops")).expect("read corpus");
+        let reference = vs2_history(&src);
+        assert!(
+            reference.len() > 4,
+            "{name} produced no conflict-set history"
+        );
+        for (cfg, opts) in sweep_configs() {
+            let label = format!(
+                "{name} q{} {:?} sharing={} unlinking={}",
+                cfg.queues, cfg.lock_scheme, opts.sharing, opts.unlinking
+            );
+            let probe_slot: Arc<Mutex<Option<PsmProbe>>> = Arc::new(Mutex::new(None));
+            let slot = probe_slot.clone();
+            let mut eng = EngineBuilder::from_source(&src)
+                .expect("parse")
+                .custom_matcher(move |net| {
+                    let m = ParMatcher::new(net, cfg);
+                    *slot.lock().unwrap() = Some(m.probe());
+                    Box::new(m)
+                })
+                .network_options(opts)
+                .obs(ObsConfig::enabled())
+                .build()
+                .expect("build psm");
+            eng.load_startup().expect("startup");
+            let probe = probe_slot.lock().unwrap().take().expect("probe captured");
+
+            let history = cs_history(&mut eng, Some(&probe), &label);
+            assert_eq!(history, reference, "CS history diverges: {label}");
+
+            // The observability registry must reconcile with the matcher's
+            // own statistics: the per-node profile records at exactly the
+            // statements that bump the aggregate counters.
+            let stats = eng.match_stats();
+            let profile = eng.node_profile().expect("psm node profile");
+            assert_eq!(
+                profile.total_activations(),
+                stats.join_activations,
+                "{label}: profile activations != MatchStats.join_activations"
+            );
+            assert_eq!(
+                profile.total_scanned(),
+                stats.opp_tokens_left + stats.opp_tokens_right,
+                "{label}: profile scan volume != opposite-memory token count"
+            );
+
+            // Contention counters were absorbed into the registry at
+            // quiescence; the spin-queue scheduler must have recorded
+            // acquisitions, and every histogram must be internally
+            // consistent.
+            let snap = eng.obs_registry().expect("registry").snapshot();
+            for (hname, h) in snap.histograms() {
+                h.validate()
+                    .unwrap_or_else(|e| panic!("{label}: {hname}: {e}"));
+            }
+            let acqs = snap
+                .metrics
+                .iter()
+                .find(|m| m.name == "psm_queue_lock_acquisitions_total")
+                .expect("queue acquisition counter registered");
+            match acqs.data {
+                obs::MetricData::Counter(v) => {
+                    assert!(v > 0, "{label}: no queue-lock acquisitions recorded")
+                }
+                ref other => panic!("{label}: unexpected metric shape {other:?}"),
+            }
+        }
+    }
+}

@@ -120,6 +120,172 @@ fn concurrent_mixed_sessions_all_agree() {
     }
 }
 
+/// `WM?` with a name that is not a class — never interned, or interned as
+/// an attribute — must be an explicit error over the wire, not `WM 0`.
+#[test]
+fn wm_unknown_class_errors_over_wire() {
+    let addr = server_addr();
+    let mut c = serve::Client::connect(addr).unwrap();
+    c.open_source(PROP_SRC, Some("vs2"))
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    c.assert_wme("a ^x 1 ^y 2").unwrap().unwrap();
+    c.run(0).unwrap().expect_ok().unwrap();
+    match c.wm(Some("nosuch")).unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("unknown class `nosuch`"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    // `x` is interned (it is an attribute) but is not a class.
+    match c.wm(Some("x")).unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("unknown class `x`"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    // Real classes still answer.
+    let lines = c.wm(Some("a")).unwrap().expect_lines().unwrap();
+    assert_eq!(lines.len(), 1);
+    c.close().unwrap().expect_ok().unwrap();
+}
+
+/// Malformed batch bodies must name the offending 1-based line (blanks
+/// count: the number matches what the client actually sent after `BATCH`).
+#[test]
+fn batch_errors_name_the_offending_line() {
+    let addr = server_addr();
+    let mut c = serve::Client::connect(addr).unwrap();
+    c.open_source(PROP_SRC, Some("vs2"))
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+
+    // Line 3 (after one good ASSERT and one blank) fails to parse. The
+    // framing loop stops at the bad line, so the trailing END falls through
+    // as a top-level command and earns its own error reply.
+    for l in ["BATCH", "ASSERT a ^x 1", "", "RETRACT nope", "END"] {
+        c.send_line(l).unwrap();
+    }
+    match c.read_reply().unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.starts_with("BATCH line 3:"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    match c.read_reply().unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("END outside BATCH"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+
+    // A body that parses but stages an unknown class fails at execute time,
+    // still naming its line.
+    for l in ["BATCH", "ASSERT a ^x 1", "ASSERT zork ^q 1", "END"] {
+        c.send_line(l).unwrap();
+    }
+    match c.read_reply().unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.starts_with("BATCH line 2:"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+
+    // A non-ASSERT/RETRACT verb inside a batch names its line too (again
+    // with the trailing END falling through).
+    for l in ["BATCH", "ASSERT a ^x 1", "RUN 5", "END"] {
+        c.send_line(l).unwrap();
+    }
+    match c.read_reply().unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.starts_with("BATCH line 2:"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    match c.read_reply().unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("END outside BATCH"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    c.close().unwrap().expect_ok().unwrap();
+}
+
+/// `METRICS?` against a server without observability is an explicit error.
+#[test]
+fn metrics_query_errors_when_obs_disabled() {
+    let addr = server_addr();
+    let mut c = serve::Client::connect(addr).unwrap();
+    match c.metrics().unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("disabled"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+}
+
+/// Boots an obs-enabled server with the HTTP endpoint, runs one session per
+/// matcher, and checks both the `METRICS?` round-trip and the endpoint
+/// scrape expose per-session phase histograms, per-node profiles, and the
+/// pool's per-command latencies.
+#[test]
+fn metrics_roundtrip_and_endpoint_scrape() {
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 512,
+        programs_dir: Some("programs".into()),
+        obs: ObsConfig::enabled(),
+        metrics_port: Some(0),
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+    let addr = handle.addr;
+    let metrics_addr = handle.metrics_addr.expect("metrics endpoint bound");
+
+    // One live session per matcher, each having done some work. Kept open so
+    // METRICS? still sees them.
+    let mut clients = Vec::new();
+    for m in ["vs1", "vs2", "lisp", "psm"] {
+        let mut c = serve::Client::connect(addr).unwrap();
+        c.open("blocks", Some(m)).unwrap().expect_ok().unwrap();
+        c.run(100).unwrap().expect_ok().unwrap();
+        clients.push(c);
+    }
+
+    let lines = clients[0].metrics().unwrap().expect_lines().unwrap();
+    let text = lines.join("\n");
+    // vs1 and vs2 both report the sequential matcher's name; all four
+    // sessions must show up individually.
+    for m in ["seq", "lispsim", "psm-e"] {
+        assert!(
+            text.contains(&format!("matcher=\"{m}\"")),
+            "exposition missing matcher {m}:\n{text}"
+        );
+    }
+    for sid in 1..=4 {
+        assert!(
+            text.contains(&format!("session=\"{sid}\"")),
+            "exposition missing session {sid}:\n{text}"
+        );
+    }
+    // Phase histograms per session, pool command latencies, psm worker
+    // instruments, and per-node profiling for the rete-based matchers.
+    assert!(text.contains("engine_match_ns_bucket"), "{text}");
+    assert!(text.contains("engine_act_ns_sum"), "{text}");
+    assert!(text.contains("serve_command_ns_bucket"), "{text}");
+    assert!(text.contains("cmd=\"run\""), "{text}");
+    assert!(text.contains("psm_task_latency_ns_bucket"), "{text}");
+    assert!(text.contains("rete_join_activations_total"), "{text}");
+    assert!(text.contains("prod="), "{text}");
+
+    // The HTTP endpoint serves the same exposition.
+    {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(metrics_addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("text/plain; version=0.0.4"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("http body");
+        assert!(body.contains("engine_match_ns_bucket"), "{body}");
+        assert!(body.contains("serve_command_ns_bucket"), "{body}");
+    }
+
+    for mut c in clients {
+        c.close().unwrap().expect_ok().unwrap();
+    }
+    let mut c = serve::Client::connect(addr).unwrap();
+    c.shutdown().unwrap().expect_ok().unwrap();
+    handle.join().unwrap();
+}
+
 const PROP_SRC: &str = "(literalize a x y)
 (literalize b x y)
 (p join (a ^x <x> ^y <y>) (b ^x <x>) --> (halt))
