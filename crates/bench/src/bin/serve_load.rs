@@ -16,12 +16,20 @@
 //!
 //! Prints a throughput/latency summary and writes `BENCH_serve.json`.
 //!
+//! `--kill-recover` switches to the durability gate: for every corpus
+//! program on every matcher, a durable session is driven partway, killed
+//! without `CLOSE` (the connection just vanishes), recovered from its
+//! on-disk snapshot + change-log via `RESTORE`, and run to completion —
+//! the recovered firing log must diff clean against an uninterrupted
+//! direct-engine run. Any divergence exits nonzero.
+//!
 //! ```text
 //! Usage: serve_load [--connections N] [--iterations M] [--workers W]
 //!                   [--programs DIR] [--json PATH]
+//!                   [--kill-recover] [--matchers vs1,vs2,lisp,psm]
 //! ```
 
-use serve::{Client, ClientReply, Registry, ServeConfig, Server};
+use serve::{Client, ClientReply, Registry, ServeConfig, Server, Session};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +42,8 @@ struct Opts {
     workers: usize,
     programs: PathBuf,
     json: PathBuf,
+    kill_recover: bool,
+    matchers: Vec<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -43,6 +53,11 @@ fn parse_args() -> Result<Opts, String> {
         workers: 4,
         programs: PathBuf::from("programs"),
         json: PathBuf::from("BENCH_serve.json"),
+        kill_recover: false,
+        matchers: ["vs1", "vs2", "lisp", "psm"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -53,6 +68,8 @@ fn parse_args() -> Result<Opts, String> {
             "--workers" => o.workers = val()?.parse().map_err(|e| format!("{e}"))?,
             "--programs" => o.programs = PathBuf::from(val()?),
             "--json" => o.json = PathBuf::from(val()?),
+            "--kill-recover" => o.kill_recover = true,
+            "--matchers" => o.matchers = val()?.split(',').map(|s| s.to_string()).collect(),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -183,6 +200,157 @@ fn saturation_probe(addr: std::net::SocketAddr) -> Result<u64, String> {
     Ok(overloaded)
 }
 
+/// Runs one program to completion on a direct in-process engine and
+/// returns its firing log lines — the ground truth for recovery diffs.
+fn reference_fired(reg: &Registry, program: &str, matcher: &str) -> Result<Vec<String>, String> {
+    let spec = reg
+        .get(program)
+        .ok_or_else(|| format!("unknown program `{program}`"))?;
+    let mut eng = spec
+        .build(serve::matcher_kind(matcher)?, Default::default())
+        .map_err(|e| e.to_string())?;
+    eng.run(400_000).map_err(|e| e.to_string())?;
+    Ok(eng
+        .fired_log()
+        .iter()
+        .map(|(p, tags)| {
+            let t: Vec<String> = tags.iter().map(|x| x.to_string()).collect();
+            format!("{} {}", eng.prog.prod_name(*p), t.join(" "))
+        })
+        .collect())
+}
+
+/// One kill-recover check: drive a durable session partway in small `RUN`
+/// chunks, vanish without `CLOSE`, recover from the on-disk snapshot +
+/// change-log via `RESTORE`, finish the run, and diff the recovered firing
+/// log against `reference`. Returns an error describing the divergence, if
+/// any.
+fn kill_recover_one(
+    programs: &Path,
+    program: &str,
+    matcher: &str,
+    reference: &[String],
+) -> Result<(), String> {
+    let state = std::env::temp_dir().join(format!(
+        "serve-kr-{}-{program}-{matcher}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&state);
+    let cfg = ServeConfig {
+        workers: 2,
+        durability_dir: Some(state.clone()),
+        // Low water mark: mid-run checkpoints *and* log-tail replay both
+        // get exercised on every program.
+        checkpoint_every: 32,
+        programs_dir: Some(programs.to_path_buf()),
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg)
+        .map_err(|e| e.to_string())?
+        .spawn();
+
+    {
+        // The doomed session: partial progress in small chunks, then the
+        // connection is dropped with no CLOSE — the simulated kill. Every
+        // completed command's records are already flushed to disk.
+        let mut c = Client::connect(handle.addr).map_err(|e| e.to_string())?;
+        c.open(program, Some(matcher))
+            .map_err(|e| e.to_string())?
+            .expect_ok()?;
+        for _ in 0..3 {
+            let payload = c
+                .request("RUN 50")
+                .map_err(|e| e.to_string())?
+                .expect_ok()?;
+            if field(&payload, "reason") != Some("limit") {
+                break;
+            }
+        }
+    }
+
+    let snap = std::fs::read_to_string(Session::snap_path(&state, 1))
+        .map_err(|e| format!("read snapshot: {e}"))?;
+    let log = std::fs::read_to_string(Session::log_path(&state, 1))
+        .map_err(|e| format!("read change log: {e}"))?;
+
+    let mut c = Client::connect(handle.addr).map_err(|e| e.to_string())?;
+    c.restore(program, Some(matcher), &format!("{snap}{log}"))
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    for _ in 0..400 {
+        let payload = c
+            .request("RUN 2000")
+            .map_err(|e| e.to_string())?
+            .expect_ok()?;
+        match field(&payload, "reason") {
+            Some("limit") | Some("settled") => continue,
+            Some(_) => break,
+            None => return Err(format!("bad RUN reply `{payload}`")),
+        }
+    }
+    let fired = c
+        .request("FIRED?")
+        .map_err(|e| e.to_string())?
+        .expect_lines()?;
+    let _ = c.close();
+    let mut shut = Client::connect(handle.addr).map_err(|e| e.to_string())?;
+    let _ = shut.shutdown();
+    handle.join().map_err(|e| e.to_string())?;
+    let _ = std::fs::remove_dir_all(&state);
+
+    if fired != reference {
+        let first_diff = fired
+            .iter()
+            .zip(reference.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(fired.len().min(reference.len()));
+        return Err(format!(
+            "{} recovered firings vs {} reference (first diff at {})",
+            fired.len(),
+            reference.len(),
+            first_diff
+        ));
+    }
+    Ok(())
+}
+
+/// The `--kill-recover` durability gate; returns the number of divergences.
+fn kill_recover_main(opts: &Opts, corpus: &[&str]) -> u64 {
+    let reg = Registry::with_builtins(Some(&opts.programs));
+    let mut divergences = 0u64;
+    let mut checks = 0u64;
+    let t0 = Instant::now();
+    for program in corpus {
+        for matcher in &opts.matchers {
+            checks += 1;
+            let outcome = reference_fired(&reg, program, matcher)
+                .and_then(|r| kill_recover_one(&opts.programs, program, matcher, &r));
+            match outcome {
+                Ok(()) => eprintln!("serve_load: kill-recover {program}/{matcher}: clean"),
+                Err(e) => {
+                    eprintln!("serve_load: DIVERGENCE {program}/{matcher}: {e}");
+                    divergences += 1;
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("== serve_load --kill-recover ==");
+    println!(
+        "checks {checks} ({} programs x {} matchers)  divergences {divergences}  elapsed {elapsed:.2}s",
+        corpus.len(),
+        opts.matchers.len()
+    );
+    let json = format!(
+        "{{\n  \"mode\": \"kill-recover\",\n  \"checks\": {checks},\n  \
+         \"divergences\": {divergences},\n  \"elapsed_s\": {elapsed:.3}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&opts.json, json) {
+        eprintln!("serve_load: write {}: {e}", opts.json.display());
+    }
+    divergences
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -200,6 +368,13 @@ fn main() {
         }
     };
     let corpus = ["blocks", "fibonacci", "monkey", "hanoi", "rubik"];
+    if opts.kill_recover {
+        let divergences = kill_recover_main(&opts, &corpus);
+        if divergences > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     eprintln!(
         "serve_load: {} connections x {} iterations over {:?}",
         opts.connections, opts.iterations, corpus

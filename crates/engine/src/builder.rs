@@ -209,26 +209,26 @@ impl EngineBuilder {
             None => options_from_env(),
         };
         let mut eng = if let Some(factory) = self.factory {
-            Engine::with_matcher_opts(program, opts, factory)?
+            Engine::with_matcher(program, opts, factory)?
         } else {
             match self.matcher {
-                MatcherKind::Vs1 => Engine::with_matcher_opts(program, opts, rete::seq::boxed_vs1)?,
-                MatcherKind::Vs2(cfg) => Engine::with_matcher_opts(program, opts, move |net| {
-                    rete::seq::boxed_vs2(net, cfg)
-                })?,
+                MatcherKind::Vs1 => Engine::with_matcher(program, opts, rete::seq::boxed_vs1)?,
+                MatcherKind::Vs2(cfg) => {
+                    Engine::with_matcher(program, opts, move |net| rete::seq::boxed_vs2(net, cfg))?
+                }
                 MatcherKind::Lisp => {
                     // The lisp matcher works from the parsed program (names),
                     // not the compiled network; only unlinking applies.
                     let prog2 = program.clone();
-                    Engine::with_matcher_opts(program, opts, move |_net| {
+                    Engine::with_matcher(program, opts, move |_net| {
                         lispsim::LispEngineMatcher::boxed_with(&prog2, opts)
                     })?
                 }
-                MatcherKind::Psm(cfg) => Engine::with_matcher_opts(program, opts, move |net| {
+                MatcherKind::Psm(cfg) => Engine::with_matcher(program, opts, move |net| {
                     psm::ParMatcher::boxed(net, cfg)
                 })?,
                 MatcherKind::Trace { buckets, sink } => {
-                    Engine::with_matcher_opts(program, opts, move |net| {
+                    Engine::with_matcher(program, opts, move |net| {
                         Box::new(TraceMatcher::new(net, buckets, sink)) as Box<dyn Matcher>
                     })?
                 }
@@ -399,16 +399,5 @@ mod tests {
                 "{name}"
             );
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let prog = Program::from_source(COUNTER).unwrap();
-        let mut eng = Engine::vs1(prog).unwrap();
-        eng.make_wme("c", &[("n", Value::Int(0)), ("limit", Value::Int(3))])
-            .unwrap();
-        eng.run(50).unwrap();
-        assert_eq!(eng.cycles(), 4);
     }
 }

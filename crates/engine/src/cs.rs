@@ -72,6 +72,31 @@ impl ConflictSet {
         self.entries.is_empty()
     }
 
+    /// Keys of entries that have fired (refraction state), sorted — the
+    /// durable slice of the conflict set a snapshot must carry.
+    pub fn fired_keys(&self) -> Vec<InstKey> {
+        let mut v: Vec<InstKey> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.fired)
+            .map(|(k, _)| k.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Marks the entry with this key fired (snapshot restore); `false` if
+    /// no such instantiation is present.
+    pub fn mark_fired_key(&mut self, key: &InstKey) -> bool {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.fired = true;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Deterministic dump for differential tests: sorted instantiation keys.
     pub fn sorted_keys(&self) -> Vec<InstKey> {
         let mut v: Vec<InstKey> = self.entries.keys().cloned().collect();

@@ -54,15 +54,15 @@ pub struct RunResult {
 pub struct Engine {
     pub prog: Program,
     net: Arc<Network>,
-    matcher: Box<dyn Matcher>,
-    wm: WorkingMemory,
-    cs: ConflictSet,
+    pub(crate) matcher: Box<dyn Matcher>,
+    pub(crate) wm: WorkingMemory,
+    pub(crate) cs: ConflictSet,
     rhs: Vec<RhsProgram>,
-    halted: bool,
-    cycles: u64,
-    fired_log: Vec<(ProdId, Vec<u64>)>,
-    output: Vec<String>,
-    line: String,
+    pub(crate) halted: bool,
+    pub(crate) cycles: u64,
+    pub(crate) fired_log: Vec<(ProdId, Vec<u64>)>,
+    pub(crate) output: Vec<String>,
+    pub(crate) line: String,
     /// Echo `write` output to stdout as it is produced.
     pub echo_writes: bool,
     /// Keep the per-cycle fired log (disable for long benchmark runs).
@@ -71,7 +71,10 @@ pub struct Engine {
     pub limits: EngineLimits,
     /// Changes staged by [`stage`](Self::stage)/[`stage_retract`]
     /// (Self::stage_retract) awaiting the next flush.
-    staged: ChangeBatch,
+    pub(crate) staged: ChangeBatch,
+    /// The durability change log (see [`crate::state`]); `None` (the
+    /// default) costs one branch per mutation and zero allocation.
+    pub(crate) journal: Option<crate::state::ChangeLog>,
     /// Observability instruments; `None` (the default) costs one branch per
     /// step and zero allocation.
     obs: Option<EngineObs>,
@@ -98,18 +101,12 @@ impl EngineObs {
 }
 
 impl Engine {
-    /// Builds an engine with a custom matcher (parallel matcher, lispsim...)
-    /// and default (paper-faithful) network options.
-    pub fn with_matcher(
-        prog: Program,
-        make_matcher: impl FnOnce(Arc<Network>) -> Box<dyn Matcher>,
-    ) -> Result<Engine> {
-        Engine::with_matcher_opts(prog, rete::NetworkOptions::default(), make_matcher)
-    }
-
-    /// As [`Engine::with_matcher`] with explicit network compile options
-    /// (beta-prefix sharing, left/right unlinking).
-    pub fn with_matcher_opts(
+    /// The one low-level constructor: compile the network with explicit
+    /// options, install the matcher the factory builds. Crate-internal —
+    /// every caller goes through [`crate::builder::EngineBuilder`], the
+    /// single public construction path (its `custom_matcher` hook covers
+    /// matchers this crate does not know about).
+    pub(crate) fn with_matcher(
         prog: Program,
         options: rete::NetworkOptions,
         make_matcher: impl FnOnce(Arc<Network>) -> Box<dyn Matcher>,
@@ -136,20 +133,9 @@ impl Engine {
             keep_fired_log: true,
             limits: EngineLimits::default(),
             staged: ChangeBatch::new(),
+            journal: None,
             obs: None,
         })
-    }
-
-    /// vs1: sequential matcher with linear-list memories.
-    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::new(prog).vs1().build()`")]
-    pub fn vs1(prog: Program) -> Result<Engine> {
-        crate::builder::EngineBuilder::new(prog).vs1().build()
-    }
-
-    /// vs2: sequential matcher with global hash-table memories.
-    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::new(prog).vs2().build()`")]
-    pub fn vs2(prog: Program) -> Result<Engine> {
-        crate::builder::EngineBuilder::new(prog).vs2().build()
     }
 
     pub fn network(&self) -> &Arc<Network> {
@@ -286,10 +272,10 @@ impl Engine {
     /// Creates a WME from pre-resolved field values.
     pub fn insert(&mut self, class: SymbolId, fields: Vec<Value>) -> WmeRef {
         let w = self.wm.make(class, fields);
-        self.matcher.submit_one(WmeChange {
+        self.matcher.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Plus,
             wme: w.clone(),
-        });
+        }));
         w
     }
 
@@ -297,10 +283,10 @@ impl Engine {
     pub fn retract(&mut self, wme: &WmeRef) -> Result<()> {
         match self.wm.remove(wme.timetag) {
             Some(w) => {
-                self.matcher.submit_one(WmeChange {
+                self.matcher.submit(&ChangeBatch::single(WmeChange {
                     sign: Sign::Minus,
                     wme: w,
-                });
+                }));
                 Ok(())
             }
             None => Err(Ops5Error::Runtime(format!(
@@ -319,6 +305,9 @@ impl Engine {
         self.check_wm_limit()?;
         let w = self.wm.make(class, fields);
         self.staged.add(w.clone());
+        if let Some(j) = self.journal.as_mut() {
+            j.push(crate::state::LogRecord::stage_of(&w, &self.prog.symbols));
+        }
         Ok(w)
     }
 
@@ -329,6 +318,9 @@ impl Engine {
         match self.wm.remove(timetag) {
             Some(w) => {
                 self.staged.delete(w);
+                if let Some(j) = self.journal.as_mut() {
+                    j.push(crate::state::LogRecord::StageRetract { tag: timetag });
+                }
                 Ok(())
             }
             None => Err(Ops5Error::Runtime(format!(
@@ -405,6 +397,12 @@ impl Engine {
             if self.keep_fired_log {
                 self.fired_log
                     .push((w.prod, w.wmes.iter().map(|w| w.timetag).collect()));
+            }
+            if let Some(j) = self.journal.as_mut() {
+                j.push(crate::state::LogRecord::Fire {
+                    prod: self.prog.prod_name(w.prod).to_string(),
+                    tags: w.wmes.iter().map(|w| w.timetag).collect(),
+                });
             }
         }
         let t_resolve = t_start.map(|_| Instant::now());

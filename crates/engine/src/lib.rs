@@ -22,6 +22,7 @@ pub mod cr;
 pub mod cs;
 pub mod interp;
 pub mod rhs;
+pub mod state;
 pub mod wm;
 
 pub use builder::{EngineBuilder, MatcherKind};
@@ -29,4 +30,5 @@ pub use cr::order_dominates;
 pub use cs::ConflictSet;
 pub use interp::{Engine, EngineLimits, RunResult, StopReason};
 pub use rhs::{Instr, RhsProgram};
+pub use state::{program_fingerprint, ChangeLog, LogRecord, SnapVal, SnapWme, Snapshot};
 pub use wm::WorkingMemory;

@@ -73,6 +73,23 @@ impl WorkingMemory {
     pub fn clock(&self) -> u64 {
         self.next_timetag
     }
+
+    /// Re-registers a WME under its recorded timetag (snapshot restore).
+    /// Advances the clock past the tag; `false` if the tag is already live.
+    pub fn restore_insert(&mut self, w: WmeRef) -> bool {
+        if self.live.contains_key(&w.timetag) {
+            return false;
+        }
+        self.next_timetag = self.next_timetag.max(w.timetag + 1);
+        self.live.insert(w.timetag, w);
+        true
+    }
+
+    /// Forces the clock forward to `clock` (snapshot restore; retracted
+    /// tags must not be reissued). Never moves the clock backwards.
+    pub fn set_clock(&mut self, clock: u64) {
+        self.next_timetag = self.next_timetag.max(clock);
+    }
 }
 
 #[cfg(test)]

@@ -685,7 +685,7 @@ mod tests {
 
     fn final_set(m: &mut dyn Matcher, cs: Vec<WmeChange>) -> Vec<(ProdId, Vec<u64>)> {
         for c in cs {
-            m.submit_one(c);
+            m.submit(&ChangeBatch::single(c));
         }
         let mut set = std::collections::BTreeSet::new();
         for c in m.quiesce().cs_changes {

@@ -452,6 +452,11 @@ pub trait Matcher: Send {
 
     /// Convenience shim: submit a single change as a one-element batch
     /// (via the [`ChangeBatch::single`] fast path).
+    #[deprecated(
+        since = "0.3.0",
+        note = "the batch-first API is the only supported surface; \
+                use `submit(&ChangeBatch::single(change))`"
+    )]
     fn submit_one(&mut self, change: WmeChange) {
         self.submit(&ChangeBatch::single(change));
     }

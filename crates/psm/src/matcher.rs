@@ -1474,7 +1474,7 @@ mod tests {
     /// compare the resulting states.
     fn final_cs(m: &mut dyn Matcher, changes: Vec<WmeChange>) -> Vec<(ProdId, Vec<u64>)> {
         for c in changes {
-            m.submit_one(c);
+            m.submit(&ChangeBatch::single(c));
         }
         let mut set = std::collections::BTreeSet::new();
         for c in m.quiesce().cs_changes {
@@ -1659,16 +1659,16 @@ mod tests {
             },
         );
         // Cycle 1: only the a-wme.
-        par.submit_one(WmeChange {
+        par.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Plus,
             wme: Wme::new(ca, vec![Value::Int(7)], 1),
-        });
+        }));
         assert!(par.quiesce().cs_changes.is_empty());
         // Cycle 2: the b-wme joins against cycle-1 state.
-        par.submit_one(WmeChange {
+        par.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Plus,
             wme: Wme::new(cb, vec![Value::Int(7)], 2),
-        });
+        }));
         let cs = par.quiesce().cs_changes;
         assert_eq!(cs.len(), 1);
         assert!(matches!(cs[0], CsChange::Insert(_)));
@@ -1716,14 +1716,14 @@ mod tests {
             },
         );
         for i in 0..50i64 {
-            par.submit_one(WmeChange {
+            par.submit(&ChangeBatch::single(WmeChange {
                 sign: Sign::Plus,
                 wme: Wme::new(ca, vec![Value::Int(i)], i as u64 + 1),
-            });
-            par.submit_one(WmeChange {
+            }));
+            par.submit(&ChangeBatch::single(WmeChange {
                 sign: Sign::Plus,
                 wme: Wme::new(cb, vec![Value::Int(i)], i as u64 + 100),
-            });
+            }));
         }
         par.quiesce();
         let s = par.stats();
@@ -1807,10 +1807,10 @@ mod tests {
             },
         );
         // One real cycle so every worker is up and has seen work.
-        par.submit_one(WmeChange {
+        par.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Plus,
             wme: Wme::new(ca, vec![Value::Int(1)], 1),
-        });
+        }));
         par.quiesce();
         // Let the spin→yield backoff drain into the parked state.
         std::thread::sleep(Duration::from_millis(100));
@@ -1825,10 +1825,10 @@ mod tests {
             "idle workers burned {burned} CPU ticks over a 500ms idle window"
         );
         // Parked workers must still wake promptly when work arrives.
-        par.submit_one(WmeChange {
+        par.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Plus,
             wme: Wme::new(cb, vec![Value::Int(1)], 2),
-        });
+        }));
         let cs = par.quiesce().cs_changes;
         assert_eq!(cs.len(), 1, "wake-on-push completed the join");
     }
@@ -1861,16 +1861,16 @@ mod tests {
                     scheduler: SchedulerKind::SpinQueues,
                 },
             );
-            par.submit_one(WmeChange {
+            par.submit(&ChangeBatch::single(WmeChange {
                 sign: Sign::Plus,
                 wme: Wme::new(ca, vec![Value::Int(1)], 0),
-            });
+            }));
             par.quiesce();
             for round in 1..=400u64 {
-                par.submit_one(WmeChange {
+                par.submit(&ChangeBatch::single(WmeChange {
                     sign: Sign::Plus,
                     wme: Wme::new(cb, vec![Value::Int(1)], round),
-                });
+                }));
                 let cs = par.quiesce().cs_changes;
                 assert_eq!(cs.len(), 1, "round {round} produced one instantiation");
                 assert_eq!(par.parked_tokens(), 0);

@@ -488,17 +488,17 @@ mod tests {
     }
 
     fn add(m: &mut dyn Matcher, w: WmeRef) {
-        m.submit_one(WmeChange {
+        m.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Plus,
             wme: w,
-        });
+        }));
     }
 
     fn del(m: &mut dyn Matcher, w: WmeRef) {
-        m.submit_one(WmeChange {
+        m.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Minus,
             wme: w,
-        });
+        }));
     }
 
     fn both(src: &str) -> (Program, Arc<Network>, Vec<Box<dyn Matcher>>) {
@@ -675,24 +675,24 @@ mod tests {
         let mut m2 = SeqMatcher::vs2(net.clone(), HashMemConfig { buckets: 64 });
         for i in 0..20i64 {
             let wb = wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 1);
-            m1.submit_one(WmeChange {
+            m1.submit(&ChangeBatch::single(WmeChange {
                 sign: Sign::Plus,
                 wme: wb.clone(),
-            });
-            m2.submit_one(WmeChange {
+            }));
+            m2.submit(&ChangeBatch::single(WmeChange {
                 sign: Sign::Plus,
                 wme: wb,
-            });
+            }));
         }
         let wa = wme(&mut prog, "a", vec![Value::Int(5)], 100);
-        m1.submit_one(WmeChange {
+        m1.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Plus,
             wme: wa.clone(),
-        });
-        m2.submit_one(WmeChange {
+        }));
+        m2.submit(&ChangeBatch::single(WmeChange {
             sign: Sign::Plus,
             wme: wa,
-        });
+        }));
         assert_eq!(m1.quiesce().cs_changes.len(), 1);
         assert_eq!(m2.quiesce().cs_changes.len(), 1);
         assert!(m1.stats().opp_tokens_left > m2.stats().opp_tokens_left * 3);
@@ -732,10 +732,10 @@ mod tests {
                     w: &WmeRef,
                     label: &str| {
             for m in [&mut *m_on, &mut *m_off] {
-                m.submit_one(WmeChange {
+                m.submit(&ChangeBatch::single(WmeChange {
                     sign,
                     wme: w.clone(),
-                });
+                }));
             }
             let a = format!("{:?}", m_on.quiesce().cs_changes);
             let b = format!("{:?}", m_off.quiesce().cs_changes);

@@ -184,6 +184,42 @@ impl Client {
         self.request("FIRED?")
     }
 
+    /// Pulls the session's durable state as snapshot text (the reply's
+    /// body lines, newline-joined, are a complete `.snap` document).
+    pub fn snapshot(&mut self) -> io::Result<ClientReply> {
+        self.request("SNAPSHOT?")
+    }
+
+    /// Opens a session from a snapshot (plus an optional change-log tail
+    /// appended after the snapshot's own `end` line). `body` is the raw
+    /// document: snapshot text, then zero or more log lines.
+    pub fn restore(
+        &mut self,
+        program: &str,
+        matcher: Option<&str>,
+        body: &str,
+    ) -> io::Result<ClientReply> {
+        let head = match matcher {
+            Some(m) => format!("RESTORE {program} {m}"),
+            None => format!("RESTORE {program}"),
+        };
+        self.send_line(&head)?;
+        for line in body.lines() {
+            self.send_line(line)?;
+        }
+        self.send_line("END")?;
+        self.read_reply()
+    }
+
+    /// Rebuilds the session's engine from a live snapshot, optionally on a
+    /// different matcher.
+    pub fn migrate(&mut self, matcher: Option<&str>) -> io::Result<ClientReply> {
+        match matcher {
+            Some(m) => self.request(&format!("MIGRATE {m}")),
+            None => self.request("MIGRATE"),
+        }
+    }
+
     pub fn close(&mut self) -> io::Result<ClientReply> {
         self.request("CLOSE")
     }

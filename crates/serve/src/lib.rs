@@ -219,6 +219,157 @@ mod tests {
         handle.join().unwrap();
     }
 
+    const ADDER_SRC: &str = "(literalize item n)
+                             (literalize sum total)
+                             (p add (item ^n <n>) (sum ^total <t>)
+                                --> (remove 1) (modify 2 ^total (compute <t> + <n>)))";
+
+    /// Writes the adder program into a fresh corpus dir so `RESTORE` (which
+    /// only accepts registered programs) can rebuild it.
+    fn adder_corpus(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("serve-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("adder.ops"), ADDER_SRC).unwrap();
+        dir
+    }
+
+    fn stage_adder_work(c: &mut Client) {
+        c.request("ASSERT sum ^total 0")
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        for i in 1..=5 {
+            c.assert_wme(&format!("item ^n {i}")).unwrap().unwrap();
+        }
+    }
+
+    /// `SNAPSHOT?` mid-run, `RESTORE` into a fresh session on a *different*
+    /// matcher, and the continued run converges to the same working memory
+    /// and the same complete firing history.
+    #[test]
+    fn snapshot_restore_roundtrip_over_the_wire() {
+        let cfg = ServeConfig {
+            programs_dir: Some(adder_corpus("snap")),
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+
+        let mut a = Client::connect(handle.addr).unwrap();
+        a.open("adder", Some("vs2")).unwrap().expect_ok().unwrap();
+        stage_adder_work(&mut a);
+        let run = a.run(2).unwrap().expect_ok().unwrap();
+        assert!(run.contains("cycles=2"), "{run}");
+        let snap_lines = a.snapshot().unwrap().expect_lines().unwrap();
+        assert_eq!(snap_lines.last().map(String::as_str), Some("end"));
+        // Reference: the uninterrupted session runs to quiescence.
+        a.run(100).unwrap().expect_ok().unwrap();
+        let wm_ref = a.wm(None).unwrap().expect_lines().unwrap();
+        let fired_ref = a.fired().unwrap().expect_lines().unwrap();
+        assert_eq!(fired_ref.len(), 5, "{fired_ref:?}");
+        a.close().unwrap().expect_ok().unwrap();
+
+        let mut b = Client::connect(handle.addr).unwrap();
+        let ok = b
+            .restore("adder", Some("lisp"), &snap_lines.join("\n"))
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        assert!(ok.contains("matcher=lisp"), "{ok}");
+        assert!(ok.contains("replayed=0"), "{ok}");
+        b.run(100).unwrap().expect_ok().unwrap();
+        assert_eq!(b.wm(None).unwrap().expect_lines().unwrap(), wm_ref);
+        assert_eq!(b.fired().unwrap().expect_lines().unwrap(), fired_ref);
+
+        b.shutdown().unwrap().expect_ok().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// `MIGRATE` rebuilds the live engine on another matcher without losing
+    /// working memory, staged changes, or the firing history.
+    #[test]
+    fn migrate_preserves_state_across_matchers() {
+        let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+            .unwrap()
+            .spawn();
+        let mut c = Client::connect(handle.addr).unwrap();
+        c.open_source(ADDER_SRC, Some("vs1"))
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        stage_adder_work(&mut c);
+        c.run(2).unwrap().expect_ok().unwrap();
+        // One staged change in flight across the migration.
+        c.assert_wme("item ^n 10").unwrap().unwrap();
+        let ok = c.migrate(Some("psm")).unwrap().expect_ok().unwrap();
+        assert!(ok.contains("matcher=psm"), "{ok}");
+        assert!(ok.contains("cycles=2"), "{ok}");
+        let run = c.run(100).unwrap().expect_ok().unwrap();
+        assert!(run.contains("reason=quiescent"), "{run}");
+        let wm = c.wm(Some("sum")).unwrap().expect_lines().unwrap();
+        assert!(wm[0].contains("^total 25"), "{wm:?}");
+        assert_eq!(c.fired().unwrap().expect_lines().unwrap().len(), 6);
+        // Unknown matcher is an error, and the session survives it.
+        assert!(matches!(
+            c.migrate(Some("frob")).unwrap(),
+            ClientReply::Err(_)
+        ));
+        c.stats().unwrap().expect_ok().unwrap();
+        c.shutdown().unwrap().expect_ok().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// With a durability dir configured, a connection that vanishes without
+    /// `CLOSE` (a killed worker) leaves snapshot + change-log files that
+    /// `RESTORE` turns back into the exact session.
+    #[test]
+    fn durability_files_recover_a_killed_session() {
+        let programs = adder_corpus("durable-programs");
+        let state =
+            std::env::temp_dir().join(format!("serve-durable-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state);
+        let cfg = ServeConfig {
+            programs_dir: Some(programs),
+            durability_dir: Some(state.clone()),
+            // Low water mark so the mid-life checkpoint path runs too.
+            checkpoint_every: 4,
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+
+        {
+            let mut c = Client::connect(handle.addr).unwrap();
+            c.open("adder", Some("vs2")).unwrap().expect_ok().unwrap();
+            stage_adder_work(&mut c);
+            c.run(2).unwrap().expect_ok().unwrap();
+            // 4 cumulative fires: crosses checkpoint_every, truncating the log.
+            c.run(2).unwrap().expect_ok().unwrap();
+            // Dropped without CLOSE: the simulated kill. Every executed
+            // command's records are already on disk.
+        }
+
+        let snap = std::fs::read_to_string(Session::snap_path(&state, 1)).unwrap();
+        let log = std::fs::read_to_string(Session::log_path(&state, 1)).unwrap();
+        assert!(
+            log.is_empty(),
+            "checkpoint must have truncated the log: {log:?}"
+        );
+
+        let mut c = Client::connect(handle.addr).unwrap();
+        let ok = c
+            .restore("adder", Some("vs2"), &format!("{snap}{log}"))
+            .unwrap()
+            .expect_ok()
+            .unwrap();
+        assert!(ok.contains("cycles=4"), "{ok}");
+        c.run(100).unwrap().expect_ok().unwrap();
+        let wm = c.wm(Some("sum")).unwrap().expect_lines().unwrap();
+        assert!(wm[0].contains("^total 15"), "{wm:?}");
+        assert_eq!(c.fired().unwrap().expect_lines().unwrap().len(), 5);
+        c.shutdown().unwrap().expect_ok().unwrap();
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
     /// BATCH stages everything as one command and replies once.
     #[test]
     fn batch_is_one_command() {

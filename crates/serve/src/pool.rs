@@ -100,8 +100,9 @@ struct CmdLatency {
 }
 
 impl CmdLatency {
-    const KINDS: [&'static str; 9] = [
-        "assert", "retract", "batch", "run", "cs", "wm", "stats", "fired", "close",
+    const KINDS: [&'static str; 11] = [
+        "assert", "retract", "batch", "run", "cs", "wm", "stats", "fired", "snapshot", "migrate",
+        "close",
     ];
 
     fn new(registry: &Arc<obs::Registry>) -> CmdLatency {
@@ -283,14 +284,14 @@ fn worker_loop(inner: &PoolInner) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use engine::EngineBuilder;
+    use engine::{EngineBuilder, MatcherKind};
 
     const SRC: &str = "(literalize item n)
                        (p consume (item ^n <n>) --> (remove 1))";
 
     fn slot(id: u64) -> Arc<SessionSlot> {
         let eng = EngineBuilder::from_source(SRC).unwrap().build().unwrap();
-        SessionSlot::new(Session::new(id, "t", eng, 1000))
+        SessionSlot::new(Session::new(id, "t", eng, MatcherKind::default(), 1000))
     }
 
     /// A session whose `RUN` spins for thousands of cycles — used to wedge
@@ -300,7 +301,13 @@ mod tests {
                    (p spin (c ^n <n>) --> (modify 1 ^n (compute <n> + 1)))";
         let mut eng = EngineBuilder::from_source(src).unwrap().build().unwrap();
         eng.make_wme("c", &[("n", ops5::Value::Int(0))]).unwrap();
-        SessionSlot::new(Session::new(id, "spin", eng, 20_000))
+        SessionSlot::new(Session::new(
+            id,
+            "spin",
+            eng,
+            MatcherKind::default(),
+            20_000,
+        ))
     }
 
     fn submit_ok(pool: &Pool, slot: &Arc<SessionSlot>, cmd: Command) -> mpsc::Receiver<Reply> {

@@ -12,6 +12,11 @@
 //! CS?                        conflict set                -> CS <n> ... END
 //! WM? [class]                working memory              -> WM <n> ... END
 //! FIRED?                     firing log                  -> FIRED <n> ... END
+//! SNAPSHOT?                  durable state snapshot      -> SNAPSHOT <n> ... END
+//! RESTORE <program> [matcher] open a session from a snapshot (+ optional
+//!                            change-log tail); body lines follow, then END
+//! MIGRATE [matcher]          rebuild the session's engine from a live
+//!                            snapshot, optionally on a different matcher
 //! STATS?                     session statistics          -> OK k=v ...
 //! METRICS?                   server-wide metrics in Prometheus text
 //!                            exposition format           -> METRICS <n> ... END
@@ -48,6 +53,16 @@ pub enum Line {
     /// Server-wide metrics snapshot (works with or without an open session).
     Metrics,
     Fired,
+    /// Serialize the session's full durable state (`SNAPSHOT?`).
+    Snapshot,
+    /// `RESTORE <program> [matcher]`; body lines (snapshot text, then any
+    /// change-log tail) follow, terminated by `END`.
+    Restore {
+        program: String,
+        matcher: Option<String>,
+    },
+    /// `MIGRATE [matcher]`: snapshot + rebuild the engine in place.
+    Migrate(Option<String>),
     Close,
     Shutdown,
 }
@@ -105,6 +120,27 @@ pub fn parse_line(line: &str) -> Result<Line, String> {
         "STATS?" => no_arg(Line::Stats),
         "METRICS?" => no_arg(Line::Metrics),
         "FIRED?" => no_arg(Line::Fired),
+        "SNAPSHOT?" => no_arg(Line::Snapshot),
+        "RESTORE" => {
+            let mut parts = rest.split_whitespace();
+            let program = parts
+                .next()
+                .ok_or_else(|| "RESTORE needs a program name".to_string())?
+                .to_string();
+            let matcher = parts.next().map(|s| s.to_string());
+            if parts.next().is_some() {
+                return Err("RESTORE takes at most two arguments".into());
+            }
+            Ok(Line::Restore { program, matcher })
+        }
+        "MIGRATE" => {
+            let mut parts = rest.split_whitespace();
+            let matcher = parts.next().map(|s| s.to_string());
+            if parts.next().is_some() {
+                return Err("MIGRATE takes at most one argument".into());
+            }
+            Ok(Line::Migrate(matcher))
+        }
         "CLOSE" => no_arg(Line::Close),
         "SHUTDOWN" => no_arg(Line::Shutdown),
         "" => Err("empty request".into()),
@@ -186,6 +222,26 @@ mod tests {
         assert_eq!(parse_line("METRICS?"), Ok(Line::Metrics));
         assert_eq!(parse_line("metrics?"), Ok(Line::Metrics));
         assert_eq!(parse_line("FIRED?"), Ok(Line::Fired));
+        assert_eq!(parse_line("SNAPSHOT?"), Ok(Line::Snapshot));
+        assert_eq!(
+            parse_line("RESTORE adder"),
+            Ok(Line::Restore {
+                program: "adder".into(),
+                matcher: None
+            })
+        );
+        assert_eq!(
+            parse_line("restore adder psm"),
+            Ok(Line::Restore {
+                program: "adder".into(),
+                matcher: Some("psm".into())
+            })
+        );
+        assert_eq!(parse_line("MIGRATE"), Ok(Line::Migrate(None)));
+        assert_eq!(
+            parse_line("MIGRATE vs2"),
+            Ok(Line::Migrate(Some("vs2".into())))
+        );
         assert_eq!(parse_line("CLOSE"), Ok(Line::Close));
         assert_eq!(parse_line("SHUTDOWN"), Ok(Line::Shutdown));
     }
@@ -201,6 +257,10 @@ mod tests {
         assert!(parse_line("OPEN").is_err());
         assert!(parse_line("CLOSE now").is_err());
         assert!(parse_line("METRICS? all").is_err());
+        assert!(parse_line("SNAPSHOT? x").is_err());
+        assert!(parse_line("RESTORE").is_err());
+        assert!(parse_line("RESTORE a b c").is_err());
+        assert!(parse_line("MIGRATE a b").is_err());
     }
 
     #[test]

@@ -53,6 +53,17 @@ impl ProgramSpec {
         }
         Ok(eng)
     }
+
+    /// Builds a *bare* engine: parse, compile, install the matcher — but do
+    /// NOT load startup forms or setup WMEs. This is the `RESTORE` path:
+    /// the snapshot carries every WME (startup and setup included), so
+    /// loading them here would double them up.
+    pub fn build_empty(&self, kind: MatcherKind, limits: EngineLimits) -> Result<Engine> {
+        EngineBuilder::from_source(&self.source)?
+            .matcher(kind)
+            .limits(limits)
+            .build()
+    }
 }
 
 /// Named program profiles available to `OPEN`.

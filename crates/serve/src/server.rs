@@ -56,6 +56,14 @@ pub struct ServeConfig {
     /// loopback port (0 = ephemeral). Implies nothing about `obs`; enable
     /// both for a scrapeable server.
     pub metrics_port: Option<u16>,
+    /// Durability: when set, every session journals its changes and
+    /// firings to `<dir>/session-<id>.log` (flushed per command) with a
+    /// checkpoint snapshot at `<dir>/session-<id>.snap`, so a killed
+    /// worker can be recovered via `RESTORE`.
+    pub durability_dir: Option<PathBuf>,
+    /// Firings between durability checkpoints (snapshot rewrite + log
+    /// truncation). Ignored without `durability_dir`.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +78,8 @@ impl Default for ServeConfig {
             programs_dir: None,
             obs: obs::ObsConfig::default(),
             metrics_port: None,
+            durability_dir: None,
+            checkpoint_every: 256,
         }
     }
 }
@@ -331,6 +341,17 @@ fn submit(writer_tx: &ReplyQueue, shared: &Shared, slot: &Arc<SessionSlot>, cmd:
     }
 }
 
+/// Adds a freshly opened (or restored) session to the observability roster,
+/// pruning dead sessions while the lock is held so a long-lived server's
+/// roster stays bounded.
+fn register_session(shared: &Shared, new_slot: &Arc<SessionSlot>) {
+    if let Some(o) = &shared.obs {
+        let mut sessions = o.sessions.lock().expect("obs sessions");
+        sessions.retain(|w| w.upgrade().is_some());
+        sessions.push(Arc::downgrade(new_slot));
+    }
+}
+
 fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQueue) {
     let mut slot: Option<Arc<SessionSlot>> = None;
     while let Some(line) = reader.next_line(&shared.stop) {
@@ -392,23 +413,25 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                         }
                     }
                 };
-                match spec.build(kind, shared.cfg.limits) {
+                match spec.build(kind.clone(), shared.cfg.limits) {
                     Ok(mut engine) => {
                         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
                         let name = engine.matcher().name().to_string();
                         if shared.obs.is_some() {
                             engine.enable_obs(obs::ObsConfig::enabled());
                         }
-                        let session =
-                            Session::new(id, &program, engine, shared.cfg.max_cycles_per_run);
-                        let new_slot = SessionSlot::new(session);
-                        if let Some(o) = &shared.obs {
-                            let mut sessions = o.sessions.lock().expect("obs sessions");
-                            // Prune dead sessions while we hold the lock so a
-                            // long-lived server's roster stays bounded.
-                            sessions.retain(|w| w.upgrade().is_some());
-                            sessions.push(Arc::downgrade(&new_slot));
+                        let mut session =
+                            Session::new(id, &program, engine, kind, shared.cfg.max_cycles_per_run);
+                        if let Some(dir) = &shared.cfg.durability_dir {
+                            if let Err(e) =
+                                session.attach_durability(dir, shared.cfg.checkpoint_every)
+                            {
+                                send_direct(writer_tx, Reply::Err(format!("durability: {e}")));
+                                continue;
+                            }
                         }
+                        let new_slot = SessionSlot::new(session);
+                        register_session(shared, &new_slot);
                         slot = Some(new_slot);
                         send_direct(
                             writer_tx,
@@ -416,6 +439,98 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                         );
                     }
                     Err(e) => send_direct(writer_tx, Reply::Err(e.to_string())),
+                }
+            }
+            Line::Restore { program, matcher } => {
+                // Consume the body framing unconditionally so a failed
+                // RESTORE does not leave its payload to parse as commands.
+                let mut body = Vec::new();
+                let body = loop {
+                    match reader.next_line(&shared.stop) {
+                        // Exact-case match: the snapshot text's own
+                        // terminator is lowercase `end` and must stay in
+                        // the body.
+                        Some(l) if l.trim() == "END" => break body,
+                        Some(l) => body.push(l),
+                        None => return,
+                    }
+                };
+                if slot.is_some() {
+                    send_direct(
+                        writer_tx,
+                        Reply::Err("session already open (CLOSE first)".into()),
+                    );
+                    continue;
+                }
+                let kind = match matcher.as_deref().map(matcher_kind).transpose() {
+                    Ok(k) => k.unwrap_or_else(|| shared.cfg.matcher.clone()),
+                    Err(e) => {
+                        send_direct(writer_tx, Reply::Err(e));
+                        continue;
+                    }
+                };
+                let Some(spec) = shared.registry.get(&program) else {
+                    send_direct(
+                        writer_tx,
+                        Reply::Err(format!(
+                            "unknown program `{program}` (have: {})",
+                            shared.registry.names().join(" ")
+                        )),
+                    );
+                    continue;
+                };
+                let Some(split) = body.iter().position(|l| l.trim() == "end") else {
+                    send_direct(
+                        writer_tx,
+                        Reply::Err("RESTORE body has no snapshot terminator `end`".into()),
+                    );
+                    continue;
+                };
+                let snap_text = body[..=split].join("\n");
+                let log_text = body[split + 1..].join("\n");
+                let mut engine = match spec.build_empty(kind.clone(), shared.cfg.limits) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        send_direct(writer_tx, Reply::Err(e.to_string()));
+                        continue;
+                    }
+                };
+                if shared.obs.is_some() {
+                    engine.enable_obs(obs::ObsConfig::enabled());
+                }
+                let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                match Session::restore(
+                    id,
+                    &program,
+                    engine,
+                    kind,
+                    shared.cfg.max_cycles_per_run,
+                    &snap_text,
+                    &log_text,
+                ) {
+                    Ok((mut session, replayed)) => {
+                        let name = session.engine().matcher().name().to_string();
+                        let cycles = session.engine().cycles();
+                        if let Some(dir) = &shared.cfg.durability_dir {
+                            if let Err(e) =
+                                session.attach_durability(dir, shared.cfg.checkpoint_every)
+                            {
+                                send_direct(writer_tx, Reply::Err(format!("durability: {e}")));
+                                continue;
+                            }
+                        }
+                        let new_slot = SessionSlot::new(session);
+                        register_session(shared, &new_slot);
+                        slot = Some(new_slot);
+                        send_direct(
+                            writer_tx,
+                            Reply::Ok(format!(
+                                "session {id} program={program} matcher={name} \
+                                 replayed={replayed} cycles={cycles}"
+                            )),
+                        );
+                    }
+                    Err(e) => send_direct(writer_tx, Reply::Err(e)),
                 }
             }
             Line::BatchStart => {
@@ -509,7 +624,10 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                     Line::Wm(class) => Command::Wm(class),
                     Line::Stats => Command::Stats,
                     Line::Fired => Command::Fired,
-                    // Open/BatchStart/End/Shutdown/Close handled above.
+                    Line::Snapshot => Command::Snapshot,
+                    Line::Migrate(m) => Command::Migrate(m),
+                    // Open/Restore/BatchStart/End/Shutdown/Close handled
+                    // above.
                     _ => unreachable!(),
                 };
                 match &slot {

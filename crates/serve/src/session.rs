@@ -9,8 +9,11 @@
 //! worker.
 
 use crate::protocol::Reply;
-use engine::{Engine, StopReason};
+use engine::{ChangeLog, Engine, EngineBuilder, LogRecord, MatcherKind, Snapshot, StopReason};
 use ops5::wire;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// One staged change inside a `BATCH ... END` block. `line` is the 1-based
 /// position of the item within the batch body (counting every line sent
@@ -35,6 +38,11 @@ pub enum Command {
     Wm(Option<String>),
     Stats,
     Fired,
+    /// Serialize the session's durable state (snapshot text, multi-line).
+    Snapshot,
+    /// Rebuild the engine from a live snapshot, optionally on another
+    /// matcher (`None` keeps the current one).
+    Migrate(Option<String>),
     Close,
 }
 
@@ -50,6 +58,8 @@ impl Command {
             Command::Wm(_) => "wm",
             Command::Stats => "stats",
             Command::Fired => "fired",
+            Command::Snapshot => "snapshot",
+            Command::Migrate(_) => "migrate",
             Command::Close => "close",
         }
     }
@@ -61,8 +71,26 @@ pub struct Session {
     /// Program name the session was opened on.
     pub program: String,
     engine: Engine,
+    /// Matcher the engine was built with — `MIGRATE` without an argument
+    /// rebuilds on the same kind (the matcher's `name()` cannot distinguish
+    /// vs1 from vs2, both are sequential Rete).
+    kind: MatcherKind,
     max_cycles_per_run: u64,
     closed: bool,
+    durability: Option<Durability>,
+}
+
+/// Per-session durable state on disk: a checkpoint snapshot plus an
+/// append-only change/firing log of everything since. The log is flushed
+/// after every executed command, so a killed worker loses at most the
+/// command that was in flight.
+struct Durability {
+    dir: PathBuf,
+    /// Firings between checkpoints; reaching it rewrites the snapshot and
+    /// truncates the log.
+    checkpoint_every: u64,
+    log: File,
+    fires_since: u64,
 }
 
 fn reason_str(r: StopReason) -> &'static str {
@@ -79,15 +107,155 @@ impl Session {
         id: u64,
         program: impl Into<String>,
         engine: Engine,
+        kind: MatcherKind,
         max_cycles_per_run: u64,
     ) -> Session {
         Session {
             id,
             program: program.into(),
             engine,
+            kind,
             max_cycles_per_run: max_cycles_per_run.max(1),
             closed: false,
+            durability: None,
         }
+    }
+
+    /// Builds a session from snapshot text plus an optional change-log tail.
+    /// `engine` must be freshly built (no startup forms loaded). Returns the
+    /// session and the number of log records replayed.
+    pub fn restore(
+        id: u64,
+        program: impl Into<String>,
+        mut engine: Engine,
+        kind: MatcherKind,
+        max_cycles_per_run: u64,
+        snap_text: &str,
+        log_text: &str,
+    ) -> Result<(Session, usize), String> {
+        let snap = Snapshot::parse(snap_text).map_err(|e| e.to_string())?;
+        engine.restore(&snap).map_err(|e| e.to_string())?;
+        let log = ChangeLog::parse(log_text).map_err(|e| e.to_string())?;
+        log.replay(&mut engine).map_err(|e| e.to_string())?;
+        Ok((
+            Session::new(id, program, engine, kind, max_cycles_per_run),
+            log.len(),
+        ))
+    }
+
+    /// Snapshot file path for a session id under a durability directory.
+    pub fn snap_path(dir: &Path, id: u64) -> PathBuf {
+        dir.join(format!("session-{id}.snap"))
+    }
+
+    /// Change-log file path for a session id under a durability directory.
+    pub fn log_path(dir: &Path, id: u64) -> PathBuf {
+        dir.join(format!("session-{id}.log"))
+    }
+
+    /// Turns on disk durability: enables the engine's change journal, writes
+    /// an initial checkpoint snapshot, and opens the append-only log.
+    pub fn attach_durability(&mut self, dir: &Path, checkpoint_every: u64) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        self.engine.enable_journal();
+        let log = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(Self::log_path(dir, self.id))?;
+        self.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            checkpoint_every: checkpoint_every.max(1),
+            log,
+            fires_since: 0,
+        });
+        self.checkpoint()
+    }
+
+    /// Rewrites the snapshot (write-temp + rename) and truncates the log —
+    /// the snapshot supersedes every record written so far.
+    fn checkpoint(&mut self) -> std::io::Result<()> {
+        let text = self.engine.snapshot().to_text();
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        let snap = Self::snap_path(&d.dir, self.id);
+        let tmp = snap.with_extension("snap.tmp");
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, &snap)?;
+        d.log = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(Self::log_path(&d.dir, self.id))?;
+        d.fires_since = 0;
+        self.engine.clear_journal();
+        Ok(())
+    }
+
+    /// Appends the journal records accumulated by the last command to the
+    /// log file (flushed), checkpointing once enough firings pile up.
+    fn sync_durability(&mut self) -> std::io::Result<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        let recs = self.engine.drain_journal();
+        let d = self.durability.as_mut().expect("checked above");
+        let mut buf = String::new();
+        let mut fires = 0u64;
+        for r in &recs {
+            if matches!(r, LogRecord::Fire { .. }) {
+                fires += 1;
+            }
+            buf.push_str(&r.to_line());
+            buf.push('\n');
+        }
+        if !buf.is_empty() {
+            d.log.write_all(buf.as_bytes())?;
+            d.log.flush()?;
+        }
+        d.fires_since += fires;
+        if d.fires_since >= d.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshots the engine and rebuilds it from scratch — same program,
+    /// possibly a different matcher — then restores the snapshot into the
+    /// fresh engine. This is the live-migration primitive: the snapshot is
+    /// matcher-neutral, so the rebuilt engine re-derives the identical
+    /// conflict set under whichever match algorithm it now runs.
+    fn migrate(&mut self, target: Option<&str>) -> Result<String, String> {
+        let kind = match target {
+            Some(name) => crate::registry::matcher_kind(name)?,
+            None => self.kind.clone(),
+        };
+        let snap = self.engine.snapshot();
+        let mut next = EngineBuilder::new(self.engine.prog.clone())
+            .matcher(kind.clone())
+            .limits(self.engine.limits)
+            .build()
+            .map_err(|e| e.to_string())?;
+        next.restore(&snap).map_err(|e| e.to_string())?;
+        if self.engine.journal().is_some() {
+            next.enable_journal();
+        }
+        self.engine = next;
+        self.kind = kind;
+        // The fresh engine's journal starts empty, so the on-disk log no
+        // longer continues the old lineage — cut a new checkpoint.
+        if self.durability.is_some() {
+            self.checkpoint()
+                .map_err(|e| format!("post-migration checkpoint: {e}"))?;
+        }
+        Ok(format!(
+            "matcher={} wm={} cs={} cycles={}",
+            self.engine.matcher().name(),
+            self.engine.wm().len(),
+            self.engine.conflict_set().len(),
+            self.engine.cycles()
+        ))
     }
 
     pub fn is_closed(&self) -> bool {
@@ -111,7 +279,17 @@ impl Session {
     }
 
     /// Executes one command against the engine, producing exactly one reply.
+    /// When durability is attached, the command's journal records hit disk
+    /// before the reply is released.
     pub fn execute(&mut self, cmd: Command) -> Reply {
+        let reply = self.dispatch(cmd);
+        if let Err(e) = self.sync_durability() {
+            return Reply::Err(format!("durability: {e}"));
+        }
+        reply
+    }
+
+    fn dispatch(&mut self, cmd: Command) -> Reply {
         if self.closed {
             return Reply::Err("session is closed".into());
         }
@@ -257,6 +435,18 @@ impl Session {
                     lines,
                 }
             }
+            Command::Snapshot => {
+                let text = self.engine.snapshot().to_text();
+                let lines: Vec<String> = text.lines().map(str::to_string).collect();
+                Reply::Multi {
+                    head: format!("SNAPSHOT {}", lines.len()),
+                    lines,
+                }
+            }
+            Command::Migrate(target) => match self.migrate(target.as_deref()) {
+                Ok(msg) => Reply::Ok(msg),
+                Err(e) => Reply::Err(e),
+            },
             Command::Close => {
                 self.closed = true;
                 Reply::Ok(format!("closed cycles={}", self.engine.cycles()))
@@ -285,7 +475,7 @@ mod tests {
             .unwrap();
         eng.make_wme("sum", &[("total", ops5::Value::Int(0))])
             .unwrap();
-        Session::new(1, "adder", eng, max_per_run)
+        Session::new(1, "adder", eng, MatcherKind::default(), max_per_run)
     }
 
     #[test]
@@ -451,7 +641,7 @@ mod tests {
             .unwrap();
         eng.make_wme("sum", &[("total", ops5::Value::Int(0))])
             .unwrap();
-        let mut s = Session::new(1, "adder", eng, 1000);
+        let mut s = Session::new(1, "adder", eng, MatcherKind::default(), 1000);
         assert!(s.execute(Command::Assert("item ^n 1".into())).is_ok());
         assert!(matches!(
             s.execute(Command::Assert("item ^n 2".into())),

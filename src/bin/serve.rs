@@ -20,6 +20,10 @@
 //!   --metrics                enable the observability layer (METRICS?)
 //!   --metrics-port P         also serve GET /metrics on 127.0.0.1:P
 //!                            (0 = ephemeral; implies --metrics)
+//!   --durability-dir DIR     per-session snapshot + change-log files, so
+//!                            killed sessions recover via RESTORE
+//!   --checkpoint-every N     firings between durability checkpoints
+//!                            (default 256)
 //! ```
 
 use parallel_ops5::prelude::*;
@@ -73,6 +77,15 @@ fn parse_args() -> Result<(String, ServeConfig), String> {
             }
             "--matcher" => cfg.matcher = matcher_kind(&next_val(&mut args, "--matcher")?)?,
             "--metrics" => cfg.obs = ObsConfig::enabled(),
+            "--durability-dir" => {
+                cfg.durability_dir = Some(PathBuf::from(next_val(&mut args, "--durability-dir")?))
+            }
+            "--checkpoint-every" => {
+                cfg.checkpoint_every = parse(
+                    next_val(&mut args, "--checkpoint-every")?,
+                    "--checkpoint-every",
+                )?
+            }
             "--metrics-port" => {
                 cfg.obs = ObsConfig::enabled();
                 cfg.metrics_port =

@@ -142,7 +142,7 @@ fn apply_cs(set: &mut CsState, changes: Vec<CsChange>) {
 
 fn final_cs(m: &mut dyn Matcher, changes: &[WmeChange]) -> CsState {
     for c in changes {
-        m.submit_one(c.clone());
+        m.submit(&ChangeBatch::single(c.clone()));
     }
     let mut set = BTreeSet::new();
     apply_cs(&mut set, m.quiesce().cs_changes);
@@ -151,7 +151,7 @@ fn final_cs(m: &mut dyn Matcher, changes: &[WmeChange]) -> CsState {
 
 /// Feeds `changes` in chunks of the (cycled) `chunk_lens` sizes, quiescing
 /// at every chunk boundary. `batched` picks whole-`ChangeBatch` submission
-/// vs one `submit_one` per change with the same quiesce points. Returns the
+/// vs one single-change `submit` per change with the same quiesce points. Returns the
 /// net conflict-set state observed after each quiesce.
 fn chunked_cs_history(
     m: &mut dyn Matcher,
@@ -173,7 +173,7 @@ fn chunked_cs_history(
             m.submit(&batch);
         } else {
             for c in chunk {
-                m.submit_one(c.clone());
+                m.submit(&ChangeBatch::single(c.clone()));
             }
         }
         apply_cs(&mut set, m.quiesce().cs_changes);
