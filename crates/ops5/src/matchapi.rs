@@ -450,17 +450,6 @@ pub trait Matcher: Send {
     /// immediately.
     fn submit(&mut self, batch: &ChangeBatch);
 
-    /// Convenience shim: submit a single change as a one-element batch
-    /// (via the [`ChangeBatch::single`] fast path).
-    #[deprecated(
-        since = "0.3.0",
-        note = "the batch-first API is the only supported surface; \
-                use `submit(&ChangeBatch::single(change))`"
-    )]
-    fn submit_one(&mut self, change: WmeChange) {
-        self.submit(&ChangeBatch::single(change));
-    }
-
     /// Block until the match phase completes; drain and return the
     /// conflict-set deltas and statistics produced since the previous
     /// `quiesce`.

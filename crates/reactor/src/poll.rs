@@ -1,0 +1,221 @@
+//! The mio-like readiness API: [`Poll`], [`Token`], [`Interest`],
+//! [`Events`], and a cross-thread [`Waker`].
+//!
+//! Level-triggered on purpose: the consumer re-arms nothing and can leave
+//! bytes unread without losing the readiness edge, which keeps connection
+//! state machines simple (read/write until `WouldBlock`, adjust interest,
+//! return to the loop). Tokens are plain `usize` slab indices chosen by the
+//! caller; the shim never interprets them.
+
+use crate::sys;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Caller-chosen identifier delivered back with each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// No read/write interest: only error/hangup events are delivered
+    /// (epoll reports those regardless). Used to quiesce a connection that
+    /// is draining its write buffer after input stopped.
+    pub const NONE: Interest = Interest(0);
+    pub const READABLE: Interest = Interest(1);
+    pub const WRITABLE: Interest = Interest(2);
+
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.is_readable() {
+            bits |= sys::EPOLLIN;
+        }
+        if self.is_writable() {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One delivered readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable — includes error/hangup so a subsequent `read` observes
+    /// the EOF or error instead of the event being silently dropped.
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP | sys::EPOLLERR) != 0
+    }
+
+    pub fn is_writable(&self) -> bool {
+        self.bits & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.bits & sys::EPOLLERR != 0
+    }
+
+    /// Peer closed (full or write half).
+    pub fn is_hangup(&self) -> bool {
+        self.bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// Reusable event buffer for [`Poll::poll`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; cap.max(1)],
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            // Copy out of the (possibly packed) struct before use.
+            let bits = raw.events;
+            let data = raw.data;
+            Event {
+                token: Token(data as usize),
+                bits,
+            }
+        })
+    }
+}
+
+/// The readiness selector: an epoll instance.
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Starts watching `fd` with the given token and interest. The fd must
+    /// be nonblocking (the shim does not set it — std's `set_nonblocking`
+    /// covers every socket type, and the eventfd waker is born nonblocking).
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            interest.epoll_bits(),
+            token.0 as u64,
+        )
+    }
+
+    /// Changes the token/interest of an already-registered fd.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            interest.epoll_bits(),
+            token.0 as u64,
+        )
+    }
+
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until events arrive or `timeout` elapses (`None` = forever).
+    /// Returns the number of events written into `events`.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            Some(t) => {
+                let ms = t.as_millis();
+                // Round up so a sub-millisecond timeout does not spin at 0.
+                let ms = if ms == 0 && !t.is_zero() { 1 } else { ms };
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            }
+            None => -1,
+        };
+        events.len = sys::epoll_wait_events(self.epfd, &mut events.buf, timeout_ms)?;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// Cross-thread wakeup: an eventfd registered with the poll under a fixed
+/// token. Any thread may call [`wake`](Waker::wake); the poll loop drains
+/// it with [`drain`](Waker::drain) when the token's event fires.
+pub struct Waker {
+    efd: RawFd,
+}
+
+impl Waker {
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let efd = sys::eventfd_new()?;
+        poll.register(efd, token, Interest::READABLE)?;
+        Ok(Waker { efd })
+    }
+
+    pub fn wake(&self) -> io::Result<()> {
+        sys::eventfd_signal(self.efd)
+    }
+
+    /// Resets the wake counter; call once per delivered wake event.
+    pub fn drain(&self) {
+        sys::eventfd_drain(self.efd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.efd);
+    }
+}
+
+// Waker is written from worker threads while the poll loop owns everything
+// else; the underlying eventfd write is atomic.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}

@@ -1,0 +1,145 @@
+//! Raw Linux syscall bindings for the epoll shim.
+//!
+//! The build environment has no crates registry, so instead of `libc`/`mio`
+//! this module declares the handful of C symbols the reactor needs —
+//! `epoll_create1`/`epoll_ctl`/`epoll_wait`, `eventfd` for the cross-thread
+//! waker, and `read`/`write`/`close` for the eventfd itself. std already
+//! links libc, so the declarations resolve against the same symbols std
+//! uses; everything here is Linux-only by construction (the workspace
+//! targets the paper's platform lineage, and CI runs on Linux).
+
+use std::io;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// `struct epoll_event`. The kernel packs it on x86_64 (the `data` field
+/// sits at offset 4); other architectures use natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+    fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+pub fn epoll_create() -> io::Result<i32> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+pub fn epoll_control(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    let evp = if op == EPOLL_CTL_DEL {
+        std::ptr::null_mut()
+    } else {
+        &mut ev as *mut EpollEvent
+    };
+    cvt(unsafe { epoll_ctl(epfd, op, fd, evp) }).map(|_| ())
+}
+
+/// Waits for events; retries `EINTR` internally. `timeout_ms` of `-1`
+/// blocks indefinitely.
+pub fn epoll_wait_events(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+pub fn eventfd_new() -> io::Result<i32> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Adds 1 to the eventfd counter, making it readable.
+pub fn eventfd_signal(fd: i32) -> io::Result<()> {
+    let one: u64 = 1;
+    let n = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+    // EAGAIN means the counter is already at its max — the fd is readable,
+    // which is all a wake needs.
+    if n == 8 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Resets the eventfd counter to zero (nonblocking reads drain it in one
+/// call).
+pub fn eventfd_drain(fd: i32) {
+    let mut buf: u64 = 0;
+    unsafe { read(fd, (&mut buf as *mut u64).cast(), 8) };
+}
+
+pub fn close_fd(fd: i32) {
+    unsafe { close(fd) };
+}
+
+/// Raises the soft `RLIMIT_NOFILE` toward `target` (clamped to the hard
+/// limit) and returns the resulting soft limit. High-concurrency harnesses
+/// call this before opening tens of thousands of sockets.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= target {
+        return Ok(lim.rlim_cur);
+    }
+    lim.rlim_cur = target.min(lim.rlim_max);
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
+    Ok(lim.rlim_cur)
+}

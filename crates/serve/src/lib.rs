@@ -20,8 +20,14 @@
 //!   inbox replies `OVERLOADED`, a saturated global run queue replies
 //!   `BUSY`. Shutdown drains every queued command before workers exit.
 //! * [`server`] — the TCP front-end (`std::net` only): line protocol,
-//!   per-connection reader/writer threads, reply ordering under
-//!   pipelining, graceful `SHUTDOWN`.
+//!   reply ordering under pipelining, graceful `SHUTDOWN`. Two
+//!   interchangeable connection front-ends implement it: the default
+//!   single-threaded epoll reactor ([`server_nb`], over the vendored
+//!   `reactor` crate) and the original thread-per-connection design
+//!   (`--front-end threads`), kept as the differential baseline.
+//! * [`router`] — `ops5-router`: a consistent-hash session-sharding proxy
+//!   that spreads sessions across several `ops5-serve` backends and
+//!   live-migrates them (`SNAPSHOT?`/`RESTORE`) when a backend drains.
 //! * [`client`] — a blocking client used by `bench`'s `serve_load` harness
 //!   and the integration tests.
 //!
@@ -31,14 +37,17 @@ pub mod client;
 pub mod pool;
 pub mod protocol;
 pub mod registry;
+pub mod router;
 pub mod server;
+mod server_nb;
 pub mod session;
 
 pub use client::{Client, ClientReply};
 pub use pool::{Pool, PoolStats, SessionSlot, SubmitOutcome};
 pub use protocol::{parse_line, Line, Reply};
 pub use registry::{matcher_kind, ProgramSpec, Registry};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use router::{Router, RouterConfig, RouterHandle};
+pub use server::{FrontEnd, ServeConfig, Server, ServerHandle};
 pub use session::{BatchItem, Command, Session};
 
 #[cfg(test)]

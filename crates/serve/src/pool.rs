@@ -24,6 +24,69 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+/// Where a worker should deliver a command's reply.
+///
+/// The thread front-end hands each command a one-shot channel whose
+/// receiver sits in the per-connection writer queue; the reactor front-end
+/// has no thread to block on a receiver, so its replies are pushed onto a
+/// shared [`Completions`] queue tagged with (connection, sequence) and the
+/// reactor thread is woken to route them into the connection's ordered
+/// reply slots.
+pub enum ReplyTx {
+    /// One-shot channel (thread front-end, tests).
+    Channel(mpsc::SyncSender<Reply>),
+    /// Reactor completion: queue + (connection id, per-connection sequence).
+    Completion {
+        queue: Arc<Completions>,
+        conn: u64,
+        seq: u64,
+    },
+}
+
+impl ReplyTx {
+    /// Delivers the reply; a vanished recipient is not an error.
+    pub fn send(&self, reply: Reply) {
+        match self {
+            ReplyTx::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplyTx::Completion { queue, conn, seq } => queue.push(*conn, *seq, reply),
+        }
+    }
+}
+
+/// The reactor's completion queue: worker threads push finished replies
+/// here and wake the (single) reactor thread, which drains the queue and
+/// slots each reply into its connection's ordered pending list.
+pub struct Completions {
+    q: Mutex<Vec<(u64, u64, Reply)>>,
+    waker: reactor::Waker,
+}
+
+impl Completions {
+    pub fn new(waker: reactor::Waker) -> Completions {
+        Completions {
+            q: Mutex::new(Vec::new()),
+            waker,
+        }
+    }
+
+    pub fn push(&self, conn: u64, seq: u64, reply: Reply) {
+        self.q.lock().unwrap().push((conn, seq, reply));
+        let _ = self.waker.wake();
+    }
+
+    /// Takes everything queued so far (reactor thread only).
+    pub fn drain(&self) -> Vec<(u64, u64, Reply)> {
+        std::mem::take(&mut *self.q.lock().unwrap())
+    }
+
+    /// Resets the underlying eventfd after its readiness event fired.
+    pub fn drain_waker(&self) {
+        self.waker.drain();
+    }
+}
+
 /// Where a submitted command ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitOutcome {
@@ -38,7 +101,7 @@ pub enum SubmitOutcome {
 }
 
 struct Inbox {
-    q: VecDeque<(Command, mpsc::SyncSender<Reply>)>,
+    q: VecDeque<(Command, ReplyTx)>,
     /// True while the slot sits on the run queue (or is being executed with
     /// a requeue check still owed). At most one run-queue entry per session.
     scheduled: bool,
@@ -174,7 +237,7 @@ impl Pool {
         &self,
         slot: &Arc<SessionSlot>,
         cmd: Command,
-        reply_tx: mpsc::SyncSender<Reply>,
+        reply_tx: ReplyTx,
     ) -> SubmitOutcome {
         if self.inner.stop.load(Ordering::SeqCst) {
             return SubmitOutcome::ShuttingDown;
@@ -265,7 +328,7 @@ fn worker_loop(inner: &PoolInner) {
             }
             inner.executed.fetch_add(1, Ordering::Relaxed);
             // A vanished reader is not the session's problem.
-            let _ = reply_tx.send(reply);
+            reply_tx.send(reply);
         }
         // Requeue while work remains; drain continues past `stop`.
         let mut inbox = slot.inbox.lock().unwrap();
@@ -312,7 +375,10 @@ mod tests {
 
     fn submit_ok(pool: &Pool, slot: &Arc<SessionSlot>, cmd: Command) -> mpsc::Receiver<Reply> {
         let (tx, rx) = mpsc::sync_channel(1);
-        assert_eq!(pool.submit(slot, cmd, tx), SubmitOutcome::Accepted);
+        assert_eq!(
+            pool.submit(slot, cmd, ReplyTx::Channel(tx)),
+            SubmitOutcome::Accepted
+        );
         rx
     }
 
@@ -355,7 +421,11 @@ mod tests {
         let mut rxs = Vec::new();
         for i in 0..8 {
             let (tx, rx) = mpsc::sync_channel(1);
-            match pool.submit(&s, Command::Assert(format!("item ^n {i}")), tx) {
+            match pool.submit(
+                &s,
+                Command::Assert(format!("item ^n {i}")),
+                ReplyTx::Channel(tx),
+            ) {
                 SubmitOutcome::Accepted => rxs.push(rx),
                 SubmitOutcome::Overloaded => {
                     saw_overloaded = true;
@@ -391,14 +461,17 @@ mod tests {
         // only run-queue seat and `b` must bounce.
         let rx_a = loop {
             let (tx, rx) = mpsc::sync_channel(1);
-            match pool.submit(&a, Command::Cs, tx) {
+            match pool.submit(&a, Command::Cs, ReplyTx::Channel(tx)) {
                 SubmitOutcome::Accepted => break rx,
                 SubmitOutcome::Busy => std::thread::yield_now(),
                 other => panic!("unexpected {other:?}"),
             }
         };
         let (tx, _rx_b) = mpsc::sync_channel(1);
-        assert_eq!(pool.submit(&b, Command::Cs, tx), SubmitOutcome::Busy);
+        assert_eq!(
+            pool.submit(&b, Command::Cs, ReplyTx::Channel(tx)),
+            SubmitOutcome::Busy
+        );
         assert!(pool.stats().rejected_busy >= 1);
         let _ = spin_rx.recv();
         let _ = rx_a.recv();
@@ -419,7 +492,7 @@ mod tests {
         pool.shutdown();
         let (tx, _rx) = mpsc::sync_channel(1);
         assert_eq!(
-            pool.submit(&slots[0], Command::Cs, tx),
+            pool.submit(&slots[0], Command::Cs, ReplyTx::Channel(tx)),
             SubmitOutcome::ShuttingDown
         );
         // Every queued command completed before the workers exited.

@@ -1,0 +1,1071 @@
+//! `ops5-router` — consistent-hash session sharding across server
+//! processes, with live migration on drain.
+//!
+//! One serve process multiplexes many sessions over a worker pool; the
+//! router is the next scaling step out: it spreads client connections
+//! across *several* `ops5-serve` backends. Placement is a consistent-hash
+//! ring (FNV-1a over virtual nodes, [`RouterConfig::replicas`] points per
+//! backend) keyed by a router-assigned per-connection session key, so
+//! adding or draining a backend moves only the sessions that must move.
+//!
+//! The router is a line-level proxy on a single reactor thread. For each
+//! client connection it tracks just enough protocol state to stay honest:
+//!
+//! * client→backend framing (`OPEN -`/`BATCH`/`RESTORE` bodies) and a
+//!   count of requests in flight, mirroring the server's own framing;
+//! * backend→client reply framing (single-line `OK`/`ERR`/`BUSY`/
+//!   `OVERLOADED` vs multi-line…`END`), which is how in-flight drops;
+//! * the session's registry program and matcher, sniffed from the `OPEN`/
+//!   `RESTORE` the client sent (confirmed against the backend's `OK`), so
+//!   the session can be reconstructed elsewhere.
+//!
+//! **Drain / rebalance.** A connection whose first line is `ADMIN` speaks
+//! the admin dialect instead: `RING?` (backend liveness + load), `DRAIN
+//! <i>` (mark backend `i` dead on the ring and migrate its sessions away),
+//! `STATS?`, and `SHUTDOWN`. Migration happens at each connection's safe
+//! point — no requests in flight, top-level framing — and replays the
+//! durable-session machinery over the wire: `SNAPSHOT?` on the old
+//! backend, `CLOSE`, then `RESTORE <program> [matcher]` + snapshot + `END`
+//! on the ring's new target. Client lines that arrive mid-drain simply
+//! wait in the read buffer and resume against the new backend; the client
+//! observes nothing but latency. Sessions opened with an inline `OPEN -`
+//! program have no registry name to `RESTORE` from and are failed loudly
+//! instead of silently losing state.
+//!
+//! `SHUTDOWN` from ordinary clients is refused (one tenant must not take
+//! down a shared backend); `ADMIN SHUTDOWN` stops the router and forwards
+//! the shutdown to every live backend.
+
+use crate::protocol::{parse_line, Line};
+use reactor::{Events, Interest, LineBuf, Poll, Token, WriteBuf};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const LISTENER: Token = Token(0);
+/// Pair tokens start here: client = `BASE + 2*idx`, backend = `+1`.
+const PAIR_BASE: usize = 2;
+
+/// Poll tick (stop-flag and drain checks).
+const TICK: Duration = Duration::from_millis(100);
+/// Read/write timeout for the blocking migration conversation.
+const MIGRATE_IO: Duration = Duration::from_secs(5);
+/// After `ADMIN SHUTDOWN`, how long pairs get to flush.
+const STOP_GRACE: Duration = Duration::from_secs(5);
+/// Per-direction buffer cap; a flooding peer past this is cut off.
+const BUF_CAP: usize = 4 * 1024 * 1024;
+
+/// 64-bit FNV-1a, the ring's hash. Stable across processes and runs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Consistent-hash ring over backend indices: each backend contributes
+/// `replicas` virtual points; a key maps to the first point at or after
+/// its hash (wrapping), skipping dead backends.
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    pub fn new(n_backends: usize, replicas: usize) -> HashRing {
+        let mut points = Vec::with_capacity(n_backends * replicas);
+        for b in 0..n_backends {
+            for r in 0..replicas {
+                points.push((fnv1a(format!("backend-{b}-vnode-{r}").as_bytes()), b));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The live backend owning `key`, or `None` when every backend is dead.
+    pub fn lookup(&self, key: u64, live: &[bool]) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(h, _)| h < key);
+        for i in 0..self.points.len() {
+            let (_, b) = self.points[(start + i) % self.points.len()];
+            if live.get(b).copied().unwrap_or(false) {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+/// Router tuning: the backend set and the ring's virtual-node count.
+#[derive(Clone)]
+pub struct RouterConfig {
+    pub backends: Vec<SocketAddr>,
+    /// Virtual nodes per backend; more points = smoother distribution.
+    pub replicas: usize,
+}
+
+impl RouterConfig {
+    pub fn new(backends: Vec<SocketAddr>) -> RouterConfig {
+        RouterConfig {
+            backends,
+            replicas: 64,
+        }
+    }
+}
+
+/// A bound router, ready to [`run`](Router::run) or [`spawn`](Router::spawn).
+pub struct Router {
+    listener: TcpListener,
+    cfg: RouterConfig,
+    addr: SocketAddr,
+}
+
+/// Handle to a spawned router: its address plus the reactor thread.
+pub struct RouterHandle {
+    pub addr: SocketAddr,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl RouterHandle {
+    /// Waits for the router to stop (`ADMIN SHUTDOWN`).
+    pub fn join(self) -> io::Result<()> {
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("router thread panicked"))?
+    }
+}
+
+impl Router {
+    pub fn bind(addr: impl ToSocketAddrs, cfg: RouterConfig) -> io::Result<Router> {
+        if cfg.backends.is_empty() {
+            return Err(io::Error::other("router needs at least one backend"));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Router {
+            listener,
+            cfg,
+            addr,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn spawn(self) -> RouterHandle {
+        let addr = self.addr;
+        let join = std::thread::spawn(move || self.run());
+        RouterHandle { addr, join }
+    }
+
+    /// The reactor loop; returns after `ADMIN SHUTDOWN` once pairs flush.
+    pub fn run(self) -> io::Result<()> {
+        let _ = reactor::raise_nofile_limit(65536);
+        self.listener.set_nonblocking(true)?;
+        let poll = Poll::new()?;
+        poll.register(self.listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+        let mut state = State {
+            ring: HashRing::new(self.cfg.backends.len(), self.cfg.replicas.max(1)),
+            live: vec![true; self.cfg.backends.len()],
+            addrs: self.cfg.backends.clone(),
+            next_key: 1,
+            migrations: 0,
+            migration_failures: 0,
+            stop: false,
+        };
+        let mut events = Events::with_capacity(256);
+        let mut pairs: Vec<Option<Pair>> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut stopping: Option<Instant> = None;
+
+        loop {
+            poll.poll(&mut events, Some(TICK))?;
+            let mut touched: Vec<usize> = Vec::new();
+
+            for ev in events.iter() {
+                match ev.token() {
+                    LISTENER => {
+                        if stopping.is_some() {
+                            continue;
+                        }
+                        loop {
+                            let (stream, _) = match self.listener.accept() {
+                                Ok(a) => a,
+                                Err(_) => break,
+                            };
+                            let _ = stream.set_nodelay(true);
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let idx = free.pop().unwrap_or_else(|| {
+                                pairs.push(None);
+                                pairs.len() - 1
+                            });
+                            if poll
+                                .register(
+                                    stream.as_raw_fd(),
+                                    Token(PAIR_BASE + 2 * idx),
+                                    Interest::READABLE,
+                                )
+                                .is_err()
+                            {
+                                free.push(idx);
+                                continue;
+                            }
+                            let key = state.next_key;
+                            state.next_key += 1;
+                            pairs[idx] = Some(Pair::new(key, stream));
+                        }
+                    }
+                    Token(t) => {
+                        let idx = (t - PAIR_BASE) / 2;
+                        let is_backend = (t - PAIR_BASE) % 2 == 1;
+                        let Some(pair) = pairs.get_mut(idx).and_then(Option::as_mut) else {
+                            continue;
+                        };
+                        if is_backend {
+                            if ev.is_readable() {
+                                backend_read(pair);
+                            }
+                        } else if ev.is_readable() && !pair.stop_input {
+                            client_read(pair);
+                        }
+                        touched.push(idx);
+                    }
+                }
+            }
+
+            if state.stop && stopping.is_none() {
+                stopping = Some(Instant::now());
+                for (idx, p) in pairs.iter_mut().enumerate() {
+                    if let Some(pair) = p {
+                        pair.stop_input = true;
+                        pair.backend_gone = true;
+                        touched.push(idx);
+                    }
+                }
+            }
+
+            // Service every touched pair: parse admin/routed lines, relay
+            // replies, attempt pending migrations, flush, fix interest.
+            let mut i = 0;
+            while i < touched.len() {
+                let idx = touched[i];
+                i += 1;
+                if pairs.get(idx).map(|p| p.is_none()).unwrap_or(true) {
+                    continue;
+                }
+                service_pair(&mut pairs, idx, &mut state, &poll);
+                let Some(pair) = pairs[idx].as_mut() else {
+                    continue;
+                };
+                pump_pair(pair, idx, &poll);
+                if pair.finished() {
+                    let _ = poll.deregister(pair.client.as_raw_fd());
+                    if let Some(b) = &pair.backend {
+                        let _ = poll.deregister(b.stream.as_raw_fd());
+                    }
+                    pairs[idx] = None;
+                    free.push(idx);
+                }
+            }
+
+            if let Some(since) = stopping {
+                let alive = pairs.iter().any(Option::is_some);
+                if !alive || since.elapsed() > STOP_GRACE {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct State {
+    ring: HashRing,
+    live: Vec<bool>,
+    addrs: Vec<SocketAddr>,
+    next_key: u64,
+    migrations: u64,
+    migration_failures: u64,
+    stop: bool,
+}
+
+/// Client→backend framing, mirroring the server's body modes so request
+/// counting stays in sync even across multi-line commands.
+enum CMode {
+    Top,
+    OpenBody,
+    RestoreBody,
+    BatchBody,
+}
+
+/// Backend→client reply framing.
+enum RMode {
+    Idle,
+    Multi,
+}
+
+/// What an in-flight request will tell us when its reply lands.
+enum Tag {
+    /// `OPEN`/`RESTORE`: on `OK`, a session exists; `Some` carries the
+    /// registry program + matcher needed to migrate it, `None` marks an
+    /// inline (non-migratable) program.
+    Open(Option<SessionInfo>),
+    /// `CLOSE`: on `OK`, the session is gone.
+    Close,
+    Other,
+}
+
+#[derive(Clone)]
+struct SessionInfo {
+    program: String,
+    matcher: Option<String>,
+}
+
+enum PairKind {
+    /// Nothing received yet: the first line picks admin or routed.
+    New,
+    Admin,
+    Routed,
+}
+
+struct Backend {
+    stream: TcpStream,
+    rd: LineBuf,
+    wr: WriteBuf,
+    interest: Interest,
+}
+
+struct Pair {
+    /// Ring key for placement; assigned at accept, stable for the
+    /// connection's life so migration lands deterministically.
+    key: u64,
+    kind: PairKind,
+    client: TcpStream,
+    c_rd: LineBuf,
+    c_wr: WriteBuf,
+    c_interest: Interest,
+    backend: Option<Backend>,
+    backend_idx: usize,
+    c_mode: CMode,
+    r_mode: RMode,
+    /// Requests forwarded whose replies have not yet fully returned.
+    in_flight: u64,
+    tags: VecDeque<Tag>,
+    /// A session is open on the backend.
+    session_open: bool,
+    /// How to rebuild it elsewhere (`None` = non-migratable).
+    info: Option<SessionInfo>,
+    /// Set by `DRAIN`; cleared when the session lands on a live backend.
+    migrate_pending: bool,
+    /// Stop parsing client input (client EOF or router stop).
+    stop_input: bool,
+    /// Backend side is gone; close after the client buffer flushes.
+    backend_gone: bool,
+    dead: bool,
+}
+
+impl Pair {
+    fn new(key: u64, client: TcpStream) -> Pair {
+        Pair {
+            key,
+            kind: PairKind::New,
+            client,
+            c_rd: LineBuf::new(),
+            c_wr: WriteBuf::new(),
+            c_interest: Interest::READABLE,
+            backend: None,
+            backend_idx: usize::MAX,
+            c_mode: CMode::Top,
+            r_mode: RMode::Idle,
+            in_flight: 0,
+            tags: VecDeque::new(),
+            session_open: false,
+            info: None,
+            migrate_pending: false,
+            stop_input: false,
+            backend_gone: false,
+            dead: false,
+        }
+    }
+
+    /// Queues a router-originated reply to the client. Only used where no
+    /// backend replies are pending, so ordering holds.
+    fn reply(&mut self, line: &str) {
+        self.c_wr.push(line.as_bytes());
+        self.c_wr.push(b"\n");
+    }
+
+    fn finished(&self) -> bool {
+        self.dead
+            || (self.stop_input && self.c_wr.is_empty() && self.in_flight == 0)
+            || (self.backend_gone && self.backend.is_none() && self.c_wr.is_empty())
+    }
+}
+
+/// Drains readable client bytes into the pair's line buffer.
+fn client_read(pair: &mut Pair) {
+    for _ in 0..8 {
+        if pair.c_rd.len() > BUF_CAP {
+            break;
+        }
+        match pair.c_rd.read_from(&mut pair.client) {
+            Ok(0) => {
+                // Client hung up: its session dies with it, as on a
+                // direct connection.
+                pair.dead = true;
+                break;
+            }
+            Ok(n) => {
+                if n < 4096 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                pair.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Drains readable backend bytes and relays completed reply lines.
+fn backend_read(pair: &mut Pair) {
+    let Some(b) = pair.backend.as_mut() else {
+        return;
+    };
+    for _ in 0..8 {
+        match b.rd.read_from(&mut b.stream) {
+            Ok(0) => {
+                pair.backend_gone = true;
+                break;
+            }
+            Ok(n) => {
+                if n < 4096 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                pair.backend_gone = true;
+                break;
+            }
+        }
+    }
+    while let Some(line) = pair.backend.as_mut().and_then(|b| b.rd.next_line()) {
+        if pair.c_wr.len() > BUF_CAP {
+            // Client is not draining; cut it off rather than buffer
+            // without bound.
+            pair.dead = true;
+            return;
+        }
+        pair.c_wr.push(line.as_bytes());
+        pair.c_wr.push(b"\n");
+        match pair.r_mode {
+            RMode::Idle => {
+                let single = ["OK", "ERR", "BUSY", "OVERLOADED"]
+                    .iter()
+                    .any(|p| line == *p || line.starts_with(&format!("{p} ")));
+                if single {
+                    complete_reply(pair, &line);
+                } else {
+                    pair.r_mode = RMode::Multi;
+                }
+            }
+            RMode::Multi => {
+                if line == "END" {
+                    pair.r_mode = RMode::Idle;
+                    complete_reply(pair, "");
+                }
+            }
+        }
+    }
+    if pair.backend_gone {
+        // Drop the dead backend; the pair closes once the client buffer
+        // flushes (finished()).
+        pair.backend = None;
+    }
+}
+
+/// Bookkeeping when one full reply has been relayed: the in-flight count
+/// drops and the oldest tag resolves session state.
+fn complete_reply(pair: &mut Pair, first_line: &str) {
+    pair.in_flight = pair.in_flight.saturating_sub(1);
+    let ok = first_line.starts_with("OK");
+    match pair.tags.pop_front() {
+        Some(Tag::Open(info)) => {
+            if ok {
+                pair.session_open = true;
+                pair.info = info;
+            }
+        }
+        Some(Tag::Close) => {
+            if ok {
+                pair.session_open = false;
+                pair.info = None;
+            }
+        }
+        Some(Tag::Other) | None => {}
+    }
+}
+
+/// Parses whatever complete lines a pair has buffered. Routed pairs
+/// forward with framing; admin pairs execute commands against the ring.
+fn service_pair(pairs: &mut [Option<Pair>], idx: usize, state: &mut State, poll: &Poll) {
+    // First line decides the dialect.
+    {
+        let Some(pair) = pairs[idx].as_mut() else {
+            return;
+        };
+        if matches!(pair.kind, PairKind::New) {
+            let Some(line) = pair.c_rd.next_line() else {
+                return;
+            };
+            if line.trim().eq_ignore_ascii_case("ADMIN") {
+                pair.kind = PairKind::Admin;
+                pair.reply("OK admin");
+            } else {
+                pair.kind = PairKind::Routed;
+                if !connect_backend(pair, idx, state, poll) {
+                    return;
+                }
+                route_line(pair, line);
+            }
+        }
+    }
+    loop {
+        let Some(pair) = pairs[idx].as_mut() else {
+            return;
+        };
+        if pair.dead || pair.stop_input {
+            return;
+        }
+        match pair.kind {
+            PairKind::New => return,
+            PairKind::Routed => {
+                if pair.migrate_pending && !try_migrate(pair, idx, state, poll) {
+                    return;
+                }
+                let Some(line) = pair.c_rd.next_line() else {
+                    return;
+                };
+                route_line(pair, line);
+            }
+            PairKind::Admin => {
+                let Some(line) = pair.c_rd.next_line() else {
+                    return;
+                };
+                admin_line(pairs, idx, state, poll, line);
+            }
+        }
+    }
+}
+
+/// Connects a routed pair to its ring-assigned backend. On failure the
+/// client gets a final `ERR` and the pair winds down.
+fn connect_backend(pair: &mut Pair, idx: usize, state: &mut State, poll: &Poll) -> bool {
+    let Some(target) = state
+        .ring
+        .lookup(fnv1a(&pair.key.to_le_bytes()), &state.live)
+    else {
+        pair.reply("ERR no live backend");
+        pair.stop_input = true;
+        pair.backend_gone = true;
+        return false;
+    };
+    match open_backend(state.addrs[target]) {
+        Ok(b) => {
+            if poll
+                .register(
+                    b.stream.as_raw_fd(),
+                    Token(PAIR_BASE + 2 * idx + 1),
+                    Interest::READABLE,
+                )
+                .is_err()
+            {
+                pair.reply("ERR backend unavailable");
+                pair.stop_input = true;
+                pair.backend_gone = true;
+                return false;
+            }
+            pair.backend = Some(b);
+            pair.backend_idx = target;
+            true
+        }
+        Err(_) => {
+            pair.reply(&format!("ERR backend {} unavailable", state.addrs[target]));
+            pair.stop_input = true;
+            pair.backend_gone = true;
+            false
+        }
+    }
+}
+
+fn open_backend(addr: SocketAddr) -> io::Result<Backend> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_nonblocking(true)?;
+    Ok(Backend {
+        stream,
+        rd: LineBuf::new(),
+        wr: WriteBuf::new(),
+        interest: Interest::READABLE,
+    })
+}
+
+/// Forwards one client line to the backend, keeping framing, the
+/// in-flight count, and the session sniff in step with what the server
+/// will do with it.
+fn route_line(pair: &mut Pair, line: String) {
+    let trimmed = line.trim().to_string();
+    match pair.c_mode {
+        CMode::Top => {
+            if trimmed.is_empty() {
+                forward(pair, &line);
+                return;
+            }
+            match parse_line(&trimmed) {
+                Ok(Line::Shutdown) => {
+                    // One tenant must not kill every session on a shared
+                    // backend. (Router-originated reply: safe only because
+                    // a well-behaved client has drained earlier replies;
+                    // a pipelined SHUTDOWN may see it early.)
+                    pair.reply("ERR SHUTDOWN not allowed through router (use ADMIN)");
+                    return;
+                }
+                Ok(Line::Open { program, matcher }) => {
+                    pair.in_flight += 1;
+                    if program == "-" {
+                        pair.tags.push_back(Tag::Open(None));
+                        pair.c_mode = CMode::OpenBody;
+                    } else {
+                        pair.tags
+                            .push_back(Tag::Open(Some(SessionInfo { program, matcher })));
+                    }
+                }
+                Ok(Line::Restore { program, matcher }) => {
+                    pair.in_flight += 1;
+                    pair.tags
+                        .push_back(Tag::Open(Some(SessionInfo { program, matcher })));
+                    pair.c_mode = CMode::RestoreBody;
+                }
+                Ok(Line::BatchStart) => {
+                    pair.in_flight += 1;
+                    pair.tags.push_back(Tag::Other);
+                    pair.c_mode = CMode::BatchBody;
+                }
+                Ok(Line::Close) => {
+                    pair.in_flight += 1;
+                    pair.tags.push_back(Tag::Close);
+                }
+                // Everything else — session commands, END outside BATCH,
+                // unparsable lines — draws exactly one reply.
+                Ok(_) | Err(_) => {
+                    pair.in_flight += 1;
+                    pair.tags.push_back(Tag::Other);
+                }
+            }
+            forward(pair, &line);
+        }
+        CMode::OpenBody => {
+            if trimmed.eq_ignore_ascii_case("END") {
+                pair.c_mode = CMode::Top;
+            }
+            forward(pair, &line);
+        }
+        CMode::RestoreBody => {
+            if trimmed == "END" {
+                pair.c_mode = CMode::Top;
+            }
+            forward(pair, &line);
+        }
+        CMode::BatchBody => {
+            if !trimmed.is_empty() {
+                match parse_line(&trimmed) {
+                    Ok(Line::Assert(_)) | Ok(Line::Retract(_)) => {}
+                    // END closes the batch; anything else aborts it on the
+                    // server (early ERR), so framing returns to top level
+                    // either way.
+                    Ok(_) | Err(_) => pair.c_mode = CMode::Top,
+                }
+            }
+            forward(pair, &line);
+        }
+    }
+}
+
+fn forward(pair: &mut Pair, line: &str) {
+    if let Some(b) = pair.backend.as_mut() {
+        if b.wr.len() > BUF_CAP {
+            pair.dead = true;
+            return;
+        }
+        b.wr.push(line.as_bytes());
+        b.wr.push(b"\n");
+    }
+}
+
+/// One admin command. Takes the whole pair table because `RING?` reports
+/// per-backend load and `DRAIN` walks every routed pair.
+fn admin_line(
+    pairs: &mut [Option<Pair>],
+    idx: usize,
+    state: &mut State,
+    poll: &Poll,
+    line: String,
+) {
+    let line = line.trim().to_string();
+    if line.is_empty() {
+        return;
+    }
+    let upper = line.to_ascii_uppercase();
+    if upper == "RING?" {
+        let mut out: Vec<String> = Vec::new();
+        for (b, addr) in state.addrs.iter().enumerate() {
+            let mut pairs_on = 0usize;
+            let mut sessions_on = 0usize;
+            for p in pairs.iter().flatten() {
+                if p.backend.is_some() && p.backend_idx == b {
+                    pairs_on += 1;
+                    if p.session_open {
+                        sessions_on += 1;
+                    }
+                }
+            }
+            out.push(format!(
+                "backend {b} addr={addr} live={} pairs={pairs_on} sessions={sessions_on}",
+                state.live[b]
+            ));
+        }
+        let pair = pairs[idx].as_mut().expect("admin pair");
+        pair.reply(&format!("RING {}", out.len()));
+        for l in &out {
+            pair.reply(l);
+        }
+        pair.reply("END");
+    } else if let Some(arg) = upper.strip_prefix("DRAIN ") {
+        let Ok(b) = arg.trim().parse::<usize>() else {
+            pairs[idx]
+                .as_mut()
+                .unwrap()
+                .reply("ERR DRAIN wants a backend index");
+            return;
+        };
+        if b >= state.live.len() {
+            pairs[idx]
+                .as_mut()
+                .unwrap()
+                .reply(&format!("ERR no backend {b} (have {})", state.live.len()));
+            return;
+        }
+        if state.live.iter().filter(|&&l| l).count() <= 1 && state.live[b] {
+            pairs[idx]
+                .as_mut()
+                .unwrap()
+                .reply("ERR cannot drain the last live backend");
+            return;
+        }
+        state.live[b] = false;
+        let mut marked = 0usize;
+        let to_move: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| {
+                let p = p.as_ref()?;
+                (j != idx && p.backend.is_some() && p.backend_idx == b).then_some(j)
+            })
+            .collect();
+        for j in &to_move {
+            if let Some(p) = pairs[*j].as_mut() {
+                p.migrate_pending = true;
+                marked += 1;
+            }
+        }
+        pairs[idx]
+            .as_mut()
+            .unwrap()
+            .reply(&format!("OK draining backend {b} pairs={marked}"));
+        // Idle pairs move right now; busy ones at their next safe point.
+        for j in to_move {
+            let Some(p) = pairs[j].as_mut() else { continue };
+            if p.migrate_pending {
+                try_migrate(p, j, state, poll);
+            }
+        }
+    } else if upper == "STATS?" {
+        let open = pairs.iter().flatten().count();
+        let pair = pairs[idx].as_mut().expect("admin pair");
+        pair.reply("RSTATS 3");
+        pair.reply(&format!("pairs {open}"));
+        pair.reply(&format!("migrations {}", state.migrations));
+        pair.reply(&format!("migration_failures {}", state.migration_failures));
+        pair.reply("END");
+    } else if upper == "SHUTDOWN" {
+        // Forward to every backend — drained ones included; a dead ring
+        // entry is still a running process — then stop the router.
+        for addr in state.addrs.iter() {
+            if let Ok(mut s) = TcpStream::connect(addr) {
+                let _ = s.set_write_timeout(Some(MIGRATE_IO));
+                let _ = s.write_all(b"SHUTDOWN\n");
+            }
+        }
+        let pair = pairs[idx].as_mut().expect("admin pair");
+        pair.reply("OK router shutting down");
+        state.stop = true;
+    } else {
+        pairs[idx].as_mut().unwrap().reply(&format!(
+            "ERR unknown admin command `{line}` (RING?|DRAIN <i>|STATS?|SHUTDOWN)"
+        ));
+    }
+}
+
+/// Reads one line from a blocking stream through a [`LineBuf`].
+fn blocking_line(stream: &mut TcpStream, buf: &mut LineBuf) -> Result<String, String> {
+    loop {
+        if let Some(l) = buf.next_line() {
+            return Ok(l);
+        }
+        match buf.read_from(stream) {
+            Ok(0) => return Err("backend closed mid-reply".into()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("backend read: {e}")),
+        }
+    }
+}
+
+/// Attempts the pending migration at a safe point (no requests in flight,
+/// top-level framing). Returns true when the pending flag cleared —
+/// migrated, or nothing needed to move. On failure the client gets a
+/// final `ERR` and the pair winds down: losing state silently would be
+/// worse than losing the connection loudly.
+fn try_migrate(pair: &mut Pair, idx: usize, state: &mut State, poll: &Poll) -> bool {
+    if pair.in_flight > 0 || !matches!(pair.c_mode, CMode::Top) {
+        return false;
+    }
+    let Some(target) = state
+        .ring
+        .lookup(fnv1a(&pair.key.to_le_bytes()), &state.live)
+    else {
+        fail_migration(pair, state, "no live backend");
+        return false;
+    };
+    let Some(old) = pair.backend.take() else {
+        pair.migrate_pending = false;
+        return true;
+    };
+    if target == pair.backend_idx {
+        pair.backend = Some(old);
+        pair.migrate_pending = false;
+        return true;
+    }
+    if pair.session_open && pair.info.is_none() {
+        fail_migration(
+            pair,
+            state,
+            "session has no registry program (inline OPEN -); cannot migrate",
+        );
+        return false;
+    }
+    let _ = poll.deregister(old.stream.as_raw_fd());
+    let mut old_stream = old.stream;
+    let mut old_rd = old.rd;
+    let result = (|| -> Result<Backend, String> {
+        let _ = old_stream.set_nonblocking(false);
+        let _ = old_stream.set_read_timeout(Some(MIGRATE_IO));
+        let _ = old_stream.set_write_timeout(Some(MIGRATE_IO));
+        // Capture state from the draining backend, then free it there.
+        let snapshot: Option<Vec<String>> = if pair.session_open {
+            old_stream
+                .write_all(b"SNAPSHOT?\n")
+                .map_err(|e| format!("snapshot request: {e}"))?;
+            let head = blocking_line(&mut old_stream, &mut old_rd)?;
+            if !head.starts_with("SNAPSHOT") {
+                return Err(format!("unexpected SNAPSHOT? reply: {head}"));
+            }
+            let mut body = Vec::new();
+            loop {
+                let l = blocking_line(&mut old_stream, &mut old_rd)?;
+                if l == "END" {
+                    break;
+                }
+                body.push(l);
+            }
+            old_stream
+                .write_all(b"CLOSE\n")
+                .map_err(|e| format!("close request: {e}"))?;
+            let _ = blocking_line(&mut old_stream, &mut old_rd)?;
+            Some(body)
+        } else {
+            None
+        };
+        // Rebuild on the ring's new owner.
+        let mut ns = TcpStream::connect(state.addrs[target])
+            .map_err(|e| format!("connect {}: {e}", state.addrs[target]))?;
+        let _ = ns.set_nodelay(true);
+        let _ = ns.set_read_timeout(Some(MIGRATE_IO));
+        let _ = ns.set_write_timeout(Some(MIGRATE_IO));
+        let mut nrd = LineBuf::new();
+        if let Some(body) = snapshot {
+            let info = pair.info.as_ref().expect("checked migratable");
+            let mut req = format!("RESTORE {}", info.program);
+            if let Some(m) = &info.matcher {
+                req.push(' ');
+                req.push_str(m);
+            }
+            req.push('\n');
+            let mut payload = req;
+            for l in &body {
+                payload.push_str(l);
+                payload.push('\n');
+            }
+            payload.push_str("END\n");
+            ns.write_all(payload.as_bytes())
+                .map_err(|e| format!("restore request: {e}"))?;
+            let reply = blocking_line(&mut ns, &mut nrd)?;
+            if !reply.starts_with("OK") {
+                return Err(format!("restore rejected: {reply}"));
+            }
+        }
+        ns.set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+        let _ = ns.set_read_timeout(None);
+        let _ = ns.set_write_timeout(None);
+        Ok(Backend {
+            stream: ns,
+            rd: nrd,
+            wr: WriteBuf::new(),
+            interest: Interest::READABLE,
+        })
+    })();
+    match result {
+        Ok(nb) => {
+            if poll
+                .register(
+                    nb.stream.as_raw_fd(),
+                    Token(PAIR_BASE + 2 * idx + 1),
+                    Interest::READABLE,
+                )
+                .is_err()
+            {
+                fail_migration(pair, state, "register migrated backend");
+                return false;
+            }
+            pair.backend = Some(nb);
+            pair.backend_idx = target;
+            pair.migrate_pending = false;
+            state.migrations += 1;
+            true
+        }
+        Err(e) => {
+            fail_migration(pair, state, &e);
+            false
+        }
+    }
+}
+
+fn fail_migration(pair: &mut Pair, state: &mut State, why: &str) {
+    state.migration_failures += 1;
+    pair.reply(&format!("ERR migration failed: {why}"));
+    pair.migrate_pending = false;
+    pair.stop_input = true;
+    pair.backend_gone = true;
+    pair.backend = None;
+}
+
+/// Flushes both write buffers and keeps epoll interest in sync.
+fn pump_pair(pair: &mut Pair, idx: usize, poll: &Poll) {
+    if !pair.c_wr.is_empty() && pair.c_wr.write_to(&mut pair.client).is_err() {
+        pair.dead = true;
+    }
+    if let Some(b) = pair.backend.as_mut() {
+        if !b.wr.is_empty() && b.wr.write_to(&mut b.stream).is_err() {
+            pair.backend_gone = true;
+            pair.backend = None;
+        }
+    }
+    if pair.dead {
+        return;
+    }
+    let mut want = Interest::NONE;
+    if !pair.stop_input && pair.c_rd.len() <= BUF_CAP {
+        want = want | Interest::READABLE;
+    }
+    if !pair.c_wr.is_empty() {
+        want = want | Interest::WRITABLE;
+    }
+    if want != pair.c_interest
+        && poll
+            .reregister(pair.client.as_raw_fd(), Token(PAIR_BASE + 2 * idx), want)
+            .is_ok()
+    {
+        pair.c_interest = want;
+    }
+    if let Some(b) = pair.backend.as_mut() {
+        let mut want = Interest::READABLE;
+        if !b.wr.is_empty() {
+            want = want | Interest::WRITABLE;
+        }
+        if want != b.interest
+            && poll
+                .reregister(b.stream.as_raw_fd(), Token(PAIR_BASE + 2 * idx + 1), want)
+                .is_ok()
+        {
+            b.interest = want;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_backends() {
+        let ring = HashRing::new(4, 64);
+        let live = vec![true; 4];
+        let mut counts = [0usize; 4];
+        for key in 0..10_000u64 {
+            let b = ring.lookup(fnv1a(&key.to_le_bytes()), &live).unwrap();
+            counts[b] += 1;
+            // Determinism: same key, same backend.
+            assert_eq!(ring.lookup(fnv1a(&key.to_le_bytes()), &live), Some(b));
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 500, "backend {i} got only {c}/10000 keys");
+        }
+    }
+
+    #[test]
+    fn drained_backend_receives_nothing_and_moves_minimally() {
+        let ring = HashRing::new(3, 64);
+        let all = vec![true, true, true];
+        let drained = vec![true, false, true];
+        let mut moved = 0usize;
+        for key in 0..10_000u64 {
+            let h = fnv1a(&key.to_le_bytes());
+            let before = ring.lookup(h, &all).unwrap();
+            let after = ring.lookup(h, &drained).unwrap();
+            assert_ne!(after, 1, "drained backend still assigned");
+            if before != after {
+                assert_eq!(before, 1, "key moved off a live backend");
+                moved += 1;
+            }
+        }
+        // Only the drained backend's share moves. With 64 vnodes the share
+        // is noisy, so bound it loosely: far below "rehash everything"
+        // (~two-thirds would move under modulo hashing) and far above zero.
+        assert!(moved > 1_000 && moved < 6_500, "moved {moved}/10000");
+    }
+}

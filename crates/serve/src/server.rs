@@ -1,20 +1,28 @@
-//! The TCP front-end: accept loop, per-connection reader/writer threads,
-//! and the command framing between the wire and the worker pool.
+//! The TCP front-end: accept handling, command framing between the wire
+//! and the worker pool, and the pieces both front-ends share.
 //!
-//! Each connection gets a reader thread (parses lines, frames `BATCH` and
-//! inline `OPEN -` bodies, submits commands) and a writer thread. Replies
-//! must arrive in request order even though commands execute on pool
-//! workers, so the reader pushes a one-shot reply channel onto the writer's
-//! queue *before* submitting; rejected submissions (`BUSY`/`OVERLOADED`)
-//! are answered by the reader itself through the same one-shot, which keeps
-//! the order intact under pipelining.
+//! Two front-ends implement the same line protocol:
 //!
-//! Shutdown: `SHUTDOWN` (or [`ServerHandle`] dropping the listener via a
-//! self-connection) stops the accept loop, readers notice the stop flag at
-//! their next read timeout, and the pool drains every queued command before
-//! its workers exit.
+//! * **Threads** (this module's `conn_loop`): a reader thread and a writer
+//!   thread per connection. The reader parses lines, frames `BATCH` and
+//!   inline `OPEN -` bodies, and submits commands; replies must arrive in
+//!   request order even though commands execute on pool workers, so the
+//!   reader pushes a one-shot reply channel onto the writer's queue
+//!   *before* submitting, and rejected submissions (`BUSY`/`OVERLOADED`)
+//!   are answered by the reader through the same one-shot.
+//! * **Reactor** ([`crate::server_nb`], the default): a single epoll
+//!   thread owns accept/read/write for every connection and keeps the
+//!   same ordering invariant with an explicit per-connection reply queue.
+//!
+//! Session construction (`OPEN`/`RESTORE`) is front-end-independent and
+//! lives here as [`open_session`]/[`restore_session`] so both front-ends
+//! produce byte-identical replies.
+//!
+//! Shutdown: `SHUTDOWN` stops the accept loop, connections wind down after
+//! flushing queued replies, and the pool drains every queued command
+//! before its workers exit.
 
-use crate::pool::{Pool, PoolStats, SessionSlot, SubmitOutcome};
+use crate::pool::{Pool, PoolStats, ReplyTx, SessionSlot, SubmitOutcome};
 use crate::protocol::{parse_line, Line, Reply};
 use crate::registry::{matcher_kind, ProgramSpec, Registry};
 use crate::session::{BatchItem, Command, Session};
@@ -22,13 +30,43 @@ use engine::{EngineLimits, MatcherKind};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How often blocked reads wake up to check the stop flag.
 const READ_TICK: Duration = Duration::from_millis(50);
+
+/// How long a blocked socket write may stall before the connection is
+/// declared too slow and dropped (thread front-end; the reactor bounds
+/// slowness by buffer size instead).
+const WRITE_STALL: Duration = Duration::from_secs(5);
+
+/// Which connection front-end the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontEnd {
+    /// Two OS threads per connection (reader + writer). The original
+    /// design, kept as the differential baseline behind
+    /// `--front-end threads`.
+    Threads,
+    /// One reactor thread multiplexes every connection over epoll (the
+    /// vendored `reactor` crate). Scales to tens of thousands of
+    /// connections on a handful of threads.
+    #[default]
+    Reactor,
+}
+
+impl std::str::FromStr for FrontEnd {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FrontEnd, String> {
+        match s {
+            "threads" => Ok(FrontEnd::Threads),
+            "reactor" => Ok(FrontEnd::Reactor),
+            other => Err(format!("unknown front-end `{other}` (threads|reactor)")),
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Clone)]
@@ -64,6 +102,18 @@ pub struct ServeConfig {
     /// Firings between durability checkpoints (snapshot rewrite + log
     /// truncation). Ignored without `durability_dir`.
     pub checkpoint_every: u64,
+    /// Connection front-end: reactor (default) or thread-per-connection.
+    pub front_end: FrontEnd,
+    /// Reactor front-end: per-connection outbound buffer cap in bytes.
+    /// A client that stops reading while replies accumulate past this
+    /// bound is sent a final `ERR overloaded` and closed. Checked before
+    /// each reply is appended, so a single reply larger than the cap
+    /// (a big `SNAPSHOT?`) still goes out.
+    pub write_buf_cap: usize,
+    /// Thread front-end: cap on replies queued for the writer but not yet
+    /// flushed. Past it the connection is closed with `ERR overloaded` —
+    /// the thread-mode analogue of `write_buf_cap`.
+    pub max_pending_replies: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +130,9 @@ impl Default for ServeConfig {
             metrics_port: None,
             durability_dir: None,
             checkpoint_every: 256,
+            front_end: FrontEnd::default(),
+            write_buf_cap: 256 * 1024,
+            max_pending_replies: 4096,
         }
     }
 }
@@ -87,20 +140,52 @@ impl Default for ServeConfig {
 /// Server-side observability state: the server-level registry (pool
 /// command latencies) plus the roster of live sessions whose per-engine
 /// registries `METRICS?` aggregates.
-struct ServerObs {
-    registry: Arc<obs::Registry>,
-    sessions: std::sync::Mutex<Vec<std::sync::Weak<SessionSlot>>>,
+pub(crate) struct ServerObs {
+    pub(crate) registry: Arc<obs::Registry>,
+    pub(crate) sessions: std::sync::Mutex<Vec<std::sync::Weak<SessionSlot>>>,
 }
 
-struct Shared {
-    cfg: ServeConfig,
-    registry: Registry,
-    pool: Pool,
-    stop: AtomicBool,
-    next_session: AtomicU64,
-    addr: SocketAddr,
-    obs: Option<ServerObs>,
-    metrics_addr: Option<SocketAddr>,
+/// Connection-level instrumentation, shared by both front-ends and
+/// registered in the server registry so `METRICS?` and `/metrics` expose
+/// it. Present only when observability is enabled.
+pub(crate) struct ConnCounters {
+    /// Currently open client connections (gauge).
+    pub(crate) connections_open: Arc<obs::Gauge>,
+    /// Connections accepted since start.
+    pub(crate) accepts: Arc<obs::Counter>,
+    /// Bytes read off client sockets by the reactor.
+    pub(crate) read_bytes: Arc<obs::Counter>,
+    /// Bytes written to client sockets by the reactor.
+    pub(crate) write_bytes: Arc<obs::Counter>,
+    /// Reactor poll returns that delivered at least one event.
+    pub(crate) wakeups: Arc<obs::Counter>,
+    /// Connections closed because the client fell too far behind.
+    pub(crate) slow_client_closes: Arc<obs::Counter>,
+}
+
+impl ConnCounters {
+    fn new(reg: &Arc<obs::Registry>) -> ConnCounters {
+        ConnCounters {
+            connections_open: reg.gauge("serve_connections_open", Vec::new()),
+            accepts: reg.counter("serve_accepts_total", Vec::new()),
+            read_bytes: reg.counter("reactor_read_bytes_total", Vec::new()),
+            write_bytes: reg.counter("reactor_write_bytes_total", Vec::new()),
+            wakeups: reg.counter("reactor_wakeups_total", Vec::new()),
+            slow_client_closes: reg.counter("serve_slow_client_closes_total", Vec::new()),
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) registry: Registry,
+    pub(crate) pool: Pool,
+    pub(crate) stop: AtomicBool,
+    pub(crate) next_session: AtomicU64,
+    pub(crate) addr: SocketAddr,
+    pub(crate) obs: Option<ServerObs>,
+    pub(crate) counters: Option<ConnCounters>,
+    pub(crate) metrics_addr: Option<SocketAddr>,
 }
 
 /// A bound server, ready to [`run`](Server::run) or [`spawn`](Server::spawn).
@@ -154,6 +239,7 @@ impl Server {
             Some(l) => Some(l.local_addr()?),
             None => None,
         };
+        let counters = server_obs.as_ref().map(|o| ConnCounters::new(&o.registry));
         Ok(Server {
             listener,
             metrics_listener,
@@ -165,6 +251,7 @@ impl Server {
                 next_session: AtomicU64::new(1),
                 addr,
                 obs: server_obs,
+                counters,
                 metrics_addr,
             }),
         })
@@ -179,40 +266,26 @@ impl Server {
         self.shared.metrics_addr
     }
 
-    /// Accept loop; returns after a `SHUTDOWN`, once every connection has
-    /// wound down and the pool has drained.
+    /// Serves until a `SHUTDOWN`, then returns once every connection has
+    /// wound down and the pool has drained. Dispatches on
+    /// [`ServeConfig::front_end`].
     pub fn run(self) -> io::Result<()> {
         let metrics_thread = self.metrics_listener.map(|l| {
             let shared = self.shared.clone();
             std::thread::spawn(move || serve_metrics_http(l, &shared))
         });
-        let mut conns: Vec<JoinHandle<()>> = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.shared.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            // Request/response protocol: without NODELAY the kernel holds
-            // small replies for Nagle coalescing and every round trip eats
-            // a delayed-ACK timeout.
-            let _ = stream.set_nodelay(true);
-            let shared = self.shared.clone();
-            conns.push(std::thread::spawn(move || handle_conn(stream, &shared)));
-            // Opportunistically reap finished connections so a long-lived
-            // server does not accumulate handles.
-            conns.retain(|h| !h.is_finished());
-        }
-        for h in conns {
-            let _ = h.join();
-        }
+        let result = match self.shared.cfg.front_end {
+            FrontEnd::Threads => run_threads(self.listener, &self.shared),
+            FrontEnd::Reactor => crate::server_nb::run(self.listener, &self.shared),
+        };
+        // Either front-end sets the stop flag before returning, which is
+        // what the metrics responder polls.
+        self.shared.stop.store(true, Ordering::SeqCst);
         if let Some(h) = metrics_thread {
             let _ = h.join();
         }
         self.shared.pool.shutdown();
-        Ok(())
+        result
     }
 
     /// Runs the accept loop on its own thread.
@@ -230,6 +303,36 @@ impl Server {
     pub fn pool_stats(&self) -> PoolStats {
         self.shared.pool.stats()
     }
+}
+
+/// Thread-per-connection accept loop (the original front-end).
+fn run_threads(listener: TcpListener, shared: &Arc<Shared>) -> io::Result<()> {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Request/response protocol: without NODELAY the kernel holds
+        // small replies for Nagle coalescing and every round trip eats
+        // a delayed-ACK timeout.
+        let _ = stream.set_nodelay(true);
+        if let Some(c) = &shared.counters {
+            c.accepts.inc();
+        }
+        let shared = shared.clone();
+        conns.push(std::thread::spawn(move || handle_conn(stream, &shared)));
+        // Opportunistically reap finished connections so a long-lived
+        // server does not accumulate handles.
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    Ok(())
 }
 
 /// Timeout-aware line reader over the raw stream. `BufReader::read_line`
@@ -285,46 +388,75 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
         Ok(s) => s,
         Err(_) => return,
     };
+    // A write that stalls this long means the client stopped reading;
+    // erroring out lets the writer (and thus the connection) wind down
+    // instead of blocking a thread on a dead socket forever.
+    let _ = write_half.set_write_timeout(Some(WRITE_STALL));
     let mut reader = match LineReader::new(stream) {
         Ok(r) => r,
         Err(_) => return,
     };
+    if let Some(c) = &shared.counters {
+        c.connections_open.add(1);
+    }
 
     // Reply channels queue up here in request order; the writer resolves
-    // them one at a time, so slow commands never reorder replies.
+    // them one at a time, so slow commands never reorder replies. The
+    // shared depth counter is how the reader notices the writer falling
+    // behind a client that pipelines without draining.
+    let pending = Arc::new(AtomicUsize::new(0));
     let (writer_tx, writer_rx) = mpsc::channel::<mpsc::Receiver<Reply>>();
+    let queue = ReplyQueue {
+        tx: writer_tx,
+        pending: pending.clone(),
+    };
     let writer = std::thread::spawn(move || {
         let mut out = io::BufWriter::new(write_half);
         for rx in writer_rx {
-            let Ok(reply) = rx.recv() else { continue };
-            if out.write_all(reply.to_string().as_bytes()).is_err() || out.flush().is_err() {
+            let Ok(reply) = rx.recv() else {
+                pending.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            };
+            let res = out.write_all(reply.to_string().as_bytes());
+            pending.fetch_sub(1, Ordering::Relaxed);
+            if res.is_err() || out.flush().is_err() {
                 break;
             }
         }
     });
 
-    conn_loop(&mut reader, shared, &writer_tx);
+    conn_loop(&mut reader, shared, &queue);
     // Dropping the queue ends the writer once every queued reply flushed.
-    drop(writer_tx);
+    drop(queue);
     let _ = writer.join();
+    if let Some(c) = &shared.counters {
+        c.connections_open.add(-1);
+    }
 }
 
-type ReplyQueue = mpsc::Sender<mpsc::Receiver<Reply>>;
+/// The reader's side of the per-connection writer queue: the channel of
+/// one-shot reply receivers plus the count of replies not yet flushed.
+struct ReplyQueue {
+    tx: mpsc::Sender<mpsc::Receiver<Reply>>,
+    pending: Arc<AtomicUsize>,
+}
 
 /// Answers a request on the spot, still through the ordered writer queue.
-fn send_direct(writer_tx: &ReplyQueue, reply: Reply) {
+fn send_direct(queue: &ReplyQueue, reply: Reply) {
     let (tx, rx) = mpsc::sync_channel(1);
     let _ = tx.send(reply);
-    let _ = writer_tx.send(rx);
+    queue.pending.fetch_add(1, Ordering::Relaxed);
+    let _ = queue.tx.send(rx);
 }
 
 /// Queues a command; on rejection the backpressure reply takes the
 /// command's reserved place in the writer queue. Returns whether the pool
 /// actually accepted the command.
-fn submit(writer_tx: &ReplyQueue, shared: &Shared, slot: &Arc<SessionSlot>, cmd: Command) -> bool {
+fn submit(queue: &ReplyQueue, shared: &Shared, slot: &Arc<SessionSlot>, cmd: Command) -> bool {
     let (tx, rx) = mpsc::sync_channel(1);
-    let _ = writer_tx.send(rx);
-    let reject = match shared.pool.submit(slot, cmd, tx.clone()) {
+    queue.pending.fetch_add(1, Ordering::Relaxed);
+    let _ = queue.tx.send(rx);
+    let reject = match shared.pool.submit(slot, cmd, ReplyTx::Channel(tx.clone())) {
         SubmitOutcome::Accepted => None,
         SubmitOutcome::Busy => Some(Reply::Busy("run queue full; retry".into())),
         SubmitOutcome::Overloaded => Some(Reply::Overloaded(
@@ -344,7 +476,7 @@ fn submit(writer_tx: &ReplyQueue, shared: &Shared, slot: &Arc<SessionSlot>, cmd:
 /// Adds a freshly opened (or restored) session to the observability roster,
 /// pruning dead sessions while the lock is held so a long-lived server's
 /// roster stays bounded.
-fn register_session(shared: &Shared, new_slot: &Arc<SessionSlot>) {
+pub(crate) fn register_session(shared: &Shared, new_slot: &Arc<SessionSlot>) {
     if let Some(o) = &shared.obs {
         let mut sessions = o.sessions.lock().expect("obs sessions");
         sessions.retain(|w| w.upgrade().is_some());
@@ -352,9 +484,151 @@ fn register_session(shared: &Shared, new_slot: &Arc<SessionSlot>) {
     }
 }
 
+/// Resolves an optional `OPEN`/`RESTORE` matcher name against the
+/// configured default. Both front-ends validate this *before* consuming an
+/// inline body, so the error ordering on the wire is identical.
+pub(crate) fn resolve_matcher(
+    shared: &Shared,
+    matcher: Option<&str>,
+) -> Result<MatcherKind, String> {
+    Ok(matcher
+        .map(matcher_kind)
+        .transpose()?
+        .unwrap_or_else(|| shared.cfg.matcher.clone()))
+}
+
+/// Builds and registers a session for `OPEN`. `inline_src` carries the
+/// collected body of `OPEN -`; otherwise `program` names a registry entry.
+/// Returns the slot plus the `OK` reply, or the error reply — identical
+/// text from either front-end.
+pub(crate) fn open_session(
+    shared: &Shared,
+    program: &str,
+    kind: MatcherKind,
+    inline_src: Option<String>,
+) -> Result<(Arc<SessionSlot>, Reply), Reply> {
+    let inline;
+    let spec: &ProgramSpec = match inline_src {
+        Some(src) => {
+            inline = ProgramSpec::from_source(src);
+            &inline
+        }
+        None => shared.registry.get(program).ok_or_else(|| {
+            Reply::Err(format!(
+                "unknown program `{program}` (have: {})",
+                shared.registry.names().join(" ")
+            ))
+        })?,
+    };
+    let mut engine = spec
+        .build(kind.clone(), shared.cfg.limits)
+        .map_err(|e| Reply::Err(e.to_string()))?;
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let name = engine.matcher().name().to_string();
+    if shared.obs.is_some() {
+        engine.enable_obs(obs::ObsConfig::enabled());
+    }
+    let mut session = Session::new(id, program, engine, kind, shared.cfg.max_cycles_per_run);
+    if let Some(dir) = &shared.cfg.durability_dir {
+        session
+            .attach_durability(dir, shared.cfg.checkpoint_every)
+            .map_err(|e| Reply::Err(format!("durability: {e}")))?;
+    }
+    let new_slot = SessionSlot::new(session);
+    register_session(shared, &new_slot);
+    Ok((
+        new_slot,
+        Reply::Ok(format!("session {id} program={program} matcher={name}")),
+    ))
+}
+
+/// Rebuilds a session from a `RESTORE` body (snapshot text, then change
+/// log; the snapshot's own terminator is lowercase `end`). Shared by both
+/// front-ends for identical reply text.
+pub(crate) fn restore_session(
+    shared: &Shared,
+    program: &str,
+    kind: MatcherKind,
+    body: &[String],
+) -> Result<(Arc<SessionSlot>, Reply), Reply> {
+    let spec = shared.registry.get(program).ok_or_else(|| {
+        Reply::Err(format!(
+            "unknown program `{program}` (have: {})",
+            shared.registry.names().join(" ")
+        ))
+    })?;
+    let split = body
+        .iter()
+        .position(|l| l.trim() == "end")
+        .ok_or_else(|| Reply::Err("RESTORE body has no snapshot terminator `end`".into()))?;
+    let snap_text = body[..=split].join("\n");
+    let log_text = body[split + 1..].join("\n");
+    let mut engine = spec
+        .build_empty(kind.clone(), shared.cfg.limits)
+        .map_err(|e| Reply::Err(e.to_string()))?;
+    if shared.obs.is_some() {
+        engine.enable_obs(obs::ObsConfig::enabled());
+    }
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let (mut session, replayed) = Session::restore(
+        id,
+        program,
+        engine,
+        kind,
+        shared.cfg.max_cycles_per_run,
+        &snap_text,
+        &log_text,
+    )
+    .map_err(Reply::Err)?;
+    let name = session.engine().matcher().name().to_string();
+    let cycles = session.engine().cycles();
+    if let Some(dir) = &shared.cfg.durability_dir {
+        session
+            .attach_durability(dir, shared.cfg.checkpoint_every)
+            .map_err(|e| Reply::Err(format!("durability: {e}")))?;
+    }
+    let new_slot = SessionSlot::new(session);
+    register_session(shared, &new_slot);
+    Ok((
+        new_slot,
+        Reply::Ok(format!(
+            "session {id} program={program} matcher={name} \
+             replayed={replayed} cycles={cycles}"
+        )),
+    ))
+}
+
+/// The `METRICS?` reply — works without an open session.
+pub(crate) fn metrics_reply(shared: &Shared) -> Reply {
+    match &shared.obs {
+        Some(_) => {
+            let text = render_metrics(shared);
+            let lines: Vec<String> = text.lines().map(str::to_string).collect();
+            Reply::Multi {
+                head: format!("METRICS {}", lines.len()),
+                lines,
+            }
+        }
+        None => Reply::Err("metrics disabled (start with --metrics or obs enabled)".into()),
+    }
+}
+
 fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQueue) {
     let mut slot: Option<Arc<SessionSlot>> = None;
     while let Some(line) = reader.next_line(&shared.stop) {
+        // A client that pipelines requests without draining replies
+        // eventually exhausts its reply backlog allowance; close it with a
+        // final diagnostic rather than queueing without bound.
+        if writer_tx.pending.load(Ordering::Relaxed) > shared.cfg.max_pending_replies {
+            if let Some(c) = &shared.counters {
+                c.slow_client_closes.inc();
+            }
+            send_direct(
+                writer_tx,
+                Reply::Err("overloaded: reply backlog exceeded; closing".into()),
+            );
+            return;
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -376,15 +650,14 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                     // it to parse as commands and fail loudly.
                     continue;
                 }
-                let kind = match matcher.as_deref().map(matcher_kind).transpose() {
-                    Ok(k) => k.unwrap_or_else(|| shared.cfg.matcher.clone()),
+                let kind = match resolve_matcher(shared, matcher.as_deref()) {
+                    Ok(k) => k,
                     Err(e) => {
                         send_direct(writer_tx, Reply::Err(e));
                         continue;
                     }
                 };
-                let inline;
-                let spec: &ProgramSpec = if program == "-" {
+                let inline_src = if program == "-" {
                     let mut src = String::new();
                     loop {
                         match reader.next_line(&shared.stop) {
@@ -396,49 +669,16 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                             None => return,
                         }
                     }
-                    inline = ProgramSpec::from_source(src);
-                    &inline
+                    Some(src)
                 } else {
-                    match shared.registry.get(&program) {
-                        Some(s) => s,
-                        None => {
-                            send_direct(
-                                writer_tx,
-                                Reply::Err(format!(
-                                    "unknown program `{program}` (have: {})",
-                                    shared.registry.names().join(" ")
-                                )),
-                            );
-                            continue;
-                        }
-                    }
+                    None
                 };
-                match spec.build(kind.clone(), shared.cfg.limits) {
-                    Ok(mut engine) => {
-                        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
-                        let name = engine.matcher().name().to_string();
-                        if shared.obs.is_some() {
-                            engine.enable_obs(obs::ObsConfig::enabled());
-                        }
-                        let mut session =
-                            Session::new(id, &program, engine, kind, shared.cfg.max_cycles_per_run);
-                        if let Some(dir) = &shared.cfg.durability_dir {
-                            if let Err(e) =
-                                session.attach_durability(dir, shared.cfg.checkpoint_every)
-                            {
-                                send_direct(writer_tx, Reply::Err(format!("durability: {e}")));
-                                continue;
-                            }
-                        }
-                        let new_slot = SessionSlot::new(session);
-                        register_session(shared, &new_slot);
+                match open_session(shared, &program, kind, inline_src) {
+                    Ok((new_slot, ok)) => {
                         slot = Some(new_slot);
-                        send_direct(
-                            writer_tx,
-                            Reply::Ok(format!("session {id} program={program} matcher={name}")),
-                        );
+                        send_direct(writer_tx, ok);
                     }
-                    Err(e) => send_direct(writer_tx, Reply::Err(e.to_string())),
+                    Err(e) => send_direct(writer_tx, e),
                 }
             }
             Line::Restore { program, matcher } => {
@@ -462,75 +702,19 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                     );
                     continue;
                 }
-                let kind = match matcher.as_deref().map(matcher_kind).transpose() {
-                    Ok(k) => k.unwrap_or_else(|| shared.cfg.matcher.clone()),
+                let kind = match resolve_matcher(shared, matcher.as_deref()) {
+                    Ok(k) => k,
                     Err(e) => {
                         send_direct(writer_tx, Reply::Err(e));
                         continue;
                     }
                 };
-                let Some(spec) = shared.registry.get(&program) else {
-                    send_direct(
-                        writer_tx,
-                        Reply::Err(format!(
-                            "unknown program `{program}` (have: {})",
-                            shared.registry.names().join(" ")
-                        )),
-                    );
-                    continue;
-                };
-                let Some(split) = body.iter().position(|l| l.trim() == "end") else {
-                    send_direct(
-                        writer_tx,
-                        Reply::Err("RESTORE body has no snapshot terminator `end`".into()),
-                    );
-                    continue;
-                };
-                let snap_text = body[..=split].join("\n");
-                let log_text = body[split + 1..].join("\n");
-                let mut engine = match spec.build_empty(kind.clone(), shared.cfg.limits) {
-                    Ok(e) => e,
-                    Err(e) => {
-                        send_direct(writer_tx, Reply::Err(e.to_string()));
-                        continue;
-                    }
-                };
-                if shared.obs.is_some() {
-                    engine.enable_obs(obs::ObsConfig::enabled());
-                }
-                let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
-                match Session::restore(
-                    id,
-                    &program,
-                    engine,
-                    kind,
-                    shared.cfg.max_cycles_per_run,
-                    &snap_text,
-                    &log_text,
-                ) {
-                    Ok((mut session, replayed)) => {
-                        let name = session.engine().matcher().name().to_string();
-                        let cycles = session.engine().cycles();
-                        if let Some(dir) = &shared.cfg.durability_dir {
-                            if let Err(e) =
-                                session.attach_durability(dir, shared.cfg.checkpoint_every)
-                            {
-                                send_direct(writer_tx, Reply::Err(format!("durability: {e}")));
-                                continue;
-                            }
-                        }
-                        let new_slot = SessionSlot::new(session);
-                        register_session(shared, &new_slot);
+                match restore_session(shared, &program, kind, &body) {
+                    Ok((new_slot, ok)) => {
                         slot = Some(new_slot);
-                        send_direct(
-                            writer_tx,
-                            Reply::Ok(format!(
-                                "session {id} program={program} matcher={name} \
-                                 replayed={replayed} cycles={cycles}"
-                            )),
-                        );
+                        send_direct(writer_tx, ok);
                     }
-                    Err(e) => send_direct(writer_tx, Reply::Err(e)),
+                    Err(e) => send_direct(writer_tx, e),
                 }
             }
             Line::BatchStart => {
@@ -580,23 +764,7 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
             Line::End => send_direct(writer_tx, Reply::Err("END outside BATCH".into())),
             // Server-wide: answered by the reader itself (works without an
             // open session), still through the ordered writer queue.
-            Line::Metrics => match &shared.obs {
-                Some(_) => {
-                    let text = render_metrics(shared);
-                    let lines: Vec<String> = text.lines().map(str::to_string).collect();
-                    send_direct(
-                        writer_tx,
-                        Reply::Multi {
-                            head: format!("METRICS {}", lines.len()),
-                            lines,
-                        },
-                    );
-                }
-                None => send_direct(
-                    writer_tx,
-                    Reply::Err("metrics disabled (start with --metrics or obs enabled)".into()),
-                ),
-            },
+            Line::Metrics => send_direct(writer_tx, metrics_reply(shared)),
             Line::Shutdown => {
                 send_direct(writer_tx, Reply::Ok("shutting down".into()));
                 shared.stop.store(true, Ordering::SeqCst);
@@ -647,7 +815,7 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
 /// series stay distinguishable — plus synthetic per-join-node counters for
 /// each session's ten hottest join nodes, labeled with the join id and the
 /// owning production.
-fn render_metrics(shared: &Shared) -> String {
+pub(crate) fn render_metrics(shared: &Shared) -> String {
     let Some(o) = &shared.obs else {
         return String::new();
     };

@@ -1,0 +1,84 @@
+//! `ops5-router` — consistent-hash session sharding across `ops5-serve`
+//! backends.
+//!
+//! Accepts client connections speaking the serve line protocol and pins
+//! each one to a backend chosen by a consistent-hash ring (FNV-1a, 64
+//! virtual nodes per backend by default). A connection whose first line is
+//! `ADMIN` gets the operator dialect instead: `RING?`, `DRAIN <i>`
+//! (migrate backend `i`'s sessions away via `SNAPSHOT?`/`RESTORE`),
+//! `STATS?`, `SHUTDOWN`.
+//!
+//! ```text
+//! Usage: ops5-router --backend HOST:PORT [--backend HOST:PORT ...] [options]
+//!
+//!   --addr HOST:PORT   listen address (default 127.0.0.1:4806)
+//!   --backend ADDR     an ops5-serve backend; repeat per backend
+//!   --replicas N       virtual nodes per backend on the ring (default 64)
+//! ```
+
+use serve::{Router, RouterConfig};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<(String, RouterConfig), String> {
+    let mut addr = "127.0.0.1:4806".to_string();
+    let mut backends: Vec<SocketAddr> = Vec::new();
+    let mut replicas = 64usize;
+    let mut args = std::env::args().skip(1);
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = next_val(&mut args, "--addr")?,
+            "--backend" => {
+                let v = next_val(&mut args, "--backend")?;
+                backends.push(v.parse().map_err(|e| format!("--backend {v}: {e}"))?);
+            }
+            "--replicas" => {
+                replicas = next_val(&mut args, "--replicas")?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}"))?
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if backends.is_empty() {
+        return Err("at least one --backend is required".into());
+    }
+    let mut cfg = RouterConfig::new(backends);
+    cfg.replicas = replicas.max(1);
+    Ok((addr, cfg))
+}
+
+fn main() -> ExitCode {
+    let (addr, cfg) = match parse_args() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("ops5-router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = cfg.backends.len();
+    let router = match Router::bind(&addr, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ops5-router: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ops5-router: listening on {} ({n} backends)",
+        router.local_addr()
+    );
+    match router.run() {
+        Ok(()) => {
+            eprintln!("ops5-router: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ops5-router: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

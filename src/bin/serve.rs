@@ -17,6 +17,14 @@
 //!   --max-wm N               per-session working-memory cap
 //!   --max-total-cycles N     per-session lifetime cycle budget
 //!   --matcher vs1|vs2|lisp|psm   default session matcher (default vs2)
+//!   --front-end threads|reactor  connection front-end (default reactor:
+//!                            one epoll thread owns all sockets; threads =
+//!                            the original two-threads-per-connection mode)
+//!   --write-buf N            per-connection outbound buffer cap in bytes
+//!                            before a slow client is disconnected
+//!                            (reactor; default 262144)
+//!   --max-pending N          per-connection queued-reply cap before a slow
+//!                            client is disconnected (threads; default 4096)
 //!   --metrics                enable the observability layer (METRICS?)
 //!   --metrics-port P         also serve GET /metrics on 127.0.0.1:P
 //!                            (0 = ephemeral; implies --metrics)
@@ -76,6 +84,15 @@ fn parse_args() -> Result<(String, ServeConfig), String> {
                 )?)
             }
             "--matcher" => cfg.matcher = matcher_kind(&next_val(&mut args, "--matcher")?)?,
+            "--front-end" => cfg.front_end = next_val(&mut args, "--front-end")?.parse()?,
+            "--write-buf" => {
+                cfg.write_buf_cap =
+                    parse(next_val(&mut args, "--write-buf")?, "--write-buf")? as usize
+            }
+            "--max-pending" => {
+                cfg.max_pending_replies =
+                    parse(next_val(&mut args, "--max-pending")?, "--max-pending")? as usize
+            }
             "--metrics" => cfg.obs = ObsConfig::enabled(),
             "--durability-dir" => {
                 cfg.durability_dir = Some(PathBuf::from(next_val(&mut args, "--durability-dir")?))

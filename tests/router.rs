@@ -1,0 +1,210 @@
+//! Integration tests for `ops5-router`: sessions sharded across several
+//! in-process backends must behave exactly like direct sessions, and a
+//! drained backend's sessions must live-migrate without losing state.
+
+use serve::{matcher_kind, Client, Registry, Router, RouterConfig, ServeConfig, Server};
+use std::net::SocketAddr;
+
+fn backend() -> serve::ServerHandle {
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 512,
+        programs_dir: Some("programs".into()),
+        ..ServeConfig::default()
+    };
+    Server::bind("127.0.0.1:0", cfg).unwrap().spawn()
+}
+
+fn reference_fired(program: &str) -> Vec<String> {
+    let reg = Registry::with_builtins(Some("programs".as_ref()));
+    let mut eng = reg
+        .get(program)
+        .unwrap()
+        .build(matcher_kind("psm").unwrap(), Default::default())
+        .unwrap();
+    eng.run(400_000).unwrap();
+    eng.fired_log()
+        .iter()
+        .map(|(p, tags)| {
+            let t: Vec<String> = tags.iter().map(|x| x.to_string()).collect();
+            format!("{} {}", eng.prog.prod_name(*p), t.join(" "))
+        })
+        .collect()
+}
+
+fn run_to_completion(c: &mut Client) -> Vec<String> {
+    for _ in 0..400 {
+        let payload = c.run(1000).unwrap().expect_ok().unwrap();
+        if !payload.contains("reason=limit") {
+            break;
+        }
+    }
+    c.fired().unwrap().expect_lines().unwrap()
+}
+
+fn ring_field(lines: &[String], backend: usize, key: &str) -> Option<u64> {
+    lines
+        .iter()
+        .find(|l| l.starts_with(&format!("backend {backend} ")))
+        .and_then(|l| {
+            l.split_whitespace()
+                .find_map(|kv| kv.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        })
+        .and_then(|v| v.parse().ok())
+}
+
+/// Sessions routed through a 2-backend shard set fire exactly like direct
+/// engine runs; `ADMIN SHUTDOWN` stops the router and both backends.
+#[test]
+fn routed_sessions_match_direct_runs() {
+    let b0 = backend();
+    let b1 = backend();
+    let router = Router::bind("127.0.0.1:0", RouterConfig::new(vec![b0.addr, b1.addr]))
+        .unwrap()
+        .spawn();
+    let addr: SocketAddr = router.addr;
+
+    let threads: Vec<_> = ["blocks", "hanoi", "monkey", "blocks", "hanoi", "monkey"]
+        .into_iter()
+        .map(|program| {
+            std::thread::spawn(move || {
+                let reference = reference_fired(program);
+                let mut c = Client::connect(addr).unwrap();
+                c.open(program, Some("psm")).unwrap().expect_ok().unwrap();
+                let fired = run_to_completion(&mut c);
+                assert_eq!(fired, reference, "routed {program} diverged");
+                c.close().unwrap().expect_ok().unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Both backends should have seen at least one pair over the run; the
+    // ring spreads distinct connections. (Not guaranteed per-run with 6
+    // keys, so only sanity-check the admin surface here.)
+    let mut admin = Client::connect(addr).unwrap();
+    admin.request("ADMIN").unwrap().expect_ok().unwrap();
+    let ring = admin.request("RING?").unwrap().expect_lines().unwrap();
+    assert_eq!(ring.len(), 2, "{ring:?}");
+    assert!(
+        ring[0].contains("live=true") && ring[1].contains("live=true"),
+        "{ring:?}"
+    );
+
+    admin.request("SHUTDOWN").unwrap().expect_ok().unwrap();
+    router.join().unwrap();
+    b0.join().unwrap();
+    b1.join().unwrap();
+}
+
+/// The tentpole property: drain a backend while sessions hold open state
+/// on it, and every session finishes with a firing log identical to an
+/// uninterrupted direct run — the migration was invisible.
+#[test]
+fn drain_live_migrates_sessions_without_losing_state() {
+    let b0 = backend();
+    let b1 = backend();
+    let router = Router::bind("127.0.0.1:0", RouterConfig::new(vec![b0.addr, b1.addr]))
+        .unwrap()
+        .spawn();
+    let addr: SocketAddr = router.addr;
+
+    // Open several sessions and run each partway, so the drain has real
+    // mid-run state (WM, conflict set, firing log) to carry over.
+    let programs = ["blocks", "hanoi", "monkey", "rubik"];
+    let mut clients: Vec<(Client, &str)> = Vec::new();
+    for program in programs {
+        let mut c = Client::connect(addr).unwrap();
+        c.open(program, Some("psm")).unwrap().expect_ok().unwrap();
+        for _ in 0..2 {
+            let payload = c.run(30).unwrap().expect_ok().unwrap();
+            if !payload.contains("reason=limit") {
+                break;
+            }
+        }
+        clients.push((c, program));
+    }
+
+    let mut admin = Client::connect(addr).unwrap();
+    admin.request("ADMIN").unwrap().expect_ok().unwrap();
+    let before = admin.request("RING?").unwrap().expect_lines().unwrap();
+    let on_b0 = ring_field(&before, 0, "pairs").unwrap();
+
+    admin.request("DRAIN 0").unwrap().expect_ok().unwrap();
+    // Every session is idle (between requests), so the drain migrates
+    // synchronously; RING? must show backend 0 empty and dead.
+    let after = admin.request("RING?").unwrap().expect_lines().unwrap();
+    assert_eq!(ring_field(&after, 0, "pairs"), Some(0), "{after:?}");
+    assert!(after[0].contains("live=false"), "{after:?}");
+
+    let stats = admin.request("STATS?").unwrap().expect_lines().unwrap();
+    let migrations: u64 = stats
+        .iter()
+        .find_map(|l| l.strip_prefix("migrations "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    let failures: u64 = stats
+        .iter()
+        .find_map(|l| l.strip_prefix("migration_failures "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    assert_eq!(migrations, on_b0, "every pair on backend 0 migrated");
+    assert_eq!(failures, 0, "{stats:?}");
+
+    // Resume every session to completion: firing logs must be identical
+    // to uninterrupted direct runs, including the pre-drain prefix.
+    for (mut c, program) in clients {
+        let reference = reference_fired(program);
+        let fired = run_to_completion(&mut c);
+        assert_eq!(fired, reference, "{program} diverged across migration");
+        c.close().unwrap().expect_ok().unwrap();
+    }
+
+    admin.request("SHUTDOWN").unwrap().expect_ok().unwrap();
+    router.join().unwrap();
+    b0.join().unwrap();
+    b1.join().unwrap();
+}
+
+/// Router guardrails: client `SHUTDOWN` is refused, draining the last
+/// live backend is refused, and unknown admin commands error.
+#[test]
+fn router_guardrails() {
+    let b0 = backend();
+    let router = Router::bind("127.0.0.1:0", RouterConfig::new(vec![b0.addr]))
+        .unwrap()
+        .spawn();
+    let addr: SocketAddr = router.addr;
+
+    // Ordinary clients cannot take the shared backend down.
+    let mut c = Client::connect(addr).unwrap();
+    c.open("blocks", Some("vs2")).unwrap().expect_ok().unwrap();
+    match c.request("SHUTDOWN").unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("ADMIN"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    // The session is still alive afterwards.
+    c.run(0).unwrap().expect_ok().unwrap();
+    c.close().unwrap().expect_ok().unwrap();
+
+    let mut admin = Client::connect(addr).unwrap();
+    admin.request("ADMIN").unwrap().expect_ok().unwrap();
+    match admin.request("DRAIN 0").unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("last live"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    match admin.request("DRAIN 7").unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("no backend"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    match admin.request("FROB").unwrap() {
+        serve::ClientReply::Err(msg) => assert!(msg.contains("unknown admin"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+
+    admin.request("SHUTDOWN").unwrap().expect_ok().unwrap();
+    router.join().unwrap();
+    b0.join().unwrap();
+}

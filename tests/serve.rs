@@ -3,13 +3,13 @@
 
 use parallel_ops5::prelude::*;
 use proptest::prelude::*;
-use serve::{matcher_kind, Registry, ServeConfig, Server};
+use serve::{matcher_kind, FrontEnd, Registry, ServeConfig, Server};
 use std::net::SocketAddr;
 use std::sync::OnceLock;
 
 /// One shared server for the whole test binary (leaked; the process exit
 /// reaps it). Deep inboxes: these tests exercise semantics, not
-/// backpressure.
+/// backpressure. Uses the default (reactor) front-end.
 fn server_addr() -> SocketAddr {
     static SERVER: OnceLock<SocketAddr> = OnceLock::new();
     *SERVER.get_or_init(|| {
@@ -17,6 +17,25 @@ fn server_addr() -> SocketAddr {
             workers: 2,
             queue_depth: 512,
             programs_dir: Some("programs".into()),
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+        let addr = handle.addr;
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+/// A second shared server on the legacy thread-per-connection front-end,
+/// so every cross-front-end test can diff the two reply streams.
+fn threads_server_addr() -> SocketAddr {
+    static SERVER: OnceLock<SocketAddr> = OnceLock::new();
+    *SERVER.get_or_init(|| {
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_depth: 512,
+            programs_dir: Some("programs".into()),
+            front_end: FrontEnd::Threads,
             ..ServeConfig::default()
         };
         let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
@@ -283,6 +302,252 @@ fn metrics_roundtrip_and_endpoint_scrape() {
     }
     let mut c = serve::Client::connect(addr).unwrap();
     c.shutdown().unwrap().expect_ok().unwrap();
+    handle.join().unwrap();
+}
+
+/// Writes `bytes` to a raw socket in `chunk`-sized pieces with small
+/// pauses (forcing the server to see arbitrary partial-line read
+/// boundaries), then reads exactly `expected` framed replies.
+fn drive_raw(addr: SocketAddr, bytes: &[u8], chunk: usize, expected: usize) -> Vec<String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    for piece in bytes.chunks(chunk) {
+        s.write_all(piece).unwrap();
+        std::thread::sleep(std::time::Duration::from_micros(300));
+    }
+    let mut buf = Vec::new();
+    let mut replies = Vec::new();
+    let mut cur: Vec<String> = Vec::new();
+    let mut scan = 0usize;
+    while replies.len() < expected {
+        // Pull complete lines out of what has arrived so far.
+        while let Some(nl) = buf[scan..].iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&buf[scan..scan + nl])
+                .trim_end_matches('\r')
+                .to_string();
+            scan += nl + 1;
+            let first = cur.is_empty();
+            cur.push(line);
+            let done = if first {
+                let head = cur.last().unwrap();
+                ["OK", "ERR", "BUSY", "OVERLOADED"]
+                    .iter()
+                    .any(|p| head == p || head.starts_with(&format!("{p} ")))
+            } else {
+                cur.last().unwrap() == "END"
+            };
+            if done {
+                replies.push(std::mem::take(&mut cur).join("\n"));
+            }
+        }
+        if replies.len() >= expected {
+            break;
+        }
+        let mut tmp = [0u8; 4096];
+        let n = s.read(&mut tmp).unwrap();
+        assert!(n > 0, "EOF after {} of {expected} replies", replies.len());
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    replies
+}
+
+/// Replaces the per-connection session id so reply streams from different
+/// connections (and servers) compare equal.
+fn normalize_session_ids(replies: &[String]) -> Vec<String> {
+    replies
+        .iter()
+        .map(|r| match r.find("session ") {
+            Some(at) => {
+                let digits = r[at + 8..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .count();
+                format!("{}session N{}", &r[..at], &r[at + 8 + digits..])
+            }
+            None => r.clone(),
+        })
+        .collect()
+}
+
+/// The satellite test: a script covering an inline `OPEN -` body, a
+/// `BATCH` body (including a mid-body parse error), and every common
+/// verb, delivered at byte granularities that split lines, bodies, and
+/// even UTF-8-safe ASCII tokens across reads. All chunkings on both
+/// front-ends must produce the identical reply stream.
+#[test]
+fn fragmented_writes_parse_identically_on_both_front_ends() {
+    let script = "OPEN - vs2\n\
+        (literalize a x y)\n\
+        (literalize b x y)\n\
+        (p join (a ^x <x> ^y <y>) (b ^x <x>) --> (halt))\n\
+        end\n\
+        ASSERT a ^x 1 ^y 2\n\
+        BATCH\n\
+        ASSERT a ^x 2 ^y 1\n\
+        ASSERT b ^x 1 ^y 0\n\
+        END\n\
+        BATCH\n\
+        ASSERT a ^x 3 ^y 3\n\
+        RUN 1\n\
+        END\n\
+        RUN 0\n\
+        CS?\n\
+        WM? a\n\
+        NOSUCHVERB\n\
+        CLOSE\n";
+    // Replies: OPEN, ASSERT, BATCH, BATCH-error, stray END, RUN, CS?,
+    // WM?, parse error, CLOSE.
+    let expected = 10;
+    let mut streams = Vec::new();
+    for addr in [server_addr(), threads_server_addr()] {
+        for chunk in [1usize, 3, 7, 4096] {
+            let replies = drive_raw(addr, script.as_bytes(), chunk, expected);
+            assert!(
+                replies[0].starts_with("OK session "),
+                "OPEN reply: {}",
+                replies[0]
+            );
+            assert!(
+                replies[3].starts_with("ERR BATCH line 2:"),
+                "batch abort reply: {}",
+                replies[3]
+            );
+            assert!(
+                replies[4].contains("END outside BATCH"),
+                "stray END reply: {}",
+                replies[4]
+            );
+            streams.push(normalize_session_ids(&replies));
+        }
+    }
+    for s in &streams[1..] {
+        assert_eq!(
+            s, &streams[0],
+            "reply stream diverged across chunkings/front-ends"
+        );
+    }
+}
+
+/// `RESTORE` bodies (snapshot text, which itself contains a lowercase
+/// `end` terminator line) survive arbitrary read boundaries on both
+/// front-ends, and the restored sessions behave identically.
+#[test]
+fn fragmented_restore_parses_identically_on_both_front_ends() {
+    // Capture a mid-run snapshot once, from a session on the reactor
+    // server.
+    let mut c = serve::Client::connect(server_addr()).unwrap();
+    c.open("blocks", Some("vs2")).unwrap().expect_ok().unwrap();
+    c.run(5).unwrap().expect_ok().unwrap();
+    let snapshot = c.snapshot().unwrap().expect_lines().unwrap();
+    c.close().unwrap().expect_ok().unwrap();
+
+    let mut script = String::from("RESTORE blocks vs2\n");
+    for l in &snapshot {
+        script.push_str(l);
+        script.push('\n');
+    }
+    script.push_str("END\nRUN 0\nFIRED?\nCLOSE\n");
+    let expected = 4; // RESTORE, RUN, FIRED?, CLOSE
+
+    let mut streams = Vec::new();
+    for addr in [server_addr(), threads_server_addr()] {
+        for chunk in [7usize, 64, 997] {
+            let replies = drive_raw(addr, script.as_bytes(), chunk, expected);
+            assert!(
+                replies[0].starts_with("OK session ") && replies[0].contains("replayed="),
+                "RESTORE reply: {}",
+                replies[0]
+            );
+            streams.push(normalize_session_ids(&replies));
+        }
+    }
+    for s in &streams[1..] {
+        assert_eq!(
+            s, &streams[0],
+            "restore stream diverged across chunkings/front-ends"
+        );
+    }
+}
+
+/// The reactor front-end's slow-client guard: a connection that floods
+/// commands without ever reading replies is eventually cut off with a
+/// final `ERR overloaded` instead of buffering without bound.
+#[test]
+fn slow_client_is_disconnected_with_final_error() {
+    use std::io::{Read, Write};
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 512,
+        programs_dir: Some("programs".into()),
+        // Tiny outbound cap so the test trips it quickly.
+        write_buf_cap: 2048,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+    let addr = handle.addr;
+
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    // Build a session whose WM? dump is a few KB, then flood WM? without
+    // ever reading a reply: the outbound data dwarfs the kernel socket
+    // buffers, so the server-side write buffer must hit its cap.
+    let mut setup =
+        String::from("OPEN - vs2\n(literalize a x)\n(p never (a ^x -1) --> (halt))\nEND\nBATCH\n");
+    for i in 0..200 {
+        setup.push_str(&format!("ASSERT a ^x {i}\n"));
+    }
+    setup.push_str("END\nRUN 0\n");
+    s.write_all(setup.as_bytes()).unwrap();
+    let mut tripped = false;
+    for _ in 0..5000 {
+        if s.write_all(b"WM?\n").is_err() {
+            // Server already closed on us (RST after the final ERR).
+            tripped = true;
+            break;
+        }
+    }
+    // Now drain. A server without the guard would keep the connection
+    // open forever (we time out); the guarded server terminates it —
+    // ideally after a final `ERR overloaded`, though the close may reach
+    // us as a reset that discards the tail.
+    let mut all = Vec::new();
+    let mut tmp = [0u8; 65536];
+    let mut timed_out = false;
+    loop {
+        match s.read(&mut tmp) {
+            Ok(0) => break,
+            Ok(n) => all.extend_from_slice(&tmp[..n]),
+            Err(e) => {
+                timed_out = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                );
+                break;
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&all);
+    let saw_final_err = text
+        .lines()
+        .rev()
+        .find(|l| !l.is_empty())
+        .map(|l| l.starts_with("ERR overloaded"))
+        .unwrap_or(false);
+    // Any non-timeout termination counts as a cut-off: the server may close
+    // with unread input queued, which sends RST and can discard the final
+    // `ERR overloaded` line before we read it.
+    assert!(
+        !timed_out,
+        "slow client was never cut off (tripped={tripped}, saw_final_err={saw_final_err})"
+    );
+
+    let mut shut = serve::Client::connect(addr).unwrap();
+    shut.shutdown().unwrap().expect_ok().unwrap();
     handle.join().unwrap();
 }
 
