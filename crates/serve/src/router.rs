@@ -26,26 +26,36 @@
 //! point — no requests in flight, top-level framing — and replays the
 //! durable-session machinery over the wire: `SNAPSHOT?` on the old
 //! backend, `CLOSE`, then `RESTORE <program> [matcher]` + snapshot + `END`
-//! on the ring's new target. Client lines that arrive mid-drain simply
-//! wait in the read buffer and resume against the new backend; the client
-//! observes nothing but latency. Sessions opened with an inline `OPEN -`
-//! program have no registry name to `RESTORE` from and are failed loudly
-//! instead of silently losing state.
+//! on the ring's new target. A pair that is mid command when the drain
+//! lands keeps forwarding until the command (and any multi-line body)
+//! completes and its replies return; only then does it hold new input and
+//! move. The blocking snapshot/restore conversation itself runs on a
+//! helper thread per migrating pair — never on the reactor — and the
+//! rebuilt backend is handed back through a [`reactor::Waker`], so a slow
+//! or hung backend during a drain cannot stall unrelated connections.
+//! Client lines that arrive while the backend is in transit wait in the
+//! read buffer and resume against the new backend; the client observes
+//! nothing but latency. Sessions opened with an inline `OPEN -` program
+//! have no registry name to `RESTORE` from and are failed loudly instead
+//! of silently losing state.
 //!
 //! `SHUTDOWN` from ordinary clients is refused (one tenant must not take
 //! down a shared backend); `ADMIN SHUTDOWN` stops the router and forwards
 //! the shutdown to every live backend.
 
 use crate::protocol::{parse_line, Line};
-use reactor::{Events, Interest, LineBuf, Poll, Token, WriteBuf};
+use reactor::{Events, Interest, LineBuf, Poll, Token, Waker, WriteBuf};
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 const LISTENER: Token = Token(0);
+/// Migration helper threads kick the poll loop through this token.
+const MIG_WAKER: Token = Token(1);
 /// Pair tokens start here: client = `BASE + 2*idx`, backend = `+1`.
 const PAIR_BASE: usize = 2;
 
@@ -172,6 +182,8 @@ impl Router {
         self.listener.set_nonblocking(true)?;
         let poll = Poll::new()?;
         poll.register(self.listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+        let mig_waker = Arc::new(Waker::new(&poll, MIG_WAKER)?);
+        let (mig_tx, mig_rx) = mpsc::channel::<MigDone>();
         let mut state = State {
             ring: HashRing::new(self.cfg.backends.len(), self.cfg.replicas.max(1)),
             live: vec![true; self.cfg.backends.len()],
@@ -180,6 +192,8 @@ impl Router {
             migrations: 0,
             migration_failures: 0,
             stop: false,
+            mig_tx,
+            mig_waker: mig_waker.clone(),
         };
         let mut events = Events::with_capacity(256);
         let mut pairs: Vec<Option<Pair>> = Vec::new();
@@ -225,6 +239,7 @@ impl Router {
                             pairs[idx] = Some(Pair::new(key, stream));
                         }
                     }
+                    MIG_WAKER => mig_waker.drain(),
                     Token(t) => {
                         let idx = (t - PAIR_BASE) / 2;
                         let is_backend = (t - PAIR_BASE) % 2 == 1;
@@ -235,12 +250,51 @@ impl Router {
                             if ev.is_readable() {
                                 backend_read(pair);
                             }
-                        } else if ev.is_readable() && !pair.stop_input {
+                        } else if ev.is_readable() && !pair.stop_input && !pair.client_eof {
                             client_read(pair);
                         }
                         touched.push(idx);
                     }
                 }
+            }
+
+            // Collect backends rebuilt by migration helper threads. The
+            // (idx, key) pair guards against slot reuse: a result for a
+            // connection that died mid-migration is silently dropped.
+            while let Ok(done) = mig_rx.try_recv() {
+                let Some(pair) = pairs.get_mut(done.idx).and_then(Option::as_mut) else {
+                    continue;
+                };
+                if pair.key != done.key || !pair.migrating {
+                    continue;
+                }
+                pair.migrating = false;
+                match done.result {
+                    Ok((stream, rd)) => {
+                        let b = Backend {
+                            stream,
+                            rd,
+                            wr: WriteBuf::new(),
+                            interest: Interest::READABLE,
+                        };
+                        if poll
+                            .register(
+                                b.stream.as_raw_fd(),
+                                Token(PAIR_BASE + 2 * done.idx + 1),
+                                Interest::READABLE,
+                            )
+                            .is_ok()
+                        {
+                            pair.backend = Some(b);
+                            pair.backend_idx = done.target;
+                            state.migrations += 1;
+                        } else {
+                            fail_migration(pair, &mut state, "register migrated backend");
+                        }
+                    }
+                    Err(e) => fail_migration(pair, &mut state, &e),
+                }
+                touched.push(done.idx);
             }
 
             if state.stop && stopping.is_none() {
@@ -297,6 +351,20 @@ struct State {
     migrations: u64,
     migration_failures: u64,
     stop: bool,
+    /// Helper threads report rebuilt backends here…
+    mig_tx: mpsc::Sender<MigDone>,
+    /// …and kick the poll loop so the result is collected promptly.
+    mig_waker: Arc<Waker>,
+}
+
+/// Result of one off-reactor migration conversation.
+struct MigDone {
+    idx: usize,
+    /// The pair's connection key at spawn time; stale results for a
+    /// recycled slot must not be delivered.
+    key: u64,
+    target: usize,
+    result: Result<(TcpStream, LineBuf), String>,
 }
 
 /// Client→backend framing, mirroring the server's body modes so request
@@ -309,9 +377,17 @@ enum CMode {
 }
 
 /// Backend→client reply framing.
+#[derive(Clone, Copy)]
 enum RMode {
     Idle,
-    Multi,
+    /// Inside a multi-line reply. Every multi-line head declares its body
+    /// length (`SNAPSHOT <n>`, `METRICS <n>`, …), so `remaining` counts
+    /// down to the `END` terminator instead of scanning for it — a body
+    /// line that happens to equal `END` cannot desync the framing. `None`
+    /// falls back to the terminator scan for a head with no parsable count.
+    Multi {
+        remaining: Option<usize>,
+    },
 }
 
 /// What an in-flight request will tell us when its reply lands.
@@ -367,7 +443,14 @@ struct Pair {
     info: Option<SessionInfo>,
     /// Set by `DRAIN`; cleared when the session lands on a live backend.
     migrate_pending: bool,
-    /// Stop parsing client input (client EOF or router stop).
+    /// A helper thread is rebuilding the backend elsewhere; input waits
+    /// in `c_rd` until the result comes back through the waker.
+    migrating: bool,
+    /// Client half-closed its write side: read no more, but keep routing
+    /// the lines already buffered and flush their replies before closing.
+    client_eof: bool,
+    /// Stop parsing client input (buffered lines drained after EOF,
+    /// migration failure, or router stop).
     stop_input: bool,
     /// Backend side is gone; close after the client buffer flushes.
     backend_gone: bool,
@@ -392,6 +475,8 @@ impl Pair {
             session_open: false,
             info: None,
             migrate_pending: false,
+            migrating: false,
+            client_eof: false,
             stop_input: false,
             backend_gone: false,
             dead: false,
@@ -420,9 +505,12 @@ fn client_read(pair: &mut Pair) {
         }
         match pair.c_rd.read_from(&mut pair.client) {
             Ok(0) => {
-                // Client hung up: its session dies with it, as on a
-                // direct connection.
-                pair.dead = true;
+                // Client finished sending. Commands already buffered
+                // still execute and their replies still flush — a
+                // pipelining client that half-closes its write side gets
+                // everything it would get on a direct connection; the
+                // pair winds down afterwards (service_pair/finished).
+                pair.client_eof = true;
                 break;
             }
             Ok(n) => {
@@ -481,15 +569,34 @@ fn backend_read(pair: &mut Pair) {
                 if single {
                     complete_reply(pair, &line);
                 } else {
-                    pair.r_mode = RMode::Multi;
+                    let declared = line
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|t| t.parse::<usize>().ok());
+                    pair.r_mode = RMode::Multi {
+                        remaining: declared,
+                    };
                 }
             }
-            RMode::Multi => {
-                if line == "END" {
+            RMode::Multi { remaining } => match remaining {
+                Some(0) => {
+                    // All declared body lines consumed: this line is the
+                    // END terminator.
                     pair.r_mode = RMode::Idle;
                     complete_reply(pair, "");
                 }
-            }
+                Some(n) => {
+                    pair.r_mode = RMode::Multi {
+                        remaining: Some(n - 1),
+                    };
+                }
+                None => {
+                    if line == "END" {
+                        pair.r_mode = RMode::Idle;
+                        complete_reply(pair, "");
+                    }
+                }
+            },
         }
     }
     if pair.backend_gone {
@@ -531,6 +638,9 @@ fn service_pair(pairs: &mut [Option<Pair>], idx: usize, state: &mut State, poll:
         };
         if matches!(pair.kind, PairKind::New) {
             let Some(line) = pair.c_rd.next_line() else {
+                if pair.client_eof {
+                    pair.stop_input = true;
+                }
                 return;
             };
             if line.trim().eq_ignore_ascii_case("ADMIN") {
@@ -555,16 +665,41 @@ fn service_pair(pairs: &mut [Option<Pair>], idx: usize, state: &mut State, poll:
         match pair.kind {
             PairKind::New => return,
             PairKind::Routed => {
-                if pair.migrate_pending && !try_migrate(pair, idx, state, poll) {
+                // Backend in transit on a helper thread: lines wait in
+                // the read buffer until the rebuilt backend lands.
+                if pair.migrating {
                     return;
                 }
+                if pair.migrate_pending {
+                    let at_top = matches!(pair.c_mode, CMode::Top);
+                    if at_top && pair.in_flight == 0 {
+                        // Safe point: hand the backend to a helper thread
+                        // (or resolve trivially) before routing more.
+                        if !try_migrate(pair, idx, state, poll) {
+                            return;
+                        }
+                    } else if at_top {
+                        // Hold new commands so the in-flight replies can
+                        // drain and the safe point converges.
+                        return;
+                    }
+                    // Mid multi-line body: keep forwarding below so the
+                    // command completes — holding its terminator would
+                    // deadlock the drain against the backend's reply.
+                }
                 let Some(line) = pair.c_rd.next_line() else {
+                    if pair.client_eof {
+                        pair.stop_input = true;
+                    }
                     return;
                 };
                 route_line(pair, line);
             }
             PairKind::Admin => {
                 let Some(line) = pair.c_rd.next_line() else {
+                    if pair.client_eof {
+                        pair.stop_input = true;
+                    }
                     return;
                 };
                 admin_line(pairs, idx, state, poll, line);
@@ -737,7 +872,10 @@ fn admin_line(
             let mut pairs_on = 0usize;
             let mut sessions_on = 0usize;
             for p in pairs.iter().flatten() {
-                if p.backend.is_some() && p.backend_idx == b {
+                // A pair whose backend is in transit still counts against
+                // its old backend: `DRAIN` pollers must not see the ring
+                // empty before every migration has actually resolved.
+                if (p.backend.is_some() || p.migrating) && p.backend_idx == b {
                     pairs_on += 1;
                     if p.session_open {
                         sessions_on += 1;
@@ -797,7 +935,8 @@ fn admin_line(
             .as_mut()
             .unwrap()
             .reply(&format!("OK draining backend {b} pairs={marked}"));
-        // Idle pairs move right now; busy ones at their next safe point.
+        // Idle pairs start migrating right now (each on its own helper
+        // thread); busy ones follow at their next safe point.
         for j in to_move {
             let Some(p) = pairs[j].as_mut() else { continue };
             if p.migrate_pending {
@@ -846,12 +985,15 @@ fn blocking_line(stream: &mut TcpStream, buf: &mut LineBuf) -> Result<String, St
 }
 
 /// Attempts the pending migration at a safe point (no requests in flight,
-/// top-level framing). Returns true when the pending flag cleared —
-/// migrated, or nothing needed to move. On failure the client gets a
-/// final `ERR` and the pair winds down: losing state silently would be
-/// worse than losing the connection loudly.
+/// top-level framing). Returns true when the pending flag cleared without
+/// leaving the reactor — nothing needed to move. Otherwise returns false:
+/// either the snapshot/restore conversation was handed to a helper thread
+/// (`migrating` set; the result comes back through the waker) or the
+/// migration failed, the client got a final `ERR`, and the pair winds
+/// down — losing state silently would be worse than losing the
+/// connection loudly.
 fn try_migrate(pair: &mut Pair, idx: usize, state: &mut State, poll: &Poll) -> bool {
-    if pair.in_flight > 0 || !matches!(pair.c_mode, CMode::Top) {
+    if pair.in_flight > 0 || !matches!(pair.c_mode, CMode::Top) || pair.migrating {
         return false;
     }
     let Some(target) = state
@@ -879,104 +1021,107 @@ fn try_migrate(pair: &mut Pair, idx: usize, state: &mut State, poll: &Poll) -> b
         return false;
     }
     let _ = poll.deregister(old.stream.as_raw_fd());
-    let mut old_stream = old.stream;
-    let mut old_rd = old.rd;
-    let result = (|| -> Result<Backend, String> {
-        let _ = old_stream.set_nonblocking(false);
-        let _ = old_stream.set_read_timeout(Some(MIGRATE_IO));
-        let _ = old_stream.set_write_timeout(Some(MIGRATE_IO));
-        // Capture state from the draining backend, then free it there.
-        let snapshot: Option<Vec<String>> = if pair.session_open {
-            old_stream
-                .write_all(b"SNAPSHOT?\n")
-                .map_err(|e| format!("snapshot request: {e}"))?;
-            let head = blocking_line(&mut old_stream, &mut old_rd)?;
-            if !head.starts_with("SNAPSHOT") {
-                return Err(format!("unexpected SNAPSHOT? reply: {head}"));
-            }
-            let mut body = Vec::new();
-            loop {
-                let l = blocking_line(&mut old_stream, &mut old_rd)?;
-                if l == "END" {
-                    break;
-                }
-                body.push(l);
-            }
-            old_stream
-                .write_all(b"CLOSE\n")
-                .map_err(|e| format!("close request: {e}"))?;
-            let _ = blocking_line(&mut old_stream, &mut old_rd)?;
-            Some(body)
-        } else {
-            None
-        };
-        // Rebuild on the ring's new owner.
-        let mut ns = TcpStream::connect(state.addrs[target])
-            .map_err(|e| format!("connect {}: {e}", state.addrs[target]))?;
-        let _ = ns.set_nodelay(true);
-        let _ = ns.set_read_timeout(Some(MIGRATE_IO));
-        let _ = ns.set_write_timeout(Some(MIGRATE_IO));
-        let mut nrd = LineBuf::new();
-        if let Some(body) = snapshot {
-            let info = pair.info.as_ref().expect("checked migratable");
-            let mut req = format!("RESTORE {}", info.program);
-            if let Some(m) = &info.matcher {
-                req.push(' ');
-                req.push_str(m);
-            }
-            req.push('\n');
-            let mut payload = req;
-            for l in &body {
-                payload.push_str(l);
-                payload.push('\n');
-            }
-            payload.push_str("END\n");
-            ns.write_all(payload.as_bytes())
-                .map_err(|e| format!("restore request: {e}"))?;
-            let reply = blocking_line(&mut ns, &mut nrd)?;
-            if !reply.starts_with("OK") {
-                return Err(format!("restore rejected: {reply}"));
-            }
+    pair.migrate_pending = false;
+    pair.migrating = true;
+    // The blocking conversation (SNAPSHOT?/CLOSE on the old backend,
+    // RESTORE on the new) runs off-reactor, one thread per migrating
+    // pair: a slow backend stalls only its own pair, and concurrent
+    // drains proceed in parallel. The result returns via the waker.
+    let tx = state.mig_tx.clone();
+    let waker = state.mig_waker.clone();
+    let target_addr = state.addrs[target];
+    let session_open = pair.session_open;
+    let info = pair.info.clone();
+    let key = pair.key;
+    std::thread::spawn(move || {
+        let result = migrate_conversation(old.stream, old.rd, session_open, info, target_addr);
+        let _ = tx.send(MigDone {
+            idx,
+            key,
+            target,
+            result,
+        });
+        let _ = waker.wake();
+    });
+    false
+}
+
+/// The blocking half of a migration: capture the session from the
+/// draining backend, free it there, and rebuild it on the ring's new
+/// owner. Runs on a helper thread — never on the reactor.
+fn migrate_conversation(
+    mut old_stream: TcpStream,
+    mut old_rd: LineBuf,
+    session_open: bool,
+    info: Option<SessionInfo>,
+    target_addr: SocketAddr,
+) -> Result<(TcpStream, LineBuf), String> {
+    let _ = old_stream.set_nonblocking(false);
+    let _ = old_stream.set_read_timeout(Some(MIGRATE_IO));
+    let _ = old_stream.set_write_timeout(Some(MIGRATE_IO));
+    // Capture state from the draining backend, then free it there.
+    let snapshot: Option<Vec<String>> = if session_open {
+        old_stream
+            .write_all(b"SNAPSHOT?\n")
+            .map_err(|e| format!("snapshot request: {e}"))?;
+        let head = blocking_line(&mut old_stream, &mut old_rd)?;
+        if !head.starts_with("SNAPSHOT") {
+            return Err(format!("unexpected SNAPSHOT? reply: {head}"));
         }
-        ns.set_nonblocking(true)
-            .map_err(|e| format!("nonblocking: {e}"))?;
-        let _ = ns.set_read_timeout(None);
-        let _ = ns.set_write_timeout(None);
-        Ok(Backend {
-            stream: ns,
-            rd: nrd,
-            wr: WriteBuf::new(),
-            interest: Interest::READABLE,
-        })
-    })();
-    match result {
-        Ok(nb) => {
-            if poll
-                .register(
-                    nb.stream.as_raw_fd(),
-                    Token(PAIR_BASE + 2 * idx + 1),
-                    Interest::READABLE,
-                )
-                .is_err()
-            {
-                fail_migration(pair, state, "register migrated backend");
-                return false;
+        let mut body = Vec::new();
+        loop {
+            let l = blocking_line(&mut old_stream, &mut old_rd)?;
+            if l == "END" {
+                break;
             }
-            pair.backend = Some(nb);
-            pair.backend_idx = target;
-            pair.migrate_pending = false;
-            state.migrations += 1;
-            true
+            body.push(l);
         }
-        Err(e) => {
-            fail_migration(pair, state, &e);
-            false
+        old_stream
+            .write_all(b"CLOSE\n")
+            .map_err(|e| format!("close request: {e}"))?;
+        let _ = blocking_line(&mut old_stream, &mut old_rd)?;
+        Some(body)
+    } else {
+        None
+    };
+    // Rebuild on the ring's new owner.
+    let mut ns =
+        TcpStream::connect(target_addr).map_err(|e| format!("connect {target_addr}: {e}"))?;
+    let _ = ns.set_nodelay(true);
+    let _ = ns.set_read_timeout(Some(MIGRATE_IO));
+    let _ = ns.set_write_timeout(Some(MIGRATE_IO));
+    let mut nrd = LineBuf::new();
+    if let Some(body) = snapshot {
+        let info = info.as_ref().expect("checked migratable");
+        let mut req = format!("RESTORE {}", info.program);
+        if let Some(m) = &info.matcher {
+            req.push(' ');
+            req.push_str(m);
+        }
+        req.push('\n');
+        let mut payload = req;
+        for l in &body {
+            payload.push_str(l);
+            payload.push('\n');
+        }
+        payload.push_str("END\n");
+        ns.write_all(payload.as_bytes())
+            .map_err(|e| format!("restore request: {e}"))?;
+        let reply = blocking_line(&mut ns, &mut nrd)?;
+        if !reply.starts_with("OK") {
+            return Err(format!("restore rejected: {reply}"));
         }
     }
+    ns.set_nonblocking(true)
+        .map_err(|e| format!("nonblocking: {e}"))?;
+    let _ = ns.set_read_timeout(None);
+    let _ = ns.set_write_timeout(None);
+    Ok((ns, nrd))
 }
 
 fn fail_migration(pair: &mut Pair, state: &mut State, why: &str) {
     state.migration_failures += 1;
+    pair.migrating = false;
     pair.reply(&format!("ERR migration failed: {why}"));
     pair.migrate_pending = false;
     pair.stop_input = true;
@@ -999,7 +1144,7 @@ fn pump_pair(pair: &mut Pair, idx: usize, poll: &Poll) {
         return;
     }
     let mut want = Interest::NONE;
-    if !pair.stop_input && pair.c_rd.len() <= BUF_CAP {
+    if !pair.stop_input && !pair.client_eof && pair.c_rd.len() <= BUF_CAP {
         want = want | Interest::READABLE;
     }
     if !pair.c_wr.is_empty() {

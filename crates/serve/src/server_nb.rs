@@ -21,7 +21,9 @@
 //! * A slow client costs memory, not a thread — and the memory is capped:
 //!   once the outbound buffer reaches [`ServeConfig::write_buf_cap`]
 //!   (checked before each append, so one oversized reply still goes out),
-//!   the connection is sent a final `ERR overloaded` and closed.
+//!   the connection is sent a final `ERR overloaded` and closed — or
+//!   force-closed after [`OVERLOAD_GRACE`] if the client never reads even
+//!   that, so a stalled peer cannot pin the fd and buffer indefinitely.
 //!
 //! Backpressure is unchanged from the thread front-end: the pool's
 //! per-session inbox (`OVERLOADED`) and global run queue (`BUSY`) answer
@@ -53,6 +55,14 @@ const CONN_BASE: usize = 2;
 const TICK: Duration = Duration::from_millis(100);
 /// After `SHUTDOWN`, how long connections get to flush queued replies.
 const DRAIN_GRACE: Duration = Duration::from_secs(10);
+/// How long an overloaded connection gets to drain its final
+/// `ERR overloaded` before being force-closed — the reactor's analogue of
+/// the thread front-end's `WRITE_STALL` write timeout. Without it, a
+/// client that never reads pins the fd and up to `write_buf_cap` bytes
+/// forever.
+const OVERLOAD_GRACE: Duration = Duration::from_secs(5);
+/// How often the loop sweeps for expired overload deadlines.
+const OVERLOAD_SCAN: Duration = Duration::from_millis(500);
 /// Reads per readable event before yielding back to the loop; leftover
 /// data re-fires under level triggering, so this is fairness, not loss.
 const READS_PER_EVENT: usize = 8;
@@ -119,6 +129,9 @@ struct Conn {
     dead: bool,
     /// Slow client: final `ERR overloaded` queued, replies dropped.
     overloaded: bool,
+    /// When `overloaded` was set plus [`OVERLOAD_GRACE`]: the connection
+    /// is force-closed if the final `ERR` has not flushed by then.
+    overload_deadline: Option<Instant>,
 }
 
 impl Conn {
@@ -137,6 +150,7 @@ impl Conn {
             stop_input: false,
             dead: false,
             overloaded: false,
+            overload_deadline: None,
         }
     }
 
@@ -180,6 +194,7 @@ pub(crate) fn run(listener: TcpListener, shared: &Arc<Shared>) -> io::Result<()>
     let mut by_id: HashMap<u64, usize> = HashMap::new();
     let mut next_id: u64 = 1;
     let mut draining: Option<Instant> = None;
+    let mut next_overload_scan = Instant::now() + OVERLOAD_SCAN;
 
     loop {
         poll.poll(&mut events, Some(TICK))?;
@@ -296,6 +311,25 @@ pub(crate) fn run(listener: TcpListener, shared: &Arc<Shared>) -> io::Result<()>
                 if let Some(conn) = c {
                     conn.stop_input = true;
                     touched.push(idx);
+                }
+            }
+        }
+
+        // Sweep overload deadlines: an overloaded connection whose client
+        // never drains the final `ERR` must not hold its fd and buffer
+        // forever. Rate-limited so the sweep stays off the hot path.
+        let now = Instant::now();
+        if now >= next_overload_scan {
+            next_overload_scan = now + OVERLOAD_SCAN;
+            for (idx, c) in conns.iter_mut().enumerate() {
+                if let Some(conn) = c {
+                    if conn
+                        .overload_deadline
+                        .is_some_and(|d| now > d && !conn.wr.is_empty())
+                    {
+                        conn.dead = true;
+                        touched.push(idx);
+                    }
                 }
             }
         }
@@ -578,6 +612,7 @@ fn pump(conn: &mut Conn, idx: usize, shared: &Arc<Shared>, poll: &Poll) {
                 c.slow_client_closes.inc();
             }
             conn.overloaded = true;
+            conn.overload_deadline = Some(Instant::now() + OVERLOAD_GRACE);
             conn.stop_input = true;
             conn.pending.clear();
             conn.wr.push(

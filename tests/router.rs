@@ -42,6 +42,19 @@ fn run_to_completion(c: &mut Client) -> Vec<String> {
     c.fired().unwrap().expect_lines().unwrap()
 }
 
+/// Polls `RING?` until backend `b` has no attached pairs (drain resolved)
+/// or a deadline expires; returns the final ring listing either way.
+fn wait_for_drain(admin: &mut Client, b: usize) -> Vec<String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let ring = admin.request("RING?").unwrap().expect_lines().unwrap();
+        if ring_field(&ring, b, "pairs") == Some(0) || std::time::Instant::now() > deadline {
+            return ring;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
 fn ring_field(lines: &[String], backend: usize, key: &str) -> Option<u64> {
     lines
         .iter()
@@ -133,9 +146,10 @@ fn drain_live_migrates_sessions_without_losing_state() {
     let on_b0 = ring_field(&before, 0, "pairs").unwrap();
 
     admin.request("DRAIN 0").unwrap().expect_ok().unwrap();
-    // Every session is idle (between requests), so the drain migrates
-    // synchronously; RING? must show backend 0 empty and dead.
-    let after = admin.request("RING?").unwrap().expect_lines().unwrap();
+    // Migrations run off the reactor on helper threads, so the drain is
+    // asynchronous: poll RING? until backend 0 reports no attached pairs
+    // (mid-transit pairs still count against it until they land).
+    let after = wait_for_drain(&mut admin, 0);
     assert_eq!(ring_field(&after, 0, "pairs"), Some(0), "{after:?}");
     assert!(after[0].contains("live=false"), "{after:?}");
 
@@ -204,6 +218,125 @@ fn router_guardrails() {
         other => panic!("expected ERR, got {other:?}"),
     }
 
+    admin.request("SHUTDOWN").unwrap().expect_ok().unwrap();
+    router.join().unwrap();
+    b0.join().unwrap();
+}
+
+/// Regression: a `DRAIN` that lands while a pair is inside a multi-line
+/// command (here: an open `BATCH` body) must let the command finish —
+/// the router keeps forwarding body lines (and the terminator) so the
+/// backend can reply, and only then migrates at the safe point. The old
+/// behavior held *all* input once the drain was pending, so the `END`
+/// never reached the backend and the connection hung forever.
+#[test]
+fn drain_mid_batch_completes_then_migrates() {
+    let b0 = backend();
+    let b1 = backend();
+    let router = Router::bind("127.0.0.1:0", RouterConfig::new(vec![b0.addr, b1.addr]))
+        .unwrap()
+        .spawn();
+    let addr: SocketAddr = router.addr;
+
+    let mut c = Client::connect(addr).unwrap();
+    c.open("blocks", Some("psm")).unwrap().expect_ok().unwrap();
+    c.run(30).unwrap().expect_ok().unwrap();
+
+    // Open a BATCH but do not terminate it yet, then give the router a
+    // moment to route the line so the pair is genuinely mid-body.
+    c.send_line("BATCH").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    let mut admin = Client::connect(addr).unwrap();
+    admin.request("ADMIN").unwrap().expect_ok().unwrap();
+    let ring = admin.request("RING?").unwrap().expect_lines().unwrap();
+    let on = if ring_field(&ring, 0, "pairs") == Some(1) {
+        0
+    } else {
+        1
+    };
+    admin
+        .request(&format!("DRAIN {on}"))
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+
+    // The batch must still complete: its terminator flows through and the
+    // backend's reply comes back before the session moves.
+    c.send_line("END").unwrap();
+    c.read_reply().unwrap().expect_ok().unwrap();
+
+    let after = wait_for_drain(&mut admin, on);
+    assert_eq!(ring_field(&after, on, "pairs"), Some(0), "{after:?}");
+    let stats = admin.request("STATS?").unwrap().expect_lines().unwrap();
+    let failures: u64 = stats
+        .iter()
+        .find_map(|l| l.strip_prefix("migration_failures "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    assert_eq!(failures, 0, "{stats:?}");
+
+    // The migrated session runs to the same firing log as a direct run.
+    let reference = reference_fired("blocks");
+    let fired = run_to_completion(&mut c);
+    assert_eq!(fired, reference, "blocks diverged across mid-batch drain");
+    c.close().unwrap().expect_ok().unwrap();
+
+    admin.request("SHUTDOWN").unwrap().expect_ok().unwrap();
+    router.join().unwrap();
+    b0.join().unwrap();
+    b1.join().unwrap();
+}
+
+/// Regression: a pipelining client that half-closes its write side must
+/// still receive every reply it is owed, exactly as on a direct
+/// connection. The old router treated client EOF as connection death and
+/// discarded queued and in-flight replies.
+#[test]
+fn half_closed_client_still_receives_pipelined_replies() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let b0 = backend();
+    let router = Router::bind("127.0.0.1:0", RouterConfig::new(vec![b0.addr]))
+        .unwrap()
+        .spawn();
+
+    let s = std::net::TcpStream::connect(router.addr).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let mut w = s.try_clone().unwrap();
+    w.write_all(b"OPEN blocks psm\nRUN 0\nSTATS?\nFIRED?\nCLOSE\n")
+        .unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut r = BufReader::new(s);
+    loop {
+        let mut line = String::new();
+        match r.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => lines.push(line.trim_end().to_string()),
+            Err(e) => panic!("reply stream died early after {lines:?}: {e}"),
+        }
+    }
+    // Replies, in order: OPEN, RUN, STATS? (all OK), the FIRED?
+    // multi-line block, and the CLOSE acknowledgement.
+    let oks = lines.iter().filter(|l| l.starts_with("OK ")).count();
+    assert_eq!(oks, 4, "expected 4 OK replies, got {lines:?}");
+    assert!(
+        lines.iter().any(|l| l.starts_with("FIRED ")),
+        "missing FIRED? reply: {lines:?}"
+    );
+    assert!(
+        lines
+            .last()
+            .map(|l| l.starts_with("OK closed"))
+            .unwrap_or(false),
+        "CLOSE reply must be last: {lines:?}"
+    );
+
+    let mut admin = Client::connect(router.addr).unwrap();
+    admin.request("ADMIN").unwrap().expect_ok().unwrap();
     admin.request("SHUTDOWN").unwrap().expect_ok().unwrap();
     router.join().unwrap();
     b0.join().unwrap();

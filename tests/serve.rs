@@ -551,6 +551,77 @@ fn slow_client_is_disconnected_with_final_error() {
     handle.join().unwrap();
 }
 
+/// Regression: an overloaded reactor connection whose client *never*
+/// reads must be force-closed after the overload grace period — it must
+/// not keep WRITABLE-only interest and pin the fd plus up to
+/// `write_buf_cap` bytes indefinitely. The close arrives as a reset
+/// (unread input is queued server-side), so the first read after the
+/// grace period fails instead of returning buffered reply bytes.
+#[test]
+fn overloaded_connection_is_force_closed_if_never_drained() {
+    use std::io::{Read, Write};
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 512,
+        programs_dir: Some("programs".into()),
+        write_buf_cap: 2048,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+    let addr = handle.addr;
+
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let mut setup =
+        String::from("OPEN - vs2\n(literalize a x)\n(p never (a ^x -1) --> (halt))\nEND\nBATCH\n");
+    for i in 0..200 {
+        setup.push_str(&format!("ASSERT a ^x {i}\n"));
+    }
+    setup.push_str("END\nRUN 0\n");
+    s.write_all(setup.as_bytes()).unwrap();
+    for _ in 0..5000 {
+        if s.write_all(b"WM?\n").is_err() {
+            break;
+        }
+    }
+    // Never read. Past OVERLOAD_GRACE (5s) plus the sweep cadence, the
+    // server must have torn the connection down on its own.
+    std::thread::sleep(std::time::Duration::from_secs(7));
+    let mut tmp = [0u8; 65536];
+    let mut force_closed = false;
+    for _ in 0..64 {
+        match s.read(&mut tmp) {
+            Ok(0) => {
+                force_closed = true;
+                break;
+            }
+            Ok(_) => continue, // kernel-buffered bytes from before the close
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break;
+            }
+            Err(_) => {
+                force_closed = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        force_closed,
+        "overloaded connection was still alive 7s after the cut-off"
+    );
+
+    let mut shut = serve::Client::connect(addr).unwrap();
+    shut.shutdown().unwrap().expect_ok().unwrap();
+    handle.join().unwrap();
+}
+
 const PROP_SRC: &str = "(literalize a x y)
 (literalize b x y)
 (p join (a ^x <x> ^y <y>) (b ^x <x>) --> (halt))
