@@ -1,7 +1,7 @@
 //! Cross-matcher match-performance suite.
 //!
-//! Runs Weaver, Rubik, and Tourney on all four matchers (vs1, vs2, lisp,
-//! psm-e) and reports per-change and per-cycle wall times plus heap
+//! Runs Weaver, Rubik, and Tourney on all five matchers (vs1, vs2, lisp,
+//! psm-e, col) and reports per-change and per-cycle wall times plus heap
 //! allocation counts, writing `BENCH_match.json` — the seed point for the
 //! repo's match-perf trajectory (EXPERIMENTS.md tracks before/after numbers
 //! per optimization PR).
@@ -9,15 +9,29 @@
 //! Run with: `cargo run --release -p bench --bin match_perf`
 //! CI smoke:  `cargo run --release -p bench --bin match_perf -- --smoke`
 //!
+//! The batched-replay section records the exact WME-change stream a vs2 run
+//! pushes through the match, then replays it re-chunked into batches of 64
+//! into fresh vs2 and col matchers — the collection-oriented workload the
+//! columnar matcher is built for. Under `--smoke` it gates on col beating
+//! vs2 per-change on Weaver at batch-64 with no more allocations per change;
+//! rows land in `BENCH_match.json` under `"col_batch"`.
+//!
 //! `--profile` adds the observability pass: every workload x matcher pair is
 //! re-run twice — metrics disabled (baseline) and enabled — reporting the
 //! overhead of the obs layer and the top hottest join nodes per pair (named
 //! by owning production), appended to `BENCH_match.json` under `"profile"`.
-//! Under `--smoke` the pass gates on allocs/change ratio <= 1.05 and on
-//! every histogram snapshot validating.
+//! For col it also reports the `col_bucket_scan_len` histogram: how many
+//! entries each bucket scan examined, the dial that tells whether the value
+//! index is actually partitioning the memories. Under `--smoke` the pass
+//! gates on allocs/change ratio <= 1.05 and on every histogram snapshot
+//! validating.
 
+use engine::EngineBuilder;
+use ops5::{ChangeBatch, CsChange, MatchStats, Matcher, QuiesceReport, WmeChange};
+use rete::network::Network;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use workloads::{rubik, tourney, weaver, MatcherChoice, Workload};
 
@@ -247,6 +261,230 @@ fn rete_comparison(w: &Workload, smoke: bool) {
     }
 }
 
+/// Wrapper that logs every submitted change in order, then delegates — the
+/// same recording trick as `benches/batching.rs`, so the replay section
+/// measures the matchers on the exact post-annihilation stream a real run
+/// produces rather than on synthetic batches.
+struct Recorder {
+    inner: Box<dyn Matcher>,
+    log: Arc<Mutex<Vec<WmeChange>>>,
+}
+
+impl Matcher for Recorder {
+    fn submit(&mut self, batch: &ChangeBatch) {
+        self.log.lock().unwrap().extend(batch.iter().cloned());
+        self.inner.submit(batch);
+    }
+    fn quiesce(&mut self) -> QuiesceReport {
+        self.inner.quiesce()
+    }
+    fn stats(&self) -> MatchStats {
+        self.inner.stats()
+    }
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats()
+    }
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+}
+
+/// Runs a workload once under vs2 and returns the compiled network plus the
+/// change stream the matcher actually saw.
+fn record_stream(w: &Workload) -> (Arc<Network>, Vec<WmeChange>) {
+    let log: Arc<Mutex<Vec<WmeChange>>> = Arc::default();
+    let log2 = log.clone();
+    let mut eng = EngineBuilder::from_source(&w.source)
+        .expect("parse")
+        .custom_matcher(move |net| {
+            Box::new(Recorder {
+                inner: rete::seq::boxed_vs2(net, rete::HashMemConfig::default()),
+                log: log2,
+            })
+        })
+        .build()
+        .expect("build");
+    for wme in &w.setup {
+        let sets: Vec<(String, ops5::Value)> = wme
+            .sets
+            .iter()
+            .map(|(a, v)| {
+                let val = match v {
+                    workloads::SetupVal::Sym(s) => eng.sym(s),
+                    workloads::SetupVal::Int(i) => ops5::Value::Int(*i),
+                };
+                (a.clone(), val)
+            })
+            .collect();
+        let refs: Vec<(&str, ops5::Value)> = sets.iter().map(|(a, v)| (a.as_str(), *v)).collect();
+        eng.make_wme(&wme.class, &refs).expect("setup wme");
+    }
+    eng.run(w.max_cycles).expect("run");
+    let stream = std::mem::take(&mut *log.lock().unwrap());
+    (eng.network().clone(), stream)
+}
+
+/// Replays a stream in chunks of `batch` changes, quiescing after each, and
+/// returns the total number of conflict-set changes the matcher emitted plus
+/// a hash chained over the *folded* conflict-set state after every chunk —
+/// the cross-matcher agreement check for the replay harness. Raw change
+/// counts are not comparable across matchers at batch > 1: a set-at-a-time
+/// matcher may never emit an instantiation that a change-at-a-time matcher
+/// inserts and then removes within the same chunk. Folding is what the
+/// engine observes, so per-chunk folded state is the equivalence that
+/// matters.
+fn replay(m: &mut dyn Matcher, stream: &[WmeChange], batch: usize) -> (usize, u64) {
+    use std::collections::BTreeSet;
+    use std::hash::{Hash, Hasher};
+    let mut cs = 0;
+    let mut state: BTreeSet<(ops5::ProdId, Vec<u64>)> = BTreeSet::new();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for chunk in stream.chunks(batch) {
+        m.submit(&chunk.iter().cloned().collect::<ChangeBatch>());
+        for c in m.quiesce().cs_changes {
+            cs += 1;
+            match c {
+                CsChange::Insert(i) => {
+                    state.insert(i.key());
+                }
+                CsChange::Remove(i) => {
+                    state.remove(&i.key());
+                }
+            }
+        }
+        state.hash(&mut h);
+    }
+    (cs, h.finish())
+}
+
+/// One matcher's replay measurement at one batch size.
+struct ColBatchRow {
+    program: &'static str,
+    matcher: &'static str,
+    batch: usize,
+    wall_s: f64,
+    changes: u64,
+    per_change_us: f64,
+    allocs_per_change: f64,
+    cs_changes: usize,
+    fold_sig: u64,
+}
+
+const COL_BATCH: usize = 64;
+const COL_REPS: usize = 5;
+
+/// Measures one matcher replaying `stream` at `COL_BATCH`, best-of-`COL_REPS`
+/// wall time. Allocation counts are deterministic per rep, so the last rep's
+/// count stands for all of them.
+fn col_batch_row(
+    program: &'static str,
+    matcher: &'static str,
+    make: &dyn Fn() -> Box<dyn Matcher>,
+    stream: &[WmeChange],
+) -> ColBatchRow {
+    let mut wall_s = f64::INFINITY;
+    let mut allocs = 0u64;
+    let mut cs_changes = 0usize;
+    let mut fold_sig = 0u64;
+    for _ in 0..COL_REPS {
+        let mut m = make();
+        let (a0, _) = alloc_snapshot();
+        let started = Instant::now();
+        (cs_changes, fold_sig) = replay(m.as_mut(), stream, COL_BATCH);
+        wall_s = wall_s.min(started.elapsed().as_secs_f64());
+        let (a1, _) = alloc_snapshot();
+        allocs = a1 - a0;
+    }
+    let changes = stream.len().max(1) as u64;
+    ColBatchRow {
+        program,
+        matcher,
+        batch: COL_BATCH,
+        wall_s,
+        changes,
+        per_change_us: wall_s * 1e6 / changes as f64,
+        allocs_per_change: allocs as f64 / changes as f64,
+        cs_changes,
+        fold_sig,
+    }
+}
+
+/// Batched-replay comparison: vs2 vs col on the recorded Weaver and Tourney
+/// change streams at batch-64 — the set-at-a-time workload the columnar
+/// matcher targets. Under `--smoke` gates on col strictly beating vs2
+/// per-change on Weaver and allocating no more per change on either program.
+fn col_batch_comparison(programs: &[(&'static str, Workload)], smoke: bool) -> Vec<ColBatchRow> {
+    bench::header("Batched replay: vs2 vs col (recorded change streams, batch-64)");
+    println!(
+        "{:<8} {:<6} {:>6} {:>9} {:>9} {:>11} {:>12} {:>10}",
+        "PROGRAM", "ENGINE", "batch", "wall(s)", "changes", "us/change", "allocs/chg", "cs-chgs"
+    );
+    let mut rows = Vec::new();
+    for (name, w) in programs {
+        if *name != "Weaver" && *name != "Tourney" {
+            continue;
+        }
+        let (net, stream) = record_stream(w);
+        assert!(
+            stream.len() > 100,
+            "{name}: recorded stream too small to measure"
+        );
+        let vs2_make: Box<dyn Fn() -> Box<dyn Matcher>> = Box::new({
+            let net = net.clone();
+            move || rete::seq::boxed_vs2(net.clone(), rete::HashMemConfig::default())
+        });
+        let col_make: Box<dyn Fn() -> Box<dyn Matcher>> = Box::new({
+            let net = net.clone();
+            move || rete::colmatch::boxed_col(net.clone())
+        });
+        for (label, make) in [("vs2", &vs2_make), ("col", &col_make)] {
+            let row = col_batch_row(name, label, make.as_ref(), &stream);
+            println!(
+                "{:<8} {:<6} {:>6} {:>9.3} {:>9} {:>11.3} {:>12.2} {:>10}",
+                row.program,
+                row.matcher,
+                row.batch,
+                row.wall_s,
+                row.changes,
+                row.per_change_us,
+                row.allocs_per_change,
+                row.cs_changes
+            );
+            rows.push(row);
+        }
+        let vs2 = &rows[rows.len() - 2];
+        let col = &rows[rows.len() - 1];
+        assert_eq!(
+            vs2.fold_sig, col.fold_sig,
+            "{name}: vs2 and col disagree on folded conflict-set state \
+             (raw change counts may differ legitimately at batch > 1: col \
+             suppresses insert/remove pairs that cancel within one chunk)"
+        );
+        let speedup = vs2.per_change_us / col.per_change_us.max(1e-9);
+        println!(
+            "{name}: col is {speedup:.2}x vs2 per-change at batch-{COL_BATCH} \
+             (allocs/chg {:.2} vs {:.2})",
+            col.allocs_per_change, vs2.allocs_per_change
+        );
+        if smoke {
+            if *name == "Weaver" {
+                assert!(
+                    speedup > 1.0,
+                    "col must beat vs2 per-change on Weaver at batch-{COL_BATCH} \
+                     (got {speedup:.2}x)"
+                );
+            }
+            assert!(
+                col.allocs_per_change <= vs2.allocs_per_change,
+                "{name}: col allocs/change {:.2} exceeds vs2 {:.2}",
+                col.allocs_per_change,
+                vs2.allocs_per_change
+            );
+        }
+    }
+    rows
+}
+
 /// One hot join node in a profile report, resolved against the network.
 struct HotLine {
     join: usize,
@@ -254,6 +492,18 @@ struct HotLine {
     ce: u16,
     activations: u64,
     scanned: u64,
+}
+
+/// Summary of the col matcher's per-bucket scan-length histogram: how many
+/// candidate entries each join scan examined. Short scans mean the value
+/// index is doing its job; a fat tail means collisions or low-selectivity
+/// join keys.
+struct ScanHistStats {
+    count: u64,
+    sum: u64,
+    mean: f64,
+    /// Nonzero buckets as `(upper_bound_exclusive, count)`.
+    buckets: Vec<(u64, u64)>,
 }
 
 /// One workload x matcher measurement from the `--profile` pass.
@@ -266,6 +516,7 @@ struct ProfileRow {
     allocs_per_change_on: f64,
     cycles: u64,
     hot: Vec<HotLine>,
+    scan_hist: Option<ScanHistStats>,
 }
 
 impl ProfileRow {
@@ -323,6 +574,7 @@ fn profile_pair(program: &'static str, w: &Workload, choice: &MatcherChoice) -> 
     // consistent, and the match-phase histogram must hold one sample per
     // recognize-act cycle.
     let snap = on.obs_registry().expect("obs registry").snapshot();
+    let mut scan_hist = None;
     for (name, h) in snap.histograms() {
         h.validate()
             .unwrap_or_else(|e| panic!("{program}/{}: {name}: {e}", choice.label()));
@@ -333,6 +585,20 @@ fn profile_pair(program: &'static str, w: &Workload, choice: &MatcherChoice) -> 
                 "{program}/{}: engine_match_ns must hold one sample per cycle",
                 choice.label()
             );
+        }
+        if name == "col_bucket_scan_len" && h.count > 0 {
+            scan_hist = Some(ScanHistStats {
+                count: h.count,
+                sum: h.sum,
+                mean: h.mean(),
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(i, c)| (obs::bucket_bound(i), *c))
+                    .collect(),
+            });
         }
     }
 
@@ -363,6 +629,7 @@ fn profile_pair(program: &'static str, w: &Workload, choice: &MatcherChoice) -> 
         allocs_per_change_on: allocs_on,
         cycles,
         hot,
+        scan_hist,
     }
 }
 
@@ -388,6 +655,33 @@ fn profile_pass(programs: &[(&'static str, Workload)], smoke: bool) -> Vec<Profi
                 println!(
                     "         join #{:<4} {:<28} ce{:<2} acts {:>10} scanned {:>12}",
                     h.join, h.prod, h.ce, h.activations, h.scanned
+                );
+            }
+            if let Some(sh) = &row.scan_hist {
+                let dist: Vec<String> = sh
+                    .buckets
+                    .iter()
+                    .map(|(bound, c)| {
+                        if *bound == u64::MAX {
+                            format!("inf:{c}")
+                        } else {
+                            format!("<{bound}:{c}")
+                        }
+                    })
+                    .collect();
+                println!(
+                    "         bucket scans {:>10}  entries examined {:>12}  mean {:>7.2}  [{}]",
+                    sh.count,
+                    sh.sum,
+                    sh.mean,
+                    dist.join(" ")
+                );
+            }
+            if row.matcher == "col" {
+                assert!(
+                    row.scan_hist.is_some(),
+                    "{}: col profile run recorded no bucket scans",
+                    row.program
                 );
             }
             if smoke {
@@ -447,6 +741,7 @@ fn matchers() -> Vec<MatcherChoice> {
         MatcherChoice::Vs2,
         MatcherChoice::Lisp,
         MatcherChoice::Psm(psm::PsmConfig::default()),
+        MatcherChoice::Col,
     ]
 }
 
@@ -504,6 +799,9 @@ fn main() {
         }
     }
 
+    println!();
+    let col_rows = col_batch_comparison(&programs, smoke);
+
     let profile_rows = if profile_mode {
         println!();
         profile_pass(&programs, smoke)
@@ -536,6 +834,26 @@ fn main() {
         ));
     }
     json.push_str("  ]");
+    if !col_rows.is_empty() {
+        json.push_str(",\n  \"col_batch\": [\n");
+        for (i, r) in col_rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"program\": \"{}\", \"matcher\": \"{}\", \"batch\": {}, \
+                 \"wall_s\": {:.6}, \"changes\": {}, \"us_per_change\": {:.3}, \
+                 \"allocs_per_change\": {:.2}, \"cs_changes\": {}}}{}\n",
+                r.program,
+                r.matcher,
+                r.batch,
+                r.wall_s,
+                r.changes,
+                r.per_change_us,
+                r.allocs_per_change,
+                r.cs_changes,
+                if i + 1 == col_rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]");
+    }
     if !profile_rows.is_empty() {
         json.push_str(",\n  \"profile\": [\n");
         for (i, r) in profile_rows.iter().enumerate() {
@@ -550,11 +868,21 @@ fn main() {
                     )
                 })
                 .collect();
+            let hist = r
+                .scan_hist
+                .as_ref()
+                .map(|sh| {
+                    format!(
+                        ", \"scan_hist\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.3}}}",
+                        sh.count, sh.sum, sh.mean
+                    )
+                })
+                .unwrap_or_default();
             json.push_str(&format!(
                 "    {{\"program\": \"{}\", \"matcher\": \"{}\", \"cycles\": {}, \
                  \"wall_off_s\": {:.6}, \"wall_on_s\": {:.6}, \
                  \"overhead_pct\": {:.2}, \"allocs_per_change_off\": {:.2}, \
-                 \"allocs_per_change_on\": {:.2}, \"hot_nodes\": [{}]}}{}\n",
+                 \"allocs_per_change_on\": {:.2}, \"hot_nodes\": [{}]{}}}{}\n",
                 r.program,
                 r.matcher,
                 r.cycles,
@@ -564,6 +892,7 @@ fn main() {
                 r.allocs_per_change_off,
                 r.allocs_per_change_on,
                 hot.join(", "),
+                hist,
                 if i + 1 == profile_rows.len() { "" } else { "," }
             ));
         }

@@ -38,7 +38,7 @@
 //!                   [--front-end threads|reactor|both]
 //!                   [--high-concurrency] [--hc-connections N]
 //!                   [--routed-connections N] [--backend-bin PATH]
-//!                   [--kill-recover] [--matchers vs1,vs2,lisp,psm]
+//!                   [--kill-recover] [--matchers vs1,vs2,lisp,psm,col]
 //! ```
 
 use reactor::{Events, Interest, LineBuf, Poll, Token, WriteBuf};
@@ -78,7 +78,7 @@ fn parse_args() -> Result<Opts, String> {
         programs: PathBuf::from("programs"),
         json: PathBuf::from("BENCH_serve.json"),
         kill_recover: false,
-        matchers: ["vs1", "vs2", "lisp", "psm"]
+        matchers: ["vs1", "vs2", "lisp", "psm", "col"]
             .iter()
             .map(|s| s.to_string())
             .collect(),

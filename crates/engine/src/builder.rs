@@ -38,6 +38,9 @@ pub enum MatcherKind {
     /// PSM-E: the parallel matcher (threads, queues, and line locks per the
     /// config).
     Psm(psm::PsmConfig),
+    /// col: the columnar set-at-a-time matcher (value-bucketed
+    /// struct-of-arrays memories, whole-batch join sweeps).
+    Col,
     /// The sequential trace recorder feeding the Multimax simulator.
     Trace {
         buckets: usize,
@@ -51,6 +54,40 @@ impl Default for MatcherKind {
     }
 }
 
+impl MatcherKind {
+    /// The canonical stable name of this kind. This is the single
+    /// name table shared by the serve registry, the CLI, and the
+    /// `OPS5_MATCHER` environment knob; [`MatcherKind::from_name`] is its
+    /// inverse for every kind constructible from a name alone.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatcherKind::Vs1 => "vs1",
+            MatcherKind::Vs2(_) => "vs2",
+            MatcherKind::Lisp => "lisp",
+            MatcherKind::Psm(_) => "psm",
+            MatcherKind::Col => "col",
+            MatcherKind::Trace { .. } => "trace",
+        }
+    }
+
+    /// Resolves a canonical name to a kind with default configuration.
+    /// `trace` is not constructible by name (it needs a sink) and returns
+    /// `None` like any unknown name.
+    pub fn from_name(name: &str) -> Option<MatcherKind> {
+        Some(match name {
+            "vs1" => MatcherKind::Vs1,
+            "vs2" => MatcherKind::Vs2(rete::HashMemConfig::default()),
+            "lisp" => MatcherKind::Lisp,
+            "psm" => MatcherKind::Psm(psm::PsmConfig::default()),
+            "col" => MatcherKind::Col,
+            _ => return None,
+        })
+    }
+
+    /// The names [`MatcherKind::from_name`] accepts, for help/error text.
+    pub const NAMES: &'static [&'static str] = &["vs1", "vs2", "lisp", "psm", "col"];
+}
+
 /// Builder for [`Engine`]: program + matcher choice + interpreter knobs.
 ///
 /// Defaults: vs2 matcher with the default hash-memory config, the program's
@@ -59,6 +96,7 @@ impl Default for MatcherKind {
 pub struct EngineBuilder {
     program: Program,
     matcher: MatcherKind,
+    matcher_set: bool,
     strategy: Option<Strategy>,
     echo_writes: bool,
     keep_fired_log: bool,
@@ -91,6 +129,7 @@ impl EngineBuilder {
         EngineBuilder {
             program,
             matcher: MatcherKind::default(),
+            matcher_set: false,
             strategy: None,
             echo_writes: false,
             keep_fired_log: true,
@@ -106,9 +145,11 @@ impl EngineBuilder {
         Ok(EngineBuilder::new(Program::from_source(src)?))
     }
 
-    /// Picks the match engine (default: vs2).
+    /// Picks the match engine (default: vs2). An explicit choice also opts
+    /// the builder out of the `OPS5_MATCHER` environment override.
     pub fn matcher(mut self, kind: MatcherKind) -> Self {
         self.matcher = kind;
+        self.matcher_set = true;
         self.factory = None;
         self
     }
@@ -131,6 +172,11 @@ impl EngineBuilder {
     /// Shorthand for [`MatcherKind::Psm`].
     pub fn psm(self, cfg: psm::PsmConfig) -> Self {
         self.matcher(MatcherKind::Psm(cfg))
+    }
+
+    /// Shorthand for [`MatcherKind::Col`].
+    pub fn col(self) -> Self {
+        self.matcher(MatcherKind::Col)
     }
 
     /// Shorthand for [`MatcherKind::Trace`].
@@ -198,12 +244,27 @@ impl EngineBuilder {
         if let Some(s) = self.strategy {
             program.strategy = s;
         }
+        // The `OPS5_MATCHER` environment knob re-points builders that kept
+        // the default matcher (no explicit `.matcher()` call, no custom
+        // factory), the same CI lever as the network-option knobs. A typo'd
+        // name is an error, not a silent fall-through.
+        let matcher = match std::env::var("OPS5_MATCHER") {
+            Ok(name) if !self.matcher_set && self.factory.is_none() && !name.is_empty() => {
+                MatcherKind::from_name(&name).ok_or_else(|| {
+                    ops5::Ops5Error::Runtime(format!(
+                        "OPS5_MATCHER={name} is not one of {:?}",
+                        MatcherKind::NAMES
+                    ))
+                })?
+            }
+            _ => self.matcher,
+        };
         let opts = match self.network_options {
             Some(o) => o,
             // Pin the trace matcher to the paper-faithful defaults unless
             // the caller opted in explicitly: the simulator tables must not
             // shift under a CI-wide environment override.
-            None if matches!(self.matcher, MatcherKind::Trace { .. }) && self.factory.is_none() => {
+            None if matches!(matcher, MatcherKind::Trace { .. }) && self.factory.is_none() => {
                 rete::NetworkOptions::default()
             }
             None => options_from_env(),
@@ -211,7 +272,7 @@ impl EngineBuilder {
         let mut eng = if let Some(factory) = self.factory {
             Engine::with_matcher(program, opts, factory)?
         } else {
-            match self.matcher {
+            match matcher {
                 MatcherKind::Vs1 => Engine::with_matcher(program, opts, rete::seq::boxed_vs1)?,
                 MatcherKind::Vs2(cfg) => {
                     Engine::with_matcher(program, opts, move |net| rete::seq::boxed_vs2(net, cfg))?
@@ -227,6 +288,7 @@ impl EngineBuilder {
                 MatcherKind::Psm(cfg) => Engine::with_matcher(program, opts, move |net| {
                     psm::ParMatcher::boxed(net, cfg)
                 })?,
+                MatcherKind::Col => Engine::with_matcher(program, opts, rete::colmatch::boxed_col)?,
                 MatcherKind::Trace { buckets, sink } => {
                     Engine::with_matcher(program, opts, move |net| {
                         Box::new(TraceMatcher::new(net, buckets, sink)) as Box<dyn Matcher>
@@ -270,6 +332,7 @@ mod tests {
             ("vs2", MatcherKind::Vs2(rete::HashMemConfig { buckets: 64 })),
             ("lisp", MatcherKind::Lisp),
             ("psm", MatcherKind::Psm(psm::PsmConfig::default())),
+            ("col", MatcherKind::Col),
             (
                 "trace",
                 MatcherKind::Trace {
@@ -346,8 +409,25 @@ mod tests {
                 .unwrap()
                 .custom_matcher(rete::seq::boxed_vs1),
         );
-        assert_eq!(eng.matcher().name(), "seq");
+        assert_eq!(eng.matcher().name(), "vs1");
         assert_eq!(eng.cycles(), 4);
+    }
+
+    #[test]
+    fn matcher_kind_names_round_trip() {
+        for name in MatcherKind::NAMES {
+            let kind = MatcherKind::from_name(name).expect("canonical name resolves");
+            assert_eq!(kind.name(), *name);
+        }
+        assert!(MatcherKind::from_name("trace").is_none(), "needs a sink");
+        assert!(MatcherKind::from_name("frob").is_none());
+        // Each kind's built matcher reports a distinct name too (vs1 and
+        // vs2 used to both say "seq", which forced special cases upstream).
+        for name in ["vs1", "vs2", "col"] {
+            let kind = MatcherKind::from_name(name).unwrap();
+            let eng = run_counter(EngineBuilder::from_source(COUNTER).unwrap().matcher(kind));
+            assert_eq!(eng.matcher().name(), name);
+        }
     }
 
     #[test]
@@ -360,6 +440,7 @@ mod tests {
             MatcherKind::Vs1,
             MatcherKind::Vs2(rete::HashMemConfig { buckets: 64 }),
             MatcherKind::Psm(psm::PsmConfig::default()),
+            MatcherKind::Col,
         ] {
             let eng = run_counter(
                 EngineBuilder::from_source(COUNTER)

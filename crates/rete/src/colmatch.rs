@@ -1,0 +1,1386 @@
+//! The columnar collection-oriented matcher — *col*.
+//!
+//! The paper's matchers (and `seq`/`psm` here) are tuple-at-a-time Rete:
+//! every WME change walks the network one token at a time, paying pointer
+//! chases and per-activation bookkeeping per tuple. `ColMatcher` processes
+//! the same [`ChangeBatch`] groups set-at-a-time instead, the Hiperfact
+//! "Rete as in-memory fact tables" framing:
+//!
+//! * **Columnar memories.** Each join's left and right memory is a private
+//!   power-of-two table of *lines* in struct-of-arrays layout: one
+//!   `Vec<Value>` column per join test holding the operand that side
+//!   contributes, plus one [`Row`] array carrying the per-entry header
+//!   (join key, identity tag, not-node counter, liveness) together with
+//!   the token/WME handle — merged into a single array so an insert, the
+//!   dominant operation on null-heavy workloads, touches one allocation.
+//!   Entries land on the line their join-test key hashes to; a scan is a
+//!   tight loop over the dense row array that evaluates value columns
+//!   only on key match — no token-chain walks per candidate and no
+//!   per-key map probes. A line splits (the table doubles) when its live
+//!   population exceeds [`LINE_TARGET`] *and* it holds more than one
+//!   distinct key (doubling cannot shorten a single-key line; tracked
+//!   O(1) via `key0`/`mixed`), so scans stay short as memories grow.
+//! * **Set-at-a-time sweep.** A submit walks the batch pattern-major: per
+//!   (class, pattern) it computes the passing change subset once, then
+//!   feeds it to each successor. Right-side successors run *eagerly* —
+//!   maintain the right memory and scan the left line in place — which is
+//!   sound because left memories are only mutated afterwards, so eager
+//!   right deltas see exactly the pre-batch left state the sequential
+//!   two-pass order requires; a group-level `left_live == 0` check
+//!   retires the dominant null case for a whole passing set at once.
+//!   Left-side deltas (alpha tokens and join emissions) are queued per
+//!   join and the join is flagged in a bitset worklist; a single
+//!   ascending sweep then drains each flagged join's deltas against the
+//!   settled post-batch right memory (the compiler guarantees successors
+//!   are forward, so emissions only mark bits ahead of the cursor). Every
+//!   (left, right) pair is counted exactly once, and downstream joins
+//!   receive their deltas before the sweep reaches them.
+//! * **Tombstone deletes + inline compaction.** Deletes mark the liveness
+//!   flag and compact the line in place once tombstones reach
+//!   [`COMPACT_TOMBSTONE_RATIO`] of its entries, so columns stay dense
+//!   without per-delete `swap_remove` churn in every parallel column.
+//!
+//! The observable contract is the per-cycle conflict-set key history: the
+//! differential suite holds it byte-identical to vs2 across the corpus.
+//! Within one batch the net-delta emission is equivalent to the
+//! per-change cascade because conjugate-pair annihilation makes WME
+//! re-entry impossible, so the support of any instantiation changes
+//! monotonically inside a batch.
+
+use crate::network::{AlphaSucc, JoinNode, Network, Succ, MAX_RESOLVED_TESTS};
+use crate::token::Token;
+use ops5::{
+    ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, QuiesceReport, Sign,
+    StatsDeltaTracker, Value, WmeChange, WmeRef,
+};
+use std::sync::Arc;
+
+/// A line compacts in place once `dead / len` reaches this ratio, so the
+/// tombstone ratio observed at quiescence is always strictly below it.
+pub const COMPACT_TOMBSTONE_RATIO: f64 = 0.5;
+
+/// A line splits (the side's table doubles) once its live population
+/// exceeds this, keeping bucket scans short as memories grow.
+pub const LINE_TARGET: usize = 8;
+
+/// Per-entry row header: bookkeeping plus the handle, one slot per row of
+/// a line. Kept in a single array so an insert — the dominant operation on
+/// joins whose scans are mostly null — touches one allocation, not two.
+struct Row<H> {
+    /// The join-test key the entry's values hash to (scan filter).
+    key: u64,
+    /// Identity: WME timetag (right) or token identity hash (left).
+    tag: u64,
+    /// Not-node match counter (left memories of negated joins; kept in
+    /// every line so compaction is uniform).
+    neg: u32,
+    alive: bool,
+    /// The stored entry: token (left) or WME (right).
+    handle: H,
+}
+
+/// One hash line of a columnar memory: parallel arrays, one slot per entry.
+struct Bucket<H> {
+    /// One column per join test: the operand this side contributes.
+    cols: Box<[Vec<Value>]>,
+    rows: Vec<Row<H>>,
+    dead: usize,
+    /// Key of the line's first entry, and whether any later entry carried
+    /// a different key. Doubling the table cannot shorten a line whose
+    /// entries all share one key (they rehash together), so only mixed
+    /// lines trigger growth — an O(1) check per insert. `mixed` is
+    /// conservative: compaction never clears it, redistribution recomputes
+    /// it per destination line.
+    key0: u64,
+    mixed: bool,
+}
+
+impl<H> Bucket<H> {
+    fn new(ncols: usize) -> Bucket<H> {
+        Bucket {
+            cols: (0..ncols).map(|_| Vec::new()).collect(),
+            rows: Vec::new(),
+            dead: 0,
+            key0: 0,
+            mixed: false,
+        }
+    }
+
+    /// Update the split heuristic for an entry about to be pushed.
+    #[inline]
+    fn note_key(&mut self, key: u64) {
+        if self.rows.is_empty() {
+            self.key0 = key;
+            self.mixed = false;
+        } else if !self.mixed && key != self.key0 {
+            self.mixed = true;
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    fn live(&self) -> usize {
+        self.rows.len() - self.dead
+    }
+
+    /// Tombstone entry `i` and compact if the dead ratio hit the threshold.
+    fn tombstone(&mut self, i: usize) {
+        debug_assert!(self.rows[i].alive);
+        self.rows[i].alive = false;
+        self.dead += 1;
+        if self.dead * 2 >= self.len() {
+            self.compact();
+        }
+    }
+
+    /// Drop tombstoned rows from every parallel column, in place.
+    fn compact(&mut self) {
+        let mut w = 0;
+        for r in 0..self.len() {
+            if self.rows[r].alive {
+                if w != r {
+                    self.rows.swap(w, r);
+                    for c in self.cols.iter_mut() {
+                        c[w] = c[r];
+                    }
+                }
+                w += 1;
+            }
+        }
+        self.rows.truncate(w);
+        for c in self.cols.iter_mut() {
+            c.truncate(w);
+        }
+        self.dead = 0;
+    }
+}
+
+/// One side (left or right) of one join's memory: a power-of-two line
+/// table indexed by the low bits of the join-test key. Starts empty,
+/// materializes one line on first insert, and doubles whenever the line an
+/// insert landed on exceeds [`LINE_TARGET`] live entries — small memories
+/// stay a single dense line, large ones keep scans bounded.
+struct SideMem<H> {
+    lines: Vec<Bucket<H>>,
+    ncols: usize,
+}
+
+impl<H> SideMem<H> {
+    fn new(ncols: usize) -> SideMem<H> {
+        SideMem {
+            lines: Vec::new(),
+            ncols,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, key: u64) -> usize {
+        (key as usize) & (self.lines.len() - 1)
+    }
+
+    /// The line `key` hashes to, if the table is materialized.
+    #[inline]
+    fn line(&self, key: u64) -> Option<&Bucket<H>> {
+        if self.lines.is_empty() {
+            None
+        } else {
+            let i = self.idx(key);
+            Some(&self.lines[i])
+        }
+    }
+
+    #[inline]
+    fn line_mut(&mut self, key: u64) -> Option<&mut Bucket<H>> {
+        if self.lines.is_empty() {
+            None
+        } else {
+            let i = self.idx(key);
+            Some(&mut self.lines[i])
+        }
+    }
+
+    /// The line an insert for `key` goes to, materializing the table.
+    #[inline]
+    fn line_for_insert(&mut self, key: u64) -> &mut Bucket<H> {
+        if self.lines.is_empty() {
+            self.lines.push(Bucket::new(self.ncols));
+        }
+        let i = self.idx(key);
+        &mut self.lines[i]
+    }
+
+    /// Double the line count, redistributing live entries by key.
+    fn grow(&mut self) {
+        let n = self.lines.len() * 2;
+        let ncols = self.ncols;
+        let mut next: Vec<Bucket<H>> = (0..n).map(|_| Bucket::new(ncols)).collect();
+        for b in std::mem::take(&mut self.lines) {
+            let Bucket { cols, rows, .. } = b;
+            for (i, r) in rows.into_iter().enumerate() {
+                if !r.alive {
+                    continue;
+                }
+                let t = &mut next[(r.key as usize) & (n - 1)];
+                t.note_key(r.key);
+                for (k, c) in cols.iter().enumerate() {
+                    t.cols[k].push(c[i]);
+                }
+                t.rows.push(r);
+            }
+        }
+        self.lines = next;
+    }
+}
+
+type LeftMem = SideMem<Token>;
+type RightMem = SideMem<WmeRef>;
+
+/// Locally-buffered per-join profile (same rationale as the sequential
+/// matcher's: plain increments on the hot path, one atomic fold per
+/// quiesce).
+struct BufferedProfile {
+    shared: Arc<obs::NodeProfile>,
+    acts: Vec<u64>,
+    scans: Vec<u64>,
+}
+
+impl BufferedProfile {
+    fn new(n_joins: usize) -> BufferedProfile {
+        BufferedProfile {
+            shared: Arc::new(obs::NodeProfile::new(n_joins)),
+            acts: vec![0; n_joins],
+            scans: vec![0; n_joins],
+        }
+    }
+
+    fn flush(&mut self) {
+        for (join, n) in self.acts.iter_mut().enumerate() {
+            if *n != 0 {
+                self.shared.record_activations(join, *n);
+                *n = 0;
+            }
+        }
+        for (join, n) in self.scans.iter_mut().enumerate() {
+            if *n != 0 {
+                self.shared.record_scan(join, *n);
+                *n = 0;
+            }
+        }
+    }
+}
+
+/// Locally-buffered bucket scan-length histogram, folded into the shared
+/// `col_bucket_scan_len` instrument at quiesce.
+struct ScanHist {
+    shared: Arc<obs::Histogram>,
+    counts: [u64; obs::N_BUCKETS],
+    sums: [u64; obs::N_BUCKETS],
+}
+
+impl ScanHist {
+    #[inline]
+    fn record(&mut self, v: u64) {
+        let b = obs::bucket_index(v);
+        self.counts[b] += 1;
+        self.sums[b] += v;
+    }
+
+    /// Record `n` identical observations at once (group-level fast paths).
+    #[inline]
+    fn record_n(&mut self, v: u64, n: u64) {
+        let b = obs::bucket_index(v);
+        self.counts[b] += n;
+        self.sums[b] += v * n;
+    }
+
+    fn flush(&mut self) {
+        for b in 0..obs::N_BUCKETS {
+            if self.counts[b] != 0 {
+                self.shared.record_bucketed(b, self.counts[b], self.sums[b]);
+                self.counts[b] = 0;
+                self.sums[b] = 0;
+            }
+        }
+    }
+}
+
+/// The columnar set-at-a-time matcher.
+pub struct ColMatcher {
+    net: Arc<Network>,
+    left: Vec<LeftMem>,
+    right: Vec<RightMem>,
+    /// Per-join live entry counts (the unlinking emptiness gates).
+    left_live: Vec<u32>,
+    right_live: Vec<u32>,
+    /// Signed per-join left-input deltas for the current sweep: alpha-
+    /// produced 1-WME tokens and upstream join emissions, in emission
+    /// order. Right (alpha) deltas are not queued — they are processed
+    /// eagerly during the alpha walk, which sees the identical pre-batch
+    /// left memories pass 1 requires.
+    left_deltas: Vec<Vec<(Sign, Token)>>,
+    /// Worklist of joins with pending deltas: one bit per join id. The
+    /// sweep walks it ascending via `trailing_zeros`, which is correct
+    /// because emissions only travel forward (the compiler's topological
+    /// id order) — a processed join can only set bits ahead of the
+    /// cursor. Submits never pay for the hundreds of joins a small batch
+    /// doesn't touch, and marking is a branch-free word OR.
+    dirty: Vec<u64>,
+    out: Vec<CsChange>,
+    stats: MatchStats,
+    delta: StatsDeltaTracker,
+    profile: Option<BufferedProfile>,
+    scan_hist: Option<ScanHist>,
+}
+
+/// Flag join `j` as having pending deltas.
+#[inline]
+fn mark(dirty: &mut [u64], j: u32) {
+    dirty[(j >> 6) as usize] |= 1u64 << (j & 63);
+}
+
+/// Fan a join emission out to its successors: downstream joins get a left
+/// delta, terminals get a conflict-set change. Free function so scans can
+/// emit while borrowing a line from a disjoint field.
+fn emit(
+    succs: &[Succ],
+    sign: Sign,
+    token: &Token,
+    left_deltas: &mut [Vec<(Sign, Token)>],
+    dirty: &mut [u64],
+    out: &mut Vec<CsChange>,
+    stats: &mut MatchStats,
+) {
+    for succ in succs {
+        match *succ {
+            Succ::Join(j2) => {
+                left_deltas[j2 as usize].push((sign, token.clone()));
+                mark(dirty, j2);
+            }
+            Succ::Terminal(p) => {
+                stats.activations += 1;
+                stats.cs_changes += 1;
+                let inst = Instantiation {
+                    prod: p,
+                    wmes: token.wme_vec(),
+                };
+                out.push(match sign {
+                    Sign::Plus => CsChange::Insert(inst),
+                    Sign::Minus => CsChange::Remove(inst),
+                });
+            }
+        }
+    }
+}
+
+/// The delta's join-test operands, resolved once before the line scan.
+enum Resolved {
+    Inline([Value; MAX_RESOLVED_TESTS]),
+    /// More tests than the inline capacity: per-candidate fallback.
+    Overflow,
+}
+
+#[inline]
+fn resolve_right(j: &JoinNode, wme: &WmeRef) -> Resolved {
+    if j.tests.len() > MAX_RESOLVED_TESTS {
+        return Resolved::Overflow;
+    }
+    let mut vals = [Value::Int(0); MAX_RESOLVED_TESTS];
+    for (v, t) in vals.iter_mut().zip(j.tests.iter()) {
+        *v = wme.field(t.right_field);
+    }
+    Resolved::Inline(vals)
+}
+
+#[inline]
+fn resolve_left(j: &JoinNode, token: &Token) -> Resolved {
+    if j.tests.len() > MAX_RESOLVED_TESTS {
+        return Resolved::Overflow;
+    }
+    let mut vals = [Value::Int(0); MAX_RESOLVED_TESTS];
+    for (v, t) in vals.iter_mut().zip(j.tests.iter()) {
+        *v = token.value(t.left_ce, t.left_field);
+    }
+    Resolved::Inline(vals)
+}
+
+/// Do all tests pass for entry `i` of a left line against a right delta?
+/// Column values are the token-side operands; `rvals` the WME side.
+#[inline]
+fn left_entry_passes(j: &JoinNode, b: &Bucket<Token>, i: usize, r: &Resolved, w: &WmeRef) -> bool {
+    match r {
+        Resolved::Inline(rvals) => j
+            .tests
+            .iter()
+            .zip(rvals.iter())
+            .enumerate()
+            .all(|(k, (t, rv))| t.pred.eval(*rv, b.cols[k][i])),
+        Resolved::Overflow => j.passes(&b.rows[i].handle, w),
+    }
+}
+
+/// Do all tests pass for entry `i` of a right line against a left delta?
+/// Column values are the WME-side operands; `lvals` the token side.
+#[inline]
+fn right_entry_passes(
+    j: &JoinNode,
+    b: &Bucket<WmeRef>,
+    i: usize,
+    r: &Resolved,
+    token: &Token,
+) -> bool {
+    match r {
+        Resolved::Inline(lvals) => j
+            .tests
+            .iter()
+            .zip(lvals.iter())
+            .enumerate()
+            .all(|(k, (t, lv))| t.pred.eval(b.cols[k][i], *lv)),
+        Resolved::Overflow => j.passes(token, &b.rows[i].handle),
+    }
+}
+
+fn insert_left_entry(mem: &mut LeftMem, j: &JoinNode, key: u64, token: Token, neg: u32) {
+    let b = mem.line_for_insert(key);
+    b.note_key(key);
+    for (k, t) in j.tests.iter().enumerate() {
+        b.cols[k].push(token.value(t.left_ce, t.left_field));
+    }
+    b.rows.push(Row {
+        key,
+        tag: token.identity_hash(),
+        neg,
+        alive: true,
+        handle: token,
+    });
+    if b.live() > LINE_TARGET && b.mixed {
+        mem.grow();
+    }
+}
+
+/// Tombstone the entry whose identity matches `token`; returns its stored
+/// neg count and the live entries examined.
+fn remove_left_entry(mem: &mut LeftMem, key: u64, token: &Token) -> (Option<u32>, u64) {
+    let mut examined = 0u64;
+    if let Some(b) = mem.line_mut(key) {
+        let tag = token.identity_hash();
+        for i in 0..b.len() {
+            let m = &b.rows[i];
+            if !m.alive {
+                continue;
+            }
+            examined += 1;
+            if m.key == key && m.tag == tag && m.handle.same_wmes(token) {
+                let neg = m.neg;
+                b.tombstone(i);
+                return (Some(neg), examined);
+            }
+        }
+    }
+    (None, examined)
+}
+
+fn insert_right_entry(mem: &mut RightMem, j: &JoinNode, key: u64, wme: WmeRef) {
+    let b = mem.line_for_insert(key);
+    b.note_key(key);
+    for (k, t) in j.tests.iter().enumerate() {
+        b.cols[k].push(wme.field(t.right_field));
+    }
+    b.rows.push(Row {
+        key,
+        tag: wme.timetag,
+        neg: 0,
+        alive: true,
+        handle: wme,
+    });
+    if b.live() > LINE_TARGET && b.mixed {
+        mem.grow();
+    }
+}
+
+fn remove_right_entry(mem: &mut RightMem, key: u64, timetag: u64) -> (bool, u64) {
+    let mut examined = 0u64;
+    if let Some(b) = mem.line_mut(key) {
+        // Scan newest-first: working-memory churn removes recent insertions
+        // far more often than old ones, and rows append in arrival order, so
+        // the target is usually within a step or two of the end.
+        for i in (0..b.len()).rev() {
+            let m = &b.rows[i];
+            if !m.alive {
+                continue;
+            }
+            examined += 1;
+            // Timetags are unique, so the tag alone is the identity.
+            if m.tag == timetag {
+                b.tombstone(i);
+                return (true, examined);
+            }
+        }
+    }
+    (false, examined)
+}
+
+impl ColMatcher {
+    pub fn new(net: Arc<Network>) -> ColMatcher {
+        let n = net.n_joins();
+        let ncols = |jid: usize| net.join(jid as u32).tests.len();
+        ColMatcher {
+            left: (0..n).map(|j| SideMem::new(ncols(j))).collect(),
+            right: (0..n).map(|j| SideMem::new(ncols(j))).collect(),
+            left_live: vec![0; n],
+            right_live: vec![0; n],
+            left_deltas: (0..n).map(|_| Vec::new()).collect(),
+            dirty: vec![0u64; n.div_ceil(64)],
+            out: Vec::new(),
+            stats: MatchStats::default(),
+            delta: StatsDeltaTracker::default(),
+            profile: None,
+            scan_hist: None,
+            net,
+        }
+    }
+
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Live entries stored across all memories (invariant checks in tests).
+    pub fn memory_entries(&self) -> usize {
+        self.left
+            .iter()
+            .flat_map(|m| m.lines.iter())
+            .map(Bucket::live)
+            .sum::<usize>()
+            + self
+                .right
+                .iter()
+                .flat_map(|m| m.lines.iter())
+                .map(Bucket::live)
+                .sum::<usize>()
+    }
+
+    /// The worst tombstone ratio across all lines. The compaction policy
+    /// keeps this strictly below [`COMPACT_TOMBSTONE_RATIO`] after every
+    /// operation; the compaction proptest asserts it at quiescence.
+    pub fn max_tombstone_ratio(&self) -> f64 {
+        let mut max = 0.0f64;
+        for b in self.left.iter().flat_map(|m| m.lines.iter()) {
+            if b.len() > 0 {
+                max = max.max(b.dead as f64 / b.len() as f64);
+            }
+        }
+        for b in self.right.iter().flat_map(|m| m.lines.iter()) {
+            if b.len() > 0 {
+                max = max.max(b.dead as f64 / b.len() as f64);
+            }
+        }
+        max
+    }
+
+    /// Pass 1 for a whole passing set against one join. The left memory —
+    /// and with it `left_live` — is frozen for the entire alpha walk, so
+    /// one emptiness check covers the whole set: the overwhelmingly common
+    /// all-null case maintains the right memory in a tight loop and folds
+    /// the per-activation bookkeeping into single adds.
+    fn right_group(&mut self, j: &JoinNode, unlink: bool, group: &[WmeChange], passing: &[u32]) {
+        let jid = j.id as usize;
+        let n = passing.len() as u64;
+        if self.left_live[jid] == 0 {
+            self.stats.activations += n;
+            self.stats.join_activations += n;
+            if let Some(p) = &mut self.profile {
+                p.acts[jid] += n;
+            }
+            let mem = &mut self.right[jid];
+            for &ci in passing {
+                let change = &group[ci as usize];
+                let key = j.right_key(&change.wme);
+                match change.sign {
+                    Sign::Plus => {
+                        insert_right_entry(mem, j, key, change.wme.clone());
+                        self.right_live[jid] += 1;
+                    }
+                    Sign::Minus => {
+                        let (found, examined) = remove_right_entry(mem, key, change.wme.timetag);
+                        self.stats.same_tokens_right += examined;
+                        self.stats.same_searches_right += 1;
+                        debug_assert!(found, "col delete must find its wme");
+                        self.right_live[jid] -= 1;
+                    }
+                }
+            }
+            if unlink {
+                self.stats.null_skipped += n;
+            } else {
+                self.stats.null_activations += n;
+                if let Some(h) = &mut self.scan_hist {
+                    h.record_n(0, n);
+                }
+            }
+            return;
+        }
+        for &ci in passing {
+            let change = &group[ci as usize];
+            self.right_delta(j, unlink, change.sign, &change.wme);
+        }
+    }
+
+    /// Pass 1 of the two-pass split: one right (alpha) delta against the
+    /// pre-batch left memory. Called eagerly from the alpha walk — left
+    /// memories are only mutated by the pass-2 sweep, which runs after the
+    /// whole alpha walk, so the left memory seen here *is* the pre-batch
+    /// one. Together with pass 2 (left deltas against the post-batch right
+    /// memory) every (left, right) pair is counted exactly once: a pair
+    /// where both sides changed this batch is seen only by pass 2, a pair
+    /// whose right side was deleted only by pass 1.
+    fn right_delta(&mut self, j: &JoinNode, unlink: bool, sign: Sign, w: &WmeRef) {
+        let jid = j.id as usize;
+        {
+            self.stats.activations += 1;
+            self.stats.join_activations += 1;
+            if let Some(p) = &mut self.profile {
+                p.acts[jid] += 1;
+            }
+            let key = j.right_key(w);
+            let opp_live = self.left_live[jid];
+            if !j.negated {
+                match sign {
+                    Sign::Plus => {
+                        insert_right_entry(&mut self.right[jid], j, key, w.clone());
+                        self.right_live[jid] += 1;
+                    }
+                    Sign::Minus => {
+                        let (found, examined) =
+                            remove_right_entry(&mut self.right[jid], key, w.timetag);
+                        self.stats.same_tokens_right += examined;
+                        self.stats.same_searches_right += 1;
+                        debug_assert!(found, "col delete must find its wme");
+                        self.right_live[jid] -= 1;
+                    }
+                }
+                if unlink && opp_live == 0 {
+                    self.stats.null_skipped += 1;
+                    return;
+                }
+                if opp_live == 0 {
+                    // Null fast path: zero live entries opposite means any
+                    // line scan would examine nothing — record the empty
+                    // scan and skip the memory access.
+                    self.stats.null_activations += 1;
+                    if let Some(h) = &mut self.scan_hist {
+                        h.record(0);
+                    }
+                    return;
+                }
+                let mut examined = 0u64;
+                if let Some(b) = self.left[jid].line(key) {
+                    let r = resolve_right(j, w);
+                    for i in 0..b.len() {
+                        let m = &b.rows[i];
+                        if !m.alive {
+                            continue;
+                        }
+                        examined += 1;
+                        if m.key == key && left_entry_passes(j, b, i, &r, w) {
+                            emit(
+                                &j.succs,
+                                sign,
+                                &b.rows[i].handle.extended(w.clone()),
+                                &mut self.left_deltas,
+                                &mut self.dirty,
+                                &mut self.out,
+                                &mut self.stats,
+                            );
+                        }
+                    }
+                }
+                self.stats.opp_tokens_right += examined;
+                if examined > 0 {
+                    self.stats.opp_nonempty_right += 1;
+                }
+                if let Some(p) = &mut self.profile {
+                    p.scans[jid] += examined;
+                }
+                if let Some(h) = &mut self.scan_hist {
+                    h.record(examined);
+                }
+            } else {
+                // Not-node blocker delta: adjust the frozen left entry
+                // set's counters, emitting each 0-boundary crossing.
+                match sign {
+                    Sign::Plus => {
+                        insert_right_entry(&mut self.right[jid], j, key, w.clone());
+                        self.right_live[jid] += 1;
+                    }
+                    Sign::Minus => {
+                        let (found, examined) =
+                            remove_right_entry(&mut self.right[jid], key, w.timetag);
+                        self.stats.same_tokens_right += examined;
+                        self.stats.same_searches_right += 1;
+                        debug_assert!(found, "col delete must find its blocker");
+                        self.right_live[jid] -= 1;
+                    }
+                }
+                if unlink && opp_live == 0 {
+                    self.stats.null_skipped += 1;
+                    return;
+                }
+                if opp_live == 0 {
+                    // Null fast path: zero live entries opposite means any
+                    // line scan would examine nothing — record the empty
+                    // scan and skip the memory access.
+                    self.stats.null_activations += 1;
+                    if let Some(h) = &mut self.scan_hist {
+                        h.record(0);
+                    }
+                    return;
+                }
+                let mut examined = 0u64;
+                if let Some(b) = self.left[jid].line_mut(key) {
+                    let r = resolve_right(j, w);
+                    for i in 0..b.len() {
+                        let m = &b.rows[i];
+                        if !m.alive {
+                            continue;
+                        }
+                        examined += 1;
+                        if m.key != key || !left_entry_passes(j, b, i, &r, w) {
+                            continue;
+                        }
+                        match sign {
+                            Sign::Plus => {
+                                b.rows[i].neg += 1;
+                                if b.rows[i].neg == 1 {
+                                    emit(
+                                        &j.succs,
+                                        Sign::Minus,
+                                        &b.rows[i].handle,
+                                        &mut self.left_deltas,
+                                        &mut self.dirty,
+                                        &mut self.out,
+                                        &mut self.stats,
+                                    );
+                                }
+                            }
+                            Sign::Minus => {
+                                debug_assert!(b.rows[i].neg > 0, "not-node counter underflow");
+                                b.rows[i].neg -= 1;
+                                if b.rows[i].neg == 0 {
+                                    emit(
+                                        &j.succs,
+                                        Sign::Plus,
+                                        &b.rows[i].handle,
+                                        &mut self.left_deltas,
+                                        &mut self.dirty,
+                                        &mut self.out,
+                                        &mut self.stats,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                self.stats.opp_tokens_right += examined;
+                if examined > 0 {
+                    self.stats.opp_nonempty_right += 1;
+                }
+                if let Some(p) = &mut self.profile {
+                    p.scans[jid] += examined;
+                }
+                if let Some(h) = &mut self.scan_hist {
+                    h.record(examined);
+                }
+            }
+        }
+    }
+
+    /// Pass 2 of the two-pass split: the join's accumulated left deltas
+    /// (alpha 1-WME tokens and upstream emissions), in emission order,
+    /// against the post-batch (settled) right memory.
+    fn process_join(&mut self, net: &Network, jid: usize) {
+        let j = net.join(jid as u32);
+        let unlink = net.options.unlinking;
+        let mut ldeltas = std::mem::take(&mut self.left_deltas[jid]);
+        // The sweep never mutates right memories, so the opposite-side live
+        // count is invariant across every delta queued for this join.
+        let opp_live = self.right_live[jid];
+        let n = ldeltas.len() as u64;
+        self.stats.activations += n;
+        self.stats.join_activations += n;
+        if let Some(p) = &mut self.profile {
+            p.acts[jid] += n;
+        }
+        for (sign, t) in ldeltas.drain(..) {
+            let key = j.left_key(&t);
+            if !j.negated {
+                match sign {
+                    Sign::Plus => {
+                        insert_left_entry(&mut self.left[jid], j, key, t.clone(), 0);
+                        self.left_live[jid] += 1;
+                    }
+                    Sign::Minus => {
+                        let (found, examined) = remove_left_entry(&mut self.left[jid], key, &t);
+                        self.stats.same_tokens_left += examined;
+                        self.stats.same_searches_left += 1;
+                        debug_assert!(found.is_some(), "col delete must find its token");
+                        self.left_live[jid] -= 1;
+                    }
+                }
+                if unlink && opp_live == 0 {
+                    self.stats.null_skipped += 1;
+                    continue;
+                }
+                if opp_live == 0 {
+                    // Null fast path: zero live entries opposite means any
+                    // line scan would examine nothing — record the empty
+                    // scan and skip the memory access.
+                    self.stats.null_activations += 1;
+                    if let Some(h) = &mut self.scan_hist {
+                        h.record(0);
+                    }
+                    continue;
+                }
+                let mut examined = 0u64;
+                if let Some(b) = self.right[jid].line(key) {
+                    let r = resolve_left(j, &t);
+                    for i in 0..b.len() {
+                        let m = &b.rows[i];
+                        if !m.alive {
+                            continue;
+                        }
+                        examined += 1;
+                        if m.key == key && right_entry_passes(j, b, i, &r, &t) {
+                            emit(
+                                &j.succs,
+                                sign,
+                                &t.extended(b.rows[i].handle.clone()),
+                                &mut self.left_deltas,
+                                &mut self.dirty,
+                                &mut self.out,
+                                &mut self.stats,
+                            );
+                        }
+                    }
+                }
+                self.stats.opp_tokens_left += examined;
+                if examined > 0 {
+                    self.stats.opp_nonempty_left += 1;
+                }
+                if let Some(p) = &mut self.profile {
+                    p.scans[jid] += examined;
+                }
+                if let Some(h) = &mut self.scan_hist {
+                    h.record(examined);
+                }
+            } else {
+                match sign {
+                    Sign::Plus => {
+                        // Count blockers in the settled right memory; the
+                        // token joins with its final count directly.
+                        let n = if unlink && opp_live == 0 {
+                            self.stats.null_skipped += 1;
+                            0
+                        } else if opp_live == 0 {
+                            // Null fast path, same as the positive joins.
+                            self.stats.null_activations += 1;
+                            if let Some(h) = &mut self.scan_hist {
+                                h.record(0);
+                            }
+                            0
+                        } else {
+                            let mut n = 0u32;
+                            let mut examined = 0u64;
+                            if let Some(b) = self.right[jid].line(key) {
+                                let r = resolve_left(j, &t);
+                                for i in 0..b.len() {
+                                    let m = &b.rows[i];
+                                    if !m.alive {
+                                        continue;
+                                    }
+                                    examined += 1;
+                                    if m.key == key && right_entry_passes(j, b, i, &r, &t) {
+                                        n += 1;
+                                    }
+                                }
+                            }
+                            self.stats.opp_tokens_left += examined;
+                            if examined > 0 {
+                                self.stats.opp_nonempty_left += 1;
+                            }
+                            if let Some(p) = &mut self.profile {
+                                p.scans[jid] += examined;
+                            }
+                            if let Some(h) = &mut self.scan_hist {
+                                h.record(examined);
+                            }
+                            n
+                        };
+                        insert_left_entry(&mut self.left[jid], j, key, t.clone(), n);
+                        self.left_live[jid] += 1;
+                        if n == 0 {
+                            emit(
+                                &j.succs,
+                                Sign::Plus,
+                                &t,
+                                &mut self.left_deltas,
+                                &mut self.dirty,
+                                &mut self.out,
+                                &mut self.stats,
+                            );
+                        }
+                    }
+                    Sign::Minus => {
+                        let (neg, examined) = remove_left_entry(&mut self.left[jid], key, &t);
+                        self.stats.same_tokens_left += examined;
+                        self.stats.same_searches_left += 1;
+                        self.left_live[jid] -= 1;
+                        match neg {
+                            Some(0) => emit(
+                                &j.succs,
+                                Sign::Minus,
+                                &t,
+                                &mut self.left_deltas,
+                                &mut self.dirty,
+                                &mut self.out,
+                                &mut self.stats,
+                            ),
+                            Some(_) => {}
+                            None => debug_assert!(false, "col delete must find its token"),
+                        }
+                    }
+                }
+            }
+        }
+        self.left_deltas[jid] = ldeltas;
+    }
+}
+
+impl Matcher for ColMatcher {
+    fn submit(&mut self, batch: &ChangeBatch) {
+        self.stats.conjugate_pairs += batch.annihilated();
+        let net = self.net.clone();
+        let unlink = net.options.unlinking;
+        // Alpha network, whole batch, pattern-major: the group's passing
+        // changes are resolved once per pattern, then each successor
+        // consumes the whole set while its join state is cache-hot. Right
+        // deltas run pass 1 in place (left memories stay untouched until
+        // the sweep); left deltas and emissions queue on their join for
+        // the pass-2 sweep. Per-join delta order stays submission order —
+        // only interleaving across joins changes, which folding cannot
+        // observe.
+        let mut passing: Vec<u32> = Vec::new();
+        let mut singles: Vec<Option<Token>> = Vec::new();
+        for (class, group) in batch.groups() {
+            self.stats.alpha_activations += 1;
+            self.stats.wme_changes += group.len() as u64;
+            let pats = net.patterns_for_class(class);
+            if pats.is_empty() {
+                continue;
+            }
+            // One 1-WME token per change, shared across every first join
+            // it feeds (token clones are `Arc` bumps).
+            singles.clear();
+            singles.resize(group.len(), None);
+            for &pid in pats {
+                let pat = net.pattern(pid);
+                passing.clear();
+                for (ci, change) in group.iter().enumerate() {
+                    if pat.tests.iter().all(|t| t.passes(&change.wme)) {
+                        passing.push(ci as u32);
+                    }
+                }
+                if passing.is_empty() {
+                    continue;
+                }
+                for succ in &pat.succs {
+                    match *succ {
+                        AlphaSucc::JoinLeft(j) => {
+                            for &ci in &passing {
+                                let change = &group[ci as usize];
+                                let t = singles[ci as usize]
+                                    .get_or_insert_with(|| Token::single(change.wme.clone()))
+                                    .clone();
+                                self.left_deltas[j as usize].push((change.sign, t));
+                            }
+                            mark(&mut self.dirty, j);
+                        }
+                        AlphaSucc::JoinRight(j) => {
+                            self.right_group(net.join(j), unlink, group, &passing);
+                        }
+                        AlphaSucc::Terminal(p) => {
+                            for &ci in &passing {
+                                let change = &group[ci as usize];
+                                self.stats.activations += 1;
+                                self.stats.cs_changes += 1;
+                                let inst = Instantiation {
+                                    prod: p,
+                                    wmes: vec![change.wme.clone()],
+                                };
+                                self.out.push(match change.sign {
+                                    Sign::Plus => CsChange::Insert(inst),
+                                    Sign::Minus => CsChange::Remove(inst),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // One forward sweep over the dirty joins in ascending id order
+        // (topological, so every join's delta set is complete when the
+        // sweep reaches it; emissions only set bits ahead of the cursor,
+        // so re-reading the current word after a join picks them up).
+        let mut wi = 0;
+        while wi < self.dirty.len() {
+            let word = self.dirty[wi];
+            if word == 0 {
+                wi += 1;
+                continue;
+            }
+            let bit = word.trailing_zeros() as usize;
+            self.dirty[wi] &= !(1u64 << bit);
+            self.process_join(&net, wi * 64 + bit);
+        }
+        debug_assert!(self.left_deltas.iter().all(Vec::is_empty));
+    }
+
+    fn quiesce(&mut self) -> QuiesceReport {
+        debug_assert!(self.left_deltas.iter().all(Vec::is_empty));
+        if let Some(p) = &mut self.profile {
+            p.flush();
+        }
+        if let Some(h) = &mut self.scan_hist {
+            h.flush();
+        }
+        QuiesceReport {
+            cs_changes: std::mem::take(&mut self.out),
+            stats_delta: self.delta.take(self.stats),
+            phase: None,
+        }
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
+        self.delta.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "col"
+    }
+
+    fn enable_obs(&mut self, registry: &Arc<obs::Registry>) {
+        if self.profile.is_none() {
+            self.profile = Some(BufferedProfile::new(self.net.n_joins()));
+        }
+        if self.scan_hist.is_none() {
+            self.scan_hist = Some(ScanHist {
+                shared: registry.histogram("col_bucket_scan_len", vec![]),
+                counts: [0; obs::N_BUCKETS],
+                sums: [0; obs::N_BUCKETS],
+            });
+        }
+    }
+
+    fn node_profile(&self) -> Option<Arc<obs::NodeProfile>> {
+        self.profile.as_ref().map(|p| p.shared.clone())
+    }
+}
+
+/// Factory helper returning a boxed matcher (table-driven harnesses).
+pub fn boxed_col(net: Arc<Network>) -> Box<dyn Matcher> {
+    Box::new(ColMatcher::new(net))
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::boxed_vs2;
+    use ops5::{Program, Sign, Value, Wme, WmeChange};
+
+    fn net_of(src: &str) -> (Program, Arc<Network>) {
+        let prog = Program::from_source(src).unwrap();
+        let net = Arc::new(Network::compile(&prog).unwrap());
+        (prog, net)
+    }
+
+    fn wme(prog: &mut Program, class: &str, vals: Vec<Value>, tag: u64) -> WmeRef {
+        let c = prog.symbols.intern(class);
+        Wme::new(c, vals, tag)
+    }
+
+    fn change(sign: Sign, wme: WmeRef) -> WmeChange {
+        WmeChange { sign, wme }
+    }
+
+    /// Sorted conflict-set keys after folding one quiesce's deltas, for
+    /// col-vs-vs2 equivalence checks.
+    fn fold_keys(
+        state: &mut std::collections::BTreeSet<(u32, Vec<u64>)>,
+        cs: Vec<CsChange>,
+    ) -> Vec<(u32, Vec<u64>)> {
+        for c in cs {
+            match c {
+                CsChange::Insert(i) => {
+                    let (p, tags) = i.key();
+                    state.insert((p.0, tags));
+                }
+                CsChange::Remove(i) => {
+                    let (p, tags) = i.key();
+                    state.remove(&(p.0, tags));
+                }
+            }
+        }
+        state.iter().cloned().collect()
+    }
+
+    /// Drive col and vs2 through the same per-cycle batches and assert the
+    /// folded conflict sets agree after every quiesce.
+    fn assert_agrees(src: &str, cycles: &[Vec<WmeChange>]) {
+        let (_prog, net) = net_of(src);
+        let mut col = ColMatcher::new(net.clone());
+        let mut vs2 = boxed_vs2(net, crate::memory::HashMemConfig { buckets: 16 });
+        let mut col_state = std::collections::BTreeSet::new();
+        let mut vs2_state = std::collections::BTreeSet::new();
+        for (i, cycle) in cycles.iter().enumerate() {
+            let batch: ChangeBatch = cycle.iter().cloned().collect();
+            col.submit(&batch);
+            vs2.submit(&batch);
+            let a = fold_keys(&mut col_state, col.quiesce().cs_changes);
+            let b = fold_keys(&mut vs2_state, vs2.quiesce().cs_changes);
+            assert_eq!(a, b, "cycle {i} diverged");
+        }
+        assert!(col.max_tombstone_ratio() < COMPACT_TOMBSTONE_RATIO);
+    }
+
+    #[test]
+    fn two_ce_join_fires_batched() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let (mut prog, _net) = net_of(src);
+        let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+        let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+        assert_agrees(
+            src,
+            &[
+                vec![
+                    change(Sign::Plus, wa.clone()),
+                    change(Sign::Plus, wb.clone()),
+                ],
+                vec![change(Sign::Minus, wa)],
+                vec![change(Sign::Minus, wb)],
+            ],
+        );
+    }
+
+    #[test]
+    fn cross_product_and_deletes() {
+        let src = "(p q (a ^x <v>) (b ^y <w>) --> (halt))";
+        let (mut prog, _net) = net_of(src);
+        let mut cycles = Vec::new();
+        let mut adds = Vec::new();
+        for i in 0..3 {
+            adds.push(change(
+                Sign::Plus,
+                wme(&mut prog, "a", vec![Value::Int(i)], i as u64 + 1),
+            ));
+        }
+        for i in 0..4 {
+            adds.push(change(
+                Sign::Plus,
+                wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 10),
+            ));
+        }
+        cycles.push(adds);
+        cycles.push(vec![change(
+            Sign::Minus,
+            wme(&mut prog, "a", vec![Value::Int(0)], 1),
+        )]);
+        assert_agrees(src, &cycles);
+    }
+
+    #[test]
+    fn negated_ce_blocks_and_unblocks_batched() {
+        let src = "(p q (a ^x <v>) - (b ^y <v>) --> (halt))";
+        let (mut prog, _net) = net_of(src);
+        let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+        let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+        let wb2 = wme(&mut prog, "b", vec![Value::Int(1)], 3);
+        assert_agrees(
+            src,
+            &[
+                vec![change(Sign::Plus, wa.clone())],
+                vec![
+                    change(Sign::Plus, wb.clone()),
+                    change(Sign::Plus, wb2.clone()),
+                ],
+                vec![change(Sign::Minus, wb)],
+                vec![change(Sign::Minus, wb2)],
+                vec![change(Sign::Minus, wa)],
+            ],
+        );
+    }
+
+    #[test]
+    fn blocker_and_token_in_one_batch() {
+        let src = "(p q (a ^x <v>) - (b ^y <v>) --> (halt))";
+        let (mut prog, _net) = net_of(src);
+        let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+        let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+        assert_agrees(
+            src,
+            &[
+                vec![
+                    change(Sign::Plus, wa.clone()),
+                    change(Sign::Plus, wb.clone()),
+                ],
+                vec![change(Sign::Minus, wb)],
+                vec![change(Sign::Minus, wa)],
+            ],
+        );
+    }
+
+    #[test]
+    fn three_ce_chain_mixed_batches() {
+        let src = "(p q (a ^x <v>) (b ^y <v> ^z <w>) (c ^u <w>) --> (halt))";
+        let (mut prog, _net) = net_of(src);
+        let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+        let wb = wme(&mut prog, "b", vec![Value::Int(1), Value::Int(9)], 2);
+        let wc = wme(&mut prog, "c", vec![Value::Int(9)], 3);
+        assert_agrees(
+            src,
+            &[
+                vec![
+                    change(Sign::Plus, wc.clone()),
+                    change(Sign::Plus, wb.clone()),
+                    change(Sign::Plus, wa.clone()),
+                ],
+                vec![change(Sign::Minus, wb.clone())],
+                vec![change(Sign::Plus, wb)],
+                vec![change(Sign::Minus, wa), change(Sign::Minus, wc)],
+            ],
+        );
+    }
+
+    #[test]
+    fn double_delete_of_a_pair_emits_once() {
+        // Both sides of a matched pair deleted in one batch: the Remove
+        // must be emitted exactly once (pass 1 sees it, pass 2 must not).
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let (mut prog, net) = net_of(src);
+        let wa = wme(&mut prog, "a", vec![Value::Int(1)], 1);
+        let wb = wme(&mut prog, "b", vec![Value::Int(1)], 2);
+        let mut m = ColMatcher::new(net);
+        let b: ChangeBatch = [
+            change(Sign::Plus, wa.clone()),
+            change(Sign::Plus, wb.clone()),
+        ]
+        .into_iter()
+        .collect();
+        m.submit(&b);
+        assert_eq!(m.quiesce().cs_changes.len(), 1);
+        let b: ChangeBatch = [change(Sign::Minus, wa), change(Sign::Minus, wb)]
+            .into_iter()
+            .collect();
+        m.submit(&b);
+        let cs = m.quiesce().cs_changes;
+        assert_eq!(cs.len(), 1, "exactly one Remove: {cs:?}");
+        assert!(matches!(cs[0], CsChange::Remove(_)));
+        assert_eq!(m.memory_entries(), 0);
+    }
+
+    #[test]
+    fn compaction_keeps_ratio_below_threshold() {
+        let src = "(p q (a ^x <v>) (b ^y <w>) --> (halt))";
+        let (mut prog, net) = net_of(src);
+        let mut m = ColMatcher::new(net);
+        // Fill one cross-product bucket, then delete most of it.
+        let mut adds = ChangeBatch::new();
+        for i in 0..32 {
+            adds.push(change(
+                Sign::Plus,
+                wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 1),
+            ));
+        }
+        m.submit(&adds);
+        m.quiesce();
+        for i in 0..30 {
+            let b = ChangeBatch::single(change(
+                Sign::Minus,
+                wme(&mut prog, "b", vec![Value::Int(i)], i as u64 + 1),
+            ));
+            m.submit(&b);
+            assert!(
+                m.max_tombstone_ratio() < COMPACT_TOMBSTONE_RATIO,
+                "ratio {} after delete {i}",
+                m.max_tombstone_ratio()
+            );
+        }
+        m.quiesce();
+        assert_eq!(m.memory_entries(), 2);
+    }
+
+    #[test]
+    fn unlinking_gate_skips_null_scans() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let prog = Program::from_source(src).unwrap();
+        let net = Arc::new(
+            Network::compile_with(
+                &prog,
+                crate::network::NetworkOptions {
+                    sharing: false,
+                    unlinking: true,
+                },
+            )
+            .unwrap(),
+        );
+        let mut prog = prog;
+        let mut m = ColMatcher::new(net);
+        let wb = wme(&mut prog, "b", vec![Value::Int(1)], 1);
+        m.submit(&ChangeBatch::single(change(Sign::Plus, wb)));
+        m.quiesce();
+        assert_eq!(m.stats().null_skipped, 1);
+        assert_eq!(m.stats().null_activations, 0);
+        let wa = wme(&mut prog, "a", vec![Value::Int(1)], 2);
+        m.submit(&ChangeBatch::single(change(Sign::Plus, wa)));
+        let cs = m.quiesce().cs_changes;
+        assert_eq!(cs.len(), 1, "relinked scan finds the pair");
+    }
+
+    #[test]
+    fn obs_profile_reconciles_with_stats() {
+        let src = "(p q (a ^x <v>) (b ^y <v>) --> (halt))";
+        let (mut prog, net) = net_of(src);
+        let mut m = ColMatcher::new(net);
+        let reg = Arc::new(obs::Registry::new());
+        m.enable_obs(&reg);
+        let mut b = ChangeBatch::new();
+        for i in 0..8 {
+            b.push(change(
+                Sign::Plus,
+                wme(&mut prog, "a", vec![Value::Int(i % 3)], i as u64 + 1),
+            ));
+            b.push(change(
+                Sign::Plus,
+                wme(&mut prog, "b", vec![Value::Int(i % 3)], i as u64 + 100),
+            ));
+        }
+        m.submit(&b);
+        m.quiesce();
+        let p = m.node_profile().unwrap();
+        let s = m.stats();
+        assert_eq!(p.total_activations(), s.join_activations);
+        assert_eq!(p.total_scanned(), s.opp_tokens_left + s.opp_tokens_right);
+        let snap = reg.snapshot();
+        let (_, hist) = snap
+            .histograms()
+            .find(|(n, _)| *n == "col_bucket_scan_len")
+            .expect("histogram registered");
+        hist.validate().unwrap();
+        assert!(hist.count > 0);
+    }
+}

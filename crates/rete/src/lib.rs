@@ -20,8 +20,12 @@
 //!   (*vs2*, §3.2), organised in "lines" (pairs of same-index buckets).
 //! * [`seq`] — the sequential matcher over either memory kind, instrumented
 //!   with the Table 4-1/4-2/4-3 statistics.
+//! * [`colmatch`] — the columnar set-at-a-time matcher (*col*): per-join
+//!   value-bucketed struct-of-arrays memories scanned a whole batch at a
+//!   time, with tombstone deletes and inline compaction.
 //! * [`dot`] — Graphviz/ASCII rendering of the network (Figure 2-2).
 
+pub mod colmatch;
 pub mod dot;
 pub mod fxhash;
 pub mod memory;
@@ -29,6 +33,7 @@ pub mod network;
 pub mod seq;
 pub mod token;
 
+pub use colmatch::ColMatcher;
 pub use memory::{HashMemConfig, MemoryKind};
 pub use network::{
     AlphaPatternId, AlphaSucc, EqSpec, JoinId, JoinNode, JoinTest, Network, NetworkOptions,

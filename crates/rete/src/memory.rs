@@ -78,6 +78,11 @@ pub struct Removed<T> {
 /// (right activations) and reused for the removes, inserts, and scans of
 /// that activation. [`ListMem`] has no buckets and returns 0.
 pub trait TokenMem {
+    /// The canonical matcher-variant name this memory kind implements
+    /// ("vs1" for linear lists, "vs2" for the hashed lines). Surfaced as
+    /// `SeqMatcher::name()` so every matcher kind reports a distinct name.
+    fn kind_name(&self) -> &'static str;
+
     /// Bucket key for a token entering this join's left memory.
     fn left_key(&self, j: &JoinNode, token: &Token) -> u64;
 
@@ -156,6 +161,10 @@ impl ListMem {
 }
 
 impl TokenMem for ListMem {
+    fn kind_name(&self) -> &'static str {
+        "vs1"
+    }
+
     fn left_key(&self, _j: &JoinNode, _token: &Token) -> u64 {
         0
     }
@@ -370,6 +379,10 @@ impl HashMem {
 }
 
 impl TokenMem for HashMem {
+    fn kind_name(&self) -> &'static str {
+        "vs2"
+    }
+
     fn left_key(&self, j: &JoinNode, token: &Token) -> u64 {
         j.left_key(token)
     }

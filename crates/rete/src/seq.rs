@@ -457,7 +457,7 @@ impl<M: TokenMem + Send> Matcher for SeqMatcher<M> {
     }
 
     fn name(&self) -> &'static str {
-        "seq"
+        self.mem.kind_name()
     }
 
     fn enable_obs(&mut self, _registry: &Arc<obs::Registry>) {

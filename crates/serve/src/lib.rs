@@ -75,7 +75,7 @@ mod tests {
             .unwrap()
             .expect_ok()
             .unwrap();
-        assert!(open.contains("matcher=seq"), "{open}");
+        assert!(open.contains("matcher=vs2"), "{open}");
 
         c.request("ASSERT sum ^total 0")
             .unwrap()

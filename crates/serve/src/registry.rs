@@ -125,19 +125,21 @@ impl Registry {
     }
 }
 
-/// Maps a protocol matcher name to a [`MatcherKind`]. The `psm` engine gets
-/// one match process: the server multiplexes many sessions over few cores,
-/// so parallelism lives across sessions, not inside one matcher.
+/// Maps a protocol matcher name to a [`MatcherKind`] via the canonical
+/// [`MatcherKind::from_name`] table. The `psm` engine gets one match
+/// process: the server multiplexes many sessions over few cores, so
+/// parallelism lives across sessions, not inside one matcher.
 pub fn matcher_kind(name: &str) -> std::result::Result<MatcherKind, String> {
-    match name {
-        "vs1" => Ok(MatcherKind::Vs1),
-        "vs2" => Ok(MatcherKind::Vs2(rete::HashMemConfig::default())),
-        "lisp" => Ok(MatcherKind::Lisp),
-        "psm" => Ok(MatcherKind::Psm(psm::PsmConfig {
+    match MatcherKind::from_name(name) {
+        Some(MatcherKind::Psm(cfg)) => Ok(MatcherKind::Psm(psm::PsmConfig {
             match_processes: 1,
-            ..psm::PsmConfig::default()
+            ..cfg
         })),
-        other => Err(format!("unknown matcher `{other}` (want vs1|vs2|lisp|psm)")),
+        Some(kind) => Ok(kind),
+        None => Err(format!(
+            "unknown matcher `{name}` (want {})",
+            MatcherKind::NAMES.join("|")
+        )),
     }
 }
 
@@ -177,9 +179,11 @@ mod tests {
 
     #[test]
     fn matcher_names_resolve() {
-        for name in ["vs1", "vs2", "lisp", "psm"] {
-            assert!(matcher_kind(name).is_ok(), "{name}");
+        for name in MatcherKind::NAMES {
+            let kind = matcher_kind(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(kind.name(), *name, "registry preserves the kind");
         }
         assert!(matcher_kind("frob").is_err());
+        assert!(matcher_kind("trace").is_err(), "trace needs a sink");
     }
 }

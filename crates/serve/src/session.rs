@@ -72,8 +72,8 @@ pub struct Session {
     pub program: String,
     engine: Engine,
     /// Matcher the engine was built with — `MIGRATE` without an argument
-    /// rebuilds on the same kind (the matcher's `name()` cannot distinguish
-    /// vs1 from vs2, both are sequential Rete).
+    /// rebuilds on the same kind, keeping its configuration (bucket counts,
+    /// psm process counts) rather than re-deriving it from the name.
     kind: MatcherKind,
     max_cycles_per_run: u64,
     closed: bool,

@@ -95,6 +95,8 @@ pub enum MatcherChoice {
     Lisp,
     /// PSM-E with real threads.
     Psm(PsmConfig),
+    /// col: columnar set-at-a-time matcher.
+    Col,
     /// Sequential trace recorder (feeds the Multimax simulator).
     Trace(Arc<Mutex<RunTrace>>),
 }
@@ -106,6 +108,7 @@ impl MatcherChoice {
             MatcherChoice::Vs2 => "vs2",
             MatcherChoice::Lisp => "lisp",
             MatcherChoice::Psm(_) => "psm-e",
+            MatcherChoice::Col => "col",
             MatcherChoice::Trace(_) => "trace",
         }
     }
@@ -117,6 +120,7 @@ impl MatcherChoice {
             MatcherChoice::Vs2 => MatcherKind::Vs2(rete::HashMemConfig::default()),
             MatcherChoice::Lisp => MatcherKind::Lisp,
             MatcherChoice::Psm(cfg) => MatcherKind::Psm(cfg),
+            MatcherChoice::Col => MatcherKind::Col,
             MatcherChoice::Trace(sink) => MatcherKind::Trace {
                 buckets: 32768,
                 sink,
@@ -225,6 +229,7 @@ mod tests {
             MatcherChoice::Vs2,
             MatcherChoice::Lisp,
             MatcherChoice::Psm(PsmConfig::default()),
+            MatcherChoice::Col,
         ] {
             let (eng, res) = run_workload(&w, &choice).unwrap();
             assert_eq!(res.cycles, 5, "engine {}", choice.label());

@@ -7,7 +7,7 @@
 //! ```text
 //! Usage: ops5 <file.ops> [options]
 //!
-//!   --matcher vs1|vs2|lisp|psm   match engine (default vs2)
+//!   --matcher vs1|vs2|lisp|psm|col   match engine (default vs2)
 //!   --procs N                    psm: match processes (default 4)
 //!   --queues N                   psm: task queues (default 2)
 //!   --mrsw                       psm: MRSW hash-line locks
@@ -95,7 +95,7 @@ fn parse_args() -> Result<Opts, String> {
 }
 
 fn usage() {
-    eprintln!("Usage: ops5 <file.ops> [--matcher vs1|vs2|lisp|psm] [--procs N] [--queues N]");
+    eprintln!("Usage: ops5 <file.ops> [--matcher vs1|vs2|lisp|psm|col] [--procs N] [--queues N]");
     eprintln!(
         "            [--mrsw] [--max-cycles N] [--trace] [--wm] [--network] [--print] [--stats]"
     );
@@ -150,11 +150,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let kind = match opts.matcher.as_str() {
-        "vs1" => MatcherKind::Vs1,
-        "vs2" => MatcherKind::Vs2(HashMemConfig::default()),
-        "lisp" => MatcherKind::Lisp,
-        "psm" => MatcherKind::Psm(PsmConfig {
+    // The canonical name table picks the kind; the psm flags then refine
+    // its configuration.
+    let kind = match MatcherKind::from_name(&opts.matcher) {
+        Some(MatcherKind::Psm(_)) => MatcherKind::Psm(PsmConfig {
             match_processes: opts.procs,
             queues: opts.queues,
             lock_scheme: if opts.mrsw {
@@ -165,8 +164,13 @@ fn main() -> ExitCode {
             buckets: 16384,
             scheduler: psm::SchedulerKind::SpinQueues,
         }),
-        other => {
-            eprintln!("error: unknown matcher {other}");
+        Some(kind) => kind,
+        None => {
+            eprintln!(
+                "error: unknown matcher {} (want {})",
+                opts.matcher,
+                MatcherKind::NAMES.join("|")
+            );
             return ExitCode::FAILURE;
         }
     };

@@ -24,6 +24,7 @@ fn all_choices() -> Vec<MatcherChoice> {
         MatcherChoice::Vs1,
         MatcherChoice::Vs2,
         MatcherChoice::Lisp,
+        MatcherChoice::Col,
         MatcherChoice::Psm(PsmConfig {
             match_processes: 1,
             queues: 1,
@@ -149,7 +150,7 @@ fn corpus_programs_identical_on_all_matchers() {
 }
 
 /// Stronger than the firing log: the conflict-set contents after every
-/// recognize-act cycle, rendered to bytes, must be identical on all four
+/// recognize-act cycle, rendered to bytes, must be identical on all five
 /// matchers for every corpus program. Firing order alone could mask a
 /// memory-level divergence that conflict resolution happens to hide.
 #[test]

@@ -149,6 +149,7 @@ fn kinds() -> Vec<(&'static str, MatcherKind)> {
                 ..psm::PsmConfig::default()
             }),
         ),
+        ("col", MatcherKind::Col),
     ]
 }
 

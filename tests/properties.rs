@@ -221,6 +221,9 @@ proptest! {
         let mut lisp = lispsim::LispEngineMatcher::boxed(&prog);
         prop_assert_eq!(final_cs(lisp.as_mut(), &changes), reference.clone(), "lisp disagrees");
 
+        let mut col = rete::colmatch::boxed_col(net.clone());
+        prop_assert_eq!(final_cs(col.as_mut(), &changes), reference.clone(), "col disagrees");
+
         for scheme in [LockScheme::Simple, LockScheme::Mrsw] {
             let mut par = ParMatcher::new(
                 net.clone(),
@@ -245,6 +248,8 @@ proptest! {
         prop_assert_eq!(final_cs(vs2t.as_mut(), &changes), reference.clone(), "tuned vs2 disagrees");
         let mut lispt = lispsim::LispEngineMatcher::boxed_with(&prog, opts);
         prop_assert_eq!(final_cs(lispt.as_mut(), &changes), reference.clone(), "unlinking lisp disagrees");
+        let mut colt = rete::colmatch::boxed_col(tuned.clone());
+        prop_assert_eq!(final_cs(colt.as_mut(), &changes), reference.clone(), "tuned col disagrees");
         for scheme in [LockScheme::Simple, LockScheme::Mrsw] {
             let mut par = ParMatcher::new(
                 tuned.clone(),
@@ -312,7 +317,7 @@ proptest! {
         // Submitting one change at a time must be indistinguishable from
         // re-chunking the same stream into arbitrary ChangeBatches: the net
         // conflict-set state at every quiesce point is identical, for all
-        // four matchers.
+        // five matchers.
         let src = render(&genp);
         let prog = Program::from_source(&src).expect("generated source parses");
         let net = Arc::new(Network::compile(&prog).expect("network compiles"));
@@ -350,6 +355,10 @@ proptest! {
             ("lisp", Box::new({
                 let prog = prog.clone();
                 move || lispsim::LispEngineMatcher::boxed(&prog)
+            })),
+            ("col", Box::new({
+                let net = net.clone();
+                move || rete::colmatch::boxed_col(net.clone())
             })),
         ];
         for (name, mk) in &factories {
@@ -400,6 +409,67 @@ proptest! {
             ch2.push(WmeChange { sign: Sign::Plus, wme: mk(&prog2, *class, fields, tag) });
         }
         prop_assert_eq!(final_cs(m1.as_mut(), &ch1), final_cs(m2.as_mut(), &ch2));
+    }
+
+    #[test]
+    fn col_compaction_bounds_tombstone_ratio(
+        genp in gen_program(),
+        stream in gen_stream(),
+        chunk_lens in proptest::collection::vec(1usize..6, 1..8),
+    ) {
+        // Random assert/retract interleavings, quiesced at random chunk
+        // boundaries, must never leave any columnar bucket with a tombstone
+        // ratio at or above the compaction threshold — and a col matcher
+        // must agree with vs1 on the final conflict set while doing it.
+        let src = render(&genp);
+        let prog = Program::from_source(&src).expect("generated source parses");
+        let net = Arc::new(Network::compile(&prog).expect("network compiles"));
+
+        let mut live: Vec<WmeRef> = Vec::new();
+        let mut changes = Vec::new();
+        let mut tag = 1u64;
+        for (class, fields, remove) in &stream {
+            if *remove && !live.is_empty() {
+                let w = live.swap_remove((*class as usize) % live.len());
+                changes.push(WmeChange { sign: Sign::Minus, wme: w });
+            } else {
+                let cs = prog.symbols.get(&format!("c{class}")).unwrap();
+                let w = Wme::new(
+                    cs,
+                    fields.iter().map(|&v| Value::Int(v as i64)).collect(),
+                    tag,
+                );
+                tag += 1;
+                live.push(w.clone());
+                changes.push(WmeChange { sign: Sign::Plus, wme: w });
+            }
+        }
+
+        let mut col = rete::ColMatcher::new(net.clone());
+        let mut i = 0;
+        let mut ci = 0;
+        while i < changes.len() {
+            let n = chunk_lens[ci % chunk_lens.len()];
+            ci += 1;
+            let batch: ChangeBatch = changes[i..(i + n).min(changes.len())].iter().cloned().collect();
+            i += n;
+            col.submit(&batch);
+            col.quiesce();
+            prop_assert!(
+                col.max_tombstone_ratio() < rete::colmatch::COMPACT_TOMBSTONE_RATIO,
+                "tombstone ratio {} reached the compaction threshold after quiesce",
+                col.max_tombstone_ratio()
+            );
+        }
+        let mut vs1 = rete::seq::boxed_vs1(net);
+        let reference = final_cs(vs1.as_mut(), &changes);
+        let mut col_state = BTreeSet::new();
+        let mut col2 = rete::ColMatcher::new(Arc::new(Network::compile(&prog).unwrap()));
+        for c in &changes {
+            col2.submit(&ChangeBatch::single(c.clone()));
+        }
+        apply_cs(&mut col_state, col2.quiesce().cs_changes);
+        prop_assert_eq!(col_state, reference, "col disagrees with vs1");
     }
 
     #[test]

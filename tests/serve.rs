@@ -250,7 +250,7 @@ fn metrics_roundtrip_and_endpoint_scrape() {
     // One live session per matcher, each having done some work. Kept open so
     // METRICS? still sees them.
     let mut clients = Vec::new();
-    for m in ["vs1", "vs2", "lisp", "psm"] {
+    for m in ["vs1", "vs2", "lisp", "psm", "col"] {
         let mut c = serve::Client::connect(addr).unwrap();
         c.open("blocks", Some(m)).unwrap().expect_ok().unwrap();
         c.run(100).unwrap().expect_ok().unwrap();
@@ -259,20 +259,22 @@ fn metrics_roundtrip_and_endpoint_scrape() {
 
     let lines = clients[0].metrics().unwrap().expect_lines().unwrap();
     let text = lines.join("\n");
-    // vs1 and vs2 both report the sequential matcher's name; all four
-    // sessions must show up individually.
-    for m in ["seq", "lispsim", "psm-e"] {
+    // Every matcher kind reports a distinct name; all five sessions must
+    // show up individually.
+    for m in ["vs1", "vs2", "lispsim", "psm-e", "col"] {
         assert!(
             text.contains(&format!("matcher=\"{m}\"")),
             "exposition missing matcher {m}:\n{text}"
         );
     }
-    for sid in 1..=4 {
+    for sid in 1..=5 {
         assert!(
             text.contains(&format!("session=\"{sid}\"")),
             "exposition missing session {sid}:\n{text}"
         );
     }
+    // The columnar matcher's bucket scan-length histogram is exposed.
+    assert!(text.contains("col_bucket_scan_len_bucket"), "{text}");
     // Phase histograms per session, pool command latencies, psm worker
     // instruments, and per-node profiling for the rete-based matchers.
     assert!(text.contains("engine_match_ns_bucket"), "{text}");
