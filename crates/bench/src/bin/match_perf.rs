@@ -704,6 +704,151 @@ fn profile_pass(programs: &[(&'static str, Workload)], smoke: bool) -> Vec<Profi
     rows
 }
 
+/// One serial/parallel act comparison on a corpus program × matcher pair.
+struct ActPerfRow {
+    program: &'static str,
+    matcher: &'static str,
+    fired: u64,
+    serial_passes: u64,
+    serial_submits: u64,
+    par_passes: u64,
+    par_submits: u64,
+    groups: u64,
+    mean_group: f64,
+    rejects: u64,
+    doomed: u64,
+}
+
+fn act_perf_run(
+    src: &str,
+    kind: engine::MatcherKind,
+    act: engine::ActStrategy,
+) -> (String, Vec<(u32, Vec<u64>)>, engine::ActStats) {
+    let mut eng = EngineBuilder::from_source(src)
+        .expect("parse corpus program")
+        .matcher(kind)
+        .act_strategy(act)
+        .build()
+        .expect("build engine");
+    eng.load_startup().expect("load startup forms");
+    eng.run(100_000).expect("run");
+    let fired = eng
+        .fired_log()
+        .iter()
+        .map(|(p, tags)| (p.0, tags.clone()))
+        .collect();
+    (eng.snapshot().to_text(), fired, eng.act_stats())
+}
+
+/// Serial vs parallel act phase on the `programs/` corpus. Equality of the
+/// firing log and final working-memory snapshot is asserted unconditionally
+/// (the parallel act is serial-equivalent by construction, and this is the
+/// bench-side witness); the perf claim is that grouped firings fold into
+/// fewer match passes and matcher submissions. Rows land in
+/// `BENCH_match.json` under `"act_perf"`. Under `--smoke` gates on triage
+/// reaching a mean group size above 1.5 with strictly fewer match passes
+/// and submits than the serial run.
+fn act_perf(smoke: bool) -> Vec<ActPerfRow> {
+    bench::header("Act phase: serial vs parallel (corpus programs)");
+    println!(
+        "{:<10} {:<6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "PROGRAM",
+        "ENGINE",
+        "fired",
+        "passes",
+        "submits",
+        "passes'",
+        "submits'",
+        "groups",
+        "mean",
+        "rejects",
+        "doomed"
+    );
+    let mut rows = Vec::new();
+    for name in ["blocks", "fibonacci", "monkey", "hanoi", "triage"] {
+        let src = std::fs::read_to_string(format!("programs/{name}.ops"))
+            .expect("read corpus program (run from the workspace root)");
+        let matchers: Vec<(&'static str, engine::MatcherKind)> = if name == "triage" {
+            // triage is the grouping showcase; cover both the default and
+            // the columnar matcher there.
+            vec![
+                (
+                    "vs2",
+                    engine::MatcherKind::Vs2(rete::HashMemConfig::default()),
+                ),
+                ("col", engine::MatcherKind::Col),
+            ]
+        } else {
+            vec![(
+                "vs2",
+                engine::MatcherKind::Vs2(rete::HashMemConfig::default()),
+            )]
+        };
+        for (label, kind) in matchers {
+            let (s_snap, s_fired, s_stats) =
+                act_perf_run(&src, kind.clone(), engine::ActStrategy::Serial);
+            let (p_snap, p_fired, p_stats) =
+                act_perf_run(&src, kind, engine::ActStrategy::parallel());
+            assert_eq!(
+                p_fired, s_fired,
+                "{name}/{label}: parallel act changed the firing log"
+            );
+            assert_eq!(
+                p_snap, s_snap,
+                "{name}/{label}: parallel act changed final working memory"
+            );
+            let row = ActPerfRow {
+                program: name,
+                matcher: label,
+                fired: p_stats.fired,
+                serial_passes: s_stats.match_passes,
+                serial_submits: s_stats.act_submits,
+                par_passes: p_stats.match_passes,
+                par_submits: p_stats.act_submits,
+                groups: p_stats.groups,
+                mean_group: p_stats.mean_group_size(),
+                rejects: p_stats.interference_rejects,
+                doomed: p_stats.doomed_skips,
+            };
+            println!(
+                "{:<10} {:<6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7.2} {:>7} {:>7}",
+                row.program,
+                row.matcher,
+                row.fired,
+                row.serial_passes,
+                row.serial_submits,
+                row.par_passes,
+                row.par_submits,
+                row.groups,
+                row.mean_group,
+                row.rejects,
+                row.doomed
+            );
+            if smoke && name == "triage" {
+                assert!(
+                    row.mean_group > 1.5,
+                    "triage/{label}: mean act group size {:.2} <= 1.5 — grouping regressed",
+                    row.mean_group
+                );
+                assert!(
+                    row.par_submits < row.serial_submits,
+                    "triage/{label}: parallel submits {} not below serial {}",
+                    row.par_submits,
+                    row.serial_submits
+                );
+                assert!(
+                    row.par_passes < row.serial_passes,
+                    "triage/{label}: parallel match passes {} not below serial {}",
+                    row.par_passes,
+                    row.serial_passes
+                );
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
 fn smoke_programs() -> Vec<(&'static str, Workload)> {
     vec![
         (
@@ -746,6 +891,11 @@ fn matchers() -> Vec<MatcherChoice> {
 }
 
 fn main() {
+    // The workload sections gate on deterministic counters measured under
+    // the serial act phase; the act comparison below sets its strategies
+    // explicitly. Scrub the env knob so an `OPS5_ACT=parallel` CI job
+    // (act-smoke) exercises the same gates as the default one.
+    std::env::remove_var("OPS5_ACT");
     let smoke = std::env::args().any(|a| a == "--smoke");
     let profile_mode = std::env::args().any(|a| a == "--profile");
     let programs: Vec<(&'static str, Workload)> = if smoke {
@@ -802,6 +952,9 @@ fn main() {
     println!();
     let col_rows = col_batch_comparison(&programs, smoke);
 
+    println!();
+    let act_rows = act_perf(smoke);
+
     let profile_rows = if profile_mode {
         println!();
         profile_pass(&programs, smoke)
@@ -850,6 +1003,31 @@ fn main() {
                 r.allocs_per_change,
                 r.cs_changes,
                 if i + 1 == col_rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]");
+    }
+    if !act_rows.is_empty() {
+        json.push_str(",\n  \"act_perf\": [\n");
+        for (i, r) in act_rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"program\": \"{}\", \"matcher\": \"{}\", \"fired\": {}, \
+                 \"serial_match_passes\": {}, \"serial_act_submits\": {}, \
+                 \"parallel_match_passes\": {}, \"parallel_act_submits\": {}, \
+                 \"groups\": {}, \"mean_group_size\": {:.3}, \
+                 \"interference_rejects\": {}, \"doomed_skips\": {}}}{}\n",
+                r.program,
+                r.matcher,
+                r.fired,
+                r.serial_passes,
+                r.serial_submits,
+                r.par_passes,
+                r.par_submits,
+                r.groups,
+                r.mean_group,
+                r.rejects,
+                r.doomed,
+                if i + 1 == act_rows.len() { "" } else { "," }
             ));
         }
         json.push_str("  ]");

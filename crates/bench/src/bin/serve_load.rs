@@ -197,7 +197,11 @@ fn references(programs: &Path, names: &[&str]) -> HashMap<String, Vec<String>> {
     for name in names {
         let spec = reg.get(name).unwrap_or_else(|| panic!("missing {name}"));
         let mut eng = spec
-            .build(serve::matcher_kind("psm").unwrap(), Default::default())
+            .build(
+                serve::matcher_kind("psm").unwrap(),
+                Default::default(),
+                None,
+            )
             .expect("build reference engine");
         eng.run(400_000).expect("reference run");
         let lines: Vec<String> = eng
@@ -251,7 +255,7 @@ fn reference_fired(reg: &Registry, program: &str, matcher: &str) -> Result<Vec<S
         .get(program)
         .ok_or_else(|| format!("unknown program `{program}`"))?;
     let mut eng = spec
-        .build(serve::matcher_kind(matcher)?, Default::default())
+        .build(serve::matcher_kind(matcher)?, Default::default(), None)
         .map_err(|e| e.to_string())?;
     eng.run(400_000).map_err(|e| e.to_string())?;
     Ok(eng

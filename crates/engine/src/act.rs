@@ -1,0 +1,258 @@
+//! Parallel act: non-interfering multi-firing.
+//!
+//! The paper parallelizes match only; conflict resolution and firing stay
+//! sequential. This module lifts that restriction *without changing
+//! observable semantics*: each cycle it walks the conflict set in LEX/MEA
+//! dominance order and greedily selects a prefix of pairwise
+//! non-interfering instantiations, evaluates their (pure) RHSes
+//! concurrently, and merges the emissions in conflict-set order into one
+//! [`ChangeBatch`](ops5::ChangeBatch) — k firings, one match pass.
+//!
+//! ## Serial-equivalence rules
+//!
+//! A candidate `q` joins a group whose selected members are `x₁..xₙ` (all
+//! dominating `q`) only if firing `x₁..xₙ` first could not have changed
+//! what `q` does or whether `q` still exists:
+//!
+//! * **Prefix discipline** — selection walks the CS in dominance order and
+//!   *stops* at the first conflicting candidate (counted in
+//!   [`ActStats::interference_rejects`]). Skipping past a conflict would
+//!   reorder firings relative to a serial run.
+//! * **Doomed skip** — the one sound exception: if some selected `xᵢ`
+//!   retracts a WME that `q` matched, serial execution would destroy `q`'s
+//!   instantiation before its turn (timetags are unique, so it cannot be
+//!   re-derived). `q` is skipped (counted in [`ActStats::doomed_skips`])
+//!   and the walk continues.
+//! * **Write/write and write/read disjointness** — `q` is a conflict if it
+//!   retracts a WME any selected member matched, or if any selected
+//!   member's made classes intersect `q`'s made classes or `q`'s
+//!   production's LHS classes.
+//! * **Fertility closure** — a *fertile* production (see
+//!   [`ops5::ActFootprints`]) could spawn a new instantiation that
+//!   dominates the rest of the group mid-sequence, so a fertile member
+//!   always closes its group. Likewise a production containing `halt`:
+//!   serial execution fires nothing after a halt.
+//!
+//! Members of a closed group are therefore exactly the firings a serial
+//! engine would perform next, in the same order; the merge path in
+//! [`Engine`](crate::Engine) replays their effects in that order, so
+//! timetag and gensym assignment — and hence the firing log, working
+//! memory, and durability journal — are byte-identical to `Serial`.
+
+use crate::cr;
+use crate::rhs::{self, RhsEffect, RhsProgram};
+use ops5::{ActFootprints, Instantiation, Production, Result, Strategy, SymbolId, SymbolTable};
+
+/// How the act phase fires the conflict set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActStrategy {
+    /// Paper-faithful: one firing per cycle (the default).
+    #[default]
+    Serial,
+    /// Fire up to `max_group` pairwise non-interfering instantiations per
+    /// cycle, merging their effects into one batch.
+    Parallel { max_group: usize },
+}
+
+impl ActStrategy {
+    /// Default group cap for [`ActStrategy::parallel`] and the
+    /// `OPS5_ACT=parallel` knob.
+    pub const DEFAULT_MAX_GROUP: usize = 8;
+
+    /// `Parallel` with the default group cap.
+    pub fn parallel() -> ActStrategy {
+        ActStrategy::Parallel {
+            max_group: Self::DEFAULT_MAX_GROUP,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActStrategy::Serial => "serial",
+            ActStrategy::Parallel { .. } => "parallel",
+        }
+    }
+
+    /// Parses `serial`, `parallel`, or `parallel:<max_group>`.
+    pub fn from_name(s: &str) -> Option<ActStrategy> {
+        match s {
+            "serial" => Some(ActStrategy::Serial),
+            "parallel" => Some(ActStrategy::parallel()),
+            _ => {
+                let k = s.strip_prefix("parallel:")?.parse::<usize>().ok()?;
+                (k >= 1).then_some(ActStrategy::Parallel { max_group: k })
+            }
+        }
+    }
+}
+
+/// Always-on act-phase counters (plain integers — no obs layer required),
+/// the deterministic perf surface for the `act_perf` gate: on a fixed
+/// program, `match_passes` and `act_submits` shrink in proportion to the
+/// mean group size while `fired` stays constant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActStats {
+    /// Act phases that fired at least one instantiation (a serial firing
+    /// counts as a group of one).
+    pub groups: u64,
+    /// Total instantiations fired.
+    pub fired: u64,
+    /// Group extensions refused because of a footprint conflict (each
+    /// closes its group).
+    pub interference_rejects: u64,
+    /// Candidates skipped because a selected member retracts a WME they
+    /// matched (serial execution would destroy them before their turn).
+    pub doomed_skips: u64,
+    /// RHS-effect batches submitted to the matcher.
+    pub act_submits: u64,
+    /// Matcher quiesce passes taken by `step`/`step_group` (excludes
+    /// `settle`, which fires nothing).
+    pub match_passes: u64,
+}
+
+impl ActStats {
+    /// Mean firings per firing act phase.
+    pub fn mean_group_size(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.fired as f64 / self.groups as f64
+        }
+    }
+}
+
+fn retract_tags(inst: &Instantiation, fps: &ActFootprints) -> Vec<u64> {
+    fps.prods[inst.prod.index()]
+        .retract_ces
+        .iter()
+        .filter_map(|&ce| inst.wmes.get(ce).map(|w| w.timetag))
+        .collect()
+}
+
+/// Selects the next act group: a dominance-ordered prefix of the unfired
+/// conflict set, pairwise non-interfering, at most `cap` members, with any
+/// fertile or halting member last. With `cap == 1` this is exactly
+/// [`cr::select`].
+pub(crate) fn select_group<'a>(
+    strategy: Strategy,
+    candidates: impl Iterator<Item = &'a Instantiation>,
+    prods: &[Production],
+    fps: &ActFootprints,
+    cap: usize,
+    stats: &mut ActStats,
+) -> Vec<Instantiation> {
+    let mut ordered: Vec<&Instantiation> = candidates.collect();
+    if ordered.is_empty() || cap == 0 {
+        return Vec::new();
+    }
+    // Dominant instantiation first: `order_dominates(b, a) == Less` iff `a`
+    // fires before `b`.
+    ordered.sort_unstable_by(|a, b| cr::order_dominates(strategy, b, a, prods));
+
+    let mut group: Vec<Instantiation> = Vec::new();
+    let mut sel_tags: Vec<u64> = Vec::new(); // WMEs matched by selected members
+    let mut sel_retracts: Vec<u64> = Vec::new(); // WMEs retracted by selected members
+    let mut sel_makes: Vec<SymbolId> = Vec::new(); // classes made by selected members
+
+    for cand in ordered {
+        if group.len() >= cap {
+            break;
+        }
+        let fp = &fps.prods[cand.prod.index()];
+        if !group.is_empty() {
+            // Doomed: a selected member retracts a WME this candidate
+            // matched, so serial execution destroys it before its turn.
+            if cand.wmes.iter().any(|w| sel_retracts.contains(&w.timetag)) {
+                stats.doomed_skips += 1;
+                continue;
+            }
+            let q_retracts = retract_tags(cand, fps);
+            let conflicts =
+                // The candidate would retract a WME a selected member
+                // matched (the selected member must fire off it first).
+                q_retracts.iter().any(|t| sel_tags.contains(t))
+                // Write∩write: both assert into the same class.
+                || fp.make_classes.iter().any(|c| sel_makes.contains(c))
+                // Writeᵢ∩readⱼ: a selected member asserts into a class this
+                // candidate's LHS depends on.
+                || fp.pos_reads.iter().chain(&fp.neg_reads).any(|c| sel_makes.contains(c));
+            if conflicts {
+                stats.interference_rejects += 1;
+                break;
+            }
+        }
+        sel_tags.extend(cand.wmes.iter().map(|w| w.timetag));
+        sel_retracts.extend(retract_tags(cand, fps));
+        sel_makes.extend_from_slice(&fp.make_classes);
+        let closes = fps.fertile[cand.prod.index()] || fp.has_halt;
+        group.push(cand.clone());
+        if closes {
+            break;
+        }
+    }
+    group
+}
+
+/// One group member's evaluation: the effects it emitted (in order, up to
+/// any interpreter error) and the interpreter's verdict (`Ok(halted)` or
+/// the error).
+pub(crate) type EvalOut = (Vec<RhsEffect>, Result<bool>);
+
+/// Upper bound on concurrent RHS evaluators per group. Small and per-group
+/// (scoped threads) so a serve host multiplexing hundreds of engines never
+/// accumulates idle act workers.
+const MAX_EVAL_WORKERS: usize = 4;
+
+fn eval_one(
+    rhs: &[RhsProgram],
+    inst: &Instantiation,
+    pre: &[SymbolId],
+    syms: &SymbolTable,
+) -> EvalOut {
+    let mut fx = Vec::new();
+    let res = rhs::execute_prealloc(&rhs[inst.prod.index()], inst, syms, pre, |e| fx.push(e));
+    (fx, res)
+}
+
+/// Evaluates every group member's RHS concurrently against the immutable
+/// symbol table, with gensyms pre-interned per member. Results come back
+/// indexed like `group` (conflict-set order) for the serial-order merge.
+pub(crate) fn eval_group(
+    rhs: &[RhsProgram],
+    group: &[Instantiation],
+    pre: &[Vec<SymbolId>],
+    syms: &SymbolTable,
+) -> Vec<EvalOut> {
+    let n = group.len();
+    let workers = n.min(MAX_EVAL_WORKERS);
+    if workers <= 1 {
+        return group
+            .iter()
+            .zip(pre)
+            .map(|(inst, pre)| eval_one(rhs, inst, pre, syms))
+            .collect();
+    }
+    let mut out: Vec<Option<EvalOut>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers - 1);
+        for stripe in 1..workers {
+            handles.push(scope.spawn(move || {
+                (stripe..n)
+                    .step_by(workers)
+                    .map(|i| (i, eval_one(rhs, &group[i], &pre[i], syms)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for i in (0..n).step_by(workers) {
+            out[i] = Some(eval_one(rhs, &group[i], &pre[i], syms));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("act eval worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("act eval stripe missed a member"))
+        .collect()
+}

@@ -20,6 +20,7 @@
 //! assert_eq!(r.cycles, 1);
 //! ```
 
+use crate::act::ActStrategy;
 use crate::interp::Engine;
 use ops5::{Matcher, Program, Result, Strategy};
 use psm::trace::{RunTrace, TraceMatcher};
@@ -98,6 +99,8 @@ pub struct EngineBuilder {
     matcher: MatcherKind,
     matcher_set: bool,
     strategy: Option<Strategy>,
+    act: ActStrategy,
+    act_set: bool,
     echo_writes: bool,
     keep_fired_log: bool,
     limits: crate::interp::EngineLimits,
@@ -131,6 +134,8 @@ impl EngineBuilder {
             matcher: MatcherKind::default(),
             matcher_set: false,
             strategy: None,
+            act: ActStrategy::Serial,
+            act_set: false,
             echo_writes: false,
             keep_fired_log: true,
             limits: crate::interp::EngineLimits::default(),
@@ -200,6 +205,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Picks the act-phase strategy (default: [`ActStrategy::Serial`], the
+    /// paper-faithful one-firing-per-cycle loop). An explicit choice also
+    /// opts the builder out of the `OPS5_ACT` environment override.
+    pub fn act_strategy(mut self, act: ActStrategy) -> Self {
+        self.act = act;
+        self.act_set = true;
+        self
+    }
+
     /// Echo `write` output to stdout as it is produced.
     pub fn echo_writes(mut self, on: bool) -> Self {
         self.echo_writes = on;
@@ -259,6 +273,26 @@ impl EngineBuilder {
             }
             _ => self.matcher,
         };
+        // Same lever for the act phase: `OPS5_ACT` (`serial`, `parallel`,
+        // or `parallel:<max_group>`) re-points builders that kept the
+        // default. The trace matcher stays pinned to the paper-faithful
+        // serial act unless the caller opted in explicitly — grouped
+        // submissions would change the recorded task batches and shift the
+        // simulator tables.
+        let act = match std::env::var("OPS5_ACT") {
+            Ok(name)
+                if !self.act_set
+                    && !name.is_empty()
+                    && !matches!(matcher, MatcherKind::Trace { .. }) =>
+            {
+                ActStrategy::from_name(&name).ok_or_else(|| {
+                    ops5::Ops5Error::Runtime(format!(
+                        "OPS5_ACT={name} is not `serial`, `parallel`, or `parallel:<max_group>`"
+                    ))
+                })?
+            }
+            _ => self.act,
+        };
         let opts = match self.network_options {
             Some(o) => o,
             // Pin the trace matcher to the paper-faithful defaults unless
@@ -299,6 +333,7 @@ impl EngineBuilder {
         eng.echo_writes = self.echo_writes;
         eng.keep_fired_log = self.keep_fired_log;
         eng.limits = self.limits;
+        eng.set_act_strategy(act);
         eng.enable_obs(self.obs);
         Ok(eng)
     }

@@ -1,12 +1,13 @@
 //! The recognize-act interpreter — the paper's control process.
 
+use crate::act::{self, ActStats, ActStrategy};
 use crate::cr;
 use crate::cs::ConflictSet;
 use crate::rhs::{self, RhsEffect, RhsProgram};
 use crate::wm::WorkingMemory;
 use ops5::{
-    ChangeBatch, Instantiation, Matcher, Ops5Error, PhaseNanos, ProdId, Program, Result, Sign,
-    SymbolId, Value, WmeChange, WmeRef,
+    ActFootprints, ChangeBatch, Instantiation, Matcher, Ops5Error, PhaseNanos, ProdId, Program,
+    Result, Sign, SymbolId, Value, WmeChange, WmeRef,
 };
 use rete::network::Network;
 use std::sync::Arc;
@@ -78,6 +79,13 @@ pub struct Engine {
     /// Observability instruments; `None` (the default) costs one branch per
     /// step and zero allocation.
     obs: Option<EngineObs>,
+    /// Act-phase strategy (see [`ActStrategy`]); `Serial` by default.
+    act: ActStrategy,
+    /// Always-on act-phase counters (see [`ActStats`]).
+    act_stats: ActStats,
+    /// Static act footprints, computed lazily on the first switch to
+    /// [`ActStrategy::Parallel`].
+    footprints: Option<Arc<ActFootprints>>,
 }
 
 /// The engine's slice of the observability layer: a per-engine registry
@@ -88,6 +96,10 @@ struct EngineObs {
     resolve_ns: Arc<obs::Histogram>,
     act_ns: Arc<obs::Histogram>,
     firings: Arc<obs::Counter>,
+    /// Firings per act group (parallel act; serial records nothing).
+    act_group_size: Arc<obs::Histogram>,
+    /// Group extensions refused by the interference checks.
+    act_rejects: Arc<obs::Counter>,
     last_phase: Option<PhaseNanos>,
 }
 
@@ -135,6 +147,9 @@ impl Engine {
             staged: ChangeBatch::new(),
             journal: None,
             obs: None,
+            act: ActStrategy::Serial,
+            act_stats: ActStats::default(),
+            footprints: None,
         })
     }
 
@@ -158,6 +173,8 @@ impl Engine {
             resolve_ns: registry.histogram("engine_resolve_ns", vec![]),
             act_ns: registry.histogram("engine_act_ns", vec![]),
             firings: registry.counter("engine_firings_total", vec![]),
+            act_group_size: registry.histogram("engine_act_group_size", vec![]),
+            act_rejects: registry.counter("act_interference_rejects", vec![]),
             registry,
             last_phase: None,
         });
@@ -200,6 +217,26 @@ impl Engine {
 
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// The act-phase strategy this engine runs with.
+    pub fn act_strategy(&self) -> ActStrategy {
+        self.act
+    }
+
+    /// Switches the act-phase strategy. Safe at any point between runs —
+    /// `Parallel` is serial-equivalent by construction, so mixing
+    /// strategies over an engine's lifetime changes nothing observable.
+    pub fn set_act_strategy(&mut self, act: ActStrategy) {
+        if matches!(act, ActStrategy::Parallel { .. }) && self.footprints.is_none() {
+            self.footprints = Some(Arc::new(ActFootprints::new(&self.prog)));
+        }
+        self.act = act;
+    }
+
+    /// Always-on act-phase counters.
+    pub fn act_stats(&self) -> ActStats {
+        self.act_stats
     }
 
     pub fn fired_log(&self) -> &[(ProdId, Vec<u64>)] {
@@ -385,6 +422,7 @@ impl Engine {
         self.flush_staged();
         let report = self.matcher.quiesce();
         self.cs.apply_all(report.cs_changes);
+        self.act_stats.match_passes += 1;
         let t_match = t_start.map(|_| Instant::now());
         let winner = cr::select(
             self.prog.strategy,
@@ -392,18 +430,8 @@ impl Engine {
             &self.prog.productions,
         );
         if let Some(w) = &winner {
-            self.cs.mark_fired(w);
-            self.cycles += 1;
-            if self.keep_fired_log {
-                self.fired_log
-                    .push((w.prod, w.wmes.iter().map(|w| w.timetag).collect()));
-            }
-            if let Some(j) = self.journal.as_mut() {
-                j.push(crate::state::LogRecord::Fire {
-                    prod: self.prog.prod_name(w.prod).to_string(),
-                    tags: w.wmes.iter().map(|w| w.timetag).collect(),
-                });
-            }
+            self.record_firing(w);
+            self.act_stats.groups += 1;
         }
         let t_resolve = t_start.map(|_| Instant::now());
         let fire_result = match &winner {
@@ -425,6 +453,26 @@ impl Engine {
         }
         fire_result?;
         Ok(winner)
+    }
+
+    /// Refraction-marks, counts, logs, and journals one firing — everything
+    /// about a firing except its effects. Shared by the serial and grouped
+    /// act paths; called in conflict-set order, so the fired log and the
+    /// durability journal are identical under both.
+    fn record_firing(&mut self, w: &Instantiation) {
+        self.cs.mark_fired(w);
+        self.cycles += 1;
+        self.act_stats.fired += 1;
+        if self.keep_fired_log {
+            self.fired_log
+                .push((w.prod, w.wmes.iter().map(|w| w.timetag).collect()));
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.push(crate::state::LogRecord::Fire {
+                prod: self.prog.prod_name(w.prod).to_string(),
+                tags: w.wmes.iter().map(|w| w.timetag).collect(),
+            });
+        }
     }
 
     fn fire(&mut self, inst: &Instantiation) -> Result<()> {
@@ -476,6 +524,7 @@ impl Engine {
         // error, so the batch still goes out even on the error path.
         if !batch.is_empty() {
             self.matcher.submit(&batch);
+            self.act_stats.act_submits += 1;
         }
         if let Some(e) = err {
             return Err(e);
@@ -484,6 +533,140 @@ impl Engine {
             self.halted = true;
         }
         Ok(())
+    }
+
+    /// One parallel act phase: match, select a non-interfering group of at
+    /// most `cap` instantiations, evaluate their RHSes concurrently, and
+    /// merge the effects in conflict-set order into a single matcher
+    /// submission. Returns the number of firings (0 at quiescence).
+    ///
+    /// Only called from [`run`](Self::run), which has already checked the
+    /// halt flag and the cycle budget and has folded both into `cap`.
+    fn step_group(&mut self, cap: usize) -> Result<u64> {
+        let t_start = self.obs.as_ref().map(|_| Instant::now());
+        self.flush_staged();
+        let report = self.matcher.quiesce();
+        self.cs.apply_all(report.cs_changes);
+        self.act_stats.match_passes += 1;
+        let t_match = t_start.map(|_| Instant::now());
+
+        let fps = match &self.footprints {
+            Some(f) => f.clone(),
+            None => {
+                let f = Arc::new(ActFootprints::new(&self.prog));
+                self.footprints = Some(f.clone());
+                f
+            }
+        };
+        let rejects_before = self.act_stats.interference_rejects;
+        let group = act::select_group(
+            self.prog.strategy,
+            self.cs.candidates(),
+            &self.prog.productions,
+            &fps,
+            cap,
+            &mut self.act_stats,
+        );
+        let t_resolve = t_start.map(|_| Instant::now());
+        let reject_delta = self.act_stats.interference_rejects - rejects_before;
+        if let Some(o) = self.obs.as_mut() {
+            if reject_delta > 0 {
+                o.act_rejects.add(reject_delta);
+            }
+            if !group.is_empty() {
+                o.act_group_size.record(group.len() as u64);
+            }
+        }
+
+        let mut fired = 0u64;
+        let mut fatal: Option<Ops5Error> = None;
+        let mut batch = ChangeBatch::new();
+        if !group.is_empty() {
+            self.act_stats.groups += 1;
+            // Pre-intern every gensym the group draws, in conflict-set
+            // order, so the symbol table advances exactly as a serial run
+            // would; RHS evaluation itself then only reads the table.
+            let pre: Vec<Vec<SymbolId>> = group
+                .iter()
+                .map(|w| {
+                    let n = fps.prods[w.prod.index()].gensyms;
+                    (0..n).map(|_| self.prog.symbols.gensym()).collect()
+                })
+                .collect();
+            let evals = act::eval_group(&self.rhs, &group, &pre, &self.prog.symbols);
+
+            // Merge in conflict-set order: timetags, refraction marks, the
+            // fired log, the journal, and `write` output land exactly as k
+            // serial firings would — but the matcher sees one batch.
+            'members: for (w, (fx, res)) in group.iter().zip(evals) {
+                self.record_firing(w);
+                fired += 1;
+                for effect in fx {
+                    match effect {
+                        RhsEffect::Make { class, fields } => {
+                            let made = self.wm.make(class, fields);
+                            batch.add(made);
+                        }
+                        RhsEffect::Remove { wme } => match self.wm.remove(wme.timetag) {
+                            Some(dead) => batch.delete(dead),
+                            None => {
+                                fatal = Some(Ops5Error::Runtime(format!(
+                                    "RHS removed wme {} twice",
+                                    wme.timetag
+                                )));
+                                break 'members;
+                            }
+                        },
+                        RhsEffect::Write(s) => {
+                            if !self.line.is_empty() {
+                                self.line.push(' ');
+                            }
+                            self.line.push_str(&s);
+                        }
+                        RhsEffect::Crlf => {
+                            if self.echo_writes {
+                                println!("{}", self.line);
+                            }
+                            self.output.push(std::mem::take(&mut self.line));
+                        }
+                    }
+                }
+                match res {
+                    Err(e) => {
+                        fatal = Some(e);
+                        break 'members;
+                    }
+                    Ok(true) => {
+                        self.halted = true;
+                        break 'members;
+                    }
+                    Ok(false) => {}
+                }
+            }
+        }
+        // Working memory already reflects every effect applied before an
+        // error, so the batch still goes out even on the error path.
+        if !batch.is_empty() {
+            self.matcher.submit(&batch);
+            self.act_stats.act_submits += 1;
+        }
+        if let (Some(t0), Some(t1), Some(t2)) = (t_start, t_match, t_resolve) {
+            let phase = PhaseNanos {
+                match_ns: (t1 - t0).as_nanos() as u64,
+                resolve_ns: (t2 - t1).as_nanos() as u64,
+                act_ns: t2.elapsed().as_nanos() as u64,
+            };
+            if let Some(o) = self.obs.as_mut() {
+                o.observe(phase);
+                if fired > 0 {
+                    o.firings.add(fired);
+                }
+            }
+        }
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        Ok(fired)
     }
 
     /// Runs until halt, quiescence, or the cycle limit.
@@ -511,7 +694,22 @@ impl Engine {
                     reason: StopReason::CycleLimit,
                 });
             }
-            if self.step()?.is_none() {
+            let fired = match self.act {
+                ActStrategy::Serial => self.step()?.is_some(),
+                ActStrategy::Parallel { max_group } => {
+                    // A k-firing group counts as k cycles, so the group cap
+                    // folds in both the caller's limit and the lifetime
+                    // budget — `RUN n` stops on the same cycle and with the
+                    // same reason under either strategy.
+                    let mut cap = max_group.max(1) as u64;
+                    cap = cap.min(max_cycles - (self.cycles - start));
+                    if let Some(m) = self.limits.max_cycles {
+                        cap = cap.min(m.saturating_sub(self.cycles));
+                    }
+                    self.step_group(cap as usize)? > 0
+                }
+            };
+            if !fired {
                 self.finish_output();
                 return Ok(RunResult {
                     cycles: self.cycles - start,

@@ -17,6 +17,7 @@
 //! the paper's match engines (vs1, vs2, the lisp baseline, PSM-E) plus the
 //! trace recorder.
 
+pub mod act;
 pub mod builder;
 pub mod cr;
 pub mod cs;
@@ -25,6 +26,7 @@ pub mod rhs;
 pub mod state;
 pub mod wm;
 
+pub use act::{ActStats, ActStrategy};
 pub use builder::{EngineBuilder, MatcherKind};
 pub use cr::order_dominates;
 pub use cs::ConflictSet;

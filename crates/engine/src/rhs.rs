@@ -207,6 +207,43 @@ pub fn compile_rhs(
     Ok(RhsProgram { code, n_locals })
 }
 
+/// Where `GensymLocal` draws fresh symbols from.
+///
+/// The serial act path hands the interpreter the mutable symbol table; the
+/// parallel act path pre-interns every gensym a group will need (in
+/// conflict-set order, so the counter advances exactly as a serial run
+/// would) and evaluates RHSes against a shared immutable table.
+enum GensymSource<'a> {
+    Table(&'a mut SymbolTable),
+    Pre {
+        syms: &'a SymbolTable,
+        pre: &'a [SymbolId],
+        next: usize,
+    },
+}
+
+impl GensymSource<'_> {
+    fn next(&mut self) -> Result<SymbolId> {
+        match self {
+            GensymSource::Table(t) => Ok(t.gensym()),
+            GensymSource::Pre { pre, next, .. } => {
+                let id = pre.get(*next).copied().ok_or_else(|| {
+                    Ops5Error::Runtime("pre-allocated gensym pool exhausted".into())
+                })?;
+                *next += 1;
+                Ok(id)
+            }
+        }
+    }
+
+    fn syms(&self) -> &SymbolTable {
+        match self {
+            GensymSource::Table(t) => t,
+            GensymSource::Pre { syms, .. } => syms,
+        }
+    }
+}
+
 /// Interprets a compiled RHS for one instantiation.
 ///
 /// Effects are delivered to `sink` in order, which lets the engine pipeline
@@ -216,6 +253,37 @@ pub fn execute(
     prog: &RhsProgram,
     inst: &Instantiation,
     syms: &mut SymbolTable,
+    sink: impl FnMut(RhsEffect),
+) -> Result<bool> {
+    execute_core(prog, inst, &mut GensymSource::Table(syms), sink)
+}
+
+/// [`execute`] against an immutable symbol table, drawing gensyms from a
+/// pre-interned pool. This variant is pure (no engine state is touched), so
+/// group members can be evaluated concurrently.
+pub fn execute_prealloc(
+    prog: &RhsProgram,
+    inst: &Instantiation,
+    syms: &SymbolTable,
+    gensyms: &[SymbolId],
+    sink: impl FnMut(RhsEffect),
+) -> Result<bool> {
+    execute_core(
+        prog,
+        inst,
+        &mut GensymSource::Pre {
+            syms,
+            pre: gensyms,
+            next: 0,
+        },
+        sink,
+    )
+}
+
+fn execute_core(
+    prog: &RhsProgram,
+    inst: &Instantiation,
+    gensyms: &mut GensymSource<'_>,
     mut sink: impl FnMut(RhsEffect),
 ) -> Result<bool> {
     let mut stack: Vec<Value> = Vec::with_capacity(8);
@@ -289,11 +357,11 @@ pub fn execute(
                 locals[*i as usize] = v;
             }
             Instr::GensymLocal(i) => {
-                locals[*i as usize] = Value::Sym(syms.gensym());
+                locals[*i as usize] = Value::Sym(gensyms.next()?);
             }
             Instr::Write => {
                 let v = stack.pop().ok_or_else(stack_underflow)?;
-                sink(RhsEffect::Write(format!("{}", v.display(syms))));
+                sink(RhsEffect::Write(format!("{}", v.display(gensyms.syms()))));
             }
             Instr::WriteCrlf => sink(RhsEffect::Crlf),
             Instr::Halt => halted = true,

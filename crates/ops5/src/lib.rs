@@ -24,6 +24,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod footprint;
 pub mod lexer;
 pub mod matchapi;
 pub mod parser;
@@ -36,6 +37,7 @@ pub mod wme;
 
 pub use ast::{Action, AttrTest, CondElem, Production, RhsExpr, RhsValue, WriteItem};
 pub use error::{Ops5Error, Result};
+pub use footprint::{ActFootprints, ProdFootprint};
 pub use matchapi::{
     ChangeBatch, CsChange, Instantiation, MatchStats, Matcher, PhaseNanos, QuiesceReport, Sign,
     StatsDeltaTracker, WmeChange,

@@ -8,7 +8,7 @@
 //! `rubik` workload, so the server's sessions exercise both hand-written
 //! corpus programs and the paper's benchmark generator.
 
-use engine::{Engine, EngineBuilder, EngineLimits, MatcherKind};
+use engine::{ActStrategy, Engine, EngineBuilder, EngineLimits, MatcherKind};
 use ops5::{Result, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -30,11 +30,21 @@ impl ProgramSpec {
 
     /// Builds a fresh engine for this spec: parse, compile, install the
     /// matcher, load the source's startup forms, then the setup WMEs.
-    pub fn build(&self, kind: MatcherKind, limits: EngineLimits) -> Result<Engine> {
-        let mut eng = EngineBuilder::from_source(&self.source)?
+    /// `act` pins the act strategy; `None` keeps the builder default (and
+    /// with it the `OPS5_ACT` environment knob).
+    pub fn build(
+        &self,
+        kind: MatcherKind,
+        limits: EngineLimits,
+        act: Option<ActStrategy>,
+    ) -> Result<Engine> {
+        let mut b = EngineBuilder::from_source(&self.source)?
             .matcher(kind)
-            .limits(limits)
-            .build()?;
+            .limits(limits);
+        if let Some(act) = act {
+            b = b.act_strategy(act);
+        }
+        let mut eng = b.build()?;
         eng.load_startup()?;
         for wme in &self.setup {
             let sets: Vec<(String, Value)> = wme
@@ -58,11 +68,19 @@ impl ProgramSpec {
     /// NOT load startup forms or setup WMEs. This is the `RESTORE` path:
     /// the snapshot carries every WME (startup and setup included), so
     /// loading them here would double them up.
-    pub fn build_empty(&self, kind: MatcherKind, limits: EngineLimits) -> Result<Engine> {
-        EngineBuilder::from_source(&self.source)?
+    pub fn build_empty(
+        &self,
+        kind: MatcherKind,
+        limits: EngineLimits,
+        act: Option<ActStrategy>,
+    ) -> Result<Engine> {
+        let mut b = EngineBuilder::from_source(&self.source)?
             .matcher(kind)
-            .limits(limits)
-            .build()
+            .limits(limits);
+        if let Some(act) = act {
+            b = b.act_strategy(act);
+        }
+        b.build()
     }
 }
 
@@ -154,7 +172,7 @@ mod tests {
         let mut eng = reg
             .get("rubik")
             .unwrap()
-            .build(MatcherKind::default(), EngineLimits::default())
+            .build(MatcherKind::default(), EngineLimits::default(), None)
             .unwrap();
         assert!(eng.wm().len() > 50, "cube facelets loaded");
         let r = eng.run(10_000).unwrap();

@@ -83,6 +83,10 @@ pub struct ServeConfig {
     pub limits: EngineLimits,
     /// Matcher used when `OPEN` names none.
     pub matcher: MatcherKind,
+    /// Act-phase strategy for every session engine. `None` (the default)
+    /// keeps the builder default — serial, unless the process-wide
+    /// `OPS5_ACT` knob says otherwise.
+    pub act: Option<engine::ActStrategy>,
     /// Corpus directory for [`Registry::with_builtins`].
     pub programs_dir: Option<PathBuf>,
     /// Observability: when enabled every session engine gets a metrics
@@ -125,6 +129,7 @@ impl Default for ServeConfig {
             max_cycles_per_run: 10_000,
             limits: EngineLimits::default(),
             matcher: MatcherKind::default(),
+            act: None,
             programs_dir: None,
             obs: obs::ObsConfig::default(),
             metrics_port: None,
@@ -521,7 +526,7 @@ pub(crate) fn open_session(
         })?,
     };
     let mut engine = spec
-        .build(kind.clone(), shared.cfg.limits)
+        .build(kind.clone(), shared.cfg.limits, shared.cfg.act)
         .map_err(|e| Reply::Err(e.to_string()))?;
     let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
     let name = engine.matcher().name().to_string();
@@ -564,7 +569,7 @@ pub(crate) fn restore_session(
     let snap_text = body[..=split].join("\n");
     let log_text = body[split + 1..].join("\n");
     let mut engine = spec
-        .build_empty(kind.clone(), shared.cfg.limits)
+        .build_empty(kind.clone(), shared.cfg.limits, shared.cfg.act)
         .map_err(|e| Reply::Err(e.to_string()))?;
     if shared.obs.is_some() {
         engine.enable_obs(obs::ObsConfig::enabled());

@@ -235,6 +235,7 @@ impl Session {
         let mut next = EngineBuilder::new(self.engine.prog.clone())
             .matcher(kind.clone())
             .limits(self.engine.limits)
+            .act_strategy(self.engine.act_strategy())
             .build()
             .map_err(|e| e.to_string())?;
         next.restore(&snap).map_err(|e| e.to_string())?;

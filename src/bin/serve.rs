@@ -17,6 +17,8 @@
 //!   --max-wm N               per-session working-memory cap
 //!   --max-total-cycles N     per-session lifetime cycle budget
 //!   --matcher vs1|vs2|lisp|psm   default session matcher (default vs2)
+//!   --act serial|parallel[:k]    act-phase strategy for session engines
+//!                            (default: serial, or the OPS5_ACT env knob)
 //!   --front-end threads|reactor  connection front-end (default reactor:
 //!                            one epoll thread owns all sockets; threads =
 //!                            the original two-threads-per-connection mode)
@@ -84,6 +86,12 @@ fn parse_args() -> Result<(String, ServeConfig), String> {
                 )?)
             }
             "--matcher" => cfg.matcher = matcher_kind(&next_val(&mut args, "--matcher")?)?,
+            "--act" => {
+                let name = next_val(&mut args, "--act")?;
+                cfg.act = Some(engine::ActStrategy::from_name(&name).ok_or_else(|| {
+                    format!("--act {name} is not serial, parallel, or parallel:<max_group>")
+                })?)
+            }
             "--front-end" => cfg.front_end = next_val(&mut args, "--front-end")?.parse()?,
             "--write-buf" => {
                 cfg.write_buf_cap =

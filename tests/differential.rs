@@ -121,7 +121,7 @@ fn synthetic_fat_memories_firings_identical() {
 /// unlike the generated workloads above.
 #[test]
 fn corpus_programs_identical_on_all_matchers() {
-    for name in ["blocks", "fibonacci", "monkey", "hanoi"] {
+    for name in ["blocks", "fibonacci", "monkey", "hanoi", "triage"] {
         let src = std::fs::read_to_string(format!("programs/{name}.ops")).expect("read corpus");
         let log = |choice: &MatcherChoice| -> Vec<(u32, Vec<u64>)> {
             let mut eng = EngineBuilder::from_source(&src)
@@ -155,7 +155,7 @@ fn corpus_programs_identical_on_all_matchers() {
 /// memory-level divergence that conflict resolution happens to hide.
 #[test]
 fn corpus_cs_history_identical_on_all_matchers() {
-    for name in ["blocks", "fibonacci", "monkey", "hanoi"] {
+    for name in ["blocks", "fibonacci", "monkey", "hanoi", "triage"] {
         let src = std::fs::read_to_string(format!("programs/{name}.ops")).expect("read corpus");
         let history = |choice: &MatcherChoice| -> Vec<u8> {
             let mut eng = EngineBuilder::from_source(&src)
@@ -204,7 +204,7 @@ fn corpus_cs_history_identical_with_sharing_and_unlinking() {
         sharing: true,
         unlinking: true,
     };
-    for name in ["blocks", "fibonacci", "monkey", "hanoi"] {
+    for name in ["blocks", "fibonacci", "monkey", "hanoi", "triage"] {
         let src = std::fs::read_to_string(format!("programs/{name}.ops")).expect("read corpus");
         let history = |choice: &MatcherChoice, options: NetworkOptions| -> Vec<u8> {
             let mut eng = EngineBuilder::from_source(&src)

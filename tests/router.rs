@@ -20,7 +20,7 @@ fn reference_fired(program: &str) -> Vec<String> {
     let mut eng = reg
         .get(program)
         .unwrap()
-        .build(matcher_kind("psm").unwrap(), Default::default())
+        .build(matcher_kind("psm").unwrap(), Default::default(), None)
         .unwrap();
     eng.run(400_000).unwrap();
     eng.fired_log()

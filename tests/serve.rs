@@ -76,7 +76,7 @@ fn served_corpus_matches_direct_runs() {
         let mut eng = reg
             .get(program)
             .unwrap()
-            .build(matcher_kind("psm").unwrap(), Default::default())
+            .build(matcher_kind("psm").unwrap(), Default::default(), None)
             .unwrap();
         eng.run(400_000).unwrap();
         let reference = fired_lines(&eng);
@@ -109,7 +109,7 @@ fn concurrent_mixed_sessions_all_agree() {
             let mut eng = reg
                 .get(p)
                 .unwrap()
-                .build(matcher_kind("psm").unwrap(), Default::default())
+                .build(matcher_kind("psm").unwrap(), Default::default(), None)
                 .unwrap();
             eng.run(400_000).unwrap();
             fired_lines(&eng)
@@ -709,4 +709,55 @@ proptest! {
             );
         }
     }
+}
+
+/// `RUN n` budgets count every member of a parallel act group: a server
+/// configured with the parallel act strategy reports the same cycles,
+/// stop reason, and firing log as a serial one, command for command.
+#[test]
+fn served_run_budget_counts_parallel_group_members() {
+    let mut replies: Vec<Vec<String>> = Vec::new();
+    let mut fired: Vec<Vec<String>> = Vec::new();
+    for act in [ActStrategy::Serial, ActStrategy::parallel()] {
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_depth: 512,
+            programs_dir: Some("programs".into()),
+            act: Some(act),
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();
+        let mut c = serve::Client::connect(handle.addr).unwrap();
+        c.open("triage", None).unwrap().expect_ok().unwrap();
+        let mut log = Vec::new();
+        // RUN 5 must consume exactly 5 firings even when the engine groups
+        // several non-interfering instantiations into one act phase.
+        let first = c.run(5).unwrap().expect_ok().unwrap();
+        assert!(
+            first.contains("cycles=5 reason=limit total=5"),
+            "act={}: {first}",
+            act.name()
+        );
+        log.push(first);
+        loop {
+            let payload = c.run(5).unwrap().expect_ok().unwrap();
+            let done = !payload.contains("reason=limit");
+            log.push(payload);
+            if done {
+                break;
+            }
+        }
+        fired.push(c.fired().unwrap().expect_lines().unwrap());
+        replies.push(log);
+        c.close().unwrap().expect_ok().unwrap();
+        std::mem::forget(handle);
+    }
+    assert_eq!(
+        replies[0], replies[1],
+        "RUN replies diverged across act strategies"
+    );
+    assert_eq!(
+        fired[0], fired[1],
+        "firing logs diverged across act strategies"
+    );
 }
