@@ -32,6 +32,14 @@
 //! are killed without `CLOSE` and recovered via `RESTORE` from their
 //! on-disk snapshot + change-log.
 //!
+//! `--priorities` switches to the scheduling gate: a saturating `batch`
+//! background load against an in-process server with small preemption
+//! slices, foreground `high`/`normal` sessions issuing the same command
+//! shapes, a mid-run `CANCEL`, and a `clamped=`/`PRIO` protocol check.
+//! Gates: 0 firing-log divergences (every sliced, preempted, cancelled-
+//! then-resumed run must match the direct engine) and high-class p99 RUN
+//! latency below batch-class p99.
+//!
 //! ```text
 //! Usage: serve_load [--connections N] [--iterations M] [--workers W]
 //!                   [--programs DIR] [--json PATH]
@@ -39,6 +47,7 @@
 //!                   [--high-concurrency] [--hc-connections N]
 //!                   [--routed-connections N] [--backend-bin PATH]
 //!                   [--kill-recover] [--matchers vs1,vs2,lisp,psm,col]
+//!                   [--priorities]
 //! ```
 
 use reactor::{Events, Interest, LineBuf, Poll, Token, WriteBuf};
@@ -62,6 +71,7 @@ struct Opts {
     programs: PathBuf,
     json: PathBuf,
     kill_recover: bool,
+    priorities: bool,
     matchers: Vec<String>,
     front_end: String,
     high_concurrency: bool,
@@ -78,6 +88,7 @@ fn parse_args() -> Result<Opts, String> {
         programs: PathBuf::from("programs"),
         json: PathBuf::from("BENCH_serve.json"),
         kill_recover: false,
+        priorities: false,
         matchers: ["vs1", "vs2", "lisp", "psm", "col"]
             .iter()
             .map(|s| s.to_string())
@@ -98,6 +109,7 @@ fn parse_args() -> Result<Opts, String> {
             "--programs" => o.programs = PathBuf::from(val()?),
             "--json" => o.json = PathBuf::from(val()?),
             "--kill-recover" => o.kill_recover = true,
+            "--priorities" => o.priorities = true,
             "--matchers" => o.matchers = val()?.split(',').map(|s| s.to_string()).collect(),
             "--front-end" => {
                 o.front_end = val()?;
@@ -1216,6 +1228,346 @@ fn routed_phase(
     Ok((row, divergences))
 }
 
+// ---------------------------------------------------------------------------
+// Priorities phase: weighted scheduling + preemption + cancellation gate.
+// ---------------------------------------------------------------------------
+
+/// One session lifecycle in an explicit scheduling class, recording only
+/// `RUN` latencies (the pool-scheduled command the class comparison is
+/// about; `OPEN` is answered by the reader and never queues).
+fn drive_prio_session(
+    c: &mut Client,
+    program: &str,
+    prio: &str,
+    n: &Counters,
+    lat: &mut Vec<f64>,
+    stop: Option<&AtomicU64>,
+) -> Result<Option<Vec<String>>, String> {
+    let ok = c
+        .open_prio(program, Some("psm"), prio)
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    if !ok.contains(&format!("prio={prio}")) {
+        return Err(format!("OPEN did not echo prio: `{ok}`"));
+    }
+    n.sessions.fetch_add(1, Ordering::Relaxed);
+    let mut finished = false;
+    for _ in 0..400 {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed) != 0) {
+            break;
+        }
+        let t0 = Instant::now();
+        let payload = req_retry(c, "RUN 2000", n)
+            .map_err(|e| e.to_string())?
+            .expect_ok()?;
+        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        let cycles: u64 = field(&payload, "cycles")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad RUN reply `{payload}`"))?;
+        n.cycles.fetch_add(cycles, Ordering::Relaxed);
+        match field(&payload, "reason") {
+            Some("halt") | Some("quiescent") | Some("budget") => {
+                finished = true;
+                break;
+            }
+            Some("limit") | Some("settled") => continue,
+            other => return Err(format!("bad reason {other:?} in `{payload}`")),
+        }
+    }
+    // An interrupted (stop-flagged) session has a prefix firing log; only
+    // completed sessions are diffable.
+    let fired = if finished {
+        Some(
+            req_retry(c, "FIRED?", n)
+                .map_err(|e| e.to_string())?
+                .expect_lines()?,
+        )
+    } else {
+        None
+    };
+    req_retry(c, "CLOSE", n)
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    Ok(fired)
+}
+
+/// Cancels an in-flight sliced `RUN` mid-run, then proves the session is
+/// still resumable: run to completion and diff the firing log against the
+/// direct-engine reference.
+fn cancel_resumability(
+    addr: SocketAddr,
+    program: &str,
+    reference: &[String],
+) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    c.open_prio(program, Some("psm"), "high")
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    // Pipeline: a long clamped RUN, then CANCEL while it is (probably)
+    // mid-slice. The RUN reply is either `ERR cancelled` (cut at a slice
+    // boundary) or `OK ...` (it won the race) — both leave the session
+    // resumable, which is the property under test.
+    c.send_line("RUN 400000").map_err(|e| e.to_string())?;
+    std::thread::sleep(Duration::from_millis(5));
+    c.send_line("CANCEL").map_err(|e| e.to_string())?;
+    match c.read_reply().map_err(|e| e.to_string())? {
+        ClientReply::Ok(_) | ClientReply::Err(_) => {}
+        other => return Err(format!("unexpected RUN reply {other:?}")),
+    }
+    let cancelled = c.read_reply().map_err(|e| e.to_string())?.expect_ok()?;
+    if !cancelled.starts_with("cancelled pending=") {
+        return Err(format!("unexpected CANCEL reply `{cancelled}`"));
+    }
+    for _ in 0..400 {
+        let payload = c
+            .request("RUN 2000")
+            .map_err(|e| e.to_string())?
+            .expect_ok()?;
+        match field(&payload, "reason") {
+            Some("limit") | Some("settled") => continue,
+            Some(_) => break,
+            None => return Err(format!("bad RUN reply `{payload}`")),
+        }
+    }
+    let fired = c
+        .request("FIRED?")
+        .map_err(|e| e.to_string())?
+        .expect_lines()?;
+    let _ = c.close();
+    if fired != reference {
+        return Err(format!(
+            "cancelled-then-resumed run diverged: {} fired vs {} reference",
+            fired.len(),
+            reference.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Protocol spot checks: a clamped `RUN` carries `clamped=<requested>`,
+/// and the `PRIO` verb reclassifies a live session.
+fn clamped_and_prio_check(addr: SocketAddr) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    let spin = "(literalize c n)
+                (p spin (c ^n <n>) --> (modify 1 ^n (compute <n> + 1)))";
+    c.open_source(spin, Some("vs2"))
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    c.assert_wme("c ^n 0").map_err(|e| e.to_string())?.unwrap();
+    // 20000 > the server's max_cycles_per_run (10000): server policy, not
+    // program behavior, ends this run — the reply must say so.
+    let payload = c
+        .request("RUN 20000")
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    if field(&payload, "reason") != Some("limit") || field(&payload, "clamped") != Some("20000") {
+        return Err(format!(
+            "expected reason=limit clamped=20000, got `{payload}`"
+        ));
+    }
+    // An unclamped limit stop carries no clamped= note.
+    let payload = c
+        .request("RUN 50")
+        .map_err(|e| e.to_string())?
+        .expect_ok()?;
+    if field(&payload, "clamped").is_some() {
+        return Err(format!(
+            "unclamped RUN must not carry clamped=: `{payload}`"
+        ));
+    }
+    let p = c.prio("batch").map_err(|e| e.to_string())?.expect_ok()?;
+    if p != "prio=batch" {
+        return Err(format!("unexpected PRIO reply `{p}`"));
+    }
+    let p = c.prio("high").map_err(|e| e.to_string())?.expect_ok()?;
+    if p != "prio=high" {
+        return Err(format!("unexpected PRIO reply `{p}`"));
+    }
+    if !matches!(
+        c.prio("frob").map_err(|e| e.to_string())?,
+        ClientReply::Err(_)
+    ) {
+        return Err("PRIO frob must error".into());
+    }
+    let _ = c.close();
+    Ok(())
+}
+
+/// The `--priorities` gate. A saturating batch background load keeps every
+/// worker busy with sliced RUNs while foreground high/normal sessions issue
+/// the identical command shape; every completed session (any class, sliced
+/// and preempted throughout) diffs its firing log against the direct
+/// engine. Returns (JSON row, failures) where failures counts divergences
+/// plus a high-vs-batch p99 inversion.
+fn priorities_phase(
+    opts: &Opts,
+    corpus: &[&'static str],
+    refs: &Arc<HashMap<String, Vec<String>>>,
+) -> (String, u64) {
+    const RUN_SLICE: u64 = 400;
+    const BATCH_CONNS: usize = 8;
+    // Few workers + many batch sessions: the run queues stay contended, so
+    // the weighted dequeue (not idle workers) decides who runs next.
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 32,
+        run_queue_cap: 256,
+        max_cycles_per_run: 10_000,
+        run_slice_cycles: RUN_SLICE,
+        matcher: serve::matcher_kind("psm").unwrap(),
+        programs_dir: Some(opts.programs.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", cfg).expect("bind").spawn();
+    let addr = handle.addr;
+    eprintln!(
+        "serve_load[priorities]: {BATCH_CONNS} batch background connections, \
+         slice {RUN_SLICE} cycles, 2 workers"
+    );
+
+    let n = Arc::new(Counters::default());
+    let stop = Arc::new(AtomicU64::new(0));
+    let batch_lat = Arc::new(Mutex::new(Vec::<f64>::new()));
+    let t0 = Instant::now();
+    let corpus_owned: Vec<&'static str> = corpus.to_vec();
+    let background: Vec<_> = (0..BATCH_CONNS)
+        .map(|ci| {
+            let n = n.clone();
+            let stop = stop.clone();
+            let refs = refs.clone();
+            let batch_lat = batch_lat.clone();
+            let corpus = corpus_owned.clone();
+            std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                let mut c = Client::connect(addr).expect("connect");
+                let mut it = 0usize;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let program = corpus[(ci + it) % corpus.len()];
+                    it += 1;
+                    match drive_prio_session(&mut c, program, "batch", &n, &mut lat, Some(&stop)) {
+                        Ok(Some(fired)) => {
+                            if fired != refs[program] {
+                                eprintln!(
+                                    "serve_load[priorities]: DIVERGENCE batch conn {ci} \
+                                     program {program}: {} fired vs {} reference",
+                                    fired.len(),
+                                    refs[program].len()
+                                );
+                                n.divergences.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(None) => {} // stop-flagged mid-session
+                        Err(e) => {
+                            eprintln!("serve_load[priorities]: batch conn {ci} {program}: {e}");
+                            n.divergences.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                batch_lat.lock().unwrap().extend(lat);
+            })
+        })
+        .collect();
+    // Let the batch load saturate the workers before measuring.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Foreground: the small corpus programs in each class, same command
+    // shape as the background, measured under full batch pressure.
+    let fg_corpus: Vec<&'static str> = corpus.iter().copied().filter(|p| *p != "rubik").collect();
+    let mut high_lat = Vec::new();
+    let mut normal_lat = Vec::new();
+    for (class, lat) in [("high", &mut high_lat), ("normal", &mut normal_lat)] {
+        let mut c = Client::connect(addr).expect("connect");
+        for program in &fg_corpus {
+            match drive_prio_session(&mut c, program, class, &n, lat, None) {
+                Ok(Some(fired)) => {
+                    if fired != refs[*program] {
+                        eprintln!(
+                            "serve_load[priorities]: DIVERGENCE {class} program {program}: \
+                             {} fired vs {} reference",
+                            fired.len(),
+                            refs[*program].len()
+                        );
+                        n.divergences.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Ok(None) => unreachable!("foreground sessions run unflagged"),
+                Err(e) => {
+                    eprintln!("serve_load[priorities]: {class} {program}: {e}");
+                    n.divergences.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    // Cancellation + protocol checks, still under the batch load.
+    if let Err(e) = cancel_resumability(addr, "blocks", &refs["blocks"]) {
+        eprintln!("serve_load[priorities]: DIVERGENCE cancel: {e}");
+        n.divergences.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Err(e) = clamped_and_prio_check(addr) {
+        eprintln!("serve_load[priorities]: DIVERGENCE clamped/prio: {e}");
+        n.divergences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    stop.store(1, Ordering::Relaxed);
+    for t in background {
+        t.join().expect("batch thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut shut = Client::connect(addr).expect("connect");
+    shut.shutdown().expect("shutdown").expect_ok().expect("ok");
+    handle.join().expect("server join");
+
+    let mut batch = batch_lat.lock().unwrap().clone();
+    let sort = |v: &mut Vec<f64>| v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sort(&mut batch);
+    sort(&mut high_lat);
+    sort(&mut normal_lat);
+    let p = |v: &[f64]| (percentile(v, 0.50), percentile(v, 0.99));
+    let (high_p50, high_p99) = p(&high_lat);
+    let (normal_p50, normal_p99) = p(&normal_lat);
+    let (batch_p50, batch_p99) = p(&batch);
+    let mut failures = n.divergences.load(Ordering::Relaxed);
+    let inverted = high_p99 >= batch_p99;
+    if inverted {
+        eprintln!(
+            "serve_load[priorities]: GATE FAILURE high p99 {high_p99:.2}ms >= \
+             batch p99 {batch_p99:.2}ms"
+        );
+        failures += 1;
+    }
+
+    let sessions = n.sessions.load(Ordering::Relaxed);
+    let commands = n.commands.load(Ordering::Relaxed);
+    let busy = n.busy_retries.load(Ordering::Relaxed);
+    let divergences = n.divergences.load(Ordering::Relaxed);
+    println!("== serve_load [priorities] ==");
+    println!(
+        "sessions {sessions}  commands {commands}  busy_retries {busy}  elapsed {elapsed:.2}s"
+    );
+    println!(
+        "RUN latency ms: high p50 {high_p50:.2} p99 {high_p99:.2}  \
+         normal p50 {normal_p50:.2} p99 {normal_p99:.2}  \
+         batch p50 {batch_p50:.2} p99 {batch_p99:.2}"
+    );
+    println!("divergences: {divergences}  priority inversion: {inverted}");
+
+    let row = format!(
+        "{{\"mode\": \"priorities\",\n   \
+         \"config\": {{\"batch_connections\": {BATCH_CONNS}, \"workers\": 2, \
+         \"run_slice_cycles\": {RUN_SLICE}, \"matcher\": \"psm\"}},\n   \
+         \"totals\": {{\"sessions\": {sessions}, \"commands\": {commands}, \
+         \"busy_retries\": {busy}, \"elapsed_s\": {elapsed:.3}}},\n   \
+         \"latency_ms\": {{\"high_p50\": {high_p50:.3}, \"high_p99\": {high_p99:.3}, \
+         \"normal_p50\": {normal_p50:.3}, \"normal_p99\": {normal_p99:.3}, \
+         \"batch_p50\": {batch_p50:.3}, \"batch_p99\": {batch_p99:.3}}},\n   \
+         \"priority_inversion\": {inverted},\n   \
+         \"divergences\": {divergences}}}"
+    );
+    (row, failures)
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -1235,6 +1587,18 @@ fn main() {
 
     eprintln!("serve_load: computing reference firing logs (direct psm engines)...");
     let refs = Arc::new(references(&opts.programs, &corpus));
+
+    if opts.priorities {
+        let (row, failures) = priorities_phase(&opts, &corpus, &refs);
+        let json = format!("{{\"rows\": [\n  {row}\n]}}\n");
+        std::fs::write(&opts.json, json).expect("write json");
+        eprintln!("serve_load: wrote {}", opts.json.display());
+        if failures > 0 {
+            eprintln!("serve_load: {failures} failures");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let mut rows: Vec<String> = Vec::new();
     let mut total_divergences = 0u64;

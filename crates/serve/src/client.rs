@@ -125,6 +125,20 @@ impl Client {
         }
     }
 
+    /// Opens a session in an explicit scheduling class
+    /// (`high`|`normal`|`batch`).
+    pub fn open_prio(
+        &mut self,
+        program: &str,
+        matcher: Option<&str>,
+        prio: &str,
+    ) -> io::Result<ClientReply> {
+        match matcher {
+            Some(m) => self.request(&format!("OPEN {program} {m} PRIO={prio}")),
+            None => self.request(&format!("OPEN {program} PRIO={prio}")),
+        }
+    }
+
     /// Opens a session on inline OPS5 source.
     pub fn open_source(&mut self, source: &str, matcher: Option<&str>) -> io::Result<ClientReply> {
         let head = match matcher {
@@ -218,6 +232,17 @@ impl Client {
             Some(m) => self.request(&format!("MIGRATE {m}")),
             None => self.request("MIGRATE"),
         }
+    }
+
+    /// Changes the session's scheduling class.
+    pub fn prio(&mut self, class: &str) -> io::Result<ClientReply> {
+        self.request(&format!("PRIO {class}"))
+    }
+
+    /// Fast-fails the session's queued commands and cuts an in-flight
+    /// sliced `RUN` at its next slice boundary.
+    pub fn cancel(&mut self) -> io::Result<ClientReply> {
+        self.request("CANCEL")
     }
 
     pub fn close(&mut self) -> io::Result<ClientReply> {

@@ -43,12 +43,12 @@ mod server_nb;
 pub mod session;
 
 pub use client::{Client, ClientReply};
-pub use pool::{Pool, PoolStats, SessionSlot, SubmitOutcome};
+pub use pool::{Pool, PoolStats, Priority, SessionSlot, SubmitOutcome};
 pub use protocol::{parse_line, Line, Reply};
 pub use registry::{matcher_kind, ProgramSpec, Registry};
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{FrontEnd, ServeConfig, Server, ServerHandle};
-pub use session::{BatchItem, Command, Session};
+pub use session::{BatchItem, Command, Exec, Session};
 
 #[cfg(test)]
 mod tests {
@@ -177,6 +177,9 @@ mod tests {
             run_queue_cap: 1,
             queue_depth: 4,
             max_cycles_per_run: 200_000,
+            // The wedge must hold its worker for the whole RUN, even when
+            // the environment (CI's sched-smoke job) turns slicing on.
+            run_slice_cycles: 0,
             ..ServeConfig::default()
         };
         let handle = Server::bind("127.0.0.1:0", cfg).unwrap().spawn();

@@ -1,16 +1,37 @@
 //! The worker pool: a fixed set of threads executing session commands.
 //!
 //! Scheduling is actor-style. Each session owns an inbox (a bounded command
-//! queue) and appears at most once on the global run queue; a worker pops a
-//! session, executes *one* command, and requeues the session only if its
-//! inbox still has work. One command per pop keeps a long-running session
-//! from starving the rest — combined with the per-command cycle clamp in
+//! queue) and appears at most once on the run queues; a worker pops a
+//! session, executes *one* command (or one *slice* of a long `RUN` — see
+//! below), and requeues the session only if its inbox still has work. One
+//! command per pop keeps a long-running session from starving the rest —
+//! combined with the per-command cycle clamp in
 //! [`crate::session::Session`], every unit of worker work is bounded.
+//!
+//! **Priority classes.** The run queue is three queues, one per
+//! [`Priority`] class (`high`/`normal`/`batch`), chosen at
+//! `OPEN ... PRIO=<p>` and adjustable with the `PRIO` verb. Dequeue is
+//! weighted ([`CLASS_WEIGHTS`] credits per refill round) with aging
+//! ([`AGE_PROMOTE`]) as a backstop, so a loaded `batch` class is served at
+//! least once per credit round and can never starve outright.
+//!
+//! **Deadline preemption.** When the server runs with a slice budget
+//! (`run_slice_cycles`), a session's `RUN` executes as budgeted sub-runs:
+//! the session yields a [`crate::session::Exec::Yield`] continuation at
+//! each slice boundary, the worker pushes it back on the *front* of the
+//! session's inbox (same reply slot, same order) and requeues the session,
+//! so a wedged spinner no longer monopolizes a worker.
+//!
+//! **Cancellation.** [`SessionSlot::cancel`] marks everything currently in
+//! the inbox — including an in-flight sliced `RUN`'s continuation — for
+//! fast-fail: the worker answers `ERR cancelled` without touching the
+//! engine, cutting the run at its next slice boundary. The session itself
+//! stays open and resumable.
 //!
 //! Backpressure is explicit and two-level:
 //! * inbox full → [`SubmitOutcome::Overloaded`] — *this session* is behind;
-//! * run queue at capacity → [`SubmitOutcome::Busy`] — the *server* is
-//!   saturated;
+//! * the session's class run-queue at capacity → [`SubmitOutcome::Busy`] —
+//!   the *server* is saturated for that class;
 //!
 //! and both are reported to the submitting connection immediately, never
 //! queued. Shutdown drains: no new submissions are accepted, but every
@@ -18,11 +39,54 @@
 //! mid-cycle.
 
 use crate::protocol::Reply;
-use crate::session::{Command, Session};
+use crate::session::{Command, Exec, Session};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// A session's scheduling class. Order doubles as dequeue preference:
+/// lower discriminant is served first when credits allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    High,
+    #[default]
+    Normal,
+    Batch,
+}
+
+impl Priority {
+    pub const COUNT: usize = 3;
+    pub const ALL: [Priority; Priority::COUNT] =
+        [Priority::High, Priority::Normal, Priority::Batch];
+
+    /// Parses a class name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Priority> {
+        match name.to_ascii_lowercase().as_str() {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// Dequeue credits handed to each class per refill round: high gets 16
+/// pops for every 4 normal and 1 batch when every class is loaded.
+const CLASS_WEIGHTS: [u32; Priority::COUNT] = [16, 4, 1];
+
+/// A non-empty class passed over this many consecutive pops is served
+/// unconditionally — an anti-starvation backstop behind the credit scheme
+/// (under steady load credits alone bound the wait to one refill round).
+const AGE_PROMOTE: u32 = 32;
 
 /// Where a worker should deliver a command's reply.
 ///
@@ -92,7 +156,7 @@ impl Completions {
 pub enum SubmitOutcome {
     /// Queued; the reply will arrive on the submission's channel.
     Accepted,
-    /// The global run queue is at capacity — server-wide backpressure.
+    /// The session's class run-queue is at capacity — server backpressure.
     Busy,
     /// The session's own inbox is full — per-session backpressure.
     Overloaded,
@@ -100,16 +164,32 @@ pub enum SubmitOutcome {
     ShuttingDown,
 }
 
-struct Inbox {
-    q: VecDeque<(Command, ReplyTx)>,
-    /// True while the slot sits on the run queue (or is being executed with
-    /// a requeue check still owed). At most one run-queue entry per session.
-    scheduled: bool,
+/// One queued inbox command. `seq` is the inbox's enqueue sequence; a
+/// [`SessionSlot::cancel`] snapshots the sequence so entries stamped below
+/// the watermark fast-fail instead of executing. A sliced `RUN`'s
+/// continuation keeps its original `seq`, which is what lets `CANCEL` cut
+/// a run that is already in flight.
+struct Entry {
+    cmd: Command,
+    reply_tx: ReplyTx,
+    seq: u64,
 }
 
-/// One session's scheduling state: inbox + the session itself.
+struct Inbox {
+    q: VecDeque<Entry>,
+    /// True while the slot sits on a run queue (or is being executed with
+    /// a requeue check still owed). At most one run-queue entry per session.
+    scheduled: bool,
+    /// Sequence stamped on the next enqueued entry.
+    enq_seq: u64,
+    /// Entries with `seq` below this watermark reply `ERR cancelled`.
+    cancel_before: u64,
+}
+
+/// One session's scheduling state: inbox + priority + the session itself.
 pub struct SessionSlot {
     pub id: u64,
+    prio: AtomicU8,
     inbox: Mutex<Inbox>,
     session: Mutex<Session>,
 }
@@ -118,12 +198,35 @@ impl SessionSlot {
     pub fn new(session: Session) -> Arc<SessionSlot> {
         Arc::new(SessionSlot {
             id: session.id,
+            prio: AtomicU8::new(Priority::Normal as u8),
             inbox: Mutex::new(Inbox {
                 q: VecDeque::new(),
                 scheduled: false,
+                enq_seq: 0,
+                cancel_before: 0,
             }),
             session: Mutex::new(session),
         })
+    }
+
+    pub fn priority(&self) -> Priority {
+        Priority::ALL[self.prio.load(Ordering::Relaxed) as usize]
+    }
+
+    /// Changes the scheduling class. An entry already sitting on a run
+    /// queue finishes its current round under the old class; every requeue
+    /// after that uses the new one.
+    pub fn set_priority(&self, p: Priority) {
+        self.prio.store(p as u8, Ordering::Relaxed);
+    }
+
+    /// Marks everything currently queued (and any in-flight sliced `RUN`)
+    /// for fast-fail `ERR cancelled`. Later submissions are unaffected.
+    /// Returns how many inbox entries were covered by the watermark.
+    pub fn cancel(&self) -> usize {
+        let mut inbox = self.inbox.lock().unwrap();
+        inbox.cancel_before = inbox.enq_seq;
+        inbox.q.len()
     }
 
     /// Runs `f` against the session outside the pool (tests, differential
@@ -140,24 +243,125 @@ pub struct PoolStats {
     pub executed: u64,
     pub rejected_busy: u64,
     pub rejected_overloaded: u64,
+    /// Sliced `RUN`s that hit a slice boundary and were requeued.
+    pub preempted: u64,
+    /// Inbox entries fast-failed by `CANCEL`.
+    pub cancelled: u64,
+}
+
+/// The three per-class run queues plus the weighted-dequeue state.
+/// Deterministic and lock-free internally — the caller holds the mutex —
+/// so the scheduling policy is unit-testable in isolation.
+struct RunQueues {
+    q: [VecDeque<Arc<SessionSlot>>; Priority::COUNT],
+    credits: [u32; Priority::COUNT],
+    age: [u32; Priority::COUNT],
+}
+
+impl RunQueues {
+    fn new() -> RunQueues {
+        RunQueues {
+            q: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            credits: CLASS_WEIGHTS,
+            age: [0; Priority::COUNT],
+        }
+    }
+
+    fn len(&self, class: Priority) -> usize {
+        self.q[class as usize].len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.iter().all(VecDeque::is_empty)
+    }
+
+    fn push(&mut self, class: Priority, slot: Arc<SessionSlot>) {
+        self.q[class as usize].push_back(slot);
+    }
+
+    /// The class to serve next: an aged-out class wins outright, else the
+    /// highest non-empty class with credits left; when the loaded classes
+    /// have spent their credits, every class refills and the highest
+    /// non-empty one is served.
+    fn pick(&mut self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let loaded = |i: &usize| !self.q[*i].is_empty();
+        let pick = (0..Priority::COUNT)
+            .find(|i| loaded(i) && self.age[*i] >= AGE_PROMOTE)
+            .or_else(|| (0..Priority::COUNT).find(|i| loaded(i) && self.credits[*i] > 0))
+            .unwrap_or_else(|| {
+                self.credits = CLASS_WEIGHTS;
+                (0..Priority::COUNT)
+                    .find(loaded)
+                    .expect("checked non-empty")
+            });
+        Some(pick)
+    }
+
+    fn pop(&mut self) -> Option<(Priority, Arc<SessionSlot>)> {
+        let pick = self.pick()?;
+        for i in 0..Priority::COUNT {
+            if i == pick {
+                self.age[i] = 0;
+            } else if !self.q[i].is_empty() {
+                self.age[i] += 1;
+            }
+        }
+        self.credits[pick] = self.credits[pick].saturating_sub(1);
+        let slot = self.q[pick].pop_front().expect("picked a non-empty class");
+        Some((Priority::ALL[pick], slot))
+    }
 }
 
 struct PoolInner {
-    runq: Mutex<VecDeque<Arc<SessionSlot>>>,
+    runq: Mutex<RunQueues>,
     cv: Condvar,
     stop: AtomicBool,
     queue_depth: usize,
+    /// Per-class run-queue capacity (each class gets the full cap, so
+    /// saturating `batch` cannot shut `high` out of the queue).
     run_queue_cap: usize,
     executed: AtomicU64,
     rejected_busy: AtomicU64,
     rejected_overloaded: AtomicU64,
-    /// Per-command-kind execution latency histograms, present when the
-    /// server runs with observability enabled.
-    cmd_latency: Option<CmdLatency>,
+    preempted: AtomicU64,
+    cancelled: AtomicU64,
+    /// Scheduling observability, present when the server runs with obs
+    /// enabled.
+    obs: Option<PoolObs>,
 }
 
-/// One `serve_command_ns` histogram per command kind, pre-registered so the
-/// worker hot path never touches the registry lock.
+/// Pool-level metrics, pre-registered so the worker hot path never touches
+/// the registry lock: per-command latency histograms, per-class run-queue
+/// depth gauges, preemption/cancellation counters, and the per-slice
+/// execution-latency histogram.
+struct PoolObs {
+    cmd_latency: CmdLatency,
+    runq_depth: [Arc<obs::Gauge>; Priority::COUNT],
+    preemptions: Arc<obs::Counter>,
+    cancelled: Arc<obs::Counter>,
+    slice_ns: Arc<obs::Histogram>,
+}
+
+impl PoolObs {
+    fn new(registry: &Arc<obs::Registry>) -> PoolObs {
+        PoolObs {
+            cmd_latency: CmdLatency::new(registry),
+            runq_depth: Priority::ALL.map(|p| {
+                let labels = vec![("class".to_string(), p.name().to_string())];
+                registry.gauge("serve_runq_depth", labels)
+            }),
+            preemptions: registry.counter("serve_preemptions_total", Vec::new()),
+            cancelled: registry.counter("serve_cancelled_total", Vec::new()),
+            slice_ns: registry.histogram("serve_run_slice_ns", Vec::new()),
+        }
+    }
+}
+
+/// One `serve_command_ns` histogram per command kind. A sliced `RUN`
+/// records one sample per slice under `run`.
 struct CmdLatency {
     by_kind: Vec<(&'static str, std::sync::Arc<obs::Histogram>)>,
 }
@@ -195,8 +399,8 @@ pub struct Pool {
 
 impl Pool {
     /// Spawns `workers` threads. `queue_depth` bounds each session's inbox;
-    /// `run_queue_cap` bounds how many sessions may be runnable at once.
-    /// A `registry` turns on per-command latency histograms.
+    /// `run_queue_cap` bounds how many sessions of one class may be
+    /// runnable at once. A `registry` turns on scheduling metrics.
     pub fn new(
         workers: usize,
         queue_depth: usize,
@@ -204,7 +408,7 @@ impl Pool {
         registry: Option<&Arc<obs::Registry>>,
     ) -> Pool {
         let inner = Arc::new(PoolInner {
-            runq: Mutex::new(VecDeque::new()),
+            runq: Mutex::new(RunQueues::new()),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
             queue_depth: queue_depth.max(1),
@@ -212,7 +416,9 @@ impl Pool {
             executed: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             rejected_overloaded: AtomicU64::new(0),
-            cmd_latency: registry.map(CmdLatency::new),
+            preempted: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            obs: registry.map(PoolObs::new),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -250,18 +456,26 @@ impl Pool {
             return SubmitOutcome::Overloaded;
         }
         if inbox.scheduled {
-            inbox.q.push_back((cmd, reply_tx));
+            let seq = inbox.enq_seq;
+            inbox.enq_seq += 1;
+            inbox.q.push_back(Entry { cmd, reply_tx, seq });
             return SubmitOutcome::Accepted;
         }
+        let class = slot.priority();
         // Lock order inbox → runq, same as the worker's requeue path.
         let mut runq = self.inner.runq.lock().unwrap();
-        if runq.len() >= self.inner.run_queue_cap {
+        if runq.len(class) >= self.inner.run_queue_cap {
             self.inner.rejected_busy.fetch_add(1, Ordering::Relaxed);
             return SubmitOutcome::Busy;
         }
-        inbox.q.push_back((cmd, reply_tx));
+        let seq = inbox.enq_seq;
+        inbox.enq_seq += 1;
+        inbox.q.push_back(Entry { cmd, reply_tx, seq });
         inbox.scheduled = true;
-        runq.push_back(slot.clone());
+        runq.push(class, slot.clone());
+        if let Some(o) = &self.inner.obs {
+            o.runq_depth[class as usize].add(1);
+        }
         drop(runq);
         drop(inbox);
         self.inner.cv.notify_one();
@@ -273,6 +487,8 @@ impl Pool {
             executed: self.inner.executed.load(Ordering::Relaxed),
             rejected_busy: self.inner.rejected_busy.load(Ordering::Relaxed),
             rejected_overloaded: self.inner.rejected_overloaded.load(Ordering::Relaxed),
+            preempted: self.inner.preempted.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
         }
     }
 
@@ -300,14 +516,14 @@ impl Drop for Pool {
 
 fn worker_loop(inner: &PoolInner) {
     loop {
-        let slot = {
+        let (class, slot) = {
             let mut runq = inner.runq.lock().unwrap();
             loop {
-                if let Some(slot) = runq.pop_front() {
-                    break slot;
+                if let Some(popped) = runq.pop() {
+                    break popped;
                 }
                 if inner.stop.load(Ordering::SeqCst) {
-                    // Stop requested and nothing runnable: the queue can
+                    // Stop requested and nothing runnable: the queues can
                     // only refill from requeues, which other workers finish
                     // before they exit the same way.
                     return;
@@ -315,28 +531,78 @@ fn worker_loop(inner: &PoolInner) {
                 runq = inner.cv.wait(runq).unwrap();
             }
         };
-        let next = slot.inbox.lock().unwrap().q.pop_front();
-        if let Some((cmd, reply_tx)) = next {
-            let kind = cmd.label();
-            let t0 = inner
-                .cmd_latency
-                .as_ref()
-                .map(|_| std::time::Instant::now());
-            let reply = slot.session.lock().unwrap().execute(cmd);
-            if let (Some(lat), Some(t0)) = (&inner.cmd_latency, t0) {
-                lat.record(kind, t0.elapsed().as_nanos() as u64);
-            }
-            inner.executed.fetch_add(1, Ordering::Relaxed);
-            // A vanished reader is not the session's problem.
-            reply_tx.send(reply);
+        if let Some(o) = &inner.obs {
+            o.runq_depth[class as usize].add(-1);
         }
-        // Requeue while work remains; drain continues past `stop`.
+        // Pop one entry; the cancel watermark is read under the same lock
+        // so a concurrent CANCEL either covers this entry or a later one,
+        // never a torn in-between.
+        let next = {
+            let mut inbox = slot.inbox.lock().unwrap();
+            let cancel_before = inbox.cancel_before;
+            inbox.q.pop_front().map(|e| {
+                let cancelled = e.seq < cancel_before;
+                (e, cancelled)
+            })
+        };
+        if let Some((entry, cancelled)) = next {
+            if cancelled {
+                inner.cancelled.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &inner.obs {
+                    o.cancelled.inc();
+                }
+                entry.reply_tx.send(Reply::Err("cancelled".into()));
+            } else {
+                let kind = entry.cmd.label();
+                let was_slice = matches!(entry.cmd, Command::RunSlice { .. });
+                let t0 = inner.obs.as_ref().map(|_| std::time::Instant::now());
+                let exec = slot.session.lock().unwrap().execute_step(entry.cmd);
+                let yielded = matches!(exec, Exec::Yield(_));
+                if let (Some(o), Some(t0)) = (&inner.obs, t0) {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    o.cmd_latency.record(kind, ns);
+                    if was_slice || yielded {
+                        o.slice_ns.record(ns);
+                    }
+                }
+                match exec {
+                    Exec::Done(reply) => {
+                        inner.executed.fetch_add(1, Ordering::Relaxed);
+                        // A vanished reader is not the session's problem.
+                        entry.reply_tx.send(reply);
+                    }
+                    Exec::Yield(cont) => {
+                        // Slice boundary: the continuation keeps the reply
+                        // slot and the original sequence (so CANCEL still
+                        // covers it) and goes back on the inbox *front* —
+                        // no other command of this session can interleave
+                        // into the middle of the run.
+                        inner.preempted.fetch_add(1, Ordering::Relaxed);
+                        if let Some(o) = &inner.obs {
+                            o.preemptions.inc();
+                        }
+                        slot.inbox.lock().unwrap().q.push_front(Entry {
+                            cmd: cont,
+                            reply_tx: entry.reply_tx,
+                            seq: entry.seq,
+                        });
+                    }
+                }
+            }
+        }
+        // Requeue while work remains; drain continues past `stop`. The
+        // requeue path is exempt from the run-queue cap — a scheduled
+        // session must always be able to finish its inbox.
         let mut inbox = slot.inbox.lock().unwrap();
         if inbox.q.is_empty() {
             inbox.scheduled = false;
         } else {
+            let class = slot.priority();
             let mut runq = inner.runq.lock().unwrap();
-            runq.push_back(slot.clone());
+            runq.push(class, slot.clone());
+            if let Some(o) = &inner.obs {
+                o.runq_depth[class as usize].add(1);
+            }
             drop(runq);
             drop(inbox);
             inner.cv.notify_one();
@@ -359,6 +625,7 @@ mod tests {
 
     /// A session whose `RUN` spins for thousands of cycles — used to wedge
     /// a worker so queue-overflow paths can be hit deterministically.
+    /// `run_slice` 0: slicing off, the wedge must hold.
     fn spinner(id: u64) -> Arc<SessionSlot> {
         let src = "(literalize c n)
                    (p spin (c ^n <n>) --> (modify 1 ^n (compute <n> + 1)))";
@@ -478,6 +745,38 @@ mod tests {
     }
 
     #[test]
+    fn per_class_caps_are_independent() {
+        // One-seat queues: a Normal session filling its class must not
+        // shut a High session out.
+        let pool = Pool::new(1, 64, 1, None);
+        let spin = spinner(9);
+        let spin_rx = submit_ok(&pool, &spin, Command::Run(20_000));
+        let a = slot(1);
+        let rx_a = loop {
+            let (tx, rx) = mpsc::sync_channel(1);
+            match pool.submit(&a, Command::Cs, ReplyTx::Channel(tx)) {
+                SubmitOutcome::Accepted => break rx,
+                SubmitOutcome::Busy => std::thread::yield_now(),
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        // Normal class is now full (capacity 1) ...
+        let b = slot(2);
+        let (tx, _rx_b) = mpsc::sync_channel(1);
+        assert_eq!(
+            pool.submit(&b, Command::Cs, ReplyTx::Channel(tx)),
+            SubmitOutcome::Busy
+        );
+        // ... but the high class still has its own seat.
+        let hi = slot(3);
+        hi.set_priority(Priority::High);
+        let rx_hi = submit_ok(&pool, &hi, Command::Cs);
+        let _ = spin_rx.recv();
+        let _ = rx_a.recv();
+        assert!(rx_hi.recv().unwrap().is_ok());
+    }
+
+    #[test]
     fn shutdown_drains_queued_commands() {
         let pool = Pool::new(2, 64, 64, None);
         let slots: Vec<_> = (0..4).map(slot).collect();
@@ -500,5 +799,96 @@ mod tests {
             assert!(rx.try_recv().unwrap().is_ok());
         }
         assert_eq!(pool.stats().executed, 32);
+    }
+
+    #[test]
+    fn priority_parses_and_names_roundtrip() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::from_name(p.name()), Some(p));
+            assert_eq!(Priority::from_name(&p.name().to_uppercase()), Some(p));
+        }
+        assert_eq!(Priority::from_name("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    /// The weighted-dequeue policy itself, in isolation: high dominates,
+    /// but a loaded batch class is served at least once per credit round.
+    #[test]
+    fn weighted_dequeue_serves_batch_within_one_round() {
+        let mut rq = RunQueues::new();
+        // Keep every class loaded by re-pushing what we pop.
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            rq.push(*p, slot(i as u64 + 1));
+        }
+        let mut counts = [0usize; Priority::COUNT];
+        let mut batch_gap = 0usize;
+        let mut max_batch_gap = 0usize;
+        for _ in 0..220 {
+            let (class, s) = rq.pop().unwrap();
+            counts[class as usize] += 1;
+            if class == Priority::Batch {
+                batch_gap = 0;
+            } else {
+                batch_gap += 1;
+                max_batch_gap = max_batch_gap.max(batch_gap);
+            }
+            rq.push(class, s);
+        }
+        // Weighted split ~ 16:4:1 over ten+ rounds.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        assert!(counts[2] >= 10, "batch starved: {counts:?}");
+        // One full credit round (16+4) is the worst case between batch pops.
+        assert!(max_batch_gap <= CLASS_WEIGHTS[0] as usize + CLASS_WEIGHTS[1] as usize + 1);
+    }
+
+    /// Aging promotes a class that would otherwise wait behind refills.
+    #[test]
+    fn aging_promotes_a_skipped_class() {
+        let mut rq = RunQueues::new();
+        rq.push(Priority::Batch, slot(1));
+        // Burn through rounds of high-only traffic; batch ages while high
+        // is served, and must be picked no later than AGE_PROMOTE pops.
+        let mut served_batch = None;
+        for i in 0..(AGE_PROMOTE as usize + 2) {
+            rq.push(Priority::High, slot(100 + i as u64));
+            let (class, _) = rq.pop().unwrap();
+            if class == Priority::Batch {
+                served_batch = Some(i);
+                break;
+            }
+        }
+        assert!(
+            served_batch.is_some(),
+            "batch never served within AGE_PROMOTE+2 pops"
+        );
+    }
+
+    /// CANCEL fast-fails everything queued at the time of the call but
+    /// leaves the session usable for later submissions.
+    #[test]
+    fn cancel_fast_fails_queued_commands() {
+        let pool = Pool::new(1, 64, 64, None);
+        let spin = spinner(2);
+        let spin_rx = submit_ok(&pool, &spin, Command::Run(20_000));
+        let s = slot(1);
+        let rxs: Vec<_> = (0..4)
+            .map(|i| submit_ok(&pool, &s, Command::Assert(format!("item ^n {i}"))))
+            .collect();
+        let covered = s.cancel();
+        assert!(covered >= 1, "cancel saw {covered} queued entries");
+        let _ = spin_rx.recv();
+        let mut cancelled = 0u64;
+        for rx in rxs {
+            match rx.recv().unwrap() {
+                Reply::Err(e) if e == "cancelled" => cancelled += 1,
+                Reply::Ok(_) => {} // popped before the watermark landed
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(cancelled >= 1, "no queued command was cancelled");
+        assert_eq!(pool.stats().cancelled, cancelled);
+        // The session survives: post-cancel submissions execute normally.
+        let rx = submit_ok(&pool, &s, Command::Assert("item ^n 9".into()));
+        assert!(rx.recv().unwrap().is_ok());
     }
 }

@@ -1,8 +1,11 @@
 //! The wire protocol: line-oriented text, one request per line.
 //!
 //! ```text
-//! OPEN <program> [matcher]   open a session on a registered program
-//! OPEN - [matcher]           ... on inline source (lines follow, then END)
+//! OPEN <program> [matcher] [PRIO=<p>]
+//!                            open a session on a registered program,
+//!                            optionally in a scheduling class
+//!                            (high|normal|batch; default normal)
+//! OPEN - [matcher] [PRIO=<p>]  ... on inline source (lines follow, then END)
 //! ASSERT <class ^attr v ...> stage one WME               -> OK <timetag>
 //! RETRACT <timetag>          stage one retraction        -> OK <timetag>
 //! BATCH                      begin a multi-line batch (ASSERT/RETRACT
@@ -17,6 +20,12 @@
 //!                            change-log tail); body lines follow, then END
 //! MIGRATE [matcher]          rebuild the session's engine from a live
 //!                            snapshot, optionally on a different matcher
+//! PRIO <class>               change the session's scheduling class
+//!                            (high|normal|batch)         -> OK prio=<class>
+//! CANCEL                     fast-fail every queued command of this
+//!                            session (each replies ERR cancelled) and cut
+//!                            an in-flight sliced RUN at its next slice
+//!                            boundary                    -> OK cancelled pending=<n>
 //! STATS?                     session statistics          -> OK k=v ...
 //! METRICS?                   server-wide metrics in Prometheus text
 //!                            exposition format           -> METRICS <n> ... END
@@ -35,11 +44,13 @@ use std::fmt;
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Line {
-    /// `OPEN <program> [matcher]`; a program of `-` introduces inline
-    /// source terminated by `END`.
+    /// `OPEN <program> [matcher] [PRIO=<class>]`; a program of `-`
+    /// introduces inline source terminated by `END`. `prio` carries the
+    /// raw class name — validated where the session is built.
     Open {
         program: String,
         matcher: Option<String>,
+        prio: Option<String>,
     },
     Assert(String),
     Retract(u64),
@@ -55,16 +66,39 @@ pub enum Line {
     Fired,
     /// Serialize the session's full durable state (`SNAPSHOT?`).
     Snapshot,
-    /// `RESTORE <program> [matcher]`; body lines (snapshot text, then any
-    /// change-log tail) follow, terminated by `END`.
+    /// `RESTORE <program> [matcher] [PRIO=<class>]`; body lines (snapshot
+    /// text, then any change-log tail) follow, terminated by `END`.
     Restore {
         program: String,
         matcher: Option<String>,
+        prio: Option<String>,
     },
     /// `MIGRATE [matcher]`: snapshot + rebuild the engine in place.
     Migrate(Option<String>),
+    /// `PRIO <class>`: change the session's scheduling class.
+    Prio(String),
+    /// `CANCEL`: fast-fail queued commands, cut an in-flight sliced `RUN`.
+    Cancel,
     Close,
     Shutdown,
+}
+
+/// Splits `OPEN`/`RESTORE` trailing arguments into (matcher, prio): one
+/// optional bare matcher name plus one optional `PRIO=<class>` token, in
+/// either order.
+fn matcher_and_prio(verb: &str, rest: &str) -> Result<(Option<String>, Option<String>), String> {
+    let mut matcher = None;
+    let mut prio = None;
+    for tok in rest.split_whitespace() {
+        if tok.len() >= 5 && tok[..5].eq_ignore_ascii_case("PRIO=") {
+            if prio.replace(tok[5..].to_string()).is_some() {
+                return Err(format!("{verb} takes one PRIO= argument"));
+            }
+        } else if matcher.replace(tok.to_string()).is_some() {
+            return Err(format!("{verb} takes at most a matcher and PRIO=<class>"));
+        }
+    }
+    Ok((matcher, prio))
 }
 
 /// Parses one request line (already stripped of the newline).
@@ -83,16 +117,19 @@ pub fn parse_line(line: &str) -> Result<Line, String> {
     };
     match verb.to_ascii_uppercase().as_str() {
         "OPEN" => {
-            let mut parts = rest.split_whitespace();
-            let program = parts
-                .next()
-                .ok_or_else(|| "OPEN needs a program name (or `-`)".to_string())?
-                .to_string();
-            let matcher = parts.next().map(|s| s.to_string());
-            if parts.next().is_some() {
-                return Err("OPEN takes at most two arguments".into());
+            let (program, tail) = match rest.split_once(char::is_whitespace) {
+                Some((p, t)) => (p, t),
+                None => (rest, ""),
+            };
+            if program.is_empty() {
+                return Err("OPEN needs a program name (or `-`)".into());
             }
-            Ok(Line::Open { program, matcher })
+            let (matcher, prio) = matcher_and_prio("OPEN", tail)?;
+            Ok(Line::Open {
+                program: program.to_string(),
+                matcher,
+                prio,
+            })
         }
         "ASSERT" => {
             if rest.is_empty() {
@@ -122,16 +159,19 @@ pub fn parse_line(line: &str) -> Result<Line, String> {
         "FIRED?" => no_arg(Line::Fired),
         "SNAPSHOT?" => no_arg(Line::Snapshot),
         "RESTORE" => {
-            let mut parts = rest.split_whitespace();
-            let program = parts
-                .next()
-                .ok_or_else(|| "RESTORE needs a program name".to_string())?
-                .to_string();
-            let matcher = parts.next().map(|s| s.to_string());
-            if parts.next().is_some() {
-                return Err("RESTORE takes at most two arguments".into());
+            let (program, tail) = match rest.split_once(char::is_whitespace) {
+                Some((p, t)) => (p, t),
+                None => (rest, ""),
+            };
+            if program.is_empty() {
+                return Err("RESTORE needs a program name".into());
             }
-            Ok(Line::Restore { program, matcher })
+            let (matcher, prio) = matcher_and_prio("RESTORE", tail)?;
+            Ok(Line::Restore {
+                program: program.to_string(),
+                matcher,
+                prio,
+            })
         }
         "MIGRATE" => {
             let mut parts = rest.split_whitespace();
@@ -141,6 +181,18 @@ pub fn parse_line(line: &str) -> Result<Line, String> {
             }
             Ok(Line::Migrate(matcher))
         }
+        "PRIO" => {
+            let mut parts = rest.split_whitespace();
+            let class = parts
+                .next()
+                .ok_or_else(|| "PRIO needs a class (high|normal|batch)".to_string())?
+                .to_string();
+            if parts.next().is_some() {
+                return Err("PRIO takes one argument".into());
+            }
+            Ok(Line::Prio(class))
+        }
+        "CANCEL" => no_arg(Line::Cancel),
         "CLOSE" => no_arg(Line::Close),
         "SHUTDOWN" => no_arg(Line::Shutdown),
         "" => Err("empty request".into()),
@@ -197,16 +249,38 @@ mod tests {
             parse_line("OPEN rubik"),
             Ok(Line::Open {
                 program: "rubik".into(),
-                matcher: None
+                matcher: None,
+                prio: None
             })
         );
         assert_eq!(
             parse_line("open - psm"),
             Ok(Line::Open {
                 program: "-".into(),
-                matcher: Some("psm".into())
+                matcher: Some("psm".into()),
+                prio: None
             })
         );
+        assert_eq!(
+            parse_line("OPEN rubik PRIO=batch"),
+            Ok(Line::Open {
+                program: "rubik".into(),
+                matcher: None,
+                prio: Some("batch".into())
+            })
+        );
+        // PRIO= and matcher compose in either order; case-insensitive key.
+        assert_eq!(
+            parse_line("OPEN rubik prio=HIGH psm"),
+            Ok(Line::Open {
+                program: "rubik".into(),
+                matcher: Some("psm".into()),
+                prio: Some("HIGH".into())
+            })
+        );
+        assert_eq!(parse_line("PRIO high"), Ok(Line::Prio("high".into())));
+        assert_eq!(parse_line("prio batch"), Ok(Line::Prio("batch".into())));
+        assert_eq!(parse_line("CANCEL"), Ok(Line::Cancel));
         assert_eq!(
             parse_line("ASSERT block ^name a"),
             Ok(Line::Assert("block ^name a".into()))
@@ -227,14 +301,24 @@ mod tests {
             parse_line("RESTORE adder"),
             Ok(Line::Restore {
                 program: "adder".into(),
-                matcher: None
+                matcher: None,
+                prio: None
             })
         );
         assert_eq!(
             parse_line("restore adder psm"),
             Ok(Line::Restore {
                 program: "adder".into(),
-                matcher: Some("psm".into())
+                matcher: Some("psm".into()),
+                prio: None
+            })
+        );
+        assert_eq!(
+            parse_line("RESTORE adder PRIO=high"),
+            Ok(Line::Restore {
+                program: "adder".into(),
+                matcher: None,
+                prio: Some("high".into())
             })
         );
         assert_eq!(parse_line("MIGRATE"), Ok(Line::Migrate(None)));
@@ -261,6 +345,11 @@ mod tests {
         assert!(parse_line("RESTORE").is_err());
         assert!(parse_line("RESTORE a b c").is_err());
         assert!(parse_line("MIGRATE a b").is_err());
+        assert!(parse_line("PRIO").is_err());
+        assert!(parse_line("PRIO a b").is_err());
+        assert!(parse_line("CANCEL now").is_err());
+        assert!(parse_line("OPEN r PRIO=a PRIO=b").is_err());
+        assert!(parse_line("OPEN r vs2 psm").is_err());
     }
 
     #[test]

@@ -780,7 +780,9 @@ fn route_line(pair: &mut Pair, line: String) {
                     pair.reply("ERR SHUTDOWN not allowed through router (use ADMIN)");
                     return;
                 }
-                Ok(Line::Open { program, matcher }) => {
+                Ok(Line::Open {
+                    program, matcher, ..
+                }) => {
                     pair.in_flight += 1;
                     if program == "-" {
                         pair.tags.push_back(Tag::Open(None));
@@ -790,7 +792,9 @@ fn route_line(pair: &mut Pair, line: String) {
                             .push_back(Tag::Open(Some(SessionInfo { program, matcher })));
                     }
                 }
-                Ok(Line::Restore { program, matcher }) => {
+                Ok(Line::Restore {
+                    program, matcher, ..
+                }) => {
                     pair.in_flight += 1;
                     pair.tags
                         .push_back(Tag::Open(Some(SessionInfo { program, matcher })));

@@ -22,7 +22,7 @@
 //! flushing queued replies, and the pool drains every queued command
 //! before its workers exit.
 
-use crate::pool::{Pool, PoolStats, ReplyTx, SessionSlot, SubmitOutcome};
+use crate::pool::{Pool, PoolStats, Priority, ReplyTx, SessionSlot, SubmitOutcome};
 use crate::protocol::{parse_line, Line, Reply};
 use crate::registry::{matcher_kind, ProgramSpec, Registry};
 use crate::session::{BatchItem, Command, Session};
@@ -118,6 +118,12 @@ pub struct ServeConfig {
     /// flushed. Past it the connection is closed with `ERR overloaded` —
     /// the thread-mode analogue of `write_buf_cap`.
     pub max_pending_replies: usize,
+    /// Deadline preemption: a `RUN n` executes in slices of at most this
+    /// many cycles, requeueing the session between slices so one long run
+    /// cannot monopolize a worker. `0` disables slicing (a `RUN` occupies
+    /// its worker until it finishes, as before). The default honors the
+    /// `OPS5_RUN_SLICE` environment variable.
+    pub run_slice_cycles: u64,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +144,10 @@ impl Default for ServeConfig {
             front_end: FrontEnd::default(),
             write_buf_cap: 256 * 1024,
             max_pending_replies: 4096,
+            run_slice_cycles: std::env::var("OPS5_RUN_SLICE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
 }
@@ -502,14 +512,28 @@ pub(crate) fn resolve_matcher(
         .unwrap_or_else(|| shared.cfg.matcher.clone()))
 }
 
+/// Resolves an optional `PRIO=<class>` argument (or `PRIO` verb operand)
+/// into a scheduling class. Both front-ends validate this *before*
+/// consuming an inline body, like [`resolve_matcher`].
+pub(crate) fn resolve_priority(prio: Option<&str>) -> Result<Option<Priority>, String> {
+    match prio {
+        None => Ok(None),
+        Some(p) => Priority::from_name(p)
+            .map(Some)
+            .ok_or_else(|| format!("unknown priority `{p}` (high|normal|batch)")),
+    }
+}
+
 /// Builds and registers a session for `OPEN`. `inline_src` carries the
 /// collected body of `OPEN -`; otherwise `program` names a registry entry.
 /// Returns the slot plus the `OK` reply, or the error reply — identical
-/// text from either front-end.
+/// text from either front-end. A `prio` of `Some` puts the slot in that
+/// scheduling class and is echoed in the reply.
 pub(crate) fn open_session(
     shared: &Shared,
     program: &str,
     kind: MatcherKind,
+    prio: Option<Priority>,
     inline_src: Option<String>,
 ) -> Result<(Arc<SessionSlot>, Reply), Reply> {
     let inline;
@@ -534,16 +558,26 @@ pub(crate) fn open_session(
         engine.enable_obs(obs::ObsConfig::enabled());
     }
     let mut session = Session::new(id, program, engine, kind, shared.cfg.max_cycles_per_run);
+    session.set_run_slice(shared.cfg.run_slice_cycles);
     if let Some(dir) = &shared.cfg.durability_dir {
         session
             .attach_durability(dir, shared.cfg.checkpoint_every)
             .map_err(|e| Reply::Err(format!("durability: {e}")))?;
     }
     let new_slot = SessionSlot::new(session);
+    let prio_note = match prio {
+        Some(p) => {
+            new_slot.set_priority(p);
+            format!(" prio={}", p.name())
+        }
+        None => String::new(),
+    };
     register_session(shared, &new_slot);
     Ok((
         new_slot,
-        Reply::Ok(format!("session {id} program={program} matcher={name}")),
+        Reply::Ok(format!(
+            "session {id} program={program} matcher={name}{prio_note}"
+        )),
     ))
 }
 
@@ -554,6 +588,7 @@ pub(crate) fn restore_session(
     shared: &Shared,
     program: &str,
     kind: MatcherKind,
+    prio: Option<Priority>,
     body: &[String],
 ) -> Result<(Arc<SessionSlot>, Reply), Reply> {
     let spec = shared.registry.get(program).ok_or_else(|| {
@@ -587,18 +622,26 @@ pub(crate) fn restore_session(
     .map_err(Reply::Err)?;
     let name = session.engine().matcher().name().to_string();
     let cycles = session.engine().cycles();
+    session.set_run_slice(shared.cfg.run_slice_cycles);
     if let Some(dir) = &shared.cfg.durability_dir {
         session
             .attach_durability(dir, shared.cfg.checkpoint_every)
             .map_err(|e| Reply::Err(format!("durability: {e}")))?;
     }
     let new_slot = SessionSlot::new(session);
+    let prio_note = match prio {
+        Some(p) => {
+            new_slot.set_priority(p);
+            format!(" prio={}", p.name())
+        }
+        None => String::new(),
+    };
     register_session(shared, &new_slot);
     Ok((
         new_slot,
         Reply::Ok(format!(
             "session {id} program={program} matcher={name} \
-             replayed={replayed} cycles={cycles}"
+             replayed={replayed} cycles={cycles}{prio_note}"
         )),
     ))
 }
@@ -645,7 +688,11 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
             }
         };
         match parsed {
-            Line::Open { program, matcher } => {
+            Line::Open {
+                program,
+                matcher,
+                prio,
+            } => {
                 if slot.is_some() {
                     send_direct(
                         writer_tx,
@@ -657,6 +704,13 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                 }
                 let kind = match resolve_matcher(shared, matcher.as_deref()) {
                     Ok(k) => k,
+                    Err(e) => {
+                        send_direct(writer_tx, Reply::Err(e));
+                        continue;
+                    }
+                };
+                let prio = match resolve_priority(prio.as_deref()) {
+                    Ok(p) => p,
                     Err(e) => {
                         send_direct(writer_tx, Reply::Err(e));
                         continue;
@@ -678,7 +732,7 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                 } else {
                     None
                 };
-                match open_session(shared, &program, kind, inline_src) {
+                match open_session(shared, &program, kind, prio, inline_src) {
                     Ok((new_slot, ok)) => {
                         slot = Some(new_slot);
                         send_direct(writer_tx, ok);
@@ -686,7 +740,11 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                     Err(e) => send_direct(writer_tx, e),
                 }
             }
-            Line::Restore { program, matcher } => {
+            Line::Restore {
+                program,
+                matcher,
+                prio,
+            } => {
                 // Consume the body framing unconditionally so a failed
                 // RESTORE does not leave its payload to parse as commands.
                 let mut body = Vec::new();
@@ -714,7 +772,14 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                         continue;
                     }
                 };
-                match restore_session(shared, &program, kind, &body) {
+                let prio = match resolve_priority(prio.as_deref()) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        send_direct(writer_tx, Reply::Err(e));
+                        continue;
+                    }
+                };
+                match restore_session(shared, &program, kind, prio, &body) {
                     Ok((new_slot, ok)) => {
                         slot = Some(new_slot);
                         send_direct(writer_tx, ok);
@@ -777,6 +842,30 @@ fn conn_loop(reader: &mut LineReader, shared: &Arc<Shared>, writer_tx: &ReplyQue
                 let _ = TcpStream::connect(shared.addr);
                 break;
             }
+            // Scheduling controls: answered by the reader itself so they
+            // bypass the session's inbox — a CANCEL must work precisely
+            // when that inbox is backed up.
+            Line::Prio(class) => match &slot {
+                Some(s) => {
+                    let reply = match resolve_priority(Some(&class)) {
+                        Ok(Some(p)) => {
+                            s.set_priority(p);
+                            Reply::Ok(format!("prio={}", p.name()))
+                        }
+                        Ok(None) => unreachable!("Some in, Some out"),
+                        Err(e) => Reply::Err(e),
+                    };
+                    send_direct(writer_tx, reply);
+                }
+                None => send_direct(writer_tx, Reply::Err("no open session".into())),
+            },
+            Line::Cancel => match &slot {
+                Some(s) => {
+                    let n = s.cancel();
+                    send_direct(writer_tx, Reply::Ok(format!("cancelled pending={n}")));
+                }
+                None => send_direct(writer_tx, Reply::Err("no open session".into())),
+            },
             Line::Close => match &slot {
                 // Release the slot only once the pool has the command: a
                 // rejected CLOSE (`BUSY`) must leave the session open so the

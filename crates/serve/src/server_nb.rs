@@ -78,6 +78,7 @@ enum Mode {
     OpenBody {
         program: String,
         kind: engine::MatcherKind,
+        prio: Option<crate::pool::Priority>,
         src: String,
     },
     /// `RESTORE` body (terminator: exact-case `END`; the snapshot's own
@@ -86,6 +87,7 @@ enum Mode {
     RestoreBody {
         program: String,
         matcher: Option<String>,
+        prio: Option<String>,
         lines: Vec<String>,
     },
     /// `BATCH` body. `line_no` counts every line after `BATCH` (blanks
@@ -373,10 +375,11 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>, completions: &Arc<Completions>
             Mode::OpenBody {
                 program,
                 kind,
+                prio,
                 mut src,
             } => {
                 if line.trim().eq_ignore_ascii_case("END") {
-                    match server::open_session(shared, &program, kind, Some(src)) {
+                    match server::open_session(shared, &program, kind, prio, Some(src)) {
                         Ok((slot, ok)) => {
                             conn.slot = Some(slot);
                             conn.direct(ok);
@@ -386,21 +389,29 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>, completions: &Arc<Completions>
                 } else {
                     src.push_str(&line);
                     src.push('\n');
-                    conn.mode = Mode::OpenBody { program, kind, src };
+                    conn.mode = Mode::OpenBody {
+                        program,
+                        kind,
+                        prio,
+                        src,
+                    };
                 }
             }
             Mode::RestoreBody {
                 program,
                 matcher,
+                prio,
                 mut lines,
             } => {
                 if line.trim() == "END" {
                     if conn.slot.is_some() {
                         conn.direct(Reply::Err("session already open (CLOSE first)".into()));
                     } else {
-                        match server::resolve_matcher(shared, matcher.as_deref()) {
-                            Ok(kind) => {
-                                match server::restore_session(shared, &program, kind, &lines) {
+                        match server::resolve_matcher(shared, matcher.as_deref()).and_then(|kind| {
+                            server::resolve_priority(prio.as_deref()).map(|p| (kind, p))
+                        }) {
+                            Ok((kind, p)) => {
+                                match server::restore_session(shared, &program, kind, p, &lines) {
                                     Ok((slot, ok)) => {
                                         conn.slot = Some(slot);
                                         conn.direct(ok);
@@ -416,6 +427,7 @@ fn process(conn: &mut Conn, shared: &Arc<Shared>, completions: &Arc<Completions>
                     conn.mode = Mode::RestoreBody {
                         program,
                         matcher,
+                        prio,
                         lines,
                     };
                 }
@@ -477,7 +489,11 @@ fn handle_line(
         }
     };
     match parsed {
-        Line::Open { program, matcher } => {
+        Line::Open {
+            program,
+            matcher,
+            prio,
+        } => {
             if conn.slot.is_some() {
                 conn.direct(Reply::Err("session already open (CLOSE first)".into()));
                 // An inline body would follow; we cannot know, so leave it
@@ -491,14 +507,22 @@ fn handle_line(
                     return;
                 }
             };
+            let prio = match server::resolve_priority(prio.as_deref()) {
+                Ok(p) => p,
+                Err(e) => {
+                    conn.direct(Reply::Err(e));
+                    return;
+                }
+            };
             if program == "-" {
                 conn.mode = Mode::OpenBody {
                     program,
                     kind,
+                    prio,
                     src: String::new(),
                 };
             } else {
-                match server::open_session(shared, &program, kind, None) {
+                match server::open_session(shared, &program, kind, prio, None) {
                     Ok((slot, ok)) => {
                         conn.slot = Some(slot);
                         conn.direct(ok);
@@ -507,10 +531,15 @@ fn handle_line(
                 }
             }
         }
-        Line::Restore { program, matcher } => {
+        Line::Restore {
+            program,
+            matcher,
+            prio,
+        } => {
             conn.mode = Mode::RestoreBody {
                 program,
                 matcher,
+                prio,
                 lines: Vec::new(),
             };
         }
@@ -531,6 +560,31 @@ fn handle_line(
             // Pipelined commands after SHUTDOWN are discarded, as in the
             // thread front-end (its reader breaks immediately).
             conn.stop_input = true;
+        }
+        // Scheduling controls: answered inline so they bypass the session's
+        // inbox — a CANCEL must work precisely when that inbox is backed up.
+        Line::Prio(class) => {
+            if let Some(slot) = &conn.slot {
+                let reply = match server::resolve_priority(Some(&class)) {
+                    Ok(Some(p)) => {
+                        slot.set_priority(p);
+                        Reply::Ok(format!("prio={}", p.name()))
+                    }
+                    Ok(None) => unreachable!("Some in, Some out"),
+                    Err(e) => Reply::Err(e),
+                };
+                conn.direct(reply);
+            } else {
+                conn.direct(Reply::Err("no open session".into()));
+            }
+        }
+        Line::Cancel => {
+            if let Some(slot) = &conn.slot {
+                let n = slot.cancel();
+                conn.direct(Reply::Ok(format!("cancelled pending={n}")));
+            } else {
+                conn.direct(Reply::Err("no open session".into()));
+            }
         }
         Line::Close => {
             // Release the slot only once the pool has the command: a

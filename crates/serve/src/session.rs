@@ -34,6 +34,15 @@ pub enum Command {
     Retract(u64),
     Batch(Vec<BatchItem>),
     Run(u64),
+    /// Internal continuation of a sliced `RUN` — never parsed off the
+    /// wire. `remaining` cycles are still owed of the clamped request,
+    /// `done` have already executed in earlier slices, and `requested` is
+    /// the client's original cycle count (for the `clamped=` reply field).
+    RunSlice {
+        remaining: u64,
+        done: u64,
+        requested: u64,
+    },
     Cs,
     Wm(Option<String>),
     Stats,
@@ -53,7 +62,7 @@ impl Command {
             Command::Assert(_) => "assert",
             Command::Retract(_) => "retract",
             Command::Batch(_) => "batch",
-            Command::Run(_) => "run",
+            Command::Run(_) | Command::RunSlice { .. } => "run",
             Command::Cs => "cs",
             Command::Wm(_) => "wm",
             Command::Stats => "stats",
@@ -63,6 +72,18 @@ impl Command {
             Command::Close => "close",
         }
     }
+}
+
+/// The outcome of one execution step. Most commands finish in one step; a
+/// sliced `RUN` yields a continuation at each slice boundary so the pool
+/// worker can requeue the session between slices (deadline preemption).
+#[derive(Debug)]
+pub enum Exec {
+    /// The command finished; send the reply.
+    Done(Reply),
+    /// Slice boundary: re-enqueue this continuation at the inbox front
+    /// (same reply slot, same sequence) and give the worker back.
+    Yield(Command),
 }
 
 /// A live session: an engine plus its protocol identity.
@@ -76,6 +97,9 @@ pub struct Session {
     /// psm process counts) rather than re-deriving it from the name.
     kind: MatcherKind,
     max_cycles_per_run: u64,
+    /// Deadline preemption: nonzero means a `RUN` executes in sub-runs of
+    /// at most this many cycles, yielding between slices (0 = off).
+    run_slice: u64,
     closed: bool,
     durability: Option<Durability>,
 }
@@ -89,8 +113,17 @@ struct Durability {
     /// Firings between checkpoints; reaching it rewrites the snapshot and
     /// truncates the log.
     checkpoint_every: u64,
+    /// Append-mode handle (so a failed write can be rolled back with
+    /// `set_len` and the retry still lands at the true end of file).
     log: File,
     fires_since: u64,
+    /// Journal records drained from the engine but not yet durably on
+    /// disk. A failed log write parks them here instead of losing them;
+    /// the next successful sync (or checkpoint) covers them.
+    pending: Vec<LogRecord>,
+    /// The last log write failed; surfaced in `STATS?` as
+    /// `durability=degraded`. Cleared by the next successful sync.
+    degraded: bool,
 }
 
 fn reason_str(r: StopReason) -> &'static str {
@@ -116,9 +149,22 @@ impl Session {
             engine,
             kind,
             max_cycles_per_run: max_cycles_per_run.max(1),
+            run_slice: 0,
             closed: false,
             durability: None,
         }
+    }
+
+    /// Sets the preemption slice: `RUN` executes in sub-runs of at most
+    /// this many cycles, yielding between them (0 disables slicing).
+    pub fn set_run_slice(&mut self, cycles: u64) {
+        self.run_slice = cycles;
+    }
+
+    /// True when the last durability write failed and records are parked
+    /// in the pending buffer (`STATS?` reports `durability=degraded`).
+    pub fn durability_degraded(&self) -> bool {
+        self.durability.as_ref().is_some_and(|d| d.degraded)
     }
 
     /// Builds a session from snapshot text plus an optional change-log tail.
@@ -158,22 +204,29 @@ impl Session {
     pub fn attach_durability(&mut self, dir: &Path, checkpoint_every: u64) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         self.engine.enable_journal();
+        // Append mode, no truncation: an existing log from a previous
+        // incarnation stays valid until the fresh checkpoint below has
+        // durably replaced it (`checkpoint` truncates, and only after the
+        // snapshot rename is on disk).
         let log = OpenOptions::new()
             .create(true)
-            .write(true)
-            .truncate(true)
+            .append(true)
             .open(Self::log_path(dir, self.id))?;
         self.durability = Some(Durability {
             dir: dir.to_path_buf(),
             checkpoint_every: checkpoint_every.max(1),
             log,
             fires_since: 0,
+            pending: Vec::new(),
+            degraded: false,
         });
         self.checkpoint()
     }
 
-    /// Rewrites the snapshot (write-temp + rename) and truncates the log —
-    /// the snapshot supersedes every record written so far.
+    /// Rewrites the snapshot (write-temp + fsync + rename + directory
+    /// fsync) and only then truncates the log — the snapshot supersedes
+    /// every record written (or pending) so far, but must be durable
+    /// before the old lineage is dropped.
     fn checkpoint(&mut self) -> std::io::Result<()> {
         let text = self.engine.snapshot().to_text();
         let Some(d) = self.durability.as_mut() else {
@@ -181,44 +234,78 @@ impl Session {
         };
         let snap = Self::snap_path(&d.dir, self.id);
         let tmp = snap.with_extension("snap.tmp");
-        fs::write(&tmp, text)?;
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            // The rename below only orders the *name*; without this a
+            // crash can leave a named-but-truncated snapshot.
+            f.sync_all()?;
+        }
         fs::rename(&tmp, &snap)?;
-        d.log = OpenOptions::new()
+        // Make the rename itself durable before the log is dropped.
+        if let Ok(dirf) = File::open(&d.dir) {
+            let _ = dirf.sync_all();
+        }
+        // Only now is the old lineage superseded: truncate the log (still
+        // append-mode — see `sync_durability`'s rollback) and drop any
+        // pending records, which the snapshot already contains.
+        let log = OpenOptions::new()
             .create(true)
-            .write(true)
-            .truncate(true)
+            .append(true)
             .open(Self::log_path(&d.dir, self.id))?;
+        log.set_len(0)?;
+        d.log = log;
         d.fires_since = 0;
+        d.pending.clear();
         self.engine.clear_journal();
         Ok(())
     }
 
-    /// Appends the journal records accumulated by the last command to the
-    /// log file (flushed), checkpointing once enough firings pile up.
+    /// Appends the journal records accumulated by the last command — plus
+    /// anything a previous failed write left pending — to the log file,
+    /// checkpointing once enough firings pile up. A write failure loses
+    /// nothing: the records stay parked in the pending buffer, any partial
+    /// append is rolled back, and the next successful sync (or checkpoint)
+    /// covers them.
     fn sync_durability(&mut self) -> std::io::Result<()> {
         if self.durability.is_none() {
             return Ok(());
         }
         let recs = self.engine.drain_journal();
         let d = self.durability.as_mut().expect("checked above");
+        d.pending.extend(recs);
+        if d.pending.is_empty() {
+            return Ok(());
+        }
         let mut buf = String::new();
-        let mut fires = 0u64;
-        for r in &recs {
-            if matches!(r, LogRecord::Fire { .. }) {
-                fires += 1;
-            }
+        for r in &d.pending {
             buf.push_str(&r.to_line());
             buf.push('\n');
         }
-        if !buf.is_empty() {
-            d.log.write_all(buf.as_bytes())?;
-            d.log.flush()?;
+        // The handle is append-mode, so `end` is where this write lands;
+        // rolling a failure back with `set_len` leaves the next attempt
+        // appending at the restored end — no partial lines, no holes.
+        let end = d.log.metadata()?.len();
+        match d.log.write_all(buf.as_bytes()).and_then(|()| d.log.flush()) {
+            Ok(()) => {
+                let fires = d
+                    .pending
+                    .iter()
+                    .filter(|r| matches!(r, LogRecord::Fire { .. }))
+                    .count() as u64;
+                d.pending.clear();
+                d.degraded = false;
+                d.fires_since += fires;
+                if d.fires_since >= d.checkpoint_every {
+                    self.checkpoint()?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let _ = d.log.set_len(end);
+                Err(e)
+            }
         }
-        d.fires_since += fires;
-        if d.fires_since >= d.checkpoint_every {
-            self.checkpoint()?;
-        }
-        Ok(())
     }
 
     /// Snapshots the engine and rebuilds it from scratch — same program,
@@ -279,15 +366,108 @@ impl Session {
             .map_err(|e| e.to_string())
     }
 
-    /// Executes one command against the engine, producing exactly one reply.
-    /// When durability is attached, the command's journal records hit disk
-    /// before the reply is released.
+    /// Executes one command to completion, looping over slice boundaries.
+    /// The serial driver for tests and differential checks; the pool
+    /// worker calls [`execute_step`](Self::execute_step) instead so it can
+    /// requeue the session between slices.
     pub fn execute(&mut self, cmd: Command) -> Reply {
-        let reply = self.dispatch(cmd);
-        if let Err(e) = self.sync_durability() {
-            return Reply::Err(format!("durability: {e}"));
+        let mut cmd = cmd;
+        loop {
+            match self.execute_step(cmd) {
+                Exec::Done(reply) => return reply,
+                Exec::Yield(next) => cmd = next,
+            }
         }
-        reply
+    }
+
+    /// Executes one step: a whole command, or one slice of a sliced `RUN`.
+    /// Every slice is a durable point — the step's journal records hit
+    /// disk (or the pending buffer) before the step returns. A durability
+    /// write failure never clobbers the reply: the session is flagged
+    /// degraded (`STATS?` reports `durability=degraded`) and the records
+    /// stay buffered until a later sync succeeds.
+    pub fn execute_step(&mut self, cmd: Command) -> Exec {
+        let exec = self.dispatch_exec(cmd);
+        if self.sync_durability().is_err() {
+            if let Some(d) = self.durability.as_mut() {
+                d.degraded = true;
+            }
+        }
+        exec
+    }
+
+    fn dispatch_exec(&mut self, cmd: Command) -> Exec {
+        if self.closed {
+            return Exec::Done(Reply::Err("session is closed".into()));
+        }
+        match cmd {
+            Command::Run(n) => {
+                if n == 0 {
+                    self.engine.settle();
+                    return Exec::Done(Reply::Ok(format!(
+                        "cycles=0 reason=settled total={} cs={}",
+                        self.engine.cycles(),
+                        self.engine.conflict_set().len()
+                    )));
+                }
+                let clamp = n.min(self.max_cycles_per_run);
+                self.run_step(clamp, 0, n)
+            }
+            Command::RunSlice {
+                remaining,
+                done,
+                requested,
+            } => self.run_step(remaining, done, requested),
+            other => Exec::Done(self.dispatch(other)),
+        }
+    }
+
+    /// One slice of a (possibly sliced) `RUN`: `remaining` cycles are
+    /// still owed of the clamped request, `done` already ran in earlier
+    /// slices, `requested` is the client's original cycle count. The final
+    /// reply is byte-identical to an unsliced run — cycle counts
+    /// accumulate across slices and `settle` only runs at the end.
+    fn run_step(&mut self, remaining: u64, done: u64, requested: u64) -> Exec {
+        let slice = if self.run_slice == 0 {
+            remaining
+        } else {
+            remaining.min(self.run_slice)
+        };
+        match self.engine.run(slice) {
+            Ok(res) => {
+                let total_done = done + res.cycles;
+                let left = remaining.saturating_sub(res.cycles);
+                if matches!(res.reason, StopReason::CycleLimit) && left > 0 {
+                    // Only the slice budget ran out; the command still has
+                    // cycles owed. Yield so other sessions get the worker.
+                    return Exec::Yield(Command::RunSlice {
+                        remaining: left,
+                        done: total_done,
+                        requested,
+                    });
+                }
+                // Leave the conflict set current even when the run
+                // stopped on a limit mid-stream.
+                self.engine.settle();
+                let mut msg = format!(
+                    "cycles={} reason={} total={} cs={}",
+                    total_done,
+                    reason_str(res.reason),
+                    self.engine.cycles(),
+                    self.engine.conflict_set().len()
+                );
+                if matches!(res.reason, StopReason::CycleLimit)
+                    && requested > self.max_cycles_per_run
+                {
+                    // Server policy, not program behavior, cut this run
+                    // short — `reason=limit` alone cannot tell the two
+                    // apart.
+                    msg.push_str(&format!(" clamped={requested}"));
+                }
+                Exec::Done(Reply::Ok(msg))
+            }
+            Err(e) => Exec::Done(Reply::Err(e.to_string())),
+        }
     }
 
     fn dispatch(&mut self, cmd: Command) -> Reply {
@@ -324,31 +504,8 @@ impl Session {
                 }
                 Reply::Ok(format!("{total} {}", tags.join(" ")))
             }
-            Command::Run(n) => {
-                if n == 0 {
-                    self.engine.settle();
-                    return Reply::Ok(format!(
-                        "cycles=0 reason=settled total={} cs={}",
-                        self.engine.cycles(),
-                        self.engine.conflict_set().len()
-                    ));
-                }
-                let clamped = n.min(self.max_cycles_per_run);
-                match self.engine.run(clamped) {
-                    Ok(res) => {
-                        // Leave the conflict set current even when the run
-                        // stopped on a limit mid-stream.
-                        self.engine.settle();
-                        Reply::Ok(format!(
-                            "cycles={} reason={} total={} cs={}",
-                            res.cycles,
-                            reason_str(res.reason),
-                            self.engine.cycles(),
-                            self.engine.conflict_set().len()
-                        ))
-                    }
-                    Err(e) => Reply::Err(e.to_string()),
-                }
+            Command::Run(_) | Command::RunSlice { .. } => {
+                unreachable!("RUN is handled by dispatch_exec")
             }
             Command::Cs => {
                 self.engine.settle();
@@ -409,8 +566,13 @@ impl Session {
             }
             Command::Stats => {
                 let ms = self.engine.match_stats();
+                let durability = match &self.durability {
+                    None => "",
+                    Some(d) if d.degraded => " durability=degraded",
+                    Some(_) => " durability=ok",
+                };
                 Reply::Ok(format!(
-                    "program={} matcher={} cycles={} wm={} cs={} staged={} wme-changes={} activations={}",
+                    "program={} matcher={} cycles={} wm={} cs={} staged={} wme-changes={} activations={}{durability}",
                     self.program,
                     self.engine.matcher().name(),
                     self.engine.cycles(),

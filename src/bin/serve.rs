@@ -14,6 +14,10 @@
 //!   --queue-depth N          per-session inbox depth (default 16)
 //!   --run-queue N            global run-queue capacity (default 1024)
 //!   --max-cycles-per-run N   RUN clamp per command (default 10000)
+//!   --run-slice N            preemption slice: a RUN executes at most N
+//!                            cycles before its session is requeued behind
+//!                            higher-priority work (0 = no slicing;
+//!                            default: the OPS5_RUN_SLICE env knob, else 0)
 //!   --max-wm N               per-session working-memory cap
 //!   --max-total-cycles N     per-session lifetime cycle budget
 //!   --matcher vs1|vs2|lisp|psm   default session matcher (default vs2)
@@ -74,6 +78,9 @@ fn parse_args() -> Result<(String, ServeConfig), String> {
                     next_val(&mut args, "--max-cycles-per-run")?,
                     "--max-cycles-per-run",
                 )?
+            }
+            "--run-slice" => {
+                cfg.run_slice_cycles = parse(next_val(&mut args, "--run-slice")?, "--run-slice")?
             }
             "--max-wm" => {
                 cfg.limits.max_wm =

@@ -1,0 +1,208 @@
+//! Durability fault injection, driving `serve::Session` directly so the
+//! failure window can be placed precisely. The container runs as root
+//! (permission bits are ignored), so checkpoint failures are injected by
+//! parking a *directory* at the snapshot's tmp path — `File::create`
+//! fails on it regardless of uid.
+
+use serve::{matcher_kind, Command, ProgramSpec, Reply, Session};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SRC: &str = "(literalize item n)
+                   (literalize sum total)
+                   (p add (item ^n <n>) (sum ^total <t>)
+                      --> (remove 1) (modify 2 ^total (compute <t> + <n>)))";
+
+fn fresh_session(id: u64) -> Session {
+    let eng = ProgramSpec::from_source(SRC)
+        .build_empty(matcher_kind("vs2").unwrap(), Default::default(), None)
+        .unwrap();
+    Session::new(id, "adder", eng, matcher_kind("vs2").unwrap(), 10_000)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ops5-dfault-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn ok(s: &mut Session, cmd: Command) -> String {
+    match s.execute(cmd) {
+        Reply::Ok(p) => p,
+        other => panic!("expected OK, got {other:?}"),
+    }
+}
+
+fn fired(s: &mut Session) -> Vec<String> {
+    match s.execute(Command::Fired) {
+        Reply::Multi { lines, .. } => lines,
+        other => panic!("expected FIRED lines, got {other:?}"),
+    }
+}
+
+fn seed(s: &mut Session, items: &[i64]) {
+    ok(s, Command::Assert("sum ^total 0".into()));
+    for n in items {
+        ok(s, Command::Assert(format!("item ^n {n}")));
+    }
+}
+
+/// Rebuilds a session purely from what is on disk — the kill/restart path.
+fn recover(dir: &Path, id: u64) -> (Session, usize) {
+    let snap = fs::read_to_string(Session::snap_path(dir, id)).unwrap();
+    let log = fs::read_to_string(Session::log_path(dir, id)).unwrap_or_default();
+    let eng = ProgramSpec::from_source(SRC)
+        .build_empty(matcher_kind("vs2").unwrap(), Default::default(), None)
+        .unwrap();
+    Session::restore(
+        id,
+        "adder",
+        eng,
+        matcher_kind("vs2").unwrap(),
+        10_000,
+        &snap,
+        &log,
+    )
+    .unwrap()
+}
+
+/// The tmp path `checkpoint()` writes through before renaming onto the
+/// real snapshot.
+fn block_checkpoint(dir: &Path, id: u64) -> PathBuf {
+    let tmp = Session::snap_path(dir, id).with_extension("snap.tmp");
+    fs::create_dir(&tmp).unwrap();
+    tmp
+}
+
+/// A checkpoint failure mid-session must not clobber the command's reply
+/// or lose records: the session degrades, keeps appending to the log, and
+/// both a kill-recovery and an in-place retry converge on the reference.
+#[test]
+fn failed_checkpoint_degrades_then_recovers_with_zero_lost_records() {
+    let dir = tmp_dir("ckpt");
+
+    // Uninterrupted reference run of the same command stream.
+    let mut reference = fresh_session(0);
+    seed(&mut reference, &[1, 2, 3, 4, 5]);
+    ok(&mut reference, Command::Run(2));
+    ok(&mut reference, Command::Run(2));
+    ok(&mut reference, Command::Run(100));
+    let want = fired(&mut reference);
+    // No durability attached → STATS? carries no durability field at all.
+    assert!(!ok(&mut reference, Command::Stats).contains("durability="));
+
+    let mut s = fresh_session(7);
+    s.attach_durability(&dir, 2).unwrap();
+    seed(&mut s, &[1, 2, 3, 4, 5]);
+
+    // Wedge the checkpoint path, then cross the checkpoint_every=2
+    // threshold: the log append succeeds, the checkpoint fails.
+    let tmp = block_checkpoint(&dir, 7);
+    let run = ok(&mut s, Command::Run(2));
+    assert!(run.contains("cycles=2"), "reply clobbered: {run}");
+    assert!(s.durability_degraded());
+    assert!(ok(&mut s, Command::Stats).contains("durability=degraded"));
+
+    // Kill here: snapshot is stale but snapshot+log still replays every
+    // record — nothing was lost to the failed checkpoint.
+    {
+        let (mut dead, replayed) = recover(&dir, 7);
+        assert!(replayed > 0, "log should carry the un-checkpointed tail");
+        ok(&mut dead, Command::Run(2));
+        ok(&mut dead, Command::Run(100));
+        assert_eq!(fired(&mut dead), want, "records lost across kill");
+    }
+
+    // Meanwhile the live session keeps going degraded; unwedging lets the
+    // next sync retry the checkpoint and clear the flag.
+    let run = ok(&mut s, Command::Run(2));
+    assert!(run.contains("cycles=2"), "{run}");
+    fs::remove_dir(&tmp).unwrap();
+    ok(&mut s, Command::Run(100));
+    assert!(!s.durability_degraded());
+    assert!(ok(&mut s, Command::Stats).contains("durability=ok"));
+    assert_eq!(fired(&mut s), want);
+
+    // The retried checkpoint truncated the log; disk state alone now
+    // reproduces the full session.
+    let (mut back, _) = recover(&dir, 7);
+    assert_eq!(fired(&mut back), want);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `attach_durability` failing on a *restored* session must leave the
+/// prior incarnation's log untouched — truncating before the new snapshot
+/// is durable would strand the old snapshot without its tail.
+#[test]
+fn failed_attach_preserves_the_existing_log() {
+    let dir = tmp_dir("attach");
+
+    let mut s = fresh_session(3);
+    // Huge checkpoint_every: everything after attach lives in the log.
+    s.attach_durability(&dir, 1_000_000).unwrap();
+    seed(&mut s, &[10, 20, 30]);
+    ok(&mut s, Command::Run(100));
+    let want = fired(&mut s);
+    drop(s); // kill
+
+    let log_before = fs::read(Session::log_path(&dir, 3)).unwrap();
+    let snap_before = fs::read(Session::snap_path(&dir, 3)).unwrap();
+    assert!(!log_before.is_empty());
+
+    // Restart, re-attach with the checkpoint path wedged: must fail and
+    // must not have truncated what it failed to re-checkpoint.
+    let (mut r, _) = recover(&dir, 3);
+    let tmp = block_checkpoint(&dir, 3);
+    assert!(r.attach_durability(&dir, 1_000_000).is_err());
+    assert_eq!(
+        fs::read(Session::log_path(&dir, 3)).unwrap(),
+        log_before,
+        "failed attach truncated the change log"
+    );
+    assert_eq!(fs::read(Session::snap_path(&dir, 3)).unwrap(), snap_before);
+    // Disk state is still whole: a second recovery sees every record.
+    let (mut again, _) = recover(&dir, 3);
+    assert_eq!(fired(&mut again), want);
+
+    // Unwedged, the attach completes and folds the log into the snapshot.
+    fs::remove_dir(&tmp).unwrap();
+    r.attach_durability(&dir, 1_000_000).unwrap();
+    assert!(fs::read(Session::log_path(&dir, 3)).unwrap().is_empty());
+    let (mut fresh, replayed) = recover(&dir, 3);
+    assert_eq!(replayed, 0);
+    assert_eq!(fired(&mut fresh), want);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A crash *between* the tmp write and the rename leaves a stale
+/// `.snap.tmp` behind; recovery must ignore it (the real `.snap` +- log is
+/// the durable truth) and the next checkpoint must replace it.
+#[test]
+fn stale_snapshot_tmp_is_ignored_and_replaced() {
+    let dir = tmp_dir("stale");
+
+    let mut s = fresh_session(5);
+    s.attach_durability(&dir, 1_000_000).unwrap();
+    seed(&mut s, &[7, 8]);
+    ok(&mut s, Command::Run(100));
+    let want = fired(&mut s);
+    drop(s);
+
+    // Simulated torn checkpoint: a half-written tmp from a dead process.
+    let tmp = Session::snap_path(&dir, 5).with_extension("snap.tmp");
+    fs::write(&tmp, b"garbage half-snapshot").unwrap();
+
+    let (mut r, _) = recover(&dir, 5);
+    assert_eq!(fired(&mut r), want, "recovery read the torn tmp");
+
+    // The next attach checkpoints right through the stale file.
+    r.attach_durability(&dir, 1_000_000).unwrap();
+    assert!(!tmp.exists(), "stale tmp should be renamed over");
+    let (mut again, _) = recover(&dir, 5);
+    assert_eq!(fired(&mut again), want);
+
+    let _ = fs::remove_dir_all(&dir);
+}
